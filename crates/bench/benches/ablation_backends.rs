@@ -1,0 +1,40 @@
+//! Ablation: the exact quadratic-Lyapunov back-end versus the general
+//! branch-and-bound barrier back-end on the same affine system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrl::dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl::poly::Polynomial;
+use vrl::verify::{verify_linear, verify_nonlinear, VerificationConfig};
+
+fn double_integrator() -> EnvironmentContext {
+    let a = vec![vec![0.0, 1.0], vec![0.0, 0.0]];
+    let b = vec![vec![0.0], vec![1.0]];
+    EnvironmentContext::new(
+        "di",
+        PolyDynamics::linear(&a, &b, None),
+        0.01,
+        BoxRegion::symmetric(&[0.3, 0.3]),
+        SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0])),
+    )
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let env = double_integrator();
+    let program = vec![Polynomial::linear(&[-2.0, -3.0], 0.0)];
+    let config = VerificationConfig::with_degree(2);
+    let mut group = c.benchmark_group("ablation_backends");
+    group.sample_size(10);
+    // Both back-ends are timed on the same verification query; the
+    // branch-and-bound back-end may report an inconclusive result at this
+    // degree, which is part of what the ablation measures.
+    group.bench_function("quadratic_lyapunov", |b| {
+        b.iter(|| verify_linear(&env, &program, env.init(), &config))
+    });
+    group.bench_function("branch_and_bound_barrier", |b| {
+        b.iter(|| verify_nonlinear(&env, &program, env.init(), &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

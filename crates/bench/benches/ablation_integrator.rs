@@ -1,0 +1,26 @@
+//! Ablation: Euler versus RK4 discretization of the transition relation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::{Integrator, LinearPolicy};
+use vrl_benchmarks::pendulum::pendulum_original;
+
+fn bench_integrators(c: &mut Criterion) {
+    let base = pendulum_original().into_env();
+    let program = LinearPolicy::new(vec![vec![-12.05, -5.87]]);
+    let mut group = c.benchmark_group("ablation_integrator");
+    for integrator in [Integrator::Euler, Integrator::RungeKutta4] {
+        let env = base.clone().with_integrator(integrator);
+        group.bench_function(integrator.name(), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                env.rollout(&program, &[0.3, 0.3], 1000, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrators);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: oracle-guided program distillation (Algorithm 1) versus directly
+//! training the linear program with random search, the comparison discussed
+//! in Sec. 5 ("one may ask why we do not directly learn a deterministic
+//! program to control the device").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::ClosurePolicy;
+use vrl::rl::{train_ars, ArsConfig, LinearParametricPolicy};
+use vrl::synth::{synthesize_program, DistillConfig, ProgramSketch};
+use vrl_benchmarks::quadcopter::quadcopter_env;
+
+fn bench_oracle_vs_direct(c: &mut Criterion) {
+    let env = quadcopter_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-3.0 * s[0] - 2.5 * s[1]]);
+    let sketch = ProgramSketch::affine(2, 1);
+    let mut group = c.benchmark_group("ablation_oracle");
+    group.sample_size(10);
+    group.bench_function("distill_from_oracle", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            synthesize_program(
+                &env,
+                &oracle,
+                &sketch,
+                env.init(),
+                None,
+                &DistillConfig::smoke_test(),
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("direct_random_search", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut policy = LinearParametricPolicy::new(2, 1, 8.0);
+            train_ars(&env, &mut policy, &ArsConfig::smoke_test(), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_vs_direct);
+criterion_main!(benches);

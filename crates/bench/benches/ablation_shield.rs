@@ -1,0 +1,33 @@
+//! Ablation: per-step cost of the shield (the source of the Overhead column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::{ClosurePolicy, Policy};
+use vrl::shield::{synthesize_shield, CegisConfig, ShieldedPolicy};
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::quadcopter::quadcopter_env;
+
+fn bench_shield_overhead(c: &mut Criterion) {
+    let env = quadcopter_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-3.0 * s[0] - 2.5 * s[1]]);
+    let config = CegisConfig {
+        verification: VerificationConfig::with_degree(2),
+        ..CegisConfig::smoke_test()
+    };
+    let mut rng = SmallRng::seed_from_u64(17);
+    let (shield, _) = synthesize_shield(&env, &oracle, &config, &mut rng).unwrap();
+    let mut group = c.benchmark_group("ablation_shield");
+    group.bench_function("oracle_decision", |b| b.iter(|| oracle.action(&[0.2, -0.1])));
+    group.bench_function("shielded_decision", |b| {
+        let shielded = ShieldedPolicy::new(&shield, &oracle);
+        b.iter(|| shielded.action(&[0.2, -0.1]))
+    });
+    group.bench_function("shield_predict_and_check", |b| {
+        b.iter(|| shield.decide(&[0.2, -0.1], &[1.0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shield_overhead);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 3 bench: invariant inference for the inverted pendulum under the
+//! original and the restricted safety bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vrl::poly::Polynomial;
+use vrl::verify::{verify_nonlinear, VerificationConfig};
+use vrl_benchmarks::pendulum::{degrees, pendulum_env};
+
+fn bench_pendulum_invariants(c: &mut Criterion) {
+    // The paper's running-example program P(η, ω) = −12.05η − 5.87ω.
+    let program = vec![Polynomial::linear(&[-12.05, -5.87], 0.0)];
+    let mut group = c.benchmark_group("fig3_invariant_inference");
+    group.sample_size(10);
+    for (label, eta_bound) in [("fig3a_90deg", 90.0), ("fig3b_30deg", 30.0)] {
+        let env = pendulum_env(1.0, 1.0, degrees(eta_bound), degrees(eta_bound.min(90.0)));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &env, |b, env| {
+            let config = VerificationConfig::with_degree(4);
+            b.iter(|| verify_nonlinear(env, &program, env.init(), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pendulum_invariants);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 6 bench: the CEGIS loop on the Duffing oscillator of Example 4.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::ClosurePolicy;
+use vrl::shield::{synthesize_shield, CegisConfig};
+use vrl::synth::DistillConfig;
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::duffing::duffing_env;
+
+fn bench_duffing_cegis(c: &mut Criterion) {
+    let env = duffing_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![0.5 * s[0] - 2.0 * s[1]]);
+    let config = CegisConfig {
+        distill: DistillConfig {
+            iterations: 20,
+            ..DistillConfig::smoke_test()
+        },
+        verification: VerificationConfig::with_degree(4),
+        max_pieces: 4,
+        max_shrink_steps: 4,
+        coverage_samples: 200,
+        ..CegisConfig::smoke_test()
+    };
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("duffing_cegis", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            synthesize_shield(&env, &oracle, &config, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_duffing_cegis);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 1 driver bench: times the end-to-end pipeline stages (oracle
+//! distillation, verification, shielded simulation) on a representative
+//! benchmark, which is what the Training / Synthesis / Overhead columns of
+//! Table 1 measure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::{ClosurePolicy, Policy};
+use vrl::shield::{synthesize_shield, CegisConfig};
+use vrl::synth::DistillConfig;
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::quadcopter::quadcopter_env;
+
+fn bench_table1_pipeline(c: &mut Criterion) {
+    let env = quadcopter_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-3.0 * s[0] - 2.5 * s[1]]);
+    let config = CegisConfig {
+        distill: DistillConfig::smoke_test(),
+        verification: VerificationConfig::with_degree(2),
+        ..CegisConfig::smoke_test()
+    };
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("quadcopter_shield_synthesis", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            synthesize_shield(&env, &oracle, &config, &mut rng).expect("shieldable")
+        })
+    });
+    let mut rng = SmallRng::seed_from_u64(2);
+    let (shield, _) = synthesize_shield(&env, &oracle, &config, &mut rng).unwrap();
+    group.bench_function("quadcopter_shielded_episode", |b| {
+        b.iter(|| {
+            let shielded = vrl::shield::ShieldedPolicy::new(&shield, &oracle);
+            env.rollout(&shielded, &[0.3, 0.3], 1000, &mut rng)
+        })
+    });
+    group.bench_function("quadcopter_unshielded_episode", |b| {
+        b.iter(|| env.rollout(&oracle, &[0.3, 0.3], 1000, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_pipeline);
+criterion_main!(benches);

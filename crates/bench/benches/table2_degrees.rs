@@ -1,0 +1,24 @@
+//! Table 2 bench: verification time as a function of the invariant degree
+//! (2 / 4 / 6) on the Duffing oscillator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vrl::poly::Polynomial;
+use vrl::verify::{verify_nonlinear, VerificationConfig};
+use vrl_benchmarks::duffing::duffing_env;
+
+fn bench_invariant_degrees(c: &mut Criterion) {
+    let env = duffing_env().with_init(vrl::dynamics::BoxRegion::symmetric(&[1.0, 1.0]));
+    let program = vec![Polynomial::linear(&[0.39, -1.41], 0.0)];
+    let mut group = c.benchmark_group("table2_verification_time");
+    group.sample_size(10);
+    for degree in [2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &degree| {
+            let config = VerificationConfig::with_degree(degree);
+            b.iter(|| verify_nonlinear(&env, &program, env.init(), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invariant_degrees);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 3 bench: re-synthesizing a shield for a changed environment versus
+//! synthesizing one from scratch (the point of Table 3 is that adapting the
+//! shield is much cheaper than retraining the network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::ClosurePolicy;
+use vrl::shield::{synthesize_shield, CegisConfig};
+use vrl::synth::DistillConfig;
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::cartpole::{cartpole_env, cartpole_longer_pole, DEFAULT_POLE_LENGTH};
+
+fn bench_env_change(c: &mut Criterion) {
+    let _ = cartpole_env(DEFAULT_POLE_LENGTH);
+    let changed = cartpole_longer_pole().into_env();
+    // The oracle trained in the original environment, reused unchanged.
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| {
+        vec![1.2 * s[0] + 3.9 * s[1] + 79.0 * s[2] + 15.0 * s[3]]
+    });
+    let config = CegisConfig {
+        distill: DistillConfig::smoke_test(),
+        verification: VerificationConfig::with_degree(2),
+        ..CegisConfig::smoke_test()
+    };
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("resynthesize_shield_longer_pole", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            synthesize_shield(&changed, &oracle, &config, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_change);
+criterion_main!(benches);

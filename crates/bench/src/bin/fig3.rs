@@ -1,0 +1,91 @@
+//! Regenerates the data behind Fig. 3: the inductive invariants inferred for
+//! the inverted pendulum under (a) the original 90° safety bounds and (b) the
+//! restricted 30° Segway-style bounds, plus the Sec. 2.2 shielding statistics
+//! (violations prevented / interventions) for the restricted environment.
+//!
+//! The invariant sub-level sets are written as CSV grids
+//! (`fig3a_invariant.csv`, `fig3b_invariant.csv`) that can be plotted
+//! directly.
+//!
+//! Usage: `fig3 [--full] [--episodes N] [--steps N]`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::Write;
+use vrl::pipeline::{run_pipeline_with_oracle, train_oracle};
+use vrl_bench::{pipeline_config_for, HarnessOptions};
+use vrl_benchmarks::pendulum::{pendulum_original, pendulum_restricted};
+
+fn dump_invariant_grid(path: &str, outcome: &vrl::pipeline::PipelineOutcome) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    writeln!(file, "eta,omega,min_invariant_value,covered")?;
+    let program = outcome.shield.to_program();
+    let bound = 1.6;
+    let resolution = 60;
+    for i in 0..=resolution {
+        for j in 0..=resolution {
+            let eta = -bound + 2.0 * bound * i as f64 / resolution as f64;
+            let omega = -bound + 2.0 * bound * j as f64 / resolution as f64;
+            let value = outcome
+                .shield
+                .pieces()
+                .iter()
+                .map(|p| p.invariant().value(&[eta, omega]))
+                .fold(f64::INFINITY, f64::min);
+            let covered = program.evaluate(&[eta, omega]).is_some();
+            writeln!(file, "{eta},{omega},{value},{}", u8::from(covered))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let options = HarnessOptions::from_args(std::env::args().skip(1));
+    for (label, spec, csv) in [
+        ("Fig. 3(a) original 90° bounds", pendulum_original(), "fig3a_invariant.csv"),
+        ("Fig. 3(b) restricted 30° bounds", pendulum_restricted(), "fig3b_invariant.csv"),
+    ] {
+        let env = spec.env().clone();
+        let config = pipeline_config_for(&spec, options.effort, options.episodes, options.steps);
+        let (oracle, training_time) = train_oracle(&env, &config);
+        match run_pipeline_with_oracle(&env, oracle, training_time, &config) {
+            Ok(outcome) => {
+                println!("{label}:");
+                println!("  pieces: {}", outcome.shield.num_pieces());
+                for (i, piece) in outcome.shield.pieces().iter().enumerate() {
+                    println!(
+                        "  invariant {}: {}",
+                        i + 1,
+                        piece.invariant().pretty(&env.variable_names())
+                    );
+                }
+                let mut rng = SmallRng::seed_from_u64(11);
+                let eval = vrl::shield::evaluate_shielded_system(
+                    &env,
+                    &outcome.oracle,
+                    &outcome.shield,
+                    options.episodes,
+                    options.steps,
+                    &mut rng,
+                );
+                println!(
+                    "  unshielded violations: {} / {} episodes; shielded violations: {}; interventions: {} of {} decisions ({:.5}%)",
+                    eval.neural_failures,
+                    eval.episodes,
+                    eval.shielded_failures,
+                    eval.interventions,
+                    eval.decisions,
+                    100.0 * eval.intervention_rate()
+                );
+                if let Err(e) = dump_invariant_grid(csv, &outcome) {
+                    eprintln!("  (could not write {csv}: {e})");
+                } else {
+                    println!("  invariant grid written to {csv}");
+                }
+            }
+            Err(err) => println!("{label}: shield synthesis failed: {err}"),
+        }
+        println!();
+    }
+}

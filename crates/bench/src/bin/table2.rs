@@ -1,0 +1,56 @@
+//! Regenerates Table 2: the effect of the invariant degree (2 / 4 / 8) on
+//! verification time, shield interventions and runtime overhead, for the
+//! Pendulum, Self-Driving and 8-Car platoon benchmarks.
+//!
+//! Usage: `table2 [--full] [--episodes N] [--steps N]`
+
+use std::time::Instant;
+use vrl::pipeline::{run_pipeline_with_oracle, train_oracle};
+use vrl_bench::{pipeline_config_for, HarnessOptions};
+use vrl_benchmarks::benchmark_by_name;
+
+fn main() {
+    let options = HarnessOptions::from_args(std::env::args().skip(1));
+    let benchmarks = ["pendulum", "self-driving", "car-platoon-8"];
+    let degrees = [2u32, 4, 8];
+    println!(
+        "Table 2 — tuning invariant degrees ({:?} effort)\n",
+        options.effort
+    );
+    println!(
+        "{:<16} {:>7} {:>14} {:>14} {:>10}",
+        "Benchmark", "Degree", "Verification", "Interventions", "Overhead"
+    );
+    println!("{}", "-".repeat(66));
+    for name in benchmarks {
+        let Some(spec) = benchmark_by_name(name) else { continue };
+        let env = spec.env().clone();
+        let base = pipeline_config_for(&spec, options.effort, options.episodes, options.steps);
+        // Train the oracle once and reuse it for every degree.
+        let (oracle, training_time) = train_oracle(&env, &base);
+        for degree in degrees {
+            let config = base.clone().with_invariant_degree(degree);
+            let start = Instant::now();
+            match run_pipeline_with_oracle(&env, oracle.clone(), training_time, &config) {
+                Ok(outcome) => {
+                    println!(
+                        "{:<16} {:>7} {:>13.1}s {:>14} {:>9.2}%",
+                        name,
+                        degree,
+                        outcome.cegis_report.synthesis_time.as_secs_f64(),
+                        outcome.evaluation.interventions,
+                        outcome.evaluation.overhead_percent
+                    );
+                }
+                Err(err) => {
+                    println!(
+                        "{:<16} {:>7} {:>13.1}s  TO ({err})",
+                        name,
+                        degree,
+                        start.elapsed().as_secs_f64()
+                    );
+                }
+            }
+        }
+    }
+}

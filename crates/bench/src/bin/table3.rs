@@ -1,0 +1,71 @@
+//! Regenerates Table 3: handling environment changes.  A controller trained
+//! in the original environment is redeployed in a modified one (longer pole,
+//! heavier/longer pendulum, added obstacle); only the shield is
+//! re-synthesized — the network is *not* retrained.
+//!
+//! Usage: `table3 [--full] [--episodes N] [--steps N]`
+
+use vrl::pipeline::{resynthesize_shield_for, train_oracle};
+use vrl::shield::evaluate_shielded_system;
+use vrl_bench::{pipeline_config_for, HarnessOptions};
+use vrl_benchmarks::{benchmark_by_name, environment_change_benchmarks};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn original_of(variant: &str) -> &'static str {
+    if variant.starts_with("cartpole") {
+        "cartpole"
+    } else if variant.starts_with("pendulum") {
+        "pendulum"
+    } else {
+        "self-driving"
+    }
+}
+
+fn main() {
+    let options = HarnessOptions::from_args(std::env::args().skip(1));
+    println!(
+        "Table 3 — handling environment changes ({:?} effort)\n",
+        options.effort
+    );
+    println!(
+        "{:<24} {:>30} {:>8} {:>5} {:>11} {:>10} {:>14}",
+        "Benchmark", "Environment change", "Failures", "Size", "Synthesis", "Overhead", "Interventions"
+    );
+    println!("{}", "-".repeat(108));
+    for variant in environment_change_benchmarks() {
+        let original = benchmark_by_name(original_of(variant.name())).expect("original benchmark exists");
+        let original_env = original.env().clone();
+        let changed_env = variant.env().clone();
+        let config = pipeline_config_for(&original, options.effort, options.episodes, options.steps);
+        // Train in the *original* environment, deploy in the changed one.
+        let (oracle, _training_time) = train_oracle(&original_env, &config);
+        let mut rng = SmallRng::seed_from_u64(7);
+        match resynthesize_shield_for(&changed_env, &oracle, &config) {
+            Ok((shield, report)) => {
+                let eval = evaluate_shielded_system(
+                    &changed_env,
+                    &oracle,
+                    &shield,
+                    options.episodes,
+                    options.steps,
+                    &mut rng,
+                );
+                println!(
+                    "{:<24} {:>30} {:>8} {:>5} {:>10.1}s {:>9.2}% {:>14}",
+                    variant.name(),
+                    variant.description().split(':').next_back().unwrap_or("").trim(),
+                    eval.neural_failures,
+                    shield.num_pieces(),
+                    report.synthesis_time.as_secs_f64(),
+                    eval.overhead_percent,
+                    eval.interventions
+                );
+                assert_eq!(eval.shielded_failures, 0);
+            }
+            Err(err) => {
+                println!("{:<24}  [shield re-synthesis failed: {err}]", variant.name());
+            }
+        }
+    }
+}

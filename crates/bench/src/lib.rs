@@ -1,0 +1,166 @@
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the paper's evaluation (Sec. 5).
+//!
+//! The binaries in `src/bin/` print the tables; the Criterion benches in
+//! `benches/` time the individual pipeline stages.  Because the original
+//! evaluation runs 1000 episodes of 5000 steps per benchmark on a desktop
+//! machine, the harness defaults to a scaled-down budget and accepts
+//! `--full` to reproduce the paper-scale workload.
+
+use vrl::pipeline::{OracleTrainer, PipelineConfig};
+use vrl::rl::ArsConfig;
+use vrl::shield::CegisConfig;
+use vrl::synth::DistillConfig;
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::BenchmarkSpec;
+
+/// How much effort the harness spends per benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Scaled-down budgets so the whole table regenerates in minutes.
+    Quick,
+    /// Paper-scale budgets (1000 episodes of 5000 steps, larger networks).
+    Full,
+}
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Effort level.
+    pub effort: Effort,
+    /// Restrict the run to a single benchmark by name.
+    pub only: Option<String>,
+    /// Number of evaluation episodes per benchmark.
+    pub episodes: usize,
+    /// Steps per evaluation episode.
+    pub steps: usize,
+}
+
+impl HarnessOptions {
+    /// Parses options from command-line arguments (`--full`, `--only NAME`,
+    /// `--episodes N`, `--steps N`).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut options = HarnessOptions {
+            effort: Effort::Quick,
+            only: None,
+            episodes: 20,
+            steps: 1000,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => {
+                    options.effort = Effort::Full;
+                    options.episodes = 1000;
+                    options.steps = 5000;
+                }
+                "--only" => options.only = args.next(),
+                "--episodes" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.episodes = v;
+                    }
+                }
+                "--steps" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.steps = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        options
+    }
+}
+
+/// Builds the pipeline configuration the harness uses for a benchmark at the
+/// requested effort level.
+pub fn pipeline_config_for(spec: &BenchmarkSpec, effort: Effort, episodes: usize, steps: usize) -> PipelineConfig {
+    let (hidden, ars, distill) = match effort {
+        Effort::Quick => (
+            vec![32, 32],
+            ArsConfig {
+                iterations: 40,
+                directions: 6,
+                top_directions: 3,
+                step_size: 0.05,
+                noise: 0.05,
+                rollouts_per_evaluation: 1,
+                horizon: 400,
+            },
+            DistillConfig {
+                iterations: 80,
+                trajectories: 2,
+                horizon: 250,
+                ..DistillConfig::default()
+            },
+        ),
+        Effort::Full => (
+            spec.hidden_layers().to_vec(),
+            ArsConfig {
+                iterations: 300,
+                directions: 16,
+                top_directions: 8,
+                step_size: 0.02,
+                noise: 0.03,
+                rollouts_per_evaluation: 2,
+                horizon: 1000,
+            },
+            DistillConfig::default(),
+        ),
+    };
+    let cegis = CegisConfig {
+        distill,
+        verification: VerificationConfig::with_degree(spec.invariant_degree()),
+        ..CegisConfig::default()
+    };
+    PipelineConfig {
+        hidden_layers: hidden,
+        trainer: OracleTrainer::Ars(ars),
+        cegis,
+        evaluation_episodes: episodes,
+        evaluation_steps: steps,
+        seed: 2019,
+    }
+}
+
+/// Prints the Table 1 header row.
+pub fn print_table1_header() {
+    println!(
+        "{:<22} {:>4} {:>10} {:>8} {:>5} {:>11} {:>10} {:>13} {:>9} {:>9}",
+        "Benchmark", "Vars", "Training", "Failures", "Size", "Synthesis", "Overhead", "Interventions", "NN", "Program"
+    );
+    println!("{}", "-".repeat(112));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_benchmarks::benchmark_by_name;
+
+    #[test]
+    fn option_parsing_handles_flags() {
+        let opts = HarnessOptions::from_args(
+            ["--only", "pendulum", "--episodes", "7", "--steps", "123"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.only.as_deref(), Some("pendulum"));
+        assert_eq!(opts.episodes, 7);
+        assert_eq!(opts.steps, 123);
+        assert_eq!(opts.effort, Effort::Quick);
+        let full = HarnessOptions::from_args(["--full"].iter().map(|s| s.to_string()));
+        assert_eq!(full.effort, Effort::Full);
+        assert_eq!(full.episodes, 1000);
+        assert_eq!(full.steps, 5000);
+    }
+
+    #[test]
+    fn quick_and_full_configs_differ_in_budget() {
+        let spec = benchmark_by_name("pendulum").unwrap();
+        let quick = pipeline_config_for(&spec, Effort::Quick, 10, 500);
+        let full = pipeline_config_for(&spec, Effort::Full, 1000, 5000);
+        assert!(quick.hidden_layers.iter().sum::<usize>() < full.hidden_layers.iter().sum::<usize>());
+        assert_eq!(quick.cegis.verification.invariant_degree, 4);
+        assert_eq!(full.evaluation_episodes, 1000);
+    }
+}

@@ -1,0 +1,113 @@
+//! Glycemic control benchmark (3 state variables): a minimal model of glucose
+//! and insulin interaction in diabetic patients (Bergman et al., 1985), as
+//! cited by the paper.
+//!
+//! The safety property is that the plasma glucose concentration must remain
+//! above a threshold (no hypoglycemia).
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl_poly::Polynomial;
+
+/// Builds the glycemic-control environment.
+///
+/// State `s = [G, X, I]` in deviation coordinates: plasma glucose deviation
+/// from basal, remote insulin action, and plasma insulin deviation; action
+/// `a` is the insulin infusion rate.  The Bergman minimal model (with rate
+/// constants rescaled to the simulation time step) is polynomial thanks to
+/// the bilinear `X·G` term:
+///
+/// ```text
+/// Ġ = −p1·G − X·(G + G_b)
+/// Ẋ = −p2·X + p3·I
+/// İ = −n·I + a
+/// ```
+pub fn biology_env() -> EnvironmentContext {
+    let p1 = 0.5;
+    let p2 = 0.5;
+    let p3 = 1.0;
+    let n = 0.5;
+    let g_basal = 1.0;
+    // Variables: x0 = G, x1 = X, x2 = I, x3 = a.
+    let g = Polynomial::variable(0, 4);
+    let x = Polynomial::variable(1, 4);
+    let i = Polynomial::variable(2, 4);
+    let a = Polynomial::variable(3, 4);
+    let gdot = &(&g.scaled(-p1) - &(&x * &g)) - &x.scaled(g_basal);
+    let xdot = &x.scaled(-p2) + &i.scaled(p3);
+    let idot = &i.scaled(-n) + &a;
+    let dynamics = PolyDynamics::new(3, 1, vec![gdot, xdot, idot]).expect("biology dynamics are well formed");
+    EnvironmentContext::new(
+        "biology",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.3, 0.2, 0.2]),
+        SafetySpec::inside(BoxRegion::new(
+            vec![-1.0, -1.5, -1.5],
+            vec![2.0, 1.5, 1.5],
+        )),
+    )
+    .with_action_bounds(vec![-4.0], vec![4.0])
+    .with_variable_names(&["glucose", "insulin_action", "insulin"])
+    .with_steady(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05))
+}
+
+/// The Table 1 glycemic-control benchmark.
+pub fn biology() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "biology",
+        "Bergman minimal model of glycemic control; keep plasma glucose above the hypoglycemia threshold",
+        2,
+        vec![240, 200],
+        biology_env(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    #[test]
+    fn model_is_nonlinear_with_three_states() {
+        let spec = biology();
+        assert_eq!(spec.env().state_dim(), 3);
+        assert_eq!(spec.env().action_dim(), 1);
+        assert!(!spec.env().dynamics().is_affine(), "the X·G term makes the model bilinear");
+        assert_eq!(spec.env().dynamics().degree(), 2);
+    }
+
+    #[test]
+    fn glucose_threshold_defines_unsafety() {
+        let env = biology_env();
+        assert!(env.is_unsafe(&[-1.1, 0.0, 0.0]), "hypoglycemia must be unsafe");
+        assert!(!env.is_unsafe(&[1.5, 0.0, 0.0]));
+        assert!(env.is_unsafe(&[2.5, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn derivative_matches_minimal_model() {
+        let env = biology_env();
+        let d = env.dynamics().derivative(&[0.5, 0.2, -0.1], &[0.3]);
+        assert!((d[0] - (-0.5 * 0.5 - 0.2 * 0.5 - 0.2 * 1.0)).abs() < 1e-12);
+        assert!((d[1] - (-0.5 * 0.2 + 1.0 * -0.1)).abs() < 1e-12);
+        assert!((d[2] - (-0.5 * -0.1 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_insulin_policy_regulates_glucose() {
+        let env = biology_env();
+        // Dose insulin proportionally to the glucose excursion.
+        let policy = LinearPolicy::new(vec![vec![1.5, 0.0, -0.5]]);
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..5 {
+            let s0 = env.sample_initial(&mut rng);
+            let t = env.rollout(&policy, &s0, 3000, &mut rng);
+            assert!(!t.violates(env.safety()));
+            assert!(t.final_state().unwrap().iter().all(|x| x.abs() < 0.3));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cart-pole benchmark (4 state variables): a pole attached to an unactuated
+//! joint on a cart moving along a frictionless track.
+//!
+//! The system is unsafe when the pole's angle exceeds 30° from upright or the
+//! cart moves more than 0.3 m from the origin (Sec. 5).
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl_poly::Polynomial;
+
+const GRAVITY: f64 = 9.8;
+const CART_MASS: f64 = 1.0;
+const POLE_MASS: f64 = 0.1;
+/// Default pole half-length used by the Table 1 benchmark (metres).
+pub const DEFAULT_POLE_LENGTH: f64 = 0.5;
+
+/// Builds the cart-pole environment for a given pole length.
+///
+/// State `s = [x, v, θ, ω]`: cart position, cart velocity, pole angle and
+/// pole angular velocity; action `a` is the horizontal force on the cart.
+/// The dynamics are the standard small-angle (linearized) cart-pole model:
+///
+/// ```text
+/// ẋ = v
+/// v̇ = (a − m_p·g·θ) / m_c
+/// θ̇ = ω
+/// ω̇ = ((m_c + m_p)·g·θ − a) / (m_c·l)
+/// ```
+pub fn cartpole_env(pole_length: f64) -> EnvironmentContext {
+    assert!(pole_length > 0.0, "pole length must be positive");
+    // Variables: x0..x3 = state, x4 = action.
+    let theta = Polynomial::variable(2, 5);
+    let v = Polynomial::variable(1, 5);
+    let omega = Polynomial::variable(3, 5);
+    let force = Polynomial::variable(4, 5);
+    let vdot = &force.scaled(1.0 / CART_MASS) - &theta.scaled(POLE_MASS * GRAVITY / CART_MASS);
+    let omega_dot = &theta.scaled((CART_MASS + POLE_MASS) * GRAVITY / (CART_MASS * pole_length))
+        - &force.scaled(1.0 / (CART_MASS * pole_length));
+    let dynamics =
+        PolyDynamics::new(4, 1, vec![v, vdot, omega, omega_dot]).expect("cartpole dynamics are well formed");
+    let theta_bound = 30.0f64.to_radians();
+    EnvironmentContext::new(
+        "cartpole",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.05, 0.05, 0.05, 0.05]),
+        SafetySpec::inside(BoxRegion::new(
+            vec![-0.3, -1.5, -theta_bound, -1.5],
+            vec![0.3, 1.5, theta_bound, 1.5],
+        )),
+    )
+    .with_action_bounds(vec![-10.0], vec![10.0])
+    .with_variable_names(&["x", "v", "theta", "omega"])
+    .with_steady(|s: &[f64]| s[0].abs() <= 0.05 && s[2].abs() <= 0.05)
+}
+
+/// The Table 1 cart-pole benchmark.
+pub fn cartpole() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "cartpole",
+        "cart-pole; keep the pole within 30 degrees and the cart within 0.3 m of the origin",
+        2,
+        vec![300, 200],
+        cartpole_env(DEFAULT_POLE_LENGTH),
+    )
+}
+
+/// Table 3 environment change: pole length increased by 0.15 m.
+pub fn cartpole_longer_pole() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "cartpole-longer-pole",
+        "Table 3 variant: cart-pole with the pole length increased by 0.15 m",
+        2,
+        vec![1200, 900],
+        cartpole_env(DEFAULT_POLE_LENGTH + 0.15).with_name("cartpole-longer-pole"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    #[test]
+    fn model_shape_matches_table1() {
+        let spec = cartpole();
+        assert_eq!(spec.env().state_dim(), 4);
+        assert_eq!(spec.env().action_dim(), 1);
+        assert!(spec.env().is_unsafe(&[0.31, 0.0, 0.0, 0.0]));
+        assert!(spec.env().is_unsafe(&[0.0, 0.0, 0.6, 0.0]));
+        assert!(!spec.env().is_unsafe(&[0.0, 0.0, 0.5, 0.0]));
+    }
+
+    #[test]
+    fn gravity_destabilizes_the_pole_without_control() {
+        let env = cartpole_env(DEFAULT_POLE_LENGTH);
+        let d = env.dynamics().derivative(&[0.0, 0.0, 0.1, 0.0], &[0.0]);
+        assert!(d[3] > 0.0, "positive angle must accelerate further from upright");
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let t = env.rollout(&zero, &[0.0, 0.0, 0.05, 0.0], 3000, &mut rng);
+        assert!(t.violates(env.safety()));
+    }
+
+    #[test]
+    fn lqr_style_feedback_balances_the_pole() {
+        let env = cartpole_env(DEFAULT_POLE_LENGTH);
+        // Hand-tuned stabilizing gains (position, velocity, angle, rate).
+        // Note the positive position/velocity gains: the cart-pole is
+        // non-minimum-phase, so the cart must first move *towards* the fall.
+        let k = LinearPolicy::new(vec![vec![1.2, 3.9, 79.0, 15.0]]);
+        let mut rng = SmallRng::seed_from_u64(32);
+        for _ in 0..5 {
+            let s0 = env.sample_initial(&mut rng);
+            let t = env.rollout(&k, &s0, 3000, &mut rng);
+            assert!(!t.violates(env.safety()), "stabilizing gains failed from {s0:?}");
+            assert!(t.final_state().unwrap()[2].abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn longer_pole_changes_the_dynamics() {
+        let short = cartpole_env(DEFAULT_POLE_LENGTH);
+        let long = cartpole_env(DEFAULT_POLE_LENGTH + 0.15);
+        let ds = short.dynamics().derivative(&[0.0, 0.0, 0.1, 0.0], &[0.0]);
+        let dl = long.dynamics().derivative(&[0.0, 0.0, 0.1, 0.0], &[0.0]);
+        assert!(dl[3] < ds[3], "a longer pole falls more slowly");
+        assert_eq!(cartpole_longer_pole().hidden_layers(), &[1200, 900]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Data-center cooling benchmark (3 state variables): three server racks,
+//! each with its own heat generation, shedding heat to their neighbours.
+//! The learned controller must keep the data center below a temperature
+//! threshold.
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, Disturbance, EnvironmentContext, PolyDynamics, SafetySpec};
+
+/// Builds the data-center cooling environment.
+///
+/// State `s = [T1, T2, T3]`: rack temperature deviations from the setpoint;
+/// action `a`: shared cooling effort.  Racks exchange heat diffusively with
+/// their neighbours and with the ambient (held at the setpoint); server load
+/// fluctuations enter as a bounded disturbance:
+///
+/// ```text
+/// Ṫ1 = κ·(T2 − 2·T1) + q − a
+/// Ṫ2 = κ·(T1 + T3 − 2·T2) + q − a
+/// Ṫ3 = κ·(T2 − 2·T3) + q − a
+/// ```
+pub fn datacenter_env() -> EnvironmentContext {
+    let kappa = 0.3;
+    let load = 0.0; // nominal load is absorbed into the setpoint
+    let a = vec![
+        vec![-2.0 * kappa, kappa, 0.0],
+        vec![kappa, -2.0 * kappa, kappa],
+        vec![0.0, kappa, -2.0 * kappa],
+    ];
+    let b = vec![vec![-1.0], vec![-1.0], vec![-1.0]];
+    let dynamics = PolyDynamics::linear(&a, &b, Some(&[load, load, load]));
+    EnvironmentContext::new(
+        "datacenter-cooling",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.5, 0.5, 0.5]),
+        SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0, 2.0])),
+    )
+    .with_action_bounds(vec![-3.0], vec![3.0])
+    .with_disturbance(Disturbance::symmetric(&[0.05, 0.05, 0.05]))
+    .with_variable_names(&["t1", "t2", "t3"])
+    .with_steady(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05))
+}
+
+/// The Table 1 data-center cooling benchmark.
+pub fn datacenter_cooling() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "datacenter-cooling",
+        "three coupled server racks; shared cooling keeps every rack temperature below threshold",
+        2,
+        vec![240, 200],
+        datacenter_env(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    #[test]
+    fn model_shape_matches_table1() {
+        let spec = datacenter_cooling();
+        assert_eq!(spec.env().state_dim(), 3);
+        assert_eq!(spec.env().action_dim(), 1);
+        assert!(spec.env().dynamics().is_affine());
+        assert!(!spec.env().disturbance().is_zero());
+    }
+
+    #[test]
+    fn heat_diffuses_between_neighbouring_racks() {
+        let env = datacenter_env();
+        let d = env.dynamics().derivative(&[1.0, 0.0, 0.0], &[0.0]);
+        assert!(d[0] < 0.0, "a hot rack cools towards its neighbours");
+        assert!(d[1] > 0.0, "the neighbour of a hot rack warms up");
+        assert!((d[2]).abs() < 1e-12, "a non-adjacent rack is unaffected");
+    }
+
+    #[test]
+    fn diffusion_alone_is_stable_but_slow() {
+        let env = datacenter_env();
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(51);
+        let t = env.rollout(&zero, &[0.5, 0.5, 0.5], 5000, &mut rng);
+        assert!(!t.violates(env.safety()));
+        let cooled = LinearPolicy::new(vec![vec![0.5, 0.5, 0.5]]);
+        let tc = env.rollout(&cooled, &[0.5, 0.5, 0.5], 5000, &mut rng);
+        // Active cooling settles at least as fast as pure diffusion.
+        let steady = |s: &[f64]| s.iter().all(|x: &f64| x.abs() <= 0.05);
+        let a = tc.steps_to_steady(steady).unwrap_or(usize::MAX);
+        let b = t.steps_to_steady(steady).unwrap_or(usize::MAX);
+        assert!(a <= b);
+    }
+}

@@ -1,0 +1,156 @@
+//! Car steering benchmarks (4 state variables each): Self-Driving and Lane
+//! Keeping.
+//!
+//! Both use a linearized lateral vehicle model.  The Self-Driving benchmark
+//! must keep the car out of the canals on either side of the road; the Lane
+//! Keeping benchmark additionally experiences road-curvature disturbances.
+//! The Table 3 variant of Self-Driving adds an obstacle that must be avoided.
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, Disturbance, EnvironmentContext, PolyDynamics, SafetySpec};
+
+/// Lateral vehicle dynamics shared by both driving benchmarks.
+///
+/// State `s = [y, v_y, ψ, r]`: lateral offset from the road centre, lateral
+/// velocity, heading error and yaw rate; action `a` is the steering command.
+///
+/// ```text
+/// ẏ   = v_y
+/// v̇_y = −c_v·v_y + c_ψ·ψ + b_v·a
+/// ψ̇   = r
+/// ṙ   = −c_r·r + b_r·a
+/// ```
+fn lateral_env(
+    name: &'static str,
+    c_v: f64,
+    c_psi: f64,
+    b_v: f64,
+    c_r: f64,
+    b_r: f64,
+    road_half_width: f64,
+) -> EnvironmentContext {
+    let a = vec![
+        vec![0.0, 1.0, 0.0, 0.0],
+        vec![0.0, -c_v, c_psi, 0.0],
+        vec![0.0, 0.0, 0.0, 1.0],
+        vec![0.0, 0.0, 0.0, -c_r],
+    ];
+    let b = vec![vec![0.0], vec![b_v], vec![0.0], vec![b_r]];
+    let dynamics = PolyDynamics::linear(&a, &b, None);
+    EnvironmentContext::new(
+        name,
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.5, 0.2, 0.2, 0.2]),
+        SafetySpec::inside(BoxRegion::symmetric(&[road_half_width, 2.0, 1.0, 2.0])),
+    )
+    .with_action_bounds(vec![-8.0], vec![8.0])
+    .with_variable_names(&["y", "vy", "psi", "r"])
+    .with_steady(|s: &[f64]| s[0].abs() <= 0.05 && s[2].abs() <= 0.05)
+}
+
+/// Builds the Self-Driving environment (canal avoidance).
+pub fn self_driving_env() -> EnvironmentContext {
+    lateral_env("self-driving", 1.0, 5.0, 1.0, 0.5, 2.0, 2.0)
+}
+
+/// The Table 1 Self-Driving benchmark: keep the car from veering into the
+/// canals found on either side of the road.
+pub fn self_driving() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "self-driving",
+        "single-car navigation; steering keeps the car away from canals on either side of the road",
+        2,
+        vec![300, 200],
+        self_driving_env(),
+    )
+}
+
+/// Table 3 environment change: an obstacle occupying the right half of the
+/// road (lateral offsets between 1.2 m and 2 m) must additionally be avoided.
+pub fn self_driving_with_obstacle() -> BenchmarkSpec {
+    let base = self_driving_env();
+    let obstacle = BoxRegion::new(
+        vec![1.2, -2.0, -1.0, -2.0],
+        vec![2.0, 2.0, 1.0, 2.0],
+    );
+    let safety = SafetySpec::inside(base.safety().safe_box().clone()).with_obstacle(obstacle);
+    BenchmarkSpec::new(
+        "self-driving-obstacle",
+        "Table 3 variant: self-driving with an added obstacle that must be avoided",
+        2,
+        vec![1200, 900],
+        base.with_safety(safety).with_name("self-driving-obstacle"),
+    )
+}
+
+/// Builds the Lane Keeping environment (curved road modeled as disturbance).
+pub fn lane_keeping_env() -> EnvironmentContext {
+    lateral_env("lane-keeping", 1.2, 6.0, 1.0, 0.8, 1.5, 1.5)
+        .with_disturbance(Disturbance::symmetric(&[0.0, 0.05, 0.0, 0.05]))
+}
+
+/// The Table 1 Lane Keeping benchmark: keep the vehicle centred between lane
+/// markers on a possibly curved road (curvature enters as a disturbance).
+pub fn lane_keeping() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "lane-keeping",
+        "lane keeping on a curved road; curvature is a bounded disturbance on the lateral dynamics",
+        2,
+        vec![240, 200],
+        lane_keeping_env(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    fn steering_gain() -> LinearPolicy {
+        LinearPolicy::new(vec![vec![-2.0, -2.5, -3.0, -1.5]])
+    }
+
+    #[test]
+    fn both_benchmarks_have_four_states() {
+        assert_eq!(self_driving().env().state_dim(), 4);
+        assert_eq!(lane_keeping().env().state_dim(), 4);
+        assert!(self_driving().env().disturbance().is_zero());
+        assert!(!lane_keeping().env().disturbance().is_zero());
+    }
+
+    #[test]
+    fn steering_gain_keeps_the_car_on_the_road() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        for env in [self_driving_env(), lane_keeping_env()] {
+            for _ in 0..5 {
+                let s0 = env.sample_initial(&mut rng);
+                let t = env.rollout(&steering_gain(), &s0, 3000, &mut rng);
+                assert!(!t.violates(env.safety()), "{} left the road from {s0:?}", env.name());
+                assert!(t.final_state().unwrap()[0].abs() < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn without_steering_the_heading_error_persists() {
+        let env = self_driving_env();
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(62);
+        let t = env.rollout(&zero, &[0.5, 0.0, 0.2, 0.0], 3000, &mut rng);
+        // A constant heading error integrates into lateral drift off the road.
+        assert!(t.violates(env.safety()));
+    }
+
+    #[test]
+    fn obstacle_variant_marks_the_blocked_lane_unsafe() {
+        let spec = self_driving_with_obstacle();
+        let env = spec.env();
+        assert!(env.is_unsafe(&[1.5, 0.0, 0.0, 0.0]), "states inside the obstacle are unsafe");
+        assert!(!env.is_unsafe(&[0.5, 0.0, 0.0, 0.0]));
+        assert!(!self_driving_env().is_unsafe(&[1.5, 0.0, 0.0, 0.0]));
+        assert_eq!(env.safety().obstacles().len(), 1);
+    }
+}

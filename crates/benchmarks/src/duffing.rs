@@ -1,0 +1,106 @@
+//! The Duffing oscillator of Example 4.3, used to illustrate the CEGIS loop
+//! (Fig. 6).
+//!
+//! ```text
+//! ẋ = y
+//! ẏ = −0.6·y − x − x³ + a
+//! ```
+//!
+//! The control objective is to regulate the state to the origin from
+//! `S0 = [−2.5, 2.5] × [−2, 2]` while avoiding
+//! `Su = { (x, y) | ¬(−5 ≤ x ≤ 5 ∧ −5 ≤ y ≤ 5) }`.
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl_poly::Polynomial;
+
+/// Builds the Duffing oscillator environment exactly as specified in
+/// Example 4.3 of the paper.
+pub fn duffing_env() -> EnvironmentContext {
+    // Variables: x0 = x, x1 = y, x2 = a.
+    let x = Polynomial::variable(0, 3);
+    let y = Polynomial::variable(1, 3);
+    let a = Polynomial::variable(2, 3);
+    let ydot = &(&(&y.scaled(-0.6) - &x) - &x.pow(3)) + &a;
+    let dynamics = PolyDynamics::new(2, 1, vec![y.clone(), ydot]).expect("duffing dynamics are well formed");
+    EnvironmentContext::new(
+        "duffing",
+        dynamics,
+        0.01,
+        BoxRegion::new(vec![-2.5, -2.0], vec![2.5, 2.0]),
+        SafetySpec::inside(BoxRegion::symmetric(&[5.0, 5.0])),
+    )
+    .with_action_bounds(vec![-25.0], vec![25.0])
+    .with_variable_names(&["x", "y"])
+    .with_steady(|s: &[f64]| s.iter().all(|v| v.abs() <= 0.05))
+}
+
+/// The Duffing oscillator benchmark (Example 4.3 / Fig. 6).
+pub fn duffing() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "duffing",
+        "Duffing oscillator of Example 4.3; regulate to the origin while staying inside the ±5 box",
+        4,
+        vec![240, 200],
+        duffing_env(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    #[test]
+    fn dynamics_match_example_4_3() {
+        let env = duffing_env();
+        let d = env.dynamics().derivative(&[1.5, -0.5], &[0.25]);
+        assert!((d[0] - (-0.5)).abs() < 1e-12);
+        let expected = -0.6 * (-0.5) - 1.5 - 1.5f64.powi(3) + 0.25;
+        assert!((d[1] - expected).abs() < 1e-12);
+        assert_eq!(env.dynamics().degree(), 3);
+        assert!(!env.dynamics().is_affine());
+    }
+
+    #[test]
+    fn regions_match_example_4_3() {
+        let env = duffing_env();
+        assert_eq!(env.init().lows(), &[-2.5, -2.0]);
+        assert_eq!(env.init().highs(), &[2.5, 2.0]);
+        assert!(env.is_unsafe(&[5.5, 0.0]));
+        assert!(!env.is_unsafe(&[4.9, -4.9]));
+        assert_eq!(duffing().invariant_degree(), 4);
+    }
+
+    #[test]
+    fn paper_policies_from_fig6_are_safe_on_their_regions() {
+        // Example 4.3 synthesizes P1 = 0.39x − 1.41y (covering a sub-region)
+        // and P2 = 0.88x − 2.34y.  Rolling either out from the initial state
+        // the paper samples for it should stay within the ±5 safe box.
+        let env = duffing_env();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let p1 = LinearPolicy::new(vec![vec![0.39, -1.41]]);
+        let t1 = env.rollout(&p1, &[-0.46, -0.36], 4000, &mut rng);
+        assert!(!t1.violates(env.safety()));
+        let p2 = LinearPolicy::new(vec![vec![0.88, -2.34]]);
+        let t2 = env.rollout(&p2, &[2.249, 2.0], 4000, &mut rng);
+        assert!(!t2.violates(env.safety()));
+    }
+
+    #[test]
+    fn uncontrolled_duffing_remains_bounded_but_not_at_origin() {
+        // With no control the Duffing oscillator is dissipative: it stays in
+        // the safe box but settles at a nonzero equilibrium of x + x³ = 0
+        // (the origin) — from large initial conditions it still converges,
+        // so this test just documents boundedness.
+        let env = duffing_env();
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let t = env.rollout(&zero, &[2.5, 2.0], 5000, &mut rng);
+        assert!(!t.violates(env.safety()));
+        assert!(t.final_state().unwrap().iter().all(|x| x.is_finite()));
+    }
+}

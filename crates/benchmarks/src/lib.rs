@@ -1,0 +1,76 @@
+//! Benchmark environments for the verifiable-RL framework: every control
+//! system evaluated in the paper's Table 1, the Duffing oscillator of
+//! Example 4.3, and the modified environments of Table 3.
+//!
+//! Each benchmark module exposes a `*_env()` constructor returning a fully
+//! configured [`vrl_dynamics::EnvironmentContext`] and a registry entry
+//! ([`BenchmarkSpec`]) recording the pipeline settings (invariant degree,
+//! neural network size) used by the evaluation harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrl_benchmarks::{all_benchmarks, benchmark_by_name};
+//!
+//! assert_eq!(all_benchmarks().len(), 15);
+//! let pendulum = benchmark_by_name("pendulum").expect("pendulum is in Table 1");
+//! assert_eq!(pendulum.env().state_dim(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod biology;
+pub mod cartpole;
+pub mod datacenter;
+pub mod driving;
+pub mod duffing;
+pub mod linear;
+pub mod oscillator;
+pub mod pendulum;
+pub mod platoon;
+pub mod quadcopter;
+mod spec;
+
+pub use spec::{all_benchmarks, benchmark_by_name, BenchmarkSpec};
+
+/// The Table 3 environment-change benchmarks (trained-in-one-environment,
+/// deployed-in-another scenarios).
+pub fn environment_change_benchmarks() -> Vec<BenchmarkSpec> {
+    vec![
+        cartpole::cartpole_longer_pole(),
+        pendulum::pendulum_heavier(),
+        pendulum::pendulum_longer(),
+        driving::self_driving_with_obstacle(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_change_registry_matches_table3() {
+        let variants = environment_change_benchmarks();
+        assert_eq!(variants.len(), 4, "Table 3 lists four environment changes");
+        let names: Vec<&str> = variants.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cartpole-longer-pole",
+                "pendulum-heavier",
+                "pendulum-longer",
+                "self-driving-obstacle",
+            ]
+        );
+        for v in &variants {
+            assert_eq!(v.hidden_layers(), &[1200, 900], "Table 3 uses larger networks");
+        }
+    }
+
+    #[test]
+    fn duffing_is_available_for_fig6() {
+        let d = duffing::duffing();
+        assert_eq!(d.env().state_dim(), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! The five linear time-invariant benchmarks adapted from Fan et al. (CAV'18)
+//! used at the top of Table 1: Satellite, DCMotor, Tape, Magnetic Pointer and
+//! Suspension.
+//!
+//! The paper only names these systems and states that "the safety property is
+//! that the reach set has to be within a safe rectangle"; we implement
+//! representative textbook LTI models of the named plants with matching state
+//! dimensions (see the substitution table in `DESIGN.md`).
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::Dynamics;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+
+/// Builds an LTI environment `ṡ = A s + B a` with a symmetric initial box,
+/// symmetric safe rectangle, and symmetric action saturation.
+pub(crate) fn lti_env(
+    name: &'static str,
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    init: &[f64],
+    safe: &[f64],
+    action_bound: f64,
+    dt: f64,
+) -> EnvironmentContext {
+    let dynamics = PolyDynamics::linear(a, b, None);
+    let m = dynamics.action_dim();
+    EnvironmentContext::new(
+        name,
+        dynamics,
+        dt,
+        BoxRegion::symmetric(init),
+        SafetySpec::inside(BoxRegion::symmetric(safe)),
+    )
+    .with_action_bounds(vec![-action_bound; m], vec![action_bound; m])
+}
+
+/// Satellite attitude control (2 state variables, 1 control input).
+///
+/// States: pointing-angle error and angular rate; the control torque must
+/// keep both within the safe rectangle.
+pub fn satellite() -> BenchmarkSpec {
+    let a = vec![vec![0.0, 1.0], vec![0.2, 0.0]];
+    let b = vec![vec![0.0], vec![1.0]];
+    let env = lti_env("satellite", &a, &b, &[0.5, 0.5], &[2.0, 2.0], 10.0, 0.01)
+        .with_variable_names(&["theta", "omega"]);
+    BenchmarkSpec::new(
+        "satellite",
+        "satellite attitude regulation; keep pointing error and rate inside a safe rectangle",
+        2,
+        vec![240, 200],
+        env,
+    )
+}
+
+/// DC motor speed control (3 state variables, 1 control input).
+///
+/// States: shaft angle error, shaft speed and armature current; the applied
+/// voltage must keep the reach set inside a safe rectangle.
+pub fn dcmotor() -> BenchmarkSpec {
+    let a = vec![
+        vec![0.0, 1.0, 0.0],
+        vec![0.0, -1.0, 2.0],
+        vec![0.0, -0.5, -4.0],
+    ];
+    let b = vec![vec![0.0], vec![0.0], vec![4.0]];
+    let env = lti_env(
+        "dcmotor",
+        &a,
+        &b,
+        &[0.3, 0.3, 0.3],
+        &[1.5, 1.5, 1.5],
+        10.0,
+        0.01,
+    )
+    .with_variable_names(&["theta", "omega", "current"]);
+    BenchmarkSpec::new(
+        "dcmotor",
+        "DC motor servo; voltage control keeps angle, speed and current inside a safe rectangle",
+        2,
+        vec![240, 200],
+        env,
+    )
+}
+
+/// Magnetic tape drive servo (3 state variables, 1 control input).
+///
+/// States: tape position error, tape velocity and tension; the reel torque
+/// keeps tension and position bounded.
+pub fn tape() -> BenchmarkSpec {
+    let a = vec![
+        vec![0.0, 1.0, 0.0],
+        vec![-1.0, -1.5, 0.5],
+        vec![0.0, -0.4, -2.0],
+    ];
+    let b = vec![vec![0.0], vec![0.0], vec![2.0]];
+    let env = lti_env(
+        "tape",
+        &a,
+        &b,
+        &[0.3, 0.3, 0.3],
+        &[1.2, 1.2, 1.2],
+        8.0,
+        0.01,
+    )
+    .with_variable_names(&["pos", "vel", "tension"]);
+    BenchmarkSpec::new(
+        "tape",
+        "magnetic tape drive servo; reel torque keeps position, velocity and tension bounded",
+        2,
+        vec![240, 200],
+        env,
+    )
+}
+
+/// Magnetic pointer positioning (3 state variables, 1 control input).
+///
+/// States: pointer deflection, deflection rate, and coil flux; the coil
+/// voltage regulates the pointer back to zero deflection.
+pub fn magnetic_pointer() -> BenchmarkSpec {
+    let a = vec![
+        vec![0.0, 1.0, 0.0],
+        vec![-0.5, -0.3, 1.0],
+        vec![0.0, 0.0, -3.0],
+    ];
+    let b = vec![vec![0.0], vec![0.0], vec![3.0]];
+    let env = lti_env(
+        "magnetic-pointer",
+        &a,
+        &b,
+        &[0.3, 0.3, 0.3],
+        &[1.5, 1.5, 1.5],
+        8.0,
+        0.01,
+    )
+    .with_variable_names(&["deflection", "rate", "flux"]);
+    BenchmarkSpec::new(
+        "magnetic-pointer",
+        "magnetic pointer; coil voltage regulates deflection inside a safe rectangle",
+        2,
+        vec![240, 200],
+        env,
+    )
+}
+
+/// Quarter-car active suspension (4 state variables, 1 control input).
+///
+/// States: sprung-mass displacement and velocity, unsprung-mass displacement
+/// and velocity; the actuator force keeps displacements inside a comfort box.
+pub fn suspension() -> BenchmarkSpec {
+    let a = vec![
+        vec![0.0, 1.0, 0.0, 0.0],
+        vec![-1.0, -0.8, 0.5, 0.2],
+        vec![0.0, 0.0, 0.0, 1.0],
+        vec![0.5, 0.2, -2.0, -1.0],
+    ];
+    let b = vec![vec![0.0], vec![1.0], vec![0.0], vec![-1.0]];
+    let env = lti_env(
+        "suspension",
+        &a,
+        &b,
+        &[0.2, 0.2, 0.2, 0.2],
+        &[1.0, 1.0, 1.0, 1.0],
+        8.0,
+        0.01,
+    )
+    .with_variable_names(&["zs", "vzs", "zu", "vzu"]);
+    BenchmarkSpec::new(
+        "suspension",
+        "quarter-car active suspension; actuator force keeps body and wheel travel bounded",
+        2,
+        vec![240, 200],
+        env,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::{LinearPolicy, Policy};
+
+    fn stabilizing_gain(spec: &BenchmarkSpec) -> LinearPolicy {
+        // A crude proportional-derivative style gain: a = -k·s summed per
+        // action dimension, good enough for these mildly unstable plants.
+        let env = spec.env();
+        let n = env.state_dim();
+        let m = env.action_dim();
+        LinearPolicy::new(vec![vec![-1.5; n]; m])
+    }
+
+    #[test]
+    fn all_lti_benchmarks_are_affine() {
+        for spec in [satellite(), dcmotor(), tape(), magnetic_pointer(), suspension()] {
+            assert!(spec.env().dynamics().is_affine(), "{} must be LTI", spec.name());
+            let (a, b, c) = spec.env().dynamics().affine_parts().unwrap();
+            assert_eq!(a.len(), spec.env().state_dim());
+            assert_eq!(b[0].len(), spec.env().action_dim());
+            assert!(c.iter().all(|x| *x == 0.0));
+        }
+    }
+
+    #[test]
+    fn dimensions_match_table1() {
+        assert_eq!(satellite().env().state_dim(), 2);
+        assert_eq!(dcmotor().env().state_dim(), 3);
+        assert_eq!(tape().env().state_dim(), 3);
+        assert_eq!(magnetic_pointer().env().state_dim(), 3);
+        assert_eq!(suspension().env().state_dim(), 4);
+    }
+
+    #[test]
+    fn feedback_keeps_satellite_safe_and_open_loop_matters() {
+        let spec = satellite();
+        let env = spec.env();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let gain = LinearPolicy::new(vec![vec![-2.0, -2.0]]);
+        for _ in 0..5 {
+            let s0 = env.sample_initial(&mut rng);
+            let t = env.rollout(&gain, &s0, 2000, &mut rng);
+            assert!(!t.violates(env.safety()), "feedback-controlled satellite left the safe box");
+        }
+        // Without control the plant drifts: the uncontrolled vector field is
+        // unstable (positive coupling), so some trajectory grows.
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let t = env.rollout(&zero, &[0.5, 0.5], 5000, &mut rng);
+        let last = t.final_state().unwrap();
+        assert!(last[0].abs() > 0.5 || t.violates(env.safety()));
+    }
+
+    #[test]
+    fn simple_feedback_is_reasonable_on_every_lti_plant() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for spec in [satellite(), dcmotor(), tape(), magnetic_pointer(), suspension()] {
+            let env = spec.env();
+            let gain = stabilizing_gain(&spec);
+            let s0 = env.sample_initial(&mut rng);
+            let t = env.rollout(&gain, &s0, 1000, &mut rng);
+            let last = t.final_state().unwrap();
+            assert!(
+                last.iter().all(|x| x.is_finite()),
+                "{} diverged under simple feedback",
+                spec.name()
+            );
+            assert_eq!(gain.action(&s0).len(), env.action_dim());
+        }
+    }
+}

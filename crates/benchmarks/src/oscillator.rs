@@ -1,0 +1,152 @@
+//! Oscillator benchmark (18 state variables): a two-dimensional oscillator
+//! whose displacement drives a 16th-order low-pass filter chain; the filter's
+//! single output signal must stay below a safe threshold (Sec. 5).
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+
+/// Number of filter stages appended to the two oscillator states.
+pub const FILTER_ORDER: usize = 16;
+
+/// Builds the oscillator-plus-filter environment.
+///
+/// States `s = [x1, x2, f1, …, f16]`: oscillator displacement and velocity
+/// followed by the 16 filter stages; action `a` is the force applied to the
+/// oscillator:
+///
+/// ```text
+/// ẋ1 = x2
+/// ẋ2 = −x1 − 0.1·x2 + a
+/// ḟ1 = κ·(x1 − f1)
+/// ḟi = κ·(f_{i−1} − f_i)      for i = 2…16
+/// ```
+///
+/// The safety property bounds the filter output `f16` by ±0.9 while the
+/// remaining states are only loosely bounded — mirroring the paper, where the
+/// neural controller oscillates close to the output threshold and triggers
+/// many shield interventions.
+pub fn oscillator_env() -> EnvironmentContext {
+    let n = 2 + FILTER_ORDER;
+    let kappa = 5.0;
+    let mut a = vec![vec![0.0; n]; n];
+    a[0][1] = 1.0;
+    a[1][0] = -1.0;
+    a[1][1] = -0.1;
+    a[2][0] = kappa;
+    a[2][2] = -kappa;
+    for i in 3..n {
+        a[i][i - 1] = kappa;
+        a[i][i] = -kappa;
+    }
+    let mut b = vec![vec![0.0]; n];
+    b[1][0] = 1.0;
+    let dynamics = PolyDynamics::linear(&a, &b, None);
+    let mut init = vec![0.1; n];
+    init[0] = 1.0;
+    init[1] = 1.0;
+    let mut safe = vec![3.0; n];
+    safe[n - 1] = 0.9; // the filter output threshold
+    let names: Vec<String> = std::iter::once("x1".to_string())
+        .chain(std::iter::once("x2".to_string()))
+        .chain((1..=FILTER_ORDER).map(|i| format!("f{i}")))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    EnvironmentContext::new(
+        "oscillator",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&init),
+        SafetySpec::inside(BoxRegion::symmetric(&safe)),
+    )
+    .with_action_bounds(vec![-10.0], vec![10.0])
+    .with_variable_names(&name_refs)
+    .with_steady(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.1))
+}
+
+/// The Table 1 oscillator benchmark.
+pub fn oscillator() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "oscillator",
+        "2-D oscillator driving a 16th-order filter; the filter output must stay below a threshold",
+        2,
+        vec![240, 200],
+        oscillator_env(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    fn damping_gain() -> LinearPolicy {
+        let mut g = vec![0.0; 2 + FILTER_ORDER];
+        g[0] = -1.0;
+        g[1] = -1.5;
+        LinearPolicy::new(vec![g])
+    }
+
+    #[test]
+    fn dimension_matches_table1() {
+        let spec = oscillator();
+        assert_eq!(spec.env().state_dim(), 18);
+        assert_eq!(spec.env().action_dim(), 1);
+        assert!(spec.env().dynamics().is_affine());
+    }
+
+    #[test]
+    fn filter_output_threshold_defines_safety() {
+        let env = oscillator_env();
+        let mut near_limit = vec![0.0; 18];
+        near_limit[17] = 1.0;
+        assert!(env.is_unsafe(&near_limit));
+        near_limit[17] = 0.85;
+        assert!(!env.is_unsafe(&near_limit));
+    }
+
+    #[test]
+    fn damping_control_keeps_the_output_below_threshold() {
+        let env = oscillator_env();
+        let mut rng = SmallRng::seed_from_u64(81);
+        let mut s0 = vec![0.1; 18];
+        s0[0] = 1.0;
+        s0[1] = 1.0;
+        let t = env.rollout(&damping_gain(), &s0, 4000, &mut rng);
+        assert!(!t.violates(env.safety()), "damped oscillator stays below the output threshold");
+    }
+
+    #[test]
+    fn undamped_oscillation_eventually_crosses_the_threshold() {
+        let env = oscillator_env();
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(82);
+        let mut s0 = vec![0.1; 18];
+        s0[0] = 1.0;
+        s0[1] = 1.0;
+        let t = env.rollout(&zero, &s0, 5000, &mut rng);
+        assert!(
+            t.violates(env.safety()),
+            "the lightly damped oscillator drives the filter output past the threshold"
+        );
+    }
+
+    #[test]
+    fn filter_tracks_a_constant_oscillator_displacement() {
+        let env = oscillator_env();
+        // Freeze the oscillator at x1 = 0.5 and check the filter chain relaxes
+        // towards 0.5 stage by stage.
+        let dynamics = env.dynamics();
+        let mut s: Vec<f64> = vec![0.0; 18];
+        s[0] = 0.5;
+        for _ in 0..5000 {
+            let d = dynamics.derivative(&s, &[0.0]);
+            for i in 2..18 {
+                s[i] += 0.01 * d[i];
+            }
+        }
+        assert!((s[17] - 0.5).abs() < 1e-3, "filter output should settle at the input value");
+    }
+}

@@ -1,0 +1,183 @@
+//! The inverted pendulum, the paper's running example (Fig. 1) and case study.
+//!
+//! State `s = [η, ω]` where `η` is the pendulum angle (radians) and `ω` its
+//! angular velocity.  A continuous torque `a` keeps the pendulum upright:
+//!
+//! ```text
+//! η̇ = ω
+//! ω̇ = (g/l)·(η − η³/6) + a/(m·l²)
+//! ```
+//!
+//! The sine of the gravity torque is replaced by its cubic Taylor expansion,
+//! exactly as the paper does ("approximate non-polynomial expressions with
+//! their Taylor expansions", Fig. 1 footnote).
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl_poly::Polynomial;
+
+const GRAVITY: f64 = 9.8;
+
+/// Degrees-to-radians helper used throughout the pendulum specifications.
+pub fn degrees(d: f64) -> f64 {
+    d * std::f64::consts::PI / 180.0
+}
+
+/// Builds the pendulum environment for a given mass (kg), length (m) and
+/// symmetric safety bounds (radians) on angle and angular velocity.
+pub fn pendulum_env(mass: f64, length: f64, eta_bound: f64, omega_bound: f64) -> EnvironmentContext {
+    assert!(mass > 0.0 && length > 0.0, "mass and length must be positive");
+    // Variables: x0 = η, x1 = ω, x2 = a.
+    let eta = Polynomial::variable(0, 3);
+    let omega = Polynomial::variable(1, 3);
+    let torque = Polynomial::variable(2, 3);
+    let g_over_l = GRAVITY / length;
+    let inertia = mass * length * length;
+    // ω̇ = (g/l)(η - η³/6) + a/(m l²)
+    let omega_dot = &(&eta.scaled(g_over_l) - &eta.pow(3).scaled(g_over_l / 6.0))
+        + &torque.scaled(1.0 / inertia);
+    let dynamics = PolyDynamics::new(2, 1, vec![omega, omega_dot]).expect("pendulum dynamics are well formed");
+    EnvironmentContext::new(
+        "pendulum",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[degrees(20.0), degrees(20.0)]),
+        SafetySpec::inside(BoxRegion::symmetric(&[eta_bound, omega_bound])),
+    )
+    .with_action_bounds(vec![-30.0], vec![30.0])
+    .with_variable_names(&["eta", "omega"])
+    .with_steady(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05))
+}
+
+/// The Table 1 / Sec. 5 case-study pendulum: the system is unsafe when the
+/// angle exceeds 23° (angular velocity is bounded by the original 90°).
+pub fn pendulum() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "pendulum",
+        "inverted pendulum; keep the angle within 23 degrees of upright (Sec. 5 case study)",
+        4,
+        vec![240, 200],
+        pendulum_env(1.0, 1.0, degrees(23.0), degrees(90.0)).with_name("pendulum"),
+    )
+}
+
+/// The original Sec. 2 specification: both angle and angular velocity must
+/// stay within 90° (Fig. 3a).
+pub fn pendulum_original() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "pendulum-original",
+        "inverted pendulum with the original 90-degree safety bounds of Fig. 1",
+        4,
+        vec![240, 200],
+        pendulum_env(1.0, 1.0, degrees(90.0), degrees(90.0)).with_name("pendulum-original"),
+    )
+}
+
+/// The Segway-style restricted environment of Sec. 2.2 / Fig. 3b: both angle
+/// and angular velocity must stay within 30°.
+pub fn pendulum_restricted() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "pendulum-restricted",
+        "inverted pendulum restricted to 30 degrees (Segway-style deployment of Sec. 2.2)",
+        4,
+        vec![240, 200],
+        pendulum_env(1.0, 1.0, degrees(30.0), degrees(30.0)).with_name("pendulum-restricted"),
+    )
+}
+
+/// Table 3 environment change: pendulum mass increased by 0.3 kg.
+pub fn pendulum_heavier() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "pendulum-heavier",
+        "Table 3 variant: pendulum mass increased by 0.3 kg",
+        4,
+        vec![1200, 900],
+        pendulum_env(1.3, 1.0, degrees(23.0), degrees(90.0)).with_name("pendulum-heavier"),
+    )
+}
+
+/// Table 3 environment change: pendulum length increased by 0.15 m.
+pub fn pendulum_longer() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "pendulum-longer",
+        "Table 3 variant: pendulum length increased by 0.15 m",
+        4,
+        vec![1200, 900],
+        pendulum_env(1.0, 1.15, degrees(23.0), degrees(90.0)).with_name("pendulum-longer"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    #[test]
+    fn dynamics_match_the_physics() {
+        let env = pendulum_env(1.0, 1.0, degrees(90.0), degrees(90.0));
+        let d = env.dynamics().derivative(&[0.1, -0.2], &[0.5]);
+        assert!((d[0] - (-0.2)).abs() < 1e-12);
+        let expected = 9.8 * (0.1 - 0.1f64.powi(3) / 6.0) + 0.5;
+        assert!((d[1] - expected).abs() < 1e-12);
+        // Heavier pendulum: torque is less effective, gravity term unchanged.
+        let heavy = pendulum_env(1.3, 1.0, degrees(90.0), degrees(90.0));
+        let dh = heavy.dynamics().derivative(&[0.1, -0.2], &[0.5]);
+        assert!(dh[1] < d[1]);
+        // Longer pendulum: both gravity and torque terms shrink.
+        let long = pendulum_env(1.0, 1.15, degrees(90.0), degrees(90.0));
+        let dl = long.dynamics().derivative(&[0.1, 0.0], &[0.0]);
+        assert!(dl[1] < d[1]);
+    }
+
+    #[test]
+    fn specification_matches_the_paper() {
+        let spec = pendulum();
+        let env = spec.env();
+        assert_eq!(env.state_dim(), 2);
+        assert_eq!(env.action_dim(), 1);
+        assert!((env.init().highs()[0] - degrees(20.0)).abs() < 1e-12);
+        assert!((env.safety().safe_box().highs()[0] - degrees(23.0)).abs() < 1e-12);
+        assert!(env.is_unsafe(&[degrees(25.0), 0.0]));
+        assert!(!env.is_unsafe(&[degrees(20.0), 0.0]));
+        assert_eq!(spec.invariant_degree(), 4);
+        let original = pendulum_original();
+        assert!((original.env().safety().safe_box().highs()[1] - degrees(90.0)).abs() < 1e-12);
+        let restricted = pendulum_restricted();
+        assert!(restricted.env().is_unsafe(&[degrees(35.0), 0.0]));
+    }
+
+    #[test]
+    fn paper_synthesized_gains_stabilize_the_pendulum() {
+        // The paper's running example synthesizes P(η, ω) = -12.05η - 5.87ω;
+        // that program should keep the original pendulum upright from S0.
+        let env = pendulum_original().into_env();
+        let program = LinearPolicy::new(vec![vec![-12.05, -5.87]]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let s0 = env.sample_initial(&mut rng);
+            let t = env.rollout(&program, &s0, 3000, &mut rng);
+            assert!(!t.violates(env.safety()), "paper gains should be safe from {s0:?}");
+            let last = t.final_state().unwrap();
+            assert!(last[0].abs() < 0.05, "pendulum should settle near upright");
+        }
+    }
+
+    #[test]
+    fn uncontrolled_pendulum_falls() {
+        let env = pendulum_original().into_env();
+        let zero = vrl_dynamics::ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = env.rollout(&zero, &[degrees(20.0), degrees(20.0)], 5000, &mut rng);
+        assert!(t.violates(env.safety()), "an uncontrolled inverted pendulum must fall");
+    }
+
+    #[test]
+    fn table3_variants_use_larger_networks() {
+        assert_eq!(pendulum_heavier().hidden_layers(), &[1200, 900]);
+        assert_eq!(pendulum_longer().hidden_layers(), &[1200, 900]);
+        assert_eq!(degrees(180.0), std::f64::consts::PI);
+    }
+}

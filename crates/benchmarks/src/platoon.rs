@@ -1,0 +1,141 @@
+//! Vehicle platoon benchmarks: `n` vehicles forming a platoon and maintaining
+//! a safe relative distance to one another (Schürmann & Althoff, ACC'17, as
+//! cited by the paper).  Table 1 evaluates `n = 4` (8 state variables) and
+//! `n = 8` (16 state variables).
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+
+/// Builds an `n`-car platoon environment.
+///
+/// Each follower `i` contributes two states: its spacing error `e_i` to the
+/// preceding vehicle and the relative velocity `v_i`; its control input is
+/// its own acceleration command `a_i`, which also perturbs the follower
+/// behind it:
+///
+/// ```text
+/// ė_i = v_i
+/// v̇_i = a_i − a_{i−1}        (a_0 = 0 is the platoon leader)
+/// ```
+///
+/// Safety requires every spacing error to stay within ±1 m of the nominal
+/// gap (so vehicles neither collide nor fall behind) and relative velocities
+/// to stay bounded.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn platoon_env(n: usize) -> EnvironmentContext {
+    assert!(n > 0, "a platoon needs at least one follower");
+    let dim = 2 * n;
+    let mut a = vec![vec![0.0; dim]; dim];
+    let mut b = vec![vec![0.0; n]; dim];
+    for i in 0..n {
+        a[2 * i][2 * i + 1] = 1.0;
+        b[2 * i + 1][i] = 1.0;
+        if i > 0 {
+            b[2 * i + 1][i - 1] = -1.0;
+        }
+    }
+    let dynamics = PolyDynamics::linear(&a, &b, None);
+    let mut safe = Vec::with_capacity(dim);
+    for _ in 0..n {
+        safe.push(1.0); // spacing error bound
+        safe.push(2.0); // relative velocity bound
+    }
+    let names: Vec<String> = (0..n)
+        .flat_map(|i| vec![format!("e{}", i + 1), format!("v{}", i + 1)])
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    EnvironmentContext::new(
+        format!("car-platoon-{n}"),
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&vec![0.3; dim]),
+        SafetySpec::inside(BoxRegion::symmetric(&safe)),
+    )
+    .with_action_bounds(vec![-5.0; n], vec![5.0; n])
+    .with_variable_names(&name_refs)
+    .with_steady(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05))
+}
+
+/// The Table 1 4-car platoon benchmark (8 state variables, 4 control inputs).
+pub fn car_platoon_4() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "car-platoon-4",
+        "4-vehicle platoon; every follower keeps a safe relative distance to its predecessor",
+        2,
+        vec![500, 400, 300],
+        platoon_env(4).with_name("car-platoon-4"),
+    )
+}
+
+/// The Table 1 8-car platoon benchmark (16 state variables, 8 control inputs).
+pub fn car_platoon_8() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "car-platoon-8",
+        "8-vehicle platoon; every follower keeps a safe relative distance to its predecessor",
+        2,
+        vec![500, 400, 300],
+        platoon_env(8).with_name("car-platoon-8"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::Dynamics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    fn per_car_pd(n: usize) -> LinearPolicy {
+        // Each car damps its own spacing error: a_i = −2·e_i − 2.5·v_i.
+        let mut gains = vec![vec![0.0; 2 * n]; n];
+        for (i, row) in gains.iter_mut().enumerate() {
+            row[2 * i] = -2.0;
+            row[2 * i + 1] = -2.5;
+        }
+        LinearPolicy::new(gains)
+    }
+
+    #[test]
+    fn dimensions_match_table1() {
+        assert_eq!(car_platoon_4().env().state_dim(), 8);
+        assert_eq!(car_platoon_4().env().action_dim(), 4);
+        assert_eq!(car_platoon_8().env().state_dim(), 16);
+        assert_eq!(car_platoon_8().env().action_dim(), 8);
+    }
+
+    #[test]
+    fn predecessor_acceleration_perturbs_the_follower() {
+        let env = platoon_env(2);
+        // Only car 1 accelerates: car 2's relative velocity decreases.
+        let d = env.dynamics().derivative(&[0.0; 4], &[1.0, 0.0]);
+        assert_eq!(d, vec![0.0, 1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn per_car_feedback_maintains_spacing_in_both_platoons() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        for n in [4usize, 8] {
+            let env = platoon_env(n);
+            let policy = per_car_pd(n);
+            let s0 = vec![0.3; 2 * n];
+            let t = env.rollout(&policy, &s0, 3000, &mut rng);
+            assert!(!t.violates(env.safety()), "platoon of {n} cars violated spacing");
+            assert!(t.final_state().unwrap().iter().all(|x| x.abs() < 0.05));
+        }
+    }
+
+    #[test]
+    fn uncontrolled_platoon_drifts_apart() {
+        let env = platoon_env(4);
+        let zero = vrl_dynamics::ConstantPolicy::zeros(4);
+        let mut rng = SmallRng::seed_from_u64(72);
+        let t = env.rollout(&zero, &vec![0.3; 8], 3000, &mut rng);
+        // With nonzero relative velocity and no control the spacing errors
+        // grow linearly and leave the safe gap.
+        assert!(t.violates(env.safety()));
+    }
+}

@@ -1,0 +1,87 @@
+//! Quadcopter altitude-hold benchmark (2 state variables).
+//!
+//! The paper's Quadcopter environment "tests whether a controlled quadcopter
+//! can realize stable flight" with a 2-dimensional state.  We model the
+//! vertical axis: altitude error and vertical velocity, with the net thrust
+//! deviation as the control input.
+
+use crate::spec::BenchmarkSpec;
+use vrl_dynamics::{BoxRegion, Disturbance, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl_poly::Polynomial;
+
+/// Builds the quadcopter altitude-hold environment.
+///
+/// State `s = [h, v]`: altitude error (m) and vertical velocity (m/s);
+/// action `a`: normalized net thrust deviation.
+///
+/// ```text
+/// ḣ = v
+/// v̇ = −0.3·v + a        (small aerodynamic drag)
+/// ```
+pub fn quadcopter_env() -> EnvironmentContext {
+    let v = Polynomial::variable(1, 3);
+    let a = Polynomial::variable(2, 3);
+    let vdot = &v.scaled(-0.3) + &a;
+    let dynamics = PolyDynamics::new(2, 1, vec![v, vdot]).expect("quadcopter dynamics are well formed");
+    EnvironmentContext::new(
+        "quadcopter",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.4, 0.4]),
+        SafetySpec::inside(BoxRegion::symmetric(&[1.0, 1.5])),
+    )
+    .with_action_bounds(vec![-8.0], vec![8.0])
+    .with_disturbance(Disturbance::symmetric(&[0.0, 0.05]))
+    .with_variable_names(&["h", "v"])
+}
+
+/// The Table 1 quadcopter benchmark.
+pub fn quadcopter() -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        "quadcopter",
+        "quadcopter altitude hold under thrust disturbance; keep altitude error and climb rate bounded",
+        2,
+        vec![300, 200],
+        quadcopter_env(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::LinearPolicy;
+
+    #[test]
+    fn model_shape_matches_table1() {
+        let spec = quadcopter();
+        assert_eq!(spec.env().state_dim(), 2);
+        assert_eq!(spec.env().action_dim(), 1);
+        assert_eq!(spec.hidden_layers(), &[300, 200]);
+        assert!(spec.env().dynamics().is_affine());
+        assert!(!spec.env().disturbance().is_zero());
+    }
+
+    #[test]
+    fn pd_feedback_holds_altitude() {
+        let env = quadcopter_env();
+        let pd = LinearPolicy::new(vec![vec![-3.0, -2.5]]);
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let s0 = env.sample_initial(&mut rng);
+            let t = env.rollout(&pd, &s0, 3000, &mut rng);
+            assert!(!t.violates(env.safety()));
+            assert!(t.final_state().unwrap()[0].abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn aggressive_thrust_violates_safety() {
+        let env = quadcopter_env();
+        let bad = vrl_dynamics::ConstantPolicy::new(vec![8.0]);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let t = env.rollout(&bad, &[0.4, 0.4], 2000, &mut rng);
+        assert!(t.violates(env.safety()));
+    }
+}

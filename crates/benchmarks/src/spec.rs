@@ -1,0 +1,195 @@
+//! Benchmark registry: every control system evaluated in the paper.
+
+use vrl_dynamics::EnvironmentContext;
+
+/// A named benchmark: an environment context plus the pipeline settings the
+/// evaluation harness uses for it (invariant degree, neural network size).
+///
+/// The registry mirrors Table 1 of the paper; `Vars` in the table corresponds
+/// to [`EnvironmentContext::state_dim`].
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    name: &'static str,
+    description: &'static str,
+    invariant_degree: u32,
+    hidden_layers: Vec<usize>,
+    env: EnvironmentContext,
+}
+
+impl BenchmarkSpec {
+    /// Creates a benchmark specification.
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        invariant_degree: u32,
+        hidden_layers: Vec<usize>,
+        env: EnvironmentContext,
+    ) -> Self {
+        BenchmarkSpec {
+            name,
+            description,
+            invariant_degree,
+            hidden_layers,
+            env,
+        }
+    }
+
+    /// Benchmark name as used in Table 1 (lower-case, hyphenated).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the control task and its safety property.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Degree bound for the invariant sketch (Eq. 7) used by default.
+    pub fn invariant_degree(&self) -> u32 {
+        self.invariant_degree
+    }
+
+    /// Hidden-layer sizes of the neural controller (Table 1 "Size" column).
+    pub fn hidden_layers(&self) -> &[usize] {
+        &self.hidden_layers
+    }
+
+    /// The environment context.
+    pub fn env(&self) -> &EnvironmentContext {
+        &self.env
+    }
+
+    /// Consumes the spec and returns the environment context.
+    pub fn into_env(self) -> EnvironmentContext {
+        self.env
+    }
+}
+
+/// All Table 1 benchmarks in the order the paper lists them.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    vec![
+        crate::linear::satellite(),
+        crate::linear::dcmotor(),
+        crate::linear::tape(),
+        crate::linear::magnetic_pointer(),
+        crate::linear::suspension(),
+        crate::biology::biology(),
+        crate::datacenter::datacenter_cooling(),
+        crate::quadcopter::quadcopter(),
+        crate::pendulum::pendulum(),
+        crate::cartpole::cartpole(),
+        crate::driving::self_driving(),
+        crate::driving::lane_keeping(),
+        crate::platoon::car_platoon_4(),
+        crate::platoon::car_platoon_8(),
+        crate::oscillator::oscillator(),
+    ]
+}
+
+/// Looks up a benchmark by its Table 1 name (case-insensitive).
+pub fn benchmark_by_name(name: &str) -> Option<BenchmarkSpec> {
+    let needle = name.to_ascii_lowercase();
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 15, "Table 1 lists 15 benchmarks");
+        let names: Vec<&str> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "satellite",
+                "dcmotor",
+                "tape",
+                "magnetic-pointer",
+                "suspension",
+                "biology",
+                "datacenter-cooling",
+                "quadcopter",
+                "pendulum",
+                "cartpole",
+                "self-driving",
+                "lane-keeping",
+                "car-platoon-4",
+                "car-platoon-8",
+                "oscillator",
+            ]
+        );
+    }
+
+    #[test]
+    fn state_dimensions_match_vars_column() {
+        let expected = [
+            ("satellite", 2),
+            ("dcmotor", 3),
+            ("tape", 3),
+            ("magnetic-pointer", 3),
+            ("suspension", 4),
+            ("biology", 3),
+            ("datacenter-cooling", 3),
+            ("quadcopter", 2),
+            ("pendulum", 2),
+            ("cartpole", 4),
+            ("self-driving", 4),
+            ("lane-keeping", 4),
+            ("car-platoon-4", 8),
+            ("car-platoon-8", 16),
+            ("oscillator", 18),
+        ];
+        for (name, vars) in expected {
+            let b = benchmark_by_name(name).unwrap_or_else(|| panic!("missing benchmark {name}"));
+            assert_eq!(b.env().state_dim(), vars, "wrong Vars for {name}");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        assert!(benchmark_by_name("Pendulum").is_some());
+        assert!(benchmark_by_name("PENDULUM").is_some());
+        assert!(benchmark_by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_is_well_formed() {
+        for b in all_benchmarks() {
+            let env = b.env();
+            assert!(!b.description().is_empty(), "{} has no description", b.name());
+            assert!(b.invariant_degree() >= 2, "{} degree too small", b.name());
+            assert!(!b.hidden_layers().is_empty(), "{} has no hidden layers", b.name());
+            assert!(env.dt() > 0.0);
+            assert_eq!(env.init().dim(), env.state_dim());
+            assert_eq!(env.safety().dim(), env.state_dim());
+            // The initial region must be strictly inside the safe region, as
+            // the paper assumes (S0 disjoint from Su).
+            for corner in env.init().corners() {
+                assert!(
+                    env.safety().is_safe(&corner),
+                    "{}: initial corner {:?} is unsafe",
+                    b.name(),
+                    corner
+                );
+            }
+            // The origin (target of regulation) must be safe and steady.
+            let origin = vec![0.0; env.state_dim()];
+            assert!(env.safety().is_safe(&origin), "{}: origin unsafe", b.name());
+            assert!(env.is_steady(&origin), "{}: origin not steady", b.name());
+        }
+    }
+
+    #[test]
+    fn spec_accessors_round_trip() {
+        let b = benchmark_by_name("pendulum").unwrap();
+        assert_eq!(b.name(), "pendulum");
+        assert_eq!(b.env().name(), "pendulum");
+        let env = b.clone().into_env();
+        assert_eq!(env.state_dim(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! `vrl` — an inductive synthesis framework for verifiable reinforcement
+//! learning.
+//!
+//! This crate is the top-level facade of a full reproduction of
+//! *"An Inductive Synthesis Framework for Verifiable Reinforcement Learning"*
+//! (Zhu, Xiong, Magill, Jagannathan — PLDI 2019).  It re-exports every
+//! subsystem and provides the end-to-end [`pipeline`]:
+//!
+//! 1. train a neural control policy ([`rl`]),
+//! 2. synthesize a simple deterministic program imitating it ([`synth`],
+//!    Algorithm 1),
+//! 3. verify the program by inferring an inductive invariant over the
+//!    environment transition system ([`verify`], Sec. 4.2) inside a
+//!    counterexample-guided loop ([`shield`], Algorithm 2), and
+//! 4. deploy program + invariant as a runtime shield that overrides the
+//!    network only when it would leave the proven-safe region
+//!    (Algorithm 3).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vrl::pipeline::{run_pipeline, PipelineConfig};
+//! use vrl::benchmarks;
+//!
+//! // A deliberately tiny budget so the example runs in seconds; the
+//! // benchmark harness uses the full budgets of the paper.
+//! let env = benchmarks::quadcopter::quadcopter_env();
+//! let mut config = PipelineConfig::smoke_test().with_invariant_degree(2);
+//! config.evaluation_episodes = 2;
+//! config.evaluation_steps = 200;
+//! let outcome = run_pipeline(&env, &config).expect("quadcopter is shieldable");
+//! assert_eq!(outcome.evaluation.shielded_failures, 0);
+//! println!("{}", outcome.shield.to_program().pretty(&env.variable_names()));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod pipeline;
+
+pub use pipeline::{
+    resynthesize_shield_for, run_pipeline, run_pipeline_with_oracle, train_oracle, OracleTrainer,
+    PipelineConfig, PipelineError, PipelineOutcome,
+};
+
+/// Benchmark environments (re-export of [`vrl_benchmarks`]).
+pub use vrl_benchmarks as benchmarks;
+/// Environment substrate (re-export of [`vrl_dynamics`]).
+pub use vrl_dynamics as dynamics;
+/// Dense linear algebra (re-export of [`vrl_linalg`]).
+pub use vrl_linalg as linalg;
+/// Neural networks (re-export of [`vrl_nn`]).
+pub use vrl_nn as nn;
+/// Polynomial algebra (re-export of [`vrl_poly`]).
+pub use vrl_poly as poly;
+/// Reinforcement learning (re-export of [`vrl_rl`]).
+pub use vrl_rl as rl;
+/// Shield synthesis and runtime enforcement (re-export of [`vrl_shield`]).
+pub use vrl_shield as shield;
+/// Constraint solving (re-export of [`vrl_solver`]).
+pub use vrl_solver as solver;
+/// Program synthesis (re-export of [`vrl_synth`]).
+pub use vrl_synth as synth;
+/// Verification (re-export of [`vrl_verify`]).
+pub use vrl_verify as verify;

@@ -1,0 +1,274 @@
+//! The end-to-end toolchain of Fig. 2: train a neural oracle, synthesize and
+//! verify a deterministic program shield, and evaluate the shielded system.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::time::{Duration, Instant};
+use vrl_dynamics::{EnvironmentContext, Policy};
+use vrl_rl::{train_ars, train_ddpg, ArsConfig, DdpgConfig, NeuralPolicy};
+use vrl_shield::{
+    evaluate_shielded_system, synthesize_shield, CegisConfig, CegisError, CegisReport, Shield,
+    ShieldEvaluation,
+};
+
+/// How the neural oracle is trained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleTrainer {
+    /// Augmented Random Search (fast and robust on these benchmarks).
+    Ars(ArsConfig),
+    /// Deep Deterministic Policy Gradient (the paper's deep policy-gradient
+    /// trainer).
+    Ddpg(DdpgConfig),
+}
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Hidden-layer sizes of the neural oracle.
+    pub hidden_layers: Vec<usize>,
+    /// Oracle training algorithm and budget.
+    pub trainer: OracleTrainer,
+    /// Shield synthesis (Algorithm 1 + 2 + verification) settings.
+    pub cegis: CegisConfig,
+    /// Episodes used for the final evaluation.
+    pub evaluation_episodes: usize,
+    /// Steps per evaluation episode.
+    pub evaluation_steps: usize,
+    /// RNG seed making the whole pipeline reproducible.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            hidden_layers: vec![64, 64],
+            trainer: OracleTrainer::Ars(ArsConfig::default()),
+            cegis: CegisConfig::default(),
+            evaluation_episodes: 20,
+            evaluation_steps: 2000,
+            seed: 2019,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A deliberately tiny budget for unit tests and smoke runs.
+    pub fn smoke_test() -> Self {
+        PipelineConfig {
+            hidden_layers: vec![16, 16],
+            trainer: OracleTrainer::Ars(ArsConfig::smoke_test()),
+            cegis: CegisConfig::smoke_test(),
+            evaluation_episodes: 5,
+            evaluation_steps: 500,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Sets the invariant degree used for verification (the Table 2 knob).
+    pub fn with_invariant_degree(mut self, degree: u32) -> Self {
+        self.cegis.verification.invariant_degree = degree;
+        self
+    }
+}
+
+/// Everything the pipeline produced for one benchmark.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The trained neural oracle.
+    pub oracle: NeuralPolicy,
+    /// The synthesized and verified shield.
+    pub shield: Shield,
+    /// Diagnostics of the CEGIS loop (pieces, attempts, synthesis time).
+    pub cegis_report: CegisReport,
+    /// Wall-clock time spent training the neural oracle.
+    pub training_time: Duration,
+    /// Table 1-style evaluation of the shielded system.
+    pub evaluation: ShieldEvaluation,
+}
+
+/// Why the pipeline failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Shield synthesis failed.
+    Cegis(CegisError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cegis(e) => write!(f, "shield synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CegisError> for PipelineError {
+    fn from(e: CegisError) -> Self {
+        PipelineError::Cegis(e)
+    }
+}
+
+/// Trains a neural oracle for `env` according to `config`, returning the
+/// policy and the wall-clock training time.
+pub fn train_oracle(env: &EnvironmentContext, config: &PipelineConfig) -> (NeuralPolicy, Duration) {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let action_scale = env
+        .action_high()
+        .iter()
+        .map(|x| x.abs())
+        .fold(1.0f64, f64::max)
+        .min(1e6);
+    let start = Instant::now();
+    let oracle = match &config.trainer {
+        OracleTrainer::Ars(ars) => {
+            let mut policy = NeuralPolicy::new(
+                env.state_dim(),
+                env.action_dim(),
+                &config.hidden_layers,
+                action_scale,
+                &mut rng,
+            );
+            train_ars(env, &mut policy, ars, &mut rng);
+            policy
+        }
+        OracleTrainer::Ddpg(ddpg) => {
+            let mut ddpg = ddpg.clone();
+            ddpg.hidden = config.hidden_layers.clone();
+            let (agent, _report) = train_ddpg(env, ddpg, &mut rng);
+            agent.into_actor()
+        }
+    };
+    (oracle, start.elapsed())
+}
+
+/// Runs the complete toolchain on `env`: oracle training, CEGIS shield
+/// synthesis, and evaluation.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Cegis`] when no shield covering the initial state
+/// space could be synthesized within the configured budget.
+pub fn run_pipeline(
+    env: &EnvironmentContext,
+    config: &PipelineConfig,
+) -> Result<PipelineOutcome, PipelineError> {
+    let (oracle, training_time) = train_oracle(env, config);
+    run_pipeline_with_oracle(env, oracle, training_time, config)
+}
+
+/// Runs shield synthesis and evaluation for an already-trained oracle.
+///
+/// This is the entry point used by the Table 3 experiments, where an existing
+/// network is redeployed in a changed environment and only the shield is
+/// re-synthesized.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Cegis`] when shield synthesis fails.
+pub fn run_pipeline_with_oracle(
+    env: &EnvironmentContext,
+    oracle: NeuralPolicy,
+    training_time: Duration,
+    config: &PipelineConfig,
+) -> Result<PipelineOutcome, PipelineError> {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(1));
+    let (shield, cegis_report) = synthesize_shield(env, &oracle, &config.cegis, &mut rng)?;
+    let evaluation = evaluate_shielded_system(
+        env,
+        &oracle,
+        &shield,
+        config.evaluation_episodes,
+        config.evaluation_steps,
+        &mut rng,
+    );
+    Ok(PipelineOutcome {
+        oracle,
+        shield,
+        cegis_report,
+        training_time,
+        evaluation,
+    })
+}
+
+/// Re-synthesizes a shield for an existing oracle deployed in a *changed*
+/// environment (Table 3), without retraining the network.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Cegis`] when shield synthesis fails in the new
+/// environment.
+pub fn resynthesize_shield_for(
+    new_env: &EnvironmentContext,
+    oracle: &NeuralPolicy,
+    config: &PipelineConfig,
+) -> Result<(Shield, CegisReport), PipelineError> {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(2));
+    let (shield, report) = synthesize_shield(new_env, oracle, &config.cegis, &mut rng)?;
+    Ok((shield, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::{BoxRegion, PolyDynamics, SafetySpec};
+    use vrl_poly::Polynomial;
+    use vrl_verify::VerificationConfig;
+
+    fn scalar_env() -> EnvironmentContext {
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        EnvironmentContext::new(
+            "scalar",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.3]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        )
+        .with_action_bounds(vec![-2.0], vec![2.0])
+    }
+
+    #[test]
+    fn smoke_pipeline_runs_end_to_end() {
+        let env = scalar_env();
+        let mut config = PipelineConfig::smoke_test();
+        config.cegis.verification = VerificationConfig::with_degree(2);
+        let outcome = run_pipeline(&env, &config).expect("the scalar system is easy to shield");
+        assert!(outcome.shield.num_pieces() >= 1);
+        assert_eq!(outcome.evaluation.shielded_failures, 0);
+        assert!(outcome.training_time.as_nanos() > 0);
+        assert_eq!(outcome.cegis_report.pieces, outcome.shield.num_pieces());
+        assert_eq!(outcome.oracle.action_dim(), 1);
+    }
+
+    #[test]
+    fn shield_can_be_resynthesized_for_a_changed_environment() {
+        let env = scalar_env();
+        let mut config = PipelineConfig::smoke_test();
+        config.cegis.verification = VerificationConfig::with_degree(2);
+        let outcome = run_pipeline(&env, &config).unwrap();
+        // Deploy the same oracle with a tighter safety requirement.
+        let restricted = env
+            .clone()
+            .with_safety(SafetySpec::inside(BoxRegion::symmetric(&[0.6])))
+            .with_name("scalar-restricted");
+        let (new_shield, report) =
+            resynthesize_shield_for(&restricted, &outcome.oracle, &config).unwrap();
+        assert!(report.pieces >= 1);
+        assert!(new_shield.covers(&[0.2]));
+        assert!(!new_shield.covers(&[0.7]), "the new shield must respect the tighter bound");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = PipelineConfig::default().with_invariant_degree(8);
+        assert_eq!(c.cegis.verification.invariant_degree, 8);
+        let smoke = PipelineConfig::smoke_test();
+        assert!(smoke.evaluation_episodes <= 10);
+        let err = PipelineError::Cegis(CegisError::CouldNotCoverInitialStates {
+            uncovered: vec![0.0],
+            pieces_synthesized: 0,
+        });
+        assert!(err.to_string().contains("shield synthesis failed"));
+    }
+}

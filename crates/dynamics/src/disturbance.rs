@@ -1,0 +1,175 @@
+//! Bounded, non-deterministic environment disturbances.
+//!
+//! The paper (Sec. 3, "Environment Disturbance") extends the dynamics to
+//! `ṡ = f(s, a) + d` where `d` is a vector of bounded non-deterministic
+//! disturbances.  Simulation samples `d` uniformly within its bounds, while
+//! the verifier treats `d` as an adversarial interval so that invariants
+//! hold for *every* admissible disturbance (verification condition (10)).
+
+use rand::Rng;
+use vrl_poly::Interval;
+
+/// Per-dimension bounded disturbance `d ∈ [lower, upper]` added to the state
+/// derivative.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_dynamics::Disturbance;
+///
+/// let d = Disturbance::symmetric(&[0.0, 0.1]);
+/// assert_eq!(d.lower(), &[0.0, -0.1]);
+/// assert!(!d.is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disturbance {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Disturbance {
+    /// Creates a disturbance with explicit per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vectors have different lengths or any lower bound
+    /// exceeds the corresponding upper bound.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound vectors must have equal length");
+        for (i, (lo, hi)) in lower.iter().zip(upper.iter()).enumerate() {
+            assert!(
+                lo <= hi,
+                "disturbance lower bound {lo} exceeds upper bound {hi} in dimension {i}"
+            );
+        }
+        Disturbance { lower, upper }
+    }
+
+    /// Creates the symmetric disturbance `[-magnitude_i, magnitude_i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any magnitude is negative.
+    pub fn symmetric(magnitudes: &[f64]) -> Self {
+        assert!(
+            magnitudes.iter().all(|m| *m >= 0.0),
+            "disturbance magnitudes must be non-negative"
+        );
+        Disturbance::new(
+            magnitudes.iter().map(|m| -m).collect(),
+            magnitudes.to_vec(),
+        )
+    }
+
+    /// The zero disturbance of the given dimension.
+    pub fn zero(dim: usize) -> Self {
+        Disturbance::new(vec![0.0; dim], vec![0.0; dim])
+    }
+
+    /// Dimension of the disturbance vector.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Returns true when every bound is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.lower.iter().all(|x| *x == 0.0) && self.upper.iter().all(|x| *x == 0.0)
+    }
+
+    /// Samples a disturbance uniformly within the bounds.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(lo, hi)| if lo == hi { *lo } else { rng.gen_range(*lo..=*hi) })
+            .collect()
+    }
+
+    /// Returns the per-dimension bounds as [`Interval`]s for the verifier's
+    /// adversarial treatment.
+    pub fn to_intervals(&self) -> Vec<Interval> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(lo, hi)| Interval::new(*lo, *hi))
+            .collect()
+    }
+
+    /// Maximum absolute disturbance magnitude over all dimensions.
+    pub fn max_magnitude(&self) -> f64 {
+        self.lower
+            .iter()
+            .chain(self.upper.iter())
+            .fold(0.0, |m, x| m.max(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let d = Disturbance::new(vec![-0.1, 0.0], vec![0.2, 0.0]);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.lower(), &[-0.1, 0.0]);
+        assert_eq!(d.upper(), &[0.2, 0.0]);
+        assert!(!d.is_zero());
+        assert!((d.max_magnitude() - 0.2).abs() < 1e-15);
+        assert!(Disturbance::zero(3).is_zero());
+        let s = Disturbance::symmetric(&[0.5]);
+        assert_eq!(s.lower(), &[-0.5]);
+        assert_eq!(s.upper(), &[0.5]);
+    }
+
+    #[test]
+    fn intervals_reflect_bounds() {
+        let d = Disturbance::symmetric(&[0.1, 0.3]);
+        let ivs = d.to_intervals();
+        assert_eq!(ivs[0].lo(), -0.1);
+        assert_eq!(ivs[1].hi(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = Disturbance::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn sampling_respects_bounds_and_degenerate_dims() {
+        let d = Disturbance::new(vec![-0.5, 0.25], vec![0.5, 0.25]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!(s[0] >= -0.5 && s[0] <= 0.5);
+            assert_eq!(s[1], 0.25);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_within_intervals(mags in proptest::collection::vec(0.0..2.0f64, 1..5), seed in 0u64..500) {
+            let d = Disturbance::symmetric(&mags);
+            let ivs = d.to_intervals();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let s = d.sample(&mut rng);
+            for (x, iv) in s.iter().zip(ivs.iter()) {
+                prop_assert!(iv.contains(*x));
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Continuous-time system dynamics `ṡ = f(s, a)`.
+
+use vrl_poly::Polynomial;
+
+/// Continuous-time dynamics of a controlled system.
+///
+/// Implementors describe the instantaneous rate of change of the state as a
+/// function of the current state and the applied control action, i.e. the
+/// vector field `f` in `ṡ = f(s, a)` of the paper's Sec. 3.
+pub trait Dynamics {
+    /// Dimension of the state vector `s`.
+    fn state_dim(&self) -> usize;
+
+    /// Dimension of the action vector `a`.
+    fn action_dim(&self) -> usize;
+
+    /// Evaluates `f(state, action)`, returning the state derivative.
+    fn derivative(&self, state: &[f64], action: &[f64]) -> Vec<f64>;
+}
+
+/// Polynomial dynamics: each component of `f` is a [`Polynomial`] over the
+/// concatenated variables `(s_0, …, s_{n-1}, a_0, …, a_{m-1})`.
+///
+/// Every benchmark in the paper has polynomial dynamics (non-polynomial terms
+/// such as the pendulum's sine are Taylor-expanded exactly as the paper
+/// does), and the verifier relies on this symbolic form to build closed-loop
+/// successor polynomials.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_dynamics::{Dynamics, PolyDynamics};
+/// use vrl_poly::Polynomial;
+///
+/// // 1D double integrator written in first-order form is 2D:
+/// //   ẋ0 = x1,  ẋ1 = a
+/// let f = PolyDynamics::new(2, 1, vec![
+///     Polynomial::variable(1, 3),
+///     Polynomial::variable(2, 3),
+/// ]).unwrap();
+/// assert_eq!(f.derivative(&[0.0, 2.0], &[-1.0]), vec![2.0, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyDynamics {
+    state_dim: usize,
+    action_dim: usize,
+    derivatives: Vec<Polynomial>,
+}
+
+/// Error produced when constructing ill-formed [`PolyDynamics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicsError {
+    /// The number of derivative polynomials differs from the state dimension.
+    WrongDerivativeCount {
+        /// Expected number of polynomials (the state dimension).
+        expected: usize,
+        /// Number actually provided.
+        actual: usize,
+    },
+    /// A derivative polynomial has the wrong number of variables.
+    WrongVariableCount {
+        /// Index of the offending polynomial.
+        index: usize,
+        /// Expected variable count (`state_dim + action_dim`).
+        expected: usize,
+        /// Actual variable count.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicsError::WrongDerivativeCount { expected, actual } => write!(
+                f,
+                "expected {expected} derivative polynomials but got {actual}"
+            ),
+            DynamicsError::WrongVariableCount {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "derivative {index} has {actual} variables but {expected} were expected"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DynamicsError {}
+
+impl PolyDynamics {
+    /// Creates polynomial dynamics from one polynomial per state dimension.
+    ///
+    /// Each polynomial must be over `state_dim + action_dim` variables, with
+    /// state variables first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError`] if the number of polynomials or their
+    /// variable counts are inconsistent with the declared dimensions.
+    pub fn new(
+        state_dim: usize,
+        action_dim: usize,
+        derivatives: Vec<Polynomial>,
+    ) -> Result<Self, DynamicsError> {
+        if derivatives.len() != state_dim {
+            return Err(DynamicsError::WrongDerivativeCount {
+                expected: state_dim,
+                actual: derivatives.len(),
+            });
+        }
+        let expected_vars = state_dim + action_dim;
+        for (index, p) in derivatives.iter().enumerate() {
+            if p.nvars() != expected_vars {
+                return Err(DynamicsError::WrongVariableCount {
+                    index,
+                    expected: expected_vars,
+                    actual: p.nvars(),
+                });
+            }
+        }
+        Ok(PolyDynamics {
+            state_dim,
+            action_dim,
+            derivatives,
+        })
+    }
+
+    /// Creates linear time-invariant dynamics `ṡ = A s + B a (+ c)`.
+    ///
+    /// `a_matrix` is `n x n` (rows over state derivatives), `b_matrix` is
+    /// `n x m`, and `offset` (optional constant drift) is length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes are inconsistent.
+    pub fn linear(a_matrix: &[Vec<f64>], b_matrix: &[Vec<f64>], offset: Option<&[f64]>) -> Self {
+        let n = a_matrix.len();
+        let m = b_matrix.first().map_or(0, Vec::len);
+        assert_eq!(b_matrix.len(), n, "A and B must have the same number of rows");
+        let nvars = n + m;
+        let mut derivatives = Vec::with_capacity(n);
+        for i in 0..n {
+            assert_eq!(a_matrix[i].len(), n, "A row {i} has the wrong length");
+            assert_eq!(b_matrix[i].len(), m, "B row {i} has the wrong length");
+            let mut coeffs = vec![0.0; nvars];
+            coeffs[..n].copy_from_slice(&a_matrix[i]);
+            coeffs[n..].copy_from_slice(&b_matrix[i]);
+            let constant = offset.map_or(0.0, |c| c[i]);
+            derivatives.push(Polynomial::linear(&coeffs, constant));
+        }
+        PolyDynamics {
+            state_dim: n,
+            action_dim: m,
+            derivatives,
+        }
+    }
+
+    /// The derivative polynomials, one per state dimension, each over
+    /// `state_dim + action_dim` variables (state variables first).
+    pub fn derivatives(&self) -> &[Polynomial] {
+        &self.derivatives
+    }
+
+    /// Maximum total degree over all derivative polynomials.
+    pub fn degree(&self) -> u32 {
+        self.derivatives.iter().map(Polynomial::degree).max().unwrap_or(0)
+    }
+
+    /// Returns true when every derivative polynomial is affine (degree ≤ 1).
+    pub fn is_affine(&self) -> bool {
+        self.degree() <= 1
+    }
+
+    /// For affine dynamics, extracts `(A, B, c)` such that `ṡ = A s + B a + c`.
+    ///
+    /// Returns `None` when the dynamics are not affine.
+    pub fn affine_parts(&self) -> Option<(Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>)> {
+        if !self.is_affine() {
+            return None;
+        }
+        let n = self.state_dim;
+        let m = self.action_dim;
+        let mut a = vec![vec![0.0; n]; n];
+        let mut b = vec![vec![0.0; m]; n];
+        let mut c = vec![0.0; n];
+        for (i, p) in self.derivatives.iter().enumerate() {
+            c[i] = p.constant_term();
+            for j in 0..n {
+                let mut exps = vec![0u32; n + m];
+                exps[j] = 1;
+                a[i][j] = p.coefficient(&exps);
+            }
+            for j in 0..m {
+                let mut exps = vec![0u32; n + m];
+                exps[n + j] = 1;
+                b[i][j] = p.coefficient(&exps);
+            }
+        }
+        Some((a, b, c))
+    }
+
+    /// Substitutes action polynomials (over state variables only) into the
+    /// dynamics, producing the closed-loop vector field `f(s, P(s))` as
+    /// polynomials over the state variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of action polynomials differs from the action
+    /// dimension or any of them is not over exactly `state_dim` variables.
+    pub fn close_loop(&self, action_polys: &[Polynomial]) -> Vec<Polynomial> {
+        assert_eq!(
+            action_polys.len(),
+            self.action_dim,
+            "one action polynomial per action dimension is required"
+        );
+        for p in action_polys {
+            assert_eq!(
+                p.nvars(),
+                self.state_dim,
+                "action polynomials must be over the state variables only"
+            );
+        }
+        // Build the substitution map: state variables map to themselves,
+        // action variables map to the provided programs.
+        let mut assignments: Vec<Polynomial> = (0..self.state_dim)
+            .map(|i| Polynomial::variable(i, self.state_dim))
+            .collect();
+        assignments.extend(action_polys.iter().cloned());
+        self.derivatives
+            .iter()
+            .map(|f| f.substitute(&assignments))
+            .collect()
+    }
+}
+
+impl Dynamics for PolyDynamics {
+    fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    fn derivative(&self, state: &[f64], action: &[f64]) -> Vec<f64> {
+        assert_eq!(state.len(), self.state_dim, "state dimension mismatch");
+        assert_eq!(action.len(), self.action_dim, "action dimension mismatch");
+        let mut point = Vec::with_capacity(self.state_dim + self.action_dim);
+        point.extend_from_slice(state);
+        point.extend_from_slice(action);
+        self.derivatives.iter().map(|p| p.eval(&point)).collect()
+    }
+}
+
+/// Dynamics defined by an arbitrary closure, for simulation-only use cases
+/// (e.g. testing the shield against non-polynomial ground-truth models).
+pub struct ClosureDynamics<F> {
+    state_dim: usize,
+    action_dim: usize,
+    f: F,
+}
+
+impl<F> ClosureDynamics<F>
+where
+    F: Fn(&[f64], &[f64]) -> Vec<f64>,
+{
+    /// Wraps a closure computing `f(state, action)`.
+    pub fn new(state_dim: usize, action_dim: usize, f: F) -> Self {
+        ClosureDynamics {
+            state_dim,
+            action_dim,
+            f,
+        }
+    }
+}
+
+impl<F> Dynamics for ClosureDynamics<F>
+where
+    F: Fn(&[f64], &[f64]) -> Vec<f64>,
+{
+    fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    fn derivative(&self, state: &[f64], action: &[f64]) -> Vec<f64> {
+        (self.f)(state, action)
+    }
+}
+
+impl<F> std::fmt::Debug for ClosureDynamics<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosureDynamics")
+            .field("state_dim", &self.state_dim)
+            .field("action_dim", &self.action_dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn double_integrator() -> PolyDynamics {
+        PolyDynamics::new(
+            2,
+            1,
+            vec![Polynomial::variable(1, 3), Polynomial::variable(2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn poly_dynamics_evaluation() {
+        let f = double_integrator();
+        assert_eq!(f.state_dim(), 2);
+        assert_eq!(f.action_dim(), 1);
+        assert_eq!(f.derivative(&[1.0, -3.0], &[0.5]), vec![-3.0, 0.5]);
+        assert_eq!(f.degree(), 1);
+        assert!(f.is_affine());
+        assert_eq!(f.derivatives().len(), 2);
+    }
+
+    #[test]
+    fn construction_errors_are_reported() {
+        let err = PolyDynamics::new(2, 1, vec![Polynomial::zero(3)]).unwrap_err();
+        assert!(matches!(err, DynamicsError::WrongDerivativeCount { expected: 2, actual: 1 }));
+        assert!(err.to_string().contains("expected 2"));
+        let err = PolyDynamics::new(1, 1, vec![Polynomial::zero(3)]).unwrap_err();
+        assert!(matches!(
+            err,
+            DynamicsError::WrongVariableCount { index: 0, expected: 2, actual: 3 }
+        ));
+        assert!(err.to_string().contains("variables"));
+    }
+
+    #[test]
+    fn linear_constructor_and_affine_parts() {
+        let a = vec![vec![0.0, 1.0], vec![-1.0, -0.5]];
+        let b = vec![vec![0.0], vec![2.0]];
+        let f = PolyDynamics::linear(&a, &b, Some(&[0.0, 0.1]));
+        let d = f.derivative(&[1.0, 2.0], &[0.5]);
+        assert!((d[0] - 2.0).abs() < 1e-12);
+        assert!((d[1] - (-0.9)).abs() < 1e-12);
+        let (a2, b2, c2) = f.affine_parts().unwrap();
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+        assert_eq!(c2, vec![0.0, 0.1]);
+    }
+
+    #[test]
+    fn affine_parts_rejects_nonlinear() {
+        // ẋ = x^2 + a
+        let x = Polynomial::variable(0, 2);
+        let a = Polynomial::variable(1, 2);
+        let f = PolyDynamics::new(1, 1, vec![&(&x * &x) + &a]).unwrap();
+        assert!(!f.is_affine());
+        assert!(f.affine_parts().is_none());
+        assert_eq!(f.degree(), 2);
+    }
+
+    #[test]
+    fn close_loop_substitutes_programs() {
+        // Duffing-style: ẋ = y, ẏ = -x - x³ + a with program a = θ1 x + θ2 y.
+        let x = Polynomial::variable(0, 3);
+        let y = Polynomial::variable(1, 3);
+        let a = Polynomial::variable(2, 3);
+        let ydot = &(&(-&x) - &x.pow(3)) + &a;
+        let f = PolyDynamics::new(2, 1, vec![y.clone(), ydot]).unwrap();
+        let program = Polynomial::linear(&[0.39, -1.41], 0.0);
+        let closed = f.close_loop(&[program.clone()]);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].nvars(), 2);
+        let s: [f64; 2] = [0.7, -0.3];
+        let expected_ydot = -s[0] - s[0].powi(3) + program.eval(&s);
+        assert!((closed[1].eval(&s) - expected_ydot).abs() < 1e-12);
+        assert!((closed[0].eval(&s) - s[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closure_dynamics_adapts_arbitrary_models() {
+        let g = ClosureDynamics::new(1, 1, |s: &[f64], a: &[f64]| vec![s[0].sin() + a[0]]);
+        assert_eq!(g.state_dim(), 1);
+        assert_eq!(g.action_dim(), 1);
+        assert!((g.derivative(&[0.0], &[1.0])[0] - 1.0).abs() < 1e-12);
+        assert!(format!("{g:?}").contains("ClosureDynamics"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_close_loop_matches_pointwise(theta1 in -3.0..3.0f64, theta2 in -3.0..3.0f64,
+                                              sx in -2.0..2.0f64, sy in -2.0..2.0f64) {
+            let f = double_integrator();
+            let program = Polynomial::linear(&[theta1, theta2], 0.0);
+            let closed = f.close_loop(&[program.clone()]);
+            let s = [sx, sy];
+            let a = [program.eval(&s)];
+            let direct = f.derivative(&s, &a);
+            for (c, d) in closed.iter().zip(direct.iter()) {
+                prop_assert!((c.eval(&s) - d).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_affine_roundtrip(a00 in -2.0..2.0f64, a01 in -2.0..2.0f64,
+                                  a10 in -2.0..2.0f64, a11 in -2.0..2.0f64,
+                                  b0 in -2.0..2.0f64, b1 in -2.0..2.0f64) {
+            let a = vec![vec![a00, a01], vec![a10, a11]];
+            let b = vec![vec![b0], vec![b1]];
+            let f = PolyDynamics::linear(&a, &b, None);
+            let (a2, b2, c2) = f.affine_parts().unwrap();
+            for i in 0..2 {
+                prop_assert!(c2[i].abs() < 1e-12);
+                for j in 0..2 {
+                    prop_assert!((a2[i][j] - a[i][j]).abs() < 1e-12);
+                }
+                prop_assert!((b2[i][0] - b[i][0]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The environment context `C[·]` of the paper: an infinite state transition
+//! system with a hole for the control policy.
+
+use crate::{
+    BoxRegion, Disturbance, Dynamics, Integrator, PolyDynamics, Policy, SafetySpec, Trajectory,
+};
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+use vrl_poly::Polynomial;
+
+/// Reward function type: `r(s, a)`.
+pub type RewardFn = Arc<dyn Fn(&[f64], &[f64]) -> f64 + Send + Sync>;
+
+/// Steady-state predicate used for the Table 1 performance metric.
+pub type SteadyFn = Arc<dyn Fn(&[f64]) -> bool + Send + Sync>;
+
+/// An environment context `C[·] = (X, A, S, S0, Su, T_t[·], f, r)` (Sec. 3).
+///
+/// The context packages polynomial dynamics, the discretization time step,
+/// the initial state set `S0`, the safety specification (whose complement is
+/// `Su`), bounded disturbances, action saturation bounds, a reward function
+/// for RL training, and a steady-state predicate for performance reporting.
+/// The "hole" `[·]` is filled at rollout time by any [`Policy`].
+///
+/// # Examples
+///
+/// ```
+/// use vrl_dynamics::{BoxRegion, ConstantPolicy, EnvironmentContext, PolyDynamics, SafetySpec};
+/// use vrl_poly::Polynomial;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// // ẋ = a, keep |x| < 1, start in |x| ≤ 0.1
+/// let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+/// let env = EnvironmentContext::new(
+///     "toy",
+///     dynamics,
+///     0.01,
+///     BoxRegion::symmetric(&[0.1]),
+///     SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+/// );
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let start = env.sample_initial(&mut rng);
+/// let trajectory = env.rollout(&ConstantPolicy::zeros(1), &start, 100, &mut rng);
+/// assert_eq!(trajectory.len(), 100);
+/// ```
+#[derive(Clone)]
+pub struct EnvironmentContext {
+    name: String,
+    variable_names: Vec<String>,
+    dynamics: PolyDynamics,
+    dt: f64,
+    integrator: Integrator,
+    init: BoxRegion,
+    safety: SafetySpec,
+    disturbance: Disturbance,
+    action_low: Vec<f64>,
+    action_high: Vec<f64>,
+    reward: RewardFn,
+    steady: SteadyFn,
+    horizon: usize,
+}
+
+impl EnvironmentContext {
+    /// Creates an environment with sensible defaults: Euler integration, no
+    /// disturbance, unbounded actions, a quadratic regulation reward
+    /// `-(‖s‖² + 0.01‖a‖²)` with a large penalty on unsafe states, a steady
+    /// predicate `‖s‖∞ ≤ 0.05`, and a 5000-step horizon (the episode length
+    /// used throughout the paper's evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial region or safety spec dimension differs from the
+    /// dynamics state dimension, or if `dt <= 0`.
+    pub fn new(
+        name: impl Into<String>,
+        dynamics: PolyDynamics,
+        dt: f64,
+        init: BoxRegion,
+        safety: SafetySpec,
+    ) -> Self {
+        assert!(dt > 0.0, "time step must be positive");
+        let n = dynamics.state_dim();
+        let m = dynamics.action_dim();
+        assert_eq!(init.dim(), n, "initial region dimension must match the dynamics");
+        assert_eq!(safety.dim(), n, "safety spec dimension must match the dynamics");
+        let safety_for_reward = safety.clone();
+        let default_reward: RewardFn = Arc::new(move |s: &[f64], a: &[f64]| {
+            if safety_for_reward.is_unsafe(s) {
+                -100.0
+            } else {
+                let state_cost: f64 = s.iter().map(|x| x * x).sum();
+                let action_cost: f64 = a.iter().map(|x| x * x).sum();
+                -(state_cost + 0.01 * action_cost)
+            }
+        });
+        let default_steady: SteadyFn =
+            Arc::new(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05));
+        EnvironmentContext {
+            name: name.into(),
+            variable_names: (0..n).map(|i| format!("x{i}")).collect(),
+            dynamics,
+            dt,
+            integrator: Integrator::Euler,
+            init,
+            safety,
+            disturbance: Disturbance::zero(n),
+            action_low: vec![f64::NEG_INFINITY; m],
+            action_high: vec![f64::INFINITY; m],
+            reward: default_reward,
+            steady: default_steady,
+            horizon: 5000,
+        }
+    }
+
+    /// Replaces the integrator (simulation only; verification always reasons
+    /// about the Euler transition relation, as the paper does).
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Adds a bounded disturbance `d` to the dynamics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disturbance dimension differs from the state dimension.
+    pub fn with_disturbance(mut self, disturbance: Disturbance) -> Self {
+        assert_eq!(
+            disturbance.dim(),
+            self.state_dim(),
+            "disturbance dimension must match the state dimension"
+        );
+        self.disturbance = disturbance;
+        self
+    }
+
+    /// Saturates actions to `[low_i, high_i]` per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound lengths differ from the action dimension.
+    pub fn with_action_bounds(mut self, low: Vec<f64>, high: Vec<f64>) -> Self {
+        assert_eq!(low.len(), self.action_dim(), "action bound dimension mismatch");
+        assert_eq!(high.len(), self.action_dim(), "action bound dimension mismatch");
+        self.action_low = low;
+        self.action_high = high;
+        self
+    }
+
+    /// Replaces the reward function.
+    pub fn with_reward(mut self, reward: impl Fn(&[f64], &[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        self.reward = Arc::new(reward);
+        self
+    }
+
+    /// Replaces the steady-state predicate.
+    pub fn with_steady(mut self, steady: impl Fn(&[f64]) -> bool + Send + Sync + 'static) -> Self {
+        self.steady = Arc::new(steady);
+        self
+    }
+
+    /// Replaces the episode horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Replaces the human-readable variable names used when pretty-printing
+    /// synthesized programs and invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names differs from the state dimension.
+    pub fn with_variable_names(mut self, names: &[&str]) -> Self {
+        assert_eq!(names.len(), self.state_dim(), "one name per state variable is required");
+        self.variable_names = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Returns a copy with a different safety specification (used when an
+    /// already-trained controller is deployed in a changed environment, as in
+    /// Sec. 2.2 and Table 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the state dimension.
+    pub fn with_safety(mut self, safety: SafetySpec) -> Self {
+        assert_eq!(safety.dim(), self.state_dim(), "safety spec dimension mismatch");
+        self.safety = safety;
+        self
+    }
+
+    /// Returns a copy with a different initial state region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the state dimension.
+    pub fn with_init(mut self, init: BoxRegion) -> Self {
+        assert_eq!(init.dim(), self.state_dim(), "initial region dimension mismatch");
+        self.init = init;
+        self
+    }
+
+    /// Returns a copy with different dynamics (used by the Table 3
+    /// environment-change experiments, e.g. a heavier pendulum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state or action dimension changes.
+    pub fn with_dynamics(mut self, dynamics: PolyDynamics) -> Self {
+        assert_eq!(dynamics.state_dim(), self.state_dim(), "state dimension must not change");
+        assert_eq!(dynamics.action_dim(), self.action_dim(), "action dimension must not change");
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// Returns a copy with a different name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Environment name (e.g. `"pendulum"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable state variable names.
+    pub fn variable_names(&self) -> Vec<&str> {
+        self.variable_names.iter().map(String::as_str).collect()
+    }
+
+    /// The polynomial dynamics `f`.
+    pub fn dynamics(&self) -> &PolyDynamics {
+        &self.dynamics
+    }
+
+    /// Discretization time step `Δt`.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Simulation integrator.
+    pub fn integrator(&self) -> Integrator {
+        self.integrator
+    }
+
+    /// The initial state region `S0`.
+    pub fn init(&self) -> &BoxRegion {
+        &self.init
+    }
+
+    /// The safety specification (complement of `Su`).
+    pub fn safety(&self) -> &SafetySpec {
+        &self.safety
+    }
+
+    /// The bounded disturbance `d`.
+    pub fn disturbance(&self) -> &Disturbance {
+        &self.disturbance
+    }
+
+    /// Per-dimension action lower bounds.
+    pub fn action_low(&self) -> &[f64] {
+        &self.action_low
+    }
+
+    /// Per-dimension action upper bounds.
+    pub fn action_high(&self) -> &[f64] {
+        &self.action_high
+    }
+
+    /// Episode horizon used by [`EnvironmentContext::rollout_episode`].
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// State dimension `n`.
+    pub fn state_dim(&self) -> usize {
+        self.dynamics.state_dim()
+    }
+
+    /// Action dimension `m`.
+    pub fn action_dim(&self) -> usize {
+        self.dynamics.action_dim()
+    }
+
+    /// Clamps an action to the configured saturation bounds.
+    pub fn clamp_action(&self, action: &[f64]) -> Vec<f64> {
+        action
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.clamp(self.action_low[i], self.action_high[i]))
+            .collect()
+    }
+
+    /// Reward `r(s, a)`.
+    pub fn reward(&self, state: &[f64], action: &[f64]) -> f64 {
+        (self.reward)(state, action)
+    }
+
+    /// Returns true when `state` violates the safety specification.
+    pub fn is_unsafe(&self, state: &[f64]) -> bool {
+        self.safety.is_unsafe(state)
+    }
+
+    /// Returns true when `state` satisfies the steady-state predicate.
+    pub fn is_steady(&self, state: &[f64]) -> bool {
+        (self.steady)(state)
+    }
+
+    /// Samples an initial state uniformly from `S0`.
+    pub fn sample_initial<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.init.sample(rng)
+    }
+
+    /// Deterministic one-step successor (no disturbance), with the action
+    /// clamped to the saturation bounds.  This is the transition the shield
+    /// uses to *predict* where a proposed action would lead.
+    pub fn step_deterministic(&self, state: &[f64], action: &[f64]) -> Vec<f64> {
+        let clamped = self.clamp_action(action);
+        self.integrator.step(&self.dynamics, state, &clamped, self.dt)
+    }
+
+    /// One-step successor with a disturbance sampled from its bounds.
+    pub fn step<R: Rng + ?Sized>(&self, state: &[f64], action: &[f64], rng: &mut R) -> Vec<f64> {
+        let mut next = self.step_deterministic(state, action);
+        if !self.disturbance.is_zero() {
+            let d = self.disturbance.sample(rng);
+            for (x, di) in next.iter_mut().zip(d.iter()) {
+                *x += self.dt * di;
+            }
+        }
+        next
+    }
+
+    /// Rolls out `policy` from `initial` for at most `steps` transitions.
+    ///
+    /// The rollout stops early if the state becomes non-finite (numerical
+    /// blow-up after leaving the modeled regime) or one step after entering
+    /// an unsafe state, mirroring episode termination during RL training.
+    pub fn rollout<P, R>(&self, policy: &P, initial: &[f64], steps: usize, rng: &mut R) -> Trajectory
+    where
+        P: Policy + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut trajectory = Trajectory::starting_at(initial.to_vec());
+        let mut state = initial.to_vec();
+        for _ in 0..steps {
+            if self.is_unsafe(&state) || state.iter().any(|x| !x.is_finite()) {
+                break;
+            }
+            let action = self.clamp_action(&policy.action(&state));
+            let reward = self.reward(&state, &action);
+            let next = self.step(&state, &action, rng);
+            trajectory.push(action, reward, next.clone());
+            state = next;
+        }
+        trajectory
+    }
+
+    /// Rolls out `policy` for a full episode (the configured horizon) from a
+    /// random initial state.
+    pub fn rollout_episode<P, R>(&self, policy: &P, rng: &mut R) -> Trajectory
+    where
+        P: Policy + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let start = self.sample_initial(rng);
+        self.rollout(policy, &start, self.horizon, rng)
+    }
+
+    /// Builds the Euler closed-loop successor polynomials
+    /// `s'_i = s_i + Δt · f_i(s, P(s))` over the state variables, given one
+    /// action polynomial per action dimension.
+    ///
+    /// Disturbances are *not* included here; the verifier accounts for them
+    /// adversarially via interval bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action polynomials have the wrong count or variable
+    /// dimension (see [`PolyDynamics::close_loop`]).
+    pub fn successor_polynomials(&self, action_polys: &[Polynomial]) -> Vec<Polynomial> {
+        let n = self.state_dim();
+        let closed = self.dynamics.close_loop(action_polys);
+        closed
+            .iter()
+            .enumerate()
+            .map(|(i, f_i)| &Polynomial::variable(i, n) + &f_i.scaled(self.dt))
+            .collect()
+    }
+}
+
+impl fmt::Debug for EnvironmentContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnvironmentContext")
+            .field("name", &self.name)
+            .field("state_dim", &self.state_dim())
+            .field("action_dim", &self.action_dim())
+            .field("dt", &self.dt)
+            .field("integrator", &self.integrator)
+            .field("init", &self.init)
+            .field("safety", &self.safety)
+            .field("disturbance", &self.disturbance)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClosurePolicy, ConstantPolicy};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_poly::Polynomial;
+
+    fn double_integrator_env() -> EnvironmentContext {
+        // ẋ0 = x1, ẋ1 = a
+        let dynamics = PolyDynamics::new(
+            2,
+            1,
+            vec![Polynomial::variable(1, 3), Polynomial::variable(2, 3)],
+        )
+        .unwrap();
+        EnvironmentContext::new(
+            "double-integrator",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.5, 0.5]),
+            SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0])),
+        )
+    }
+
+    #[test]
+    fn defaults_and_builders() {
+        let env = double_integrator_env()
+            .with_horizon(100)
+            .with_variable_names(&["pos", "vel"])
+            .with_action_bounds(vec![-1.0], vec![1.0])
+            .with_disturbance(Disturbance::symmetric(&[0.0, 0.01]))
+            .with_integrator(Integrator::RungeKutta4)
+            .with_name("renamed");
+        assert_eq!(env.name(), "renamed");
+        assert_eq!(env.state_dim(), 2);
+        assert_eq!(env.action_dim(), 1);
+        assert_eq!(env.horizon(), 100);
+        assert_eq!(env.variable_names(), vec!["pos", "vel"]);
+        assert_eq!(env.integrator(), Integrator::RungeKutta4);
+        assert_eq!(env.clamp_action(&[5.0]), vec![1.0]);
+        assert_eq!(env.clamp_action(&[-5.0]), vec![-1.0]);
+        assert_eq!(env.action_low(), &[-1.0]);
+        assert_eq!(env.action_high(), &[1.0]);
+        assert!(!env.disturbance().is_zero());
+        assert!(format!("{env:?}").contains("renamed"));
+    }
+
+    #[test]
+    fn default_reward_penalizes_unsafe_states() {
+        let env = double_integrator_env();
+        assert!(env.reward(&[0.0, 0.0], &[0.0]) == 0.0);
+        assert!(env.reward(&[0.5, 0.0], &[0.0]) < 0.0);
+        assert_eq!(env.reward(&[5.0, 0.0], &[0.0]), -100.0);
+        assert!(env.is_steady(&[0.01, -0.02]));
+        assert!(!env.is_steady(&[0.2, 0.0]));
+        assert!(env.is_unsafe(&[3.0, 0.0]));
+    }
+
+    #[test]
+    fn deterministic_step_matches_euler() {
+        let env = double_integrator_env();
+        let next = env.step_deterministic(&[1.0, 2.0], &[3.0]);
+        assert!((next[0] - (1.0 + 0.01 * 2.0)).abs() < 1e-12);
+        assert!((next[1] - (2.0 + 0.01 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_with_disturbance_stays_within_bounds() {
+        let env = double_integrator_env().with_disturbance(Disturbance::symmetric(&[0.0, 1.0]));
+        let mut rng = SmallRng::seed_from_u64(11);
+        let base = env.step_deterministic(&[0.0, 0.0], &[0.0]);
+        for _ in 0..50 {
+            let next = env.step(&[0.0, 0.0], &[0.0], &mut rng);
+            assert_eq!(next[0], base[0]);
+            assert!((next[1] - base[1]).abs() <= 0.01 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rollout_runs_and_terminates_on_unsafe() {
+        let env = double_integrator_env();
+        let mut rng = SmallRng::seed_from_u64(5);
+        // A stabilizing PD controller keeps the rollout safe for all steps.
+        let pd = ClosurePolicy::new(1, |s: &[f64]| vec![-2.0 * s[0] - 2.0 * s[1]]);
+        let trajectory = env.rollout(&pd, &[0.4, 0.0], 200, &mut rng);
+        assert_eq!(trajectory.len(), 200);
+        assert!(!trajectory.violates(env.safety()));
+        // A strongly destabilizing constant action leaves the safe box and the
+        // rollout stops early.
+        let bad = ConstantPolicy::new(vec![50.0]);
+        let bad_traj = env.rollout(&bad, &[0.4, 0.0], 5000, &mut rng);
+        assert!(bad_traj.len() < 5000);
+        assert!(bad_traj.violates(env.safety()));
+        // Episode rollout starts inside S0.
+        let short = env.clone().with_horizon(10);
+        let episode = short.rollout_episode(&pd, &mut rng);
+        assert!(env.init().contains(episode.initial_state().unwrap()));
+    }
+
+    #[test]
+    fn successor_polynomials_match_deterministic_step() {
+        let env = double_integrator_env();
+        // Program a = -1.5 x0 - 0.7 x1.
+        let program = Polynomial::linear(&[-1.5, -0.7], 0.0);
+        let succ = env.successor_polynomials(&[program.clone()]);
+        assert_eq!(succ.len(), 2);
+        let s = [0.3, -0.2];
+        let a = [program.eval(&s)];
+        let expected = env.step_deterministic(&s, &a);
+        for (p, e) in succ.iter().zip(expected.iter()) {
+            assert!((p.eval(&s) - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn environment_modifications_for_env_change_experiments() {
+        let env = double_integrator_env();
+        let restricted = env
+            .clone()
+            .with_safety(SafetySpec::inside(BoxRegion::symmetric(&[0.5, 0.5])));
+        assert!(restricted.is_unsafe(&[1.0, 0.0]));
+        assert!(!env.is_unsafe(&[1.0, 0.0]));
+        let tighter_init = env.clone().with_init(BoxRegion::symmetric(&[0.1, 0.1]));
+        assert_eq!(tighter_init.init().highs(), &[0.1, 0.1]);
+        let heavier = env.clone().with_dynamics(PolyDynamics::new(
+            2,
+            1,
+            vec![
+                Polynomial::variable(1, 3),
+                Polynomial::variable(2, 3).scaled(0.5),
+            ],
+        )
+        .unwrap());
+        assert!((heavier.step_deterministic(&[0.0, 0.0], &[1.0])[1] - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_rejected() {
+        let dynamics = PolyDynamics::new(1, 0, vec![Polynomial::zero(1)]).unwrap();
+        let _ = EnvironmentContext::new(
+            "bad",
+            dynamics,
+            0.0,
+            BoxRegion::symmetric(&[1.0]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Numerical discretization of continuous dynamics.
+//!
+//! The paper discretizes the system dynamics with Euler's method (Sec. 3,
+//! footnote 2), with the control action held constant over each time step.
+//! Runge–Kutta 4 is provided as a higher-order alternative and as the
+//! subject of the integrator ablation benchmark.
+
+use crate::Dynamics;
+
+/// Discretization scheme used to turn `ṡ = f(s, a)` into a discrete
+/// transition relation `T_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Integrator {
+    /// Forward Euler: `s' = s + Δt · f(s, a)`.  This is the scheme the
+    /// paper's transition relation and our verifier use.
+    #[default]
+    Euler,
+    /// Classic fourth-order Runge–Kutta with the action held constant over
+    /// the step (simulation only; the verifier always reasons about Euler).
+    RungeKutta4,
+}
+
+impl Integrator {
+    /// Advances the state by one time step of length `dt` with the action
+    /// held constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state or action slices have dimensions inconsistent
+    /// with `dynamics`.
+    pub fn step<D: Dynamics + ?Sized>(
+        &self,
+        dynamics: &D,
+        state: &[f64],
+        action: &[f64],
+        dt: f64,
+    ) -> Vec<f64> {
+        assert_eq!(state.len(), dynamics.state_dim(), "state dimension mismatch");
+        assert_eq!(action.len(), dynamics.action_dim(), "action dimension mismatch");
+        match self {
+            Integrator::Euler => {
+                let k1 = dynamics.derivative(state, action);
+                add_scaled(state, &k1, dt)
+            }
+            Integrator::RungeKutta4 => {
+                let k1 = dynamics.derivative(state, action);
+                let s2 = add_scaled(state, &k1, dt / 2.0);
+                let k2 = dynamics.derivative(&s2, action);
+                let s3 = add_scaled(state, &k2, dt / 2.0);
+                let k3 = dynamics.derivative(&s3, action);
+                let s4 = add_scaled(state, &k3, dt);
+                let k4 = dynamics.derivative(&s4, action);
+                state
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| s + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+                    .collect()
+            }
+        }
+    }
+
+    /// Human-readable name of the scheme.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Integrator::Euler => "euler",
+            Integrator::RungeKutta4 => "rk4",
+        }
+    }
+}
+
+fn add_scaled(state: &[f64], derivative: &[f64], dt: f64) -> Vec<f64> {
+    state
+        .iter()
+        .zip(derivative.iter())
+        .map(|(s, d)| s + dt * d)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClosureDynamics, PolyDynamics};
+    use proptest::prelude::*;
+    use vrl_poly::Polynomial;
+
+    fn exponential_decay() -> ClosureDynamics<impl Fn(&[f64], &[f64]) -> Vec<f64>> {
+        // ẋ = -x, exact solution x(t) = x0 e^{-t}.
+        ClosureDynamics::new(1, 0, |s: &[f64], _a: &[f64]| vec![-s[0]])
+    }
+
+    #[test]
+    fn euler_step_matches_closed_form() {
+        let f = exponential_decay();
+        let next = Integrator::Euler.step(&f, &[1.0], &[], 0.1);
+        assert!((next[0] - 0.9).abs() < 1e-12);
+        assert_eq!(Integrator::Euler.name(), "euler");
+        assert_eq!(Integrator::default(), Integrator::Euler);
+    }
+
+    #[test]
+    fn rk4_is_more_accurate_than_euler() {
+        let f = exponential_decay();
+        let dt = 0.1;
+        let steps = 50;
+        let mut euler = vec![1.0];
+        let mut rk4 = vec![1.0];
+        for _ in 0..steps {
+            euler = Integrator::Euler.step(&f, &euler, &[], dt);
+            rk4 = Integrator::RungeKutta4.step(&f, &rk4, &[], dt);
+        }
+        let exact = (-(dt * steps as f64)).exp();
+        assert!((rk4[0] - exact).abs() < (euler[0] - exact).abs());
+        assert!((rk4[0] - exact).abs() < 1e-6);
+        assert_eq!(Integrator::RungeKutta4.name(), "rk4");
+    }
+
+    #[test]
+    fn action_is_held_constant_during_step() {
+        // ẋ = a: one Euler step from 0 with a = 2 gives 2·dt; RK4 the same.
+        let f = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        let e = Integrator::Euler.step(&f, &[0.0], &[2.0], 0.01);
+        let r = Integrator::RungeKutta4.step(&f, &[0.0], &[2.0], 0.01);
+        assert!((e[0] - 0.02).abs() < 1e-15);
+        assert!((r[0] - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn wrong_state_dimension_panics() {
+        let f = exponential_decay();
+        let _ = Integrator::Euler.step(&f, &[1.0, 2.0], &[], 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zero_dt_is_identity(x in -10.0..10.0f64, v in -10.0..10.0f64, a in -5.0..5.0f64) {
+            let f = PolyDynamics::new(
+                2, 1,
+                vec![Polynomial::variable(1, 3), Polynomial::variable(2, 3)],
+            ).unwrap();
+            for integ in [Integrator::Euler, Integrator::RungeKutta4] {
+                let next = integ.step(&f, &[x, v], &[a], 0.0);
+                prop_assert!((next[0] - x).abs() < 1e-12);
+                prop_assert!((next[1] - v).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_euler_linear_in_dt_for_constant_field(x in -5.0..5.0f64, dt in 0.0..0.5f64) {
+            // For ẋ = 3 the Euler and RK4 updates are both exactly 3·dt.
+            let f = ClosureDynamics::new(1, 0, |_s: &[f64], _a: &[f64]| vec![3.0]);
+            let e = Integrator::Euler.step(&f, &[x], &[], dt);
+            let r = Integrator::RungeKutta4.step(&f, &[x], &[], dt);
+            prop_assert!((e[0] - (x + 3.0 * dt)).abs() < 1e-12);
+            prop_assert!((r[0] - (x + 3.0 * dt)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Environment substrate for the verifiable-RL framework.
+//!
+//! This crate models the paper's environment context `C[·]`: an infinite
+//! state transition system over continuous states with a hole for a control
+//! policy (Sec. 3).  It provides:
+//!
+//! * [`PolyDynamics`] — polynomial vector fields `ṡ = f(s, a)`;
+//! * [`Integrator`] — Euler (the paper's transition relation) and RK4;
+//! * [`BoxRegion`] / [`SafetySpec`] — initial sets `S0` and unsafe sets `Su`;
+//! * [`Disturbance`] — bounded non-deterministic noise `d` in `ṡ = f(s,a)+d`;
+//! * [`Policy`] — the policy abstraction shared by neural networks,
+//!   synthesized programs and shields;
+//! * [`EnvironmentContext`] — the assembled transition system with rollouts,
+//!   rewards, and symbolic closed-loop successor construction used by the
+//!   verifier;
+//! * [`Trajectory`] — finite rollouts with safety and performance metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrl_dynamics::{BoxRegion, ConstantPolicy, EnvironmentContext, PolyDynamics, SafetySpec};
+//! use vrl_poly::Polynomial;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+//! let env = EnvironmentContext::new(
+//!     "toy",
+//!     dynamics,
+//!     0.01,
+//!     BoxRegion::symmetric(&[0.1]),
+//!     SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+//! );
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let t = env.rollout(&ConstantPolicy::zeros(1), &[0.05], 10, &mut rng);
+//! assert!(!t.violates(env.safety()));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod disturbance;
+mod dynamics;
+mod env;
+mod integrator;
+mod policy;
+mod region;
+mod trajectory;
+
+pub use disturbance::Disturbance;
+pub use dynamics::{ClosureDynamics, Dynamics, DynamicsError, PolyDynamics};
+pub use env::{EnvironmentContext, RewardFn, SteadyFn};
+pub use integrator::Integrator;
+pub use policy::{ClosurePolicy, ConstantPolicy, LinearPolicy, Policy};
+pub use region::{BoxRegion, SafetySpec};
+pub use trajectory::Trajectory;

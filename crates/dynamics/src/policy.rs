@@ -1,0 +1,196 @@
+//! The control-policy abstraction shared by neural policies, synthesized
+//! programs, and shields.
+
+/// A deterministic control policy mapping an environment state to a control
+/// action, i.e. the `π : Rⁿ → Rᵐ` of the paper.
+///
+/// Neural policies (`vrl-rl`), synthesized deterministic programs
+/// (`vrl-synth`) and runtime shields (`vrl-shield`) all implement this trait,
+/// which is what lets the shield transparently substitute for the raw neural
+/// network inside an [`crate::EnvironmentContext`] rollout.
+pub trait Policy {
+    /// Dimension of the action vector this policy produces.
+    fn action_dim(&self) -> usize;
+
+    /// Computes the control action for `state`.
+    fn action(&self, state: &[f64]) -> Vec<f64>;
+}
+
+impl<P: Policy + ?Sized> Policy for &P {
+    fn action_dim(&self) -> usize {
+        (**self).action_dim()
+    }
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        (**self).action(state)
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn action_dim(&self) -> usize {
+        (**self).action_dim()
+    }
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        (**self).action(state)
+    }
+}
+
+/// A policy that always emits the same action, useful as a baseline and in
+/// tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstantPolicy {
+    action: Vec<f64>,
+}
+
+impl ConstantPolicy {
+    /// Creates a policy that always returns `action`.
+    pub fn new(action: Vec<f64>) -> Self {
+        ConstantPolicy { action }
+    }
+
+    /// The zero policy of the given action dimension.
+    pub fn zeros(action_dim: usize) -> Self {
+        ConstantPolicy {
+            action: vec![0.0; action_dim],
+        }
+    }
+}
+
+impl Policy for ConstantPolicy {
+    fn action_dim(&self) -> usize {
+        self.action.len()
+    }
+    fn action(&self, _state: &[f64]) -> Vec<f64> {
+        self.action.clone()
+    }
+}
+
+/// A policy defined by an arbitrary closure.
+pub struct ClosurePolicy<F> {
+    action_dim: usize,
+    f: F,
+}
+
+impl<F> ClosurePolicy<F>
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    /// Wraps a closure computing the action for a state.
+    pub fn new(action_dim: usize, f: F) -> Self {
+        ClosurePolicy { action_dim, f }
+    }
+}
+
+impl<F> Policy for ClosurePolicy<F>
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        (self.f)(state)
+    }
+}
+
+impl<F> std::fmt::Debug for ClosurePolicy<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosurePolicy")
+            .field("action_dim", &self.action_dim)
+            .finish()
+    }
+}
+
+/// A simple linear state-feedback policy `a = K s` (one row of gains per
+/// action dimension), provided as a baseline controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearPolicy {
+    gains: Vec<Vec<f64>>,
+}
+
+impl LinearPolicy {
+    /// Creates a linear policy from per-action gain rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gain rows have differing lengths.
+    pub fn new(gains: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = gains.first() {
+            assert!(
+                gains.iter().all(|g| g.len() == first.len()),
+                "all gain rows must have the same length"
+            );
+        }
+        LinearPolicy { gains }
+    }
+
+    /// The gain rows.
+    pub fn gains(&self) -> &[Vec<f64>] {
+        &self.gains
+    }
+
+    /// Dimension of the state this policy expects.
+    pub fn state_dim(&self) -> usize {
+        self.gains.first().map_or(0, Vec::len)
+    }
+}
+
+impl Policy for LinearPolicy {
+    fn action_dim(&self) -> usize {
+        self.gains.len()
+    }
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        self.gains
+            .iter()
+            .map(|row| row.iter().zip(state.iter()).map(|(k, s)| k * s).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_policy_ignores_state() {
+        let p = ConstantPolicy::new(vec![1.0, -2.0]);
+        assert_eq!(p.action_dim(), 2);
+        assert_eq!(p.action(&[9.0]), vec![1.0, -2.0]);
+        assert_eq!(ConstantPolicy::zeros(3).action(&[]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn closure_policy_wraps_functions() {
+        let p = ClosurePolicy::new(1, |s: &[f64]| vec![-s[0]]);
+        assert_eq!(p.action(&[2.0]), vec![-2.0]);
+        assert_eq!(p.action_dim(), 1);
+        assert!(format!("{p:?}").contains("ClosurePolicy"));
+    }
+
+    #[test]
+    fn linear_policy_computes_feedback() {
+        let p = LinearPolicy::new(vec![vec![-12.05, -5.87]]);
+        let a = p.action(&[0.1, -0.2]);
+        assert!((a[0] - (-12.05 * 0.1 + -5.87 * -0.2)).abs() < 1e-12);
+        assert_eq!(p.state_dim(), 2);
+        assert_eq!(p.action_dim(), 1);
+        assert_eq!(p.gains()[0].len(), 2);
+    }
+
+    #[test]
+    fn references_and_boxes_are_policies() {
+        fn takes_policy<P: Policy>(p: P, state: &[f64]) -> Vec<f64> {
+            p.action(state)
+        }
+        let p = ConstantPolicy::new(vec![3.0]);
+        assert_eq!(takes_policy(&p, &[0.0]), vec![3.0]);
+        let boxed: Box<dyn Policy> = Box::new(p);
+        assert_eq!(takes_policy(&boxed, &[0.0]), vec![3.0]);
+        assert_eq!(boxed.action_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn linear_policy_rejects_ragged_gains() {
+        let _ = LinearPolicy::new(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+}

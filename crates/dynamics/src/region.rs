@@ -1,0 +1,528 @@
+//! State-space regions: boxes, initial sets, and safety specifications.
+
+use rand::Rng;
+use vrl_poly::Interval;
+
+/// An axis-aligned box (hyper-rectangle) in state space.
+///
+/// Boxes are the workhorse region representation of the framework: the
+/// paper's initial state sets `S0` and (complements of) unsafe sets `Su` are
+/// all boxes, and the branch-and-bound verifier subdivides boxes.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_dynamics::BoxRegion;
+///
+/// let b = BoxRegion::symmetric(&[1.0, 2.0]);
+/// assert!(b.contains(&[0.5, -1.5]));
+/// assert!(!b.contains(&[1.5, 0.0]));
+/// assert_eq!(b.center(), vec![0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxRegion {
+    lows: Vec<f64>,
+    highs: Vec<f64>,
+}
+
+impl BoxRegion {
+    /// Creates a box from per-dimension lower and upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vectors have different lengths or any lower bound
+    /// exceeds the corresponding upper bound.
+    pub fn new(lows: Vec<f64>, highs: Vec<f64>) -> Self {
+        assert_eq!(lows.len(), highs.len(), "bound vectors must have equal length");
+        for (i, (lo, hi)) in lows.iter().zip(highs.iter()).enumerate() {
+            assert!(
+                lo <= hi,
+                "lower bound {lo} exceeds upper bound {hi} in dimension {i}"
+            );
+        }
+        BoxRegion { lows, highs }
+    }
+
+    /// Creates the symmetric box `[-b_i, b_i]` in every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is negative.
+    pub fn symmetric(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.iter().all(|b| *b >= 0.0),
+            "symmetric bounds must be non-negative"
+        );
+        BoxRegion::new(bounds.iter().map(|b| -b).collect(), bounds.to_vec())
+    }
+
+    /// Creates the box `center ± radius` (same radius in every dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0`.
+    pub fn ball(center: &[f64], radius: f64) -> Self {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        BoxRegion::new(
+            center.iter().map(|c| c - radius).collect(),
+            center.iter().map(|c| c + radius).collect(),
+        )
+    }
+
+    /// Dimension of the box.
+    pub fn dim(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// Lower bounds, one per dimension.
+    pub fn lows(&self) -> &[f64] {
+        &self.lows
+    }
+
+    /// Upper bounds, one per dimension.
+    pub fn highs(&self) -> &[f64] {
+        &self.highs
+    }
+
+    /// Lower bound in dimension `i`.
+    pub fn low(&self, i: usize) -> f64 {
+        self.lows[i]
+    }
+
+    /// Upper bound in dimension `i`.
+    pub fn high(&self, i: usize) -> f64 {
+        self.highs[i]
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.lows
+            .iter()
+            .zip(self.highs.iter())
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Per-dimension widths.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lows
+            .iter()
+            .zip(self.highs.iter())
+            .map(|(l, h)| h - l)
+            .collect()
+    }
+
+    /// Maximum width over all dimensions (the "diameter" used when shrinking
+    /// the initial region in Algorithm 2).
+    pub fn diameter(&self) -> f64 {
+        self.widths().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f64 {
+        self.widths().into_iter().product()
+    }
+
+    /// Returns true when `point` lies in the box (inclusive bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has the wrong dimension.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        point
+            .iter()
+            .zip(self.lows.iter().zip(self.highs.iter()))
+            .all(|(x, (l, h))| *l <= *x && *x <= *h)
+    }
+
+    /// Returns true when `other` is entirely contained in `self`.
+    pub fn contains_box(&self, other: &BoxRegion) -> bool {
+        self.dim() == other.dim()
+            && other
+                .lows
+                .iter()
+                .zip(self.lows.iter())
+                .all(|(ol, sl)| ol >= sl)
+            && other
+                .highs
+                .iter()
+                .zip(self.highs.iter())
+                .all(|(oh, sh)| oh <= sh)
+    }
+
+    /// Intersection of two boxes, if non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn intersection(&self, other: &BoxRegion) -> Option<BoxRegion> {
+        assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
+        let lows: Vec<f64> = self
+            .lows
+            .iter()
+            .zip(other.lows.iter())
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        let highs: Vec<f64> = self
+            .highs
+            .iter()
+            .zip(other.highs.iter())
+            .map(|(a, b)| a.min(*b))
+            .collect();
+        if lows.iter().zip(highs.iter()).all(|(l, h)| l <= h) {
+            Some(BoxRegion::new(lows, highs))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the box scaled about its center by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 0`.
+    pub fn scaled_about_center(&self, factor: f64) -> BoxRegion {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        let center = self.center();
+        let lows = center
+            .iter()
+            .zip(self.lows.iter())
+            .map(|(c, l)| c + factor * (l - c))
+            .collect();
+        let highs = center
+            .iter()
+            .zip(self.highs.iter())
+            .map(|(c, h)| c + factor * (h - c))
+            .collect();
+        BoxRegion::new(lows, highs)
+    }
+
+    /// Returns the box expanded by `margin` in every direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking (`margin < 0`) would invert any dimension.
+    pub fn expanded(&self, margin: f64) -> BoxRegion {
+        BoxRegion::new(
+            self.lows.iter().map(|l| l - margin).collect(),
+            self.highs.iter().map(|h| h + margin).collect(),
+        )
+    }
+
+    /// Samples a point uniformly at random from the box.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lows
+            .iter()
+            .zip(self.highs.iter())
+            .map(|(l, h)| if l == h { *l } else { rng.gen_range(*l..=*h) })
+            .collect()
+    }
+
+    /// Enumerates all `2^dim` corner points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension exceeds 24 (guarding against accidental
+    /// exponential blow-up).
+    pub fn corners(&self) -> Vec<Vec<f64>> {
+        let n = self.dim();
+        assert!(n <= 24, "corner enumeration limited to 24 dimensions");
+        let count = 1usize << n;
+        let mut out = Vec::with_capacity(count);
+        for mask in 0..count {
+            let corner: Vec<f64> = (0..n)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        self.highs[i]
+                    } else {
+                        self.lows[i]
+                    }
+                })
+                .collect();
+            out.push(corner);
+        }
+        out
+    }
+
+    /// Splits the box into two halves along its widest dimension.
+    pub fn bisect(&self) -> (BoxRegion, BoxRegion) {
+        let widths = self.widths();
+        let split_dim = widths
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mid = 0.5 * (self.lows[split_dim] + self.highs[split_dim]);
+        let mut left_highs = self.highs.clone();
+        left_highs[split_dim] = mid;
+        let mut right_lows = self.lows.clone();
+        right_lows[split_dim] = mid;
+        (
+            BoxRegion::new(self.lows.clone(), left_highs),
+            BoxRegion::new(right_lows, self.highs.clone()),
+        )
+    }
+
+    /// Returns the box as per-dimension [`Interval`]s for interval evaluation.
+    pub fn to_intervals(&self) -> Vec<Interval> {
+        self.lows
+            .iter()
+            .zip(self.highs.iter())
+            .map(|(l, h)| Interval::new(*l, *h))
+            .collect()
+    }
+
+    /// Builds a uniform grid of points covering the box with `per_dim` points
+    /// in each dimension (including the endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_dim == 0` or the total grid would exceed one million
+    /// points.
+    pub fn grid(&self, per_dim: usize) -> Vec<Vec<f64>> {
+        assert!(per_dim > 0, "grid resolution must be positive");
+        let n = self.dim();
+        let total = per_dim.checked_pow(n as u32).unwrap_or(usize::MAX);
+        assert!(total <= 1_000_000, "grid of {total} points is too large");
+        let mut out = Vec::with_capacity(total);
+        let mut indices = vec![0usize; n];
+        loop {
+            let point: Vec<f64> = (0..n)
+                .map(|i| {
+                    if per_dim == 1 {
+                        0.5 * (self.lows[i] + self.highs[i])
+                    } else {
+                        self.lows[i]
+                            + (self.highs[i] - self.lows[i]) * indices[i] as f64
+                                / (per_dim - 1) as f64
+                    }
+                })
+                .collect();
+            out.push(point);
+            // Advance the multi-index odometer.
+            let mut dim = 0;
+            loop {
+                if dim == n {
+                    return out;
+                }
+                indices[dim] += 1;
+                if indices[dim] < per_dim {
+                    break;
+                }
+                indices[dim] = 0;
+                dim += 1;
+            }
+        }
+    }
+}
+
+/// The safety specification of an environment: the system must remain inside
+/// a safe box and outside every obstacle box.
+///
+/// This directly models the paper's unsafe sets: `Su` is the complement of a
+/// box (e.g. the pendulum must keep `|η|, |ω| < 90°`), optionally augmented
+/// with obstacle boxes that must be avoided (the Self-Driving environment
+/// change of Table 3).
+///
+/// # Examples
+///
+/// ```
+/// use vrl_dynamics::{BoxRegion, SafetySpec};
+///
+/// let spec = SafetySpec::inside(BoxRegion::symmetric(&[1.0, 1.0]));
+/// assert!(spec.is_safe(&[0.5, 0.5]));
+/// assert!(spec.is_unsafe(&[2.0, 0.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetySpec {
+    safe_box: BoxRegion,
+    obstacles: Vec<BoxRegion>,
+}
+
+impl SafetySpec {
+    /// Safety means staying inside `safe_box`.
+    pub fn inside(safe_box: BoxRegion) -> Self {
+        SafetySpec {
+            safe_box,
+            obstacles: Vec::new(),
+        }
+    }
+
+    /// Adds an obstacle box that must be avoided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the obstacle dimension does not match the safe box.
+    pub fn with_obstacle(mut self, obstacle: BoxRegion) -> Self {
+        assert_eq!(
+            obstacle.dim(),
+            self.safe_box.dim(),
+            "obstacle dimension must match the safe box"
+        );
+        self.obstacles.push(obstacle);
+        self
+    }
+
+    /// The box the system must remain inside.
+    pub fn safe_box(&self) -> &BoxRegion {
+        &self.safe_box
+    }
+
+    /// Obstacle boxes the system must avoid.
+    pub fn obstacles(&self) -> &[BoxRegion] {
+        &self.obstacles
+    }
+
+    /// Dimension of the specification.
+    pub fn dim(&self) -> usize {
+        self.safe_box.dim()
+    }
+
+    /// Returns true when `state` violates the specification.
+    pub fn is_unsafe(&self, state: &[f64]) -> bool {
+        !self.safe_box.contains(state) || self.obstacles.iter().any(|o| o.contains(state))
+    }
+
+    /// Returns true when `state` satisfies the specification.
+    pub fn is_safe(&self, state: &[f64]) -> bool {
+        !self.is_unsafe(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = BoxRegion::new(vec![-1.0, 0.0], vec![1.0, 2.0]);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.lows(), &[-1.0, 0.0]);
+        assert_eq!(b.highs(), &[1.0, 2.0]);
+        assert_eq!(b.low(1), 0.0);
+        assert_eq!(b.high(0), 1.0);
+        assert_eq!(b.center(), vec![0.0, 1.0]);
+        assert_eq!(b.widths(), vec![2.0, 2.0]);
+        assert_eq!(b.diameter(), 2.0);
+        assert_eq!(b.volume(), 4.0);
+        let s = BoxRegion::symmetric(&[0.5]);
+        assert_eq!(s.lows(), &[-0.5]);
+        let ball = BoxRegion::ball(&[1.0, 1.0], 0.25);
+        assert_eq!(ball.lows(), &[0.75, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn invalid_bounds_panic() {
+        let _ = BoxRegion::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = BoxRegion::symmetric(&[1.0, 1.0]);
+        let b = BoxRegion::new(vec![0.5, 0.5], vec![2.0, 2.0]);
+        assert!(a.contains(&[1.0, -1.0]));
+        assert!(!a.contains(&[1.1, 0.0]));
+        assert!(a.contains_box(&BoxRegion::symmetric(&[0.5, 0.5])));
+        assert!(!a.contains_box(&b));
+        let inter = a.intersection(&b).unwrap();
+        assert_eq!(inter.lows(), &[0.5, 0.5]);
+        assert_eq!(inter.highs(), &[1.0, 1.0]);
+        let far = BoxRegion::new(vec![5.0, 5.0], vec![6.0, 6.0]);
+        assert!(a.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn scaling_expansion_and_bisection() {
+        let b = BoxRegion::new(vec![0.0, 0.0], vec![2.0, 4.0]);
+        let half = b.scaled_about_center(0.5);
+        assert_eq!(half.lows(), &[0.5, 1.0]);
+        assert_eq!(half.highs(), &[1.5, 3.0]);
+        let grown = b.expanded(1.0);
+        assert_eq!(grown.lows(), &[-1.0, -1.0]);
+        let (left, right) = b.bisect();
+        // Widest dimension is the second one.
+        assert_eq!(left.highs(), &[2.0, 2.0]);
+        assert_eq!(right.lows(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn corners_grid_and_intervals() {
+        let b = BoxRegion::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        let corners = b.corners();
+        assert_eq!(corners.len(), 4);
+        assert!(corners.contains(&vec![0.0, -1.0]));
+        assert!(corners.contains(&vec![1.0, 1.0]));
+        let grid = b.grid(3);
+        assert_eq!(grid.len(), 9);
+        assert!(grid.contains(&vec![0.5, 0.0]));
+        assert_eq!(b.grid(1), vec![vec![0.5, 0.0]]);
+        let ivs = b.to_intervals();
+        assert_eq!(ivs[1].lo(), -1.0);
+        assert_eq!(ivs[1].hi(), 1.0);
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let b = BoxRegion::new(vec![-2.0, 3.0], vec![-1.0, 3.0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = b.sample(&mut rng);
+            assert!(b.contains(&p));
+            assert_eq!(p[1], 3.0);
+        }
+    }
+
+    #[test]
+    fn safety_spec_with_obstacles() {
+        let spec = SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0]))
+            .with_obstacle(BoxRegion::new(vec![0.5, 0.5], vec![1.0, 1.0]));
+        assert!(spec.is_safe(&[0.0, 0.0]));
+        assert!(spec.is_unsafe(&[3.0, 0.0]));
+        assert!(spec.is_unsafe(&[0.75, 0.75]));
+        assert_eq!(spec.dim(), 2);
+        assert_eq!(spec.obstacles().len(), 1);
+        assert_eq!(spec.safe_box().highs(), &[2.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_center_is_contained(lows in proptest::collection::vec(-10.0..10.0f64, 1..6),
+                                     widths in proptest::collection::vec(0.0..5.0f64, 1..6)) {
+            let n = lows.len().min(widths.len());
+            let highs: Vec<f64> = lows[..n].iter().zip(widths[..n].iter()).map(|(l, w)| l + w).collect();
+            let b = BoxRegion::new(lows[..n].to_vec(), highs);
+            prop_assert!(b.contains(&b.center()));
+            prop_assert!(b.volume() >= 0.0);
+        }
+
+        #[test]
+        fn prop_bisection_partitions(lows in proptest::collection::vec(-5.0..5.0f64, 2..5),
+                                      widths in proptest::collection::vec(0.1..3.0f64, 2..5),
+                                      t in proptest::collection::vec(0.0..1.0f64, 2..5)) {
+            let n = lows.len().min(widths.len()).min(t.len());
+            let highs: Vec<f64> = lows[..n].iter().zip(widths[..n].iter()).map(|(l, w)| l + w).collect();
+            let b = BoxRegion::new(lows[..n].to_vec(), highs);
+            let point: Vec<f64> = (0..n).map(|i| b.low(i) + t[i] * (b.high(i) - b.low(i))).collect();
+            let (left, right) = b.bisect();
+            prop_assert!(left.contains(&point) || right.contains(&point));
+            prop_assert!(b.contains_box(&left) && b.contains_box(&right));
+            prop_assert!((left.volume() + right.volume() - b.volume()).abs() < 1e-9 * (1.0 + b.volume()));
+        }
+
+        #[test]
+        fn prop_samples_are_contained(seed in 0u64..1000,
+                                       bounds in proptest::collection::vec(0.01..5.0f64, 1..5)) {
+            let b = BoxRegion::symmetric(&bounds);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                prop_assert!(b.contains(&b.sample(&mut rng)));
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Finite rollouts of a controlled system.
+
+use crate::SafetySpec;
+
+/// A finite trajectory `s_0, s_1, …, s_T` together with the actions taken and
+/// rewards received along the way.
+///
+/// Trajectories are produced by
+/// [`EnvironmentContext::rollout`](crate::EnvironmentContext::rollout) and
+/// consumed by the RL trainers (to estimate returns), the synthesis procedure
+/// (to measure program/oracle proximity along visited states), and the
+/// evaluation harness (to count safety violations and convergence steps).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    states: Vec<Vec<f64>>,
+    actions: Vec<Vec<f64>>,
+    rewards: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Creates a trajectory starting from `initial_state` with no transitions yet.
+    pub fn starting_at(initial_state: Vec<f64>) -> Self {
+        Trajectory {
+            states: vec![initial_state],
+            actions: Vec::new(),
+            rewards: Vec::new(),
+        }
+    }
+
+    /// Appends a transition: the action taken in the last recorded state, the
+    /// reward received, and the resulting next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory has no starting state yet.
+    pub fn push(&mut self, action: Vec<f64>, reward: f64, next_state: Vec<f64>) {
+        assert!(
+            !self.states.is_empty(),
+            "a trajectory must be given a starting state before transitions are pushed"
+        );
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.states.push(next_state);
+    }
+
+    /// Number of transitions (one less than the number of states, zero when empty).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns true when no transition has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// All visited states, including the initial one.
+    pub fn states(&self) -> &[Vec<f64>] {
+        &self.states
+    }
+
+    /// Actions taken, aligned with `states()[i] -> states()[i+1]`.
+    pub fn actions(&self) -> &[Vec<f64>] {
+        &self.actions
+    }
+
+    /// Rewards received, aligned with the actions.
+    pub fn rewards(&self) -> &[f64] {
+        &self.rewards
+    }
+
+    /// The first state, if any.
+    pub fn initial_state(&self) -> Option<&[f64]> {
+        self.states.first().map(Vec::as_slice)
+    }
+
+    /// The last state, if any.
+    pub fn final_state(&self) -> Option<&[f64]> {
+        self.states.last().map(Vec::as_slice)
+    }
+
+    /// Sum of all rewards.
+    pub fn total_reward(&self) -> f64 {
+        self.rewards.iter().sum()
+    }
+
+    /// Discounted return `Σ γ^t r_t`.
+    pub fn discounted_return(&self, gamma: f64) -> f64 {
+        self.rewards
+            .iter()
+            .enumerate()
+            .map(|(t, r)| gamma.powi(t as i32) * r)
+            .sum()
+    }
+
+    /// Index of the first state violating `spec`, if any.
+    pub fn first_unsafe_index(&self, spec: &SafetySpec) -> Option<usize> {
+        self.states.iter().position(|s| spec.is_unsafe(s))
+    }
+
+    /// Returns true when some visited state violates `spec`.
+    pub fn violates(&self, spec: &SafetySpec) -> bool {
+        self.first_unsafe_index(spec).is_some()
+    }
+
+    /// Number of steps until the system first satisfies `is_steady` and
+    /// remains steady for the rest of the trajectory; `None` if it never
+    /// settles.  This is the "number of steps to reach a steady state"
+    /// performance metric reported in Table 1.
+    pub fn steps_to_steady(&self, mut is_steady: impl FnMut(&[f64]) -> bool) -> Option<usize> {
+        let flags: Vec<bool> = self.states.iter().map(|s| is_steady(s)).collect();
+        let mut settle_index = None;
+        for (i, &steady) in flags.iter().enumerate() {
+            if steady {
+                if settle_index.is_none() {
+                    settle_index = Some(i);
+                }
+            } else {
+                settle_index = None;
+            }
+        }
+        settle_index
+    }
+
+    /// Iterates over `(state, action, reward, next_state)` tuples.
+    pub fn transitions(&self) -> impl Iterator<Item = (&[f64], &[f64], f64, &[f64])> + '_ {
+        (0..self.len()).map(move |i| {
+            (
+                self.states[i].as_slice(),
+                self.actions[i].as_slice(),
+                self.rewards[i],
+                self.states[i + 1].as_slice(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoxRegion;
+
+    fn sample_trajectory() -> Trajectory {
+        let mut t = Trajectory::starting_at(vec![1.0, 0.0]);
+        t.push(vec![-0.5], -1.0, vec![0.5, -0.1]);
+        t.push(vec![-0.2], -0.5, vec![0.1, 0.0]);
+        t.push(vec![0.0], -0.1, vec![0.01, 0.0]);
+        t
+    }
+
+    #[test]
+    fn accessors_and_returns() {
+        let t = sample_trajectory();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.states().len(), 4);
+        assert_eq!(t.actions().len(), 3);
+        assert_eq!(t.rewards(), &[-1.0, -0.5, -0.1]);
+        assert_eq!(t.initial_state().unwrap(), &[1.0, 0.0]);
+        assert_eq!(t.final_state().unwrap(), &[0.01, 0.0]);
+        assert!((t.total_reward() + 1.6).abs() < 1e-12);
+        assert!((t.discounted_return(0.5) - (-1.0 - 0.25 - 0.025)).abs() < 1e-12);
+        assert!(Trajectory::new().is_empty());
+        assert!(Trajectory::new().initial_state().is_none());
+        assert_eq!(Trajectory::new().total_reward(), 0.0);
+    }
+
+    #[test]
+    fn transitions_iterate_in_order() {
+        let t = sample_trajectory();
+        let collected: Vec<_> = t.transitions().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0].0, &[1.0, 0.0]);
+        assert_eq!(collected[0].3, &[0.5, -0.1]);
+        assert_eq!(collected[2].2, -0.1);
+    }
+
+    #[test]
+    fn safety_checks() {
+        let t = sample_trajectory();
+        let tight = SafetySpec::inside(BoxRegion::symmetric(&[0.6, 1.0]));
+        let loose = SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0]));
+        assert_eq!(t.first_unsafe_index(&tight), Some(0));
+        assert!(t.violates(&tight));
+        assert!(!t.violates(&loose));
+        assert_eq!(t.first_unsafe_index(&loose), None);
+    }
+
+    #[test]
+    fn steps_to_steady_requires_remaining_steady() {
+        let t = sample_trajectory();
+        // Steady once within 0.2 of the origin (in max-norm).
+        let steps = t.steps_to_steady(|s| s.iter().all(|x| x.abs() <= 0.2));
+        assert_eq!(steps, Some(2));
+        // Never steady with an impossible threshold.
+        assert_eq!(t.steps_to_steady(|s| s.iter().all(|x| x.abs() < 1e-9)), None);
+        // A trajectory that leaves the steady region resets the counter.
+        let mut osc = Trajectory::starting_at(vec![0.0]);
+        osc.push(vec![0.0], 0.0, vec![1.0]);
+        osc.push(vec![0.0], 0.0, vec![0.0]);
+        assert_eq!(osc.steps_to_steady(|s| s[0].abs() < 0.5), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "starting state")]
+    fn push_without_start_panics() {
+        let mut t = Trajectory::new();
+        t.push(vec![0.0], 0.0, vec![0.0]);
+    }
+}

@@ -1,0 +1,376 @@
+//! LU and Cholesky factorizations.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_linalg::{Lu, Matrix, Vector};
+///
+/// let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 1.0]]);
+/// let lu = Lu::new(&a).unwrap();
+/// let x = lu.solve(&Vector::from_slice(&[2.0, 2.0])).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (below diagonal, unit diagonal implied) and U (on/above diagonal).
+    factors: Matrix,
+    /// Row permutation: row `i` of the factorization corresponds to row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for determinants.
+    perm_sign: f64,
+}
+
+const PIVOT_TOLERANCE: f64 = 1e-12;
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot underflows the tolerance.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut f = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: find the row with the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = f[(k, k)].abs();
+            for i in (k + 1)..n {
+                if f[(i, k)].abs() > pivot_val {
+                    pivot_val = f[(i, k)].abs();
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_TOLERANCE {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = f[(k, j)];
+                    f[(k, j)] = f[(pivot_row, j)];
+                    f[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = f[(k, k)];
+            for i in (k + 1)..n {
+                let mult = f[(i, k)] / pivot;
+                f[(i, k)] = mult;
+                for j in (k + 1)..n {
+                    let delta = mult * f[(k, j)];
+                    f[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu {
+            factors: f,
+            perm,
+            perm_sign: sign,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b` has the wrong length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution with permuted right-hand side.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.factors[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = sum / self.factors[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse of the factorized matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from per-column solves (which cannot occur for a
+    /// successfully constructed factorization of correct dimension).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let e = Vector::from_fn(n, |i| if i == j { 1.0 } else { 0.0 });
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.factors[(i, i)];
+        }
+        det
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+/// let chol = Cholesky::new(&a).unwrap();
+/// assert!(chol.determinant() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    lower: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is
+    /// non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { lower: l })
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.lower
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lower.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b` has the wrong length.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Solve L y = b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.lower[(i, j)] * y[j];
+            }
+            y[i] = sum / self.lower[(i, i)];
+        }
+        // Solve Lᵀ x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lower[(j, i)] * x[j];
+            }
+            x[i] = sum / self.lower[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = 1.0;
+        for i in 0..self.dim() {
+            let d = self.lower[(i, i)];
+            det *= d * d;
+        }
+        det
+    }
+
+    /// Log-determinant, numerically safer than `determinant().ln()` for large matrices.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| 2.0 * self.lower[(i, i)].ln())
+            .sum()
+    }
+}
+
+/// Returns true when a symmetric matrix is positive definite (via Cholesky).
+pub(crate) fn is_positive_definite(a: &Matrix) -> bool {
+    Cholesky::new(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lu_solves_with_pivoting() {
+        // Leading zero forces a pivot swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0, 2.0], vec![1.0, 2.0, 0.0], vec![2.0, 0.0, 1.0]]);
+        let x_true = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        let b = a.matvec(&x_true);
+        let lu = Lu::new(&a).unwrap();
+        assert_eq!(lu.dim(), 3);
+        let x = lu.solve(&b).unwrap();
+        assert!(x.distance(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn lu_detects_singular_and_non_square() {
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::new(&singular), Err(LinalgError::Singular)));
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&rect), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn lu_determinant_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((Lu::new(&a).unwrap().determinant() + 1.0).abs() < 1e-12);
+        let b = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]);
+        assert!((Lu::new(&b).unwrap().determinant() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_rejects_bad_rhs() {
+        let lu = Lu::new(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            lu.solve(&Vector::zeros(3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_factorizes_spd() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0, 0.0], vec![2.0, 5.0, 1.0], vec![0.0, 1.0, 3.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.lower();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!((&recon - &a).frobenius_norm() < 1e-10);
+        assert!((c.determinant() - a.determinant().unwrap()).abs() < 1e-8);
+        assert!((c.log_determinant() - a.determinant().unwrap().ln()).abs() < 1e-8);
+        let b = Vector::from_slice(&[1.0, 0.0, -1.0]);
+        let x = c.solve(&b).unwrap();
+        assert!(a.matvec(&x).distance(&b) < 1e-10);
+        assert!(matches!(
+            c.solve(&Vector::zeros(4)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_and_non_square() {
+        let indefinite = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::new(&indefinite),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(1, 2)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(is_positive_definite(&Matrix::identity(3)));
+        assert!(!is_positive_definite(&indefinite));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lu_roundtrip_diag_dominant(entries in proptest::collection::vec(-3.0..3.0f64, 16),
+                                            xs in proptest::collection::vec(-10.0..10.0f64, 4)) {
+            let mut a = Matrix::from_row_major(4, 4, entries);
+            for i in 0..4 { a[(i, i)] += 15.0; }
+            let x = Vector::from_slice(&xs);
+            let b = a.matvec(&x);
+            let solved = Lu::new(&a).unwrap().solve(&b).unwrap();
+            prop_assert!(solved.distance(&x) < 1e-6);
+        }
+
+        #[test]
+        fn prop_cholesky_of_gram_matrix(entries in proptest::collection::vec(-2.0..2.0f64, 12)) {
+            // AᵀA + εI is symmetric positive definite for any A.
+            let a = Matrix::from_row_major(4, 3, entries);
+            let mut g = a.gram();
+            for i in 0..3 { g[(i, i)] += 0.1; }
+            let c = Cholesky::new(&g).unwrap();
+            let recon = c.lower().matmul(&c.lower().transpose()).unwrap();
+            prop_assert!((&recon - &g).frobenius_norm() < 1e-8);
+            prop_assert!(c.determinant() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Symmetric eigen-decomposition via the cyclic Jacobi method.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Eigen-decomposition `A = V Λ Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are returned in ascending order with the eigenvectors stored
+/// as the columns of [`SymmetricEigen::vectors`].
+///
+/// # Examples
+///
+/// ```
+/// use vrl_linalg::{Matrix, SymmetricEigen};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let eig = SymmetricEigen::new(&a).unwrap();
+/// assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vector,
+    vectors: Matrix,
+}
+
+const MAX_SWEEPS: usize = 100;
+const OFF_DIAGONAL_TOLERANCE: f64 = 1e-12;
+
+impl SymmetricEigen {
+    /// Computes the eigen-decomposition of a symmetric matrix.
+    ///
+    /// The input is symmetrized (`(A + Aᵀ)/2`) before iterating, so mildly
+    /// asymmetric inputs caused by floating-point noise are accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::NoConvergence`] if the Jacobi sweeps fail to reduce the
+    /// off-diagonal mass (practically unreachable for finite inputs).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut m = a.symmetrized();
+        let mut v = Matrix::identity(n);
+        if n <= 1 {
+            return Ok(SymmetricEigen {
+                eigenvalues: Vector::from_fn(n, |i| m[(i, i)]),
+                vectors: v,
+            });
+        }
+        let scale = m.norm_inf().max(1.0);
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += m[(p, q)] * m[(p, q)];
+                }
+            }
+            if off.sqrt() < OFF_DIAGONAL_TOLERANCE * scale {
+                return Ok(Self::sorted(m, v));
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() < OFF_DIAGONAL_TOLERANCE * scale * 1e-4 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    // Stable computation of tan of the rotation angle.
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply the rotation to rows/columns p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        // Final convergence check after the sweep budget.
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() < 1e-8 * scale {
+            Ok(Self::sorted(m, v))
+        } else {
+            Err(LinalgError::NoConvergence {
+                iterations: MAX_SWEEPS,
+            })
+        }
+    }
+
+    fn sorted(m: Matrix, v: Matrix) -> Self {
+        let n = m.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            m[(a, a)]
+                .partial_cmp(&m[(b, b)])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let eigenvalues = Vector::from_fn(n, |i| m[(order[i], order[i])]);
+        let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+        SymmetricEigen {
+            eigenvalues,
+            vectors,
+        }
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &Vector {
+        &self.eigenvalues
+    }
+
+    /// Matrix whose columns are the eigenvectors, ordered to match
+    /// [`SymmetricEigen::eigenvalues`].
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_eigenvalue(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// Largest eigenvalue.
+    pub fn max_eigenvalue(&self) -> f64 {
+        self.eigenvalues[self.eigenvalues.len() - 1]
+    }
+
+    /// Returns true when every eigenvalue is `>= -tol`.
+    pub fn is_positive_semidefinite(&self, tol: f64) -> bool {
+        self.min_eigenvalue() >= -tol
+    }
+
+    /// Returns true when every eigenvalue is `<= tol`.
+    pub fn is_negative_semidefinite(&self, tol: f64) -> bool {
+        self.max_eigenvalue() <= tol
+    }
+
+    /// Spectral radius (largest absolute eigenvalue) of the symmetric input.
+    pub fn spectral_radius(&self) -> f64 {
+        self.min_eigenvalue().abs().max(self.max_eigenvalue().abs())
+    }
+}
+
+/// Spectral radius of a general (possibly non-symmetric) square matrix,
+/// estimated by power iteration on `AᵀA` (which bounds the spectral radius
+/// from above by the largest singular value) combined with direct power
+/// iteration on `A` for the dominant eigenvalue magnitude.
+///
+/// The returned value is the power-iteration estimate of `max |λ_i(A)|`; the
+/// function is primarily used to decide whether a closed-loop linear system is
+/// a contraction.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input.
+pub fn spectral_radius(a: &Matrix, iterations: usize) -> Result<f64> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut v = Vector::from_fn(n, |i| 1.0 / (i as f64 + 1.0));
+    // For non-normal matrices (and complex dominant eigenvalues) the
+    // per-step growth ratio oscillates, so the estimate is the geometric mean
+    // of the growth over all iterations, which converges to max |λ_i|.
+    let mut log_growth = 0.0;
+    let mut steps = 0usize;
+    for _ in 0..iterations.max(1) {
+        let w = a.matvec(&v);
+        let norm = w.norm();
+        if norm < 1e-300 {
+            return Ok(0.0);
+        }
+        log_growth += (norm / v.norm().max(1e-300)).ln();
+        steps += 1;
+        v = w.scaled(1.0 / norm);
+    }
+    Ok((log_growth / steps as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted_diagonal() {
+        let a = Matrix::from_diagonal(&[3.0, -1.0, 2.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues().as_slice(), &[-1.0, 2.0, 3.0]);
+        assert_eq!(e.min_eigenvalue(), -1.0);
+        assert_eq!(e.max_eigenvalue(), 3.0);
+        assert_eq!(e.spectral_radius(), 3.0);
+        assert!(!e.is_positive_semidefinite(1e-9));
+        assert!(!e.is_negative_semidefinite(1e-9));
+    }
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 1.0).abs() < 1e-10);
+        assert!((e.eigenvalues()[1] - 3.0).abs() < 1e-10);
+        assert!(e.is_positive_semidefinite(1e-9));
+    }
+
+    #[test]
+    fn reconstruction_from_factors() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0],
+            vec![1.0, 2.0, 0.0],
+            vec![-2.0, 0.0, 3.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let v = e.vectors();
+        let lambda = Matrix::from_diagonal(e.eigenvalues().as_slice());
+        let recon = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+        assert!((&recon - &a).frobenius_norm() < 1e-8);
+        // Eigenvectors are orthonormal.
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!((&vtv - &Matrix::identity(3)).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_non_square_and_handles_trivial_sizes() {
+        assert!(matches!(
+            SymmetricEigen::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let one = SymmetricEigen::new(&Matrix::from_diagonal(&[7.0])).unwrap();
+        assert_eq!(one.eigenvalues().as_slice(), &[7.0]);
+        let empty = SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap();
+        assert!(empty.eigenvalues().is_empty());
+    }
+
+    #[test]
+    fn power_iteration_spectral_radius() {
+        let a = Matrix::from_rows(&[vec![0.5, 0.1], vec![0.0, 0.25]]);
+        let r = spectral_radius(&a, 200).unwrap();
+        assert!((r - 0.5).abs() < 1e-3);
+        assert!(matches!(
+            spectral_radius(&Matrix::zeros(1, 2), 10),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert_eq!(spectral_radius(&Matrix::zeros(3, 3), 10).unwrap(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eigen_reconstructs_symmetric_input(entries in proptest::collection::vec(-5.0..5.0f64, 16)) {
+            let a = Matrix::from_row_major(4, 4, entries).symmetrized();
+            let e = SymmetricEigen::new(&a).unwrap();
+            let v = e.vectors();
+            let lambda = Matrix::from_diagonal(e.eigenvalues().as_slice());
+            let recon = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+            prop_assert!((&recon - &a).frobenius_norm() < 1e-6 * (1.0 + a.frobenius_norm()));
+        }
+
+        #[test]
+        fn prop_trace_equals_eigenvalue_sum(entries in proptest::collection::vec(-5.0..5.0f64, 9)) {
+            let a = Matrix::from_row_major(3, 3, entries).symmetrized();
+            let e = SymmetricEigen::new(&a).unwrap();
+            prop_assert!((a.trace() - e.eigenvalues().sum()).abs() < 1e-7);
+        }
+
+        #[test]
+        fn prop_gram_matrices_are_psd(entries in proptest::collection::vec(-3.0..3.0f64, 12)) {
+            let a = Matrix::from_row_major(4, 3, entries);
+            let e = SymmetricEigen::new(&a.gram()).unwrap();
+            prop_assert!(e.is_positive_semidefinite(1e-7));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Error produced by fallible linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A factorization failed because the matrix is singular (or numerically so).
+    Singular,
+    /// Cholesky factorization failed because the matrix is not positive definite.
+    NotPositiveDefinite,
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square but is {rows}x{cols}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} sweeps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+        assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
+        assert!(LinalgError::NotSquare { rows: 1, cols: 2 }
+            .to_string()
+            .contains("1x2"));
+        assert!(LinalgError::NoConvergence { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(LinalgError::NotPositiveDefinite
+            .to_string()
+            .contains("positive definite"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

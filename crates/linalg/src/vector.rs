@@ -1,0 +1,492 @@
+//! Dense vectors over `f64`.
+
+use crate::LinalgError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense, heap-allocated vector of `f64` entries.
+///
+/// `Vector` is the numeric workhorse shared by the neural-network, RL and
+/// solver crates.  It is intentionally a thin wrapper over `Vec<f64>` with
+/// the arithmetic the framework needs.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_linalg::Vector;
+///
+/// let v = Vector::from_slice(&[3.0, 4.0]);
+/// assert_eq!(v.norm(), 5.0);
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    ///
+    /// ```
+    /// # use vrl_linalg::Vector;
+    /// let z = Vector::zeros(3);
+    /// assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+    /// ```
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a vector from a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Vector {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a vector by taking ownership of a `Vec<f64>`.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        Vector { data: values }
+    }
+
+    /// Creates a vector of length `n` whose `i`-th entry is `f(i)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns true if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the entries as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the entries as a slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Iterates mutably over the entries.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f64> {
+        self.data.iter_mut()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot product requires equal lengths ({} vs {})",
+            self.len(),
+            other.len()
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Checked dot product, returning an error on mismatched lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when lengths differ.
+    pub fn try_dot(&self, other: &Vector) -> crate::Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "dot",
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+            });
+        }
+        Ok(self.dot(other))
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_squared(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Maximum absolute entry (L∞ norm); zero for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Sum of entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of the entries; zero for the empty vector.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f64
+        }
+    }
+
+    /// Entry-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hadamard(&self, other: &Vector) -> Vector {
+        assert_eq!(self.len(), other.len(), "hadamard requires equal lengths");
+        Vector::from_fn(self.len(), |i| self.data[i] * other.data[i])
+    }
+
+    /// Returns a copy scaled by `k`.
+    pub fn scaled(&self, k: f64) -> Vector {
+        Vector::from_fn(self.len(), |i| self.data[i] * k)
+    }
+
+    /// In-place `self += k * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn axpy(&mut self, k: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy requires equal lengths");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += k * b;
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new vector.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Returns a copy with each entry clamped to `[lo, hi]`.
+    pub fn clamped(&self, lo: f64, hi: f64) -> Vector {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Returns true if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Euclidean distance to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn distance(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "distance requires equal lengths");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector { data: v }
+    }
+}
+
+impl From<Vector> for Vec<f64> {
+    fn from(v: Vector) -> Self {
+        v.data
+    }
+}
+
+impl AsRef<[f64]> for Vector {
+    fn as_ref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Vector> for &Vector {
+            type Output = Vector;
+            fn $method(self, rhs: &Vector) -> Vector {
+                assert_eq!(self.len(), rhs.len(), "vector length mismatch");
+                Vector::from_fn(self.len(), |i| self.data[i] $op rhs.data[i])
+            }
+        }
+        impl $trait<Vector> for Vector {
+            type Output = Vector;
+            fn $method(self, rhs: Vector) -> Vector {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, k: f64) -> Vector {
+        self.scaled(k)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, k: f64) -> Vector {
+        self.scaled(k)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_produce_expected_contents() {
+        assert_eq!(Vector::zeros(3).as_slice(), &[0.0; 3]);
+        assert_eq!(Vector::filled(2, 1.5).as_slice(), &[1.5, 1.5]);
+        assert_eq!(Vector::from_fn(3, |i| i as f64).as_slice(), &[0.0, 1.0, 2.0]);
+        assert!(Vector::zeros(0).is_empty());
+        assert_eq!(Vector::default().len(), 0);
+    }
+
+    #[test]
+    fn dot_norm_and_distance() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert!((a.norm() - 14.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.norm_squared(), 14.0);
+        assert_eq!(a.norm_inf(), 3.0);
+        assert!((a.distance(&b) - 27.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_dot_reports_mismatch() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        assert!(matches!(
+            a.try_dot(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert_eq!(a.try_dot(&Vector::zeros(2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+        c.axpy(2.0, &b);
+        assert_eq!(c.as_slice(), &[7.0, 12.0]);
+    }
+
+    #[test]
+    fn map_clamp_hadamard_and_stats() {
+        let a = Vector::from_slice(&[-2.0, 0.5, 3.0]);
+        assert_eq!(a.clamped(-1.0, 1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+        assert_eq!(a.map(|x| x * x).as_slice(), &[4.0, 0.25, 9.0]);
+        assert_eq!(a.sum(), 1.5);
+        assert_eq!(a.mean(), 0.5);
+        assert_eq!(Vector::zeros(0).mean(), 0.0);
+        let b = Vector::from_slice(&[1.0, 2.0, -1.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[-2.0, 1.0, -3.0]);
+        assert!(a.is_finite());
+        assert!(!Vector::from_slice(&[f64::NAN]).is_finite());
+    }
+
+    #[test]
+    fn conversions_and_iteration() {
+        let v: Vector = vec![1.0, 2.0].into();
+        let back: Vec<f64> = v.clone().into();
+        assert_eq!(back, vec![1.0, 2.0]);
+        let collected: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(collected.as_slice(), &[0.0, 1.0, 2.0]);
+        let sum: f64 = (&collected).into_iter().sum();
+        assert_eq!(sum, 3.0);
+        let mut ext = Vector::zeros(1);
+        ext.extend([5.0]);
+        assert_eq!(ext.as_slice(), &[0.0, 5.0]);
+        assert_eq!(format!("{}", Vector::from_slice(&[1.0])), "[1.000000]");
+        assert_eq!(v.as_ref().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot product requires equal lengths")]
+    fn dot_panics_on_mismatch() {
+        let _ = Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_is_commutative(a in proptest::collection::vec(-1e3..1e3f64, 1..16)) {
+            let n = a.len();
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            let va = Vector::from_slice(&a);
+            let vb = Vector::from_slice(&b[..n]);
+            prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_norm_is_nonnegative_and_scales(a in proptest::collection::vec(-1e3..1e3f64, 1..16), k in -10.0..10.0f64) {
+            let v = Vector::from_slice(&a);
+            prop_assert!(v.norm() >= 0.0);
+            let scaled = v.scaled(k);
+            prop_assert!((scaled.norm() - k.abs() * v.norm()).abs() < 1e-6 * (1.0 + v.norm()));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in proptest::collection::vec(-1e3..1e3f64, 1..12),
+                                     b in proptest::collection::vec(-1e3..1e3f64, 1..12)) {
+            let n = a.len().min(b.len());
+            let va = Vector::from_slice(&a[..n]);
+            let vb = Vector::from_slice(&b[..n]);
+            prop_assert!((&va + &vb).norm() <= va.norm() + vb.norm() + 1e-9);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in proptest::collection::vec(-1e6..1e6f64, 1..12),
+                                   b in proptest::collection::vec(-1e6..1e6f64, 1..12)) {
+            let n = a.len().min(b.len());
+            let va = Vector::from_slice(&a[..n]);
+            let vb = Vector::from_slice(&b[..n]);
+            let rt = &(&va + &vb) - &vb;
+            prop_assert!(rt.distance(&va) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Element-wise activation functions.
+
+/// Activation function applied element-wise by a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Hyperbolic tangent.
+    #[default]
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *pre-activation*
+    /// input `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn values_match_definitions() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Identity.apply(-3.5), -3.5);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-15);
+        assert!(Activation::Tanh.apply(10.0) < 1.0);
+        assert_eq!(Activation::Relu.derivative(-0.1), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.1), 1.0);
+        assert_eq!(Activation::Identity.derivative(7.0), 1.0);
+        assert_eq!(Activation::default(), Activation::Tanh);
+        assert_eq!(Activation::Tanh.name(), "tanh");
+        assert_eq!(Activation::Relu.name(), "relu");
+        assert_eq!(Activation::Identity.name(), "identity");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_derivative_matches_finite_difference(x in -3.0..3.0f64) {
+            let h = 1e-6;
+            for act in [Activation::Tanh, Activation::Identity] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                prop_assert!((numeric - act.derivative(x)).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_tanh_is_bounded(x in -100.0..100.0f64) {
+            let y = Activation::Tanh.apply(x);
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! A small, dependency-free neural-network substrate: multi-layer perceptrons
+//! with manual backpropagation and first-order optimizers.
+//!
+//! Neural policies in this framework are deliberately ordinary feed-forward
+//! networks — the paper treats the network purely as a *black-box oracle*
+//! whose behaviour is distilled into a verifiable program, so nothing more
+//! exotic is needed.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use vrl_nn::{Activation, Adam, Mlp};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+//! let mut opt = Adam::new(net.num_parameters(), 1e-2);
+//! // one gradient step towards fitting f(0.5) = 0.25
+//! let cache = net.forward_cached(&[0.5]);
+//! let error = cache.output()[0] - 0.25;
+//! let (grads, _) = net.backward(&cache, &[error]);
+//! let mut params = net.parameters();
+//! opt.step(&mut params, &net.flatten_gradients(&grads));
+//! net.set_parameters(&params);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod activation;
+mod mlp;
+mod optimizer;
+
+pub use activation::Activation;
+pub use mlp::{DenseLayer, ForwardCache, LayerGradient, Mlp};
+pub use optimizer::{Adam, Sgd};

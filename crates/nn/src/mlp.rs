@@ -1,0 +1,426 @@
+//! Multi-layer perceptrons with manual backpropagation.
+
+use crate::Activation;
+use rand::Rng;
+use vrl_linalg::{Matrix, Vector};
+
+/// A dense layer `y = act(W x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    weights: Matrix,
+    bias: Vector,
+    activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a layer with Xavier-style random initialization.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let scale = (2.0 / (input_dim + output_dim) as f64).sqrt();
+        let weights = Matrix::from_fn(output_dim, input_dim, |_, _| {
+            (rng.gen::<f64>() * 2.0 - 1.0) * scale
+        });
+        DenseLayer {
+            weights,
+            bias: Vector::zeros(output_dim),
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn pre_activation(&self, input: &Vector) -> Vector {
+        &self.weights.matvec(input) + &self.bias
+    }
+}
+
+/// Per-layer gradients produced by backpropagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGradient {
+    /// Gradient of the loss with respect to the layer weights.
+    pub weights: Matrix,
+    /// Gradient of the loss with respect to the layer bias.
+    pub bias: Vector,
+}
+
+/// Intermediate values cached during a forward pass, needed by backprop.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Layer inputs (index 0 is the network input).
+    inputs: Vec<Vector>,
+    /// Pre-activation values per layer.
+    pre_activations: Vec<Vector>,
+    /// Final network output.
+    output: Vector,
+}
+
+impl ForwardCache {
+    /// The network output of this forward pass.
+    pub fn output(&self) -> &[f64] {
+        self.output.as_slice()
+    }
+}
+
+/// A fully connected feed-forward network.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use vrl_nn::{Activation, Mlp};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let net = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+/// assert_eq!(net.forward(&[0.1, -0.2]).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes (input, hidden…, output),
+    /// using `hidden` activation on hidden layers and `output` activation on
+    /// the last layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(sizes.iter().all(|s| *s > 0), "layer sizes must be positive");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let activation = if i + 2 == sizes.len() { output } else { hidden };
+            layers.push(DenseLayer::new(sizes[i], sizes[i + 1], activation, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimension of the network.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, DenseLayer::input_dim)
+    }
+
+    /// Output dimension of the network.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, DenseLayer::output_dim)
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(DenseLayer::num_parameters).sum()
+    }
+
+    /// Runs the network on an input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_cached(input).output.into_vec()
+    }
+
+    /// Runs the network and keeps the intermediate values needed for
+    /// [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward_cached(&self, input: &[f64]) -> ForwardCache {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        let mut current = Vector::from_slice(input);
+        for layer in &self.layers {
+            inputs.push(current.clone());
+            let pre = layer.pre_activation(&current);
+            current = pre.map(|x| layer.activation.apply(x));
+            pre_activations.push(pre);
+        }
+        ForwardCache {
+            inputs,
+            pre_activations,
+            output: current,
+        }
+    }
+
+    /// Backpropagates `output_grad` (the gradient of the loss with respect to
+    /// the network output) through the cached forward pass, returning per-layer
+    /// parameter gradients and the gradient with respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_grad.len() != self.output_dim()`.
+    pub fn backward(&self, cache: &ForwardCache, output_grad: &[f64]) -> (Vec<LayerGradient>, Vec<f64>) {
+        assert_eq!(output_grad.len(), self.output_dim(), "output gradient dimension mismatch");
+        let mut gradients: Vec<LayerGradient> = Vec::with_capacity(self.layers.len());
+        let mut upstream = Vector::from_slice(output_grad);
+        for (index, layer) in self.layers.iter().enumerate().rev() {
+            let pre = &cache.pre_activations[index];
+            let input = &cache.inputs[index];
+            // δ = upstream ⊙ act'(pre)
+            let delta = Vector::from_fn(upstream.len(), |i| upstream[i] * layer.activation.derivative(pre[i]));
+            let weight_grad = Matrix::from_fn(layer.output_dim(), layer.input_dim(), |i, j| delta[i] * input[j]);
+            let bias_grad = delta.clone();
+            upstream = layer.weights.vecmat(&delta);
+            gradients.push(LayerGradient {
+                weights: weight_grad,
+                bias: bias_grad,
+            });
+        }
+        gradients.reverse();
+        (gradients, upstream.into_vec())
+    }
+
+    /// Applies gradients scaled by `-learning_rate` (i.e. a plain SGD step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient count or shapes do not match the network.
+    pub fn apply_gradients(&mut self, gradients: &[LayerGradient], learning_rate: f64) {
+        assert_eq!(gradients.len(), self.layers.len(), "one gradient per layer is required");
+        for (layer, grad) in self.layers.iter_mut().zip(gradients.iter()) {
+            layer.weights.axpy(-learning_rate, &grad.weights);
+            layer.bias.axpy(-learning_rate, &grad.bias);
+        }
+    }
+
+    /// Flattens all parameters into a single vector (weights row-major, then
+    /// bias, per layer in order).
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.as_slice());
+            out.extend_from_slice(layer.bias.as_slice());
+        }
+        out
+    }
+
+    /// Restores parameters from a flat vector produced by [`Mlp::parameters`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_parameters()`.
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "parameter vector has the wrong length");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let w_len = layer.weights.rows() * layer.weights.cols();
+            layer
+                .weights
+                .as_mut_slice()
+                .copy_from_slice(&params[offset..offset + w_len]);
+            offset += w_len;
+            let b_len = layer.bias.len();
+            layer
+                .bias
+                .as_mut_slice()
+                .copy_from_slice(&params[offset..offset + b_len]);
+            offset += b_len;
+        }
+    }
+
+    /// Flattens per-layer gradients in the same order as [`Mlp::parameters`].
+    pub fn flatten_gradients(&self, gradients: &[LayerGradient]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for grad in gradients {
+            out.extend_from_slice(grad.weights.as_slice());
+            out.extend_from_slice(grad.bias.as_slice());
+        }
+        out
+    }
+
+    /// Moves this network's parameters towards `target`'s by the soft-update
+    /// rule `θ ← (1 − τ)·θ + τ·θ_target` (used for DDPG target networks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks have different architectures.
+    pub fn soft_update_from(&mut self, target: &Mlp, tau: f64) {
+        assert_eq!(
+            self.num_parameters(),
+            target.num_parameters(),
+            "soft update requires identical architectures"
+        );
+        let mine = self.parameters();
+        let theirs = target.parameters();
+        let mixed: Vec<f64> = mine
+            .iter()
+            .zip(theirs.iter())
+            .map(|(a, b)| (1.0 - tau) * a + tau * b)
+            .collect();
+        self.set_parameters(&mixed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Mlp {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Mlp::new(&[2, 8, 8, 1], Activation::Tanh, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_parameter_roundtrip() {
+        let net = small_net(0);
+        assert_eq!(net.input_dim(), 2);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.num_parameters(), 2 * 8 + 8 + 8 * 8 + 8 + 8 + 1);
+        let params = net.parameters();
+        assert_eq!(params.len(), net.num_parameters());
+        let mut other = small_net(1);
+        assert_ne!(other.forward(&[0.3, -0.4]), net.forward(&[0.3, -0.4]));
+        other.set_parameters(&params);
+        assert_eq!(other.forward(&[0.3, -0.4]), net.forward(&[0.3, -0.4]));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut net = small_net(2);
+        let input = [0.4, -0.7];
+        let target = 0.3;
+        // Loss L = 0.5 (f(x) − target)².
+        let loss = |net: &Mlp| {
+            let y = net.forward(&input)[0];
+            0.5 * (y - target) * (y - target)
+        };
+        let cache = net.forward_cached(&input);
+        let y = cache.output()[0];
+        let (grads, input_grad) = net.backward(&cache, &[y - target]);
+        let flat = net.flatten_gradients(&grads);
+        let params = net.parameters();
+        let h = 1e-6;
+        for index in [0usize, 3, 10, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[index] += h;
+            let mut minus = params.clone();
+            minus[index] -= h;
+            net.set_parameters(&plus);
+            let lp = loss(&net);
+            net.set_parameters(&minus);
+            let lm = loss(&net);
+            net.set_parameters(&params);
+            let numeric = (lp - lm) / (2.0 * h);
+            assert!(
+                (numeric - flat[index]).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "param {index}: numeric {numeric} vs analytic {}",
+                flat[index]
+            );
+        }
+        // Input gradient via finite differences.
+        for dim in 0..2 {
+            let mut plus = input;
+            plus[dim] += h;
+            let mut minus = input;
+            minus[dim] -= h;
+            let numeric = (loss_at(&net, &plus, target) - loss_at(&net, &minus, target)) / (2.0 * h);
+            assert!((numeric - input_grad[dim]).abs() < 1e-4 * (1.0 + numeric.abs()));
+        }
+    }
+
+    fn loss_at(net: &Mlp, input: &[f64], target: f64) -> f64 {
+        let y = net.forward(input)[0];
+        0.5 * (y - target) * (y - target)
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_a_regression_task() {
+        let mut net = small_net(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let samples: Vec<([f64; 2], f64)> = (0..64)
+            .map(|_| {
+                let x = rng.gen::<f64>() * 2.0 - 1.0;
+                let y = rng.gen::<f64>() * 2.0 - 1.0;
+                ([x, y], 0.5 * x - 0.3 * y)
+            })
+            .collect();
+        let loss_of = |net: &Mlp| -> f64 {
+            samples
+                .iter()
+                .map(|(x, t)| {
+                    let y = net.forward(x)[0];
+                    0.5 * (y - t) * (y - t)
+                })
+                .sum::<f64>()
+                / samples.len() as f64
+        };
+        let before = loss_of(&net);
+        for _ in 0..300 {
+            for (x, t) in &samples {
+                let cache = net.forward_cached(x);
+                let y = cache.output()[0];
+                let (grads, _) = net.backward(&cache, &[y - t]);
+                net.apply_gradients(&grads, 0.05);
+            }
+        }
+        let after = loss_of(&net);
+        assert!(after < before * 0.1, "loss should drop markedly: {before} -> {after}");
+    }
+
+    #[test]
+    fn soft_update_interpolates_parameters() {
+        let a = small_net(5);
+        let b = small_net(6);
+        let mut target = a.clone();
+        target.soft_update_from(&b, 0.25);
+        let pa = a.parameters();
+        let pb = b.parameters();
+        let pt = target.parameters();
+        for i in 0..pa.len() {
+            assert!((pt[i] - (0.75 * pa[i] + 0.25 * pb[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_input_dimension_panics() {
+        let _ = small_net(7).forward(&[1.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_forward_is_deterministic_and_finite(seed in 0u64..100, x in -2.0..2.0f64, y in -2.0..2.0f64) {
+            let net = small_net(seed);
+            let a = net.forward(&[x, y]);
+            let b = net.forward(&[x, y]);
+            prop_assert_eq!(a.clone(), b);
+            prop_assert!(a[0].is_finite());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! First-order optimizers operating on flat parameter vectors.
+
+/// Adam optimizer state.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_nn::Adam;
+///
+/// let mut opt = Adam::new(2, 0.1);
+/// let mut params = vec![1.0, -1.0];
+/// for _ in 0..200 {
+///     // minimize f(p) = p0² + p1²  (gradient 2p)
+///     let grads: Vec<f64> = params.iter().map(|p| 2.0 * p).collect();
+///     opt.step(&mut params, &grads);
+/// }
+/// assert!(params.iter().all(|p| p.abs() < 1e-2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    first_moment: Vec<f64>,
+    second_moment: Vec<f64>,
+    step_count: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `dim` parameters with the given learning
+    /// rate and standard momentum constants (β₁ = 0.9, β₂ = 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0`.
+    pub fn new(dim: usize, learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            first_moment: vec![0.0; dim],
+            second_moment: vec![0.0; dim],
+            step_count: 0,
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Performs one descent step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter or gradient length differs from the optimizer
+    /// dimension.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.first_moment.len(), "parameter length mismatch");
+        assert_eq!(grads.len(), self.first_moment.len(), "gradient length mismatch");
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for i in 0..params.len() {
+            self.first_moment[i] = self.beta1 * self.first_moment[i] + (1.0 - self.beta1) * grads[i];
+            self.second_moment[i] =
+                self.beta2 * self.second_moment[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.first_moment[i] / bias1;
+            let v_hat = self.second_moment[i] / bias2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer for `dim` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(dim: usize, learning_rate: f64, momentum: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must lie in [0, 1)");
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: vec![0.0; dim],
+        }
+    }
+
+    /// Performs one descent step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter or gradient length differs from the optimizer
+    /// dimension.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.velocity.len(), "parameter length mismatch");
+        assert_eq!(grads.len(), self.velocity.len(), "gradient length mismatch");
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.learning_rate * grads[i];
+            params[i] += self.velocity[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &[f64]) -> Vec<f64> {
+        p.iter().map(|x| 2.0 * x).collect()
+    }
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        let mut opt = Adam::new(3, 0.05);
+        let mut p = vec![2.0, -3.0, 0.5];
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 1e-2), "{p:?}");
+        assert_eq!(opt.steps(), 500);
+        assert!((opt.learning_rate() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sgd_with_momentum_minimizes_a_quadratic() {
+        let mut opt = Sgd::new(2, 0.05, 0.9);
+        let mut p = vec![1.0, -1.0];
+        for _ in 0..400 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 1e-2), "{p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn adam_rejects_mismatched_lengths() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut p = vec![0.0; 3];
+        opt.step(&mut p, &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = Adam::new(1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must lie in [0, 1)")]
+    fn bad_momentum_rejected() {
+        let _ = Sgd::new(1, 0.1, 1.0);
+    }
+}

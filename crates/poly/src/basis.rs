@@ -1,0 +1,164 @@
+//! Degree-bounded monomial basis generation.
+//!
+//! Invariant sketches in the paper (Eq. 7 and Example 4.1) are affine
+//! combinations `E[c](X) = Σ c_i · b_i(X)` of *all* monomials whose total
+//! degree is at most a user-chosen bound.  [`monomial_basis`] enumerates that
+//! basis deterministically (graded lexicographic order) so that coefficient
+//! vectors produced by the solver line up with it.
+
+/// Enumerates all exponent vectors of `nvars` variables with total degree at
+/// most `max_degree`, in graded lexicographic order (degree-major, then
+/// lexicographic on exponents).
+///
+/// The constant monomial (all-zero exponents) is always the first entry.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_poly::monomial_basis;
+///
+/// let basis = monomial_basis(2, 2);
+/// // 1, x, y, x^2, xy, y^2
+/// assert_eq!(basis.len(), 6);
+/// assert_eq!(basis[0], vec![0, 0]);
+/// assert_eq!(basis[3], vec![2, 0]);
+/// ```
+pub fn monomial_basis(nvars: usize, max_degree: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::with_capacity(basis_size(nvars, max_degree));
+    for degree in 0..=max_degree {
+        let mut current = vec![0u32; nvars];
+        emit_exact_degree(nvars, degree, 0, &mut current, &mut out);
+    }
+    out
+}
+
+fn emit_exact_degree(
+    nvars: usize,
+    remaining: u32,
+    index: usize,
+    current: &mut Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if nvars == 0 {
+        if remaining == 0 {
+            out.push(current.clone());
+        }
+        return;
+    }
+    if index == nvars - 1 {
+        current[index] = remaining;
+        out.push(current.clone());
+        current[index] = 0;
+        return;
+    }
+    // Lexicographic: highest exponent on the earliest variable first.
+    for e in (0..=remaining).rev() {
+        current[index] = e;
+        emit_exact_degree(nvars, remaining - e, index + 1, current, out);
+    }
+    current[index] = 0;
+}
+
+/// Number of monomials of `nvars` variables with total degree at most
+/// `max_degree`, i.e. `C(nvars + max_degree, max_degree)`.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_poly::basis_size;
+///
+/// assert_eq!(basis_size(2, 4), 15);
+/// assert_eq!(basis_size(3, 2), 10);
+/// ```
+pub fn basis_size(nvars: usize, max_degree: u32) -> usize {
+    // C(n + d, d) computed incrementally to avoid overflow for small inputs.
+    let n = nvars as u64;
+    let d = max_degree as u64;
+    let mut result: u64 = 1;
+    for i in 1..=d {
+        result = result * (n + i) / i;
+    }
+    result as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_variable_basis() {
+        assert_eq!(monomial_basis(1, 3), vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn zero_degree_is_constant_only() {
+        assert_eq!(monomial_basis(3, 0), vec![vec![0, 0, 0]]);
+        assert_eq!(basis_size(3, 0), 1);
+    }
+
+    #[test]
+    fn zero_variables() {
+        assert_eq!(monomial_basis(0, 4), vec![Vec::<u32>::new()]);
+        assert_eq!(basis_size(0, 4), 1);
+    }
+
+    #[test]
+    fn two_variable_degree_two_matches_hand_enumeration() {
+        let basis = monomial_basis(2, 2);
+        assert_eq!(
+            basis,
+            vec![
+                vec![0, 0],
+                vec![1, 0],
+                vec![0, 1],
+                vec![2, 0],
+                vec![1, 1],
+                vec![0, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn pendulum_sketch_size_matches_paper_example() {
+        // Example 4.1: all monomials over (η, ω) of degree at most 4 — 15 terms.
+        assert_eq!(monomial_basis(2, 4).len(), 15);
+        assert_eq!(basis_size(2, 4), 15);
+    }
+
+    #[test]
+    fn counts_match_combinatorial_formula() {
+        for nvars in 0..5usize {
+            for degree in 0..5u32 {
+                assert_eq!(
+                    monomial_basis(nvars, degree).len(),
+                    basis_size(nvars, degree),
+                    "count mismatch at nvars={nvars}, degree={degree}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_basis_entries_are_unique_and_within_degree(nvars in 1usize..5, degree in 0u32..5) {
+            let basis = monomial_basis(nvars, degree);
+            let mut seen = HashSet::new();
+            for exps in &basis {
+                prop_assert_eq!(exps.len(), nvars);
+                prop_assert!(exps.iter().sum::<u32>() <= degree);
+                prop_assert!(seen.insert(exps.clone()), "duplicate exponent vector {:?}", exps);
+            }
+        }
+
+        #[test]
+        fn prop_basis_is_degree_sorted(nvars in 1usize..4, degree in 0u32..5) {
+            let basis = monomial_basis(nvars, degree);
+            let degrees: Vec<u32> = basis.iter().map(|e| e.iter().sum()).collect();
+            let mut sorted = degrees.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(degrees, sorted);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Multivariate polynomial algebra for the verifiable-RL framework.
+//!
+//! The synthesis and verification pipeline of the paper manipulates three
+//! kinds of polynomial objects:
+//!
+//! * the environment dynamics `ṡ = f(s, a)` of each benchmark, which are
+//!   polynomial vector fields over state and action variables;
+//! * the deterministic policy programs drawn from the sketch grammar of
+//!   Fig. 5, whose expressions are polynomials over state variables; and
+//! * the inductive-invariant sketches `E[c](X) ≤ 0` of Eq. (7), polynomials
+//!   whose monomial basis is bounded by a user-chosen degree.
+//!
+//! This crate provides exactly that machinery: sparse multivariate
+//! [`Polynomial`]s with arithmetic, composition/substitution, differentiation,
+//! degree-bounded [`monomial_basis`] generation, and sound [`Interval`]
+//! evaluation used by the branch-and-bound verifier.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrl_poly::Polynomial;
+//!
+//! // p(x, y) = x^2 + 2xy
+//! let x = Polynomial::variable(0, 2);
+//! let y = Polynomial::variable(1, 2);
+//! let p = &(&x * &x) + &(&(&x * &y) * 2.0);
+//! assert_eq!(p.eval(&[1.0, 3.0]), 7.0);
+//! assert_eq!(p.degree(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod basis;
+mod interval;
+mod polynomial;
+
+pub use basis::{basis_size, monomial_basis};
+pub use interval::Interval;
+pub use polynomial::Polynomial;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_example_compiles() {
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let p = &(&x * &x) + &(&(&x * &y) * 2.0);
+        assert_eq!(p.eval(&[1.0, 3.0]), 7.0);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(basis_size(2, 2), 6);
+    }
+}

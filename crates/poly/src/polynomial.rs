@@ -1,0 +1,650 @@
+//! Sparse multivariate polynomials over `f64` coefficients.
+
+use crate::Interval;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Coefficients smaller than this (in absolute value) are dropped when terms
+/// are normalized, keeping the representation sparse and printable.
+const COEFF_EPSILON: f64 = 1e-14;
+
+/// A sparse multivariate polynomial with `f64` coefficients.
+///
+/// Terms are stored as a map from exponent vectors (one exponent per
+/// variable) to coefficients.  All terms of a polynomial share the same
+/// number of variables, fixed at construction.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_poly::Polynomial;
+///
+/// // p(x0, x1) = 3 x0^2 x1 - 1
+/// let p = Polynomial::from_terms(2, vec![(vec![2, 1], 3.0), (vec![0, 0], -1.0)]);
+/// assert_eq!(p.eval(&[2.0, 1.0]), 11.0);
+/// assert_eq!(p.degree(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    nvars: usize,
+    terms: BTreeMap<Vec<u32>, f64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        Polynomial {
+            nvars,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The constant polynomial `value` over `nvars` variables.
+    pub fn constant(value: f64, nvars: usize) -> Self {
+        let mut p = Polynomial::zero(nvars);
+        if value.abs() > COEFF_EPSILON {
+            p.terms.insert(vec![0; nvars], value);
+        }
+        p
+    }
+
+    /// The polynomial consisting of the single variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= nvars`.
+    pub fn variable(index: usize, nvars: usize) -> Self {
+        assert!(index < nvars, "variable index {index} out of range for {nvars} variables");
+        let mut exps = vec![0; nvars];
+        exps[index] = 1;
+        let mut p = Polynomial::zero(nvars);
+        p.terms.insert(exps, 1.0);
+        p
+    }
+
+    /// Builds a polynomial from `(exponents, coefficient)` pairs.
+    ///
+    /// Duplicate exponent vectors are summed; negligible coefficients are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent vector has length different from `nvars`.
+    pub fn from_terms(nvars: usize, terms: impl IntoIterator<Item = (Vec<u32>, f64)>) -> Self {
+        let mut p = Polynomial::zero(nvars);
+        for (exps, coeff) in terms {
+            assert_eq!(
+                exps.len(),
+                nvars,
+                "exponent vector length must equal the number of variables"
+            );
+            p.add_term(exps, coeff);
+        }
+        p
+    }
+
+    /// A linear (affine) polynomial `Σ coeffs[i]·x_i + constant`.
+    pub fn linear(coeffs: &[f64], constant: f64) -> Self {
+        let nvars = coeffs.len();
+        let mut p = Polynomial::constant(constant, nvars);
+        for (i, &c) in coeffs.iter().enumerate() {
+            let mut exps = vec![0; nvars];
+            exps[i] = 1;
+            p.add_term(exps, c);
+        }
+        p
+    }
+
+    /// Builds `Σ coeffs[i]·basis[i]` where `basis` is a list of exponent
+    /// vectors (typically produced by [`crate::monomial_basis`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != basis.len()` or an exponent vector has the
+    /// wrong length.
+    pub fn from_basis(nvars: usize, basis: &[Vec<u32>], coeffs: &[f64]) -> Self {
+        assert_eq!(
+            basis.len(),
+            coeffs.len(),
+            "basis and coefficient vectors must have the same length"
+        );
+        Polynomial::from_terms(
+            nvars,
+            basis.iter().cloned().zip(coeffs.iter().cloned()),
+        )
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of (non-negligible) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns true when the polynomial has no terms.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|exps| exps.iter().sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(exponents, coefficient)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Vec<u32>, f64)> + '_ {
+        self.terms.iter().map(|(e, &c)| (e, c))
+    }
+
+    /// Coefficient of the given exponent vector (zero if absent).
+    pub fn coefficient(&self, exponents: &[u32]) -> f64 {
+        self.terms.get(exponents).copied().unwrap_or(0.0)
+    }
+
+    /// Coefficient of the constant term.
+    pub fn constant_term(&self) -> f64 {
+        self.coefficient(&vec![0; self.nvars])
+    }
+
+    /// Maximum absolute coefficient (zero for the zero polynomial).
+    pub fn max_abs_coefficient(&self) -> f64 {
+        self.terms.values().fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    fn add_term(&mut self, exps: Vec<u32>, coeff: f64) {
+        if coeff.abs() <= COEFF_EPSILON {
+            return;
+        }
+        let entry = self.terms.entry(exps).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() <= COEFF_EPSILON {
+            let key: Vec<u32> = self
+                .terms
+                .iter()
+                .find(|(_, c)| c.abs() <= COEFF_EPSILON)
+                .map(|(k, _)| k.clone())
+                .expect("entry just inserted must exist");
+            self.terms.remove(&key);
+        }
+    }
+
+    /// Evaluates the polynomial at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.nvars()`.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.nvars, "evaluation point has wrong dimension");
+        let mut total = 0.0;
+        for (exps, coeff) in &self.terms {
+            let mut term = *coeff;
+            for (x, &e) in point.iter().zip(exps.iter()) {
+                if e > 0 {
+                    term *= x.powi(e as i32);
+                }
+            }
+            total += term;
+        }
+        total
+    }
+
+    /// Evaluates the polynomial over a box given as per-variable intervals,
+    /// returning a conservative enclosure of its range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain.len() != self.nvars()`.
+    pub fn eval_interval(&self, domain: &[Interval]) -> Interval {
+        assert_eq!(domain.len(), self.nvars, "interval domain has wrong dimension");
+        let mut total = Interval::zero();
+        for (exps, coeff) in &self.terms {
+            let mut term = Interval::point(*coeff);
+            for (iv, &e) in domain.iter().zip(exps.iter()) {
+                if e > 0 {
+                    term = term * iv.pow(e);
+                }
+            }
+            total = total + term;
+        }
+        total
+    }
+
+    /// Returns `self` scaled by `k`.
+    pub fn scaled(&self, k: f64) -> Polynomial {
+        let mut p = Polynomial::zero(self.nvars);
+        for (exps, coeff) in &self.terms {
+            p.add_term(exps.clone(), coeff * k);
+        }
+        p
+    }
+
+    /// Partial derivative with respect to variable `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.nvars()`.
+    pub fn partial_derivative(&self, index: usize) -> Polynomial {
+        assert!(index < self.nvars, "derivative variable index out of range");
+        let mut p = Polynomial::zero(self.nvars);
+        for (exps, coeff) in &self.terms {
+            let e = exps[index];
+            if e == 0 {
+                continue;
+            }
+            let mut new_exps = exps.clone();
+            new_exps[index] = e - 1;
+            p.add_term(new_exps, coeff * e as f64);
+        }
+        p
+    }
+
+    /// Gradient: the vector of partial derivatives.
+    pub fn gradient(&self) -> Vec<Polynomial> {
+        (0..self.nvars).map(|i| self.partial_derivative(i)).collect()
+    }
+
+    /// Substitutes each variable `x_i` by `assignments[i]`, producing a
+    /// polynomial over the variables of the assignment polynomials.
+    ///
+    /// This is the operation the verifier uses to form the closed-loop
+    /// successor polynomial `E(s + Δt·f(s, P(s)))` from the invariant `E`,
+    /// the dynamics `f`, and a synthesized program `P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments.len() != self.nvars()` or the assignment
+    /// polynomials do not all share the same variable count.
+    pub fn substitute(&self, assignments: &[Polynomial]) -> Polynomial {
+        assert_eq!(
+            assignments.len(),
+            self.nvars,
+            "one assignment polynomial per variable is required"
+        );
+        let target_nvars = assignments.first().map_or(0, Polynomial::nvars);
+        assert!(
+            assignments.iter().all(|p| p.nvars() == target_nvars),
+            "assignment polynomials must share the same variable count"
+        );
+        let mut result = Polynomial::zero(target_nvars);
+        for (exps, coeff) in &self.terms {
+            let mut term = Polynomial::constant(*coeff, target_nvars);
+            for (assignment, &e) in assignments.iter().zip(exps.iter()) {
+                for _ in 0..e {
+                    term = &term * assignment;
+                }
+            }
+            result = &result + &term;
+        }
+        result
+    }
+
+    /// Raises the polynomial to a non-negative integer power.
+    pub fn pow(&self, n: u32) -> Polynomial {
+        let mut result = Polynomial::constant(1.0, self.nvars);
+        for _ in 0..n {
+            result = &result * self;
+        }
+        result
+    }
+
+    /// Removes terms with absolute coefficient below `threshold`.
+    pub fn pruned(&self, threshold: f64) -> Polynomial {
+        let mut p = Polynomial::zero(self.nvars);
+        for (exps, coeff) in &self.terms {
+            if coeff.abs() >= threshold {
+                p.add_term(exps.clone(), *coeff);
+            }
+        }
+        p
+    }
+
+    /// Embeds the polynomial into a larger variable space: variable `i`
+    /// becomes variable `offset + i` among `new_nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded variables would not fit.
+    pub fn embedded(&self, new_nvars: usize, offset: usize) -> Polynomial {
+        assert!(
+            offset + self.nvars <= new_nvars,
+            "embedding exceeds the target variable count"
+        );
+        let mut p = Polynomial::zero(new_nvars);
+        for (exps, coeff) in &self.terms {
+            let mut new_exps = vec![0; new_nvars];
+            new_exps[offset..offset + self.nvars].copy_from_slice(exps);
+            p.add_term(new_exps, *coeff);
+        }
+        p
+    }
+
+    /// Formats the polynomial using the provided variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != self.nvars()`.
+    pub fn to_string_with_names(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.nvars, "one name per variable is required");
+        if self.terms.is_empty() {
+            return "0".to_string();
+        }
+        // Print highest-degree terms first for readability (paper style).
+        let mut entries: Vec<(&Vec<u32>, f64)> = self.terms.iter().map(|(e, &c)| (e, c)).collect();
+        entries.sort_by(|a, b| {
+            let da: u32 = a.0.iter().sum();
+            let db: u32 = b.0.iter().sum();
+            db.cmp(&da).then_with(|| b.0.cmp(a.0))
+        });
+        let mut out = String::new();
+        for (i, (exps, coeff)) in entries.iter().enumerate() {
+            let mag = coeff.abs();
+            if i == 0 {
+                if *coeff < 0.0 {
+                    out.push('-');
+                }
+            } else if *coeff < 0.0 {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            let is_constant = exps.iter().all(|&e| e == 0);
+            let print_mag = is_constant || (mag - 1.0).abs() > 1e-12;
+            if print_mag {
+                out.push_str(&format_coefficient(mag));
+            }
+            let mut first_var = true;
+            for (name, &e) in names.iter().zip(exps.iter()) {
+                if e == 0 {
+                    continue;
+                }
+                if !first_var || print_mag {
+                    out.push('·');
+                }
+                first_var = false;
+                out.push_str(name);
+                if e > 1 {
+                    out.push('^');
+                    out.push_str(&e.to_string());
+                }
+            }
+            let _ = first_var;
+        }
+        out
+    }
+}
+
+fn format_coefficient(c: f64) -> String {
+    if (c - c.round()).abs() < 1e-9 && c.abs() < 1e9 {
+        format!("{}", c.round() as i64)
+    } else {
+        format!("{c:.4}")
+    }
+}
+
+impl Add<&Polynomial> for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial variable counts differ");
+        let mut p = self.clone();
+        for (exps, coeff) in &rhs.terms {
+            p.add_term(exps.clone(), *coeff);
+        }
+        p
+    }
+}
+
+impl Sub<&Polynomial> for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial variable counts differ");
+        let mut p = self.clone();
+        for (exps, coeff) in &rhs.terms {
+            p.add_term(exps.clone(), -coeff);
+        }
+        p
+    }
+}
+
+impl Mul<&Polynomial> for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial variable counts differ");
+        let mut p = Polynomial::zero(self.nvars);
+        for (ea, ca) in &self.terms {
+            for (eb, cb) in &rhs.terms {
+                let exps: Vec<u32> = ea.iter().zip(eb.iter()).map(|(a, b)| a + b).collect();
+                p.add_term(exps, ca * cb);
+            }
+        }
+        p
+    }
+}
+
+impl Mul<f64> for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, k: f64) -> Polynomial {
+        self.scaled(k)
+    }
+}
+
+impl Neg for &Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.nvars).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        write!(f, "{}", self.to_string_with_names(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial_basis;
+    use proptest::prelude::*;
+
+    fn x() -> Polynomial {
+        Polynomial::variable(0, 2)
+    }
+    fn y() -> Polynomial {
+        Polynomial::variable(1, 2)
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = Polynomial::from_terms(2, vec![(vec![2, 1], 3.0), (vec![0, 0], -1.0)]);
+        assert_eq!(p.nvars(), 2);
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.coefficient(&[2, 1]), 3.0);
+        assert_eq!(p.coefficient(&[1, 1]), 0.0);
+        assert_eq!(p.constant_term(), -1.0);
+        assert_eq!(p.max_abs_coefficient(), 3.0);
+        assert!(Polynomial::zero(3).is_zero());
+        assert!(Polynomial::constant(0.0, 2).is_zero());
+        assert_eq!(Polynomial::constant(5.0, 0).eval(&[]), 5.0);
+        let lin = Polynomial::linear(&[2.0, -1.0], 0.5);
+        assert_eq!(lin.eval(&[1.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn arithmetic_matches_pointwise_semantics() {
+        let p = &(&x() * &x()) + &(&y() * 2.0);
+        let q = &x() - &Polynomial::constant(1.0, 2);
+        let point = [1.5, -2.0];
+        assert!(((&p + &q).eval(&point) - (p.eval(&point) + q.eval(&point))).abs() < 1e-12);
+        assert!(((&p - &q).eval(&point) - (p.eval(&point) - q.eval(&point))).abs() < 1e-12);
+        assert!(((&p * &q).eval(&point) - (p.eval(&point) * q.eval(&point))).abs() < 1e-12);
+        assert!(((-&p).eval(&point) + p.eval(&point)).abs() < 1e-12);
+        assert!((p.pow(3).eval(&point) - p.eval(&point).powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let p = &x() - &x();
+        assert!(p.is_zero());
+        let q = Polynomial::from_terms(1, vec![(vec![1], 1.0), (vec![1], -1.0)]);
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn derivative_and_gradient() {
+        // p = x^3 y + 2 y^2
+        let p = Polynomial::from_terms(2, vec![(vec![3, 1], 1.0), (vec![0, 2], 2.0)]);
+        let px = p.partial_derivative(0);
+        let py = p.partial_derivative(1);
+        assert_eq!(px, Polynomial::from_terms(2, vec![(vec![2, 1], 3.0)]));
+        assert_eq!(
+            py,
+            Polynomial::from_terms(2, vec![(vec![3, 0], 1.0), (vec![0, 1], 4.0)])
+        );
+        assert_eq!(p.gradient(), vec![px, py]);
+        assert!(Polynomial::constant(3.0, 2).partial_derivative(0).is_zero());
+    }
+
+    #[test]
+    fn substitution_composes_correctly() {
+        // p(u, v) = u^2 + v; substitute u = x + y, v = x*y (over 2 new vars)
+        let p = Polynomial::from_terms(2, vec![(vec![2, 0], 1.0), (vec![0, 1], 1.0)]);
+        let u = Polynomial::linear(&[1.0, 1.0], 0.0);
+        let v = &Polynomial::variable(0, 2) * &Polynomial::variable(1, 2);
+        let composed = p.substitute(&[u, v]);
+        for &(a, b) in &[(0.5, -1.0), (2.0, 3.0), (-1.5, 0.25)] {
+            let expected = (a + b) * (a + b) + a * b;
+            assert!((composed.eval(&[a, b]) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn substitution_into_different_variable_count() {
+        // p(u) = u^2 - 1, substitute u = x0 + x1 + x2.
+        let p = Polynomial::from_terms(1, vec![(vec![2], 1.0), (vec![0], -1.0)]);
+        let u = Polynomial::linear(&[1.0, 1.0, 1.0], 0.0);
+        let composed = p.substitute(&[u]);
+        assert_eq!(composed.nvars(), 3);
+        assert!((composed.eval(&[1.0, 2.0, 3.0]) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_evaluation_encloses_range() {
+        // p = x^2 - y over x ∈ [-1, 2], y ∈ [0, 1]; range ⊆ [-1, 4]
+        let p = &(&x() * &x()) - &y();
+        let domain = [Interval::new(-1.0, 2.0), Interval::new(0.0, 1.0)];
+        let enclosure = p.eval_interval(&domain);
+        assert!(enclosure.lo() <= -1.0 + 1e-12);
+        assert!(enclosure.hi() >= 4.0 - 1e-12);
+        for &(a, b) in &[(-1.0, 0.0), (2.0, 1.0), (0.0, 0.5), (1.3, 0.9)] {
+            assert!(enclosure.contains(p.eval(&[a, b])));
+        }
+    }
+
+    #[test]
+    fn embedding_shifts_variables() {
+        let p = Polynomial::linear(&[1.0, 2.0], 3.0);
+        let q = p.embedded(4, 1);
+        assert_eq!(q.nvars(), 4);
+        assert_eq!(q.eval(&[9.0, 1.0, 2.0, 9.0]), 1.0 + 4.0 + 3.0);
+    }
+
+    #[test]
+    fn from_basis_and_pruning() {
+        let basis = monomial_basis(2, 2);
+        let coeffs = vec![1.0, 0.0, 0.0, 2.0, 0.0, 1e-16];
+        let p = Polynomial::from_basis(2, &basis, &coeffs);
+        assert_eq!(p.num_terms(), 2);
+        let pruned = Polynomial::from_terms(2, vec![(vec![0, 0], 1.0), (vec![2, 0], 1e-6)]).pruned(1e-3);
+        assert_eq!(pruned.num_terms(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Polynomial::from_terms(2, vec![(vec![2, 0], -12.05), (vec![0, 1], 1.0), (vec![0, 0], -5.0)]);
+        let s = p.to_string_with_names(&["eta", "omega"]);
+        assert!(s.contains("eta^2"));
+        assert!(s.contains("omega"));
+        assert!(s.contains('5'));
+        assert_eq!(Polynomial::zero(2).to_string(), "0");
+        assert_eq!(Polynomial::variable(0, 1).to_string(), "x0");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn eval_rejects_wrong_dimension() {
+        let _ = x().eval(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable counts differ")]
+    fn add_rejects_mismatched_variables() {
+        let _ = &Polynomial::zero(2) + &Polynomial::zero(3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_of_sum_is_sum_of_evals(
+            c1 in proptest::collection::vec(-5.0..5.0f64, 6),
+            c2 in proptest::collection::vec(-5.0..5.0f64, 6),
+            px in -2.0..2.0f64, py in -2.0..2.0f64,
+        ) {
+            let basis = monomial_basis(2, 2);
+            let p = Polynomial::from_basis(2, &basis, &c1);
+            let q = Polynomial::from_basis(2, &basis, &c2);
+            let point = [px, py];
+            prop_assert!(((&p + &q).eval(&point) - (p.eval(&point) + q.eval(&point))).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_interval_eval_is_conservative(
+            coeffs in proptest::collection::vec(-3.0..3.0f64, 10),
+            lo_x in -2.0..0.0f64, w_x in 0.0..2.0f64,
+            lo_y in -2.0..0.0f64, w_y in 0.0..2.0f64,
+            tx in 0.0..1.0f64, ty in 0.0..1.0f64,
+        ) {
+            let basis = monomial_basis(2, 3);
+            let p = Polynomial::from_basis(2, &basis, &coeffs);
+            let dom = [Interval::new(lo_x, lo_x + w_x), Interval::new(lo_y, lo_y + w_y)];
+            let sample = [lo_x + tx * w_x, lo_y + ty * w_y];
+            let enclosure = p.eval_interval(&dom);
+            prop_assert!(enclosure.contains(p.eval(&sample)) ||
+                         (enclosure.hi() - p.eval(&sample)).abs() < 1e-9 ||
+                         (p.eval(&sample) - enclosure.lo()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_substitute_identity_is_noop(coeffs in proptest::collection::vec(-3.0..3.0f64, 6),
+                                             px in -2.0..2.0f64, py in -2.0..2.0f64) {
+            let basis = monomial_basis(2, 2);
+            let p = Polynomial::from_basis(2, &basis, &coeffs);
+            let identity = vec![Polynomial::variable(0, 2), Polynomial::variable(1, 2)];
+            let q = p.substitute(&identity);
+            prop_assert!((p.eval(&[px, py]) - q.eval(&[px, py])).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_derivative_of_product_rule(c1 in proptest::collection::vec(-2.0..2.0f64, 3),
+                                            c2 in proptest::collection::vec(-2.0..2.0f64, 3),
+                                            px in -1.0..1.0f64, py in -1.0..1.0f64) {
+            // d/dx (p*q) = p'q + pq'
+            let basis = monomial_basis(2, 1);
+            let p = Polynomial::from_basis(2, &basis, &c1);
+            let q = Polynomial::from_basis(2, &basis, &c2);
+            let lhs = (&p * &q).partial_derivative(0);
+            let rhs = &(&p.partial_derivative(0) * &q) + &(&p * &q.partial_derivative(0));
+            let point = [px, py];
+            prop_assert!((lhs.eval(&point) - rhs.eval(&point)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Augmented Random Search (ARS) policy training.
+//!
+//! The paper trains its neural oracles with deep policy-gradient methods and
+//! notes that simple random search (Mania et al., 2018) is a competitive
+//! alternative; the same derivative-free update also powers the program
+//! synthesis procedure of Algorithm 1.  ARS perturbs the flat parameter
+//! vector of a [`ParametricPolicy`] along random directions, evaluates
+//! rollout returns at `θ ± ν·δ`, and moves `θ` along the best directions.
+
+use crate::{evaluate_policy, ParametricPolicy};
+use rand::Rng;
+use vrl_dynamics::EnvironmentContext;
+
+/// Samples a standard normal value via the Box–Muller transform, avoiding an
+/// extra dependency on `rand_distr`.
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Configuration of the ARS trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArsConfig {
+    /// Number of parameter updates to perform.
+    pub iterations: usize,
+    /// Number of random perturbation directions per update.
+    pub directions: usize,
+    /// Number of best directions used in the update (`b ≤ directions`).
+    pub top_directions: usize,
+    /// Step size `α`.
+    pub step_size: f64,
+    /// Exploration noise `ν` applied to the parameters.
+    pub noise: f64,
+    /// Episodes used to estimate the return of each perturbed policy.
+    pub rollouts_per_evaluation: usize,
+    /// Episode length used during training.
+    pub horizon: usize,
+}
+
+impl Default for ArsConfig {
+    fn default() -> Self {
+        ArsConfig {
+            iterations: 60,
+            directions: 8,
+            top_directions: 4,
+            step_size: 0.05,
+            noise: 0.05,
+            rollouts_per_evaluation: 2,
+            horizon: 400,
+        }
+    }
+}
+
+impl ArsConfig {
+    /// A deliberately tiny budget for unit tests and smoke runs.
+    pub fn smoke_test() -> Self {
+        ArsConfig {
+            iterations: 10,
+            directions: 4,
+            top_directions: 2,
+            step_size: 0.1,
+            noise: 0.1,
+            rollouts_per_evaluation: 1,
+            horizon: 200,
+        }
+    }
+}
+
+/// Progress record of one ARS iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArsIteration {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Mean return of the unperturbed policy after the update.
+    pub mean_return: f64,
+}
+
+/// Result of an ARS training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArsReport {
+    /// Per-iteration progress.
+    pub history: Vec<ArsIteration>,
+    /// Mean return of the final policy.
+    pub final_return: f64,
+}
+
+/// Trains `policy` in place on `env` with Augmented Random Search.
+///
+/// Returns a report with the learning curve; the trained parameters are left
+/// in `policy`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no directions, or
+/// `top_directions` exceeding `directions`).
+pub fn train_ars<P, R>(
+    env: &EnvironmentContext,
+    policy: &mut P,
+    config: &ArsConfig,
+    rng: &mut R,
+) -> ArsReport
+where
+    P: ParametricPolicy,
+    R: Rng + ?Sized,
+{
+    assert!(config.directions > 0, "at least one perturbation direction is required");
+    assert!(
+        config.top_directions > 0 && config.top_directions <= config.directions,
+        "top_directions must lie in [1, directions]"
+    );
+    let dim = policy.num_parameters();
+    let mut theta = policy.parameters();
+    let mut history = Vec::with_capacity(config.iterations);
+    for iteration in 0..config.iterations {
+        let mut evaluations: Vec<(f64, f64, Vec<f64>)> = Vec::with_capacity(config.directions);
+        for _ in 0..config.directions {
+            let delta: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+            let plus: Vec<f64> = theta
+                .iter()
+                .zip(delta.iter())
+                .map(|(t, d)| t + config.noise * d)
+                .collect();
+            let minus: Vec<f64> = theta
+                .iter()
+                .zip(delta.iter())
+                .map(|(t, d)| t - config.noise * d)
+                .collect();
+            policy.set_parameters(&plus);
+            let reward_plus = evaluate_policy(
+                env,
+                &*policy,
+                config.rollouts_per_evaluation,
+                config.horizon,
+                rng,
+            )
+            .mean_return;
+            policy.set_parameters(&minus);
+            let reward_minus = evaluate_policy(
+                env,
+                &*policy,
+                config.rollouts_per_evaluation,
+                config.horizon,
+                rng,
+            )
+            .mean_return;
+            evaluations.push((reward_plus, reward_minus, delta));
+        }
+        // Keep the directions with the best max(r+, r−).
+        evaluations.sort_by(|a, b| {
+            let ka = a.0.max(a.1);
+            let kb = b.0.max(b.1);
+            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        evaluations.truncate(config.top_directions);
+        let used_rewards: Vec<f64> = evaluations
+            .iter()
+            .flat_map(|(p, m, _)| [*p, *m])
+            .collect();
+        let reward_std = standard_deviation(&used_rewards).max(1e-6);
+        let scale = config.step_size / (config.top_directions as f64 * reward_std);
+        for (reward_plus, reward_minus, delta) in &evaluations {
+            for (t, d) in theta.iter_mut().zip(delta.iter()) {
+                *t += scale * (reward_plus - reward_minus) * d;
+            }
+        }
+        policy.set_parameters(&theta);
+        let mean_return = evaluate_policy(
+            env,
+            &*policy,
+            config.rollouts_per_evaluation,
+            config.horizon,
+            rng,
+        )
+        .mean_return;
+        history.push(ArsIteration {
+            iteration,
+            mean_return,
+        });
+    }
+    policy.set_parameters(&theta);
+    let final_return = evaluate_policy(env, &*policy, 3, config.horizon, rng).mean_return;
+    ArsReport {
+        history,
+        final_return,
+    }
+}
+
+fn standard_deviation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    variance.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearParametricPolicy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+    use vrl_poly::Polynomial;
+
+    fn double_integrator_env() -> EnvironmentContext {
+        let dynamics = PolyDynamics::new(
+            2,
+            1,
+            vec![Polynomial::variable(1, 3), Polynomial::variable(2, 3)],
+        )
+        .unwrap();
+        EnvironmentContext::new(
+            "double-integrator",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.4, 0.4]),
+            SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0])),
+        )
+        .with_action_bounds(vec![-5.0], vec![5.0])
+    }
+
+    #[test]
+    fn ars_improves_a_linear_policy_on_the_double_integrator() {
+        let env = double_integrator_env();
+        let mut policy = LinearParametricPolicy::new(2, 1, 5.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let before = evaluate_policy(&env, &policy, 4, 400, &mut rng).mean_return;
+        let config = ArsConfig {
+            iterations: 30,
+            directions: 6,
+            top_directions: 3,
+            step_size: 0.3,
+            noise: 0.3,
+            rollouts_per_evaluation: 2,
+            horizon: 300,
+        };
+        let report = train_ars(&env, &mut policy, &config, &mut rng);
+        let after = evaluate_policy(&env, &policy, 4, 400, &mut rng).mean_return;
+        assert_eq!(report.history.len(), config.iterations);
+        assert!(
+            after > before,
+            "ARS should improve the return (before {before}, after {after})"
+        );
+    }
+
+    #[test]
+    fn smoke_config_is_small() {
+        let c = ArsConfig::smoke_test();
+        assert!(c.iterations <= 20);
+        assert!(c.top_directions <= c.directions);
+        assert!(ArsConfig::default().iterations >= c.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_directions")]
+    fn invalid_top_directions_panics() {
+        let env = double_integrator_env();
+        let mut policy = LinearParametricPolicy::new(2, 1, 5.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = ArsConfig {
+            top_directions: 10,
+            directions: 2,
+            ..ArsConfig::smoke_test()
+        };
+        let _ = train_ars(&env, &mut policy, &config, &mut rng);
+    }
+
+    #[test]
+    fn standard_deviation_helper() {
+        assert_eq!(standard_deviation(&[]), 0.0);
+        assert_eq!(standard_deviation(&[2.0, 2.0]), 0.0);
+        assert!((standard_deviation(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Policy evaluation utilities shared by trainers and the benchmark harness.
+
+use rand::Rng;
+use vrl_dynamics::{EnvironmentContext, Policy};
+
+/// Summary statistics of evaluating a policy over several episodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalStats {
+    /// Number of episodes evaluated.
+    pub episodes: usize,
+    /// Mean (undiscounted) return per episode.
+    pub mean_return: f64,
+    /// Number of episodes in which an unsafe state was reached.
+    pub failures: usize,
+    /// Mean number of steps to reach (and remain in) a steady state, over the
+    /// episodes that settled.
+    pub mean_steps_to_steady: Option<f64>,
+    /// Number of episodes that settled into a steady state.
+    pub settled_episodes: usize,
+}
+
+impl EvalStats {
+    /// Failure rate in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.episodes as f64
+        }
+    }
+}
+
+/// Evaluates `policy` in `env` for `episodes` episodes of at most `steps`
+/// transitions each, starting from random initial states.
+pub fn evaluate_policy<P, R>(
+    env: &EnvironmentContext,
+    policy: &P,
+    episodes: usize,
+    steps: usize,
+    rng: &mut R,
+) -> EvalStats
+where
+    P: Policy + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut total_return = 0.0;
+    let mut failures = 0;
+    let mut settled = 0;
+    let mut settle_steps = 0usize;
+    for _ in 0..episodes {
+        let start = env.sample_initial(rng);
+        let trajectory = env.rollout(policy, &start, steps, rng);
+        total_return += trajectory.total_reward();
+        if trajectory.violates(env.safety()) {
+            failures += 1;
+        }
+        if let Some(n) = trajectory.steps_to_steady(|s| env.is_steady(s)) {
+            settled += 1;
+            settle_steps += n;
+        }
+    }
+    EvalStats {
+        episodes,
+        mean_return: if episodes == 0 {
+            0.0
+        } else {
+            total_return / episodes as f64
+        },
+        failures,
+        mean_steps_to_steady: if settled > 0 {
+            Some(settle_steps as f64 / settled as f64)
+        } else {
+            None
+        },
+        settled_episodes: settled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::{BoxRegion, ClosurePolicy, ConstantPolicy, PolyDynamics, SafetySpec};
+    use vrl_poly::Polynomial;
+
+    fn toy_env() -> EnvironmentContext {
+        // ẋ = a
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        EnvironmentContext::new(
+            "toy",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.5]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        )
+    }
+
+    #[test]
+    fn stabilizing_policy_has_no_failures_and_settles() {
+        let env = toy_env();
+        let policy = ClosurePolicy::new(1, |s: &[f64]| vec![-2.0 * s[0]]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let stats = evaluate_policy(&env, &policy, 10, 600, &mut rng);
+        assert_eq!(stats.episodes, 10);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.failure_rate(), 0.0);
+        assert_eq!(stats.settled_episodes, 10);
+        assert!(stats.mean_steps_to_steady.unwrap() > 0.0);
+        assert!(stats.mean_return < 0.0);
+    }
+
+    #[test]
+    fn runaway_policy_registers_failures() {
+        let env = toy_env();
+        let policy = ConstantPolicy::new(vec![5.0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let stats = evaluate_policy(&env, &policy, 5, 500, &mut rng);
+        assert_eq!(stats.failures, 5);
+        assert!((stats.failure_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.settled_episodes, 0);
+        assert!(stats.mean_steps_to_steady.is_none());
+    }
+
+    #[test]
+    fn zero_episode_evaluation_is_well_defined() {
+        let env = toy_env();
+        let policy = ConstantPolicy::zeros(1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let stats = evaluate_policy(&env, &policy, 0, 100, &mut rng);
+        assert_eq!(stats.mean_return, 0.0);
+        assert_eq!(stats.failure_rate(), 0.0);
+    }
+}

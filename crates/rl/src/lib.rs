@@ -1,0 +1,51 @@
+//! Reinforcement-learning substrate: neural policies and the trainers that
+//! produce the black-box oracles consumed by the synthesis pipeline.
+//!
+//! Two trainers are provided:
+//!
+//! * [`train_ddpg`] — Deep Deterministic Policy Gradient, the "deep policy
+//!   gradient algorithm" the paper uses to train its neural controllers;
+//! * [`train_ars`] — Augmented Random Search, the derivative-free alternative
+//!   the paper cites (Mania et al., 2018); fast and robust on the
+//!   low-dimensional control benchmarks and therefore the default for tests
+//!   and the scaled-down benchmark harness.
+//!
+//! Both produce policies implementing [`vrl_dynamics::Policy`], so the rest
+//! of the pipeline is agnostic to how the oracle was trained.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+//! use vrl_poly::Polynomial;
+//! use vrl_rl::{evaluate_policy, train_ars, ArsConfig, LinearParametricPolicy};
+//!
+//! let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+//! let env = EnvironmentContext::new(
+//!     "toy", dynamics, 0.01,
+//!     BoxRegion::symmetric(&[0.5]),
+//!     SafetySpec::inside(BoxRegion::symmetric(&[2.0])),
+//! );
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut policy = LinearParametricPolicy::new(1, 1, 2.0);
+//! train_ars(&env, &mut policy, &ArsConfig::smoke_test(), &mut rng);
+//! let stats = evaluate_policy(&env, &policy, 3, 100, &mut rng);
+//! assert_eq!(stats.episodes, 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod ars;
+mod ddpg;
+mod evaluate;
+mod policy;
+mod replay;
+
+pub use ars::{train_ars, ArsConfig, ArsIteration, ArsReport};
+pub use ddpg::{train_ddpg, DdpgAgent, DdpgConfig, DdpgReport};
+pub use evaluate::{evaluate_policy, EvalStats};
+pub use policy::{LinearParametricPolicy, NeuralPolicy, ParametricPolicy};
+pub use replay::{ReplayBuffer, Transition};

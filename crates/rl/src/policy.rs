@@ -1,0 +1,266 @@
+//! Neural control policies.
+
+use rand::Rng;
+use vrl_dynamics::Policy;
+use vrl_nn::{Activation, Mlp};
+
+/// A policy whose behaviour is determined by a flat parameter vector.
+///
+/// Both gradient-free training (ARS) and the synthesis procedure's random
+/// search operate directly on this representation.
+pub trait ParametricPolicy: Policy {
+    /// Returns the current parameters as a flat vector.
+    fn parameters(&self) -> Vec<f64>;
+
+    /// Replaces the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the vector has the wrong length.
+    fn set_parameters(&mut self, params: &[f64]);
+
+    /// Number of parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().len()
+    }
+}
+
+/// A neural control policy `π_w : Rⁿ → Rᵐ`: an [`Mlp`] with a `tanh` output
+/// squashed to the environment's action range.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use vrl_dynamics::Policy;
+/// use vrl_rl::NeuralPolicy;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let policy = NeuralPolicy::new(2, 1, &[64, 64], 15.0, &mut rng);
+/// let action = policy.action(&[0.1, -0.2]);
+/// assert_eq!(action.len(), 1);
+/// assert!(action[0].abs() <= 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuralPolicy {
+    network: Mlp,
+    action_scale: f64,
+}
+
+impl NeuralPolicy {
+    /// Creates a randomly initialized neural policy.
+    ///
+    /// `hidden` gives the hidden-layer sizes (e.g. `[240, 200]`, the network
+    /// size used for most Table 1 benchmarks); actions are squashed into
+    /// `[-action_scale, action_scale]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `action_scale` is not positive.
+    pub fn new<R: Rng + ?Sized>(
+        state_dim: usize,
+        action_dim: usize,
+        hidden: &[usize],
+        action_scale: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(action_scale > 0.0, "action scale must be positive");
+        let mut sizes = Vec::with_capacity(hidden.len() + 2);
+        sizes.push(state_dim);
+        sizes.extend_from_slice(hidden);
+        sizes.push(action_dim);
+        NeuralPolicy {
+            network: Mlp::new(&sizes, Activation::Tanh, Activation::Tanh, rng),
+            action_scale,
+        }
+    }
+
+    /// Wraps an existing network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action_scale` is not positive.
+    pub fn from_network(network: Mlp, action_scale: f64) -> Self {
+        assert!(action_scale > 0.0, "action scale must be positive");
+        NeuralPolicy {
+            network,
+            action_scale,
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        &self.network
+    }
+
+    /// Mutable access to the underlying network (used by DDPG updates).
+    pub fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.network
+    }
+
+    /// The action magnitude bound.
+    pub fn action_scale(&self) -> f64 {
+        self.action_scale
+    }
+
+    /// State dimension the policy expects.
+    pub fn state_dim(&self) -> usize {
+        self.network.input_dim()
+    }
+}
+
+impl Policy for NeuralPolicy {
+    fn action_dim(&self) -> usize {
+        self.network.output_dim()
+    }
+
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        self.network
+            .forward(state)
+            .into_iter()
+            .map(|x| x * self.action_scale)
+            .collect()
+    }
+}
+
+impl ParametricPolicy for NeuralPolicy {
+    fn parameters(&self) -> Vec<f64> {
+        self.network.parameters()
+    }
+
+    fn set_parameters(&mut self, params: &[f64]) {
+        self.network.set_parameters(params);
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.network.num_parameters()
+    }
+}
+
+/// A linear state-feedback policy with a flat parameter vector, used as the
+/// "directly train a program with RL" baseline discussed in Sec. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearParametricPolicy {
+    state_dim: usize,
+    action_dim: usize,
+    /// Row-major gains, one row per action dimension, plus one bias per row.
+    params: Vec<f64>,
+    action_scale: f64,
+}
+
+impl LinearParametricPolicy {
+    /// Creates a zero-initialized linear policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `action_scale` is not positive.
+    pub fn new(state_dim: usize, action_dim: usize, action_scale: f64) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(action_scale > 0.0, "action scale must be positive");
+        LinearParametricPolicy {
+            state_dim,
+            action_dim,
+            params: vec![0.0; action_dim * (state_dim + 1)],
+            action_scale,
+        }
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Gain row (including trailing bias) for action dimension `row`.
+    pub fn gains(&self, row: usize) -> &[f64] {
+        let width = self.state_dim + 1;
+        &self.params[row * width..(row + 1) * width]
+    }
+}
+
+impl Policy for LinearParametricPolicy {
+    fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        let width = self.state_dim + 1;
+        (0..self.action_dim)
+            .map(|row| {
+                let gains = &self.params[row * width..(row + 1) * width];
+                let raw: f64 = gains[..self.state_dim]
+                    .iter()
+                    .zip(state.iter())
+                    .map(|(g, s)| g * s)
+                    .sum::<f64>()
+                    + gains[self.state_dim];
+                raw.clamp(-self.action_scale, self.action_scale)
+            })
+            .collect()
+    }
+}
+
+impl ParametricPolicy for LinearParametricPolicy {
+    fn parameters(&self) -> Vec<f64> {
+        self.params.clone()
+    }
+
+    fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.params.len(), "parameter vector has the wrong length");
+        self.params.copy_from_slice(params);
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn neural_policy_respects_the_action_scale() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let policy = NeuralPolicy::new(3, 2, &[16, 16], 5.0, &mut rng);
+        assert_eq!(policy.action_dim(), 2);
+        assert_eq!(policy.state_dim(), 3);
+        assert!((policy.action_scale() - 5.0).abs() < 1e-12);
+        for s in [[0.0, 0.0, 0.0], [10.0, -10.0, 3.0], [-50.0, 2.0, 1.0]] {
+            let a = policy.action(&s);
+            assert!(a.iter().all(|x| x.abs() <= 5.0));
+        }
+        assert_eq!(policy.network().input_dim(), 3);
+    }
+
+    #[test]
+    fn neural_policy_parameters_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut a = NeuralPolicy::new(2, 1, &[8], 1.0, &mut rng);
+        let b = NeuralPolicy::new(2, 1, &[8], 1.0, &mut rng);
+        assert_ne!(a.action(&[0.2, 0.3]), b.action(&[0.2, 0.3]));
+        a.set_parameters(&b.parameters());
+        assert_eq!(a.action(&[0.2, 0.3]), b.action(&[0.2, 0.3]));
+        assert_eq!(a.num_parameters(), b.num_parameters());
+        let wrapped = NeuralPolicy::from_network(b.network().clone(), 2.0);
+        assert!((wrapped.action_scale() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_parametric_policy_computes_affine_feedback() {
+        let mut p = LinearParametricPolicy::new(2, 1, 10.0);
+        assert_eq!(p.action(&[1.0, 1.0]), vec![0.0]);
+        p.set_parameters(&[-2.0, -3.0, 0.5]);
+        let a = p.action(&[1.0, 2.0]);
+        assert!((a[0] - (-2.0 - 6.0 + 0.5)).abs() < 1e-12);
+        assert_eq!(p.gains(0), &[-2.0, -3.0, 0.5]);
+        assert_eq!(p.num_parameters(), 3);
+        assert_eq!(p.state_dim(), 2);
+        // Saturation at the action scale.
+        p.set_parameters(&[100.0, 0.0, 0.0]);
+        assert_eq!(p.action(&[1.0, 0.0]), vec![10.0]);
+    }
+}

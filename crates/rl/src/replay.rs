@@ -1,0 +1,143 @@
+//! Experience replay buffer for off-policy deep RL.
+
+use rand::Rng;
+
+/// A single transition `(s, a, r, s', done)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: Vec<f64>,
+    /// Reward received.
+    pub reward: f64,
+    /// Resulting state.
+    pub next_state: Vec<f64>,
+    /// True when the episode terminated at `next_state`.
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of transitions with uniform random sampling.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_rl::{ReplayBuffer, Transition};
+///
+/// let mut buffer = ReplayBuffer::new(100);
+/// buffer.push(Transition {
+///     state: vec![0.0], action: vec![1.0], reward: -1.0,
+///     next_state: vec![0.01], done: false,
+/// });
+/// assert_eq!(buffer.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    storage: Vec<Transition>,
+    next_index: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            storage: Vec::with_capacity(capacity.min(4096)),
+            next_index: 0,
+        }
+    }
+
+    /// Maximum number of stored transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Returns true when no transition is stored.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Adds a transition, evicting the oldest one when full.
+    pub fn push(&mut self, transition: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(transition);
+        } else {
+            self.storage[self.next_index] = transition;
+        }
+        self.next_index = (self.next_index + 1) % self.capacity;
+    }
+
+    /// Samples `count` transitions uniformly at random (with replacement).
+    ///
+    /// Returns an empty vector when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<&Transition> {
+        if self.storage.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn transition(tag: f64) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: vec![0.0],
+            reward: tag,
+            next_state: vec![tag + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_and_eviction_respect_capacity() {
+        let mut buffer = ReplayBuffer::new(3);
+        assert!(buffer.is_empty());
+        for i in 0..5 {
+            buffer.push(transition(i as f64));
+        }
+        assert_eq!(buffer.len(), 3);
+        assert_eq!(buffer.capacity(), 3);
+        // The oldest entries (0 and 1) were evicted.
+        let rewards: Vec<f64> = buffer.storage.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_returns_requested_count_from_nonempty_buffer() {
+        let mut buffer = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buffer.push(transition(i as f64));
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let batch = buffer.sample(16, &mut rng);
+        assert_eq!(batch.len(), 16);
+        assert!(batch.iter().all(|t| t.reward >= 0.0 && t.reward < 4.0));
+        let empty = ReplayBuffer::new(5);
+        assert!(empty.sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Algorithm 2: counterexample-guided inductive synthesis of a shield.
+//!
+//! The driver repeatedly (1) picks an initial state not yet covered by any
+//! learned invariant, (2) synthesizes a candidate program around it with
+//! Algorithm 1 (`vrl-synth`), (3) attempts to verify it (`vrl-verify`), and
+//! (4) on failure shrinks the initial region around the counterexample and
+//! retries.  Each success contributes a `(program, invariant)` pair; the
+//! union of the invariants must cover the whole initial state space `S0`
+//! before the loop terminates (Theorem 4.2).
+
+use crate::{Shield, ShieldPiece};
+use rand::Rng;
+use std::fmt;
+use std::time::{Duration, Instant};
+use vrl_dynamics::{BoxRegion, EnvironmentContext, Policy};
+use vrl_synth::{synthesize_program, DistillConfig, ProgramSketch};
+use vrl_verify::{verify_program, BarrierCertificate, VerificationConfig};
+
+/// Configuration of the CEGIS shield synthesis loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CegisConfig {
+    /// Degree of the program sketch (1 = the affine sketch of Eq. 4).
+    pub program_degree: u32,
+    /// Algorithm 1 (oracle distillation) settings.
+    pub distill: DistillConfig,
+    /// Verification settings, including the invariant degree of Eq. 7.
+    pub verification: VerificationConfig,
+    /// Maximum number of `(program, invariant)` pieces to synthesize.
+    pub max_pieces: usize,
+    /// Maximum number of radius halvings around a counterexample.
+    pub max_shrink_steps: usize,
+    /// Random samples (plus corners and centre) used to search for uncovered
+    /// initial states.
+    pub coverage_samples: usize,
+}
+
+impl Default for CegisConfig {
+    fn default() -> Self {
+        CegisConfig {
+            program_degree: 1,
+            distill: DistillConfig::default(),
+            verification: VerificationConfig::default(),
+            max_pieces: 8,
+            max_shrink_steps: 6,
+            coverage_samples: 500,
+        }
+    }
+}
+
+impl CegisConfig {
+    /// A deliberately small budget for unit tests and smoke runs.
+    pub fn smoke_test() -> Self {
+        CegisConfig {
+            distill: DistillConfig::smoke_test(),
+            max_pieces: 4,
+            max_shrink_steps: 4,
+            coverage_samples: 200,
+            ..CegisConfig::default()
+        }
+    }
+
+    /// Sets the invariant degree (the Table 2 knob).
+    pub fn with_invariant_degree(mut self, degree: u32) -> Self {
+        self.verification.invariant_degree = degree;
+        self
+    }
+}
+
+/// Diagnostics of a CEGIS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CegisReport {
+    /// Number of verified pieces in the final shield.
+    pub pieces: usize,
+    /// Total wall-clock time spent synthesizing and verifying.
+    pub synthesis_time: Duration,
+    /// Total number of synthesize/verify attempts, including failed ones.
+    pub attempts: usize,
+}
+
+/// Why shield synthesis failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CegisError {
+    /// An initial state remained uncovered after exhausting the budget.
+    CouldNotCoverInitialStates {
+        /// The uncovered initial state that defeated the loop.
+        uncovered: Vec<f64>,
+        /// Number of pieces successfully synthesized before giving up.
+        pieces_synthesized: usize,
+    },
+}
+
+impl fmt::Display for CegisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CegisError::CouldNotCoverInitialStates {
+                uncovered,
+                pieces_synthesized,
+            } => write!(
+                f,
+                "could not cover initial state {uncovered:?} after synthesizing {pieces_synthesized} pieces"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CegisError {}
+
+/// Algorithm 2: synthesizes a runtime shield for `oracle` in `env`.
+///
+/// # Errors
+///
+/// Returns [`CegisError::CouldNotCoverInitialStates`] when some initial state
+/// cannot be covered by a verified invariant within the configured budget.
+pub fn synthesize_shield<O, R>(
+    env: &EnvironmentContext,
+    oracle: &O,
+    config: &CegisConfig,
+    rng: &mut R,
+) -> Result<(Shield, CegisReport), CegisError>
+where
+    O: Policy + ?Sized,
+    R: Rng + ?Sized,
+{
+    let start = Instant::now();
+    let sketch = ProgramSketch::polynomial(env.state_dim(), env.action_dim(), config.program_degree);
+    let mut pieces: Vec<ShieldPiece> = Vec::new();
+    let mut covers: Vec<BarrierCertificate> = Vec::new();
+    let mut attempts = 0usize;
+    let mut warm_theta: Option<Vec<f64>> = None;
+
+    for _outer in 0..config.max_pieces {
+        let Some(counterexample) = find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng)
+        else {
+            break; // S0 ⊆ covers: done.
+        };
+        let mut radius = env.init().diameter().max(1e-6);
+        let mut covered_this_counterexample = false;
+        for _shrink in 0..=config.max_shrink_steps {
+            // The restricted initial region around the counterexample (line 7
+            // of Algorithm 2), clipped to S0.
+            let region = BoxRegion::ball(&counterexample, radius)
+                .intersection(env.init())
+                .unwrap_or_else(|| BoxRegion::ball(&counterexample, 1e-9));
+            attempts += 1;
+            let synthesized = synthesize_program(
+                env,
+                oracle,
+                &sketch,
+                &region,
+                warm_theta.as_deref(),
+                &config.distill,
+                rng,
+            );
+            match verify_program(env, &synthesized.action_polynomials, &region, &config.verification) {
+                Ok(invariant) => {
+                    // Later pieces continue the random search from the last
+                    // *verified* parameters rather than restarting from zero.
+                    warm_theta = Some(synthesized.theta.clone());
+                    covers.push(invariant.clone());
+                    pieces.push(ShieldPiece::new(synthesized.to_program(), invariant));
+                    covered_this_counterexample = true;
+                    break;
+                }
+                Err(_failure) => {
+                    radius /= 2.0;
+                }
+            }
+        }
+        if !covered_this_counterexample {
+            return Err(CegisError::CouldNotCoverInitialStates {
+                uncovered: counterexample,
+                pieces_synthesized: pieces.len(),
+            });
+        }
+    }
+
+    if let Some(uncovered) = find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng) {
+        return Err(CegisError::CouldNotCoverInitialStates {
+            uncovered,
+            pieces_synthesized: pieces.len(),
+        });
+    }
+    let report = CegisReport {
+        pieces: pieces.len(),
+        synthesis_time: start.elapsed(),
+        attempts,
+    };
+    Ok((Shield::new(env.clone(), pieces), report))
+}
+
+/// Searches for an initial state not covered by any of the invariants, by
+/// probing the corners, the centre, and `samples` random points of `S0`
+/// (line 3–4 of Algorithm 2; Z3 plays this role in the paper's toolchain).
+pub fn find_uncovered_initial_state<R: Rng + ?Sized>(
+    init: &BoxRegion,
+    covers: &[BarrierCertificate],
+    samples: usize,
+    rng: &mut R,
+) -> Option<Vec<f64>> {
+    let uncovered = |state: &[f64]| covers.iter().all(|c| !c.contains(state));
+    if covers.is_empty() {
+        return Some(init.center());
+    }
+    let center = init.center();
+    if uncovered(&center) {
+        return Some(center);
+    }
+    if init.dim() <= 16 {
+        for corner in init.corners() {
+            if uncovered(&corner) {
+                return Some(corner);
+            }
+        }
+    }
+    for _ in 0..samples {
+        let state = init.sample(rng);
+        if uncovered(&state) {
+            return Some(state);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::{ClosurePolicy, PolyDynamics, SafetySpec};
+    use vrl_poly::Polynomial;
+
+    fn double_integrator_env() -> EnvironmentContext {
+        let dynamics = PolyDynamics::new(
+            2,
+            1,
+            vec![Polynomial::variable(1, 3), Polynomial::variable(2, 3)],
+        )
+        .unwrap();
+        EnvironmentContext::new(
+            "double-integrator",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.3, 0.3]),
+            SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0])),
+        )
+        .with_action_bounds(vec![-6.0], vec![6.0])
+    }
+
+    #[test]
+    fn cegis_builds_a_shield_for_a_good_oracle() {
+        let env = double_integrator_env();
+        let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-2.0 * s[0] - 3.0 * s[1]]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let config = CegisConfig {
+            verification: VerificationConfig::with_degree(2),
+            ..CegisConfig::smoke_test()
+        };
+        let (shield, report) = synthesize_shield(&env, &oracle, &config, &mut rng)
+            .expect("a stabilizing oracle must yield a shield");
+        assert!(report.pieces >= 1);
+        assert_eq!(report.pieces, shield.num_pieces());
+        assert!(report.attempts >= report.pieces);
+        assert!(report.synthesis_time.as_nanos() > 0);
+        // Every initial state sampled is covered by the shield.
+        for _ in 0..100 {
+            let s = env.sample_initial(&mut rng);
+            assert!(shield.covers(&s), "initial state {s:?} not covered");
+        }
+        // The flattened program of Theorem 4.2 is defined on initial states.
+        let program = shield.to_program();
+        assert!(program.evaluate(&env.init().center()).is_some());
+    }
+
+    #[test]
+    fn coverage_search_finds_holes_and_reports_completion() {
+        let init = BoxRegion::symmetric(&[1.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // No covers yet: the centre is returned.
+        assert_eq!(
+            find_uncovered_initial_state(&init, &[], 10, &mut rng),
+            Some(vec![0.0, 0.0])
+        );
+        // A circle of radius ~0.8 leaves the corners uncovered.
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let small = BarrierCertificate::new(&(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(0.64, 2));
+        let hole = find_uncovered_initial_state(&init, &[small.clone()], 50, &mut rng)
+            .expect("corners are uncovered");
+        assert!(!small.contains(&hole));
+        // A big circle covers the whole box and the search reports None.
+        let big = BarrierCertificate::new(&(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(10.0, 2));
+        assert_eq!(find_uncovered_initial_state(&init, &[big], 50, &mut rng), None);
+    }
+
+    #[test]
+    fn cegis_fails_cleanly_for_a_hopeless_oracle() {
+        let env = double_integrator_env();
+        // An oracle that actively destabilizes the system: distillation will
+        // track it, verification must keep rejecting, and the loop reports
+        // the uncovered initial state.
+        let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![4.0 * s[0] + 4.0 * s[1]]);
+        let mut rng = SmallRng::seed_from_u64(43);
+        let config = CegisConfig {
+            distill: DistillConfig {
+                iterations: 5,
+                ..DistillConfig::smoke_test()
+            },
+            verification: VerificationConfig::with_degree(2),
+            max_pieces: 2,
+            max_shrink_steps: 2,
+            coverage_samples: 50,
+            ..CegisConfig::smoke_test()
+        };
+        let result = synthesize_shield(&env, &oracle, &config, &mut rng);
+        match result {
+            Err(CegisError::CouldNotCoverInitialStates { uncovered, .. }) => {
+                assert_eq!(uncovered.len(), 2);
+            }
+            Ok((shield, _)) => {
+                // If distillation happened to produce a safe program despite
+                // the bad oracle, the shield must still be sound.
+                assert!(shield.num_pieces() >= 1);
+            }
+        }
+        let display = CegisError::CouldNotCoverInitialStates {
+            uncovered: vec![0.1],
+            pieces_synthesized: 3,
+        }
+        .to_string();
+        assert!(display.contains("3 pieces"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Evaluation harness producing the measurements reported in Tables 1–3:
+//! failures of the bare neural controller, interventions and overhead of the
+//! shielded controller, and convergence performance of both the shielded
+//! neural policy and the purely programmatic policy.
+
+use crate::{Shield, ShieldedPolicy};
+use rand::Rng;
+use std::time::Instant;
+use vrl_dynamics::{EnvironmentContext, Policy};
+
+/// Measurements of running a benchmark with and without its shield.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShieldEvaluation {
+    /// Benchmark / environment name.
+    pub name: String,
+    /// Number of simulated episodes.
+    pub episodes: usize,
+    /// Steps per episode.
+    pub steps_per_episode: usize,
+    /// Episodes in which the *unshielded* neural controller reached an unsafe
+    /// state (the "Failures" column of Table 1).
+    pub neural_failures: usize,
+    /// Episodes in which the *shielded* controller reached an unsafe state
+    /// (expected to be zero).
+    pub shielded_failures: usize,
+    /// Total number of shield interventions across all shielded episodes.
+    pub interventions: usize,
+    /// Total number of shielded decisions taken.
+    pub decisions: usize,
+    /// Number of pieces in the shield (program "Size" in Table 1).
+    pub shield_pieces: usize,
+    /// Relative wall-clock overhead of running shielded vs. unshielded, in
+    /// percent (the "Overhead" column).
+    pub overhead_percent: f64,
+    /// Mean steps to reach and keep a steady state for the shielded neural
+    /// policy (the "NN" performance column), over episodes that settled.
+    pub shielded_steps_to_steady: Option<f64>,
+    /// Mean steps to steady state for the purely programmatic policy (the
+    /// "Program" performance column).
+    pub program_steps_to_steady: Option<f64>,
+}
+
+impl ShieldEvaluation {
+    /// Fraction of shielded decisions that were interventions.
+    pub fn intervention_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.interventions as f64 / self.decisions as f64
+        }
+    }
+
+    /// Formats the evaluation as one row in the style of Table 1.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<22} {:>8} {:>6} {:>10} {:>13} {:>10.2}% {:>9} {:>9}",
+            self.name,
+            self.neural_failures,
+            self.shield_pieces,
+            self.interventions,
+            self.shielded_failures,
+            self.overhead_percent,
+            self.shielded_steps_to_steady
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            self.program_steps_to_steady
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+        )
+    }
+}
+
+/// Runs `episodes` episodes of `steps` transitions each, three ways — the
+/// bare oracle, the shielded oracle, and the programmatic policy alone — and
+/// aggregates the Table 1 measurements.
+pub fn evaluate_shielded_system<O, R>(
+    env: &EnvironmentContext,
+    oracle: &O,
+    shield: &Shield,
+    episodes: usize,
+    steps: usize,
+    rng: &mut R,
+) -> ShieldEvaluation
+where
+    O: Policy + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut neural_failures = 0usize;
+    let mut shielded_failures = 0usize;
+    let mut interventions = 0usize;
+    let mut decisions = 0usize;
+    let mut shielded_settle = Vec::new();
+    let mut program_settle = Vec::new();
+    let mut neural_time = 0.0f64;
+    let mut shielded_time = 0.0f64;
+    let program = shield.to_program();
+    for _ in 0..episodes {
+        let start_state = env.sample_initial(rng);
+        // Bare neural controller.
+        let t0 = Instant::now();
+        let bare = env.rollout(oracle, &start_state, steps, rng);
+        neural_time += t0.elapsed().as_secs_f64();
+        if bare.violates(env.safety()) {
+            neural_failures += 1;
+        }
+        // Shielded neural controller.
+        let shielded_policy = ShieldedPolicy::new(shield, oracle);
+        let t1 = Instant::now();
+        let guarded = env.rollout(&shielded_policy, &start_state, steps, rng);
+        shielded_time += t1.elapsed().as_secs_f64();
+        if guarded.violates(env.safety()) {
+            shielded_failures += 1;
+        }
+        interventions += shielded_policy.interventions();
+        decisions += shielded_policy.decisions();
+        if let Some(n) = guarded.steps_to_steady(|s| env.is_steady(s)) {
+            shielded_settle.push(n as f64);
+        }
+        // Purely programmatic policy.
+        let programmatic = env.rollout(&program, &start_state, steps, rng);
+        if let Some(n) = programmatic.steps_to_steady(|s| env.is_steady(s)) {
+            program_settle.push(n as f64);
+        }
+    }
+    let overhead_percent = if neural_time > 0.0 {
+        ((shielded_time - neural_time) / neural_time * 100.0).max(0.0)
+    } else {
+        0.0
+    };
+    ShieldEvaluation {
+        name: env.name().to_string(),
+        episodes,
+        steps_per_episode: steps,
+        neural_failures,
+        shielded_failures,
+        interventions,
+        decisions,
+        shield_pieces: shield.num_pieces(),
+        overhead_percent,
+        shielded_steps_to_steady: mean(&shielded_settle),
+        program_steps_to_steady: mean(&program_settle),
+    }
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShieldPiece;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::{BoxRegion, ClosurePolicy, ConstantPolicy, PolyDynamics, SafetySpec};
+    use vrl_poly::Polynomial;
+    use vrl_synth::PolicyProgram;
+    use vrl_verify::BarrierCertificate;
+
+    fn toy_shield() -> Shield {
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        let env = EnvironmentContext::new(
+            "toy",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.5]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        )
+        .with_steady(|s: &[f64]| s[0].abs() <= 0.05);
+        let program = PolicyProgram::linear(&[vec![-2.0]], &[0.0]);
+        let x = Polynomial::variable(0, 1);
+        let invariant = BarrierCertificate::new(&(&x * &x) - &Polynomial::constant(0.81, 1));
+        Shield::new(env, vec![ShieldPiece::new(program, invariant)])
+    }
+
+    #[test]
+    fn well_behaved_oracle_has_no_failures_or_interventions() {
+        let shield = toy_shield();
+        let env = shield.env().clone();
+        let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-1.8 * s[0]]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let eval = evaluate_shielded_system(&env, &oracle, &shield, 5, 800, &mut rng);
+        assert_eq!(eval.neural_failures, 0);
+        assert_eq!(eval.shielded_failures, 0);
+        assert_eq!(eval.interventions, 0);
+        assert_eq!(eval.intervention_rate(), 0.0);
+        assert_eq!(eval.decisions, 5 * 800);
+        assert!(eval.shielded_steps_to_steady.is_some());
+        assert!(eval.program_steps_to_steady.is_some());
+        assert!(eval.to_table_row().contains("toy"));
+    }
+
+    #[test]
+    fn adversarial_oracle_fails_unshielded_but_not_shielded() {
+        let shield = toy_shield();
+        let env = shield.env().clone();
+        let oracle = ConstantPolicy::new(vec![5.0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let eval = evaluate_shielded_system(&env, &oracle, &shield, 4, 1500, &mut rng);
+        assert_eq!(eval.neural_failures, 4, "the runaway oracle must fail every episode");
+        assert_eq!(eval.shielded_failures, 0, "the shield must prevent every failure");
+        assert!(eval.interventions > 0);
+        assert!(eval.intervention_rate() > 0.0);
+        assert_eq!(eval.shield_pieces, 1);
+        assert!(eval.overhead_percent >= 0.0);
+    }
+}

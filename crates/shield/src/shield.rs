@@ -1,0 +1,330 @@
+//! Algorithm 3: the runtime safety shield.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vrl_dynamics::{EnvironmentContext, Policy};
+use vrl_synth::{GuardedPolicy, PolicyProgram};
+use vrl_verify::BarrierCertificate;
+
+/// One verified piece of a shield: a deterministic program together with the
+/// inductive invariant proving it safe on the region the invariant covers.
+#[derive(Debug, Clone)]
+pub struct ShieldPiece {
+    program: PolicyProgram,
+    invariant: BarrierCertificate,
+}
+
+impl ShieldPiece {
+    /// Creates a piece from a verified program and its invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program and invariant dimensions disagree.
+    pub fn new(program: PolicyProgram, invariant: BarrierCertificate) -> Self {
+        assert_eq!(
+            program.state_dim(),
+            invariant.state_dim(),
+            "program and invariant must range over the same state variables"
+        );
+        ShieldPiece { program, invariant }
+    }
+
+    /// The verified deterministic program.
+    pub fn program(&self) -> &PolicyProgram {
+        &self.program
+    }
+
+    /// The inductive invariant `φ ::= E ≤ 0`.
+    pub fn invariant(&self) -> &BarrierCertificate {
+        &self.invariant
+    }
+}
+
+/// A runtime safety shield (Sec. 4.3): the collection of verified
+/// `(program, invariant)` pairs produced by the CEGIS loop, together with the
+/// environment model used to predict the effect of proposed actions.
+///
+/// The shield lets a high-performing neural policy act freely as long as the
+/// *predicted* next state stays within a proven invariant; otherwise it
+/// overrides the action with the verified program of the piece covering the
+/// current state.
+#[derive(Debug, Clone)]
+pub struct Shield {
+    env: EnvironmentContext,
+    pieces: Vec<ShieldPiece>,
+}
+
+/// The decision taken by the shield for one step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShieldDecision {
+    /// The action actually applied.
+    pub action: Vec<f64>,
+    /// True when the neural action was overridden.
+    pub intervened: bool,
+}
+
+impl Shield {
+    /// Creates a shield from verified pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces` is empty or a piece's dimensions disagree with the
+    /// environment.
+    pub fn new(env: EnvironmentContext, pieces: Vec<ShieldPiece>) -> Self {
+        assert!(!pieces.is_empty(), "a shield needs at least one verified piece");
+        for piece in &pieces {
+            assert_eq!(
+                piece.invariant().state_dim(),
+                env.state_dim(),
+                "piece dimension must match the environment"
+            );
+        }
+        Shield { env, pieces }
+    }
+
+    /// The verified pieces.
+    pub fn pieces(&self) -> &[ShieldPiece] {
+        &self.pieces
+    }
+
+    /// Number of pieces (the "Size" column for the deterministic program in
+    /// Table 1).
+    pub fn num_pieces(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// The environment model the shield predicts with.
+    pub fn env(&self) -> &EnvironmentContext {
+        &self.env
+    }
+
+    /// Returns true when `state` lies inside some proven invariant *and* is
+    /// safe according to the environment's safety specification.
+    pub fn covers(&self, state: &[f64]) -> bool {
+        self.env.safety().is_safe(state) && self.pieces.iter().any(|p| p.invariant().contains(state))
+    }
+
+    /// Algorithm 3: decides the action to apply at `state` given the action
+    /// `proposed` by the neural policy.
+    ///
+    /// The proposed action is kept when the predicted successor remains
+    /// within a proven invariant (and the safe region); otherwise the shield
+    /// substitutes the action of the verified program covering the current
+    /// state (falling back to the piece whose invariant value is smallest if
+    /// none formally covers it).
+    pub fn decide(&self, state: &[f64], proposed: &[f64]) -> ShieldDecision {
+        let predicted = self.env.step_deterministic(state, proposed);
+        if self.covers(&predicted) {
+            return ShieldDecision {
+                action: self.env.clamp_action(proposed),
+                intervened: false,
+            };
+        }
+        // Override with the program of the piece responsible for the current
+        // state: by construction its action keeps the system inside that
+        // piece's invariant.
+        let piece = self
+            .pieces
+            .iter()
+            .find(|p| p.invariant().contains(state))
+            .unwrap_or_else(|| {
+                self.pieces
+                    .iter()
+                    .min_by(|a, b| {
+                        a.invariant()
+                            .value(state)
+                            .partial_cmp(&b.invariant().value(state))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("a shield always has at least one piece")
+            });
+        ShieldDecision {
+            action: self.env.clamp_action(&piece.program().action(state)),
+            intervened: true,
+        }
+    }
+
+    /// Flattens the shield into the single deterministic program of
+    /// Theorem 4.2: `if φ₁: P₁ else if φ₂: P₂ … else abort`.
+    pub fn to_program(&self) -> PolicyProgram {
+        let mut branches = Vec::with_capacity(self.pieces.len());
+        for piece in &self.pieces {
+            let actions = piece
+                .program()
+                .branches()
+                .first()
+                .expect("programs always have at least one branch")
+                .actions()
+                .to_vec();
+            branches.push(GuardedPolicy::guarded(piece.invariant().polynomial().clone(), actions));
+        }
+        PolicyProgram::from_branches(branches)
+    }
+}
+
+/// A policy that runs a neural oracle under a shield, counting interventions.
+///
+/// The wrapper implements [`Policy`], so it can be dropped into any
+/// environment rollout in place of the raw neural network.
+#[derive(Debug)]
+pub struct ShieldedPolicy<'a, P: Policy + ?Sized> {
+    shield: &'a Shield,
+    oracle: &'a P,
+    interventions: AtomicUsize,
+    decisions: AtomicUsize,
+}
+
+impl<'a, P: Policy + ?Sized> ShieldedPolicy<'a, P> {
+    /// Wraps `oracle` with `shield`.
+    pub fn new(shield: &'a Shield, oracle: &'a P) -> Self {
+        ShieldedPolicy {
+            shield,
+            oracle,
+            interventions: AtomicUsize::new(0),
+            decisions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of times the shield overrode the oracle so far.
+    pub fn interventions(&self) -> usize {
+        self.interventions.load(Ordering::Relaxed)
+    }
+
+    /// Total number of decisions made so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of decisions that were interventions.
+    pub fn intervention_rate(&self) -> f64 {
+        let decisions = self.decisions();
+        if decisions == 0 {
+            0.0
+        } else {
+            self.interventions() as f64 / decisions as f64
+        }
+    }
+
+    /// Resets the intervention counters.
+    pub fn reset_counters(&self) {
+        self.interventions.store(0, Ordering::Relaxed);
+        self.decisions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for ShieldedPolicy<'_, P> {
+    fn action_dim(&self) -> usize {
+        self.oracle.action_dim()
+    }
+
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        let proposed = self.oracle.action(state);
+        let decision = self.shield.decide(state, &proposed);
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if decision.intervened {
+            self.interventions.fetch_add(1, Ordering::Relaxed);
+        }
+        decision.action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vrl_dynamics::{BoxRegion, ConstantPolicy, PolyDynamics, SafetySpec};
+    use vrl_poly::Polynomial;
+
+    /// ẋ = a with safe |x| ≤ 1; invariant x² − 0.81 ≤ 0 (|x| ≤ 0.9) verified
+    /// for the program a = −2x.
+    fn toy_shield() -> Shield {
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        let env = EnvironmentContext::new(
+            "toy",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.5]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        );
+        let program = PolicyProgram::linear(&[vec![-2.0]], &[0.0]);
+        let x = Polynomial::variable(0, 1);
+        let invariant = BarrierCertificate::new(&(&x * &x) - &Polynomial::constant(0.81, 1));
+        Shield::new(env, vec![ShieldPiece::new(program, invariant)])
+    }
+
+    #[test]
+    fn shield_accessors() {
+        let shield = toy_shield();
+        assert_eq!(shield.num_pieces(), 1);
+        assert_eq!(shield.pieces().len(), 1);
+        assert!(shield.covers(&[0.5]));
+        assert!(!shield.covers(&[0.95]));
+        assert!(!shield.covers(&[1.5]));
+        let program = shield.to_program();
+        assert_eq!(program.num_branches(), 1);
+        assert!(program.evaluate(&[0.5]).is_some());
+        assert!(program.evaluate(&[0.95]).is_none());
+    }
+
+    #[test]
+    fn shield_allows_safe_proposals_and_blocks_unsafe_ones() {
+        let shield = toy_shield();
+        // A small action keeps the next state inside the invariant: allowed.
+        let keep = shield.decide(&[0.0], &[1.0]);
+        assert!(!keep.intervened);
+        assert_eq!(keep.action, vec![1.0]);
+        // A huge action from near the boundary would leave the invariant:
+        // the shield overrides with the verified program's action.
+        let block = shield.decide(&[0.89], &[50.0]);
+        assert!(block.intervened);
+        assert!((block.action[0] - (-2.0 * 0.89)).abs() < 1e-12);
+        // Even from an uncovered state the shield still produces an action.
+        let fallback = shield.decide(&[0.95], &[50.0]);
+        assert!(fallback.intervened);
+        assert!((fallback.action[0] - (-2.0 * 0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shielded_policy_counts_interventions_and_stays_safe() {
+        let shield = toy_shield();
+        // An adversarial "neural policy" that always pushes outward.
+        let adversary = ConstantPolicy::new(vec![5.0]);
+        let shielded = ShieldedPolicy::new(&shield, &adversary);
+        let env = shield.env().clone();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trajectory = env.rollout(&shielded, &[0.0], 2000, &mut rng);
+        assert!(!trajectory.violates(env.safety()), "the shield must keep the system safe");
+        assert!(shielded.interventions() > 0);
+        assert_eq!(shielded.decisions(), 2000);
+        assert!(shielded.intervention_rate() > 0.0 && shielded.intervention_rate() <= 1.0);
+        shielded.reset_counters();
+        assert_eq!(shielded.interventions(), 0);
+        assert_eq!(shielded.decisions(), 0);
+    }
+
+    #[test]
+    fn benign_oracle_is_never_interrupted() {
+        let shield = toy_shield();
+        let benign = vrl_dynamics::ClosurePolicy::new(1, |s: &[f64]| vec![-1.5 * s[0]]);
+        let shielded = ShieldedPolicy::new(&shield, &benign);
+        let env = shield.env().clone();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trajectory = env.rollout(&shielded, &[0.4], 2000, &mut rng);
+        assert!(!trajectory.violates(env.safety()));
+        assert_eq!(shielded.interventions(), 0, "a well-behaved oracle needs no interventions");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one verified piece")]
+    fn empty_shield_rejected() {
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        let env = EnvironmentContext::new(
+            "toy",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.5]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        );
+        let _ = Shield::new(env, vec![]);
+    }
+}

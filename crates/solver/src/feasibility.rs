@@ -1,0 +1,332 @@
+//! Iterative margin-maximization solver for systems of linear inequalities.
+//!
+//! The barrier-certificate synthesizer reduces "find coefficients `c` of the
+//! invariant sketch satisfying the verification conditions on a set of
+//! sampled states" to a homogeneous linear feasibility problem
+//! `aᵢ · c ≥ margin` for every sampled constraint `aᵢ`.  This module solves
+//! such problems with a deterministic averaged-perceptron / hinge-loss
+//! subgradient scheme — the role Mosek's convex solver plays in the paper's
+//! toolchain.  (Soundness never depends on this solver: every candidate it
+//! produces is independently checked by the branch-and-bound verifier.)
+
+/// A single linear constraint `coefficients · c ≥ rhs` on the unknown vector `c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Coefficients of the constraint (one per unknown).
+    pub coefficients: Vec<f64>,
+    /// Right-hand side of the `≥` inequality.
+    pub rhs: f64,
+    /// Relative importance of this constraint when trading off violations.
+    pub weight: f64,
+}
+
+impl LinearConstraint {
+    /// Creates the constraint `coefficients · c ≥ rhs` with unit weight.
+    pub fn at_least(coefficients: Vec<f64>, rhs: f64) -> Self {
+        LinearConstraint {
+            coefficients,
+            rhs,
+            weight: 1.0,
+        }
+    }
+
+    /// Creates the constraint `coefficients · c ≤ rhs` (stored in `≥` form).
+    pub fn at_most(coefficients: Vec<f64>, rhs: f64) -> Self {
+        LinearConstraint {
+            coefficients: coefficients.into_iter().map(|x| -x).collect(),
+            rhs: -rhs,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the constraint weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight <= 0`.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "constraint weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Signed slack `coefficients · c − rhs` of the constraint at `c`
+    /// (non-negative means satisfied).
+    pub fn slack(&self, c: &[f64]) -> f64 {
+        self.coefficients
+            .iter()
+            .zip(c.iter())
+            .map(|(a, x)| a * x)
+            .sum::<f64>()
+            - self.rhs
+    }
+
+    /// Returns true when the constraint holds at `c` within `tolerance`.
+    pub fn satisfied(&self, c: &[f64], tolerance: f64) -> bool {
+        self.slack(c) >= -tolerance
+    }
+}
+
+/// Configuration of the feasibility solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityConfig {
+    /// Maximum number of passes over the constraint set.
+    pub max_iterations: usize,
+    /// Initial step size of the subgradient updates.
+    pub step_size: f64,
+    /// Tolerance below which a constraint counts as satisfied.
+    pub tolerance: f64,
+    /// L2 regularization pulling the solution towards small norms, which
+    /// keeps invariant coefficients well scaled.
+    pub regularization: f64,
+}
+
+impl Default for FeasibilityConfig {
+    fn default() -> Self {
+        FeasibilityConfig {
+            max_iterations: 4000,
+            step_size: 0.05,
+            tolerance: 1e-6,
+            regularization: 1e-4,
+        }
+    }
+}
+
+/// Result of a feasibility solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilitySolution {
+    /// The candidate solution vector.
+    pub solution: Vec<f64>,
+    /// Number of constraints violated (beyond tolerance) at the solution.
+    pub violated: usize,
+    /// The worst (most negative) slack over all constraints.
+    pub worst_slack: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+impl FeasibilitySolution {
+    /// Returns true when every constraint is satisfied within tolerance.
+    pub fn is_feasible(&self) -> bool {
+        self.violated == 0
+    }
+}
+
+/// Solves a system of linear inequality constraints by weighted hinge-loss
+/// subgradient descent, starting from `initial` (or zeros when `None`).
+///
+/// The returned candidate need not be feasible — callers must inspect
+/// [`FeasibilitySolution::is_feasible`] (and, in the verification pipeline,
+/// independently check the candidate soundly).
+///
+/// # Panics
+///
+/// Panics if the constraints do not all have the same number of
+/// coefficients, or if that number is zero.
+pub fn solve_feasibility(
+    constraints: &[LinearConstraint],
+    initial: Option<&[f64]>,
+    config: &FeasibilityConfig,
+) -> FeasibilitySolution {
+    let dim = constraints
+        .first()
+        .map(|c| c.coefficients.len())
+        .unwrap_or_else(|| initial.map_or(0, <[f64]>::len));
+    assert!(dim > 0, "feasibility problems must have at least one unknown");
+    assert!(
+        constraints.iter().all(|c| c.coefficients.len() == dim),
+        "all constraints must have the same number of coefficients"
+    );
+    let mut c: Vec<f64> = match initial {
+        Some(x) => {
+            assert_eq!(x.len(), dim, "initial point has the wrong dimension");
+            x.to_vec()
+        }
+        None => vec![0.0; dim],
+    };
+    let mut best = c.clone();
+    let mut best_score = score(constraints, &c, config.tolerance);
+    let mut iterations = 0;
+    for iteration in 0..config.max_iterations {
+        iterations = iteration + 1;
+        let step = config.step_size / (1.0 + 0.01 * iteration as f64);
+        let mut any_violated = false;
+        // Subgradient of the weighted hinge loss Σ w_i · max(0, rhs_i − a_i·c).
+        let mut gradient = vec![0.0; dim];
+        for constraint in constraints {
+            let slack = constraint.slack(&c);
+            if slack < 0.0 {
+                any_violated = true;
+                for (g, a) in gradient.iter_mut().zip(constraint.coefficients.iter()) {
+                    *g += constraint.weight * a;
+                }
+            }
+        }
+        if !any_violated {
+            break;
+        }
+        let norm: f64 = gradient.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for (ci, g) in c.iter_mut().zip(gradient.iter()) {
+                *ci += step * g / norm;
+            }
+        }
+        for ci in c.iter_mut() {
+            *ci -= step * config.regularization * *ci;
+        }
+        let current = score(constraints, &c, config.tolerance);
+        if current < best_score {
+            best_score = current;
+            best = c.clone();
+        }
+    }
+    // Prefer whichever of the current iterate / best-seen iterate violates less.
+    let final_candidate = if score(constraints, &c, config.tolerance) <= best_score {
+        c
+    } else {
+        best
+    };
+    let (violated, worst_slack) = summarize(constraints, &final_candidate, config.tolerance);
+    FeasibilitySolution {
+        solution: final_candidate,
+        violated,
+        worst_slack,
+        iterations,
+    }
+}
+
+fn score(constraints: &[LinearConstraint], c: &[f64], tolerance: f64) -> f64 {
+    constraints
+        .iter()
+        .map(|k| {
+            let s = k.slack(c);
+            if s >= -tolerance {
+                0.0
+            } else {
+                k.weight * (-s)
+            }
+        })
+        .sum()
+}
+
+fn summarize(constraints: &[LinearConstraint], c: &[f64], tolerance: f64) -> (usize, f64) {
+    let mut violated = 0;
+    let mut worst = f64::INFINITY;
+    for constraint in constraints {
+        let s = constraint.slack(c);
+        worst = worst.min(s);
+        if s < -tolerance {
+            violated += 1;
+        }
+    }
+    if constraints.is_empty() {
+        worst = 0.0;
+    }
+    (violated, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constraint_helpers() {
+        let ge = LinearConstraint::at_least(vec![1.0, -1.0], 0.5);
+        assert!((ge.slack(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!(ge.satisfied(&[1.0, 0.0], 1e-9));
+        assert!(!ge.satisfied(&[0.0, 0.0], 1e-9));
+        let le = LinearConstraint::at_most(vec![2.0], 1.0);
+        assert!(le.satisfied(&[0.4], 1e-9));
+        assert!(!le.satisfied(&[0.6], 1e-9));
+        let weighted = ge.clone().with_weight(3.0);
+        assert_eq!(weighted.weight, 3.0);
+    }
+
+    #[test]
+    fn solves_a_separable_system() {
+        // Find c with c0 ≥ 1, c1 ≤ -1, c0 + c1 ≥ -0.5.
+        let constraints = vec![
+            LinearConstraint::at_least(vec![1.0, 0.0], 1.0),
+            LinearConstraint::at_most(vec![0.0, 1.0], -1.0),
+            LinearConstraint::at_least(vec![1.0, 1.0], -0.5),
+        ];
+        let result = solve_feasibility(&constraints, None, &FeasibilityConfig::default());
+        assert!(result.is_feasible(), "worst slack {}", result.worst_slack);
+        assert!(result.solution[0] >= 1.0 - 1e-4);
+        assert!(result.solution[1] <= -1.0 + 1e-4);
+    }
+
+    #[test]
+    fn reports_infeasibility_of_contradictory_constraints() {
+        let constraints = vec![
+            LinearConstraint::at_least(vec![1.0], 1.0),
+            LinearConstraint::at_most(vec![1.0], -1.0),
+        ];
+        let result = solve_feasibility(&constraints, None, &FeasibilityConfig::default());
+        assert!(!result.is_feasible());
+        assert!(result.violated >= 1);
+        assert!(result.worst_slack < 0.0);
+    }
+
+    #[test]
+    fn warm_start_is_respected_and_empty_constraints_are_trivial() {
+        let result = solve_feasibility(&[], Some(&[0.25, -0.5]), &FeasibilityConfig::default());
+        assert!(result.is_feasible());
+        assert_eq!(result.solution, vec![0.25, -0.5]);
+        assert_eq!(result.worst_slack, 0.0);
+    }
+
+    #[test]
+    fn separating_hyperplane_for_two_point_clouds() {
+        // Classic margin problem: find c, with c·x ≥ 1 for "positive" points
+        // and c·x ≤ -1 for "negative" points.
+        let positives = [[1.0, 1.0], [1.5, 0.5], [2.0, 1.2]];
+        let negatives = [[-1.0, -1.0], [-1.2, -0.3], [-0.5, -1.5]];
+        let mut constraints = Vec::new();
+        for p in positives {
+            constraints.push(LinearConstraint::at_least(p.to_vec(), 1.0));
+        }
+        for n in negatives {
+            constraints.push(LinearConstraint::at_most(n.to_vec(), -1.0));
+        }
+        let result = solve_feasibility(&constraints, None, &FeasibilityConfig::default());
+        assert!(result.is_feasible(), "worst slack {}", result.worst_slack);
+        for p in positives {
+            assert!(p[0] * result.solution[0] + p[1] * result.solution[1] >= 1.0 - 1e-3);
+        }
+        for n in negatives {
+            assert!(n[0] * result.solution[0] + n[1] * result.solution[1] <= -1.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of coefficients")]
+    fn mismatched_constraint_dimensions_panic() {
+        let constraints = vec![
+            LinearConstraint::at_least(vec![1.0], 0.0),
+            LinearConstraint::at_least(vec![1.0, 2.0], 0.0),
+        ];
+        let _ = solve_feasibility(&constraints, None, &FeasibilityConfig::default());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_feasible_systems_are_solved(direction in proptest::collection::vec(-1.0..1.0f64, 3),
+                                             count in 1usize..12) {
+            // Build constraints all satisfied by the point 10·d (for a nonzero
+            // direction d): a_i = d + noise_i with rhs small.
+            let norm: f64 = direction.iter().map(|x| x * x).sum::<f64>();
+            prop_assume!(norm > 0.1);
+            let constraints: Vec<LinearConstraint> = (0..count)
+                .map(|i| {
+                    let scale = 1.0 + (i as f64) * 0.1;
+                    LinearConstraint::at_least(direction.iter().map(|x| x * scale).collect(), 0.5)
+                })
+                .collect();
+            let result = solve_feasibility(&constraints, None, &FeasibilityConfig::default());
+            prop_assert!(result.is_feasible(), "worst slack {}", result.worst_slack);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Constraint-solving substrate for the verifiable-RL framework.
+//!
+//! The paper's toolchain relies on two external solvers: Mosek (sum-of-squares
+//! programming to find barrier-certificate coefficients) and Z3 (to check
+//! coverage of the initial state space).  This crate provides the self-contained
+//! replacements used by `vrl-verify`:
+//!
+//! * [`prove_bound`] / [`prove_nonpositive`] / [`prove_positive`] — sound
+//!   interval branch-and-bound proving of polynomial inequalities over boxes,
+//!   optionally restricted by polynomial guards (used both for the
+//!   verification conditions and for the CEGIS coverage check);
+//! * [`solve_feasibility`] — an iterative margin-maximization solver for the
+//!   sampled linear constraints that candidate invariant coefficients must
+//!   satisfy;
+//! * [`solve_discrete_lyapunov`] — exact quadratic certificates for linear
+//!   closed loops, the scalable back-end for high-dimensional LTI benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrl_poly::{Interval, Polynomial};
+//! use vrl_solver::{prove_nonpositive, BranchBoundConfig};
+//!
+//! // x² − 1 ≤ 0 on [−1, 1]
+//! let x = Polynomial::variable(0, 1);
+//! let p = &(&x * &x) - &Polynomial::constant(1.0, 1);
+//! let outcome = prove_nonpositive(&p, &[Interval::new(-1.0, 1.0)], &BranchBoundConfig::default());
+//! assert!(outcome.is_proved());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod branch_bound;
+mod feasibility;
+mod lyapunov;
+
+pub use branch_bound::{
+    prove_bound, prove_nonpositive, prove_positive, sound_minimum, BoundQuery, BranchBoundConfig,
+    ProofOutcome,
+};
+pub use feasibility::{
+    solve_feasibility, FeasibilityConfig, FeasibilitySolution, LinearConstraint,
+};
+pub use lyapunov::{decrease_certificate, solve_discrete_lyapunov, LyapunovError};

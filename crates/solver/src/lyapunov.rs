@@ -1,0 +1,188 @@
+//! Discrete-time Lyapunov equation solving for linear closed-loop systems.
+//!
+//! When the closed loop `s' = A_cl·s` obtained by deploying a synthesized
+//! linear program in an LTI environment is a contraction, a quadratic
+//! invariant `E(s) = sᵀ P s − level` exists and can be computed exactly by
+//! solving the discrete Lyapunov equation `A_clᵀ P A_cl − P = −Q`.  This is
+//! the scalable verification back-end the framework uses for the
+//! high-dimensional LTI benchmarks (platoons, oscillator, …), playing the
+//! role of a degree-2 SOS certificate in the paper's toolchain.
+
+use vrl_linalg::{spectral_radius, Matrix, SymmetricEigen};
+
+/// Error produced when a discrete Lyapunov equation cannot be solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LyapunovError {
+    /// The closed-loop matrix is not a contraction (spectral radius ≥ 1), so
+    /// no positive-definite solution exists.
+    NotContractive {
+        /// Estimated spectral radius.
+        spectral_radius: f64,
+    },
+    /// The iteration failed to converge within its budget.
+    NoConvergence,
+    /// The input matrices have inconsistent or non-square shapes.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for LyapunovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LyapunovError::NotContractive { spectral_radius } => write!(
+                f,
+                "closed-loop matrix is not a contraction (spectral radius ≈ {spectral_radius:.4})"
+            ),
+            LyapunovError::NoConvergence => write!(f, "lyapunov iteration did not converge"),
+            LyapunovError::ShapeMismatch => write!(f, "matrix shapes are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for LyapunovError {}
+
+/// Solves the discrete Lyapunov equation `Aᵀ P A − P = −Q` for symmetric
+/// positive-definite `Q`, returning the (symmetric positive-definite) `P`.
+///
+/// The solution is computed by the convergent series
+/// `P = Σ_{k≥0} (Aᵀ)^k Q A^k`, iterated by squaring, which converges exactly
+/// when `A` is a contraction.
+///
+/// # Errors
+///
+/// Returns [`LyapunovError::NotContractive`] when the spectral radius of `A`
+/// is ≥ 1 (estimated by power iteration), [`LyapunovError::ShapeMismatch`]
+/// for inconsistent shapes, and [`LyapunovError::NoConvergence`] if the
+/// series fails to converge numerically.
+pub fn solve_discrete_lyapunov(a: &Matrix, q: &Matrix) -> Result<Matrix, LyapunovError> {
+    if !a.is_square() || !q.is_square() || a.rows() != q.rows() {
+        return Err(LyapunovError::ShapeMismatch);
+    }
+    let radius = spectral_radius(a, 500).map_err(|_| LyapunovError::ShapeMismatch)?;
+    if radius >= 1.0 - 1e-9 {
+        return Err(LyapunovError::NotContractive {
+            spectral_radius: radius,
+        });
+    }
+    // Iterated doubling: P_{k+1} = P_k + M_kᵀ P_k M_k, M_{k+1} = M_k², with
+    // P_0 = Q, M_0 = A sums the series in O(log) matrix products.
+    let mut p = q.clone();
+    let mut m = a.clone();
+    for _ in 0..200 {
+        let mt_p = m.transpose().matmul(&p).map_err(|_| LyapunovError::ShapeMismatch)?;
+        let increment = mt_p.matmul(&m).map_err(|_| LyapunovError::ShapeMismatch)?;
+        if increment.norm_inf() < 1e-14 * (1.0 + p.norm_inf()) {
+            return Ok(p.symmetrized());
+        }
+        p = &p + &increment;
+        m = m.matmul(&m).map_err(|_| LyapunovError::ShapeMismatch)?;
+        if !p.as_slice().iter().all(|x| x.is_finite()) {
+            return Err(LyapunovError::NoConvergence);
+        }
+    }
+    Err(LyapunovError::NoConvergence)
+}
+
+/// Verifies that `P` solves `Aᵀ P A − P ⪯ −margin·I` (i.e. the quadratic form
+/// strictly decreases along the closed loop), using the symmetric
+/// eigen-decomposition.  Returns the largest eigenvalue of
+/// `Aᵀ P A − P + margin·I` (non-positive means verified).
+///
+/// # Errors
+///
+/// Returns [`LyapunovError::ShapeMismatch`] for inconsistent shapes.
+pub fn decrease_certificate(a: &Matrix, p: &Matrix, margin: f64) -> Result<f64, LyapunovError> {
+    if !a.is_square() || !p.is_square() || a.rows() != p.rows() {
+        return Err(LyapunovError::ShapeMismatch);
+    }
+    let at_p = a.transpose().matmul(p).map_err(|_| LyapunovError::ShapeMismatch)?;
+    let at_p_a = at_p.matmul(a).map_err(|_| LyapunovError::ShapeMismatch)?;
+    let mut delta = &at_p_a - p;
+    for i in 0..delta.rows() {
+        delta[(i, i)] += margin;
+    }
+    let eig = SymmetricEigen::new(&delta.symmetrized()).map_err(|_| LyapunovError::NoConvergence)?;
+    Ok(eig.max_eigenvalue())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vrl_linalg::Vector;
+
+    #[test]
+    fn solves_scalar_case_exactly() {
+        // a = 0.5, q = 1: p = 1 / (1 - 0.25) = 4/3.
+        let a = Matrix::from_diagonal(&[0.5]);
+        let q = Matrix::identity(1);
+        let p = solve_discrete_lyapunov(&a, &q).unwrap();
+        assert!((p[(0, 0)] - 4.0 / 3.0).abs() < 1e-10);
+        assert!(decrease_certificate(&a, &p, 0.0).unwrap() <= 1e-9);
+    }
+
+    #[test]
+    fn solution_satisfies_the_equation() {
+        let a = Matrix::from_rows(&[vec![0.9, 0.05], vec![-0.1, 0.85]]);
+        let q = Matrix::identity(2);
+        let p = solve_discrete_lyapunov(&a, &q).unwrap();
+        // Residual Aᵀ P A − P + Q ≈ 0.
+        let residual = &(&a.transpose().matmul(&p).unwrap().matmul(&a).unwrap() - &p) + &q;
+        assert!(residual.norm_inf() < 1e-8, "residual {}", residual.norm_inf());
+        // P is positive definite.
+        let eig = SymmetricEigen::new(&p).unwrap();
+        assert!(eig.min_eigenvalue() > 0.0);
+        // The quadratic form decreases along trajectories.
+        let mut x = Vector::from_slice(&[1.0, -2.0]);
+        let mut prev = p.quadratic_form(&x);
+        for _ in 0..20 {
+            x = a.matvec(&x);
+            let next = p.quadratic_form(&x);
+            assert!(next <= prev + 1e-12);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn rejects_non_contractive_and_bad_shapes() {
+        let unstable = Matrix::from_diagonal(&[1.1, 0.5]);
+        assert!(matches!(
+            solve_discrete_lyapunov(&unstable, &Matrix::identity(2)),
+            Err(LyapunovError::NotContractive { .. })
+        ));
+        let marginal = Matrix::from_diagonal(&[1.0]);
+        assert!(solve_discrete_lyapunov(&marginal, &Matrix::identity(1)).is_err());
+        assert!(matches!(
+            solve_discrete_lyapunov(&Matrix::identity(2), &Matrix::identity(3)),
+            Err(LyapunovError::ShapeMismatch)
+        ));
+        assert!(matches!(
+            decrease_certificate(&Matrix::identity(2), &Matrix::identity(3), 0.0),
+            Err(LyapunovError::ShapeMismatch)
+        ));
+        let err = LyapunovError::NotContractive { spectral_radius: 1.2 };
+        assert!(err.to_string().contains("1.2"));
+    }
+
+    #[test]
+    fn decrease_certificate_detects_violations() {
+        // For an expanding map no P certifies decrease.
+        let a = Matrix::from_diagonal(&[1.5]);
+        let p = Matrix::identity(1);
+        let lambda = decrease_certificate(&a, &p, 0.0).unwrap();
+        assert!(lambda > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_lyapunov_solution_is_psd_and_decreasing(entries in proptest::collection::vec(-0.4..0.4f64, 9)) {
+            // Scale entries so the matrix is a contraction (row sums < 1).
+            let a = Matrix::from_row_major(3, 3, entries).scaled(0.6);
+            let q = Matrix::identity(3);
+            let p = solve_discrete_lyapunov(&a, &q).unwrap();
+            let eig = SymmetricEigen::new(&p).unwrap();
+            prop_assert!(eig.min_eigenvalue() > 0.0);
+            prop_assert!(decrease_certificate(&a, &p, 0.0).unwrap() <= 1e-7);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic policy-program synthesis (Sec. 4.1 of the paper).
+//!
+//! This crate provides:
+//!
+//! * [`PolicyProgram`] / [`GuardedPolicy`] — the guarded-branch policy
+//!   program language of Fig. 5;
+//! * [`ProgramSketch`] — program sketches `P[θ]` (Eq. 4) whose unknown
+//!   coefficients the synthesizer fills in;
+//! * [`synthesize_program`] — Algorithm 1, the random-search distillation of
+//!   a black-box neural oracle into a sketch instance, with unsafe states
+//!   heavily penalized.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrl_synth::{PolicyProgram, ProgramSketch};
+//!
+//! // The paper's running example program for the inverted pendulum.
+//! let program = PolicyProgram::linear(&[vec![-12.05, -5.87]], &[0.0]);
+//! println!("{}", program.pretty(&["eta", "omega"]));
+//! let sketch = ProgramSketch::affine(2, 1);
+//! assert_eq!(sketch.num_parameters(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod distill;
+mod program;
+mod sketch;
+
+pub use distill::{
+    oracle_distance, synthesize_program, DistillConfig, DistillReport, SynthesizedProgram,
+};
+pub use program::{GuardedPolicy, PolicyProgram};
+pub use sketch::ProgramSketch;

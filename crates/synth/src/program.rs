@@ -1,0 +1,324 @@
+//! The deterministic policy-program language of Fig. 5.
+//!
+//! A program is a cascade of guarded branches
+//! `if φ₁(X) ≤ 0: return E₁(X) else if φ₂(X) ≤ 0: return E₂(X) … else abort`,
+//! where the guards `φᵢ` and branch expressions `Eᵢ` are polynomials over the
+//! state variables.  Algorithm 2 produces exactly this shape: one branch per
+//! `(program, invariant)` pair, with the learned inductive invariant serving
+//! as the branch guard (Theorem 4.2).
+
+use vrl_dynamics::Policy;
+use vrl_poly::Polynomial;
+
+/// One guarded branch of a policy program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedPolicy {
+    /// Branch guard `φ(X) ≤ 0`; `None` means the branch is unconditional.
+    guard: Option<Polynomial>,
+    /// One action expression per action dimension.
+    actions: Vec<Polynomial>,
+}
+
+impl GuardedPolicy {
+    /// Creates an unconditional branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty or the action polynomials disagree on the
+    /// number of state variables.
+    pub fn unconditional(actions: Vec<Polynomial>) -> Self {
+        Self::new(None, actions)
+    }
+
+    /// Creates a branch taken when `guard(X) ≤ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty or any polynomial variable counts disagree.
+    pub fn guarded(guard: Polynomial, actions: Vec<Polynomial>) -> Self {
+        Self::new(Some(guard), actions)
+    }
+
+    fn new(guard: Option<Polynomial>, actions: Vec<Polynomial>) -> Self {
+        assert!(!actions.is_empty(), "a branch needs at least one action expression");
+        let nvars = actions[0].nvars();
+        assert!(
+            actions.iter().all(|a| a.nvars() == nvars),
+            "all action expressions must share the same state variables"
+        );
+        if let Some(g) = &guard {
+            assert_eq!(g.nvars(), nvars, "guard must range over the state variables");
+        }
+        GuardedPolicy { guard, actions }
+    }
+
+    /// The branch guard, if any.
+    pub fn guard(&self) -> Option<&Polynomial> {
+        self.guard.as_ref()
+    }
+
+    /// The action expressions.
+    pub fn actions(&self) -> &[Polynomial] {
+        &self.actions
+    }
+
+    /// Returns true when this branch applies to `state`.
+    pub fn applies(&self, state: &[f64]) -> bool {
+        match &self.guard {
+            None => true,
+            Some(g) => g.eval(state) <= 0.0,
+        }
+    }
+
+    /// Evaluates the branch actions at `state`.
+    pub fn evaluate(&self, state: &[f64]) -> Vec<f64> {
+        self.actions.iter().map(|a| a.eval(state)).collect()
+    }
+}
+
+/// A deterministic policy program: an ordered cascade of guarded branches.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_poly::Polynomial;
+/// use vrl_synth::PolicyProgram;
+///
+/// // The paper's running example: P(η, ω) = −12.05·η − 5.87·ω.
+/// let program = PolicyProgram::linear(&[vec![-12.05, -5.87]], &[0.0]);
+/// assert_eq!(program.evaluate(&[0.1, 0.0]).unwrap().len(), 1);
+/// assert_eq!(program.num_branches(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyProgram {
+    state_dim: usize,
+    action_dim: usize,
+    branches: Vec<GuardedPolicy>,
+}
+
+impl PolicyProgram {
+    /// Creates a program from an ordered list of branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty or the branches disagree on dimensions.
+    pub fn from_branches(branches: Vec<GuardedPolicy>) -> Self {
+        assert!(!branches.is_empty(), "a program needs at least one branch");
+        let state_dim = branches[0].actions()[0].nvars();
+        let action_dim = branches[0].actions().len();
+        assert!(
+            branches
+                .iter()
+                .all(|b| b.actions().len() == action_dim && b.actions()[0].nvars() == state_dim),
+            "all branches must share the same state and action dimensions"
+        );
+        PolicyProgram {
+            state_dim,
+            action_dim,
+            branches,
+        }
+    }
+
+    /// Creates a single-branch affine program `a_k = Σ gains[k][i]·x_i + offsets[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains` is empty, rows have differing lengths, or
+    /// `offsets.len() != gains.len()`.
+    pub fn linear(gains: &[Vec<f64>], offsets: &[f64]) -> Self {
+        assert!(!gains.is_empty(), "at least one gain row is required");
+        assert_eq!(gains.len(), offsets.len(), "one offset per gain row is required");
+        let state_dim = gains[0].len();
+        assert!(
+            gains.iter().all(|g| g.len() == state_dim),
+            "all gain rows must have the same length"
+        );
+        let actions = gains
+            .iter()
+            .zip(offsets.iter())
+            .map(|(g, o)| Polynomial::linear(g, *o))
+            .collect();
+        PolicyProgram::from_branches(vec![GuardedPolicy::unconditional(actions)])
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Number of branches (the "Size" column of Table 1).
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The branches in evaluation order.
+    pub fn branches(&self) -> &[GuardedPolicy] {
+        &self.branches
+    }
+
+    /// Appends a branch at the end of the cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branch dimensions disagree with the program.
+    pub fn push_branch(&mut self, branch: GuardedPolicy) {
+        assert_eq!(branch.actions().len(), self.action_dim, "action dimension mismatch");
+        assert_eq!(branch.actions()[0].nvars(), self.state_dim, "state dimension mismatch");
+        self.branches.push(branch);
+    }
+
+    /// Evaluates the program: the first branch whose guard holds produces the
+    /// action; `None` corresponds to the `abort` case of Fig. 5 (no branch
+    /// applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.state_dim()`.
+    pub fn evaluate(&self, state: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(state.len(), self.state_dim, "state dimension mismatch");
+        self.branches
+            .iter()
+            .find(|b| b.applies(state))
+            .map(|b| b.evaluate(state))
+    }
+
+    /// The action polynomials of the branch that applies at `state`, if any.
+    pub fn branch_for(&self, state: &[f64]) -> Option<&GuardedPolicy> {
+        self.branches.iter().find(|b| b.applies(state))
+    }
+
+    /// Pretty-prints the program in the paper's `def P(...)` style using the
+    /// given state-variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != self.state_dim()`.
+    pub fn pretty(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.state_dim, "one name per state variable is required");
+        let mut out = format!("def P({}):\n", names.join(", "));
+        for (i, branch) in self.branches.iter().enumerate() {
+            match branch.guard() {
+                None => {
+                    out.push_str("    return ");
+                }
+                Some(g) => {
+                    let keyword = if i == 0 { "if" } else { "else if" };
+                    out.push_str(&format!(
+                        "    {keyword} {} <= 0:\n        return ",
+                        g.to_string_with_names(names)
+                    ));
+                }
+            }
+            let exprs: Vec<String> = branch
+                .actions()
+                .iter()
+                .map(|a| a.to_string_with_names(names))
+                .collect();
+            out.push_str(&exprs.join(", "));
+            out.push('\n');
+        }
+        if self.branches.iter().all(|b| b.guard().is_some()) {
+            out.push_str("    else: abort\n");
+        }
+        out
+    }
+}
+
+impl Policy for PolicyProgram {
+    fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Evaluates the program, returning the zero action when no branch
+    /// applies (the shield layer is responsible for never reaching that case
+    /// on states covered by its invariants).
+    fn action(&self, state: &[f64]) -> Vec<f64> {
+        self.evaluate(state)
+            .unwrap_or_else(|| vec![0.0; self.action_dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle_guard(radius2: f64) -> Polynomial {
+        // x² + y² − r² ≤ 0
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        &(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(radius2, 2)
+    }
+
+    #[test]
+    fn linear_program_matches_paper_running_example() {
+        let program = PolicyProgram::linear(&[vec![-12.05, -5.87]], &[0.0]);
+        let a = program.evaluate(&[0.2, -0.1]).unwrap();
+        assert!((a[0] - (-12.05 * 0.2 + 5.87 * 0.1)).abs() < 1e-12);
+        assert_eq!(program.state_dim(), 2);
+        assert_eq!(program.action_dim(), 1);
+        assert_eq!(program.num_branches(), 1);
+        assert_eq!(program.action(&[0.2, -0.1]), a);
+    }
+
+    #[test]
+    fn guarded_cascade_selects_first_applicable_branch() {
+        // Inside the unit circle use a weak controller, inside radius 2 a
+        // strong one, otherwise abort.
+        let weak = GuardedPolicy::guarded(circle_guard(1.0), vec![Polynomial::linear(&[-1.0, 0.0], 0.0)]);
+        let strong = GuardedPolicy::guarded(circle_guard(4.0), vec![Polynomial::linear(&[-5.0, 0.0], 0.0)]);
+        let program = PolicyProgram::from_branches(vec![weak, strong]);
+        assert_eq!(program.evaluate(&[0.5, 0.0]).unwrap(), vec![-0.5]);
+        assert_eq!(program.evaluate(&[1.5, 0.0]).unwrap(), vec![-7.5]);
+        assert_eq!(program.evaluate(&[5.0, 0.0]), None);
+        // The Policy impl falls back to zero on abort.
+        assert_eq!(program.action(&[5.0, 0.0]), vec![0.0]);
+        assert!(program.branch_for(&[0.5, 0.0]).unwrap().guard().is_some());
+        assert!(program.branch_for(&[5.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn push_branch_extends_the_cascade() {
+        let mut program = PolicyProgram::from_branches(vec![GuardedPolicy::guarded(
+            circle_guard(1.0),
+            vec![Polynomial::linear(&[0.39, -1.41], 0.0)],
+        )]);
+        assert_eq!(program.evaluate(&[3.0, 0.0]), None);
+        program.push_branch(GuardedPolicy::guarded(
+            circle_guard(25.0),
+            vec![Polynomial::linear(&[0.88, -2.34], 0.0)],
+        ));
+        assert_eq!(program.num_branches(), 2);
+        assert!(program.evaluate(&[3.0, 0.0]).is_some());
+    }
+
+    #[test]
+    fn pretty_printer_mirrors_the_paper_style() {
+        let program = PolicyProgram::from_branches(vec![
+            GuardedPolicy::guarded(circle_guard(1.0), vec![Polynomial::linear(&[0.39, -1.41], 0.0)]),
+            GuardedPolicy::guarded(circle_guard(4.0), vec![Polynomial::linear(&[0.88, -2.34], 0.0)]),
+        ]);
+        let text = program.pretty(&["x", "y"]);
+        assert!(text.contains("def P(x, y):"));
+        assert!(text.contains("if"));
+        assert!(text.contains("else if"));
+        assert!(text.contains("else: abort"));
+        assert!(text.contains("0.39"));
+        let unconditional = PolicyProgram::linear(&[vec![1.0, 2.0]], &[0.5]);
+        let text2 = unconditional.pretty(&["a", "b"]);
+        assert!(text2.contains("return"));
+        assert!(!text2.contains("abort"));
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn evaluate_rejects_wrong_dimension() {
+        let program = PolicyProgram::linear(&[vec![1.0, 2.0]], &[0.0]);
+        let _ = program.evaluate(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn empty_program_rejected() {
+        let _ = PolicyProgram::from_branches(vec![]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Program sketches `P[θ]`: families of candidate programs with unknown
+//! parameters, as in Eq. (4) of the paper.
+
+use vrl_poly::{monomial_basis, Polynomial};
+
+/// A program sketch: one polynomial expression per action dimension, each an
+/// affine combination of a fixed monomial basis over the state variables with
+/// unknown coefficients `θ`.
+///
+/// The default sketch used throughout the paper's evaluation is the affine
+/// family of Eq. (4): `P[θ](X) = θ₁x₁ + … + θₙxₙ + θₙ₊₁`.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_synth::ProgramSketch;
+///
+/// let sketch = ProgramSketch::affine(2, 1);
+/// assert_eq!(sketch.num_parameters(), 3);
+/// // Parameters follow the graded monomial basis: constant, x0, x1.
+/// let program = sketch.instantiate(&[0.0, -12.05, -5.87]);
+/// assert_eq!(program.len(), 1);
+/// assert!((program[0].eval(&[0.1, 0.0]) + 1.205).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSketch {
+    state_dim: usize,
+    action_dim: usize,
+    basis: Vec<Vec<u32>>,
+}
+
+impl ProgramSketch {
+    /// The affine sketch of Eq. (4): linear terms in every state variable plus
+    /// a constant, for each action dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn affine(state_dim: usize, action_dim: usize) -> Self {
+        Self::polynomial(state_dim, action_dim, 1)
+    }
+
+    /// A polynomial sketch containing every monomial of total degree at most
+    /// `degree` for each action dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn polynomial(state_dim: usize, action_dim: usize, degree: u32) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        ProgramSketch {
+            state_dim,
+            action_dim,
+            basis: monomial_basis(state_dim, degree),
+        }
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Monomial basis shared by every action expression.
+    pub fn basis(&self) -> &[Vec<u32>] {
+        &self.basis
+    }
+
+    /// Number of unknown parameters `θ` (basis size × action dimension).
+    pub fn num_parameters(&self) -> usize {
+        self.basis.len() * self.action_dim
+    }
+
+    /// Instantiates the sketch at a concrete parameter vector, producing one
+    /// action polynomial per action dimension.
+    ///
+    /// Parameters are laid out action-major: the first `basis.len()` values
+    /// parameterize action 0, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len() != self.num_parameters()`.
+    pub fn instantiate(&self, theta: &[f64]) -> Vec<Polynomial> {
+        assert_eq!(
+            theta.len(),
+            self.num_parameters(),
+            "parameter vector has the wrong length"
+        );
+        let width = self.basis.len();
+        (0..self.action_dim)
+            .map(|k| Polynomial::from_basis(self.state_dim, &self.basis, &theta[k * width..(k + 1) * width]))
+            .collect()
+    }
+
+    /// The zero parameter vector (Algorithm 1 initializes `θ ← 0`).
+    pub fn initial_parameters(&self) -> Vec<f64> {
+        vec![0.0; self.num_parameters()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn affine_sketch_matches_equation_4() {
+        let sketch = ProgramSketch::affine(3, 2);
+        assert_eq!(sketch.state_dim(), 3);
+        assert_eq!(sketch.action_dim(), 2);
+        // Basis: 1, x0, x1, x2.
+        assert_eq!(sketch.basis().len(), 4);
+        assert_eq!(sketch.num_parameters(), 8);
+        assert_eq!(sketch.initial_parameters(), vec![0.0; 8]);
+        let theta = vec![
+            1.0, 2.0, 3.0, 4.0, // action 0: 1 + 2 x0 + 3 x1 + 4 x2
+            0.0, -1.0, 0.0, 0.0, // action 1: -x0
+        ];
+        let polys = sketch.instantiate(&theta);
+        assert_eq!(polys.len(), 2);
+        assert!((polys[0].eval(&[1.0, 1.0, 1.0]) - 10.0).abs() < 1e-12);
+        assert!((polys[1].eval(&[2.0, 0.0, 0.0]) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polynomial_sketch_grows_with_degree() {
+        let quad = ProgramSketch::polynomial(2, 1, 2);
+        assert_eq!(quad.basis().len(), 6);
+        assert_eq!(quad.num_parameters(), 6);
+        let cubic = ProgramSketch::polynomial(2, 1, 3);
+        assert!(cubic.num_parameters() > quad.num_parameters());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn instantiate_rejects_wrong_length() {
+        let _ = ProgramSketch::affine(2, 1).instantiate(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_rejected() {
+        let _ = ProgramSketch::affine(0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_instantiate_is_linear_in_theta(
+            t1 in proptest::collection::vec(-3.0..3.0f64, 3),
+            t2 in proptest::collection::vec(-3.0..3.0f64, 3),
+            x in -2.0..2.0f64, y in -2.0..2.0f64,
+        ) {
+            let sketch = ProgramSketch::affine(2, 1);
+            let sum: Vec<f64> = t1.iter().zip(t2.iter()).map(|(a, b)| a + b).collect();
+            let p1 = sketch.instantiate(&t1)[0].eval(&[x, y]);
+            let p2 = sketch.instantiate(&t2)[0].eval(&[x, y]);
+            let ps = sketch.instantiate(&sum)[0].eval(&[x, y]);
+            prop_assert!((ps - (p1 + p2)).abs() < 1e-9);
+        }
+    }
+}

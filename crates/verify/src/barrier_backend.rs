@@ -1,0 +1,435 @@
+//! Sampled-constraint + branch-and-bound back-end for nonlinear closed loops.
+//!
+//! This is the general-purpose realization of Sec. 4.2: candidate invariant
+//! coefficients are found by solving the sampled verification conditions as a
+//! linear feasibility problem (the role Mosek plays in the paper), and every
+//! candidate is then *soundly* checked by interval branch-and-bound.  Each
+//! counterexample produced by the checker is turned into a new sampled
+//! constraint, closing the inner counterexample-guided loop.
+//!
+//! The three checked conditions mirror (8)–(10) of the paper, phrased over a
+//! working domain `W` that provably contains the one-step image of the safe
+//! rectangle:
+//!
+//! 1. **Init**: `E ≤ 0` on the initial region;
+//! 2. **Separation**: `E > 0` on `W \ SafeBox` and on every obstacle, so the
+//!    sub-level set `{E ≤ 0} ∩ W` is contained in the safe states;
+//! 3. **Induction**: for every `s ∈ SafeBox` with `E(s) ≤ 0` and every
+//!    admissible disturbance `d`, the Euler successor satisfies `E(s') ≤ 0`.
+
+use crate::{BarrierCertificate, InvariantSketch, VerificationConfig, VerificationFailure};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vrl_dynamics::{BoxRegion, EnvironmentContext};
+use vrl_poly::{Interval, Polynomial};
+use vrl_solver::{
+    prove_bound, solve_feasibility, BoundQuery, FeasibilityConfig, LinearConstraint, ProofOutcome,
+};
+
+/// Which verification condition a counterexample violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Condition {
+    Init,
+    Separation,
+    Induction,
+}
+
+/// Verifies a (possibly nonlinear) polynomial closed loop by synthesizing a
+/// polynomial barrier certificate of the configured degree.
+///
+/// # Errors
+///
+/// Returns [`VerificationFailure`] when no certificate is found within the
+/// candidate budget; if the last obstruction was an uncovered initial state,
+/// that state is reported so the outer CEGIS loop can split on it.
+pub fn verify_nonlinear(
+    env: &EnvironmentContext,
+    action_polys: &[Polynomial],
+    init_region: &BoxRegion,
+    config: &VerificationConfig,
+) -> Result<BarrierCertificate, VerificationFailure> {
+    let n = env.state_dim();
+    let safe_box = env.safety().safe_box().clone();
+    let sketch = InvariantSketch::new(n, config.invariant_degree);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Disturbance variables are appended only for dimensions that actually
+    // have a nonzero disturbance range.
+    let disturbance = env.disturbance();
+    let disturbed_dims: Vec<usize> = (0..n)
+        .filter(|&i| disturbance.lower()[i] != 0.0 || disturbance.upper()[i] != 0.0)
+        .collect();
+    let total_vars = n + disturbed_dims.len();
+
+    // Closed-loop Euler successor polynomials over (state, disturbance) vars.
+    let successor: Vec<Polynomial> = env
+        .successor_polynomials(action_polys)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut extended = p.embedded(total_vars, 0);
+            if let Some(k) = disturbed_dims.iter().position(|&d| d == i) {
+                extended = &extended + &Polynomial::variable(n + k, total_vars).scaled(env.dt());
+            }
+            extended
+        })
+        .collect();
+
+    // Working domain W: the safe box enlarged to provably contain the image
+    // of one Euler step from anywhere in the safe box (under any admissible
+    // disturbance), so "E > 0 outside the safe box but inside W" suffices.
+    let mut extended_domain: Vec<Interval> = safe_box.to_intervals();
+    extended_domain.extend(disturbed_dims.iter().map(|&i| {
+        Interval::new(disturbance.lower()[i], disturbance.upper()[i])
+    }));
+    let working_box = {
+        let mut lows = Vec::with_capacity(n);
+        let mut highs = Vec::with_capacity(n);
+        for (i, succ) in successor.iter().enumerate() {
+            let image = succ.eval_interval(&extended_domain);
+            lows.push(image.lo().min(safe_box.low(i)));
+            highs.push(image.hi().max(safe_box.high(i)));
+        }
+        BoxRegion::new(lows, highs)
+    };
+
+    // The band W \ SafeBox as 2n slab boxes, plus the obstacles, are the
+    // regions where E must be positive.
+    let mut positive_regions: Vec<BoxRegion> = Vec::new();
+    for i in 0..n {
+        if working_box.high(i) > safe_box.high(i) + 1e-12 {
+            let mut lows = working_box.lows().to_vec();
+            let highs = working_box.highs().to_vec();
+            lows[i] = safe_box.high(i);
+            positive_regions.push(BoxRegion::new(lows, highs));
+        }
+        if working_box.low(i) < safe_box.low(i) - 1e-12 {
+            let lows = working_box.lows().to_vec();
+            let mut highs = working_box.highs().to_vec();
+            highs[i] = safe_box.low(i);
+            positive_regions.push(BoxRegion::new(lows, highs));
+        }
+    }
+    for obstacle in env.safety().obstacles() {
+        if let Some(clipped) = obstacle.intersection(&working_box) {
+            positive_regions.push(clipped);
+        }
+    }
+
+    // Feature scaling: each monomial is normalized by its magnitude over the
+    // working domain so the first-order feasibility solver is well
+    // conditioned regardless of the invariant degree.
+    let working_intervals = working_box.to_intervals();
+    let scale: Vec<f64> = sketch
+        .basis()
+        .iter()
+        .map(|exps| {
+            Polynomial::from_terms(n, vec![(exps.clone(), 1.0)])
+                .eval_interval(&working_intervals)
+                .abs_max()
+                .max(1e-9)
+        })
+        .collect();
+    let scaled_features = |state: &[f64]| -> Vec<f64> {
+        sketch
+            .features(state)
+            .iter()
+            .zip(scale.iter())
+            .map(|(f, s)| f / s)
+            .collect()
+    };
+
+    // --- Initial sampled constraints. ---
+    let mut constraints: Vec<LinearConstraint> = Vec::new();
+    let add_init_constraint = |constraints: &mut Vec<LinearConstraint>, state: &[f64]| {
+        constraints.push(
+            LinearConstraint::at_most(scaled_features(state), -config.init_margin).with_weight(4.0),
+        );
+    };
+    let add_unsafe_constraint = |constraints: &mut Vec<LinearConstraint>, state: &[f64]| {
+        constraints
+            .push(LinearConstraint::at_least(scaled_features(state), config.unsafe_margin).with_weight(2.0));
+    };
+    let add_transition_constraint =
+        |constraints: &mut Vec<LinearConstraint>, extended_state: &[f64]| {
+            let state = &extended_state[..n];
+            let next: Vec<f64> = successor.iter().map(|p| p.eval(extended_state)).collect();
+            if next.iter().any(|x| !x.is_finite()) || !safe_box.contains(&next) {
+                return;
+            }
+            let feat_now = scaled_features(state);
+            let feat_next = scaled_features(&next);
+            let norm2: f64 = state.iter().map(|x| x * x).sum();
+            let decrease_margin = 1e-4 * norm2;
+            let coefficients: Vec<f64> = feat_next
+                .iter()
+                .zip(feat_now.iter())
+                .map(|(a, b)| a - b)
+                .collect();
+            constraints.push(LinearConstraint::at_most(coefficients, -decrease_margin));
+        };
+
+    for corner in init_region.corners() {
+        add_init_constraint(&mut constraints, &corner);
+    }
+    add_init_constraint(&mut constraints, &init_region.center());
+    for _ in 0..config.init_samples {
+        let s = init_region.sample(&mut rng);
+        add_init_constraint(&mut constraints, &s);
+    }
+    for region in &positive_regions {
+        for _ in 0..config.unsafe_samples.max(1) / positive_regions.len().max(1) + 1 {
+            let s = region.sample(&mut rng);
+            add_unsafe_constraint(&mut constraints, &s);
+        }
+    }
+    for _ in 0..config.transition_samples {
+        let mut extended = safe_box.sample(&mut rng);
+        for &i in &disturbed_dims {
+            extended.push(rng.gen_range(disturbance.lower()[i]..=disturbance.upper()[i]));
+        }
+        add_transition_constraint(&mut constraints, &extended);
+    }
+
+    // --- Candidate / check loop. ---
+    let feasibility = FeasibilityConfig {
+        max_iterations: 20_000,
+        step_size: 0.1,
+        ..FeasibilityConfig::default()
+    };
+    // Warm start: the quadratic ellipsoid inscribed in the safe rectangle,
+    // Σ (x_i / bound_i)² − 1, expressed in the (scaled) sketch basis.
+    let mut warm_start: Option<Vec<f64>> = Some({
+        let mut unscaled = vec![0.0; sketch.num_coefficients()];
+        for (k, exps) in sketch.basis().iter().enumerate() {
+            if exps.iter().all(|&e| e == 0) {
+                unscaled[k] = -1.0;
+            }
+            if exps.iter().sum::<u32>() == 2 {
+                if let Some(i) = exps.iter().position(|&e| e == 2) {
+                    let bound = safe_box.high(i).abs().max(safe_box.low(i).abs()).max(1e-9);
+                    unscaled[k] = 1.0 / (bound * bound);
+                }
+            }
+        }
+        unscaled.iter().zip(scale.iter()).map(|(c, s)| c * s).collect()
+    });
+    let mut last_failure: Option<(Condition, Vec<f64>)> = None;
+    for _round in 0..config.max_candidate_rounds {
+        let solution = solve_feasibility(&constraints, warm_start.as_deref(), &feasibility);
+        warm_start = Some(solution.solution.clone());
+        let coefficients: Vec<f64> = solution
+            .solution
+            .iter()
+            .zip(scale.iter())
+            .map(|(c, s)| c / s)
+            .collect();
+        let barrier = sketch.instantiate(&coefficients);
+        if barrier.is_zero() {
+            return Err(VerificationFailure::NoCertificateFound {
+                counterexample: None,
+                reason: "the candidate solver produced the trivial zero invariant".to_string(),
+            });
+        }
+        match check_conditions(
+            &barrier,
+            init_region,
+            &safe_box,
+            &positive_regions,
+            &successor,
+            total_vars,
+            &extended_domain,
+            config,
+        ) {
+            None => return Ok(BarrierCertificate::new(barrier)),
+            Some((condition, witness)) => {
+                match condition {
+                    Condition::Init => add_init_constraint(&mut constraints, &witness),
+                    Condition::Separation => add_unsafe_constraint(&mut constraints, &witness),
+                    Condition::Induction => add_transition_constraint(&mut constraints, &witness),
+                }
+                let state_witness = witness[..n.min(witness.len())].to_vec();
+                last_failure = Some((condition, state_witness));
+            }
+        }
+    }
+    match last_failure {
+        Some((Condition::Init, state)) => Err(VerificationFailure::InitialStateNotCovered { state }),
+        Some((_, state)) => Err(VerificationFailure::NoCertificateFound {
+            counterexample: Some(state),
+            reason: "candidate budget exhausted before all verification conditions held".to_string(),
+        }),
+        None => Err(VerificationFailure::NoCertificateFound {
+            counterexample: None,
+            reason: "candidate budget exhausted".to_string(),
+        }),
+    }
+}
+
+/// Checks the three verification conditions; returns the violated condition
+/// and a witness point (in extended coordinates for the induction condition)
+/// or `None` when every condition is proved.
+#[allow(clippy::too_many_arguments)]
+fn check_conditions(
+    barrier: &Polynomial,
+    init_region: &BoxRegion,
+    safe_box: &BoxRegion,
+    positive_regions: &[BoxRegion],
+    successor: &[Polynomial],
+    total_vars: usize,
+    extended_domain: &[Interval],
+    config: &VerificationConfig,
+) -> Option<(Condition, Vec<f64>)> {
+    let n = safe_box.dim();
+    // (1) Init: E ≤ 0 on the initial region.
+    let init_outcome = prove_bound(
+        &BoundQuery::new(barrier, 0.0),
+        &init_region.to_intervals(),
+        &config.branch_bound,
+    );
+    if let Some(witness) = outcome_witness(&init_outcome, init_region) {
+        return Some((Condition::Init, witness));
+    }
+    // (2) Separation: E strictly positive outside the safe box / on obstacles.
+    let negated = -barrier;
+    for region in positive_regions {
+        let outcome = prove_bound(
+            &BoundQuery::new(&negated, -1e-9),
+            &region.to_intervals(),
+            &config.branch_bound,
+        );
+        if let Some(witness) = outcome_witness(&outcome, region) {
+            return Some((Condition::Separation, witness));
+        }
+    }
+    // (3) Induction: E(s') ≤ 0 whenever E(s) ≤ 0, adversarially over d.
+    let barrier_extended = barrier.embedded(total_vars, 0);
+    let next_value = barrier.substitute(successor);
+    let query = BoundQuery::new(&next_value, 0.0).with_guard(&barrier_extended);
+    let outcome = prove_bound(&query, extended_domain, &config.branch_bound);
+    match outcome {
+        ProofOutcome::Proved { .. } => None,
+        ProofOutcome::Counterexample { point, .. } => Some((Condition::Induction, point)),
+        ProofOutcome::Unknown { worst_box, .. } => {
+            let witness = worst_box
+                .map(|(lows, highs)| {
+                    lows.iter()
+                        .zip(highs.iter())
+                        .map(|(l, h)| 0.5 * (l + h))
+                        .collect()
+                })
+                .unwrap_or_else(|| extended_domain.iter().map(Interval::midpoint).collect());
+            let _ = n;
+            Some((Condition::Induction, witness))
+        }
+    }
+}
+
+fn outcome_witness(outcome: &ProofOutcome, region: &BoxRegion) -> Option<Vec<f64>> {
+    match outcome {
+        ProofOutcome::Proved { .. } => None,
+        ProofOutcome::Counterexample { point, .. } => Some(point.clone()),
+        ProofOutcome::Unknown { worst_box, .. } => Some(
+            worst_box
+                .as_ref()
+                .map(|(lows, highs)| {
+                    lows.iter()
+                        .zip(highs.iter())
+                        .map(|(l, h)| 0.5 * (l + h))
+                        .collect()
+                })
+                .unwrap_or_else(|| region.center()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_dynamics::{Disturbance, PolyDynamics, SafetySpec};
+
+    fn duffing_env() -> EnvironmentContext {
+        let x = Polynomial::variable(0, 3);
+        let y = Polynomial::variable(1, 3);
+        let a = Polynomial::variable(2, 3);
+        let ydot = &(&(&y.scaled(-0.6) - &x) - &x.pow(3)) + &a;
+        EnvironmentContext::new(
+            "duffing",
+            PolyDynamics::new(2, 1, vec![y.clone(), ydot]).unwrap(),
+            0.01,
+            BoxRegion::new(vec![-1.0, -1.0], vec![1.0, 1.0]),
+            SafetySpec::inside(BoxRegion::symmetric(&[5.0, 5.0])),
+        )
+        .with_action_bounds(vec![-25.0], vec![25.0])
+    }
+
+    #[test]
+    fn certifies_a_stabilizing_program_on_the_duffing_oscillator() {
+        // Example 4.3's first synthesized policy P1 = 0.39x − 1.41y over a
+        // restricted initial region.
+        let env = duffing_env();
+        let program = vec![Polynomial::linear(&[0.39, -1.41], 0.0)];
+        let config = VerificationConfig {
+            invariant_degree: 4,
+            ..VerificationConfig::default()
+        };
+        let cert = verify_nonlinear(&env, &program, env.init(), &config)
+            .expect("the Example 4.3 policy must be certifiable on a restricted region");
+        // Every initial corner is covered and unsafe states are excluded.
+        for corner in env.init().corners() {
+            assert!(cert.contains(&corner), "corner {corner:?} not covered");
+        }
+        assert!(!cert.contains(&[5.5, 0.0]));
+        // The certificate is inductive along simulated closed-loop steps.
+        let policy = vrl_synth::PolicyProgram::linear(&[vec![0.39, -1.41]], &[0.0]);
+        let mut s = vec![1.0, 1.0];
+        for _ in 0..3000 {
+            assert!(cert.contains(&s), "trajectory left the invariant at {s:?}");
+            assert!(!env.is_unsafe(&s));
+            s = env.step_deterministic(&s, &vrl_dynamics::Policy::action(&policy, &s));
+        }
+    }
+
+    #[test]
+    fn rejects_a_destabilizing_program() {
+        let env = duffing_env();
+        // Positive feedback on both coordinates blows the system up.
+        let program = vec![Polynomial::linear(&[3.0, 3.0], 0.0)];
+        let config = VerificationConfig {
+            invariant_degree: 2,
+            max_candidate_rounds: 3,
+            ..VerificationConfig::default()
+        };
+        let result = verify_nonlinear(&env, &program, env.init(), &config);
+        assert!(result.is_err(), "a destabilizing program must not be certified");
+    }
+
+    #[test]
+    fn handles_disturbances_in_the_induction_condition() {
+        // ẋ = a + d with |d| ≤ 0.05: a proportional controller still admits a
+        // simple quadratic barrier.
+        let a = Polynomial::variable(1, 2);
+        let env = EnvironmentContext::new(
+            "scalar",
+            PolyDynamics::new(1, 1, vec![a]).unwrap(),
+            0.01,
+            BoxRegion::symmetric(&[0.3]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        )
+        .with_disturbance(Disturbance::symmetric(&[0.05]));
+        let program = vec![Polynomial::linear(&[-2.0], 0.0)];
+        let config = VerificationConfig {
+            invariant_degree: 2,
+            ..VerificationConfig::default()
+        };
+        let cert = verify_nonlinear(&env, &program, env.init(), &config)
+            .expect("a proportional controller tolerates a small disturbance");
+        assert!(cert.contains(&[0.3]));
+        // The certificate is inductive under the worst-case disturbance.
+        let mut s = vec![0.3];
+        for _ in 0..1000 {
+            assert!(cert.contains(&s));
+            s[0] = s[0] + 0.01 * (-2.0 * s[0] + 0.05);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Inductive invariants: sketches (Eq. 7) and verified barrier certificates.
+
+use vrl_poly::{monomial_basis, Polynomial};
+
+/// An invariant sketch `φ[c](X) ::= E[c](X) ≤ 0` (Eq. 7): an affine
+/// combination of every monomial up to a degree bound, with unknown
+/// coefficients `c` to be synthesized.
+///
+/// # Examples
+///
+/// ```
+/// use vrl_verify::InvariantSketch;
+///
+/// // Example 4.1: all monomials over (η, ω) of degree at most 4.
+/// let sketch = InvariantSketch::new(2, 4);
+/// assert_eq!(sketch.num_coefficients(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantSketch {
+    state_dim: usize,
+    degree: u32,
+    basis: Vec<Vec<u32>>,
+}
+
+impl InvariantSketch {
+    /// Creates a sketch over `state_dim` variables with all monomials of
+    /// total degree at most `degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state_dim == 0` or `degree == 0`.
+    pub fn new(state_dim: usize, degree: u32) -> Self {
+        assert!(state_dim > 0, "the state dimension must be positive");
+        assert!(degree > 0, "the invariant degree must be positive");
+        InvariantSketch {
+            state_dim,
+            degree,
+            basis: monomial_basis(state_dim, degree),
+        }
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Degree bound of the sketch.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The monomial basis `b_i(X)` in the canonical order used by
+    /// [`InvariantSketch::instantiate`].
+    pub fn basis(&self) -> &[Vec<u32>] {
+        &self.basis
+    }
+
+    /// Number of unknown coefficients.
+    pub fn num_coefficients(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Evaluates every basis monomial at a state (the feature map used to
+    /// build sampled linear constraints on the coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.state_dim()`.
+    pub fn features(&self, state: &[f64]) -> Vec<f64> {
+        assert_eq!(state.len(), self.state_dim, "state dimension mismatch");
+        self.basis
+            .iter()
+            .map(|exps| {
+                exps.iter()
+                    .zip(state.iter())
+                    .map(|(&e, &x)| if e == 0 { 1.0 } else { x.powi(e as i32) })
+                    .product()
+            })
+            .collect()
+    }
+
+    /// Instantiates the sketch at concrete coefficients, producing `E[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients.len() != self.num_coefficients()`.
+    pub fn instantiate(&self, coefficients: &[f64]) -> Polynomial {
+        Polynomial::from_basis(self.state_dim, &self.basis, coefficients)
+    }
+}
+
+/// A verified inductive invariant `φ ::= E(X) ≤ 0`: a barrier certificate
+/// separating the reachable states (where `E ≤ 0`) from the unsafe ones
+/// (where `E > 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierCertificate {
+    polynomial: Polynomial,
+}
+
+impl BarrierCertificate {
+    /// Wraps a polynomial as a barrier certificate.
+    pub fn new(polynomial: Polynomial) -> Self {
+        BarrierCertificate { polynomial }
+    }
+
+    /// The barrier polynomial `E`.
+    pub fn polynomial(&self) -> &Polynomial {
+        &self.polynomial
+    }
+
+    /// State dimension the certificate ranges over.
+    pub fn state_dim(&self) -> usize {
+        self.polynomial.nvars()
+    }
+
+    /// Value `E(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has the wrong dimension.
+    pub fn value(&self, state: &[f64]) -> f64 {
+        self.polynomial.eval(state)
+    }
+
+    /// Returns true when `state` lies inside the invariant region `E ≤ 0`.
+    pub fn contains(&self, state: &[f64]) -> bool {
+        self.value(state) <= 0.0
+    }
+
+    /// Pretty-prints the invariant as `E(X) ≤ 0` with the given names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names differs from the state dimension.
+    pub fn pretty(&self, names: &[&str]) -> String {
+        format!("{} <= 0", self.polynomial.to_string_with_names(names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_matches_example_4_1() {
+        let sketch = InvariantSketch::new(2, 4);
+        assert_eq!(sketch.state_dim(), 2);
+        assert_eq!(sketch.degree(), 4);
+        assert_eq!(sketch.num_coefficients(), 15);
+        assert_eq!(sketch.basis()[0], vec![0, 0]);
+        // Degree 2 over 3 variables: 10 monomials.
+        assert_eq!(InvariantSketch::new(3, 2).num_coefficients(), 10);
+    }
+
+    #[test]
+    fn features_match_monomial_evaluation() {
+        let sketch = InvariantSketch::new(2, 2);
+        let state = [2.0, -3.0];
+        let features = sketch.features(&state);
+        // Basis order: 1, x, y, x², xy, y².
+        assert_eq!(features, vec![1.0, 2.0, -3.0, 4.0, -6.0, 9.0]);
+        // Instantiating with those coefficients equals Σ c_i b_i(s).
+        let coeffs = vec![1.0, 0.5, 0.0, -1.0, 0.0, 2.0];
+        let poly = sketch.instantiate(&coeffs);
+        let expected: f64 = coeffs.iter().zip(features.iter()).map(|(c, f)| c * f).sum();
+        assert!((poly.eval(&state) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certificate_membership_and_pretty_printing() {
+        // E = x² + y² − 1.
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let e = &(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(1.0, 2);
+        let cert = BarrierCertificate::new(e);
+        assert_eq!(cert.state_dim(), 2);
+        assert!(cert.contains(&[0.5, 0.5]));
+        assert!(!cert.contains(&[1.0, 1.0]));
+        assert!(cert.value(&[1.0, 0.0]).abs() < 1e-12);
+        let text = cert.pretty(&["eta", "omega"]);
+        assert!(text.ends_with("<= 0"));
+        assert!(text.contains("eta^2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn zero_degree_rejected() {
+        let _ = InvariantSketch::new(2, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Safety verification of synthesized policy programs (Sec. 4.2 of the
+//! paper): inductive-invariant inference via barrier certificates.
+//!
+//! Two back-ends implement the search for an invariant `E[c](X) ≤ 0`
+//! satisfying the verification conditions (8)–(10):
+//!
+//! * [`verify_linear`] — exact quadratic certificates for affine closed loops
+//!   (discrete Lyapunov equation + ellipsoid geometry), which scale to the
+//!   high-dimensional LTI benchmarks;
+//! * [`verify_nonlinear`] — sampled-constraint candidate generation checked
+//!   soundly by interval branch-and-bound, inside an inner
+//!   counterexample-guided loop, for the low-dimensional nonlinear systems.
+//!
+//! [`verify_program`] selects the back-end automatically and is the entry
+//! point used by the CEGIS driver in `vrl-shield`.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrl_dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+//! use vrl_poly::Polynomial;
+//! use vrl_verify::{verify_program, VerificationConfig};
+//!
+//! // ẋ = a with the stabilizing program a = -2x.
+//! let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+//! let env = EnvironmentContext::new(
+//!     "scalar", dynamics, 0.01,
+//!     BoxRegion::symmetric(&[0.3]),
+//!     SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+//! );
+//! let program = vec![Polynomial::linear(&[-2.0], 0.0)];
+//! let cert = verify_program(&env, &program, env.init(), &VerificationConfig::with_degree(2)).unwrap();
+//! assert!(cert.contains(&[0.25]));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod barrier_backend;
+mod engine;
+mod invariant;
+mod linear_backend;
+
+pub use barrier_backend::verify_nonlinear;
+pub use engine::{verify_program, VerificationConfig, VerificationFailure};
+pub use invariant::{BarrierCertificate, InvariantSketch};
+pub use linear_backend::verify_linear;

@@ -1,0 +1,35 @@
+//! Example 4.3 / Fig. 6: counterexample-guided inductive synthesis on the
+//! Duffing oscillator.  The CEGIS loop covers the initial region with one or
+//! more verified linear policies guarded by quartic inductive invariants.
+//!
+//! Run with: `cargo run --release --example duffing_cegis`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::ClosurePolicy;
+use vrl::shield::{synthesize_shield, CegisConfig};
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::duffing::duffing_env;
+
+fn main() {
+    let env = duffing_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![0.6 * s[0] - 2.2 * s[1]]);
+    let config = CegisConfig {
+        verification: VerificationConfig::with_degree(4),
+        max_pieces: 6,
+        ..CegisConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (shield, report) = synthesize_shield(&env, &oracle, &config, &mut rng)
+        .expect("the Duffing oscillator of Example 4.3 is shieldable");
+    println!(
+        "CEGIS covered S0 with {} piece(s) after {} attempts:\n",
+        report.pieces, report.attempts
+    );
+    println!("{}", shield.to_program().pretty(&env.variable_names()));
+    // The two initial states discussed in Example 4.3.
+    for s0 in [[-0.46, -0.36], [2.249, 2.0]] {
+        assert!(shield.covers(&s0), "{s0:?} must be covered by the final shield");
+        println!("initial state {s0:?} is covered");
+    }
+}

@@ -1,0 +1,56 @@
+//! Policy interpretation: distill a black-box neural policy into a readable
+//! deterministic program (Algorithm 1) and inspect how closely it tracks the
+//! oracle — the "interpretable machine learning" use case of Sec. 2.2.
+//!
+//! Run with: `cargo run --release --example interpret_policy`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::Policy;
+use vrl::pipeline::{train_oracle, OracleTrainer, PipelineConfig};
+use vrl::rl::ArsConfig;
+use vrl::synth::{oracle_distance, synthesize_program, DistillConfig, ProgramSketch};
+use vrl_benchmarks::pendulum::pendulum_original;
+
+fn main() {
+    let env = pendulum_original().into_env();
+    // Train a small neural oracle.
+    let config = PipelineConfig {
+        hidden_layers: vec![32, 32],
+        trainer: OracleTrainer::Ars(ArsConfig {
+            iterations: 80,
+            ..ArsConfig::default()
+        }),
+        ..PipelineConfig::default()
+    };
+    let (oracle, elapsed) = train_oracle(&env, &config);
+    println!("trained a {}-parameter neural policy in {:.1}s", oracle.network().num_parameters(), elapsed.as_secs_f64());
+
+    // Distill it into the affine sketch of Eq. (4).
+    let sketch = ProgramSketch::affine(env.state_dim(), env.action_dim());
+    let mut rng = SmallRng::seed_from_u64(5);
+    let synthesized = synthesize_program(
+        &env,
+        &oracle,
+        &sketch,
+        env.init(),
+        None,
+        &DistillConfig::default(),
+        &mut rng,
+    );
+    let program = synthesized.to_program();
+    println!("\nsynthesized interpretation:\n{}", program.pretty(&env.variable_names()));
+    println!("objective (oracle proximity, higher is closer): {:.3}", synthesized.report.final_objective);
+
+    // Compare the two policies on a few states.
+    println!("\n{:>10} {:>10} {:>14} {:>14}", "eta", "omega", "oracle", "program");
+    for s in [[0.2, 0.0], [0.1, -0.3], [-0.25, 0.2], [0.0, 0.35]] {
+        println!(
+            "{:>10.2} {:>10.2} {:>14.3} {:>14.3}",
+            s[0], s[1], oracle.action(&s)[0], program.action(&s)[0]
+        );
+    }
+    let mut rng2 = SmallRng::seed_from_u64(6);
+    let d = oracle_distance(&env, &oracle, &program, env.init(), 5, 500, 1e4, &mut rng2);
+    println!("\ntrajectory distance to the oracle over 5 rollouts: {d:.2}");
+}

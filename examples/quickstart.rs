@@ -1,0 +1,39 @@
+//! Quickstart: synthesize a verified shield for the inverted pendulum
+//! (the paper's running example) and inspect the synthesized program.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::{ClosurePolicy, Policy};
+use vrl::shield::{evaluate_shielded_system, synthesize_shield, CegisConfig};
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::pendulum::pendulum_original;
+
+fn main() {
+    let env = pendulum_original().into_env();
+    // The neural oracle: here a hand-written controller stands in for a
+    // trained network (see `shield_deployment.rs` for actual RL training).
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-14.0 * s[0] - 7.0 * s[1]]);
+
+    let config = CegisConfig {
+        verification: VerificationConfig::with_degree(4),
+        ..CegisConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(1);
+    let (shield, report) =
+        synthesize_shield(&env, &oracle, &config, &mut rng).expect("the pendulum oracle is shieldable");
+
+    println!("Synthesized {} verified piece(s) in {:.1}s:\n", report.pieces, report.synthesis_time.as_secs_f64());
+    println!("{}", shield.to_program().pretty(&env.variable_names()));
+    for (i, piece) in shield.pieces().iter().enumerate() {
+        println!("invariant {}: {}\n", i + 1, piece.invariant().pretty(&env.variable_names()));
+    }
+
+    let eval = evaluate_shielded_system(&env, &oracle, &shield, 20, 2000, &mut rng);
+    println!(
+        "over {} episodes: {} unshielded violations, {} shielded violations, {} interventions, {:.2}% overhead",
+        eval.episodes, eval.neural_failures, eval.shielded_failures, eval.interventions, eval.overhead_percent
+    );
+    assert_eq!(eval.shielded_failures, 0);
+}

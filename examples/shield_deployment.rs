@@ -1,0 +1,40 @@
+//! Full pipeline on the quadcopter benchmark: train a neural policy with RL,
+//! synthesize a verified shield for it, and compare the shielded and
+//! unshielded deployments.
+//!
+//! Run with: `cargo run --release --example shield_deployment`
+
+use vrl::pipeline::{run_pipeline, OracleTrainer, PipelineConfig};
+use vrl::rl::ArsConfig;
+use vrl::shield::CegisConfig;
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::quadcopter::quadcopter_env;
+
+fn main() {
+    let env = quadcopter_env();
+    let config = PipelineConfig {
+        hidden_layers: vec![64, 64],
+        trainer: OracleTrainer::Ars(ArsConfig::default()),
+        cegis: CegisConfig {
+            verification: VerificationConfig::with_degree(2),
+            ..CegisConfig::default()
+        },
+        evaluation_episodes: 50,
+        evaluation_steps: 2000,
+        seed: 11,
+    };
+    let outcome = run_pipeline(&env, &config).expect("the quadcopter is shieldable");
+    let eval = &outcome.evaluation;
+    println!("neural oracle trained in {:.1}s ({} parameters)",
+        outcome.training_time.as_secs_f64(),
+        outcome.oracle.network().num_parameters());
+    println!("shield: {} piece(s), synthesized in {:.1}s",
+        outcome.shield.num_pieces(),
+        outcome.cegis_report.synthesis_time.as_secs_f64());
+    println!("{}", outcome.shield.to_program().pretty(&env.variable_names()));
+    println!(
+        "evaluation over {} episodes: {} unshielded failures, {} shielded failures, {} interventions, {:.2}% overhead",
+        eval.episodes, eval.neural_failures, eval.shielded_failures, eval.interventions, eval.overhead_percent
+    );
+    assert_eq!(eval.shielded_failures, 0);
+}

@@ -1,0 +1,72 @@
+//! Integration tests for the CEGIS loop of Algorithm 2 (Example 4.3 style).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::ClosurePolicy;
+use vrl::shield::{synthesize_shield, CegisConfig};
+use vrl::synth::DistillConfig;
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::duffing::duffing_env;
+
+#[test]
+fn cegis_covers_the_duffing_initial_region() {
+    let env = duffing_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![0.6 * s[0] - 2.2 * s[1]]);
+    let config = CegisConfig {
+        distill: DistillConfig {
+            iterations: 40,
+            trajectories: 2,
+            horizon: 200,
+            ..DistillConfig::smoke_test()
+        },
+        verification: VerificationConfig::with_degree(4),
+        max_pieces: 6,
+        max_shrink_steps: 5,
+        coverage_samples: 300,
+        ..CegisConfig::smoke_test()
+    };
+    let mut rng = SmallRng::seed_from_u64(12);
+    let (shield, report) =
+        synthesize_shield(&env, &oracle, &config, &mut rng).expect("the Duffing oscillator is shieldable");
+    assert!(report.pieces >= 1);
+    assert!(report.attempts >= report.pieces);
+    // The paper's Example 4.3 counterexample initial states must be covered.
+    assert!(shield.covers(&[-0.46, -0.36]));
+    assert!(shield.covers(&[2.249, 2.0]));
+    // All corners and many random initial states are covered.
+    for corner in env.init().corners() {
+        assert!(shield.covers(&corner), "corner {corner:?} must be covered");
+    }
+    for _ in 0..200 {
+        let s = env.sample_initial(&mut rng);
+        assert!(shield.covers(&s), "sampled initial state {s:?} must be covered");
+    }
+    // The invariants certify only safe states.
+    let program = shield.to_program();
+    assert!(program.evaluate(&[6.0, 0.0]).is_none(), "states outside the safe box must hit the abort branch");
+}
+
+#[test]
+fn cegis_shield_keeps_simulated_trajectories_safe() {
+    let env = duffing_env();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![0.6 * s[0] - 2.2 * s[1]]);
+    let config = CegisConfig {
+        distill: DistillConfig::smoke_test(),
+        verification: VerificationConfig::with_degree(4),
+        ..CegisConfig::smoke_test()
+    };
+    let mut rng = SmallRng::seed_from_u64(13);
+    let (shield, _) = synthesize_shield(&env, &oracle, &config, &mut rng).expect("shieldable");
+    let program = shield.to_program();
+    for _ in 0..10 {
+        let s0 = env.sample_initial(&mut rng);
+        if !shield.covers(&s0) {
+            continue; // smoke budgets may not cover every corner; soundness is per-piece
+        }
+        let trajectory = env.rollout(&program, &s0, 3000, &mut rng);
+        assert!(
+            !trajectory.violates(env.safety()),
+            "the verified program must keep {s0:?} safe"
+        );
+    }
+}

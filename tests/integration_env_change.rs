@@ -1,0 +1,62 @@
+//! Integration tests for the Table 3 environment-change scenarios: the
+//! already-trained controller is kept, and only the shield is re-synthesized
+//! for the modified environment.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::ClosurePolicy;
+use vrl::shield::{evaluate_shielded_system, synthesize_shield, CegisConfig};
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::environment_change_benchmarks;
+use vrl_benchmarks::pendulum::{degrees, pendulum_env};
+
+#[test]
+fn table3_registry_lists_four_changes() {
+    let variants = environment_change_benchmarks();
+    assert_eq!(variants.len(), 4);
+    assert!(variants.iter().all(|v| v.hidden_layers() == [1200, 900]));
+}
+
+#[test]
+#[ignore = "pendulum CEGIS needs the larger distillation budget of the table3 harness; run with --ignored or use `cargo run -p vrl-bench --bin table3`"]
+fn heavier_pendulum_gets_a_new_shield_without_retraining() {
+    // The controller was tuned for the 1.0 kg pendulum (original 90° bounds;
+    // the tighter 23° case-study specification needs the full CEGIS budget of
+    // the table3 harness rather than this smoke-test budget).
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-12.05 * s[0] - 5.87 * s[1]]);
+    let original = pendulum_env(1.0, 1.0, degrees(90.0), degrees(90.0));
+    let heavier = pendulum_env(1.3, 1.0, degrees(90.0), degrees(90.0)).with_name("pendulum-heavier");
+    let config = CegisConfig {
+        verification: VerificationConfig::with_degree(4),
+        // Gravity demands angle gains beyond −9.8, which the tiny smoke
+        // budget of Algorithm 1 does not reliably reach: use the default one.
+        distill: vrl::synth::DistillConfig::default(),
+        ..CegisConfig::smoke_test()
+    };
+    let mut rng = SmallRng::seed_from_u64(21);
+    let (original_shield, _) = synthesize_shield(&original, &oracle, &config, &mut rng)
+        .expect("original pendulum is shieldable");
+    let (new_shield, report) = synthesize_shield(&heavier, &oracle, &config, &mut rng)
+        .expect("heavier pendulum is shieldable without retraining the oracle");
+    assert!(report.pieces >= 1);
+    assert!(original_shield.num_pieces() >= 1);
+    // The re-synthesized shield keeps the changed system safe.
+    let eval = evaluate_shielded_system(&heavier, &oracle, &new_shield, 10, 1500, &mut rng);
+    assert_eq!(eval.shielded_failures, 0);
+}
+
+#[test]
+fn obstacle_variant_excludes_the_blocked_lane_from_the_invariant() {
+    use vrl::poly::Polynomial;
+    use vrl::verify::verify_program;
+    use vrl::dynamics::BoxRegion;
+    let variant = vrl_benchmarks::driving::self_driving_with_obstacle()
+        .into_env()
+        .with_init(BoxRegion::symmetric(&[0.15, 0.05, 0.05, 0.05]));
+    let program = vec![Polynomial::linear(&[-2.0, -2.5, -3.0, -1.5], 0.0)];
+    let cert = verify_program(&variant, &program, variant.init(), &VerificationConfig::with_degree(2))
+        .expect("the steering program is certifiable around the obstacle");
+    // The obstacle occupies lateral offsets in [1.2, 2.0]: excluded.
+    assert!(!cert.contains(&[1.5, 0.0, 0.0, 0.0]));
+    assert!(cert.contains(&[0.0, 0.0, 0.0, 0.0]));
+}

@@ -1,0 +1,37 @@
+//! End-to-end pipeline integration tests spanning all crates: RL training,
+//! Algorithm 1 distillation, verification, CEGIS, shielding and evaluation.
+
+use vrl::pipeline::{run_pipeline, PipelineConfig};
+use vrl_benchmarks::quadcopter::quadcopter_env;
+
+#[test]
+fn full_pipeline_shields_the_quadcopter() {
+    let env = quadcopter_env();
+    let mut config = PipelineConfig::smoke_test().with_invariant_degree(2);
+    config.evaluation_episodes = 5;
+    config.evaluation_steps = 500;
+    let outcome = run_pipeline(&env, &config).expect("the quadcopter is shieldable");
+    assert!(outcome.shield.num_pieces() >= 1);
+    assert_eq!(outcome.evaluation.shielded_failures, 0, "the shield must prevent every violation");
+    assert_eq!(outcome.evaluation.episodes, 5);
+    // The flattened Theorem 4.2 program covers the initial region's centre.
+    let program = outcome.shield.to_program();
+    assert!(program.evaluate(&env.init().center()).is_some());
+    // The synthesized program is printable with the environment's names.
+    let text = program.pretty(&env.variable_names());
+    assert!(text.contains("def P(h, v):"));
+}
+
+#[test]
+fn pipeline_is_reproducible_for_a_fixed_seed() {
+    // The same configuration and seed must give the same shield structure.
+    let env = quadcopter_env();
+    let mut config = PipelineConfig::smoke_test().with_invariant_degree(2);
+    config.evaluation_episodes = 3;
+    config.evaluation_steps = 300;
+    let first = run_pipeline(&env, &config).expect("shieldable");
+    let second = run_pipeline(&env, &config).expect("shieldable");
+    assert_eq!(first.shield.num_pieces(), second.shield.num_pieces());
+    assert_eq!(first.evaluation.shielded_failures, 0);
+    assert_eq!(second.evaluation.shielded_failures, 0);
+}

@@ -1,0 +1,64 @@
+//! Integration tests for the runtime shield (Algorithm 3), using the
+//! quadcopter benchmark end to end.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::{ClosurePolicy, ConstantPolicy};
+use vrl::shield::{evaluate_shielded_system, synthesize_shield, CegisConfig, ShieldedPolicy};
+use vrl::verify::VerificationConfig;
+use vrl_benchmarks::quadcopter::quadcopter_env;
+
+fn quadcopter_shield() -> (vrl::dynamics::EnvironmentContext, vrl::shield::Shield) {
+    let env = quadcopter_env();
+    // A competent altitude-hold controller serves as the oracle.
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-3.0 * s[0] - 2.5 * s[1]]);
+    let config = CegisConfig {
+        verification: VerificationConfig::with_degree(2),
+        ..CegisConfig::smoke_test()
+    };
+    let mut rng = SmallRng::seed_from_u64(21);
+    let (shield, _) = synthesize_shield(&env, &oracle, &config, &mut rng)
+        .expect("the quadcopter controller is shieldable");
+    (env, shield)
+}
+
+#[test]
+fn well_behaved_network_is_rarely_interrupted() {
+    let (env, shield) = quadcopter_shield();
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-3.0 * s[0] - 2.5 * s[1]]);
+    let mut rng = SmallRng::seed_from_u64(22);
+    let eval = evaluate_shielded_system(&env, &oracle, &shield, 10, 2000, &mut rng);
+    assert_eq!(eval.shielded_failures, 0);
+    assert_eq!(eval.neural_failures, 0);
+    // The paper observes that a well-trained network is essentially never
+    // interrupted on the easy benchmarks; allow a tiny number of interventions.
+    assert!(
+        eval.intervention_rate() < 0.01,
+        "intervention rate {} should be negligible",
+        eval.intervention_rate()
+    );
+}
+
+#[test]
+fn adversarial_network_is_kept_safe_by_the_shield() {
+    let (env, shield) = quadcopter_shield();
+    // A "broken" network that always applies maximum torque in one direction.
+    let adversary = ConstantPolicy::new(vec![8.0]);
+    let mut rng = SmallRng::seed_from_u64(23);
+    let eval = evaluate_shielded_system(&env, &adversary, &shield, 5, 3000, &mut rng);
+    assert!(eval.neural_failures > 0, "the unshielded adversary must fail");
+    assert_eq!(eval.shielded_failures, 0, "the shield must prevent every failure");
+    assert!(eval.interventions > 0);
+}
+
+#[test]
+fn shielded_policy_counters_are_exposed() {
+    let (env, shield) = quadcopter_shield();
+    let adversary = ConstantPolicy::new(vec![8.0]);
+    let shielded = ShieldedPolicy::new(&shield, &adversary);
+    let mut rng = SmallRng::seed_from_u64(24);
+    let trajectory = env.rollout(&shielded, &[0.3, 0.3], 1000, &mut rng);
+    assert!(!trajectory.violates(env.safety()));
+    assert_eq!(shielded.decisions(), trajectory.len());
+    assert!(shielded.interventions() > 0);
+}
