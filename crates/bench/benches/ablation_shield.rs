@@ -18,7 +18,9 @@ fn bench_shield_overhead(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(17);
     let (shield, _) = synthesize_shield(&env, &oracle, &config, &mut rng).unwrap();
     let mut group = c.benchmark_group("ablation_shield");
-    group.bench_function("oracle_decision", |b| b.iter(|| oracle.action(&[0.2, -0.1])));
+    group.bench_function("oracle_decision", |b| {
+        b.iter(|| oracle.action(&[0.2, -0.1]))
+    });
     group.bench_function("shielded_decision", |b| {
         let shielded = ShieldedPolicy::new(&shield, &oracle);
         b.iter(|| shielded.action(&[0.2, -0.1]))

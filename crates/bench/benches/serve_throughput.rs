@@ -1,0 +1,90 @@
+//! Serving-throughput bench: single-threaded vs. worker-pool `decide_batch`
+//! on the pendulum and cartpole deployments, reported as decisions/sec.
+//!
+//! The shields are built directly from the benchmarks' known stabilizing
+//! controllers with ellipsoidal invariants — this bench measures the
+//! *serving* hot path (oracle forward pass + shield prediction), not
+//! synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use vrl::dynamics::EnvironmentContext;
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::fixtures;
+use vrl_runtime::{ShieldArtifact, ShieldServer};
+
+const BATCH: usize = 8192;
+
+fn deployment_artifact(name: &str, gains: &[f64], radii: &[f64], seed: u64) -> ShieldArtifact {
+    let env = benchmark_by_name(name)
+        .expect("Table 1 benchmark")
+        .into_env();
+    // The Table 1 network sizes, so the oracle forward pass is realistic.
+    fixtures::demo_artifact(&env, gains, radii, &[240, 200], seed).expect("dimensions agree")
+}
+
+fn sample_batch(env: &EnvironmentContext, count: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let safe = env.safety().safe_box().clone();
+    (0..count).map(|_| safe.sample(&mut rng)).collect()
+}
+
+fn bench_deployment(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64]) {
+    let artifact = deployment_artifact(name, gains, radii, 17);
+    let states = sample_batch(artifact.shield().env(), BATCH, 23);
+    let mut group = c.benchmark_group(format!("serve_throughput/{name}"));
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        let server = ShieldServer::with_workers(workers);
+        server
+            .deploy(
+                name,
+                ShieldArtifact::from_bytes(&artifact.to_bytes()).unwrap(),
+            )
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}workers")),
+            &server,
+            |b, server| {
+                b.iter(|| {
+                    let decisions = server.decide_batch(name, &states).unwrap();
+                    assert_eq!(decisions.len(), BATCH);
+                    decisions
+                })
+            },
+        );
+        // Also report absolute throughput once per configuration, since
+        // decisions/sec is the number the ROADMAP cares about.
+        let start = Instant::now();
+        let rounds = 3;
+        for _ in 0..rounds {
+            let _ = server.decide_batch(name, &states).unwrap();
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "  -> {name} x{workers} workers: {:.0} decisions/sec",
+            (BATCH * rounds) as f64 / elapsed.as_secs_f64()
+        );
+    }
+    group.finish();
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    bench_deployment(
+        c,
+        "pendulum",
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+    );
+    bench_deployment(
+        c,
+        "cartpole",
+        &fixtures::CARTPOLE_GAINS,
+        &fixtures::CARTPOLE_RADII,
+    );
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

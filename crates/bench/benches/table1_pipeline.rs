@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use vrl::dynamics::{ClosurePolicy, Policy};
+use vrl::dynamics::ClosurePolicy;
 use vrl::shield::{synthesize_shield, CegisConfig};
 use vrl::synth::DistillConfig;
 use vrl::verify::VerificationConfig;

@@ -12,10 +12,14 @@ fn bench_invariant_degrees(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_verification_time");
     group.sample_size(10);
     for degree in [2u32, 4, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &degree| {
-            let config = VerificationConfig::with_degree(degree);
-            b.iter(|| verify_nonlinear(&env, &program, env.init(), &config));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(degree),
+            &degree,
+            |b, &degree| {
+                let config = VerificationConfig::with_degree(degree);
+                b.iter(|| verify_nonlinear(&env, &program, env.init(), &config));
+            },
+        );
     }
     group.finish();
 }

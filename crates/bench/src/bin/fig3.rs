@@ -17,7 +17,10 @@ use vrl::pipeline::{run_pipeline_with_oracle, train_oracle};
 use vrl_bench::{pipeline_config_for, HarnessOptions};
 use vrl_benchmarks::pendulum::{pendulum_original, pendulum_restricted};
 
-fn dump_invariant_grid(path: &str, outcome: &vrl::pipeline::PipelineOutcome) -> std::io::Result<()> {
+fn dump_invariant_grid(
+    path: &str,
+    outcome: &vrl::pipeline::PipelineOutcome,
+) -> std::io::Result<()> {
     let mut file = File::create(path)?;
     writeln!(file, "eta,omega,min_invariant_value,covered")?;
     let program = outcome.shield.to_program();
@@ -43,8 +46,16 @@ fn dump_invariant_grid(path: &str, outcome: &vrl::pipeline::PipelineOutcome) -> 
 fn main() {
     let options = HarnessOptions::from_args(std::env::args().skip(1));
     for (label, spec, csv) in [
-        ("Fig. 3(a) original 90° bounds", pendulum_original(), "fig3a_invariant.csv"),
-        ("Fig. 3(b) restricted 30° bounds", pendulum_restricted(), "fig3b_invariant.csv"),
+        (
+            "Fig. 3(a) original 90° bounds",
+            pendulum_original(),
+            "fig3a_invariant.csv",
+        ),
+        (
+            "Fig. 3(b) restricted 30° bounds",
+            pendulum_restricted(),
+            "fig3b_invariant.csv",
+        ),
     ] {
         let env = spec.env().clone();
         let config = pipeline_config_for(&spec, options.effort, options.episodes, options.steps);

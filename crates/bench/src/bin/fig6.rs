@@ -7,7 +7,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use vrl::dynamics::{ClosurePolicy, Policy};
+use vrl::dynamics::ClosurePolicy;
 use vrl::shield::{synthesize_shield, CegisConfig};
 use vrl::synth::DistillConfig;
 use vrl::verify::VerificationConfig;
@@ -19,7 +19,9 @@ fn main() {
     let env = duffing_env();
     // The oracle for Example 4.3 is "a well-trained neural feedback control
     // policy"; a smooth nonlinear state feedback plays that role here.
-    let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![0.6 * s[0] - 2.0 * s[1] - 0.3 * s[0] * s[0] * s[0]]);
+    let oracle = ClosurePolicy::new(1, |s: &[f64]| {
+        vec![0.6 * s[0] - 2.0 * s[1] - 0.3 * s[0] * s[0] * s[0]]
+    });
     let config = CegisConfig {
         program_degree: 1,
         distill: DistillConfig {
@@ -46,11 +48,7 @@ fn main() {
             println!("{}", shield.to_program().pretty(&env.variable_names()));
             // Spot-check the paper's two counterexample initial states.
             for s0 in [[-0.46, -0.36], [2.249, 2.0]] {
-                println!(
-                    "  initial state {:?} covered: {}",
-                    s0,
-                    shield.covers(&s0)
-                );
+                println!("  initial state {:?} covered: {}", s0, shield.covers(&s0));
             }
             let mut rng2 = SmallRng::seed_from_u64(44);
             let eval = vrl::shield::evaluate_shielded_system(

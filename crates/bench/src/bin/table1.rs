@@ -10,8 +10,10 @@ use vrl_benchmarks::all_benchmarks;
 
 fn main() {
     let options = HarnessOptions::from_args(std::env::args().skip(1));
-    println!("Table 1 — synthesis, verification and shielding ({:?} effort, {} episodes x {} steps)\n",
-        options.effort, options.episodes, options.steps);
+    println!(
+        "Table 1 — synthesis, verification and shielding ({:?} effort, {} episodes x {} steps)\n",
+        options.effort, options.episodes, options.steps
+    );
     print_table1_header();
     for spec in all_benchmarks() {
         if let Some(only) = &options.only {
@@ -40,7 +42,10 @@ fn main() {
                     e.program_steps_to_steady
                         .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
                 );
-                assert_eq!(e.shielded_failures, 0, "a verified shield must prevent every failure");
+                assert_eq!(
+                    e.shielded_failures, 0,
+                    "a verified shield must prevent every failure"
+                );
             }
             Err(err) => {
                 println!(

@@ -23,7 +23,9 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
     for name in benchmarks {
-        let Some(spec) = benchmark_by_name(name) else { continue };
+        let Some(spec) = benchmark_by_name(name) else {
+            continue;
+        };
         let env = spec.env().clone();
         let base = pipeline_config_for(&spec, options.effort, options.episodes, options.steps);
         // Train the oracle once and reuse it for every degree.

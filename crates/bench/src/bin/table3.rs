@@ -5,12 +5,12 @@
 //!
 //! Usage: `table3 [--full] [--episodes N] [--steps N]`
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use vrl::pipeline::{resynthesize_shield_for, train_oracle};
 use vrl::shield::evaluate_shielded_system;
 use vrl_bench::{pipeline_config_for, HarnessOptions};
 use vrl_benchmarks::{benchmark_by_name, environment_change_benchmarks};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn original_of(variant: &str) -> &'static str {
     if variant.starts_with("cartpole") {
@@ -30,14 +30,22 @@ fn main() {
     );
     println!(
         "{:<24} {:>30} {:>8} {:>5} {:>11} {:>10} {:>14}",
-        "Benchmark", "Environment change", "Failures", "Size", "Synthesis", "Overhead", "Interventions"
+        "Benchmark",
+        "Environment change",
+        "Failures",
+        "Size",
+        "Synthesis",
+        "Overhead",
+        "Interventions"
     );
     println!("{}", "-".repeat(108));
     for variant in environment_change_benchmarks() {
-        let original = benchmark_by_name(original_of(variant.name())).expect("original benchmark exists");
+        let original =
+            benchmark_by_name(original_of(variant.name())).expect("original benchmark exists");
         let original_env = original.env().clone();
         let changed_env = variant.env().clone();
-        let config = pipeline_config_for(&original, options.effort, options.episodes, options.steps);
+        let config =
+            pipeline_config_for(&original, options.effort, options.episodes, options.steps);
         // Train in the *original* environment, deploy in the changed one.
         let (oracle, _training_time) = train_oracle(&original_env, &config);
         let mut rng = SmallRng::seed_from_u64(7);
@@ -54,7 +62,12 @@ fn main() {
                 println!(
                     "{:<24} {:>30} {:>8} {:>5} {:>10.1}s {:>9.2}% {:>14}",
                     variant.name(),
-                    variant.description().split(':').next_back().unwrap_or("").trim(),
+                    variant
+                        .description()
+                        .split(':')
+                        .next_back()
+                        .unwrap_or("")
+                        .trim(),
                     eval.neural_failures,
                     shield.num_pieces(),
                     report.synthesis_time.as_secs_f64(),
@@ -64,7 +77,10 @@ fn main() {
                 assert_eq!(eval.shielded_failures, 0);
             }
             Err(err) => {
-                println!("{:<24}  [shield re-synthesis failed: {err}]", variant.name());
+                println!(
+                    "{:<24}  [shield re-synthesis failed: {err}]",
+                    variant.name()
+                );
             }
         }
     }

@@ -74,7 +74,12 @@ impl HarnessOptions {
 
 /// Builds the pipeline configuration the harness uses for a benchmark at the
 /// requested effort level.
-pub fn pipeline_config_for(spec: &BenchmarkSpec, effort: Effort, episodes: usize, steps: usize) -> PipelineConfig {
+pub fn pipeline_config_for(
+    spec: &BenchmarkSpec,
+    effort: Effort,
+    episodes: usize,
+    steps: usize,
+) -> PipelineConfig {
     let (hidden, ars, distill) = match effort {
         Effort::Quick => (
             vec![32, 32],
@@ -127,7 +132,16 @@ pub fn pipeline_config_for(spec: &BenchmarkSpec, effort: Effort, episodes: usize
 pub fn print_table1_header() {
     println!(
         "{:<22} {:>4} {:>10} {:>8} {:>5} {:>11} {:>10} {:>13} {:>9} {:>9}",
-        "Benchmark", "Vars", "Training", "Failures", "Size", "Synthesis", "Overhead", "Interventions", "NN", "Program"
+        "Benchmark",
+        "Vars",
+        "Training",
+        "Failures",
+        "Size",
+        "Synthesis",
+        "Overhead",
+        "Interventions",
+        "NN",
+        "Program"
     );
     println!("{}", "-".repeat(112));
 }
@@ -159,7 +173,9 @@ mod tests {
         let spec = benchmark_by_name("pendulum").unwrap();
         let quick = pipeline_config_for(&spec, Effort::Quick, 10, 500);
         let full = pipeline_config_for(&spec, Effort::Full, 1000, 5000);
-        assert!(quick.hidden_layers.iter().sum::<usize>() < full.hidden_layers.iter().sum::<usize>());
+        assert!(
+            quick.hidden_layers.iter().sum::<usize>() < full.hidden_layers.iter().sum::<usize>()
+        );
         assert_eq!(quick.cegis.verification.invariant_degree, 4);
         assert_eq!(full.evaluation_episodes, 1000);
     }

@@ -36,16 +36,14 @@ pub fn biology_env() -> EnvironmentContext {
     let gdot = &(&g.scaled(-p1) - &(&x * &g)) - &x.scaled(g_basal);
     let xdot = &x.scaled(-p2) + &i.scaled(p3);
     let idot = &i.scaled(-n) + &a;
-    let dynamics = PolyDynamics::new(3, 1, vec![gdot, xdot, idot]).expect("biology dynamics are well formed");
+    let dynamics =
+        PolyDynamics::new(3, 1, vec![gdot, xdot, idot]).expect("biology dynamics are well formed");
     EnvironmentContext::new(
         "biology",
         dynamics,
         0.01,
         BoxRegion::symmetric(&[0.3, 0.2, 0.2]),
-        SafetySpec::inside(BoxRegion::new(
-            vec![-1.0, -1.5, -1.5],
-            vec![2.0, 1.5, 1.5],
-        )),
+        SafetySpec::inside(BoxRegion::new(vec![-1.0, -1.5, -1.5], vec![2.0, 1.5, 1.5])),
     )
     .with_action_bounds(vec![-4.0], vec![4.0])
     .with_variable_names(&["glucose", "insulin_action", "insulin"])
@@ -66,9 +64,9 @@ pub fn biology() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     #[test]
@@ -76,14 +74,20 @@ mod tests {
         let spec = biology();
         assert_eq!(spec.env().state_dim(), 3);
         assert_eq!(spec.env().action_dim(), 1);
-        assert!(!spec.env().dynamics().is_affine(), "the X·G term makes the model bilinear");
+        assert!(
+            !spec.env().dynamics().is_affine(),
+            "the X·G term makes the model bilinear"
+        );
         assert_eq!(spec.env().dynamics().degree(), 2);
     }
 
     #[test]
     fn glucose_threshold_defines_unsafety() {
         let env = biology_env();
-        assert!(env.is_unsafe(&[-1.1, 0.0, 0.0]), "hypoglycemia must be unsafe");
+        assert!(
+            env.is_unsafe(&[-1.1, 0.0, 0.0]),
+            "hypoglycemia must be unsafe"
+        );
         assert!(!env.is_unsafe(&[1.5, 0.0, 0.0]));
         assert!(env.is_unsafe(&[2.5, 0.0, 0.0]));
     }

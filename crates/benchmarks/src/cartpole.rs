@@ -36,8 +36,8 @@ pub fn cartpole_env(pole_length: f64) -> EnvironmentContext {
     let vdot = &force.scaled(1.0 / CART_MASS) - &theta.scaled(POLE_MASS * GRAVITY / CART_MASS);
     let omega_dot = &theta.scaled((CART_MASS + POLE_MASS) * GRAVITY / (CART_MASS * pole_length))
         - &force.scaled(1.0 / (CART_MASS * pole_length));
-    let dynamics =
-        PolyDynamics::new(4, 1, vec![v, vdot, omega, omega_dot]).expect("cartpole dynamics are well formed");
+    let dynamics = PolyDynamics::new(4, 1, vec![v, vdot, omega, omega_dot])
+        .expect("cartpole dynamics are well formed");
     let theta_bound = 30.0f64.to_radians();
     EnvironmentContext::new(
         "cartpole",
@@ -79,9 +79,9 @@ pub fn cartpole_longer_pole() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     #[test]
@@ -98,7 +98,10 @@ mod tests {
     fn gravity_destabilizes_the_pole_without_control() {
         let env = cartpole_env(DEFAULT_POLE_LENGTH);
         let d = env.dynamics().derivative(&[0.0, 0.0, 0.1, 0.0], &[0.0]);
-        assert!(d[3] > 0.0, "positive angle must accelerate further from upright");
+        assert!(
+            d[3] > 0.0,
+            "positive angle must accelerate further from upright"
+        );
         let zero = vrl_dynamics::ConstantPolicy::zeros(1);
         let mut rng = SmallRng::seed_from_u64(31);
         let t = env.rollout(&zero, &[0.0, 0.0, 0.05, 0.0], 3000, &mut rng);
@@ -116,7 +119,10 @@ mod tests {
         for _ in 0..5 {
             let s0 = env.sample_initial(&mut rng);
             let t = env.rollout(&k, &s0, 3000, &mut rng);
-            assert!(!t.violates(env.safety()), "stabilizing gains failed from {s0:?}");
+            assert!(
+                !t.violates(env.safety()),
+                "stabilizing gains failed from {s0:?}"
+            );
             assert!(t.final_state().unwrap()[2].abs() < 0.05);
         }
     }

@@ -55,9 +55,9 @@ pub fn datacenter_cooling() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     #[test]

@@ -70,10 +70,7 @@ pub fn self_driving() -> BenchmarkSpec {
 /// road (lateral offsets between 1.2 m and 2 m) must additionally be avoided.
 pub fn self_driving_with_obstacle() -> BenchmarkSpec {
     let base = self_driving_env();
-    let obstacle = BoxRegion::new(
-        vec![1.2, -2.0, -1.0, -2.0],
-        vec![2.0, 2.0, 1.0, 2.0],
-    );
+    let obstacle = BoxRegion::new(vec![1.2, -2.0, -1.0, -2.0], vec![2.0, 2.0, 1.0, 2.0]);
     let safety = SafetySpec::inside(base.safety().safe_box().clone()).with_obstacle(obstacle);
     BenchmarkSpec::new(
         "self-driving-obstacle",
@@ -128,7 +125,11 @@ mod tests {
             for _ in 0..5 {
                 let s0 = env.sample_initial(&mut rng);
                 let t = env.rollout(&steering_gain(), &s0, 3000, &mut rng);
-                assert!(!t.violates(env.safety()), "{} left the road from {s0:?}", env.name());
+                assert!(
+                    !t.violates(env.safety()),
+                    "{} left the road from {s0:?}",
+                    env.name()
+                );
                 assert!(t.final_state().unwrap()[0].abs() < 0.1);
             }
         }
@@ -148,7 +149,10 @@ mod tests {
     fn obstacle_variant_marks_the_blocked_lane_unsafe() {
         let spec = self_driving_with_obstacle();
         let env = spec.env();
-        assert!(env.is_unsafe(&[1.5, 0.0, 0.0, 0.0]), "states inside the obstacle are unsafe");
+        assert!(
+            env.is_unsafe(&[1.5, 0.0, 0.0, 0.0]),
+            "states inside the obstacle are unsafe"
+        );
         assert!(!env.is_unsafe(&[0.5, 0.0, 0.0, 0.0]));
         assert!(!self_driving_env().is_unsafe(&[1.5, 0.0, 0.0, 0.0]));
         assert_eq!(env.safety().obstacles().len(), 1);

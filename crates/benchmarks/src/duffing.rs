@@ -22,7 +22,8 @@ pub fn duffing_env() -> EnvironmentContext {
     let y = Polynomial::variable(1, 3);
     let a = Polynomial::variable(2, 3);
     let ydot = &(&(&y.scaled(-0.6) - &x) - &x.pow(3)) + &a;
-    let dynamics = PolyDynamics::new(2, 1, vec![y.clone(), ydot]).expect("duffing dynamics are well formed");
+    let dynamics =
+        PolyDynamics::new(2, 1, vec![y.clone(), ydot]).expect("duffing dynamics are well formed");
     EnvironmentContext::new(
         "duffing",
         dynamics,
@@ -49,9 +50,9 @@ pub fn duffing() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     #[test]

@@ -64,7 +64,11 @@ mod tests {
             ]
         );
         for v in &variants {
-            assert_eq!(v.hidden_layers(), &[1200, 900], "Table 3 uses larger networks");
+            assert_eq!(
+                v.hidden_layers(),
+                &[1200, 900],
+                "Table 3 uses larger networks"
+            );
         }
     }
 

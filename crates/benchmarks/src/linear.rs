@@ -191,8 +191,18 @@ mod tests {
 
     #[test]
     fn all_lti_benchmarks_are_affine() {
-        for spec in [satellite(), dcmotor(), tape(), magnetic_pointer(), suspension()] {
-            assert!(spec.env().dynamics().is_affine(), "{} must be LTI", spec.name());
+        for spec in [
+            satellite(),
+            dcmotor(),
+            tape(),
+            magnetic_pointer(),
+            suspension(),
+        ] {
+            assert!(
+                spec.env().dynamics().is_affine(),
+                "{} must be LTI",
+                spec.name()
+            );
             let (a, b, c) = spec.env().dynamics().affine_parts().unwrap();
             assert_eq!(a.len(), spec.env().state_dim());
             assert_eq!(b[0].len(), spec.env().action_dim());
@@ -218,7 +228,10 @@ mod tests {
         for _ in 0..5 {
             let s0 = env.sample_initial(&mut rng);
             let t = env.rollout(&gain, &s0, 2000, &mut rng);
-            assert!(!t.violates(env.safety()), "feedback-controlled satellite left the safe box");
+            assert!(
+                !t.violates(env.safety()),
+                "feedback-controlled satellite left the safe box"
+            );
         }
         // Without control the plant drifts: the uncontrolled vector field is
         // unstable (positive coupling), so some trajectory grows.
@@ -231,7 +244,13 @@ mod tests {
     #[test]
     fn simple_feedback_is_reasonable_on_every_lti_plant() {
         let mut rng = SmallRng::seed_from_u64(2);
-        for spec in [satellite(), dcmotor(), tape(), magnetic_pointer(), suspension()] {
+        for spec in [
+            satellite(),
+            dcmotor(),
+            tape(),
+            magnetic_pointer(),
+            suspension(),
+        ] {
             let env = spec.env();
             let gain = stabilizing_gain(&spec);
             let s0 = env.sample_initial(&mut rng);

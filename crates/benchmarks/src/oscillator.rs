@@ -77,9 +77,9 @@ pub fn oscillator() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     fn damping_gain() -> LinearPolicy {
@@ -115,7 +115,10 @@ mod tests {
         s0[0] = 1.0;
         s0[1] = 1.0;
         let t = env.rollout(&damping_gain(), &s0, 4000, &mut rng);
-        assert!(!t.violates(env.safety()), "damped oscillator stays below the output threshold");
+        assert!(
+            !t.violates(env.safety()),
+            "damped oscillator stays below the output threshold"
+        );
     }
 
     #[test]
@@ -147,6 +150,9 @@ mod tests {
                 s[i] += 0.01 * d[i];
             }
         }
-        assert!((s[17] - 0.5).abs() < 1e-3, "filter output should settle at the input value");
+        assert!(
+            (s[17] - 0.5).abs() < 1e-3,
+            "filter output should settle at the input value"
+        );
     }
 }

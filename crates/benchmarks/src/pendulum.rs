@@ -25,8 +25,16 @@ pub fn degrees(d: f64) -> f64 {
 
 /// Builds the pendulum environment for a given mass (kg), length (m) and
 /// symmetric safety bounds (radians) on angle and angular velocity.
-pub fn pendulum_env(mass: f64, length: f64, eta_bound: f64, omega_bound: f64) -> EnvironmentContext {
-    assert!(mass > 0.0 && length > 0.0, "mass and length must be positive");
+pub fn pendulum_env(
+    mass: f64,
+    length: f64,
+    eta_bound: f64,
+    omega_bound: f64,
+) -> EnvironmentContext {
+    assert!(
+        mass > 0.0 && length > 0.0,
+        "mass and length must be positive"
+    );
     // Variables: x0 = η, x1 = ω, x2 = a.
     let eta = Polynomial::variable(0, 3);
     let omega = Polynomial::variable(1, 3);
@@ -36,7 +44,8 @@ pub fn pendulum_env(mass: f64, length: f64, eta_bound: f64, omega_bound: f64) ->
     // ω̇ = (g/l)(η - η³/6) + a/(m l²)
     let omega_dot = &(&eta.scaled(g_over_l) - &eta.pow(3).scaled(g_over_l / 6.0))
         + &torque.scaled(1.0 / inertia);
-    let dynamics = PolyDynamics::new(2, 1, vec![omega, omega_dot]).expect("pendulum dynamics are well formed");
+    let dynamics =
+        PolyDynamics::new(2, 1, vec![omega, omega_dot]).expect("pendulum dynamics are well formed");
     EnvironmentContext::new(
         "pendulum",
         dynamics,
@@ -110,9 +119,9 @@ pub fn pendulum_longer() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     #[test]
@@ -159,7 +168,10 @@ mod tests {
         for _ in 0..10 {
             let s0 = env.sample_initial(&mut rng);
             let t = env.rollout(&program, &s0, 3000, &mut rng);
-            assert!(!t.violates(env.safety()), "paper gains should be safe from {s0:?}");
+            assert!(
+                !t.violates(env.safety()),
+                "paper gains should be safe from {s0:?}"
+            );
             let last = t.final_state().unwrap();
             assert!(last[0].abs() < 0.05, "pendulum should settle near upright");
         }
@@ -171,7 +183,10 @@ mod tests {
         let zero = vrl_dynamics::ConstantPolicy::zeros(1);
         let mut rng = SmallRng::seed_from_u64(4);
         let t = env.rollout(&zero, &[degrees(20.0), degrees(20.0)], 5000, &mut rng);
-        assert!(t.violates(env.safety()), "an uncontrolled inverted pendulum must fall");
+        assert!(
+            t.violates(env.safety()),
+            "an uncontrolled inverted pendulum must fall"
+        );
     }
 
     #[test]

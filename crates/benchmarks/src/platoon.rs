@@ -84,9 +84,9 @@ pub fn car_platoon_8() -> BenchmarkSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::Dynamics;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use vrl_dynamics::Dynamics;
     use vrl_dynamics::LinearPolicy;
 
     fn per_car_pd(n: usize) -> LinearPolicy {
@@ -123,7 +123,10 @@ mod tests {
             let policy = per_car_pd(n);
             let s0 = vec![0.3; 2 * n];
             let t = env.rollout(&policy, &s0, 3000, &mut rng);
-            assert!(!t.violates(env.safety()), "platoon of {n} cars violated spacing");
+            assert!(
+                !t.violates(env.safety()),
+                "platoon of {n} cars violated spacing"
+            );
             assert!(t.final_state().unwrap().iter().all(|x| x.abs() < 0.05));
         }
     }
@@ -133,7 +136,7 @@ mod tests {
         let env = platoon_env(4);
         let zero = vrl_dynamics::ConstantPolicy::zeros(4);
         let mut rng = SmallRng::seed_from_u64(72);
-        let t = env.rollout(&zero, &vec![0.3; 8], 3000, &mut rng);
+        let t = env.rollout(&zero, &[0.3; 8], 3000, &mut rng);
         // With nonzero relative velocity and no control the spacing errors
         // grow linearly and leave the safe gap.
         assert!(t.violates(env.safety()));

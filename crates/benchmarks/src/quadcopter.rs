@@ -22,7 +22,8 @@ pub fn quadcopter_env() -> EnvironmentContext {
     let v = Polynomial::variable(1, 3);
     let a = Polynomial::variable(2, 3);
     let vdot = &v.scaled(-0.3) + &a;
-    let dynamics = PolyDynamics::new(2, 1, vec![v, vdot]).expect("quadcopter dynamics are well formed");
+    let dynamics =
+        PolyDynamics::new(2, 1, vec![v, vdot]).expect("quadcopter dynamics are well formed");
     EnvironmentContext::new(
         "quadcopter",
         dynamics,

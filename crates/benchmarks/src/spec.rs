@@ -161,9 +161,17 @@ mod tests {
     fn every_benchmark_is_well_formed() {
         for b in all_benchmarks() {
             let env = b.env();
-            assert!(!b.description().is_empty(), "{} has no description", b.name());
+            assert!(
+                !b.description().is_empty(),
+                "{} has no description",
+                b.name()
+            );
             assert!(b.invariant_degree() >= 2, "{} degree too small", b.name());
-            assert!(!b.hidden_layers().is_empty(), "{} has no hidden layers", b.name());
+            assert!(
+                !b.hidden_layers().is_empty(),
+                "{} has no hidden layers",
+                b.name()
+            );
             assert!(env.dt() > 0.0);
             assert_eq!(env.init().dim(), env.state_dim());
             assert_eq!(env.safety().dim(), env.state_dim());

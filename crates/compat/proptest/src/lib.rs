@@ -1,0 +1,219 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The workspace builds hermetically (no crates.io access), so this crate
+//! provides the small subset of the proptest API used by the test suites:
+//! the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, range and
+//! `collection::vec` strategies.
+//!
+//! Semantics are simplified but honest: every property runs for a fixed
+//! number of deterministic random cases (seeded from the test name, so
+//! failures reproduce across runs); there is no shrinking.
+
+#![deny(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Number of cases run per property when no config is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Run-time configuration of a property (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Builds the deterministic generator backing one property, seeded from the
+/// property's name so each test has an independent but reproducible stream.
+pub fn test_rng(test_name: &str) -> SmallRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+/// `vec`-building strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::strategy::{SizeRange, VecStrategy};
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size` (a fixed `usize` or a range).
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The common imports test modules glob in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { fn name(x in strategy, ...) { body } }`.
+///
+/// Each function expands to a `#[test]` that executes the body for a number
+/// of deterministically sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                // Run the case in a closure so `prop_assume!` can reject it
+                // with an early return; assertion failures panic as usual.
+                let case_info = format!(
+                    "case {case}/{total} of {name}",
+                    total = config.cases,
+                    name = stringify!($name),
+                );
+                let result = (move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = result {
+                    panic!("property failed at {case_info}: {message}");
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `if cond {} else` rather than `if !cond` so float conditions do
+        // not trip clippy::neg_cmp_op_on_partial_ord at every call site.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Rejects the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn addition_commutes(a in -100.0..100.0f64, b in -100.0..100.0f64) {
+            prop_assert!((a + b - (b + a)).abs() < 1e-12);
+        }
+
+        fn vectors_have_requested_lengths(
+            fixed in crate::collection::vec(0.0..1.0f64, 4),
+            ranged in crate::collection::vec(-1.0..1.0f64, 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((2..6).contains(&ranged.len()));
+        }
+
+        fn assume_rejects_cases(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::time::{Duration, Instant};
-use vrl_dynamics::{EnvironmentContext, Policy};
+use vrl_dynamics::EnvironmentContext;
 use vrl_rl::{train_ars, train_ddpg, ArsConfig, DdpgConfig, NeuralPolicy};
 use vrl_shield::{
     evaluate_shielded_system, synthesize_shield, CegisConfig, CegisError, CegisReport, Shield,
@@ -212,7 +212,7 @@ pub fn resynthesize_shield_for(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vrl_dynamics::{BoxRegion, PolyDynamics, SafetySpec};
+    use vrl_dynamics::{BoxRegion, Policy, PolyDynamics, SafetySpec};
     use vrl_poly::Polynomial;
     use vrl_verify::VerificationConfig;
 
@@ -256,7 +256,10 @@ mod tests {
             resynthesize_shield_for(&restricted, &outcome.oracle, &config).unwrap();
         assert!(report.pieces >= 1);
         assert!(new_shield.covers(&[0.2]));
-        assert!(!new_shield.covers(&[0.7]), "the new shield must respect the tighter bound");
+        assert!(
+            !new_shield.covers(&[0.7]),
+            "the new shield must respect the tighter bound"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Disturbance {
     /// Panics if the bound vectors have different lengths or any lower bound
     /// exceeds the corresponding upper bound.
     pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
-        assert_eq!(lower.len(), upper.len(), "bound vectors must have equal length");
+        assert_eq!(
+            lower.len(),
+            upper.len(),
+            "bound vectors must have equal length"
+        );
         for (i, (lo, hi)) in lower.iter().zip(upper.iter()).enumerate() {
             assert!(
                 lo <= hi,
@@ -55,10 +59,7 @@ impl Disturbance {
             magnitudes.iter().all(|m| *m >= 0.0),
             "disturbance magnitudes must be non-negative"
         );
-        Disturbance::new(
-            magnitudes.iter().map(|m| -m).collect(),
-            magnitudes.to_vec(),
-        )
+        Disturbance::new(magnitudes.iter().map(|m| -m).collect(), magnitudes.to_vec())
     }
 
     /// The zero disturbance of the given dimension.
@@ -91,7 +92,13 @@ impl Disturbance {
         self.lower
             .iter()
             .zip(self.upper.iter())
-            .map(|(lo, hi)| if lo == hi { *lo } else { rng.gen_range(*lo..=*hi) })
+            .map(|(lo, hi)| {
+                if lo == hi {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                }
+            })
             .collect()
     }
 

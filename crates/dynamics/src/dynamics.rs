@@ -138,7 +138,11 @@ impl PolyDynamics {
     pub fn linear(a_matrix: &[Vec<f64>], b_matrix: &[Vec<f64>], offset: Option<&[f64]>) -> Self {
         let n = a_matrix.len();
         let m = b_matrix.first().map_or(0, Vec::len);
-        assert_eq!(b_matrix.len(), n, "A and B must have the same number of rows");
+        assert_eq!(
+            b_matrix.len(),
+            n,
+            "A and B must have the same number of rows"
+        );
         let nvars = n + m;
         let mut derivatives = Vec::with_capacity(n);
         for i in 0..n {
@@ -165,7 +169,11 @@ impl PolyDynamics {
 
     /// Maximum total degree over all derivative polynomials.
     pub fn degree(&self) -> u32 {
-        self.derivatives.iter().map(Polynomial::degree).max().unwrap_or(0)
+        self.derivatives
+            .iter()
+            .map(Polynomial::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns true when every derivative polynomial is affine (degree ≤ 1).
@@ -176,6 +184,7 @@ impl PolyDynamics {
     /// For affine dynamics, extracts `(A, B, c)` such that `ṡ = A s + B a + c`.
     ///
     /// Returns `None` when the dynamics are not affine.
+    #[allow(clippy::type_complexity)]
     pub fn affine_parts(&self) -> Option<(Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>)> {
         if !self.is_affine() {
             return None;
@@ -330,12 +339,22 @@ mod tests {
     #[test]
     fn construction_errors_are_reported() {
         let err = PolyDynamics::new(2, 1, vec![Polynomial::zero(3)]).unwrap_err();
-        assert!(matches!(err, DynamicsError::WrongDerivativeCount { expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            DynamicsError::WrongDerivativeCount {
+                expected: 2,
+                actual: 1
+            }
+        ));
         assert!(err.to_string().contains("expected 2"));
         let err = PolyDynamics::new(1, 1, vec![Polynomial::zero(3)]).unwrap_err();
         assert!(matches!(
             err,
-            DynamicsError::WrongVariableCount { index: 0, expected: 2, actual: 3 }
+            DynamicsError::WrongVariableCount {
+                index: 0,
+                expected: 2,
+                actual: 3
+            }
         ));
         assert!(err.to_string().contains("variables"));
     }
@@ -374,7 +393,7 @@ mod tests {
         let ydot = &(&(-&x) - &x.pow(3)) + &a;
         let f = PolyDynamics::new(2, 1, vec![y.clone(), ydot]).unwrap();
         let program = Polynomial::linear(&[0.39, -1.41], 0.0);
-        let closed = f.close_loop(&[program.clone()]);
+        let closed = f.close_loop(std::slice::from_ref(&program));
         assert_eq!(closed.len(), 2);
         assert_eq!(closed[0].nvars(), 2);
         let s: [f64; 2] = [0.7, -0.3];
@@ -398,7 +417,7 @@ mod tests {
                                               sx in -2.0..2.0f64, sy in -2.0..2.0f64) {
             let f = double_integrator();
             let program = Polynomial::linear(&[theta1, theta2], 0.0);
-            let closed = f.close_loop(&[program.clone()]);
+            let closed = f.close_loop(std::slice::from_ref(&program));
             let s = [sx, sy];
             let a = [program.eval(&s)];
             let direct = f.derivative(&s, &a);

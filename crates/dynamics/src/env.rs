@@ -2,7 +2,7 @@
 //! system with a hole for the control policy.
 
 use crate::{
-    BoxRegion, Disturbance, Dynamics, Integrator, PolyDynamics, Policy, SafetySpec, Trajectory,
+    BoxRegion, Disturbance, Dynamics, Integrator, Policy, PolyDynamics, SafetySpec, Trajectory,
 };
 use rand::Rng;
 use std::fmt;
@@ -83,8 +83,16 @@ impl EnvironmentContext {
         assert!(dt > 0.0, "time step must be positive");
         let n = dynamics.state_dim();
         let m = dynamics.action_dim();
-        assert_eq!(init.dim(), n, "initial region dimension must match the dynamics");
-        assert_eq!(safety.dim(), n, "safety spec dimension must match the dynamics");
+        assert_eq!(
+            init.dim(),
+            n,
+            "initial region dimension must match the dynamics"
+        );
+        assert_eq!(
+            safety.dim(),
+            n,
+            "safety spec dimension must match the dynamics"
+        );
         let safety_for_reward = safety.clone();
         let default_reward: RewardFn = Arc::new(move |s: &[f64], a: &[f64]| {
             if safety_for_reward.is_unsafe(s) {
@@ -95,8 +103,7 @@ impl EnvironmentContext {
                 -(state_cost + 0.01 * action_cost)
             }
         });
-        let default_steady: SteadyFn =
-            Arc::new(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05));
+        let default_steady: SteadyFn = Arc::new(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.05));
         EnvironmentContext {
             name: name.into(),
             variable_names: (0..n).map(|i| format!("x{i}")).collect(),
@@ -142,15 +149,26 @@ impl EnvironmentContext {
     ///
     /// Panics if the bound lengths differ from the action dimension.
     pub fn with_action_bounds(mut self, low: Vec<f64>, high: Vec<f64>) -> Self {
-        assert_eq!(low.len(), self.action_dim(), "action bound dimension mismatch");
-        assert_eq!(high.len(), self.action_dim(), "action bound dimension mismatch");
+        assert_eq!(
+            low.len(),
+            self.action_dim(),
+            "action bound dimension mismatch"
+        );
+        assert_eq!(
+            high.len(),
+            self.action_dim(),
+            "action bound dimension mismatch"
+        );
         self.action_low = low;
         self.action_high = high;
         self
     }
 
     /// Replaces the reward function.
-    pub fn with_reward(mut self, reward: impl Fn(&[f64], &[f64]) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn with_reward(
+        mut self,
+        reward: impl Fn(&[f64], &[f64]) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         self.reward = Arc::new(reward);
         self
     }
@@ -179,7 +197,11 @@ impl EnvironmentContext {
     ///
     /// Panics if the number of names differs from the state dimension.
     pub fn with_variable_names(mut self, names: &[&str]) -> Self {
-        assert_eq!(names.len(), self.state_dim(), "one name per state variable is required");
+        assert_eq!(
+            names.len(),
+            self.state_dim(),
+            "one name per state variable is required"
+        );
         self.variable_names = names.iter().map(|s| s.to_string()).collect();
         self
     }
@@ -192,7 +214,11 @@ impl EnvironmentContext {
     ///
     /// Panics if the dimension differs from the state dimension.
     pub fn with_safety(mut self, safety: SafetySpec) -> Self {
-        assert_eq!(safety.dim(), self.state_dim(), "safety spec dimension mismatch");
+        assert_eq!(
+            safety.dim(),
+            self.state_dim(),
+            "safety spec dimension mismatch"
+        );
         self.safety = safety;
         self
     }
@@ -203,7 +229,11 @@ impl EnvironmentContext {
     ///
     /// Panics if the dimension differs from the state dimension.
     pub fn with_init(mut self, init: BoxRegion) -> Self {
-        assert_eq!(init.dim(), self.state_dim(), "initial region dimension mismatch");
+        assert_eq!(
+            init.dim(),
+            self.state_dim(),
+            "initial region dimension mismatch"
+        );
         self.init = init;
         self
     }
@@ -215,8 +245,16 @@ impl EnvironmentContext {
     ///
     /// Panics if the state or action dimension changes.
     pub fn with_dynamics(mut self, dynamics: PolyDynamics) -> Self {
-        assert_eq!(dynamics.state_dim(), self.state_dim(), "state dimension must not change");
-        assert_eq!(dynamics.action_dim(), self.action_dim(), "action dimension must not change");
+        assert_eq!(
+            dynamics.state_dim(),
+            self.state_dim(),
+            "state dimension must not change"
+        );
+        assert_eq!(
+            dynamics.action_dim(),
+            self.action_dim(),
+            "action dimension must not change"
+        );
         self.dynamics = dynamics;
         self
     }
@@ -326,7 +364,8 @@ impl EnvironmentContext {
     /// uses to *predict* where a proposed action would lead.
     pub fn step_deterministic(&self, state: &[f64], action: &[f64]) -> Vec<f64> {
         let clamped = self.clamp_action(action);
-        self.integrator.step(&self.dynamics, state, &clamped, self.dt)
+        self.integrator
+            .step(&self.dynamics, state, &clamped, self.dt)
     }
 
     /// One-step successor with a disturbance sampled from its bounds.
@@ -346,7 +385,13 @@ impl EnvironmentContext {
     /// The rollout stops early if the state becomes non-finite (numerical
     /// blow-up after leaving the modeled regime) or one step after entering
     /// an unsafe state, mirroring episode termination during RL training.
-    pub fn rollout<P, R>(&self, policy: &P, initial: &[f64], steps: usize, rng: &mut R) -> Trajectory
+    pub fn rollout<P, R>(
+        &self,
+        policy: &P,
+        initial: &[f64],
+        steps: usize,
+        rng: &mut R,
+    ) -> Trajectory
     where
         P: Policy + ?Sized,
         R: Rng + ?Sized,
@@ -520,7 +565,7 @@ mod tests {
         let env = double_integrator_env();
         // Program a = -1.5 x0 - 0.7 x1.
         let program = Polynomial::linear(&[-1.5, -0.7], 0.0);
-        let succ = env.successor_polynomials(&[program.clone()]);
+        let succ = env.successor_polynomials(std::slice::from_ref(&program));
         assert_eq!(succ.len(), 2);
         let s = [0.3, -0.2];
         let a = [program.eval(&s)];
@@ -540,15 +585,17 @@ mod tests {
         assert!(!env.is_unsafe(&[1.0, 0.0]));
         let tighter_init = env.clone().with_init(BoxRegion::symmetric(&[0.1, 0.1]));
         assert_eq!(tighter_init.init().highs(), &[0.1, 0.1]);
-        let heavier = env.clone().with_dynamics(PolyDynamics::new(
-            2,
-            1,
-            vec![
-                Polynomial::variable(1, 3),
-                Polynomial::variable(2, 3).scaled(0.5),
-            ],
-        )
-        .unwrap());
+        let heavier = env.clone().with_dynamics(
+            PolyDynamics::new(
+                2,
+                1,
+                vec![
+                    Polynomial::variable(1, 3),
+                    Polynomial::variable(2, 3).scaled(0.5),
+                ],
+            )
+            .unwrap(),
+        );
         assert!((heavier.step_deterministic(&[0.0, 0.0], &[1.0])[1] - 0.005).abs() < 1e-12);
     }
 

@@ -35,8 +35,16 @@ impl Integrator {
         action: &[f64],
         dt: f64,
     ) -> Vec<f64> {
-        assert_eq!(state.len(), dynamics.state_dim(), "state dimension mismatch");
-        assert_eq!(action.len(), dynamics.action_dim(), "action dimension mismatch");
+        assert_eq!(
+            state.len(),
+            dynamics.state_dim(),
+            "state dimension mismatch"
+        );
+        assert_eq!(
+            action.len(),
+            dynamics.action_dim(),
+            "action dimension mismatch"
+        );
         match self {
             Integrator::Euler => {
                 let k1 = dynamics.derivative(state, action);
@@ -64,6 +72,26 @@ impl Integrator {
         match self {
             Integrator::Euler => "euler",
             Integrator::RungeKutta4 => "rk4",
+        }
+    }
+
+    /// Stable one-byte tag used by the artifact serialization format.
+    ///
+    /// Tags are part of the on-disk format: never renumber existing
+    /// variants, only append.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Integrator::Euler => 0,
+            Integrator::RungeKutta4 => 1,
+        }
+    }
+
+    /// Inverse of [`Integrator::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Integrator> {
+        match tag {
+            0 => Some(Integrator::Euler),
+            1 => Some(Integrator::RungeKutta4),
+            _ => None,
         }
     }
 }

@@ -44,6 +44,7 @@ mod dynamics;
 mod env;
 mod integrator;
 mod policy;
+mod portable;
 mod region;
 mod trajectory;
 
@@ -52,5 +53,6 @@ pub use dynamics::{ClosureDynamics, Dynamics, DynamicsError, PolyDynamics};
 pub use env::{EnvironmentContext, RewardFn, SteadyFn};
 pub use integrator::Integrator;
 pub use policy::{ClosurePolicy, ConstantPolicy, LinearPolicy, Policy};
+pub use portable::PortableEnvironment;
 pub use region::{BoxRegion, SafetySpec};
 pub use trajectory::Trajectory;

@@ -1,0 +1,295 @@
+//! Portable (plain-data) form of an [`EnvironmentContext`] for artifact
+//! persistence.
+//!
+//! Everything structural about an environment round-trips exactly: dynamics
+//! polynomials, time step, integrator, initial region, safety specification
+//! (safe box plus obstacles), disturbance bounds, action bounds, variable
+//! names, and horizon.
+//!
+//! Two fields are deliberately **not** portable, because they are arbitrary
+//! closures: the reward function and the steady-state predicate.
+//! [`EnvironmentContext::from_portable`] restores the defaults documented on
+//! [`EnvironmentContext::new`].  This is sound for deployment: the serving
+//! hot path (shield prediction and safety checks) never consults either
+//! closure — they only matter for *training* and *evaluation reporting*,
+//! which operate on live environments.
+
+use crate::{BoxRegion, Disturbance, EnvironmentContext, Integrator, PolyDynamics, SafetySpec};
+use vrl_poly::{Polynomial, PortablePolynomial};
+
+/// Plain-data form of an [`EnvironmentContext`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableEnvironment {
+    /// Environment name (e.g. `"pendulum"`).
+    pub name: String,
+    /// Human-readable state-variable names (one per state dimension).
+    pub variable_names: Vec<String>,
+    /// State dimension `n`.
+    pub state_dim: u32,
+    /// Action dimension `m`.
+    pub action_dim: u32,
+    /// Dynamics `ṡ = f(s, a)`: one polynomial per state dimension over
+    /// `n + m` variables (states first, then actions).
+    pub derivatives: Vec<PortablePolynomial>,
+    /// Discretization time step `Δt`.
+    pub dt: f64,
+    /// Simulation integrator tag (see [`Integrator::tag`]).
+    pub integrator: u8,
+    /// Initial region lower bounds.
+    pub init_lows: Vec<f64>,
+    /// Initial region upper bounds.
+    pub init_highs: Vec<f64>,
+    /// Safe box lower bounds.
+    pub safe_lows: Vec<f64>,
+    /// Safe box upper bounds.
+    pub safe_highs: Vec<f64>,
+    /// Obstacle boxes (unsafe regions inside the safe box), as
+    /// `(lows, highs)` pairs.
+    pub obstacles: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Disturbance lower bounds.
+    pub disturbance_lower: Vec<f64>,
+    /// Disturbance upper bounds.
+    pub disturbance_upper: Vec<f64>,
+    /// Per-dimension action lower bounds (may be `-inf`).
+    pub action_low: Vec<f64>,
+    /// Per-dimension action upper bounds (may be `+inf`).
+    pub action_high: Vec<f64>,
+    /// Episode horizon.
+    pub horizon: u64,
+}
+
+fn check_dim(what: &str, len: usize, expected: usize) -> Result<(), String> {
+    if len != expected {
+        return Err(format!("{what} has dimension {len}, expected {expected}"));
+    }
+    Ok(())
+}
+
+fn box_from_bounds(
+    what: &str,
+    lows: &[f64],
+    highs: &[f64],
+    dim: usize,
+) -> Result<BoxRegion, String> {
+    check_dim(&format!("{what} lower bounds"), lows.len(), dim)?;
+    check_dim(&format!("{what} upper bounds"), highs.len(), dim)?;
+    for (l, h) in lows.iter().zip(highs.iter()) {
+        if l > h || l.is_nan() || h.is_nan() {
+            return Err(format!("{what} has inverted bounds [{l}, {h}]"));
+        }
+    }
+    Ok(BoxRegion::new(lows.to_vec(), highs.to_vec()))
+}
+
+impl EnvironmentContext {
+    /// Extracts the plain-data form of this environment.
+    ///
+    /// The reward function and steady-state predicate are closures and are
+    /// **not** captured; see the module documentation.
+    pub fn to_portable(&self) -> PortableEnvironment {
+        PortableEnvironment {
+            name: self.name().to_string(),
+            variable_names: self
+                .variable_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            state_dim: self.state_dim() as u32,
+            action_dim: self.action_dim() as u32,
+            derivatives: self
+                .dynamics()
+                .derivatives()
+                .iter()
+                .map(Polynomial::to_portable)
+                .collect(),
+            dt: self.dt(),
+            integrator: self.integrator().tag(),
+            init_lows: self.init().lows().to_vec(),
+            init_highs: self.init().highs().to_vec(),
+            safe_lows: self.safety().safe_box().lows().to_vec(),
+            safe_highs: self.safety().safe_box().highs().to_vec(),
+            obstacles: self
+                .safety()
+                .obstacles()
+                .iter()
+                .map(|o| (o.lows().to_vec(), o.highs().to_vec()))
+                .collect(),
+            disturbance_lower: self.disturbance().lower().to_vec(),
+            disturbance_upper: self.disturbance().upper().to_vec(),
+            action_low: self.action_low().to_vec(),
+            action_high: self.action_high().to_vec(),
+            horizon: self.horizon() as u64,
+        }
+    }
+
+    /// Rebuilds an environment from its plain-data form, with the default
+    /// reward function and steady-state predicate of
+    /// [`EnvironmentContext::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any dimension, bound, or tag is inconsistent.
+    pub fn from_portable(portable: &PortableEnvironment) -> Result<EnvironmentContext, String> {
+        let n = portable.state_dim as usize;
+        let m = portable.action_dim as usize;
+        if n == 0 {
+            return Err("state dimension must be positive".to_string());
+        }
+        if portable.dt <= 0.0 || portable.dt.is_nan() {
+            return Err(format!("time step must be positive, got {}", portable.dt));
+        }
+        if portable.horizon == 0 {
+            return Err("horizon must be positive".to_string());
+        }
+        check_dim("derivative vector", portable.derivatives.len(), n)?;
+        let derivatives = portable
+            .derivatives
+            .iter()
+            .map(Polynomial::from_portable)
+            .collect::<Result<Vec<_>, _>>()?;
+        for d in &derivatives {
+            check_dim("dynamics polynomial variables", d.nvars(), n + m)?;
+        }
+        let dynamics = PolyDynamics::new(n, m, derivatives).map_err(|e| e.to_string())?;
+        let integrator = Integrator::from_tag(portable.integrator)
+            .ok_or_else(|| format!("unknown integrator tag {}", portable.integrator))?;
+        let init = box_from_bounds(
+            "initial region",
+            &portable.init_lows,
+            &portable.init_highs,
+            n,
+        )?;
+        let safe = box_from_bounds("safe box", &portable.safe_lows, &portable.safe_highs, n)?;
+        let mut safety = SafetySpec::inside(safe);
+        for (lows, highs) in &portable.obstacles {
+            safety = safety.with_obstacle(box_from_bounds("obstacle", lows, highs, n)?);
+        }
+        check_dim(
+            "disturbance lower bounds",
+            portable.disturbance_lower.len(),
+            n,
+        )?;
+        check_dim(
+            "disturbance upper bounds",
+            portable.disturbance_upper.len(),
+            n,
+        )?;
+        for (l, h) in portable
+            .disturbance_lower
+            .iter()
+            .zip(portable.disturbance_upper.iter())
+        {
+            if l > h || l.is_nan() || h.is_nan() {
+                return Err(format!("disturbance has inverted bounds [{l}, {h}]"));
+            }
+        }
+        check_dim("action lower bounds", portable.action_low.len(), m)?;
+        check_dim("action upper bounds", portable.action_high.len(), m)?;
+        check_dim("variable names", portable.variable_names.len(), n)?;
+        let names: Vec<&str> = portable.variable_names.iter().map(String::as_str).collect();
+        Ok(
+            EnvironmentContext::new(portable.name.clone(), dynamics, portable.dt, init, safety)
+                .with_integrator(integrator)
+                .with_disturbance(Disturbance::new(
+                    portable.disturbance_lower.clone(),
+                    portable.disturbance_upper.clone(),
+                ))
+                .with_action_bounds(portable.action_low.clone(), portable.action_high.clone())
+                .with_variable_names(&names)
+                .with_horizon(portable.horizon as usize),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_env() -> EnvironmentContext {
+        let dynamics = PolyDynamics::new(
+            2,
+            1,
+            vec![Polynomial::variable(1, 3), Polynomial::variable(2, 3)],
+        )
+        .unwrap();
+        EnvironmentContext::new(
+            "double-integrator",
+            dynamics,
+            0.02,
+            BoxRegion::symmetric(&[0.5, 0.5]),
+            SafetySpec::inside(BoxRegion::symmetric(&[2.0, 2.0]))
+                .with_obstacle(BoxRegion::new(vec![1.0, -0.5], vec![1.5, 0.5])),
+        )
+        .with_integrator(Integrator::RungeKutta4)
+        .with_disturbance(Disturbance::symmetric(&[0.0, 0.01]))
+        .with_action_bounds(vec![-3.0], vec![3.0])
+        .with_variable_names(&["pos", "vel"])
+        .with_horizon(1234)
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let env = sample_env();
+        let portable = env.to_portable();
+        let back = EnvironmentContext::from_portable(&portable).unwrap();
+        assert_eq!(back.name(), env.name());
+        assert_eq!(back.variable_names(), env.variable_names());
+        assert_eq!(back.state_dim(), env.state_dim());
+        assert_eq!(back.action_dim(), env.action_dim());
+        assert_eq!(back.dt(), env.dt());
+        assert_eq!(back.integrator(), env.integrator());
+        assert_eq!(back.init().lows(), env.init().lows());
+        assert_eq!(back.safety().obstacles().len(), 1);
+        assert_eq!(back.action_low(), env.action_low());
+        assert_eq!(back.horizon(), env.horizon());
+        // The transition function is preserved exactly.
+        let s = [0.3, -0.2];
+        let a = [1.7];
+        assert_eq!(
+            back.step_deterministic(&s, &a),
+            env.step_deterministic(&s, &a)
+        );
+        // Obstacle states are still unsafe.
+        assert!(back.is_unsafe(&[1.2, 0.0]));
+        assert!(!back.is_unsafe(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn unbounded_actions_round_trip() {
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        let env = EnvironmentContext::new(
+            "unbounded",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.1]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        );
+        let back = EnvironmentContext::from_portable(&env.to_portable()).unwrap();
+        assert_eq!(back.action_low(), &[f64::NEG_INFINITY]);
+        assert_eq!(back.action_high(), &[f64::INFINITY]);
+    }
+
+    #[test]
+    fn invalid_portable_environments_are_rejected() {
+        let env = sample_env();
+        let mut bad = env.to_portable();
+        bad.integrator = 99;
+        assert!(EnvironmentContext::from_portable(&bad).is_err());
+
+        let mut bad = env.to_portable();
+        bad.dt = 0.0;
+        assert!(EnvironmentContext::from_portable(&bad).is_err());
+
+        let mut bad = env.to_portable();
+        bad.init_lows = vec![0.0];
+        assert!(EnvironmentContext::from_portable(&bad).is_err());
+
+        let mut bad = env.to_portable();
+        bad.derivatives.pop();
+        assert!(EnvironmentContext::from_portable(&bad).is_err());
+
+        let mut bad = env.to_portable();
+        bad.safe_lows[0] = 5.0;
+        assert!(EnvironmentContext::from_portable(&bad).is_err());
+    }
+}

@@ -33,7 +33,11 @@ impl BoxRegion {
     /// Panics if the bound vectors have different lengths or any lower bound
     /// exceeds the corresponding upper bound.
     pub fn new(lows: Vec<f64>, highs: Vec<f64>) -> Self {
-        assert_eq!(lows.len(), highs.len(), "bound vectors must have equal length");
+        assert_eq!(
+            lows.len(),
+            highs.len(),
+            "bound vectors must have equal length"
+        );
         for (i, (lo, hi)) in lows.iter().zip(highs.iter()).enumerate() {
             assert!(
                 lo <= hi,

@@ -197,7 +197,10 @@ mod tests {
         let steps = t.steps_to_steady(|s| s.iter().all(|x| x.abs() <= 0.2));
         assert_eq!(steps, Some(2));
         // Never steady with an impossible threshold.
-        assert_eq!(t.steps_to_steady(|s| s.iter().all(|x| x.abs() < 1e-9)), None);
+        assert_eq!(
+            t.steps_to_steady(|s| s.iter().all(|x| x.abs() < 1e-9)),
+            None
+        );
         // A trajectory that leaves the steady region resets the counter.
         let mut osc = Trajectory::starting_at(vec![0.0]);
         osc.push(vec![0.0], 0.0, vec![1.0]);

@@ -263,14 +263,12 @@ impl Cholesky {
 
     /// Log-determinant, numerically safer than `determinant().ln()` for large matrices.
     pub fn log_determinant(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| 2.0 * self.lower[(i, i)].ln())
-            .sum()
+        (0..self.dim()).map(|i| 2.0 * self.lower[(i, i)].ln()).sum()
     }
 }
 
 /// Returns true when a symmetric matrix is positive definite (via Cholesky).
-pub(crate) fn is_positive_definite(a: &Matrix) -> bool {
+pub fn is_positive_definite(a: &Matrix) -> bool {
     Cholesky::new(a).is_ok()
 }
 
@@ -282,7 +280,11 @@ mod tests {
     #[test]
     fn lu_solves_with_pivoting() {
         // Leading zero forces a pivot swap.
-        let a = Matrix::from_rows(&[vec![0.0, 1.0, 2.0], vec![1.0, 2.0, 0.0], vec![2.0, 0.0, 1.0]]);
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 2.0, 0.0],
+            vec![2.0, 0.0, 1.0],
+        ]);
         let x_true = Vector::from_slice(&[1.0, -2.0, 3.0]);
         let b = a.matvec(&x_true);
         let lu = Lu::new(&a).unwrap();
@@ -318,7 +320,11 @@ mod tests {
 
     #[test]
     fn cholesky_factorizes_spd() {
-        let a = Matrix::from_rows(&[vec![4.0, 2.0, 0.0], vec![2.0, 5.0, 1.0], vec![0.0, 1.0, 3.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.0],
+            vec![2.0, 5.0, 1.0],
+            vec![0.0, 1.0, 3.0],
+        ]);
         let c = Cholesky::new(&a).unwrap();
         let l = c.lower();
         let recon = l.matmul(&l.transpose()).unwrap();

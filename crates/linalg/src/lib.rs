@@ -27,7 +27,7 @@ mod error;
 mod matrix;
 mod vector;
 
-pub use decomp::{Cholesky, Lu};
+pub use decomp::{is_positive_definite, Cholesky, Lu};
 pub use eigen::{spectral_radius, SymmetricEigen};
 pub use error::LinalgError;
 pub use matrix::Matrix;

@@ -144,11 +144,7 @@ impl Matrix {
     pub fn matvec(&self, v: &Vector) -> Vector {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         Vector::from_fn(self.rows, |i| {
-            self.row(i)
-                .iter()
-                .zip(v.iter())
-                .map(|(a, b)| a * b)
-                .sum()
+            self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum()
         })
     }
 
@@ -159,7 +155,9 @@ impl Matrix {
     /// Panics if `v.len() != self.rows()`.
     pub fn vecmat(&self, v: &Vector) -> Vector {
         assert_eq!(v.len(), self.rows, "vecmat dimension mismatch");
-        Vector::from_fn(self.cols, |j| (0..self.rows).map(|i| v[i] * self[(i, j)]).sum())
+        Vector::from_fn(self.cols, |j| {
+            (0..self.rows).map(|i| v[i] * self[(i, j)]).sum()
+        })
     }
 
     /// Matrix product `A B`.
@@ -415,7 +413,10 @@ mod tests {
         assert_eq!(m.column(1).as_slice(), &[2.0, 4.0]);
         assert!(m.is_square());
         assert_eq!(Matrix::identity(3).trace(), 3.0);
-        assert_eq!(Matrix::from_diagonal(&[2.0, 5.0]).determinant().unwrap(), 10.0);
+        assert_eq!(
+            Matrix::from_diagonal(&[2.0, 5.0]).determinant().unwrap(),
+            10.0
+        );
         let f = Matrix::from_row_major(2, 3, vec![0.0; 6]);
         assert_eq!(f.shape(), (2, 3));
         assert!(!f.is_square());
@@ -452,7 +453,11 @@ mod tests {
 
     #[test]
     fn solve_and_inverse() {
-        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
         let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
         let x = a.solve(&b).unwrap();
         assert!(a.matvec(&x).distance(&b) < 1e-10);
@@ -460,7 +465,10 @@ mod tests {
         let prod = a.matmul(&inv).unwrap();
         assert!((&prod - &Matrix::identity(3)).frobenius_norm() < 1e-10);
         let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(singular.solve(&Vector::zeros(2)), Err(LinalgError::Singular)));
+        assert!(matches!(
+            singular.solve(&Vector::zeros(2)),
+            Err(LinalgError::Singular)
+        ));
         assert_eq!(singular.determinant().unwrap(), 0.0);
     }
 

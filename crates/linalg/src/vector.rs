@@ -372,7 +372,10 @@ mod tests {
     fn constructors_produce_expected_contents() {
         assert_eq!(Vector::zeros(3).as_slice(), &[0.0; 3]);
         assert_eq!(Vector::filled(2, 1.5).as_slice(), &[1.5, 1.5]);
-        assert_eq!(Vector::from_fn(3, |i| i as f64).as_slice(), &[0.0, 1.0, 2.0]);
+        assert_eq!(
+            Vector::from_fn(3, |i| i as f64).as_slice(),
+            &[0.0, 1.0, 2.0]
+        );
         assert!(Vector::zeros(0).is_empty());
         assert_eq!(Vector::default().len(), 0);
     }

@@ -49,6 +49,28 @@ impl Activation {
             Activation::Identity => "identity",
         }
     }
+
+    /// Stable one-byte tag used by the artifact serialization format.
+    ///
+    /// Tags are part of the on-disk format: never renumber existing
+    /// variants, only append.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Activation::Tanh => 0,
+            Activation::Relu => 1,
+            Activation::Identity => 2,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Activation> {
+        match tag {
+            0 => Some(Activation::Tanh),
+            1 => Some(Activation::Relu),
+            2 => Some(Activation::Identity),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

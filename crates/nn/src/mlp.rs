@@ -46,6 +46,30 @@ impl DenseLayer {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Creates a zero-initialized layer (all weights and biases zero), the
+    /// starting point when a network is reconstructed from stored
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(input_dim: usize, output_dim: usize, activation: Activation) -> Self {
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "layer dimensions must be positive"
+        );
+        DenseLayer {
+            weights: Matrix::zeros(output_dim, input_dim),
+            bias: Vector::zeros(output_dim),
+            activation,
+        }
+    }
+
     fn pre_activation(&self, input: &Vector) -> Vector {
         &self.weights.matvec(input) + &self.bias
     }
@@ -96,6 +120,19 @@ pub struct Mlp {
     layers: Vec<DenseLayer>,
 }
 
+/// Plain-data form of an [`Mlp`] used by artifact persistence: the layer
+/// size chain `[input, hidden…, output]`, one [`Activation::tag`] per layer,
+/// and the flat parameter vector in [`Mlp::parameters`] order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableMlp {
+    /// Layer sizes, input first, output last (length = layers + 1).
+    pub layer_sizes: Vec<u32>,
+    /// One activation tag per layer (see [`Activation::tag`]).
+    pub activations: Vec<u8>,
+    /// Flat parameters (weights row-major then bias, per layer in order).
+    pub parameters: Vec<f64>,
+}
+
 impl Mlp {
     /// Creates a network with the given layer sizes (input, hidden…, output),
     /// using `hidden` activation on hidden layers and `output` activation on
@@ -110,7 +147,10 @@ impl Mlp {
         output: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         assert!(sizes.iter().all(|s| *s > 0), "layer sizes must be positive");
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
@@ -180,16 +220,28 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if `output_grad.len() != self.output_dim()`.
-    pub fn backward(&self, cache: &ForwardCache, output_grad: &[f64]) -> (Vec<LayerGradient>, Vec<f64>) {
-        assert_eq!(output_grad.len(), self.output_dim(), "output gradient dimension mismatch");
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        output_grad: &[f64],
+    ) -> (Vec<LayerGradient>, Vec<f64>) {
+        assert_eq!(
+            output_grad.len(),
+            self.output_dim(),
+            "output gradient dimension mismatch"
+        );
         let mut gradients: Vec<LayerGradient> = Vec::with_capacity(self.layers.len());
         let mut upstream = Vector::from_slice(output_grad);
         for (index, layer) in self.layers.iter().enumerate().rev() {
             let pre = &cache.pre_activations[index];
             let input = &cache.inputs[index];
             // δ = upstream ⊙ act'(pre)
-            let delta = Vector::from_fn(upstream.len(), |i| upstream[i] * layer.activation.derivative(pre[i]));
-            let weight_grad = Matrix::from_fn(layer.output_dim(), layer.input_dim(), |i, j| delta[i] * input[j]);
+            let delta = Vector::from_fn(upstream.len(), |i| {
+                upstream[i] * layer.activation.derivative(pre[i])
+            });
+            let weight_grad = Matrix::from_fn(layer.output_dim(), layer.input_dim(), |i, j| {
+                delta[i] * input[j]
+            });
             let bias_grad = delta.clone();
             upstream = layer.weights.vecmat(&delta);
             gradients.push(LayerGradient {
@@ -207,7 +259,11 @@ impl Mlp {
     ///
     /// Panics if the gradient count or shapes do not match the network.
     pub fn apply_gradients(&mut self, gradients: &[LayerGradient], learning_rate: f64) {
-        assert_eq!(gradients.len(), self.layers.len(), "one gradient per layer is required");
+        assert_eq!(
+            gradients.len(),
+            self.layers.len(),
+            "one gradient per layer is required"
+        );
         for (layer, grad) in self.layers.iter_mut().zip(gradients.iter()) {
             layer.weights.axpy(-learning_rate, &grad.weights);
             layer.bias.axpy(-learning_rate, &grad.bias);
@@ -231,7 +287,11 @@ impl Mlp {
     ///
     /// Panics if `params.len() != self.num_parameters()`.
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter vector has the wrong length");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter vector has the wrong length"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             let w_len = layer.weights.rows() * layer.weights.cols();
@@ -257,6 +317,82 @@ impl Mlp {
             out.extend_from_slice(grad.bias.as_slice());
         }
         out
+    }
+
+    /// Creates a network from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive layer dimensions disagree.
+    pub fn from_layers(layers: Vec<DenseLayer>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "consecutive layer dimensions must agree"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// Extracts the plain-data form of the network: layer sizes, per-layer
+    /// activation tags, and the flat parameter vector of
+    /// [`Mlp::parameters`].
+    pub fn to_portable(&self) -> PortableMlp {
+        let mut layer_sizes = Vec::with_capacity(self.layers.len() + 1);
+        layer_sizes.push(self.input_dim() as u32);
+        for layer in &self.layers {
+            layer_sizes.push(layer.output_dim() as u32);
+        }
+        PortableMlp {
+            layer_sizes,
+            activations: self.layers.iter().map(|l| l.activation().tag()).collect(),
+            parameters: self.parameters(),
+        }
+    }
+
+    /// Rebuilds a network from its plain-data form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the sizes, activation tags, and parameter
+    /// count are mutually inconsistent.
+    pub fn from_portable(portable: &PortableMlp) -> Result<Mlp, String> {
+        if portable.layer_sizes.len() < 2 {
+            return Err("an MLP needs at least input and output sizes".to_string());
+        }
+        if portable.layer_sizes.contains(&0) {
+            return Err("layer sizes must be positive".to_string());
+        }
+        if portable.activations.len() + 1 != portable.layer_sizes.len() {
+            return Err(format!(
+                "{} layer sizes require {} activations, got {}",
+                portable.layer_sizes.len(),
+                portable.layer_sizes.len() - 1,
+                portable.activations.len()
+            ));
+        }
+        let mut layers = Vec::with_capacity(portable.activations.len());
+        for (i, &tag) in portable.activations.iter().enumerate() {
+            let activation =
+                Activation::from_tag(tag).ok_or_else(|| format!("unknown activation tag {tag}"))?;
+            layers.push(DenseLayer::zeros(
+                portable.layer_sizes[i] as usize,
+                portable.layer_sizes[i + 1] as usize,
+                activation,
+            ));
+        }
+        let mut mlp = Mlp::from_layers(layers);
+        if portable.parameters.len() != mlp.num_parameters() {
+            return Err(format!(
+                "architecture has {} parameters but {} were stored",
+                mlp.num_parameters(),
+                portable.parameters.len()
+            ));
+        }
+        mlp.set_parameters(&portable.parameters);
+        Ok(mlp)
     }
 
     /// Moves this network's parameters towards `target`'s by the soft-update
@@ -291,7 +427,12 @@ mod tests {
 
     fn small_net(seed: u64) -> Mlp {
         let mut rng = SmallRng::seed_from_u64(seed);
-        Mlp::new(&[2, 8, 8, 1], Activation::Tanh, Activation::Identity, &mut rng)
+        Mlp::new(
+            &[2, 8, 8, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -348,7 +489,8 @@ mod tests {
             plus[dim] += h;
             let mut minus = input;
             minus[dim] -= h;
-            let numeric = (loss_at(&net, &plus, target) - loss_at(&net, &minus, target)) / (2.0 * h);
+            let numeric =
+                (loss_at(&net, &plus, target) - loss_at(&net, &minus, target)) / (2.0 * h);
             assert!((numeric - input_grad[dim]).abs() < 1e-4 * (1.0 + numeric.abs()));
         }
     }
@@ -389,7 +531,10 @@ mod tests {
             }
         }
         let after = loss_of(&net);
-        assert!(after < before * 0.1, "loss should drop markedly: {before} -> {after}");
+        assert!(
+            after < before * 0.1,
+            "loss should drop markedly: {before} -> {after}"
+        );
     }
 
     #[test]

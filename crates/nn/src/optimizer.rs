@@ -64,14 +64,23 @@ impl Adam {
     /// Panics if the parameter or gradient length differs from the optimizer
     /// dimension.
     pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), self.first_moment.len(), "parameter length mismatch");
-        assert_eq!(grads.len(), self.first_moment.len(), "gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            self.first_moment.len(),
+            "parameter length mismatch"
+        );
+        assert_eq!(
+            grads.len(),
+            self.first_moment.len(),
+            "gradient length mismatch"
+        );
         self.step_count += 1;
         let t = self.step_count as f64;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
         for i in 0..params.len() {
-            self.first_moment[i] = self.beta1 * self.first_moment[i] + (1.0 - self.beta1) * grads[i];
+            self.first_moment[i] =
+                self.beta1 * self.first_moment[i] + (1.0 - self.beta1) * grads[i];
             self.second_moment[i] =
                 self.beta2 * self.second_moment[i] + (1.0 - self.beta2) * grads[i] * grads[i];
             let m_hat = self.first_moment[i] / bias1;
@@ -97,7 +106,10 @@ impl Sgd {
     /// Panics if `learning_rate <= 0` or `momentum` is outside `[0, 1)`.
     pub fn new(dim: usize, learning_rate: f64, momentum: f64) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "momentum must lie in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must lie in [0, 1)"
+        );
         Sgd {
             learning_rate,
             momentum,
@@ -112,7 +124,11 @@ impl Sgd {
     /// Panics if the parameter or gradient length differs from the optimizer
     /// dimension.
     pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), self.velocity.len(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.velocity.len(),
+            "parameter length mismatch"
+        );
         assert_eq!(grads.len(), self.velocity.len(), "gradient length mismatch");
         for i in 0..params.len() {
             self.velocity[i] = self.momentum * self.velocity[i] - self.learning_rate * grads[i];

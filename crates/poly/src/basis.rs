@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn one_variable_basis() {
-        assert_eq!(monomial_basis(1, 3), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(
+            monomial_basis(1, 3),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
     }
 
     #[test]

@@ -35,8 +35,14 @@ impl Interval {
     ///
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
-        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
         Interval { lo, hi }
     }
 
@@ -118,7 +124,7 @@ impl Interval {
             _ => {
                 let a = self.lo.powi(n as i32);
                 let b = self.hi.powi(n as i32);
-                if n % 2 == 0 && self.contains(0.0) {
+                if n.is_multiple_of(2) && self.contains(0.0) {
                     Interval::new(0.0, a.max(b))
                 } else {
                     Interval::new(a.min(b), a.max(b))

@@ -34,10 +34,12 @@
 mod basis;
 mod interval;
 mod polynomial;
+mod portable;
 
 pub use basis::{basis_size, monomial_basis};
 pub use interval::Interval;
 pub use polynomial::Polynomial;
+pub use portable::PortablePolynomial;
 
 #[cfg(test)]
 mod tests {

@@ -55,7 +55,10 @@ impl Polynomial {
     ///
     /// Panics if `index >= nvars`.
     pub fn variable(index: usize, nvars: usize) -> Self {
-        assert!(index < nvars, "variable index {index} out of range for {nvars} variables");
+        assert!(
+            index < nvars,
+            "variable index {index} out of range for {nvars} variables"
+        );
         let mut exps = vec![0; nvars];
         exps[index] = 1;
         let mut p = Polynomial::zero(nvars);
@@ -109,10 +112,7 @@ impl Polynomial {
             coeffs.len(),
             "basis and coefficient vectors must have the same length"
         );
-        Polynomial::from_terms(
-            nvars,
-            basis.iter().cloned().zip(coeffs.iter().cloned()),
-        )
+        Polynomial::from_terms(nvars, basis.iter().cloned().zip(coeffs.iter().cloned()))
     }
 
     /// Number of variables.
@@ -182,7 +182,11 @@ impl Polynomial {
     ///
     /// Panics if `point.len() != self.nvars()`.
     pub fn eval(&self, point: &[f64]) -> f64 {
-        assert_eq!(point.len(), self.nvars, "evaluation point has wrong dimension");
+        assert_eq!(
+            point.len(),
+            self.nvars,
+            "evaluation point has wrong dimension"
+        );
         let mut total = 0.0;
         for (exps, coeff) in &self.terms {
             let mut term = *coeff;
@@ -203,7 +207,11 @@ impl Polynomial {
     ///
     /// Panics if `domain.len() != self.nvars()`.
     pub fn eval_interval(&self, domain: &[Interval]) -> Interval {
-        assert_eq!(domain.len(), self.nvars, "interval domain has wrong dimension");
+        assert_eq!(
+            domain.len(),
+            self.nvars,
+            "interval domain has wrong dimension"
+        );
         let mut total = Interval::zero();
         for (exps, coeff) in &self.terms {
             let mut term = Interval::point(*coeff);
@@ -248,7 +256,9 @@ impl Polynomial {
 
     /// Gradient: the vector of partial derivatives.
     pub fn gradient(&self) -> Vec<Polynomial> {
-        (0..self.nvars).map(|i| self.partial_derivative(i)).collect()
+        (0..self.nvars)
+            .map(|i| self.partial_derivative(i))
+            .collect()
     }
 
     /// Substitutes each variable `x_i` by `assignments[i]`, producing a
@@ -565,13 +575,17 @@ mod tests {
         let coeffs = vec![1.0, 0.0, 0.0, 2.0, 0.0, 1e-16];
         let p = Polynomial::from_basis(2, &basis, &coeffs);
         assert_eq!(p.num_terms(), 2);
-        let pruned = Polynomial::from_terms(2, vec![(vec![0, 0], 1.0), (vec![2, 0], 1e-6)]).pruned(1e-3);
+        let pruned =
+            Polynomial::from_terms(2, vec![(vec![0, 0], 1.0), (vec![2, 0], 1e-6)]).pruned(1e-3);
         assert_eq!(pruned.num_terms(), 1);
     }
 
     #[test]
     fn display_is_readable() {
-        let p = Polynomial::from_terms(2, vec![(vec![2, 0], -12.05), (vec![0, 1], 1.0), (vec![0, 0], -5.0)]);
+        let p = Polynomial::from_terms(
+            2,
+            vec![(vec![2, 0], -12.05), (vec![0, 1], 1.0), (vec![0, 0], -5.0)],
+        );
         let s = p.to_string_with_names(&["eta", "omega"]);
         assert!(s.contains("eta^2"));
         assert!(s.contains("omega"));

@@ -1,0 +1,86 @@
+//! Portable (plain-data) polynomial representation for artifact persistence.
+//!
+//! A [`PortablePolynomial`] is the structural content of a [`Polynomial`] as
+//! ordinary owned data — no maps, no invariants — so higher layers (the
+//! `vrl-runtime` artifact codec) can serialize it without knowing anything
+//! about the internal term storage.  `to_portable`/`from_portable` round-trip
+//! exactly: coefficients are carried as `f64` bit patterns end to end.
+
+use crate::Polynomial;
+
+/// Plain-data form of a [`Polynomial`]: the variable count and the sparse
+/// `(exponents, coefficient)` terms in canonical (sorted) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortablePolynomial {
+    /// Number of variables the polynomial ranges over.
+    pub nvars: u32,
+    /// Sparse terms; every exponent vector has length `nvars`.
+    pub terms: Vec<(Vec<u32>, f64)>,
+}
+
+impl Polynomial {
+    /// Extracts the plain-data form of this polynomial.
+    pub fn to_portable(&self) -> PortablePolynomial {
+        PortablePolynomial {
+            nvars: self.nvars() as u32,
+            terms: self.terms().map(|(e, c)| (e.clone(), c)).collect(),
+        }
+    }
+
+    /// Rebuilds a polynomial from its plain-data form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an exponent vector's length disagrees with
+    /// `nvars` (the only structural invariant a portable polynomial can
+    /// violate).
+    pub fn from_portable(portable: &PortablePolynomial) -> Result<Polynomial, String> {
+        let nvars = portable.nvars as usize;
+        for (exps, _) in &portable.terms {
+            if exps.len() != nvars {
+                return Err(format!(
+                    "polynomial term has {} exponents but the polynomial has {} variables",
+                    exps.len(),
+                    nvars
+                ));
+            }
+        }
+        Ok(Polynomial::from_terms(
+            nvars,
+            portable.terms.iter().map(|(e, c)| (e.clone(), *c)),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_terms_exactly() {
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let p = &(&(&x * &x) + &(&x * &y).scaled(-3.25)) + &Polynomial::constant(0.5, 2);
+        let portable = p.to_portable();
+        let q = Polynomial::from_portable(&portable).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(portable.nvars, 2);
+        assert_eq!(portable.terms.len(), 3);
+    }
+
+    #[test]
+    fn zero_polynomial_round_trips() {
+        let z = Polynomial::zero(3);
+        let q = Polynomial::from_portable(&z.to_portable()).unwrap();
+        assert_eq!(z, q);
+    }
+
+    #[test]
+    fn wrong_exponent_length_is_rejected() {
+        let bad = PortablePolynomial {
+            nvars: 2,
+            terms: vec![(vec![1], 1.0)],
+        };
+        assert!(Polynomial::from_portable(&bad).is_err());
+    }
+}

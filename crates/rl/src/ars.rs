@@ -104,7 +104,10 @@ where
     P: ParametricPolicy,
     R: Rng + ?Sized,
 {
-    assert!(config.directions > 0, "at least one perturbation direction is required");
+    assert!(
+        config.directions > 0,
+        "at least one perturbation direction is required"
+    );
     assert!(
         config.top_directions > 0 && config.top_directions <= config.directions,
         "top_directions must lie in [1, directions]"
@@ -153,10 +156,7 @@ where
             kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
         });
         evaluations.truncate(config.top_directions);
-        let used_rewards: Vec<f64> = evaluations
-            .iter()
-            .flat_map(|(p, m, _)| [*p, *m])
-            .collect();
+        let used_rewards: Vec<f64> = evaluations.iter().flat_map(|(p, m, _)| [*p, *m]).collect();
         let reward_std = standard_deviation(&used_rewards).max(1e-6);
         let scale = config.step_size / (config.top_directions as f64 * reward_std);
         for (reward_plus, reward_minus, delta) in &evaluations {
@@ -191,7 +191,8 @@ fn standard_deviation(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let variance =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     variance.sqrt()
 }
 

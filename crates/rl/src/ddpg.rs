@@ -105,14 +105,14 @@ impl DdpgAgent {
             .iter()
             .map(|x| x.abs())
             .fold(0.0f64, f64::max)
-            .min(1e6)
-            .max(1.0);
+            .clamp(1.0, 1e6);
         let actor = NeuralPolicy::new(n, m, &config.hidden, action_scale, rng);
         let mut critic_sizes = vec![n + m];
         critic_sizes.extend_from_slice(&config.hidden);
         critic_sizes.push(1);
         let critic = Mlp::new(&critic_sizes, Activation::Relu, Activation::Identity, rng);
-        let actor_optimizer = Adam::new(actor.network().num_parameters(), config.actor_learning_rate);
+        let actor_optimizer =
+            Adam::new(actor.network().num_parameters(), config.actor_learning_rate);
         let critic_optimizer = Adam::new(critic.num_parameters(), config.critic_learning_rate);
         DdpgAgent {
             target_actor: actor.clone(),
@@ -173,7 +173,8 @@ impl DdpgAgent {
             }
         }
         let mut critic_params = self.critic.parameters();
-        self.critic_optimizer.step(&mut critic_params, &critic_grad_flat);
+        self.critic_optimizer
+            .step(&mut critic_params, &critic_grad_flat);
         self.critic.set_parameters(&critic_params);
         // --- Actor update: ascend ∇_θ Q(s, μ_θ(s)). ---
         let mut actor_grad_flat = vec![0.0; self.actor.network().num_parameters()];
@@ -199,10 +200,12 @@ impl DdpgAgent {
             }
         }
         let mut actor_params = self.actor.network().parameters();
-        self.actor_optimizer.step(&mut actor_params, &actor_grad_flat);
+        self.actor_optimizer
+            .step(&mut actor_params, &actor_grad_flat);
         self.actor.network_mut().set_parameters(&actor_params);
         // --- Soft target updates. ---
-        self.target_critic.soft_update_from(&self.critic, self.config.tau);
+        self.target_critic
+            .soft_update_from(&self.critic, self.config.tau);
         let tau = self.config.tau;
         let actor_snapshot = self.actor.network().clone();
         self.target_actor

@@ -47,5 +47,5 @@ mod replay;
 pub use ars::{train_ars, ArsConfig, ArsIteration, ArsReport};
 pub use ddpg::{train_ddpg, DdpgAgent, DdpgConfig, DdpgReport};
 pub use evaluate::{evaluate_policy, EvalStats};
-pub use policy::{LinearParametricPolicy, NeuralPolicy, ParametricPolicy};
+pub use policy::{LinearParametricPolicy, NeuralPolicy, ParametricPolicy, PortableNeuralPolicy};
 pub use replay::{ReplayBuffer, Transition};

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use vrl_dynamics::Policy;
-use vrl_nn::{Activation, Mlp};
+use vrl_nn::{Activation, Mlp, PortableMlp};
 
 /// A policy whose behaviour is determined by a flat parameter vector.
 ///
@@ -65,7 +65,10 @@ impl NeuralPolicy {
         action_scale: f64,
         rng: &mut R,
     ) -> Self {
-        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(
+            state_dim > 0 && action_dim > 0,
+            "dimensions must be positive"
+        );
         assert!(action_scale > 0.0, "action scale must be positive");
         let mut sizes = Vec::with_capacity(hidden.len() + 2);
         sizes.push(state_dim);
@@ -109,6 +112,43 @@ impl NeuralPolicy {
     pub fn state_dim(&self) -> usize {
         self.network.input_dim()
     }
+
+    /// Extracts the plain-data form of this policy (network weights plus the
+    /// action scale) for artifact persistence.
+    pub fn to_portable(&self) -> PortableNeuralPolicy {
+        PortableNeuralPolicy {
+            network: self.network.to_portable(),
+            action_scale: self.action_scale,
+        }
+    }
+
+    /// Rebuilds a policy from its plain-data form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the stored network is inconsistent or the
+    /// action scale is not positive.
+    pub fn from_portable(portable: &PortableNeuralPolicy) -> Result<NeuralPolicy, String> {
+        if portable.action_scale <= 0.0 || portable.action_scale.is_nan() {
+            return Err(format!(
+                "action scale must be positive, got {}",
+                portable.action_scale
+            ));
+        }
+        Ok(NeuralPolicy {
+            network: Mlp::from_portable(&portable.network)?,
+            action_scale: portable.action_scale,
+        })
+    }
+}
+
+/// Plain-data form of a [`NeuralPolicy`] used by artifact persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableNeuralPolicy {
+    /// The underlying network in portable form.
+    pub network: PortableMlp,
+    /// The action magnitude bound.
+    pub action_scale: f64,
 }
 
 impl Policy for NeuralPolicy {
@@ -157,7 +197,10 @@ impl LinearParametricPolicy {
     ///
     /// Panics if any dimension is zero or `action_scale` is not positive.
     pub fn new(state_dim: usize, action_dim: usize, action_scale: f64) -> Self {
-        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(
+            state_dim > 0 && action_dim > 0,
+            "dimensions must be positive"
+        );
         assert!(action_scale > 0.0, "action scale must be positive");
         LinearParametricPolicy {
             state_dim,
@@ -207,7 +250,11 @@ impl ParametricPolicy for LinearParametricPolicy {
     }
 
     fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.params.len(), "parameter vector has the wrong length");
+        assert_eq!(
+            params.len(),
+            self.params.len(),
+            "parameter vector has the wrong length"
+        );
         self.params.copy_from_slice(params);
     }
 

@@ -1,0 +1,660 @@
+//! Persistent shield artifacts: a versioned, self-describing container that
+//! round-trips a verified [`Shield`] together with its [`NeuralPolicy`]
+//! oracle.
+//!
+//! # Wire format (version 1)
+//!
+//! ```text
+//! magic   4 bytes   b"VRLA"
+//! version u32       FORMAT_VERSION
+//! length  u64       payload length in bytes
+//! payload length    encoded portable shield + oracle + label
+//! check   u64       FNV-1a of the payload
+//! ```
+//!
+//! The version gate is strict: an artifact written by a newer format is
+//! rejected with [`ArtifactError::UnsupportedVersion`] instead of being
+//! misparsed, and any payload corruption fails the checksum before the
+//! decoder runs.  Decoding then re-validates every structural invariant via
+//! the `from_portable` constructors, so a loaded artifact is exactly as
+//! trustworthy as one just produced by the synthesis pipeline.
+
+use crate::codec::{fnv1a64, DecodeError, Reader, Writer};
+use std::fmt;
+use std::path::Path;
+use vrl::dynamics::PortableEnvironment;
+use vrl::poly::PortablePolynomial;
+use vrl::rl::{NeuralPolicy, PortableNeuralPolicy};
+use vrl::shield::{PortableShield, PortableShieldPiece, Shield};
+use vrl::synth::{PortableGuardedPolicy, PortableProgram};
+use vrl::verify::PortableCertificate;
+
+/// Current artifact format version.  Bump on any wire-format change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Leading magic bytes of every artifact.
+pub const MAGIC: [u8; 4] = *b"VRLA";
+
+/// Why loading or constructing an artifact failed.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Reading or writing the backing file failed.
+    Io(std::io::Error),
+    /// The input does not start with the artifact magic bytes.
+    BadMagic,
+    /// The artifact was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The header declares more payload than the input contains.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The payload checksum did not match (corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the artifact.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The payload bytes could not be decoded.
+    Decode(DecodeError),
+    /// The decoded data violates a structural invariant (e.g. mismatched
+    /// dimensions between shield and oracle).
+    Invalid(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            ArtifactError::BadMagic => write!(f, "not a shield artifact (bad magic bytes)"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads version {supported})"
+            ),
+            ArtifactError::Truncated { expected, actual } => {
+                write!(f, "artifact truncated: header promises {expected} payload bytes, {actual} present")
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact payload corrupted: stored checksum {stored:#018x}, computed {computed:#018x}"
+            ),
+            ArtifactError::Decode(e) => write!(f, "artifact payload malformed: {e}"),
+            ArtifactError::Invalid(msg) => write!(f, "artifact contents invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ArtifactError {
+    fn from(e: DecodeError) -> Self {
+        ArtifactError::Decode(e)
+    }
+}
+
+/// Summary of an artifact's contents, cheap to derive and display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactMetadata {
+    /// Name of the environment the shield was synthesized for.
+    pub environment: String,
+    /// State dimension of the deployment.
+    pub state_dim: usize,
+    /// Action dimension of the deployment.
+    pub action_dim: usize,
+    /// Number of verified `(program, invariant)` pieces.
+    pub pieces: usize,
+    /// Number of oracle network parameters.
+    pub oracle_parameters: usize,
+    /// Free-form operator label (empty by default).
+    pub label: String,
+}
+
+impl fmt::Display for ArtifactMetadata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}→{} dims, {} pieces, {} oracle params)",
+            self.environment, self.state_dim, self.action_dim, self.pieces, self.oracle_parameters
+        )?;
+        if !self.label.is_empty() {
+            write!(f, " [{}]", self.label)?;
+        }
+        Ok(())
+    }
+}
+
+/// A deployable bundle: a verified shield, the neural oracle it monitors,
+/// and an operator label — everything `vrl-runtime` needs to serve
+/// decisions, persistable to bytes or a file.
+#[derive(Debug, Clone)]
+pub struct ShieldArtifact {
+    shield: Shield,
+    oracle: NeuralPolicy,
+    label: String,
+}
+
+impl ShieldArtifact {
+    /// Bundles a shield with the oracle it monitors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Invalid`] when the oracle's input/output
+    /// dimensions disagree with the shield's environment.
+    pub fn new(shield: Shield, oracle: NeuralPolicy) -> Result<Self, ArtifactError> {
+        use vrl::dynamics::Policy;
+        if oracle.state_dim() != shield.env().state_dim() {
+            return Err(ArtifactError::Invalid(format!(
+                "oracle consumes {}-dimensional states but the environment has {}",
+                oracle.state_dim(),
+                shield.env().state_dim()
+            )));
+        }
+        if oracle.action_dim() != shield.env().action_dim() {
+            return Err(ArtifactError::Invalid(format!(
+                "oracle produces {}-dimensional actions but the environment expects {}",
+                oracle.action_dim(),
+                shield.env().action_dim()
+            )));
+        }
+        Ok(ShieldArtifact {
+            shield,
+            oracle,
+            label: String::new(),
+        })
+    }
+
+    /// Attaches a free-form operator label (persisted with the artifact).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The verified shield.
+    pub fn shield(&self) -> &Shield {
+        &self.shield
+    }
+
+    /// The neural oracle the shield monitors.
+    pub fn oracle(&self) -> &NeuralPolicy {
+        &self.oracle
+    }
+
+    /// The operator label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Derives the display metadata of this artifact.
+    pub fn metadata(&self) -> ArtifactMetadata {
+        use vrl::rl::ParametricPolicy;
+        ArtifactMetadata {
+            environment: self.shield.env().name().to_string(),
+            state_dim: self.shield.env().state_dim(),
+            action_dim: self.shield.env().action_dim(),
+            pieces: self.shield.num_pieces(),
+            oracle_parameters: self.oracle.num_parameters(),
+            label: self.label.clone(),
+        }
+    }
+
+    /// Serializes the artifact to the versioned wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        encode_shield(&mut payload, &self.shield.to_portable());
+        encode_neural_policy(&mut payload, &self.oracle.to_portable());
+        payload.put_str(&self.label);
+        let payload = payload.into_bytes();
+        let mut out = Writer::new();
+        out.put_u8(MAGIC[0]);
+        out.put_u8(MAGIC[1]);
+        out.put_u8(MAGIC[2]);
+        out.put_u8(MAGIC[3]);
+        out.put_u32(FORMAT_VERSION);
+        out.put_u64(payload.len() as u64);
+        let checksum = fnv1a64(&payload);
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes an artifact, verifying magic, version, length, checksum,
+    /// and every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArtifactError`]; corrupted or incompatible inputs never produce
+    /// a partially constructed artifact.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut header = Reader::new(bytes);
+        let magic = [
+            header.get_u8()?,
+            header.get_u8()?,
+            header.get_u8()?,
+            header.get_u8()?,
+        ];
+        if magic != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = header.get_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let declared_len = header.get_u64()?;
+        let body_start = header.position();
+        // Checked arithmetic: the length field is read *before* the checksum
+        // protects it, so a corrupted value must produce an error, never an
+        // overflow panic or a wrapped slice bound.
+        let available = (bytes.len() - body_start).saturating_sub(8) as u64;
+        if declared_len > available {
+            return Err(ArtifactError::Truncated {
+                expected: u64::min(declared_len, usize::MAX as u64) as usize,
+                actual: available as usize,
+            });
+        }
+        let payload_len = declared_len as usize;
+        let expected_total = body_start + payload_len + 8;
+        if bytes.len() > expected_total {
+            return Err(ArtifactError::Decode(DecodeError::TrailingBytes {
+                remaining: bytes.len() - expected_total,
+            }));
+        }
+        let payload = &bytes[body_start..body_start + payload_len];
+        let stored = u64::from_le_bytes(
+            bytes[body_start + payload_len..expected_total]
+                .try_into()
+                .expect("8 checksum bytes"),
+        );
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch { stored, computed });
+        }
+        let mut reader = Reader::new(payload);
+        let portable_shield = decode_shield(&mut reader)?;
+        let portable_oracle = decode_neural_policy(&mut reader)?;
+        let label = reader.get_str()?;
+        reader.finish()?;
+        let shield = Shield::from_portable(&portable_shield).map_err(ArtifactError::Invalid)?;
+        let oracle =
+            NeuralPolicy::from_portable(&portable_oracle).map_err(ArtifactError::Invalid)?;
+        Ok(ShieldArtifact::new(shield, oracle)?.with_label(label))
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads an artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on filesystem failure, otherwise the
+    /// same validation errors as [`ShieldArtifact::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        ShieldArtifact::from_bytes(&bytes)
+    }
+}
+
+fn encode_polynomial(w: &mut Writer, poly: &PortablePolynomial) {
+    w.put_u32(poly.nvars);
+    w.put_len(poly.terms.len());
+    for (exps, coeff) in &poly.terms {
+        w.put_u32_slice(exps);
+        w.put_f64(*coeff);
+    }
+}
+
+fn decode_polynomial(r: &mut Reader<'_>) -> Result<PortablePolynomial, DecodeError> {
+    let nvars = r.get_u32()?;
+    let nterms = r.get_len()?;
+    let mut terms = Vec::with_capacity(nterms);
+    for _ in 0..nterms {
+        let exps = r.get_u32_vec()?;
+        let coeff = r.get_f64()?;
+        terms.push((exps, coeff));
+    }
+    Ok(PortablePolynomial { nvars, terms })
+}
+
+fn encode_environment(w: &mut Writer, env: &PortableEnvironment) {
+    w.put_str(&env.name);
+    w.put_len(env.variable_names.len());
+    for name in &env.variable_names {
+        w.put_str(name);
+    }
+    w.put_u32(env.state_dim);
+    w.put_u32(env.action_dim);
+    w.put_len(env.derivatives.len());
+    for d in &env.derivatives {
+        encode_polynomial(w, d);
+    }
+    w.put_f64(env.dt);
+    w.put_u8(env.integrator);
+    w.put_f64_slice(&env.init_lows);
+    w.put_f64_slice(&env.init_highs);
+    w.put_f64_slice(&env.safe_lows);
+    w.put_f64_slice(&env.safe_highs);
+    w.put_len(env.obstacles.len());
+    for (lows, highs) in &env.obstacles {
+        w.put_f64_slice(lows);
+        w.put_f64_slice(highs);
+    }
+    w.put_f64_slice(&env.disturbance_lower);
+    w.put_f64_slice(&env.disturbance_upper);
+    w.put_f64_slice(&env.action_low);
+    w.put_f64_slice(&env.action_high);
+    w.put_u64(env.horizon);
+}
+
+fn decode_environment(r: &mut Reader<'_>) -> Result<PortableEnvironment, DecodeError> {
+    let name = r.get_str()?;
+    let n_names = r.get_len()?;
+    let mut variable_names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        variable_names.push(r.get_str()?);
+    }
+    let state_dim = r.get_u32()?;
+    let action_dim = r.get_u32()?;
+    let n_derivs = r.get_len()?;
+    let mut derivatives = Vec::with_capacity(n_derivs);
+    for _ in 0..n_derivs {
+        derivatives.push(decode_polynomial(r)?);
+    }
+    let dt = r.get_f64()?;
+    let integrator = r.get_u8()?;
+    let init_lows = r.get_f64_vec()?;
+    let init_highs = r.get_f64_vec()?;
+    let safe_lows = r.get_f64_vec()?;
+    let safe_highs = r.get_f64_vec()?;
+    let n_obstacles = r.get_len()?;
+    let mut obstacles = Vec::with_capacity(n_obstacles);
+    for _ in 0..n_obstacles {
+        let lows = r.get_f64_vec()?;
+        let highs = r.get_f64_vec()?;
+        obstacles.push((lows, highs));
+    }
+    let disturbance_lower = r.get_f64_vec()?;
+    let disturbance_upper = r.get_f64_vec()?;
+    let action_low = r.get_f64_vec()?;
+    let action_high = r.get_f64_vec()?;
+    let horizon = r.get_u64()?;
+    Ok(PortableEnvironment {
+        name,
+        variable_names,
+        state_dim,
+        action_dim,
+        derivatives,
+        dt,
+        integrator,
+        init_lows,
+        init_highs,
+        safe_lows,
+        safe_highs,
+        obstacles,
+        disturbance_lower,
+        disturbance_upper,
+        action_low,
+        action_high,
+        horizon,
+    })
+}
+
+fn encode_program(w: &mut Writer, program: &PortableProgram) {
+    w.put_len(program.branches.len());
+    for branch in &program.branches {
+        match &branch.guard {
+            None => w.put_u8(0),
+            Some(g) => {
+                w.put_u8(1);
+                encode_polynomial(w, g);
+            }
+        }
+        w.put_len(branch.actions.len());
+        for a in &branch.actions {
+            encode_polynomial(w, a);
+        }
+    }
+}
+
+fn decode_program(r: &mut Reader<'_>) -> Result<PortableProgram, DecodeError> {
+    let n_branches = r.get_len()?;
+    let mut branches = Vec::with_capacity(n_branches);
+    for _ in 0..n_branches {
+        let guard = match r.get_u8()? {
+            0 => None,
+            _ => Some(decode_polynomial(r)?),
+        };
+        let n_actions = r.get_len()?;
+        let mut actions = Vec::with_capacity(n_actions);
+        for _ in 0..n_actions {
+            actions.push(decode_polynomial(r)?);
+        }
+        branches.push(PortableGuardedPolicy { guard, actions });
+    }
+    Ok(PortableProgram { branches })
+}
+
+fn encode_shield(w: &mut Writer, shield: &PortableShield) {
+    encode_environment(w, &shield.env);
+    w.put_len(shield.pieces.len());
+    for piece in &shield.pieces {
+        encode_program(w, &piece.program);
+        encode_polynomial(w, &piece.invariant.polynomial);
+    }
+}
+
+fn decode_shield(r: &mut Reader<'_>) -> Result<PortableShield, DecodeError> {
+    let env = decode_environment(r)?;
+    let n_pieces = r.get_len()?;
+    let mut pieces = Vec::with_capacity(n_pieces);
+    for _ in 0..n_pieces {
+        let program = decode_program(r)?;
+        let polynomial = decode_polynomial(r)?;
+        pieces.push(PortableShieldPiece {
+            program,
+            invariant: PortableCertificate { polynomial },
+        });
+    }
+    Ok(PortableShield { env, pieces })
+}
+
+fn encode_neural_policy(w: &mut Writer, policy: &PortableNeuralPolicy) {
+    w.put_u32_slice(&policy.network.layer_sizes);
+    w.put_len(policy.network.activations.len());
+    for &tag in &policy.network.activations {
+        w.put_u8(tag);
+    }
+    w.put_f64_slice(&policy.network.parameters);
+    w.put_f64(policy.action_scale);
+}
+
+fn decode_neural_policy(r: &mut Reader<'_>) -> Result<PortableNeuralPolicy, DecodeError> {
+    let layer_sizes = r.get_u32_vec()?;
+    let n_acts = r.get_len()?;
+    let mut activations = Vec::with_capacity(n_acts);
+    for _ in 0..n_acts {
+        activations.push(r.get_u8()?);
+    }
+    let parameters = r.get_f64_vec()?;
+    let action_scale = r.get_f64()?;
+    Ok(PortableNeuralPolicy {
+        network: vrl::nn::PortableMlp {
+            layer_sizes,
+            activations,
+            parameters,
+        },
+        action_scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy_artifact;
+
+    #[test]
+    fn bytes_round_trip_bit_exactly() {
+        let artifact = toy_artifact(7).with_label("canary");
+        let bytes = artifact.to_bytes();
+        let restored = ShieldArtifact::from_bytes(&bytes).expect("round trip succeeds");
+        assert_eq!(restored.label(), "canary");
+        assert_eq!(restored.metadata(), artifact.metadata());
+        // Serialization is deterministic.
+        assert_eq!(restored.to_bytes(), bytes);
+        // Identical decisions everywhere we look.
+        use vrl::dynamics::Policy;
+        for x in [-0.9, -0.3, 0.0, 0.4, 0.88, 1.2] {
+            let state = [x];
+            assert_eq!(
+                restored.oracle().action(&state),
+                artifact.oracle().action(&state)
+            );
+            let proposed = artifact.oracle().action(&state);
+            assert_eq!(
+                restored.shield().decide(&state, &proposed),
+                artifact.shield().decide(&state, &proposed)
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let artifact = toy_artifact(3);
+        let dir = std::env::temp_dir().join("vrl-runtime-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.shield");
+        artifact.save(&path).unwrap();
+        let loaded = ShieldArtifact::load(&path).unwrap();
+        assert_eq!(loaded.metadata(), artifact.metadata());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let missing = std::env::temp_dir().join("vrl-runtime-no-such-artifact.shield");
+        assert!(matches!(
+            ShieldArtifact::load(&missing),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = toy_artifact(1).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ShieldArtifact::from_bytes(&bytes),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = toy_artifact(1).to_bytes();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            ShieldArtifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let bytes = toy_artifact(1).to_bytes();
+        for offset in [16, bytes.len() / 2, bytes.len() - 9] {
+            let mut corrupted = bytes.clone();
+            corrupted[offset] ^= 0x40;
+            assert!(
+                matches!(
+                    ShieldArtifact::from_bytes(&corrupted),
+                    Err(ArtifactError::ChecksumMismatch { .. })
+                ),
+                "flipping byte {offset} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = toy_artifact(1).to_bytes();
+        assert!(matches!(
+            ShieldArtifact::from_bytes(&bytes[..bytes.len() - 20]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        assert!(ShieldArtifact::from_bytes(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn corrupted_length_field_is_rejected_without_panicking() {
+        // The length field is the one header value read before the checksum
+        // can protect it: a corrupted huge value must yield Err, not an
+        // overflow panic or a wrapped slice bound.
+        let bytes = toy_artifact(1).to_bytes();
+        for bad_len in [u64::MAX, u64::MAX - 7, u64::MAX / 2, 1 << 60] {
+            let mut corrupted = bytes.clone();
+            corrupted[8..16].copy_from_slice(&bad_len.to_le_bytes());
+            assert!(
+                matches!(
+                    ShieldArtifact::from_bytes(&corrupted),
+                    Err(ArtifactError::Truncated { .. })
+                ),
+                "length {bad_len:#x} must be rejected as truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = toy_artifact(1).to_bytes();
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            ShieldArtifact::from_bytes(&bytes),
+            Err(ArtifactError::Decode(DecodeError::TrailingBytes { .. }))
+        ));
+    }
+
+    #[test]
+    fn mismatched_oracle_dimensions_are_rejected() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let artifact = toy_artifact(1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let wrong = NeuralPolicy::new(3, 1, &[4], 1.0, &mut rng);
+        assert!(matches!(
+            ShieldArtifact::new(artifact.shield().clone(), wrong),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! Deterministic demo deployments shared by benches, examples, and
+//! integration tests.
+//!
+//! These helpers build a *plausible* shield quickly — a linear program
+//! guarded by a hand-written ellipsoidal invariant — so code that measures
+//! or round-trips the serving layer does not re-run CEGIS synthesis.  They
+//! are **not** verified certificates; anything making a safety claim must
+//! synthesize through `vrl::pipeline` or `vrl::verify` instead.
+
+use crate::{ArtifactError, ShieldArtifact};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::EnvironmentContext;
+use vrl::poly::Polynomial;
+use vrl::rl::NeuralPolicy;
+use vrl::shield::{Shield, ShieldPiece};
+use vrl::synth::PolicyProgram;
+use vrl::verify::BarrierCertificate;
+
+/// Stabilizing pendulum gains (the paper's running example `P(η, ω)`).
+pub const PENDULUM_GAINS: [f64; 2] = [-12.05, -5.87];
+/// Ellipsoid radii comfortably inside the pendulum safe region.
+pub const PENDULUM_RADII: [f64; 2] = [0.35, 0.9];
+/// Hand-tuned stabilizing cartpole gains (see `vrl-benchmarks`' tests).
+pub const CARTPOLE_GAINS: [f64; 4] = [1.2, 3.9, 79.0, 15.0];
+/// Ellipsoid radii comfortably inside the cartpole safe region.
+pub const CARTPOLE_RADII: [f64; 4] = [0.25, 1.2, 0.45, 1.2];
+
+/// The ellipsoidal barrier `Σ (x_i / radii_i)² − 1 ≤ 0` over `env`'s state
+/// space.
+///
+/// # Panics
+///
+/// Panics if `radii.len() != env.state_dim()` or any radius is not
+/// positive.
+pub fn ellipsoid_certificate(env: &EnvironmentContext, radii: &[f64]) -> BarrierCertificate {
+    let n = env.state_dim();
+    assert_eq!(radii.len(), n, "one radius per state dimension is required");
+    assert!(radii.iter().all(|r| *r > 0.0), "radii must be positive");
+    let mut e = Polynomial::constant(-1.0, n);
+    for (i, &r) in radii.iter().enumerate() {
+        let x = Polynomial::variable(i, n);
+        e = &e + &(&x * &x).scaled(1.0 / (r * r));
+    }
+    BarrierCertificate::new(e)
+}
+
+/// A one-piece shield for `env`: the linear program `a = gains · x` guarded
+/// by [`ellipsoid_certificate`]`(env, radii)`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches between `gains`, `radii`, and `env`.
+pub fn ellipsoid_shield(env: &EnvironmentContext, gains: &[f64], radii: &[f64]) -> Shield {
+    let program = PolicyProgram::linear(&[gains.to_vec()], &[0.0]);
+    Shield::new(
+        env.clone(),
+        vec![ShieldPiece::new(program, ellipsoid_certificate(env, radii))],
+    )
+}
+
+/// A randomly initialized oracle sized for `env`, with its action scale
+/// derived from the environment's saturation bounds (capped at `1e3` so an
+/// unbounded environment still yields finite actions).
+pub fn demo_oracle(env: &EnvironmentContext, hidden: &[usize], seed: u64) -> NeuralPolicy {
+    let scale = env
+        .action_high()
+        .iter()
+        .map(|x| x.abs())
+        .fold(1.0f64, f64::max)
+        .min(1e3);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    NeuralPolicy::new(env.state_dim(), env.action_dim(), hidden, scale, &mut rng)
+}
+
+/// Bundles [`ellipsoid_shield`] with [`demo_oracle`] into a deployable
+/// artifact.
+///
+/// # Errors
+///
+/// Propagates [`ShieldArtifact::new`] validation failures (impossible when
+/// the inputs come from the same `env`).
+pub fn demo_artifact(
+    env: &EnvironmentContext,
+    gains: &[f64],
+    radii: &[f64],
+    hidden: &[usize],
+    seed: u64,
+) -> Result<ShieldArtifact, ArtifactError> {
+    ShieldArtifact::new(
+        ellipsoid_shield(env, gains, radii),
+        demo_oracle(env, hidden, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl::dynamics::{BoxRegion, PolyDynamics, SafetySpec};
+
+    fn env() -> EnvironmentContext {
+        let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+        EnvironmentContext::new(
+            "fixture",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.3]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+        )
+        .with_action_bounds(vec![-2.0], vec![2.0])
+    }
+
+    #[test]
+    fn demo_artifact_is_deployable_and_deterministic() {
+        let env = env();
+        let a = demo_artifact(&env, &[-2.0], &[0.9], &[8], 5).unwrap();
+        let b = demo_artifact(&env, &[-2.0], &[0.9], &[8], 5).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert!(a.shield().covers(&[0.5]));
+        assert!(!a.shield().covers(&[0.95]));
+    }
+
+    #[test]
+    #[should_panic(expected = "radii must be positive")]
+    fn zero_radius_rejected() {
+        let env = env();
+        let _ = ellipsoid_certificate(&env, &[0.0]);
+    }
+}

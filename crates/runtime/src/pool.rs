@@ -1,0 +1,174 @@
+//! A small fixed-size worker pool used to fan out batched shield
+//! evaluations.
+//!
+//! Plain standard-library building blocks: a shared `Mutex<VecDeque>` task
+//! queue, a `Condvar` for wakeups, and one OS thread per worker.  Tasks are
+//! boxed closures; results travel back through whatever channel the caller
+//! buries in the closure (the server uses `std::sync::mpsc`).  Dropping the
+//! pool drains naturally: workers finish the tasks already queued, then
+//! exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    wakeup: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing boxed tasks FIFO.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a worker pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vrl-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawn succeeds")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// A pool sized to the machine: one worker per available core.
+    pub fn with_default_size() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        WorkerPool::new(threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a task; it runs on some worker as soon as one is free.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool lock never poisoned");
+        debug_assert!(!state.shutdown, "execute after shutdown");
+        state.tasks.push_back(Box::new(task));
+        drop(state);
+        self.shared.wakeup.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock never poisoned");
+            state.shutdown = true;
+        }
+        self.shared.wakeup.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool lock never poisoned");
+            loop {
+                if let Some(task) = state.tasks.pop_front() {
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.wakeup.wait(state).expect("pool lock never poisoned");
+            }
+        };
+        task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn all_tasks_run() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn queued_tasks_finish_before_shutdown() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping the pool joins the workers after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn default_size_matches_parallelism() {
+        let pool = WorkerPool::with_default_size();
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+}

@@ -1,0 +1,615 @@
+//! The concurrent shielded-serving runtime.
+//!
+//! A [`ShieldServer`] holds named *deployments* — each a loaded
+//! [`ShieldArtifact`] — and answers Algorithm 3 queries for all of them:
+//! given a state, run the deployment's neural oracle, let its shield veto
+//! the proposal, and return the [`ShieldDecision`] actually applied.
+//!
+//! # Concurrency model
+//!
+//! * The deployment registry is a `RwLock<HashMap>`: lookups take a shared
+//!   lock held only long enough to clone one `Arc`.
+//! * Each deployment's active artifact sits behind its own
+//!   `RwLock<Arc<ActiveArtifact>>`.  The serving path takes the *shared*
+//!   lock just to clone the `Arc` and then evaluates entirely lock-free on
+//!   an immutable snapshot — a redeploy in progress never blocks readers
+//!   for longer than the pointer swap, and in-flight requests simply finish
+//!   on the generation they started with.
+//! * [`ShieldServer::decide_batch`] fans large batches out over a shared
+//!   [`WorkerPool`], one contiguous chunk per worker, and reassembles the
+//!   results in order.
+//!
+//! # Hot redeploy
+//!
+//! [`ShieldServer::redeploy`] swaps in a new artifact atomically
+//! (generation + 1) with zero downtime.
+//! [`ShieldServer::resynthesize_and_redeploy`] wires the Table 3 workflow
+//! end to end: given a *changed* environment, it re-runs CEGIS shield
+//! synthesis for the deployment's existing oracle (no retraining) and hot
+//! swaps the result.
+
+use crate::artifact::{ArtifactError, ShieldArtifact};
+use crate::pool::WorkerPool;
+use crate::telemetry::{DeploymentTelemetry, StatsRecorder};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use vrl::dynamics::{EnvironmentContext, Policy};
+use vrl::pipeline::{resynthesize_shield_for, PipelineConfig, PipelineError};
+use vrl::shield::{CegisReport, ShieldDecision};
+
+/// Why a serving call failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No deployment with the given name exists.
+    UnknownDeployment(String),
+    /// A deployment with the given name already exists (`deploy` refuses to
+    /// silently replace; use `redeploy`).
+    AlreadyDeployed(String),
+    /// A state's dimension disagrees with the deployment.
+    DimensionMismatch {
+        /// Dimension the deployment expects.
+        expected: usize,
+        /// Dimension received.
+        actual: usize,
+    },
+    /// A state contained a non-finite coordinate.
+    NonFiniteState,
+    /// A replacement artifact's state/action dimensions disagree with the
+    /// running deployment's.
+    IncompatibleArtifact {
+        /// `(state_dim, action_dim)` the deployment serves.
+        expected: (usize, usize),
+        /// `(state_dim, action_dim)` the offered artifact has.
+        offered: (usize, usize),
+    },
+    /// Bundling the shield and oracle failed.
+    Artifact(ArtifactError),
+    /// Re-synthesizing a shield for a changed environment failed; the
+    /// previous artifact keeps serving.
+    Resynthesis(PipelineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDeployment(name) => write!(f, "no deployment named {name:?}"),
+            ServeError::AlreadyDeployed(name) => {
+                write!(
+                    f,
+                    "deployment {name:?} already exists (use redeploy to replace it)"
+                )
+            }
+            ServeError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "state has dimension {actual}, deployment expects {expected}"
+                )
+            }
+            ServeError::NonFiniteState => write!(f, "state contains a non-finite coordinate"),
+            ServeError::IncompatibleArtifact { expected, offered } => write!(
+                f,
+                "artifact serves {}-dim states / {}-dim actions but the deployment serves {} / {}",
+                offered.0, offered.1, expected.0, expected.1
+            ),
+            ServeError::Artifact(e) => write!(f, "artifact rejected: {e}"),
+            ServeError::Resynthesis(e) => {
+                write!(
+                    f,
+                    "shield re-synthesis failed (previous shield keeps serving): {e}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Artifact(e) => Some(e),
+            ServeError::Resynthesis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Artifact(e)
+    }
+}
+
+/// An immutable snapshot of what a deployment serves: the artifact plus its
+/// generation number.  Shared via `Arc`, never mutated.
+#[derive(Debug)]
+struct ActiveArtifact {
+    artifact: ShieldArtifact,
+    generation: u64,
+}
+
+impl ActiveArtifact {
+    /// Algorithm 3 for one state: oracle proposes, shield decides.
+    fn decide(&self, state: &[f64]) -> ShieldDecision {
+        let proposed = self.artifact.oracle().action(state);
+        self.artifact.shield().decide(state, &proposed)
+    }
+}
+
+/// One named deployment: the swappable active artifact plus its telemetry.
+#[derive(Debug)]
+struct Deployment {
+    name: String,
+    active: RwLock<Arc<ActiveArtifact>>,
+    stats: StatsRecorder,
+    /// Serializes redeploys (readers are never blocked by this).
+    redeploy_guard: Mutex<()>,
+}
+
+impl Deployment {
+    fn snapshot(&self) -> Arc<ActiveArtifact> {
+        Arc::clone(&self.active.read().expect("active lock never poisoned"))
+    }
+}
+
+/// Minimum number of states per worker task; below this, fanning out costs
+/// more than it saves.
+const MIN_CHUNK: usize = 64;
+
+/// A thread-safe registry of shield deployments serving concurrent
+/// [`ShieldServer::decide`] / [`ShieldServer::decide_batch`] traffic with
+/// hot redeploy.
+///
+/// The server is `Send + Sync`; share it across threads behind an `Arc`.
+#[derive(Debug)]
+pub struct ShieldServer {
+    deployments: RwLock<HashMap<String, Arc<Deployment>>>,
+    pool: WorkerPool,
+}
+
+impl Default for ShieldServer {
+    fn default() -> Self {
+        ShieldServer::new()
+    }
+}
+
+impl ShieldServer {
+    /// A server whose batch worker pool is sized to the machine.
+    pub fn new() -> Self {
+        ShieldServer {
+            deployments: RwLock::new(HashMap::new()),
+            pool: WorkerPool::with_default_size(),
+        }
+    }
+
+    /// A server with an explicit batch worker-pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_workers(threads: usize) -> Self {
+        ShieldServer {
+            deployments: RwLock::new(HashMap::new()),
+            pool: WorkerPool::new(threads),
+        }
+    }
+
+    /// Number of worker threads used by [`ShieldServer::decide_batch`].
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Creates a new deployment serving `artifact` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AlreadyDeployed`] if the name is taken.
+    pub fn deploy(
+        &self,
+        name: impl Into<String>,
+        artifact: ShieldArtifact,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let mut deployments = self
+            .deployments
+            .write()
+            .expect("registry lock never poisoned");
+        if deployments.contains_key(&name) {
+            return Err(ServeError::AlreadyDeployed(name));
+        }
+        deployments.insert(
+            name.clone(),
+            Arc::new(Deployment {
+                name,
+                active: RwLock::new(Arc::new(ActiveArtifact {
+                    artifact,
+                    generation: 1,
+                })),
+                stats: StatsRecorder::new(),
+                redeploy_guard: Mutex::new(()),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Removes a deployment; returns whether it existed.  In-flight requests
+    /// holding a snapshot finish unaffected.
+    pub fn undeploy(&self, name: &str) -> bool {
+        self.deployments
+            .write()
+            .expect("registry lock never poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Names of all current deployments, sorted.
+    pub fn deployments(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .deployments
+            .read()
+            .expect("registry lock never poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The artifact generation a deployment currently serves (starts at 1,
+    /// increments on every redeploy).
+    pub fn generation(&self, name: &str) -> Result<u64, ServeError> {
+        Ok(self.lookup(name)?.snapshot().generation)
+    }
+
+    /// The environment name a deployment's active shield was verified for.
+    pub fn environment(&self, name: &str) -> Result<String, ServeError> {
+        Ok(self
+            .lookup(name)?
+            .snapshot()
+            .artifact
+            .shield()
+            .env()
+            .name()
+            .to_string())
+    }
+
+    /// A point-in-time copy of a deployment's serving telemetry.
+    pub fn telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
+        let deployment = self.lookup(name)?;
+        let generation = deployment.snapshot().generation;
+        Ok(deployment.stats.snapshot(&deployment.name, generation))
+    }
+
+    /// Algorithm 3 for one state: runs the deployment's oracle, lets the
+    /// shield veto the proposal, and returns the applied decision.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown deployments and malformed states; never on safe
+    /// inputs.
+    pub fn decide(&self, name: &str, state: &[f64]) -> Result<ShieldDecision, ServeError> {
+        let deployment = self.lookup(name)?;
+        let active = deployment.snapshot();
+        validate_state(state, active.artifact.shield().env().state_dim())?;
+        let start = Instant::now();
+        let decision = active.decide(state);
+        deployment.stats.record_request(
+            1,
+            if decision.intervened { 1 } else { 0 },
+            start.elapsed(),
+        );
+        Ok(decision)
+    }
+
+    /// Evaluates a whole batch of independent states against one deployment,
+    /// fanning out across the worker pool when the batch is large enough.
+    ///
+    /// Every state in the batch is decided against the *same* artifact
+    /// generation (the snapshot taken at entry), so a concurrent redeploy
+    /// can never split a batch across two shields.
+    ///
+    /// # Errors
+    ///
+    /// Validates all states up front; a malformed state fails the whole
+    /// batch before any evaluation starts.
+    pub fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError> {
+        let deployment = self.lookup(name)?;
+        let active = deployment.snapshot();
+        let state_dim = active.artifact.shield().env().state_dim();
+        for state in states {
+            validate_state(state, state_dim)?;
+        }
+        if states.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = Instant::now();
+        let decisions = if states.len() < 2 * MIN_CHUNK || self.pool.threads() == 1 {
+            states.iter().map(|s| active.decide(s)).collect::<Vec<_>>()
+        } else {
+            self.fan_out(&active, states)
+        };
+        let interventions = decisions.iter().filter(|d| d.intervened).count() as u64;
+        deployment
+            .stats
+            .record_request(decisions.len() as u64, interventions, start.elapsed());
+        Ok(decisions)
+    }
+
+    fn fan_out(&self, active: &Arc<ActiveArtifact>, states: &[Vec<f64>]) -> Vec<ShieldDecision> {
+        let chunk_size = (states.len()).div_ceil(self.pool.threads()).max(MIN_CHUNK);
+        let chunks: Vec<Vec<Vec<f64>>> = states.chunks(chunk_size).map(<[_]>::to_vec).collect();
+        let n_chunks = chunks.len();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<ShieldDecision>)>();
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            let active = Arc::clone(active);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let decisions: Vec<ShieldDecision> =
+                    chunk.iter().map(|s| active.decide(s)).collect();
+                // The receiver only disappears if the caller panicked.
+                let _ = tx.send((index, decisions));
+            });
+        }
+        drop(tx);
+        let mut by_index: Vec<Option<Vec<ShieldDecision>>> = (0..n_chunks).map(|_| None).collect();
+        for (index, decisions) in rx {
+            by_index[index] = Some(decisions);
+        }
+        by_index
+            .into_iter()
+            .flat_map(|chunk| chunk.expect("every chunk reports exactly once"))
+            .collect()
+    }
+
+    /// Atomically replaces a deployment's artifact (hot swap, zero
+    /// downtime).  Returns the new generation number.
+    ///
+    /// # Errors
+    ///
+    /// The replacement must serve the same state/action dimensions as the
+    /// running artifact; in-flight and future requests would otherwise
+    /// observe shape-incompatible decisions mid-stream.
+    pub fn redeploy(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        let deployment = self.lookup(name)?;
+        let _guard = deployment
+            .redeploy_guard
+            .lock()
+            .expect("redeploy lock never poisoned");
+        Self::swap_locked(&deployment, artifact)
+    }
+
+    /// Performs the dimension check and generation swap.  The caller must
+    /// hold the deployment's `redeploy_guard`.
+    fn swap_locked(deployment: &Deployment, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        let current = deployment.snapshot();
+        let expected = (
+            current.artifact.shield().env().state_dim(),
+            current.artifact.shield().env().action_dim(),
+        );
+        let offered = (
+            artifact.shield().env().state_dim(),
+            artifact.shield().env().action_dim(),
+        );
+        if expected != offered {
+            return Err(ServeError::IncompatibleArtifact { expected, offered });
+        }
+        let next = Arc::new(ActiveArtifact {
+            artifact,
+            generation: current.generation + 1,
+        });
+        *deployment
+            .active
+            .write()
+            .expect("active lock never poisoned") = next;
+        deployment.stats.record_redeploy();
+        Ok(current.generation + 1)
+    }
+
+    /// The Table 3 workflow as one server operation: re-synthesizes a shield
+    /// for this deployment's *existing* oracle in a changed environment (no
+    /// retraining) and hot swaps it in.  Returns the new generation and the
+    /// CEGIS diagnostics.
+    ///
+    /// On synthesis failure the deployment keeps serving its previous
+    /// verified shield — a failed redeploy is never destructive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Resynthesis`] when CEGIS cannot cover the new
+    /// environment's initial states within the configured budget.
+    pub fn resynthesize_and_redeploy(
+        &self,
+        name: &str,
+        new_env: &EnvironmentContext,
+        config: &PipelineConfig,
+    ) -> Result<(u64, CegisReport), ServeError> {
+        let deployment = self.lookup(name)?;
+        // Hold the redeploy guard across snapshot *and* synthesis, not just
+        // the swap: otherwise a concurrent `redeploy` landing during the
+        // (long) CEGIS run would be silently overwritten by an artifact
+        // built from the oracle it replaced.  Serving traffic is unaffected
+        // — readers never take this lock.
+        let _guard = deployment
+            .redeploy_guard
+            .lock()
+            .expect("redeploy lock never poisoned");
+        let oracle = deployment.snapshot().artifact.oracle().clone();
+        let (shield, report) =
+            resynthesize_shield_for(new_env, &oracle, config).map_err(ServeError::Resynthesis)?;
+        let label = format!("resynthesized for {}", new_env.name());
+        let artifact = ShieldArtifact::new(shield, oracle)?.with_label(label);
+        let generation = Self::swap_locked(&deployment, artifact)?;
+        Ok((generation, report))
+    }
+
+    fn lookup(&self, name: &str) -> Result<Arc<Deployment>, ServeError> {
+        self.deployments
+            .read()
+            .expect("registry lock never poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownDeployment(name.to_string()))
+    }
+}
+
+fn validate_state(state: &[f64], expected: usize) -> Result<(), ServeError> {
+    if state.len() != expected {
+        return Err(ServeError::DimensionMismatch {
+            expected,
+            actual: state.len(),
+        });
+    }
+    if state.iter().any(|x| !x.is_finite()) {
+        return Err(ServeError::NonFiniteState);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy_artifact;
+
+    fn server_with_toy(name: &str) -> ShieldServer {
+        let server = ShieldServer::with_workers(4);
+        server.deploy(name, toy_artifact(11)).unwrap();
+        server
+    }
+
+    #[test]
+    fn deploy_serve_and_inspect() {
+        let server = server_with_toy("toy");
+        assert_eq!(server.deployments(), vec!["toy".to_string()]);
+        assert_eq!(server.generation("toy").unwrap(), 1);
+        assert_eq!(server.environment("toy").unwrap(), "toy");
+        let decision = server.decide("toy", &[0.0]).unwrap();
+        assert_eq!(decision.action.len(), 1);
+        let telemetry = server.telemetry("toy").unwrap();
+        assert_eq!(telemetry.requests, 1);
+        assert_eq!(telemetry.decisions, 1);
+        assert!(server.undeploy("toy"));
+        assert!(!server.undeploy("toy"));
+        assert!(matches!(
+            server.decide("toy", &[0.0]),
+            Err(ServeError::UnknownDeployment(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_deploy_is_rejected() {
+        let server = server_with_toy("toy");
+        assert!(matches!(
+            server.deploy("toy", toy_artifact(12)),
+            Err(ServeError::AlreadyDeployed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_states_are_rejected() {
+        let server = server_with_toy("toy");
+        assert!(matches!(
+            server.decide("toy", &[0.0, 1.0]),
+            Err(ServeError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            server.decide("toy", &[f64::NAN]),
+            Err(ServeError::NonFiniteState)
+        ));
+        let batch = vec![vec![0.0], vec![0.1, 0.2]];
+        assert!(server.decide_batch("toy", &batch).is_err());
+    }
+
+    #[test]
+    fn batch_matches_sequential_decides() {
+        let server = server_with_toy("toy");
+        let states: Vec<Vec<f64>> = (0..500).map(|i| vec![(i as f64 / 250.0) - 1.0]).collect();
+        let batch = server.decide_batch("toy", &states).unwrap();
+        assert_eq!(batch.len(), states.len());
+        for (state, expected) in states.iter().zip(batch.iter()) {
+            // A second server answers identically: decisions are pure.
+            let single = server.decide("toy", state).unwrap();
+            assert_eq!(&single, expected);
+        }
+        let telemetry = server.telemetry("toy").unwrap();
+        assert_eq!(telemetry.decisions, 1000);
+        assert_eq!(telemetry.requests, 501);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let server = server_with_toy("toy");
+        assert_eq!(server.decide_batch("toy", &[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn redeploy_swaps_generation_and_enforces_dimensions() {
+        let server = server_with_toy("toy");
+        let generation = server.redeploy("toy", toy_artifact(13)).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(server.generation("toy").unwrap(), 2);
+        assert_eq!(server.telemetry("toy").unwrap().redeploys, 1);
+        let wrong = crate::testutil::toy_artifact_2d(1);
+        match server.redeploy("toy", wrong) {
+            Err(ServeError::IncompatibleArtifact { expected, offered }) => {
+                assert_eq!(expected, (1, 1));
+                assert_eq!(offered, (2, 1));
+            }
+            other => panic!("expected IncompatibleArtifact, got {other:?}"),
+        }
+        // Failed redeploys leave the generation untouched.
+        assert_eq!(server.generation("toy").unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_decides_during_redeploys_stay_consistent() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let server = Arc::new(server_with_toy("toy"));
+        let stop = Arc::new(AtomicBool::new(false));
+        let served: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            handles.push(std::thread::spawn(move || {
+                let mut count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = ((count % 181) as f64 / 100.0) - 0.9;
+                    let decision = server.decide("toy", &[x]).unwrap();
+                    assert_eq!(decision.action.len(), 1);
+                    assert!(decision.action[0].is_finite());
+                    count += 1;
+                    served[t].store(count, Ordering::Relaxed);
+                }
+                count
+            }));
+        }
+        // Interleave ten hot swaps with live traffic: before each swap, wait
+        // until every thread has demonstrably served since the last one.
+        for seed in 20..30 {
+            let marks: Vec<u64> = served.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            while served
+                .iter()
+                .zip(marks.iter())
+                .any(|(c, &mark)| c.load(Ordering::Relaxed) <= mark)
+            {
+                std::thread::yield_now();
+            }
+            let generation = server.redeploy("toy", toy_artifact(seed)).unwrap();
+            assert_eq!(generation, seed - 18);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            let count = handle.join().expect("serving thread never panics");
+            assert!(count > 0, "every thread served some traffic");
+        }
+        assert_eq!(server.generation("toy").unwrap(), 11);
+    }
+}

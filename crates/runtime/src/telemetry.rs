@@ -1,0 +1,198 @@
+//! Per-deployment serving telemetry: request counters, intervention rates,
+//! and latency percentiles over a recent window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Capacity of the recent-latency ring buffer backing the percentile
+/// estimates.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Mutable recorder owned by each deployment.
+///
+/// Counters are atomics so the serving hot path only pays relaxed
+/// increments; the latency ring sits behind a `Mutex` because percentile
+/// bookkeeping needs exclusive access anyway.  Deliberately **not** `Clone`
+/// (deriving `Clone` on an atomics-bearing struct silently chooses between
+/// snapshot and reset semantics); consumers take an explicit
+/// [`StatsRecorder::snapshot`] instead.
+#[derive(Debug)]
+pub(crate) struct StatsRecorder {
+    requests: AtomicU64,
+    decisions: AtomicU64,
+    interventions: AtomicU64,
+    redeploys: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug)]
+struct LatencyRing {
+    nanos: Vec<u64>,
+    next: usize,
+    filled: bool,
+}
+
+impl StatsRecorder {
+    pub(crate) fn new() -> Self {
+        StatsRecorder {
+            requests: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            interventions: AtomicU64::new(0),
+            redeploys: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                nanos: Vec::with_capacity(LATENCY_WINDOW),
+                next: 0,
+                filled: false,
+            }),
+        }
+    }
+
+    /// Records one served request covering `decisions` shield decisions, of
+    /// which `interventions` overrode the oracle, taking `elapsed` wall
+    /// clock in total.
+    pub(crate) fn record_request(&self, decisions: u64, interventions: u64, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.decisions.fetch_add(decisions, Ordering::Relaxed);
+        self.interventions
+            .fetch_add(interventions, Ordering::Relaxed);
+        // Store the per-decision latency so single decides and large batches
+        // feed one comparable distribution.
+        let per_decision = if decisions == 0 {
+            elapsed.as_nanos() as u64
+        } else {
+            (elapsed.as_nanos() / decisions as u128) as u64
+        };
+        let mut ring = self.latencies.lock().expect("latency lock never poisoned");
+        if ring.nanos.len() < LATENCY_WINDOW {
+            ring.nanos.push(per_decision);
+        } else {
+            let slot = ring.next;
+            ring.nanos[slot] = per_decision;
+            ring.filled = true;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    pub(crate) fn record_redeploy(&self) {
+        self.redeploys.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough copy of the counters and computes latency
+    /// percentiles over the recent window.
+    pub(crate) fn snapshot(&self, deployment: &str, generation: u64) -> DeploymentTelemetry {
+        let mut sorted = {
+            let ring = self.latencies.lock().expect("latency lock never poisoned");
+            ring.nanos.clone()
+        };
+        sorted.sort_unstable();
+        let percentile = |p: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_nanos(sorted[rank])
+        };
+        let decisions = self.decisions.load(Ordering::Relaxed);
+        let interventions = self.interventions.load(Ordering::Relaxed);
+        DeploymentTelemetry {
+            deployment: deployment.to_string(),
+            generation,
+            requests: self.requests.load(Ordering::Relaxed),
+            decisions,
+            interventions,
+            redeploys: self.redeploys.load(Ordering::Relaxed),
+            intervention_rate: if decisions == 0 {
+                0.0
+            } else {
+                interventions as f64 / decisions as f64
+            },
+            p50_latency: percentile(0.50),
+            p99_latency: percentile(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of one deployment's serving metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentTelemetry {
+    /// Deployment name.
+    pub deployment: String,
+    /// Artifact generation currently serving (increments on redeploy).
+    pub generation: u64,
+    /// Requests served (a batch counts once).
+    pub requests: u64,
+    /// Total shield decisions taken.
+    pub decisions: u64,
+    /// Decisions where the shield overrode the oracle.
+    pub interventions: u64,
+    /// Number of hot redeploys since the deployment was created.
+    pub redeploys: u64,
+    /// Fraction of decisions that were interventions.
+    pub intervention_rate: f64,
+    /// Median per-decision latency over the recent window.
+    pub p50_latency: Duration,
+    /// 99th-percentile per-decision latency over the recent window.
+    pub p99_latency: Duration,
+}
+
+impl std::fmt::Display for DeploymentTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}#g{}: {} requests, {} decisions ({:.2}% interventions), p50 {:?}, p99 {:?}, {} redeploys",
+            self.deployment,
+            self.generation,
+            self.requests,
+            self.decisions,
+            self.intervention_rate * 100.0,
+            self.p50_latency,
+            self.p99_latency,
+            self.redeploys,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_across_requests() {
+        let stats = StatsRecorder::new();
+        stats.record_request(10, 3, Duration::from_micros(50));
+        stats.record_request(1, 0, Duration::from_micros(5));
+        stats.record_redeploy();
+        let snap = stats.snapshot("pendulum", 2);
+        assert_eq!(snap.deployment, "pendulum");
+        assert_eq!(snap.generation, 2);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.decisions, 11);
+        assert_eq!(snap.interventions, 3);
+        assert_eq!(snap.redeploys, 1);
+        assert!((snap.intervention_rate - 3.0 / 11.0).abs() < 1e-12);
+        assert!(snap.p50_latency > Duration::ZERO);
+        assert!(snap.p99_latency >= snap.p50_latency);
+        assert!(snap.to_string().contains("pendulum#g2"));
+    }
+
+    #[test]
+    fn empty_recorder_snapshots_zeros() {
+        let stats = StatsRecorder::new();
+        let snap = stats.snapshot("idle", 1);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.intervention_rate, 0.0);
+        assert_eq!(snap.p50_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_window_wraps_without_growing() {
+        let stats = StatsRecorder::new();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            stats.record_request(1, 0, Duration::from_nanos(i as u64));
+        }
+        let ring = stats.latencies.lock().unwrap();
+        assert_eq!(ring.nanos.len(), LATENCY_WINDOW);
+        assert!(ring.filled);
+    }
+}

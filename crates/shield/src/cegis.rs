@@ -122,14 +122,16 @@ where
     R: Rng + ?Sized,
 {
     let start = Instant::now();
-    let sketch = ProgramSketch::polynomial(env.state_dim(), env.action_dim(), config.program_degree);
+    let sketch =
+        ProgramSketch::polynomial(env.state_dim(), env.action_dim(), config.program_degree);
     let mut pieces: Vec<ShieldPiece> = Vec::new();
     let mut covers: Vec<BarrierCertificate> = Vec::new();
     let mut attempts = 0usize;
     let mut warm_theta: Option<Vec<f64>> = None;
 
     for _outer in 0..config.max_pieces {
-        let Some(counterexample) = find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng)
+        let Some(counterexample) =
+            find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng)
         else {
             break; // S0 ⊆ covers: done.
         };
@@ -151,7 +153,12 @@ where
                 &config.distill,
                 rng,
             );
-            match verify_program(env, &synthesized.action_polynomials, &region, &config.verification) {
+            match verify_program(
+                env,
+                &synthesized.action_polynomials,
+                &region,
+                &config.verification,
+            ) {
                 Ok(invariant) => {
                     // Later pieces continue the random search from the last
                     // *verified* parameters rather than restarting from zero.
@@ -174,7 +181,9 @@ where
         }
     }
 
-    if let Some(uncovered) = find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng) {
+    if let Some(uncovered) =
+        find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng)
+    {
         return Err(CegisError::CouldNotCoverInitialStates {
             uncovered,
             pieces_synthesized: pieces.len(),
@@ -283,13 +292,18 @@ mod tests {
         // A circle of radius ~0.8 leaves the corners uncovered.
         let x = Polynomial::variable(0, 2);
         let y = Polynomial::variable(1, 2);
-        let small = BarrierCertificate::new(&(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(0.64, 2));
-        let hole = find_uncovered_initial_state(&init, &[small.clone()], 50, &mut rng)
+        let small =
+            BarrierCertificate::new(&(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(0.64, 2));
+        let hole = find_uncovered_initial_state(&init, std::slice::from_ref(&small), 50, &mut rng)
             .expect("corners are uncovered");
         assert!(!small.contains(&hole));
         // A big circle covers the whole box and the search reports None.
-        let big = BarrierCertificate::new(&(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(10.0, 2));
-        assert_eq!(find_uncovered_initial_state(&init, &[big], 50, &mut rng), None);
+        let big =
+            BarrierCertificate::new(&(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(10.0, 2));
+        assert_eq!(
+            find_uncovered_initial_state(&init, &[big], 50, &mut rng),
+            None
+        );
     }
 
     #[test]

@@ -48,4 +48,6 @@ pub use cegis::{
     find_uncovered_initial_state, synthesize_shield, CegisConfig, CegisError, CegisReport,
 };
 pub use metrics::{evaluate_shielded_system, ShieldEvaluation};
-pub use shield::{Shield, ShieldDecision, ShieldPiece, ShieldedPolicy};
+pub use shield::{
+    PortableShield, PortableShieldPiece, Shield, ShieldDecision, ShieldPiece, ShieldedPolicy,
+};

@@ -199,8 +199,14 @@ mod tests {
         let oracle = ConstantPolicy::new(vec![5.0]);
         let mut rng = SmallRng::seed_from_u64(2);
         let eval = evaluate_shielded_system(&env, &oracle, &shield, 4, 1500, &mut rng);
-        assert_eq!(eval.neural_failures, 4, "the runaway oracle must fail every episode");
-        assert_eq!(eval.shielded_failures, 0, "the shield must prevent every failure");
+        assert_eq!(
+            eval.neural_failures, 4,
+            "the runaway oracle must fail every episode"
+        );
+        assert_eq!(
+            eval.shielded_failures, 0,
+            "the shield must prevent every failure"
+        );
         assert!(eval.interventions > 0);
         assert!(eval.intervention_rate() > 0.0);
         assert_eq!(eval.shield_pieces, 1);

@@ -1,9 +1,9 @@
 //! Algorithm 3: the runtime safety shield.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use vrl_dynamics::{EnvironmentContext, Policy};
-use vrl_synth::{GuardedPolicy, PolicyProgram};
-use vrl_verify::BarrierCertificate;
+use vrl_dynamics::{EnvironmentContext, Policy, PortableEnvironment};
+use vrl_synth::{GuardedPolicy, PolicyProgram, PortableProgram};
+use vrl_verify::{BarrierCertificate, PortableCertificate};
 
 /// One verified piece of a shield: a deterministic program together with the
 /// inductive invariant proving it safe on the region the invariant covers.
@@ -70,7 +70,10 @@ impl Shield {
     /// Panics if `pieces` is empty or a piece's dimensions disagree with the
     /// environment.
     pub fn new(env: EnvironmentContext, pieces: Vec<ShieldPiece>) -> Self {
-        assert!(!pieces.is_empty(), "a shield needs at least one verified piece");
+        assert!(
+            !pieces.is_empty(),
+            "a shield needs at least one verified piece"
+        );
         for piece in &pieces {
             assert_eq!(
                 piece.invariant().state_dim(),
@@ -100,7 +103,8 @@ impl Shield {
     /// Returns true when `state` lies inside some proven invariant *and* is
     /// safe according to the environment's safety specification.
     pub fn covers(&self, state: &[f64]) -> bool {
-        self.env.safety().is_safe(state) && self.pieces.iter().any(|p| p.invariant().contains(state))
+        self.env.safety().is_safe(state)
+            && self.pieces.iter().any(|p| p.invariant().contains(state))
     }
 
     /// Algorithm 3: decides the action to apply at `state` given the action
@@ -143,6 +147,60 @@ impl Shield {
         }
     }
 
+    /// Extracts the plain-data form of this shield (environment model plus
+    /// every `(program, invariant)` pair) for artifact persistence.
+    ///
+    /// The environment's reward and steady-state closures are not captured;
+    /// see [`PortableEnvironment`] — the shield's decision procedure never
+    /// consults them.
+    pub fn to_portable(&self) -> PortableShield {
+        PortableShield {
+            env: self.env.to_portable(),
+            pieces: self
+                .pieces
+                .iter()
+                .map(|p| PortableShieldPiece {
+                    program: p.program().to_portable(),
+                    invariant: p.invariant().to_portable(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a shield from its plain-data form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the stored pieces are empty or any piece's
+    /// dimensions disagree with the environment.
+    pub fn from_portable(portable: &PortableShield) -> Result<Shield, String> {
+        let env = EnvironmentContext::from_portable(&portable.env)?;
+        if portable.pieces.is_empty() {
+            return Err("a shield needs at least one verified piece".to_string());
+        }
+        let mut pieces = Vec::with_capacity(portable.pieces.len());
+        for piece in &portable.pieces {
+            let program = PolicyProgram::from_portable(&piece.program)?;
+            let invariant = BarrierCertificate::from_portable(&piece.invariant)?;
+            if program.state_dim() != invariant.state_dim() {
+                return Err(format!(
+                    "piece program ranges over {} state variables but its invariant over {}",
+                    program.state_dim(),
+                    invariant.state_dim()
+                ));
+            }
+            if invariant.state_dim() != env.state_dim() {
+                return Err(format!(
+                    "piece dimension {} disagrees with the environment dimension {}",
+                    invariant.state_dim(),
+                    env.state_dim()
+                ));
+            }
+            pieces.push(ShieldPiece::new(program, invariant));
+        }
+        Ok(Shield::new(env, pieces))
+    }
+
     /// Flattens the shield into the single deterministic program of
     /// Theorem 4.2: `if φ₁: P₁ else if φ₂: P₂ … else abort`.
     pub fn to_program(&self) -> PolicyProgram {
@@ -155,22 +213,65 @@ impl Shield {
                 .expect("programs always have at least one branch")
                 .actions()
                 .to_vec();
-            branches.push(GuardedPolicy::guarded(piece.invariant().polynomial().clone(), actions));
+            branches.push(GuardedPolicy::guarded(
+                piece.invariant().polynomial().clone(),
+                actions,
+            ));
         }
         PolicyProgram::from_branches(branches)
     }
+}
+
+/// Plain-data form of one [`ShieldPiece`] used by artifact persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableShieldPiece {
+    /// The verified deterministic program.
+    pub program: PortableProgram,
+    /// The inductive invariant proving it safe.
+    pub invariant: PortableCertificate,
+}
+
+/// Plain-data form of a [`Shield`] used by artifact persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableShield {
+    /// The environment model the shield predicts with.
+    pub env: PortableEnvironment,
+    /// Every verified `(program, invariant)` pair.
+    pub pieces: Vec<PortableShieldPiece>,
 }
 
 /// A policy that runs a neural oracle under a shield, counting interventions.
 ///
 /// The wrapper implements [`Policy`], so it can be dropped into any
 /// environment rollout in place of the raw neural network.
+///
+/// # Counter semantics
+///
+/// The intervention/decision counters are `AtomicUsize`s so that concurrent
+/// rollouts can share one wrapper.  `Clone` is implemented **explicitly**
+/// (never derived — deriving `Clone` next to atomics silently picks one of
+/// two reasonable semantics): a clone *snapshots* the counter values at
+/// clone time and counts independently afterwards.  Call
+/// [`ShieldedPolicy::reset_counters`] on the clone for a fresh meter.
 #[derive(Debug)]
 pub struct ShieldedPolicy<'a, P: Policy + ?Sized> {
     shield: &'a Shield,
     oracle: &'a P,
     interventions: AtomicUsize,
     decisions: AtomicUsize,
+}
+
+impl<P: Policy + ?Sized> Clone for ShieldedPolicy<'_, P> {
+    /// Snapshot semantics: the clone starts from the counter values observed
+    /// at clone time (see the type-level documentation).
+    fn clone(&self) -> Self {
+        ShieldedPolicy {
+            shield: self.shield,
+            oracle: self.oracle,
+            interventions: AtomicUsize::new(self.interventions()),
+            decisions: AtomicUsize::new(self.decisions()),
+        }
+    }
 }
 
 impl<'a, P: Policy + ?Sized> ShieldedPolicy<'a, P> {
@@ -293,7 +394,10 @@ mod tests {
         let env = shield.env().clone();
         let mut rng = SmallRng::seed_from_u64(1);
         let trajectory = env.rollout(&shielded, &[0.0], 2000, &mut rng);
-        assert!(!trajectory.violates(env.safety()), "the shield must keep the system safe");
+        assert!(
+            !trajectory.violates(env.safety()),
+            "the shield must keep the system safe"
+        );
         assert!(shielded.interventions() > 0);
         assert_eq!(shielded.decisions(), 2000);
         assert!(shielded.intervention_rate() > 0.0 && shielded.intervention_rate() <= 1.0);
@@ -311,7 +415,59 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let trajectory = env.rollout(&shielded, &[0.4], 2000, &mut rng);
         assert!(!trajectory.violates(env.safety()));
-        assert_eq!(shielded.interventions(), 0, "a well-behaved oracle needs no interventions");
+        assert_eq!(
+            shielded.interventions(),
+            0,
+            "a well-behaved oracle needs no interventions"
+        );
+    }
+
+    #[test]
+    fn portable_round_trip_preserves_decisions() {
+        let shield = toy_shield();
+        let portable = shield.to_portable();
+        let back = Shield::from_portable(&portable).expect("round trip succeeds");
+        assert_eq!(back.num_pieces(), shield.num_pieces());
+        for state in [[-0.95], [-0.5], [0.0], [0.5], [0.89], [0.95]] {
+            for proposed in [[-50.0], [-1.0], [0.0], [1.0], [50.0]] {
+                assert_eq!(
+                    back.decide(&state, &proposed),
+                    shield.decide(&state, &proposed)
+                );
+            }
+            assert_eq!(back.covers(&state), shield.covers(&state));
+        }
+    }
+
+    #[test]
+    fn corrupted_portable_shields_are_rejected() {
+        let shield = toy_shield();
+        let mut empty = shield.to_portable();
+        empty.pieces.clear();
+        assert!(Shield::from_portable(&empty).is_err());
+        let mut wrong_dim = shield.to_portable();
+        wrong_dim.env.state_dim = 2;
+        assert!(Shield::from_portable(&wrong_dim).is_err());
+    }
+
+    #[test]
+    fn shielded_policy_clone_snapshots_counters() {
+        let shield = toy_shield();
+        let adversary = ConstantPolicy::new(vec![5.0]);
+        let shielded = ShieldedPolicy::new(&shield, &adversary);
+        let _ = shielded.action(&[0.89]);
+        assert_eq!(shielded.decisions(), 1);
+        let cloned = shielded.clone();
+        // Snapshot semantics: the clone starts from the observed values…
+        assert_eq!(cloned.decisions(), 1);
+        assert_eq!(cloned.interventions(), shielded.interventions());
+        // …and counts independently afterwards.
+        let _ = cloned.action(&[0.89]);
+        assert_eq!(cloned.decisions(), 2);
+        assert_eq!(shielded.decisions(), 1);
+        cloned.reset_counters();
+        assert_eq!(cloned.decisions(), 0);
+        assert_eq!(shielded.decisions(), 1);
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl<'a> BoundQuery<'a> {
 /// # Panics
 ///
 /// Panics if `domain.len()` differs from the objective's variable count.
-pub fn prove_bound(query: &BoundQuery<'_>, domain: &[Interval], config: &BranchBoundConfig) -> ProofOutcome {
+pub fn prove_bound(
+    query: &BoundQuery<'_>,
+    domain: &[Interval],
+    config: &BranchBoundConfig,
+) -> ProofOutcome {
     assert_eq!(
         domain.len(),
         query.objective.nvars(),
@@ -171,10 +175,7 @@ pub fn prove_bound(query: &BoundQuery<'_>, domain: &[Interval], config: &BranchB
         if let Some(cex) = find_counterexample(query, &current) {
             return cex;
         }
-        let widest = current
-            .iter()
-            .map(Interval::width)
-            .fold(0.0f64, f64::max);
+        let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
         if widest <= config.min_width {
             // Cannot split further and cannot decide: record and continue;
             // the overall result will be Unknown (sound: we never claim a proof).
@@ -219,13 +220,21 @@ pub fn prove_bound(query: &BoundQuery<'_>, domain: &[Interval], config: &BranchB
 }
 
 /// Attempts to prove `p(x) ≤ 0` for all `x` in the box.
-pub fn prove_nonpositive(p: &Polynomial, domain: &[Interval], config: &BranchBoundConfig) -> ProofOutcome {
+pub fn prove_nonpositive(
+    p: &Polynomial,
+    domain: &[Interval],
+    config: &BranchBoundConfig,
+) -> ProofOutcome {
     prove_bound(&BoundQuery::new(p, 0.0), domain, config)
 }
 
 /// Attempts to prove `p(x) > 0` (strictly) for all `x` in the box, by proving
 /// `-p(x) ≤ -margin` for a tiny positive margin.
-pub fn prove_positive(p: &Polynomial, domain: &[Interval], config: &BranchBoundConfig) -> ProofOutcome {
+pub fn prove_positive(
+    p: &Polynomial,
+    domain: &[Interval],
+    config: &BranchBoundConfig,
+) -> ProofOutcome {
     let negated = -p;
     let outcome = prove_bound(&BoundQuery::new(&negated, 0.0), domain, config);
     match outcome {
@@ -245,18 +254,23 @@ pub fn prove_positive(p: &Polynomial, domain: &[Interval], config: &BranchBoundC
 ///
 /// Panics if `domain.len()` differs from the polynomial's variable count.
 pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f64 {
-    assert_eq!(domain.len(), p.nvars(), "domain dimension must match the polynomial");
+    assert_eq!(
+        domain.len(),
+        p.nvars(),
+        "domain dimension must match the polynomial"
+    );
     // Best-first search on the interval lower bound.
-    let mut queue: Vec<(f64, Vec<Interval>)> = vec![(p.eval_interval(domain).lo(), domain.to_vec())];
+    let mut queue: Vec<(f64, Vec<Interval>)> =
+        vec![(p.eval_interval(domain).lo(), domain.to_vec())];
     let mut upper = p.eval(&domain.iter().map(Interval::midpoint).collect::<Vec<f64>>());
     let mut examined = 0usize;
     while examined < max_boxes {
         // Pop the box with the smallest lower bound.
-        let index = match queue
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
-        {
+        let index = match queue.iter().enumerate().min_by(|a, b| {
+            a.1 .0
+                .partial_cmp(&b.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) {
             Some((i, _)) => i,
             None => break,
         };
@@ -274,7 +288,11 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
         let split_dim = current
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.width().partial_cmp(&b.1.width()).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.1.width()
+                    .partial_cmp(&b.1.width())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|(i, _)| i)
             .unwrap_or(0);
         let (left, right) = current[split_dim].bisect();
@@ -329,7 +347,11 @@ mod tests {
         // p = x² - 1 ≤ 0 on [-1, 1]
         let x = Polynomial::variable(0, 1);
         let p = &(&x * &x) - &Polynomial::constant(1.0, 1);
-        let outcome = prove_nonpositive(&p, &interval_box(&[(-1.0, 1.0)]), &BranchBoundConfig::default());
+        let outcome = prove_nonpositive(
+            &p,
+            &interval_box(&[(-1.0, 1.0)]),
+            &BranchBoundConfig::default(),
+        );
         assert!(outcome.is_proved(), "got {outcome:?}");
     }
 
@@ -338,8 +360,14 @@ mod tests {
         // p = x² - 1 > 0 at x = 2
         let x = Polynomial::variable(0, 1);
         let p = &(&x * &x) - &Polynomial::constant(1.0, 1);
-        let outcome = prove_nonpositive(&p, &interval_box(&[(-2.0, 2.0)]), &BranchBoundConfig::default());
-        let point = outcome.counterexample().expect("must find a counterexample");
+        let outcome = prove_nonpositive(
+            &p,
+            &interval_box(&[(-2.0, 2.0)]),
+            &BranchBoundConfig::default(),
+        );
+        let point = outcome
+            .counterexample()
+            .expect("must find a counterexample");
         assert!(p.eval(point) > 0.0);
         assert!(!outcome.is_proved());
     }
@@ -349,12 +377,22 @@ mod tests {
         // p = x² + 0.1 > 0 everywhere
         let x = Polynomial::variable(0, 1);
         let p = &(&x * &x) + &Polynomial::constant(0.1, 1);
-        let outcome = prove_positive(&p, &interval_box(&[(-3.0, 3.0)]), &BranchBoundConfig::default());
+        let outcome = prove_positive(
+            &p,
+            &interval_box(&[(-3.0, 3.0)]),
+            &BranchBoundConfig::default(),
+        );
         assert!(outcome.is_proved());
         // p = x² - 0.5 is not positive near zero.
         let q = &(&x * &x) - &Polynomial::constant(0.5, 1);
-        let refuted = prove_positive(&q, &interval_box(&[(-3.0, 3.0)]), &BranchBoundConfig::default());
-        let cex = refuted.counterexample().expect("not positive near the origin");
+        let refuted = prove_positive(
+            &q,
+            &interval_box(&[(-3.0, 3.0)]),
+            &BranchBoundConfig::default(),
+        );
+        let cex = refuted
+            .counterexample()
+            .expect("not positive near the origin");
         assert!(q.eval(cex) <= 0.0);
     }
 
@@ -364,11 +402,19 @@ mod tests {
         // guarded region where g(x) = x - 0.25 ≤ 0.
         let x = Polynomial::variable(0, 1);
         let bound_query = BoundQuery::new(&x, 0.5);
-        let failing = prove_bound(&bound_query, &interval_box(&[(0.0, 1.0)]), &BranchBoundConfig::default());
+        let failing = prove_bound(
+            &bound_query,
+            &interval_box(&[(0.0, 1.0)]),
+            &BranchBoundConfig::default(),
+        );
         assert!(failing.counterexample().is_some());
         let guard = &x - &Polynomial::constant(0.25, 1);
         let guarded_query = BoundQuery::new(&x, 0.5).with_guard(&guard);
-        let outcome = prove_bound(&guarded_query, &interval_box(&[(0.0, 1.0)]), &BranchBoundConfig::default());
+        let outcome = prove_bound(
+            &guarded_query,
+            &interval_box(&[(0.0, 1.0)]),
+            &BranchBoundConfig::default(),
+        );
         assert!(outcome.is_proved(), "got {outcome:?}");
     }
 
@@ -380,9 +426,14 @@ mod tests {
         let x = Polynomial::variable(0, nvars);
         let y = Polynomial::variable(1, nvars);
         let e = &(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(1.0, nvars);
-        let contracted = &(&(&x * &x).scaled(0.81) + &(&y * &y).scaled(0.81)) - &Polynomial::constant(1.0, nvars);
+        let contracted = &(&(&x * &x).scaled(0.81) + &(&y * &y).scaled(0.81))
+            - &Polynomial::constant(1.0, nvars);
         let query = BoundQuery::new(&contracted, 0.0).with_guard(&e);
-        let outcome = prove_bound(&query, &interval_box(&[(-2.0, 2.0), (-2.0, 2.0)]), &BranchBoundConfig::default());
+        let outcome = prove_bound(
+            &query,
+            &interval_box(&[(-2.0, 2.0), (-2.0, 2.0)]),
+            &BranchBoundConfig::default(),
+        );
         assert!(outcome.is_proved(), "got {outcome:?}");
     }
 
@@ -398,8 +449,15 @@ mod tests {
             min_width: 1e-9,
             tolerance: 0.0,
         };
-        let outcome = prove_bound(&BoundQuery::new(&p, -1e-30), &interval_box(&[(-1.0, 1.0)]), &config);
-        assert!(matches!(outcome, ProofOutcome::Unknown { .. } | ProofOutcome::Counterexample { .. }));
+        let outcome = prove_bound(
+            &BoundQuery::new(&p, -1e-30),
+            &interval_box(&[(-1.0, 1.0)]),
+            &config,
+        );
+        assert!(matches!(
+            outcome,
+            ProofOutcome::Unknown { .. } | ProofOutcome::Counterexample { .. }
+        ));
         assert!(!outcome.is_proved());
     }
 
@@ -410,7 +468,11 @@ mod tests {
         // p(0) = 0 > -1e-9 so a counterexample is found immediately.
         let x = Polynomial::variable(0, 1);
         let p = &x * &x;
-        let outcome = prove_bound(&BoundQuery::new(&p, -1e-9), &interval_box(&[(-1.0, 1.0)]), &BranchBoundConfig::default());
+        let outcome = prove_bound(
+            &BoundQuery::new(&p, -1e-9),
+            &interval_box(&[(-1.0, 1.0)]),
+            &BranchBoundConfig::default(),
+        );
         assert!(outcome.counterexample().is_some());
     }
 

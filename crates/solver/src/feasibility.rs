@@ -132,7 +132,10 @@ pub fn solve_feasibility(
         .first()
         .map(|c| c.coefficients.len())
         .unwrap_or_else(|| initial.map_or(0, <[f64]>::len));
-    assert!(dim > 0, "feasibility problems must have at least one unknown");
+    assert!(
+        dim > 0,
+        "feasibility problems must have at least one unknown"
+    );
     assert!(
         constraints.iter().all(|c| c.coefficients.len() == dim),
         "all constraints must have the same number of coefficients"

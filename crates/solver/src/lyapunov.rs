@@ -68,7 +68,10 @@ pub fn solve_discrete_lyapunov(a: &Matrix, q: &Matrix) -> Result<Matrix, Lyapuno
     let mut p = q.clone();
     let mut m = a.clone();
     for _ in 0..200 {
-        let mt_p = m.transpose().matmul(&p).map_err(|_| LyapunovError::ShapeMismatch)?;
+        let mt_p = m
+            .transpose()
+            .matmul(&p)
+            .map_err(|_| LyapunovError::ShapeMismatch)?;
         let increment = mt_p.matmul(&m).map_err(|_| LyapunovError::ShapeMismatch)?;
         if increment.norm_inf() < 1e-14 * (1.0 + p.norm_inf()) {
             return Ok(p.symmetrized());
@@ -94,13 +97,17 @@ pub fn decrease_certificate(a: &Matrix, p: &Matrix, margin: f64) -> Result<f64, 
     if !a.is_square() || !p.is_square() || a.rows() != p.rows() {
         return Err(LyapunovError::ShapeMismatch);
     }
-    let at_p = a.transpose().matmul(p).map_err(|_| LyapunovError::ShapeMismatch)?;
+    let at_p = a
+        .transpose()
+        .matmul(p)
+        .map_err(|_| LyapunovError::ShapeMismatch)?;
     let at_p_a = at_p.matmul(a).map_err(|_| LyapunovError::ShapeMismatch)?;
     let mut delta = &at_p_a - p;
     for i in 0..delta.rows() {
         delta[(i, i)] += margin;
     }
-    let eig = SymmetricEigen::new(&delta.symmetrized()).map_err(|_| LyapunovError::NoConvergence)?;
+    let eig =
+        SymmetricEigen::new(&delta.symmetrized()).map_err(|_| LyapunovError::NoConvergence)?;
     Ok(eig.max_eigenvalue())
 }
 
@@ -127,7 +134,11 @@ mod tests {
         let p = solve_discrete_lyapunov(&a, &q).unwrap();
         // Residual Aᵀ P A − P + Q ≈ 0.
         let residual = &(&a.transpose().matmul(&p).unwrap().matmul(&a).unwrap() - &p) + &q;
-        assert!(residual.norm_inf() < 1e-8, "residual {}", residual.norm_inf());
+        assert!(
+            residual.norm_inf() < 1e-8,
+            "residual {}",
+            residual.norm_inf()
+        );
         // P is positive definite.
         let eig = SymmetricEigen::new(&p).unwrap();
         assert!(eig.min_eigenvalue() > 0.0);
@@ -159,7 +170,9 @@ mod tests {
             decrease_certificate(&Matrix::identity(2), &Matrix::identity(3), 0.0),
             Err(LyapunovError::ShapeMismatch)
         ));
-        let err = LyapunovError::NotContractive { spectral_radius: 1.2 };
+        let err = LyapunovError::NotContractive {
+            spectral_radius: 1.2,
+        };
         assert!(err.to_string().contains("1.2"));
     }
 

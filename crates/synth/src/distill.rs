@@ -104,6 +104,7 @@ impl SynthesizedProgram {
 /// trajectories of the environment driven by the candidate program.
 ///
 /// Larger is better; every unsafe state charges `-unsafe_penalty`.
+#[allow(clippy::too_many_arguments)]
 pub fn oracle_distance<O, R>(
     env: &EnvironmentContext,
     oracle: &O,
@@ -163,8 +164,16 @@ where
     O: Policy + ?Sized,
     R: Rng + ?Sized,
 {
-    assert_eq!(sketch.state_dim(), env.state_dim(), "sketch state dimension mismatch");
-    assert_eq!(sketch.action_dim(), env.action_dim(), "sketch action dimension mismatch");
+    assert_eq!(
+        sketch.state_dim(),
+        env.state_dim(),
+        "sketch state dimension mismatch"
+    );
+    assert_eq!(
+        sketch.action_dim(),
+        env.action_dim(),
+        "sketch action dimension mismatch"
+    );
     assert!(
         config.iterations > 0 && config.directions > 0 && config.trajectories > 0,
         "the distillation budget must be positive"
@@ -303,7 +312,8 @@ mod tests {
             horizon: 200,
             ..DistillConfig::default()
         };
-        let result = synthesize_program(&env, &oracle, &sketch, env.init(), None, &config, &mut rng);
+        let result =
+            synthesize_program(&env, &oracle, &sketch, env.init(), None, &config, &mut rng);
         // The synthesized program should behave like the oracle: stabilizing
         // (negative feedback gains) and safe when rolled out from S0.  Exact
         // gain recovery is not required — the objective only measures
@@ -316,12 +326,24 @@ mod tests {
         for _ in 0..5 {
             let s0 = env.sample_initial(&mut rng);
             let t = env.rollout(&synthesized, &s0, 1500, &mut rng);
-            assert!(!t.violates(env.safety()), "synthesized program must stay safe from {s0:?}");
+            assert!(
+                !t.violates(env.safety()),
+                "synthesized program must stay safe from {s0:?}"
+            );
         }
         // And the objective must have improved substantially over θ = 0.
         let zero_program = PolicyProgram::linear(&[vec![0.0, 0.0]], &[0.0]);
         let mut rng2 = SmallRng::seed_from_u64(18);
-        let zero_distance = oracle_distance(&env, &oracle, &zero_program, env.init(), 3, 200, 1e4, &mut rng2);
+        let zero_distance = oracle_distance(
+            &env,
+            &oracle,
+            &zero_program,
+            env.init(),
+            3,
+            200,
+            1e4,
+            &mut rng2,
+        );
         assert!(result.report.final_objective > zero_distance);
         assert!(result.report.iterations_run > 0);
         assert!(!result.report.history.is_empty());
@@ -340,9 +362,21 @@ mod tests {
         let stabilizing = PolicyProgram::linear(&[vec![-2.0, -3.0]], &[0.0]);
         let mut rng = SmallRng::seed_from_u64(19);
         let bad = oracle_distance(&env, &oracle, &runaway, env.init(), 2, 400, 1e4, &mut rng);
-        let good = oracle_distance(&env, &oracle, &stabilizing, env.init(), 2, 400, 1e4, &mut rng);
+        let good = oracle_distance(
+            &env,
+            &oracle,
+            &stabilizing,
+            env.init(),
+            2,
+            400,
+            1e4,
+            &mut rng,
+        );
         assert!(good > bad);
-        assert!(bad < -1e3, "unsafe rollouts must be heavily penalized, got {bad}");
+        assert!(
+            bad < -1e3,
+            "unsafe rollouts must be heavily penalized, got {bad}"
+        );
     }
 
     #[test]
@@ -357,15 +391,25 @@ mod tests {
             iterations: 5,
             ..DistillConfig::smoke_test()
         };
-        let result =
-            synthesize_program(&env, &oracle, &sketch, &small_region, Some(&warm), &config, &mut rng);
+        let result = synthesize_program(
+            &env,
+            &oracle,
+            &sketch,
+            &small_region,
+            Some(&warm),
+            &config,
+            &mut rng,
+        );
         assert_eq!(result.theta.len(), 3);
         // Starting at the oracle's own gains, the best-seen parameters must
         // remain behaviourally close to the oracle on the restricted region.
         let program = result.to_program();
         let probe = [0.1, 0.1];
         let gap = (program.action(&probe)[0] - oracle.action(&probe)[0]).abs();
-        assert!(gap < 0.5, "program drifted too far from the oracle: gap {gap}");
+        assert!(
+            gap < 0.5,
+            "program drifted too far from the oracle: gap {gap}"
+        );
     }
 
     #[test]

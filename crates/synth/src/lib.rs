@@ -32,5 +32,5 @@ mod sketch;
 pub use distill::{
     oracle_distance, synthesize_program, DistillConfig, DistillReport, SynthesizedProgram,
 };
-pub use program::{GuardedPolicy, PolicyProgram};
+pub use program::{GuardedPolicy, PolicyProgram, PortableGuardedPolicy, PortableProgram};
 pub use sketch::ProgramSketch;

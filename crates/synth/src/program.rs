@@ -8,7 +8,7 @@
 //! as the branch guard (Theorem 4.2).
 
 use vrl_dynamics::Policy;
-use vrl_poly::Polynomial;
+use vrl_poly::{Polynomial, PortablePolynomial};
 
 /// One guarded branch of a policy program.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,14 +40,21 @@ impl GuardedPolicy {
     }
 
     fn new(guard: Option<Polynomial>, actions: Vec<Polynomial>) -> Self {
-        assert!(!actions.is_empty(), "a branch needs at least one action expression");
+        assert!(
+            !actions.is_empty(),
+            "a branch needs at least one action expression"
+        );
         let nvars = actions[0].nvars();
         assert!(
             actions.iter().all(|a| a.nvars() == nvars),
             "all action expressions must share the same state variables"
         );
         if let Some(g) = &guard {
-            assert_eq!(g.nvars(), nvars, "guard must range over the state variables");
+            assert_eq!(
+                g.nvars(),
+                nvars,
+                "guard must range over the state variables"
+            );
         }
         GuardedPolicy { guard, actions }
     }
@@ -127,7 +134,11 @@ impl PolicyProgram {
     /// `offsets.len() != gains.len()`.
     pub fn linear(gains: &[Vec<f64>], offsets: &[f64]) -> Self {
         assert!(!gains.is_empty(), "at least one gain row is required");
-        assert_eq!(gains.len(), offsets.len(), "one offset per gain row is required");
+        assert_eq!(
+            gains.len(),
+            offsets.len(),
+            "one offset per gain row is required"
+        );
         let state_dim = gains[0].len();
         assert!(
             gains.iter().all(|g| g.len() == state_dim),
@@ -162,8 +173,16 @@ impl PolicyProgram {
     ///
     /// Panics if the branch dimensions disagree with the program.
     pub fn push_branch(&mut self, branch: GuardedPolicy) {
-        assert_eq!(branch.actions().len(), self.action_dim, "action dimension mismatch");
-        assert_eq!(branch.actions()[0].nvars(), self.state_dim, "state dimension mismatch");
+        assert_eq!(
+            branch.actions().len(),
+            self.action_dim,
+            "action dimension mismatch"
+        );
+        assert_eq!(
+            branch.actions()[0].nvars(),
+            self.state_dim,
+            "state dimension mismatch"
+        );
         self.branches.push(branch);
     }
 
@@ -194,7 +213,11 @@ impl PolicyProgram {
     ///
     /// Panics if `names.len() != self.state_dim()`.
     pub fn pretty(&self, names: &[&str]) -> String {
-        assert_eq!(names.len(), self.state_dim, "one name per state variable is required");
+        assert_eq!(
+            names.len(),
+            self.state_dim,
+            "one name per state variable is required"
+        );
         let mut out = format!("def P({}):\n", names.join(", "));
         for (i, branch) in self.branches.iter().enumerate() {
             match branch.guard() {
@@ -221,6 +244,93 @@ impl PolicyProgram {
             out.push_str("    else: abort\n");
         }
         out
+    }
+}
+
+/// Plain-data form of a [`GuardedPolicy`] used by artifact persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableGuardedPolicy {
+    /// The branch guard `φ(X) ≤ 0`, if any.
+    pub guard: Option<PortablePolynomial>,
+    /// One action expression per action dimension.
+    pub actions: Vec<PortablePolynomial>,
+}
+
+/// Plain-data form of a [`PolicyProgram`] used by artifact persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableProgram {
+    /// The branches in evaluation order.
+    pub branches: Vec<PortableGuardedPolicy>,
+}
+
+impl PolicyProgram {
+    /// Extracts the plain-data form of this program.
+    pub fn to_portable(&self) -> PortableProgram {
+        PortableProgram {
+            branches: self
+                .branches
+                .iter()
+                .map(|b| PortableGuardedPolicy {
+                    guard: b.guard().map(Polynomial::to_portable),
+                    actions: b.actions().iter().map(Polynomial::to_portable).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a program from its plain-data form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the branch structure is inconsistent (no
+    /// branches, empty actions, or mismatched dimensions).
+    pub fn from_portable(portable: &PortableProgram) -> Result<PolicyProgram, String> {
+        if portable.branches.is_empty() {
+            return Err("a program needs at least one branch".to_string());
+        }
+        let mut branches = Vec::with_capacity(portable.branches.len());
+        let mut dims: Option<(usize, usize)> = None;
+        for branch in &portable.branches {
+            if branch.actions.is_empty() {
+                return Err("a branch needs at least one action expression".to_string());
+            }
+            let actions = branch
+                .actions
+                .iter()
+                .map(Polynomial::from_portable)
+                .collect::<Result<Vec<_>, _>>()?;
+            let state_dim = actions[0].nvars();
+            if actions.iter().any(|a| a.nvars() != state_dim) {
+                return Err("action expressions disagree on the state dimension".to_string());
+            }
+            let guard = branch
+                .guard
+                .as_ref()
+                .map(Polynomial::from_portable)
+                .transpose()?;
+            if let Some(g) = &guard {
+                if g.nvars() != state_dim {
+                    return Err(format!(
+                        "guard ranges over {} variables but the actions over {}",
+                        g.nvars(),
+                        state_dim
+                    ));
+                }
+            }
+            match dims {
+                None => dims = Some((state_dim, actions.len())),
+                Some(expected) => {
+                    if expected != (state_dim, actions.len()) {
+                        return Err("branches disagree on state or action dimensions".to_string());
+                    }
+                }
+            }
+            branches.push(match guard {
+                Some(g) => GuardedPolicy::guarded(g, actions),
+                None => GuardedPolicy::unconditional(actions),
+            });
+        }
+        Ok(PolicyProgram::from_branches(branches))
     }
 }
 
@@ -264,8 +374,14 @@ mod tests {
     fn guarded_cascade_selects_first_applicable_branch() {
         // Inside the unit circle use a weak controller, inside radius 2 a
         // strong one, otherwise abort.
-        let weak = GuardedPolicy::guarded(circle_guard(1.0), vec![Polynomial::linear(&[-1.0, 0.0], 0.0)]);
-        let strong = GuardedPolicy::guarded(circle_guard(4.0), vec![Polynomial::linear(&[-5.0, 0.0], 0.0)]);
+        let weak = GuardedPolicy::guarded(
+            circle_guard(1.0),
+            vec![Polynomial::linear(&[-1.0, 0.0], 0.0)],
+        );
+        let strong = GuardedPolicy::guarded(
+            circle_guard(4.0),
+            vec![Polynomial::linear(&[-5.0, 0.0], 0.0)],
+        );
         let program = PolicyProgram::from_branches(vec![weak, strong]);
         assert_eq!(program.evaluate(&[0.5, 0.0]).unwrap(), vec![-0.5]);
         assert_eq!(program.evaluate(&[1.5, 0.0]).unwrap(), vec![-7.5]);
@@ -294,8 +410,14 @@ mod tests {
     #[test]
     fn pretty_printer_mirrors_the_paper_style() {
         let program = PolicyProgram::from_branches(vec![
-            GuardedPolicy::guarded(circle_guard(1.0), vec![Polynomial::linear(&[0.39, -1.41], 0.0)]),
-            GuardedPolicy::guarded(circle_guard(4.0), vec![Polynomial::linear(&[0.88, -2.34], 0.0)]),
+            GuardedPolicy::guarded(
+                circle_guard(1.0),
+                vec![Polynomial::linear(&[0.39, -1.41], 0.0)],
+            ),
+            GuardedPolicy::guarded(
+                circle_guard(4.0),
+                vec![Polynomial::linear(&[0.88, -2.34], 0.0)],
+            ),
         ]);
         let text = program.pretty(&["x", "y"]);
         assert!(text.contains("def P(x, y):"));

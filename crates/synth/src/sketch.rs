@@ -47,7 +47,10 @@ impl ProgramSketch {
     ///
     /// Panics if either dimension is zero.
     pub fn polynomial(state_dim: usize, action_dim: usize, degree: u32) -> Self {
-        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(
+            state_dim > 0 && action_dim > 0,
+            "dimensions must be positive"
+        );
         ProgramSketch {
             state_dim,
             action_dim,
@@ -92,7 +95,13 @@ impl ProgramSketch {
         );
         let width = self.basis.len();
         (0..self.action_dim)
-            .map(|k| Polynomial::from_basis(self.state_dim, &self.basis, &theta[k * width..(k + 1) * width]))
+            .map(|k| {
+                Polynomial::from_basis(
+                    self.state_dim,
+                    &self.basis,
+                    &theta[k * width..(k + 1) * width],
+                )
+            })
             .collect()
     }
 

@@ -79,9 +79,11 @@ pub fn verify_nonlinear(
     // of one Euler step from anywhere in the safe box (under any admissible
     // disturbance), so "E > 0 outside the safe box but inside W" suffices.
     let mut extended_domain: Vec<Interval> = safe_box.to_intervals();
-    extended_domain.extend(disturbed_dims.iter().map(|&i| {
-        Interval::new(disturbance.lower()[i], disturbance.upper()[i])
-    }));
+    extended_domain.extend(
+        disturbed_dims
+            .iter()
+            .map(|&i| Interval::new(disturbance.lower()[i], disturbance.upper()[i])),
+    );
     let working_box = {
         let mut lows = Vec::with_capacity(n);
         let mut highs = Vec::with_capacity(n);
@@ -147,27 +149,29 @@ pub fn verify_nonlinear(
         );
     };
     let add_unsafe_constraint = |constraints: &mut Vec<LinearConstraint>, state: &[f64]| {
-        constraints
-            .push(LinearConstraint::at_least(scaled_features(state), config.unsafe_margin).with_weight(2.0));
+        constraints.push(
+            LinearConstraint::at_least(scaled_features(state), config.unsafe_margin)
+                .with_weight(2.0),
+        );
     };
-    let add_transition_constraint =
-        |constraints: &mut Vec<LinearConstraint>, extended_state: &[f64]| {
-            let state = &extended_state[..n];
-            let next: Vec<f64> = successor.iter().map(|p| p.eval(extended_state)).collect();
-            if next.iter().any(|x| !x.is_finite()) || !safe_box.contains(&next) {
-                return;
-            }
-            let feat_now = scaled_features(state);
-            let feat_next = scaled_features(&next);
-            let norm2: f64 = state.iter().map(|x| x * x).sum();
-            let decrease_margin = 1e-4 * norm2;
-            let coefficients: Vec<f64> = feat_next
-                .iter()
-                .zip(feat_now.iter())
-                .map(|(a, b)| a - b)
-                .collect();
-            constraints.push(LinearConstraint::at_most(coefficients, -decrease_margin));
-        };
+    let add_transition_constraint = |constraints: &mut Vec<LinearConstraint>,
+                                     extended_state: &[f64]| {
+        let state = &extended_state[..n];
+        let next: Vec<f64> = successor.iter().map(|p| p.eval(extended_state)).collect();
+        if next.iter().any(|x| !x.is_finite()) || !safe_box.contains(&next) {
+            return;
+        }
+        let feat_now = scaled_features(state);
+        let feat_next = scaled_features(&next);
+        let norm2: f64 = state.iter().map(|x| x * x).sum();
+        let decrease_margin = 1e-4 * norm2;
+        let coefficients: Vec<f64> = feat_next
+            .iter()
+            .zip(feat_now.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        constraints.push(LinearConstraint::at_most(coefficients, -decrease_margin));
+    };
 
     for corner in init_region.corners() {
         add_init_constraint(&mut constraints, &corner);
@@ -212,7 +216,11 @@ pub fn verify_nonlinear(
                 }
             }
         }
-        unscaled.iter().zip(scale.iter()).map(|(c, s)| c * s).collect()
+        unscaled
+            .iter()
+            .zip(scale.iter())
+            .map(|(c, s)| c * s)
+            .collect()
     });
     let mut last_failure: Option<(Condition, Vec<f64>)> = None;
     for _round in 0..config.max_candidate_rounds {
@@ -254,10 +262,13 @@ pub fn verify_nonlinear(
         }
     }
     match last_failure {
-        Some((Condition::Init, state)) => Err(VerificationFailure::InitialStateNotCovered { state }),
+        Some((Condition::Init, state)) => {
+            Err(VerificationFailure::InitialStateNotCovered { state })
+        }
         Some((_, state)) => Err(VerificationFailure::NoCertificateFound {
             counterexample: Some(state),
-            reason: "candidate budget exhausted before all verification conditions held".to_string(),
+            reason: "candidate budget exhausted before all verification conditions held"
+                .to_string(),
         }),
         None => Err(VerificationFailure::NoCertificateFound {
             counterexample: None,
@@ -401,7 +412,10 @@ mod tests {
             ..VerificationConfig::default()
         };
         let result = verify_nonlinear(&env, &program, env.init(), &config);
-        assert!(result.is_err(), "a destabilizing program must not be certified");
+        assert!(
+            result.is_err(),
+            "a destabilizing program must not be certified"
+        );
     }
 
     #[test]

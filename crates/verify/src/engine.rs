@@ -120,7 +120,10 @@ impl fmt::Display for VerificationFailure {
                 write!(f, "no inductive invariant found: {reason}")
             }
             VerificationFailure::Unsupported { reason } => {
-                write!(f, "verification back-end does not support this problem: {reason}")
+                write!(
+                    f,
+                    "verification back-end does not support this problem: {reason}"
+                )
             }
         }
     }
@@ -208,10 +211,14 @@ mod tests {
 
     #[test]
     fn failure_display_and_counterexamples() {
-        let unstable = VerificationFailure::UnstableClosedLoop { spectral_radius: 1.2 };
+        let unstable = VerificationFailure::UnstableClosedLoop {
+            spectral_radius: 1.2,
+        };
         assert!(unstable.to_string().contains("1.2"));
         assert!(unstable.counterexample().is_none());
-        let uncovered = VerificationFailure::InitialStateNotCovered { state: vec![1.0, 2.0] };
+        let uncovered = VerificationFailure::InitialStateNotCovered {
+            state: vec![1.0, 2.0],
+        };
         assert_eq!(uncovered.counterexample().unwrap(), &[1.0, 2.0]);
         assert!(uncovered.to_string().contains("not covered"));
         let none_found = VerificationFailure::NoCertificateFound {

@@ -1,6 +1,6 @@
 //! Inductive invariants: sketches (Eq. 7) and verified barrier certificates.
 
-use vrl_poly::{monomial_basis, Polynomial};
+use vrl_poly::{monomial_basis, Polynomial, PortablePolynomial};
 
 /// An invariant sketch `φ[c](X) ::= E[c](X) ≤ 0` (Eq. 7): an affine
 /// combination of every monomial up to a degree bound, with unknown
@@ -135,6 +135,31 @@ impl BarrierCertificate {
     pub fn pretty(&self, names: &[&str]) -> String {
         format!("{} <= 0", self.polynomial.to_string_with_names(names))
     }
+
+    /// Extracts the plain-data form of this certificate.
+    pub fn to_portable(&self) -> PortableCertificate {
+        PortableCertificate {
+            polynomial: self.polynomial.to_portable(),
+        }
+    }
+
+    /// Rebuilds a certificate from its plain-data form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the stored polynomial is structurally invalid.
+    pub fn from_portable(portable: &PortableCertificate) -> Result<BarrierCertificate, String> {
+        Ok(BarrierCertificate::new(Polynomial::from_portable(
+            &portable.polynomial,
+        )?))
+    }
+}
+
+/// Plain-data form of a [`BarrierCertificate`] used by artifact persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableCertificate {
+    /// The barrier polynomial `E` of the invariant `E(X) ≤ 0`.
+    pub polynomial: PortablePolynomial,
 }
 
 #[cfg(test)]

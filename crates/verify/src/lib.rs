@@ -43,5 +43,5 @@ mod linear_backend;
 
 pub use barrier_backend::verify_nonlinear;
 pub use engine::{verify_program, VerificationConfig, VerificationFailure};
-pub use invariant::{BarrierCertificate, InvariantSketch};
+pub use invariant::{BarrierCertificate, InvariantSketch, PortableCertificate};
 pub use linear_backend::verify_linear;

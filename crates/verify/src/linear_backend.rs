@@ -66,9 +66,11 @@ pub fn verify_linear(
     }
     // Equilibrium s* solves (I − A_d) s* = c_d.
     let i_minus_a = &Matrix::identity(n) - &a_d;
-    let equilibrium = i_minus_a.solve(&c_d).map_err(|_| VerificationFailure::Unsupported {
-        reason: "closed loop has no isolated equilibrium".to_string(),
-    })?;
+    let equilibrium = i_minus_a
+        .solve(&c_d)
+        .map_err(|_| VerificationFailure::Unsupported {
+            reason: "closed loop has no isolated equilibrium".to_string(),
+        })?;
     let safe_box = env.safety().safe_box();
     if !safe_box.contains(equilibrium.as_slice()) {
         return Err(VerificationFailure::NoCertificateFound {
@@ -79,21 +81,22 @@ pub fn verify_linear(
     // Lyapunov matrix and its spectral data (Q = I keeps the disturbance
     // margin 1 − 1/λ_max(P) tight; see `decrease_certificate`).
     let q = Matrix::identity(n);
-    let p = solve_discrete_lyapunov(&a_d, &q).map_err(|e| {
-        VerificationFailure::NoCertificateFound {
+    let p =
+        solve_discrete_lyapunov(&a_d, &q).map_err(|e| VerificationFailure::NoCertificateFound {
             counterexample: None,
             reason: format!("discrete Lyapunov equation could not be solved: {e}"),
-        }
-    })?;
+        })?;
     let eig = SymmetricEigen::new(&p).map_err(|e| VerificationFailure::NoCertificateFound {
         counterexample: None,
         reason: format!("eigen-decomposition failed: {e}"),
     })?;
     let lambda_max = eig.max_eigenvalue();
-    let p_inv = p.inverse().map_err(|e| VerificationFailure::NoCertificateFound {
-        counterexample: None,
-        reason: format!("Lyapunov matrix is numerically singular: {e}"),
-    })?;
+    let p_inv = p
+        .inverse()
+        .map_err(|e| VerificationFailure::NoCertificateFound {
+            counterexample: None,
+            reason: format!("Lyapunov matrix is numerically singular: {e}"),
+        })?;
     // Largest level keeping the ellipsoid inside the safe box.
     let mut level_max = f64::INFINITY;
     for i in 0..n {
@@ -136,7 +139,9 @@ pub fn verify_linear(
         0.0
     };
     if level_init > level_max {
-        return Err(VerificationFailure::InitialStateNotCovered { state: worst_corner });
+        return Err(VerificationFailure::InitialStateNotCovered {
+            state: worst_corner,
+        });
     }
     if level_disturbance > level_max {
         return Err(VerificationFailure::NoCertificateFound {
@@ -254,8 +259,12 @@ mod tests {
     fn rejects_a_destabilizing_program() {
         let env = double_integrator(None);
         let runaway = vec![Polynomial::linear(&[2.0, 0.5], 0.0)];
-        let err = verify_linear(&env, &runaway, env.init(), &VerificationConfig::default()).unwrap_err();
-        assert!(matches!(err, VerificationFailure::UnstableClosedLoop { .. }));
+        let err =
+            verify_linear(&env, &runaway, env.init(), &VerificationConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            VerificationFailure::UnstableClosedLoop { .. }
+        ));
     }
 
     #[test]

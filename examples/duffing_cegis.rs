@@ -29,7 +29,10 @@ fn main() {
     println!("{}", shield.to_program().pretty(&env.variable_names()));
     // The two initial states discussed in Example 4.3.
     for s0 in [[-0.46, -0.36], [2.249, 2.0]] {
-        assert!(shield.covers(&s0), "{s0:?} must be covered by the final shield");
+        assert!(
+            shield.covers(&s0),
+            "{s0:?} must be covered by the final shield"
+        );
         println!("initial state {s0:?} is covered");
     }
 }

@@ -24,7 +24,11 @@ fn main() {
         ..PipelineConfig::default()
     };
     let (oracle, elapsed) = train_oracle(&env, &config);
-    println!("trained a {}-parameter neural policy in {:.1}s", oracle.network().num_parameters(), elapsed.as_secs_f64());
+    println!(
+        "trained a {}-parameter neural policy in {:.1}s",
+        oracle.network().num_parameters(),
+        elapsed.as_secs_f64()
+    );
 
     // Distill it into the affine sketch of Eq. (4).
     let sketch = ProgramSketch::affine(env.state_dim(), env.action_dim());
@@ -39,15 +43,27 @@ fn main() {
         &mut rng,
     );
     let program = synthesized.to_program();
-    println!("\nsynthesized interpretation:\n{}", program.pretty(&env.variable_names()));
-    println!("objective (oracle proximity, higher is closer): {:.3}", synthesized.report.final_objective);
+    println!(
+        "\nsynthesized interpretation:\n{}",
+        program.pretty(&env.variable_names())
+    );
+    println!(
+        "objective (oracle proximity, higher is closer): {:.3}",
+        synthesized.report.final_objective
+    );
 
     // Compare the two policies on a few states.
-    println!("\n{:>10} {:>10} {:>14} {:>14}", "eta", "omega", "oracle", "program");
+    println!(
+        "\n{:>10} {:>10} {:>14} {:>14}",
+        "eta", "omega", "oracle", "program"
+    );
     for s in [[0.2, 0.0], [0.1, -0.3], [-0.25, 0.2], [0.0, 0.35]] {
         println!(
             "{:>10.2} {:>10.2} {:>14.3} {:>14.3}",
-            s[0], s[1], oracle.action(&s)[0], program.action(&s)[0]
+            s[0],
+            s[1],
+            oracle.action(&s)[0],
+            program.action(&s)[0]
         );
     }
     let mut rng2 = SmallRng::seed_from_u64(6);

@@ -5,7 +5,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use vrl::dynamics::{ClosurePolicy, Policy};
+use vrl::dynamics::ClosurePolicy;
 use vrl::shield::{evaluate_shielded_system, synthesize_shield, CegisConfig};
 use vrl::verify::VerificationConfig;
 use vrl_benchmarks::pendulum::pendulum_original;
@@ -21,13 +21,21 @@ fn main() {
         ..CegisConfig::default()
     };
     let mut rng = SmallRng::seed_from_u64(1);
-    let (shield, report) =
-        synthesize_shield(&env, &oracle, &config, &mut rng).expect("the pendulum oracle is shieldable");
+    let (shield, report) = synthesize_shield(&env, &oracle, &config, &mut rng)
+        .expect("the pendulum oracle is shieldable");
 
-    println!("Synthesized {} verified piece(s) in {:.1}s:\n", report.pieces, report.synthesis_time.as_secs_f64());
+    println!(
+        "Synthesized {} verified piece(s) in {:.1}s:\n",
+        report.pieces,
+        report.synthesis_time.as_secs_f64()
+    );
     println!("{}", shield.to_program().pretty(&env.variable_names()));
     for (i, piece) in shield.pieces().iter().enumerate() {
-        println!("invariant {}: {}\n", i + 1, piece.invariant().pretty(&env.variable_names()));
+        println!(
+            "invariant {}: {}\n",
+            i + 1,
+            piece.invariant().pretty(&env.variable_names())
+        );
     }
 
     let eval = evaluate_shielded_system(&env, &oracle, &shield, 20, 2000, &mut rng);

@@ -25,13 +25,20 @@ fn main() {
     };
     let outcome = run_pipeline(&env, &config).expect("the quadcopter is shieldable");
     let eval = &outcome.evaluation;
-    println!("neural oracle trained in {:.1}s ({} parameters)",
+    println!(
+        "neural oracle trained in {:.1}s ({} parameters)",
         outcome.training_time.as_secs_f64(),
-        outcome.oracle.network().num_parameters());
-    println!("shield: {} piece(s), synthesized in {:.1}s",
+        outcome.oracle.network().num_parameters()
+    );
+    println!(
+        "shield: {} piece(s), synthesized in {:.1}s",
         outcome.shield.num_pieces(),
-        outcome.cegis_report.synthesis_time.as_secs_f64());
-    println!("{}", outcome.shield.to_program().pretty(&env.variable_names()));
+        outcome.cegis_report.synthesis_time.as_secs_f64()
+    );
+    println!(
+        "{}",
+        outcome.shield.to_program().pretty(&env.variable_names())
+    );
     println!(
         "evaluation over {} episodes: {} unshielded failures, {} shielded failures, {} interventions, {:.2}% overhead",
         eval.episodes, eval.neural_failures, eval.shielded_failures, eval.interventions, eval.overhead_percent

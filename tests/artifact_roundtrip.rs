@@ -1,0 +1,201 @@
+//! Artifact persistence round-trip tests over Table 1 benchmarks: a shield
+//! serialized and deserialized must make *identical* decisions everywhere,
+//! and corrupted or version-incompatible artifacts must be rejected.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::dynamics::Policy;
+use vrl::poly::Polynomial;
+use vrl::shield::{Shield, ShieldPiece};
+use vrl::synth::PolicyProgram;
+use vrl::verify::{verify_program, VerificationConfig};
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::fixtures;
+use vrl_runtime::{ArtifactError, ShieldArtifact, FORMAT_VERSION};
+
+/// A deployment for a Table 1 benchmark: ellipsoid-invariant shield plus a
+/// small random oracle, both from the shared `vrl_runtime::fixtures`
+/// helpers (round-trip *fidelity* does not depend on how the certificate
+/// was obtained).
+fn artifact_for(name: &str, gains: &[f64], radii: &[f64], seed: u64) -> ShieldArtifact {
+    let env = benchmark_by_name(name)
+        .unwrap_or_else(|| panic!("{name} is a Table 1 benchmark"))
+        .into_env();
+    fixtures::demo_artifact(&env, gains, radii, &[32, 32], seed)
+        .expect("benchmark dimensions agree")
+        .with_label(format!("roundtrip-{name}"))
+}
+
+/// The satellite deployment goes through the *real* Lyapunov verification
+/// back-end (it is linear, so the certificate search is fast even in debug
+/// builds).
+fn verified_satellite_artifact(seed: u64) -> ShieldArtifact {
+    let env = benchmark_by_name("satellite").unwrap().into_env();
+    let gains = [-2.0, -2.0];
+    let invariant = verify_program(
+        &env,
+        &[Polynomial::linear(&gains, 0.0)],
+        env.init(),
+        &VerificationConfig::with_degree(2),
+    )
+    .expect("the satellite PD program is certifiable");
+    let shield = Shield::new(
+        env.clone(),
+        vec![ShieldPiece::new(
+            PolicyProgram::linear(&[gains.to_vec()], &[0.0]),
+            invariant,
+        )],
+    );
+    ShieldArtifact::new(shield, fixtures::demo_oracle(&env, &[32, 32], seed))
+        .expect("benchmark dimensions agree")
+        .with_label("roundtrip-satellite".to_string())
+}
+
+/// The three Table 1 deployments exercised below, with stabilizing gains
+/// from `vrl_runtime::fixtures`.  Built once per test binary: the bytes are
+/// cached and each test decodes its own copy.
+fn table1_artifacts() -> Vec<(&'static str, ShieldArtifact)> {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<Vec<(&'static str, Vec<u8>)>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            vec![
+                ("satellite", verified_satellite_artifact(41).to_bytes()),
+                (
+                    "pendulum",
+                    artifact_for(
+                        "pendulum",
+                        &fixtures::PENDULUM_GAINS,
+                        &fixtures::PENDULUM_RADII,
+                        42,
+                    )
+                    .to_bytes(),
+                ),
+                (
+                    "cartpole",
+                    artifact_for(
+                        "cartpole",
+                        &fixtures::CARTPOLE_GAINS,
+                        &fixtures::CARTPOLE_RADII,
+                        43,
+                    )
+                    .to_bytes(),
+                ),
+            ]
+        })
+        .iter()
+        .map(|(name, bytes)| {
+            (
+                *name,
+                ShieldArtifact::from_bytes(bytes).expect("cached artifact decodes"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn decisions_are_identical_after_round_trip_on_table1_benchmarks() {
+    for (name, artifact) in table1_artifacts() {
+        let bytes = artifact.to_bytes();
+        let restored = ShieldArtifact::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{name} round trip failed: {e}"));
+        assert_eq!(
+            restored.metadata(),
+            artifact.metadata(),
+            "{name} metadata drifted"
+        );
+        // Serialization is deterministic byte for byte.
+        assert_eq!(
+            restored.to_bytes(),
+            bytes,
+            "{name} serialization is not canonical"
+        );
+        // 100 states sampled from the whole safe region (not just S0), so
+        // the comparison covers allowed, overridden, and fallback decisions.
+        let mut rng = SmallRng::seed_from_u64(2019);
+        let safe_box = artifact.shield().env().safety().safe_box().clone();
+        let mut interventions = 0;
+        for _ in 0..100 {
+            let state = safe_box.sample(&mut rng);
+            let proposed = artifact.oracle().action(&state);
+            assert_eq!(
+                restored.oracle().action(&state),
+                proposed,
+                "{name}: oracle drifted at {state:?}"
+            );
+            let expected = artifact.shield().decide(&state, &proposed);
+            let actual = restored.shield().decide(&state, &proposed);
+            assert_eq!(
+                actual, expected,
+                "{name}: shield decision drifted at {state:?}"
+            );
+            if expected.intervened {
+                interventions += 1;
+            }
+        }
+        assert!(
+            interventions > 0,
+            "{name}: the sample should exercise at least one intervention"
+        );
+    }
+}
+
+#[test]
+fn file_round_trip_preserves_decisions() {
+    let (_, artifact) = table1_artifacts().remove(1);
+    let dir = std::env::temp_dir().join("vrl-roundtrip-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pendulum.shield");
+    artifact.save(&path).unwrap();
+    let loaded = ShieldArtifact::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded.label(), "roundtrip-pendulum");
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let state = artifact.shield().env().sample_initial(&mut rng);
+        let proposed = artifact.oracle().action(&state);
+        assert_eq!(
+            loaded.shield().decide(&state, &proposed),
+            artifact.shield().decide(&state, &proposed)
+        );
+    }
+}
+
+#[test]
+fn corrupted_bytes_are_rejected_not_misparsed() {
+    let (_, artifact) = table1_artifacts().remove(0);
+    let bytes = artifact.to_bytes();
+    // Flip one bit in every 97th byte of the payload region: each corruption
+    // must be caught by the checksum (or, for header bytes, the gates).
+    for offset in (16..bytes.len() - 8).step_by(97) {
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= 0x01;
+        assert!(
+            ShieldArtifact::from_bytes(&corrupted).is_err(),
+            "bit flip at byte {offset} went undetected"
+        );
+    }
+    // Truncations anywhere must be rejected.
+    for keep in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+        assert!(ShieldArtifact::from_bytes(&bytes[..keep]).is_err());
+    }
+}
+
+#[test]
+fn wrong_format_version_is_rejected() {
+    let (_, artifact) = table1_artifacts().remove(0);
+    let mut bytes = artifact.to_bytes();
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    match ShieldArtifact::from_bytes(&bytes) {
+        Err(ArtifactError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 7);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    // And a wholly different file type is identified as such.
+    assert!(matches!(
+        ShieldArtifact::from_bytes(b"PK\x03\x04 definitely a zip file"),
+        Err(ArtifactError::BadMagic)
+    ));
+}

@@ -7,9 +7,9 @@ use vrl::dynamics::{BoxRegion, Policy};
 use vrl::poly::Polynomial;
 use vrl::synth::PolicyProgram;
 use vrl::verify::{verify_program, VerificationConfig};
-use vrl_benchmarks::{all_benchmarks, benchmark_by_name};
 use vrl_benchmarks::oscillator::FILTER_ORDER;
 use vrl_benchmarks::platoon::platoon_env;
+use vrl_benchmarks::{all_benchmarks, benchmark_by_name};
 
 #[test]
 fn registry_exposes_all_fifteen_benchmarks() {
@@ -25,8 +25,13 @@ fn lyapunov_backend_certifies_the_lti_benchmarks() {
     // Satellite with a PD program.
     let satellite = benchmark_by_name("satellite").unwrap().into_env();
     let program = vec![Polynomial::linear(&[-2.0, -2.0], 0.0)];
-    let cert = verify_program(&satellite, &program, satellite.init(), &VerificationConfig::with_degree(2))
-        .expect("satellite PD program is certifiable");
+    let cert = verify_program(
+        &satellite,
+        &program,
+        satellite.init(),
+        &VerificationConfig::with_degree(2),
+    )
+    .expect("satellite PD program is certifiable");
     let mut rng = SmallRng::seed_from_u64(31);
     for _ in 0..50 {
         let s = satellite.sample_initial(&mut rng);
@@ -43,7 +48,7 @@ fn lyapunov_backend_scales_to_the_eight_car_platoon() {
     // search uses higher-degree certificates there.  We certify a reduced
     // initial region, which still exercises the 16-dimensional back-end, and
     // the CEGIS driver reports the uncovered corners honestly otherwise.
-    let env = platoon_env(8).with_init(BoxRegion::symmetric(&vec![0.03; 16]));
+    let env = platoon_env(8).with_init(BoxRegion::symmetric(&[0.03; 16]));
     // Per-car PD with predecessor feed-forward: a_i = -2 e_i - 2.5 v_i + a_{i-1},
     // i.e. the cumulative gains Σ_{j ≤ i} (-2 e_j - 2.5 v_j), which decouples
     // the platoon into independent double integrators.
@@ -58,11 +63,17 @@ fn lyapunov_backend_scales_to_the_eight_car_platoon() {
             Polynomial::linear(&gains, 0.0)
         })
         .collect();
-    let cert = verify_program(&env, &programs, env.init(), &VerificationConfig::with_degree(2))
-        .expect("the 16-dimensional platoon must be certifiable by the quadratic back-end");
+    let cert = verify_program(
+        &env,
+        &programs,
+        env.init(),
+        &VerificationConfig::with_degree(2),
+    )
+    .expect("the 16-dimensional platoon must be certifiable by the quadratic back-end");
     assert_eq!(cert.state_dim(), 16);
     // Simulated closed loop never leaves the invariant.
-    let program = PolicyProgram::from_branches(vec![vrl::synth::GuardedPolicy::unconditional(programs)]);
+    let program =
+        PolicyProgram::from_branches(vec![vrl::synth::GuardedPolicy::unconditional(programs)]);
     let mut s = vec![0.03; 16];
     for _ in 0..2000 {
         assert!(cert.contains(&s));
@@ -76,16 +87,21 @@ fn lyapunov_backend_handles_the_eighteen_dimensional_oscillator() {
     // Certify the damped oscillator on a reduced initial region, exercising
     // the 18-dimensional quadratic back-end.
     let env = vrl_benchmarks::oscillator::oscillator_env()
-        .with_init(BoxRegion::symmetric(&vec![0.02; 2 + FILTER_ORDER]));
+        .with_init(BoxRegion::symmetric(&[0.02; 2 + FILTER_ORDER]));
     let n = env.state_dim();
     let mut gains = vec![0.0; n];
     gains[0] = -1.0;
     gains[1] = -1.5;
     let program = vec![Polynomial::linear(&gains, 0.0)];
-    let cert = verify_program(&env, &program, env.init(), &VerificationConfig::with_degree(2))
-        .expect("the 18-dimensional oscillator must be certifiable on the reduced region");
+    let cert = verify_program(
+        &env,
+        &program,
+        env.init(),
+        &VerificationConfig::with_degree(2),
+    )
+    .expect("the 18-dimensional oscillator must be certifiable on the reduced region");
     assert_eq!(cert.state_dim(), 18);
-    assert!(cert.contains(&vec![0.02; 18]));
+    assert!(cert.contains(&[0.02; 18]));
 }
 
 #[test]
@@ -107,7 +123,10 @@ fn nonlinear_backend_certifies_the_biology_benchmark() {
                 let s = env.sample_initial(&mut rng);
                 assert!(cert.contains(&s));
             }
-            assert!(!cert.contains(&[-1.0, 0.0, 0.0]), "hypoglycemic states must be excluded");
+            assert!(
+                !cert.contains(&[-1.0, 0.0, 0.0]),
+                "hypoglycemic states must be excluded"
+            );
         }
         Err(failure) => {
             assert!(
@@ -117,7 +136,10 @@ fn nonlinear_backend_certifies_the_biology_benchmark() {
             // Even when the certificate search is inconclusive, the program is
             // empirically safe; the runtime shield would fall back to it.
             let mut rng = SmallRng::seed_from_u64(33);
-            let policy = PolicyProgram::from_branches(vec![vrl::synth::GuardedPolicy::unconditional(program)]);
+            let policy =
+                PolicyProgram::from_branches(vec![vrl::synth::GuardedPolicy::unconditional(
+                    program,
+                )]);
             for _ in 0..10 {
                 let s0 = env.sample_initial(&mut rng);
                 let t = env.rollout(&policy, &s0, 3000, &mut rng);
@@ -132,6 +154,9 @@ fn every_benchmark_program_sketch_dimension_matches() {
     for spec in all_benchmarks() {
         let env = spec.env();
         let sketch = vrl::synth::ProgramSketch::affine(env.state_dim(), env.action_dim());
-        assert_eq!(sketch.num_parameters(), env.action_dim() * (env.state_dim() + 1));
+        assert_eq!(
+            sketch.num_parameters(),
+            env.action_dim() * (env.state_dim() + 1)
+        );
     }
 }

@@ -26,8 +26,8 @@ fn cegis_covers_the_duffing_initial_region() {
         ..CegisConfig::smoke_test()
     };
     let mut rng = SmallRng::seed_from_u64(12);
-    let (shield, report) =
-        synthesize_shield(&env, &oracle, &config, &mut rng).expect("the Duffing oscillator is shieldable");
+    let (shield, report) = synthesize_shield(&env, &oracle, &config, &mut rng)
+        .expect("the Duffing oscillator is shieldable");
     assert!(report.pieces >= 1);
     assert!(report.attempts >= report.pieces);
     // The paper's Example 4.3 counterexample initial states must be covered.
@@ -39,11 +39,17 @@ fn cegis_covers_the_duffing_initial_region() {
     }
     for _ in 0..200 {
         let s = env.sample_initial(&mut rng);
-        assert!(shield.covers(&s), "sampled initial state {s:?} must be covered");
+        assert!(
+            shield.covers(&s),
+            "sampled initial state {s:?} must be covered"
+        );
     }
     // The invariants certify only safe states.
     let program = shield.to_program();
-    assert!(program.evaluate(&[6.0, 0.0]).is_none(), "states outside the safe box must hit the abort branch");
+    assert!(
+        program.evaluate(&[6.0, 0.0]).is_none(),
+        "states outside the safe box must hit the abort branch"
+    );
 }
 
 #[test]

@@ -25,7 +25,8 @@ fn heavier_pendulum_gets_a_new_shield_without_retraining() {
     // the table3 harness rather than this smoke-test budget).
     let oracle = ClosurePolicy::new(1, |s: &[f64]| vec![-12.05 * s[0] - 5.87 * s[1]]);
     let original = pendulum_env(1.0, 1.0, degrees(90.0), degrees(90.0));
-    let heavier = pendulum_env(1.3, 1.0, degrees(90.0), degrees(90.0)).with_name("pendulum-heavier");
+    let heavier =
+        pendulum_env(1.3, 1.0, degrees(90.0), degrees(90.0)).with_name("pendulum-heavier");
     let config = CegisConfig {
         verification: VerificationConfig::with_degree(4),
         // Gravity demands angle gains beyond −9.8, which the tiny smoke
@@ -47,15 +48,20 @@ fn heavier_pendulum_gets_a_new_shield_without_retraining() {
 
 #[test]
 fn obstacle_variant_excludes_the_blocked_lane_from_the_invariant() {
+    use vrl::dynamics::BoxRegion;
     use vrl::poly::Polynomial;
     use vrl::verify::verify_program;
-    use vrl::dynamics::BoxRegion;
     let variant = vrl_benchmarks::driving::self_driving_with_obstacle()
         .into_env()
         .with_init(BoxRegion::symmetric(&[0.15, 0.05, 0.05, 0.05]));
     let program = vec![Polynomial::linear(&[-2.0, -2.5, -3.0, -1.5], 0.0)];
-    let cert = verify_program(&variant, &program, variant.init(), &VerificationConfig::with_degree(2))
-        .expect("the steering program is certifiable around the obstacle");
+    let cert = verify_program(
+        &variant,
+        &program,
+        variant.init(),
+        &VerificationConfig::with_degree(2),
+    )
+    .expect("the steering program is certifiable around the obstacle");
     // The obstacle occupies lateral offsets in [1.2, 2.0]: excluded.
     assert!(!cert.contains(&[1.5, 0.0, 0.0, 0.0]));
     assert!(cert.contains(&[0.0, 0.0, 0.0, 0.0]));

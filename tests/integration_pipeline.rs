@@ -12,7 +12,10 @@ fn full_pipeline_shields_the_quadcopter() {
     config.evaluation_steps = 500;
     let outcome = run_pipeline(&env, &config).expect("the quadcopter is shieldable");
     assert!(outcome.shield.num_pieces() >= 1);
-    assert_eq!(outcome.evaluation.shielded_failures, 0, "the shield must prevent every violation");
+    assert_eq!(
+        outcome.evaluation.shielded_failures, 0,
+        "the shield must prevent every violation"
+    );
     assert_eq!(outcome.evaluation.episodes, 5);
     // The flattened Theorem 4.2 program covers the initial region's centre.
     let program = outcome.shield.to_program();

@@ -1,0 +1,207 @@
+//! End-to-end deployment test: synthesize a shield with the full pipeline,
+//! persist it, serve it concurrently, then re-synthesize for a changed
+//! environment and hot swap — all with zero unsafe decisions.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use vrl::dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl::pipeline::{run_pipeline, PipelineConfig};
+use vrl::poly::Polynomial;
+use vrl::verify::VerificationConfig;
+use vrl_runtime::{ShieldArtifact, ShieldServer};
+
+/// The scalar system the pipeline tests use: ẋ = a, start in |x| ≤ 0.3,
+/// stay in |x| ≤ 1, actions saturated to |a| ≤ 2.
+fn scalar_env() -> EnvironmentContext {
+    let dynamics = PolyDynamics::new(1, 1, vec![Polynomial::variable(1, 2)]).unwrap();
+    EnvironmentContext::new(
+        "scalar",
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.3]),
+        SafetySpec::inside(BoxRegion::symmetric(&[1.0])),
+    )
+    .with_action_bounds(vec![-2.0], vec![2.0])
+}
+
+fn smoke_config() -> PipelineConfig {
+    let mut config = PipelineConfig::smoke_test();
+    config.cegis.verification = VerificationConfig::with_degree(2);
+    config
+}
+
+/// Drives the closed loop through the server for `steps` transitions and
+/// asserts that no visited state ever violates `env`'s safety spec.
+fn drive_safely(
+    server: &ShieldServer,
+    deployment: &str,
+    env: &EnvironmentContext,
+    start: &[f64],
+    steps: usize,
+) {
+    let mut state = start.to_vec();
+    for step in 0..steps {
+        assert!(
+            !env.is_unsafe(&state),
+            "state {state:?} became unsafe at step {step}"
+        );
+        let decision = server.decide(deployment, &state).expect("serving succeeds");
+        state = env.step_deterministic(&state, &decision.action);
+    }
+}
+
+#[test]
+fn deploy_serve_resynthesize_hot_swap() {
+    // 1. Synthesize: train an oracle and a verified shield end to end.
+    let env = scalar_env();
+    let config = smoke_config();
+    let outcome = run_pipeline(&env, &config).expect("the scalar system is shieldable");
+    assert_eq!(outcome.evaluation.shielded_failures, 0);
+
+    // 2. Persist and reload the deployment bundle (bytes round trip).
+    let artifact = ShieldArtifact::new(outcome.shield, outcome.oracle)
+        .unwrap()
+        .with_label("pipeline-v1");
+    let artifact = ShieldArtifact::from_bytes(&artifact.to_bytes()).expect("round trip");
+
+    // 3. Deploy and serve.
+    let server = Arc::new(ShieldServer::with_workers(4));
+    server.deploy("scalar", artifact).unwrap();
+    assert_eq!(server.generation("scalar").unwrap(), 1);
+
+    // Batched serving: every sampled start state gets a decision, and the
+    // batch agrees with sequential serving (decisions are pure).
+    let mut rng = SmallRng::seed_from_u64(99);
+    let states: Vec<Vec<f64>> = (0..300).map(|_| env.sample_initial(&mut rng)).collect();
+    let batch = server.decide_batch("scalar", &states).unwrap();
+    assert_eq!(batch.len(), states.len());
+    for (state, expected) in states.iter().zip(batch.iter()) {
+        assert_eq!(&server.decide("scalar", state).unwrap(), expected);
+    }
+
+    // Closed-loop serving is safe from several starts (zero unsafe states).
+    for start in [[-0.3], [-0.1], [0.0], [0.2], [0.3]] {
+        drive_safely(&server, "scalar", &env, &start, 400);
+    }
+
+    // 4. Concurrent traffic from 4 threads while the environment changes
+    //    under the deployment.
+    let stop = Arc::new(AtomicBool::new(false));
+    let served: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+    let unsafe_decisions = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&served);
+        let unsafe_decisions = Arc::clone(&unsafe_decisions);
+        let env = scalar_env();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(1000 + t as u64);
+            let mut count = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // States from the *restricted* initial region are valid
+                // under both the old and the new shield.
+                let state = vec![rng_range(&mut rng, -0.25, 0.25)];
+                let decision = server
+                    .decide("scalar", &state)
+                    .expect("serving never fails");
+                assert_eq!(decision.action.len(), 1);
+                assert!(decision.action[0].is_finite());
+                // Consistency: the applied action must respect the action
+                // bounds shared by both generations.
+                assert!(decision.action[0].abs() <= 2.0 + 1e-12);
+                // The successor under the applied action must stay safe in
+                // the (looser) original environment for both generations.
+                let next = env.step_deterministic(&state, &decision.action);
+                if env.is_unsafe(&next) {
+                    unsafe_decisions.fetch_add(1, Ordering::Relaxed);
+                }
+                count += 1;
+                served[t as usize].store(count, Ordering::Relaxed);
+            }
+            count
+        }));
+    }
+
+    // Wait until all threads are serving, then hot swap mid-traffic:
+    // re-synthesize the shield for a *tighter* safety requirement without
+    // retraining the oracle (the Table 3 scenario).
+    while served.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
+        std::thread::yield_now();
+    }
+    let restricted = scalar_env()
+        .with_safety(SafetySpec::inside(BoxRegion::symmetric(&[0.6])))
+        .with_name("scalar-restricted");
+    let (generation, report) = server
+        .resynthesize_and_redeploy("scalar", &restricted, &config)
+        .expect("the restricted scalar system is shieldable");
+    assert_eq!(generation, 2);
+    assert!(report.pieces >= 1);
+    assert_eq!(server.environment("scalar").unwrap(), "scalar-restricted");
+
+    // Let traffic run against the new generation, then stop.
+    let marks: Vec<u64> = served.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    while served
+        .iter()
+        .zip(marks.iter())
+        .any(|(c, &mark)| c.load(Ordering::Relaxed) <= mark)
+    {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0;
+    for handle in handles {
+        total += handle.join().expect("serving thread never panicked");
+    }
+    assert!(total > 0);
+    assert_eq!(
+        unsafe_decisions.load(Ordering::Relaxed),
+        0,
+        "no decision before, during, or after the hot swap may lead unsafe"
+    );
+
+    // 5. The swapped-in shield keeps the closed loop inside the *tighter*
+    //    bound, oracle unchanged.
+    for start in [[-0.25], [0.0], [0.25]] {
+        drive_safely(&server, "scalar", &restricted, &start, 400);
+    }
+
+    // Telemetry observed everything.
+    let telemetry = server.telemetry("scalar").unwrap();
+    assert_eq!(telemetry.generation, 2);
+    assert_eq!(telemetry.redeploys, 1);
+    assert!(telemetry.decisions as usize >= total as usize);
+    assert!(telemetry.p99_latency >= telemetry.p50_latency);
+}
+
+#[test]
+fn resynthesis_failure_keeps_previous_shield_serving() {
+    let env = scalar_env();
+    let config = smoke_config();
+    let outcome = run_pipeline(&env, &config).expect("shieldable");
+    let server = ShieldServer::with_workers(2);
+    let artifact = ShieldArtifact::new(outcome.shield, outcome.oracle).unwrap();
+    server.deploy("scalar", artifact).unwrap();
+
+    // An absurdly tight safety bound the CEGIS budget cannot cover.
+    let impossible = scalar_env()
+        .with_safety(SafetySpec::inside(BoxRegion::symmetric(&[1e-4])))
+        .with_name("scalar-impossible");
+    let result = server.resynthesize_and_redeploy("scalar", &impossible, &config);
+    assert!(
+        result.is_err(),
+        "synthesis for the impossible spec must fail"
+    );
+
+    // The deployment is untouched and keeps serving the verified shield.
+    assert_eq!(server.generation("scalar").unwrap(), 1);
+    drive_safely(&server, "scalar", &env, &[0.2], 300);
+}
+
+fn rng_range(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+    use rand::Rng;
+    rng.gen_range(lo..hi)
+}

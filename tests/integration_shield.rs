@@ -46,8 +46,14 @@ fn adversarial_network_is_kept_safe_by_the_shield() {
     let adversary = ConstantPolicy::new(vec![8.0]);
     let mut rng = SmallRng::seed_from_u64(23);
     let eval = evaluate_shielded_system(&env, &adversary, &shield, 5, 3000, &mut rng);
-    assert!(eval.neural_failures > 0, "the unshielded adversary must fail");
-    assert_eq!(eval.shielded_failures, 0, "the shield must prevent every failure");
+    assert!(
+        eval.neural_failures > 0,
+        "the unshielded adversary must fail"
+    );
+    assert_eq!(
+        eval.shielded_failures, 0,
+        "the shield must prevent every failure"
+    );
     assert!(eval.interventions > 0);
 }
 
