@@ -1,0 +1,408 @@
+//! Compiled-kernel evaluation benchmarks: reference (sparse `BTreeMap`)
+//! polynomial evaluation vs the flat [`CompiledPolynomial`] /
+//! [`CompiledPolySet`] kernels, plus branch-and-bound end-to-end on the
+//! pendulum and cartpole induction queries and a compiled-shield serving
+//! throughput probe.
+//!
+//! Besides the usual per-benchmark timing output, this bench records its
+//! headline numbers (reference vs compiled, speedups, decisions/sec) in
+//! `BENCH_eval.json` at the workspace root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use vrl::poly::{basis_size, monomial_basis, Interval, PolyScratch, Polynomial};
+use vrl::solver::{prove_bound, BoundQuery, BranchBoundConfig, ProofOutcome};
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::{fixtures, ShieldServer};
+
+/// A dense degree-4 polynomial in 4 variables (70 terms): the workload the
+/// acceptance criterion names.
+fn dense_poly() -> Polynomial {
+    let nvars = 4;
+    let degree = 4;
+    let basis = monomial_basis(nvars, degree);
+    assert_eq!(basis.len(), basis_size(nvars, degree));
+    let mut rng = SmallRng::seed_from_u64(42);
+    let coeffs: Vec<f64> = (0..basis.len()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    Polynomial::from_basis(nvars, &basis, &coeffs)
+}
+
+fn sample_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.5..1.5)).collect())
+        .collect()
+}
+
+fn sample_boxes(n: usize, dim: usize, seed: u64) -> Vec<Vec<Interval>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    let lo = rng.gen_range(-1.5..1.0);
+                    Interval::new(lo, lo + rng.gen_range(0.0..0.5))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Times `f` over `rounds` full passes, returning seconds per pass.
+fn time_per_pass(rounds: usize, mut f: impl FnMut()) -> f64 {
+    // One warm-up pass so scratch buffers reach steady state.
+    f();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        f();
+    }
+    start.elapsed().as_secs_f64() / rounds as f64
+}
+
+struct KernelNumbers {
+    point_reference: f64,
+    point_compiled: f64,
+    interval_reference: f64,
+    interval_compiled: f64,
+}
+
+fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
+    let p = dense_poly();
+    let compiled = p.compile();
+    let points = sample_points(4096, p.nvars(), 7);
+    let boxes = sample_boxes(4096, p.nvars(), 8);
+    let mut scratch = PolyScratch::new();
+
+    let mut group = c.benchmark_group("eval_kernels/dense_deg4_4var");
+    group.sample_size(20);
+    group.bench_function("point/reference", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for point in &points {
+                acc += p.eval(black_box(point));
+            }
+            acc
+        })
+    });
+    group.bench_function("point/compiled", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for point in &points {
+                acc += compiled.eval_with(black_box(point), &mut scratch);
+            }
+            acc
+        })
+    });
+    group.bench_function("interval/reference", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for domain in &boxes {
+                acc += p.eval_interval(black_box(domain)).hi();
+            }
+            acc
+        })
+    });
+    group.bench_function("interval/compiled", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for domain in &boxes {
+                acc += compiled
+                    .eval_interval_with(black_box(domain), &mut scratch)
+                    .hi();
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    // Headline numbers for BENCH_eval.json (seconds per 4096 evaluations).
+    let point_reference = time_per_pass(20, || {
+        let mut acc = 0.0;
+        for point in &points {
+            acc += p.eval(black_box(point));
+        }
+        black_box(acc);
+    });
+    let point_compiled = time_per_pass(20, || {
+        let mut acc = 0.0;
+        for point in &points {
+            acc += compiled.eval_with(black_box(point), &mut scratch);
+        }
+        black_box(acc);
+    });
+    let interval_reference = time_per_pass(20, || {
+        let mut acc = 0.0;
+        for domain in &boxes {
+            acc += p.eval_interval(black_box(domain)).hi();
+        }
+        black_box(acc);
+    });
+    let interval_compiled = time_per_pass(20, || {
+        let mut acc = 0.0;
+        for domain in &boxes {
+            acc += compiled
+                .eval_interval_with(black_box(domain), &mut scratch)
+                .hi();
+        }
+        black_box(acc);
+    });
+    println!(
+        "  -> point eval speedup: {:.2}x, interval eval speedup: {:.2}x",
+        point_reference / point_compiled,
+        interval_reference / interval_compiled
+    );
+    KernelNumbers {
+        point_reference,
+        point_compiled,
+        interval_reference,
+        interval_compiled,
+    }
+}
+
+/// The pre-compilation branch-and-bound loop (the seed implementation):
+/// interval evaluation straight off the sparse representation, fresh
+/// `collect()`s per node.  Kept here as the end-to-end baseline.
+fn reference_prove_bound(
+    objective: &Polynomial,
+    bound: f64,
+    guards: &[&Polynomial],
+    domain: &[Interval],
+    config: &BranchBoundConfig,
+) -> ProofOutcome {
+    let mut stack: Vec<Vec<Interval>> = vec![domain.to_vec()];
+    let mut boxes_examined = 0usize;
+    let mut undecided = false;
+    while let Some(current) = stack.pop() {
+        boxes_examined += 1;
+        if boxes_examined > config.max_boxes {
+            return ProofOutcome::Unknown {
+                boxes_examined,
+                worst_box: None,
+            };
+        }
+        if guards.iter().any(|g| g.eval_interval(&current).lo() > 0.0) {
+            continue;
+        }
+        let enclosure = objective.eval_interval(&current);
+        if enclosure.hi() <= bound + config.tolerance {
+            continue;
+        }
+        let midpoint: Vec<f64> = current.iter().map(Interval::midpoint).collect();
+        let candidates = [
+            midpoint,
+            current.iter().map(Interval::lo).collect::<Vec<f64>>(),
+            current.iter().map(Interval::hi).collect::<Vec<f64>>(),
+        ];
+        let mut cex = None;
+        for point in candidates {
+            if guards.iter().all(|g| g.eval(&point) <= 0.0) {
+                let value = objective.eval(&point);
+                if value > bound {
+                    cex = Some(ProofOutcome::Counterexample { point, value });
+                    break;
+                }
+            }
+        }
+        if let Some(cex) = cex {
+            return cex;
+        }
+        let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
+        if widest <= config.min_width {
+            undecided = true;
+            continue;
+        }
+        let split_dim = current
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.width()
+                    .partial_cmp(&b.1.width())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let (left, right) = current[split_dim].bisect();
+        let mut left_box = current.clone();
+        left_box[split_dim] = left;
+        let mut right_box = current;
+        right_box[split_dim] = right;
+        stack.push(left_box);
+        stack.push(right_box);
+    }
+    if undecided {
+        ProofOutcome::Unknown {
+            boxes_examined,
+            worst_box: None,
+        }
+    } else {
+        ProofOutcome::Proved { boxes_examined }
+    }
+}
+
+/// Builds the induction query `E(s') ≤ 0` under guard `E(s) ≤ 0` for one
+/// Table 1 benchmark with its known stabilizing gains and ellipsoid radii.
+fn induction_query(
+    name: &str,
+    gains: &[f64],
+    radii: &[f64],
+) -> (Polynomial, Polynomial, Vec<Interval>) {
+    let env = benchmark_by_name(name)
+        .expect("Table 1 benchmark")
+        .into_env();
+    let program = vec![Polynomial::linear(gains, 0.0)];
+    let successor = env.successor_polynomials(&program);
+    let barrier = fixtures::ellipsoid_certificate(&env, radii)
+        .polynomial()
+        .clone();
+    let next_value = barrier.substitute(&successor);
+    let domain = env.safety().safe_box().to_intervals();
+    (next_value, barrier, domain)
+}
+
+fn bench_branch_bound(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64]) -> (f64, f64) {
+    let (next_value, barrier, domain) = induction_query(name, gains, radii);
+    let config = BranchBoundConfig {
+        max_boxes: 50_000,
+        ..BranchBoundConfig::default()
+    };
+    // Both paths must agree on the outcome before we time them.
+    let query = BoundQuery::new(&next_value, 0.0).with_guard(&barrier);
+    let compiled_outcome = prove_bound(&query, &domain, &config);
+    let reference_outcome = reference_prove_bound(&next_value, 0.0, &[&barrier], &domain, &config);
+    assert_eq!(
+        compiled_outcome.is_proved(),
+        reference_outcome.is_proved(),
+        "compiled and reference branch-and-bound disagree on {name}"
+    );
+
+    let mut group = c.benchmark_group(format!("eval_kernels/branch_bound/{name}"));
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        b.iter(|| reference_prove_bound(&next_value, 0.0, &[&barrier], &domain, &config))
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| prove_bound(&query, &domain, &config))
+    });
+    group.finish();
+
+    let reference = time_per_pass(3, || {
+        black_box(reference_prove_bound(
+            &next_value,
+            0.0,
+            &[&barrier],
+            &domain,
+            &config,
+        ));
+    });
+    let compiled = time_per_pass(3, || {
+        black_box(prove_bound(&query, &domain, &config));
+    });
+    println!(
+        "  -> {name} branch-and-bound speedup: {:.2}x",
+        reference / compiled
+    );
+    (reference, compiled)
+}
+
+/// Serving throughput with the compiled shield (decisions/sec), pendulum
+/// deployment, single-threaded `decide_batch`.
+fn measure_serving_throughput() -> f64 {
+    let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
+    let artifact = fixtures::demo_artifact(
+        &env,
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+        &[240, 200],
+        17,
+    )
+    .expect("dimensions agree");
+    let server = ShieldServer::with_workers(1);
+    server.deploy("pendulum", artifact).unwrap();
+    let mut rng = SmallRng::seed_from_u64(23);
+    let safe = env.safety().safe_box().clone();
+    let states: Vec<Vec<f64>> = (0..8192).map(|_| safe.sample(&mut rng)).collect();
+    let _ = server.decide_batch("pendulum", &states).unwrap(); // warm-up
+    let rounds = 5;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let _ = server.decide_batch("pendulum", &states).unwrap();
+    }
+    (states.len() * rounds) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn write_results(
+    kernels: &KernelNumbers,
+    pendulum: (f64, f64),
+    cartpole: (f64, f64),
+    decisions_per_sec: f64,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    let json = format!(
+        r#"{{
+  "description": "Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound rows are seconds per induction-query proof; serving is single-worker decide_batch on the pendulum deployment with a [240, 200] oracle.",
+  "point_eval": {{
+    "reference_sec": {:.6e},
+    "compiled_sec": {:.6e},
+    "speedup": {:.2}
+  }},
+  "interval_eval": {{
+    "reference_sec": {:.6e},
+    "compiled_sec": {:.6e},
+    "speedup": {:.2}
+  }},
+  "branch_bound_pendulum": {{
+    "reference_sec": {:.6e},
+    "compiled_sec": {:.6e},
+    "speedup": {:.2}
+  }},
+  "branch_bound_cartpole": {{
+    "reference_sec": {:.6e},
+    "compiled_sec": {:.6e},
+    "speedup": {:.2}
+  }},
+  "serving_compiled_shield": {{
+    "decisions_per_sec": {:.0}
+  }}
+}}
+"#,
+        kernels.point_reference,
+        kernels.point_compiled,
+        kernels.point_reference / kernels.point_compiled,
+        kernels.interval_reference,
+        kernels.interval_compiled,
+        kernels.interval_reference / kernels.interval_compiled,
+        pendulum.0,
+        pendulum.1,
+        pendulum.0 / pendulum.1,
+        cartpole.0,
+        cartpole.1,
+        cartpole.0 / cartpole.1,
+        decisions_per_sec,
+    );
+    std::fs::write(path, json).expect("BENCH_eval.json must be writable");
+    println!("  -> wrote {path}");
+}
+
+fn bench_all(c: &mut Criterion) {
+    let kernels = bench_eval_kernels(c);
+    let pendulum = bench_branch_bound(
+        c,
+        "pendulum",
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+    );
+    let cartpole = bench_branch_bound(
+        c,
+        "cartpole",
+        &fixtures::CARTPOLE_GAINS,
+        &fixtures::CARTPOLE_RADII,
+    );
+    let decisions_per_sec = measure_serving_throughput();
+    println!("  -> compiled-shield serving: {decisions_per_sec:.0} decisions/sec (1 worker)");
+    write_results(&kernels, pendulum, cartpole, decisions_per_sec);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -4,7 +4,11 @@
 //! The shields are built directly from the benchmarks' known stabilizing
 //! controllers with ellipsoidal invariants — this bench measures the
 //! *serving* hot path (oracle forward pass + shield prediction), not
-//! synthesis.
+//! synthesis.  Every deployed shield serves through the compiled polynomial
+//! kernels (flat `CompiledPolynomial`/`CompiledPolySet` forms cached at
+//! construction) and per-thread oracle scratch buffers, so the numbers here
+//! are the compiled-path numbers; `BENCH_eval.json` records them alongside
+//! the kernel microbenchmarks from `eval_kernels`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -64,7 +68,7 @@ fn bench_deployment(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64])
         }
         let elapsed = start.elapsed();
         println!(
-            "  -> {name} x{workers} workers: {:.0} decisions/sec",
+            "  -> {name} x{workers} workers (compiled shield): {:.0} decisions/sec",
             (BATCH * rounds) as f64 / elapsed.as_secs_f64()
         );
     }

@@ -1,6 +1,14 @@
 //! Continuous-time system dynamics `ṡ = f(s, a)`.
 
-use vrl_poly::Polynomial;
+use std::cell::RefCell;
+use vrl_poly::{CompiledPolySet, Polynomial};
+
+thread_local! {
+    /// Reusable `(state, action)` concatenation buffer for
+    /// [`PolyDynamics::derivative_into`], so the serving hot path performs
+    /// no per-step allocation when evaluating the vector field.
+    static POINT_BUFFER: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Continuous-time dynamics of a controlled system.
 ///
@@ -16,6 +24,19 @@ pub trait Dynamics {
 
     /// Evaluates `f(state, action)`, returning the state derivative.
     fn derivative(&self, state: &[f64], action: &[f64]) -> Vec<f64>;
+
+    /// Evaluates `f(state, action)` into a caller-provided buffer.
+    ///
+    /// The default delegates to [`Dynamics::derivative`]; implementations
+    /// with an allocation-free evaluation path (notably [`PolyDynamics`]
+    /// through its compiled kernels) override it, which is what keeps the
+    /// integrator — and therefore the shield's serving-path prediction —
+    /// off the allocator in steady state.
+    fn derivative_into(&self, state: &[f64], action: &[f64], out: &mut Vec<f64>) {
+        let d = self.derivative(state, action);
+        out.clear();
+        out.extend_from_slice(&d);
+    }
 }
 
 /// Polynomial dynamics: each component of `f` is a [`Polynomial`] over the
@@ -45,6 +66,14 @@ pub struct PolyDynamics {
     state_dim: usize,
     action_dim: usize,
     derivatives: Vec<Polynomial>,
+    /// Flat compiled form of `derivatives`, built once at construction so
+    /// every simulation/serving step evaluates through the fast kernels
+    /// instead of walking the sparse `BTreeMap` representation.  Must be
+    /// rebuilt whenever `derivatives` changes (all constructors do).
+    /// `None` only in the degenerate zero-state-dimension case, which must
+    /// keep constructing without panicking (artifact loading relies on
+    /// constructors rejecting malformed data via `Result`, not asserts).
+    compiled: Option<CompiledPolySet>,
 }
 
 /// Error produced when constructing ill-formed [`PolyDynamics`].
@@ -120,10 +149,12 @@ impl PolyDynamics {
                 });
             }
         }
+        let compiled = (!derivatives.is_empty()).then(|| CompiledPolySet::compile(&derivatives));
         Ok(PolyDynamics {
             state_dim,
             action_dim,
             derivatives,
+            compiled,
         })
     }
 
@@ -154,10 +185,12 @@ impl PolyDynamics {
             let constant = offset.map_or(0.0, |c| c[i]);
             derivatives.push(Polynomial::linear(&coeffs, constant));
         }
+        let compiled = (!derivatives.is_empty()).then(|| CompiledPolySet::compile(&derivatives));
         PolyDynamics {
             state_dim: n,
             action_dim: m,
             derivatives,
+            compiled,
         }
     }
 
@@ -254,12 +287,31 @@ impl Dynamics for PolyDynamics {
     }
 
     fn derivative(&self, state: &[f64], action: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.state_dim);
+        self.derivative_into(state, action, &mut out);
+        out
+    }
+
+    /// Allocation-free evaluation through the compiled kernels (apart from
+    /// the thread-local point buffer's first growth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length disagrees with the declared dimensions.
+    fn derivative_into(&self, state: &[f64], action: &[f64], out: &mut Vec<f64>) {
         assert_eq!(state.len(), self.state_dim, "state dimension mismatch");
         assert_eq!(action.len(), self.action_dim, "action dimension mismatch");
-        let mut point = Vec::with_capacity(self.state_dim + self.action_dim);
-        point.extend_from_slice(state);
-        point.extend_from_slice(action);
-        self.derivatives.iter().map(|p| p.eval(&point)).collect()
+        out.resize(self.state_dim, 0.0);
+        let Some(compiled) = &self.compiled else {
+            return; // zero state dimensions: nothing to evaluate
+        };
+        POINT_BUFFER.with(|buf| {
+            let point = &mut *buf.borrow_mut();
+            point.clear();
+            point.extend_from_slice(state);
+            point.extend_from_slice(action);
+            compiled.eval_into(point, out);
+        });
     }
 }
 
@@ -315,6 +367,19 @@ impl<F> std::fmt::Debug for ClosureDynamics<F> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn zero_state_dimension_constructs_without_panicking() {
+        // Artifact loading depends on constructors rejecting malformed data
+        // via `Result`/graceful values, never via asserts: the degenerate
+        // zero-dimension dynamics must still construct (it is rejected
+        // later by the components that require positive dimensions).
+        let d = PolyDynamics::new(0, 1, vec![]).expect("constructs");
+        assert_eq!(d.derivative(&[], &[0.5]), Vec::<f64>::new());
+        let lin = PolyDynamics::linear(&[], &[], None);
+        assert_eq!(lin.state_dim(), 0);
+        assert_eq!(lin.derivative(&[], &[]), Vec::<f64>::new());
+    }
 
     fn double_integrator() -> PolyDynamics {
         PolyDynamics::new(

@@ -6,6 +6,24 @@
 //! subject of the integrator ablation benchmark.
 
 use crate::Dynamics;
+use std::cell::RefCell;
+
+/// Reusable stage buffers for [`Integrator::step`]: `k1..k4` hold stage
+/// derivatives, `stage` holds intermediate states.  One set per thread
+/// keeps stepping allocation-free (apart from the returned successor) on
+/// the serving hot path.
+#[derive(Default)]
+struct StepScratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    stage: Vec<f64>,
+}
+
+thread_local! {
+    static STEP_SCRATCH: RefCell<StepScratch> = RefCell::new(StepScratch::default());
+}
 
 /// Discretization scheme used to turn `ṡ = f(s, a)` into a discrete
 /// transition relation `T_t`.
@@ -45,26 +63,40 @@ impl Integrator {
             dynamics.action_dim(),
             "action dimension mismatch"
         );
-        match self {
+        // Take the scratch out of the cell (leaving a fresh one) instead of
+        // holding the borrow across `derivative_into`: a `Dynamics`
+        // implementation is free to call back into `step`, and a held
+        // borrow would turn that into a `RefCell` panic.
+        let mut scratch = STEP_SCRATCH.with(RefCell::take);
+        let StepScratch {
+            k1,
+            k2,
+            k3,
+            k4,
+            stage,
+        } = &mut scratch;
+        let next = match self {
             Integrator::Euler => {
-                let k1 = dynamics.derivative(state, action);
-                add_scaled(state, &k1, dt)
+                dynamics.derivative_into(state, action, k1);
+                add_scaled(state, k1, dt)
             }
             Integrator::RungeKutta4 => {
-                let k1 = dynamics.derivative(state, action);
-                let s2 = add_scaled(state, &k1, dt / 2.0);
-                let k2 = dynamics.derivative(&s2, action);
-                let s3 = add_scaled(state, &k2, dt / 2.0);
-                let k3 = dynamics.derivative(&s3, action);
-                let s4 = add_scaled(state, &k3, dt);
-                let k4 = dynamics.derivative(&s4, action);
+                dynamics.derivative_into(state, action, k1);
+                add_scaled_into(state, k1, dt / 2.0, stage);
+                dynamics.derivative_into(stage, action, k2);
+                add_scaled_into(state, k2, dt / 2.0, stage);
+                dynamics.derivative_into(stage, action, k3);
+                add_scaled_into(state, k3, dt, stage);
+                dynamics.derivative_into(stage, action, k4);
                 state
                     .iter()
                     .enumerate()
                     .map(|(i, &s)| s + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
                     .collect()
             }
-        }
+        };
+        STEP_SCRATCH.with(|cell| *cell.borrow_mut() = scratch);
+        next
     }
 
     /// Human-readable name of the scheme.
@@ -102,6 +134,12 @@ fn add_scaled(state: &[f64], derivative: &[f64], dt: f64) -> Vec<f64> {
         .zip(derivative.iter())
         .map(|(s, d)| s + dt * d)
         .collect()
+}
+
+/// `out = state + dt * derivative`, reusing `out`'s storage.
+fn add_scaled_into(state: &[f64], derivative: &[f64], dt: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(state.iter().zip(derivative.iter()).map(|(s, d)| s + dt * d));
 }
 
 #[cfg(test)]

@@ -148,6 +148,21 @@ impl Matrix {
         })
     }
 
+    /// Matrix-vector product `A v` written into a caller-provided slice,
+    /// allocation-free.  The summation order is identical to
+    /// [`Matrix::matvec`], so the two produce bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+    }
+
     /// Vector-matrix product `vᵀ A`, returned as a vector of length `cols`.
     ///
     /// # Panics
@@ -427,6 +442,9 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let v = Vector::from_slice(&[1.0, 1.0]);
         assert_eq!(a.matvec(&v).as_slice(), &[3.0, 7.0]);
+        let mut out = [0.0; 2];
+        a.matvec_into(v.as_slice(), &mut out);
+        assert_eq!(out, [3.0, 7.0]);
         assert_eq!(a.vecmat(&v).as_slice(), &[4.0, 6.0]);
         let b = Matrix::identity(2);
         assert_eq!(a.matmul(&b).unwrap(), a);

@@ -73,6 +73,41 @@ impl DenseLayer {
     fn pre_activation(&self, input: &Vector) -> Vector {
         &self.weights.matvec(input) + &self.bias
     }
+
+    /// Runs the layer on a raw slice, writing the activated output into
+    /// `out` (resized as needed) without any further allocation.
+    ///
+    /// Bit-identical to the [`DenseLayer::pre_activation`] + activation path:
+    /// same summation order, bias add, then activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.resize(self.output_dim(), 0.0);
+        self.weights.matvec_into(input, out);
+        for (o, b) in out.iter_mut().zip(self.bias.iter()) {
+            *o = self.activation.apply(*o + *b);
+        }
+    }
+}
+
+/// Reusable forward-pass buffers for [`Mlp::forward_into`].
+///
+/// The two ping-pong buffers grow to the widest layer they have served and
+/// are then allocation-free.  Keep one scratch per worker thread; the
+/// serving path in `vrl-runtime` does exactly that.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    current: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MlpScratch::default()
+    }
 }
 
 /// Per-layer gradients produced by backpropagation.
@@ -186,7 +221,29 @@ impl Mlp {
     ///
     /// Panics if `input.len() != self.input_dim()`.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.forward_cached(input).output.into_vec()
+        let mut scratch = MlpScratch::new();
+        self.forward_into(input, &mut scratch).to_vec()
+    }
+
+    /// Runs the network through caller-provided scratch buffers, returning
+    /// the output as a borrow of the scratch: in steady state the forward
+    /// pass performs no allocation at all.
+    ///
+    /// Bit-identical to [`Mlp::forward`] (which delegates here): the same
+    /// matrix-vector kernels run in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward_into<'s>(&self, input: &[f64], scratch: &'s mut MlpScratch) -> &'s [f64] {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        scratch.current.clear();
+        scratch.current.extend_from_slice(input);
+        for layer in &self.layers {
+            layer.forward_into(&scratch.current, &mut scratch.next);
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
+        }
+        &scratch.current
     }
 
     /// Runs the network and keeps the intermediate values needed for
@@ -555,6 +612,30 @@ mod tests {
     #[should_panic(expected = "input dimension mismatch")]
     fn wrong_input_dimension_panics() {
         let _ = small_net(7).forward(&[1.0]);
+    }
+
+    #[test]
+    fn forward_into_matches_cached_forward_bitwise() {
+        let net = small_net(8);
+        let mut scratch = MlpScratch::new();
+        for input in [[0.0, 0.0], [0.4, -0.7], [1.9, 1.9], [-2.0, 0.3]] {
+            let fast = net.forward_into(&input, &mut scratch).to_vec();
+            let reference = net.forward_cached(&input).output().to_vec();
+            assert_eq!(fast.len(), reference.len());
+            for (a, b) in fast.iter().zip(reference.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // The scratch survives a network of a different shape.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let wide = Mlp::new(
+            &[2, 32, 3],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let out = wide.forward_into(&[0.1, 0.2], &mut scratch);
+        assert_eq!(out.len(), 3);
     }
 
     proptest! {

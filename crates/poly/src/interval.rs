@@ -117,17 +117,54 @@ impl Interval {
     }
 
     /// Integer power with the tight rule for even exponents.
+    ///
+    /// Delegates to [`Interval::powi`]; see there for the enclosure
+    /// guarantees.
     pub fn pow(&self, n: u32) -> Interval {
+        self.powi(n)
+    }
+
+    /// Integer power via the endpoint fast path: both bounds are raised
+    /// with `f64::powi` (square-and-multiply, `O(log n)` multiplications)
+    /// and the sign structure of the interval picks the bounds directly —
+    /// the historic `pow` used the same endpoint rule but selected bounds
+    /// through `min`/`max` comparisons; this restructuring is
+    /// value-identical and exists so the sign cases are explicit and
+    /// branch-cheap.  Neither is the `O(n)` chain of four-product interval
+    /// multiplications a naive power would perform.
+    ///
+    /// The result is always **at least as tight** as repeated interval
+    /// multiplication — monotone-branch analysis gives the exact range
+    /// `{xⁿ : x ∈ [lo, hi]}` up to `f64::powi` rounding (each endpoint is
+    /// within a few ulps of the true power), whereas the product chain
+    /// compounds its over-approximation at every step, e.g.
+    /// `[-1, 2]·[-1, 2] = [-2, 4]` while `[-1, 2].powi(2) = [0, 4]`.  The
+    /// `prop_powi_tighter_than_repeated_mul` test pins this tightness
+    /// relation against the naive baseline.
+    pub fn powi(&self, n: u32) -> Interval {
         match n {
             0 => Interval::point(1.0),
             1 => *self,
             _ => {
                 let a = self.lo.powi(n as i32);
                 let b = self.hi.powi(n as i32);
-                if n.is_multiple_of(2) && self.contains(0.0) {
-                    Interval::new(0.0, a.max(b))
+                if n.is_multiple_of(2) {
+                    if self.lo >= 0.0 {
+                        // Monotone increasing on [0, ∞).
+                        Interval { lo: a, hi: b }
+                    } else if self.hi <= 0.0 {
+                        // Monotone decreasing on (-∞, 0].
+                        Interval { lo: b, hi: a }
+                    } else {
+                        // Straddles zero: the minimum is attained at 0.
+                        Interval {
+                            lo: 0.0,
+                            hi: a.max(b),
+                        }
+                    }
                 } else {
-                    Interval::new(a.min(b), a.max(b))
+                    // Odd powers are monotone increasing everywhere.
+                    Interval { lo: a, hi: b }
                 }
             }
         }
@@ -284,6 +321,57 @@ mod tests {
 
     fn sample_in(i: Interval, t: f64) -> f64 {
         i.lo() + t * i.width()
+    }
+
+    /// The naive power a direct implementation would use (`n`-fold interval
+    /// multiplication) — never what `pow` did, but the baseline that makes
+    /// the endpoint rule's tightness guarantee concrete.
+    fn pow_by_repeated_mul(i: Interval, n: u32) -> Interval {
+        let mut result = Interval::point(1.0);
+        for _ in 0..n {
+            result = result * i;
+        }
+        result
+    }
+
+    #[test]
+    fn powi_is_tighter_than_repeated_multiplication() {
+        // The canonical case: squaring a zero-straddling interval.
+        let a = Interval::new(-1.0, 2.0);
+        assert_eq!(pow_by_repeated_mul(a, 2), Interval::new(-2.0, 4.0));
+        assert_eq!(a.powi(2), Interval::new(0.0, 4.0));
+        // pow delegates to powi.
+        assert_eq!(a.pow(4), a.powi(4));
+        assert_eq!(a.powi(0), Interval::point(1.0));
+        assert_eq!(a.powi(1), a);
+    }
+
+    proptest! {
+        /// powi is contained in (≤ a few ulps of) the old repeated-multiply
+        /// enclosure: the fast path never loosens a bound the naive path
+        /// certified.  The slack covers `f64::powi` computing endpoint
+        /// powers by squaring, which can differ from the left-to-right
+        /// product chain by a few ulps in either direction.
+        #[test]
+        fn prop_powi_tighter_than_repeated_mul(lo in -3.0..3.0f64, w in 0.0..4.0f64, n in 0u32..8) {
+            let a = Interval::new(lo, lo + w);
+            let fast = a.powi(n);
+            let naive = pow_by_repeated_mul(a, n);
+            let slack = 1e-12 * (1.0 + naive.abs_max());
+            prop_assert!(fast.lo() >= naive.lo() - slack,
+                         "fast lower bound {} looser than naive {}", fast.lo(), naive.lo());
+            prop_assert!(fast.hi() <= naive.hi() + slack,
+                         "fast upper bound {} looser than naive {}", fast.hi(), naive.hi());
+        }
+
+        /// powi remains a conservative enclosure of the true range.
+        #[test]
+        fn prop_powi_is_conservative(lo in -3.0..3.0f64, w in 0.0..4.0f64,
+                                      t in 0.0..1.0f64, n in 0u32..8) {
+            let a = Interval::new(lo, lo + w);
+            let x = sample_in(a, t);
+            prop_assert!(a.powi(n).contains(x.powi(n as i32)));
+        }
     }
 
     proptest! {

@@ -15,6 +15,15 @@
 //! degree-bounded [`monomial_basis`] generation, and sound [`Interval`]
 //! evaluation used by the branch-and-bound verifier.
 //!
+//! For the evaluation-heavy consumers (branch-and-bound, certificate
+//! checking, the deployed shield's serving path) the sparse form can be
+//! lowered once into a flat [`CompiledPolynomial`] / [`CompiledPolySet`],
+//! whose kernels are bit-for-bit compatible with the reference evaluators
+//! but allocation-free in steady state and several times faster.  The
+//! compiled form is an immutable snapshot of the source polynomial: any
+//! operation that produces a new [`Polynomial`] requires recompiling before
+//! the result can be evaluated through the fast path.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,11 +41,13 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod basis;
+mod compiled;
 mod interval;
 mod polynomial;
 mod portable;
 
 pub use basis::{basis_size, monomial_basis};
+pub use compiled::{CompiledPolySet, CompiledPolynomial, PolyScratch};
 pub use interval::Interval;
 pub use polynomial::Polynomial;
 pub use portable::PortablePolynomial;

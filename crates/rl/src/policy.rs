@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use vrl_dynamics::Policy;
-use vrl_nn::{Activation, Mlp, PortableMlp};
+use vrl_nn::{Activation, Mlp, MlpScratch, PortableMlp};
 
 /// A policy whose behaviour is determined by a flat parameter vector.
 ///
@@ -111,6 +111,22 @@ impl NeuralPolicy {
     /// State dimension the policy expects.
     pub fn state_dim(&self) -> usize {
         self.network.input_dim()
+    }
+
+    /// Computes the action through caller-provided scratch buffers, writing
+    /// it into `out`: the serving hot path in `vrl-runtime` uses this with
+    /// one scratch per worker thread so steady-state decisions never
+    /// allocate in the oracle forward pass.
+    ///
+    /// Produces exactly the values of [`Policy::action`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.state_dim()`.
+    pub fn action_into(&self, state: &[f64], scratch: &mut MlpScratch, out: &mut Vec<f64>) {
+        let output = self.network.forward_into(state, scratch);
+        out.clear();
+        out.extend(output.iter().map(|x| x * self.action_scale));
     }
 
     /// Extracts the plain-data form of this policy (network weights plus the
@@ -294,6 +310,22 @@ mod tests {
         assert_eq!(a.num_parameters(), b.num_parameters());
         let wrapped = NeuralPolicy::from_network(b.network().clone(), 2.0);
         assert!((wrapped.action_scale() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn action_into_matches_action_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let policy = NeuralPolicy::new(3, 2, &[16, 16], 5.0, &mut rng);
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        for state in [[0.0, 0.0, 0.0], [0.5, -1.0, 2.0], [-0.1, 0.1, -0.2]] {
+            policy.action_into(&state, &mut scratch, &mut out);
+            let reference = policy.action(&state);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(reference.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -31,11 +31,13 @@
 use crate::artifact::{ArtifactError, ShieldArtifact};
 use crate::pool::WorkerPool;
 use crate::telemetry::{DeploymentTelemetry, StatsRecorder};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
-use vrl::dynamics::{EnvironmentContext, Policy};
+use vrl::dynamics::EnvironmentContext;
+use vrl::nn::MlpScratch;
 use vrl::pipeline::{resynthesize_shield_for, PipelineConfig, PipelineError};
 use vrl::shield::{CegisReport, ShieldDecision};
 
@@ -128,11 +130,24 @@ struct ActiveArtifact {
     generation: u64,
 }
 
+thread_local! {
+    /// Per-thread oracle forward-pass buffers: with the shield's compiled
+    /// polynomial kernels also running on per-thread scratch, a steady-state
+    /// decision allocates nothing but the returned action vector.  One set
+    /// of buffers per serving thread (the batch worker pool threads each get
+    /// their own).
+    static ORACLE_SCRATCH: RefCell<(MlpScratch, Vec<f64>)> =
+        RefCell::new((MlpScratch::new(), Vec::new()));
+}
+
 impl ActiveArtifact {
     /// Algorithm 3 for one state: oracle proposes, shield decides.
     fn decide(&self, state: &[f64]) -> ShieldDecision {
-        let proposed = self.artifact.oracle().action(state);
-        self.artifact.shield().decide(state, &proposed)
+        ORACLE_SCRATCH.with(|cell| {
+            let (scratch, proposed) = &mut *cell.borrow_mut();
+            self.artifact.oracle().action_into(state, scratch, proposed);
+            self.artifact.shield().decide(state, proposed)
+        })
     }
 }
 

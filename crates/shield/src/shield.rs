@@ -47,6 +47,26 @@ impl ShieldPiece {
 /// *predicted* next state stays within a proven invariant; otherwise it
 /// overrides the action with the verified program of the piece covering the
 /// current state.
+///
+/// # Serving performance
+///
+/// Every polynomial a decision touches is held in compiled (flat-array)
+/// form, cached at construction time by the components the shield is built
+/// from: invariant membership tests run on
+/// [`BarrierCertificate`]'s compiled barrier, the one-step prediction runs
+/// on [`vrl_dynamics::PolyDynamics`]'s compiled vector field, and override
+/// actions run on the compiled branches of
+/// [`PolicyProgram`].  The serving hot path
+/// ([`Shield::decide`] and everything below it) therefore never iterates
+/// the sparse `BTreeMap` polynomial representation, and all *evaluation*
+/// scratch (per-variable power tables, integrator stage buffers, the
+/// oracle's forward-pass buffers upstream in `vrl-runtime`) lives in
+/// per-thread reusable storage.  The remaining steady-state allocations
+/// per decision are the handful of small output vectors (the clamped and
+/// returned actions and the predicted successor state).  Compiled forms
+/// are snapshots: they are rebuilt automatically whenever a new shield
+/// (or piece, certificate, or program) is constructed, e.g. on hot
+/// redeploys.
 #[derive(Debug, Clone)]
 pub struct Shield {
     env: EnvironmentContext,

@@ -12,7 +12,7 @@
 //! inequality genuinely fails (verified by exact evaluation), which is what
 //! the CEGIS loops feed back into synthesis.
 
-use vrl_poly::{Interval, Polynomial};
+use vrl_poly::{CompiledPolynomial, Interval, PolyScratch, Polynomial};
 
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +141,23 @@ pub fn prove_bound(
         query.objective.nvars(),
         "domain dimension must match the polynomial"
     );
+    // Compile the objective and guards once per query: every box the search
+    // examines evaluates through the flat kernels (bit-for-bit identical to
+    // the sparse reference evaluators, so outcomes are unchanged).
+    let objective = query.objective.compile();
+    let mut scratch = PolyScratch::new();
+    // Guard pre-check hoisting: a guard whose enclosure over the *root*
+    // domain is already non-positive holds at every point of every sub-box —
+    // it can never prune a box and always passes the counterexample check,
+    // so it is dropped from the per-box work entirely.
+    let guards: Vec<CompiledPolynomial> = query
+        .guards
+        .iter()
+        .map(|g| g.compile())
+        .filter(|g| g.eval_interval_with(domain, &mut scratch).hi() > 0.0)
+        .collect();
+    // Reusable candidate-point buffer for the counterexample probes.
+    let mut point = vec![0.0; domain.len()];
     let mut stack: Vec<Vec<Interval>> = vec![domain.to_vec()];
     let mut boxes_examined = 0usize;
     let mut worst_box: Option<(Vec<f64>, Vec<f64>, f64)> = None;
@@ -157,8 +174,8 @@ pub fn prove_bound(
         // Guard pruning: if any guard is certainly positive on this box, no
         // point of the box is relevant to the query.
         let mut guard_prunes = false;
-        for guard in &query.guards {
-            if guard.eval_interval(&current).lo() > 0.0 {
+        for guard in &guards {
+            if guard.eval_interval_with(&current, &mut scratch).lo() > 0.0 {
                 guard_prunes = true;
                 break;
             }
@@ -166,13 +183,20 @@ pub fn prove_bound(
         if guard_prunes {
             continue;
         }
-        let enclosure = query.objective.eval_interval(&current);
+        let enclosure = objective.eval_interval_with(&current, &mut scratch);
         if enclosure.hi() <= query.bound + config.tolerance {
             continue; // certified on this box
         }
         // Try to produce a genuine counterexample at the box midpoint (and
-        // at the corner maximizing the enclosure) before splitting.
-        if let Some(cex) = find_counterexample(query, &current) {
+        // at the corners bounding the enclosure) before splitting.
+        if let Some(cex) = find_counterexample(
+            &objective,
+            &guards,
+            query.bound,
+            &current,
+            &mut point,
+            &mut scratch,
+        ) {
             return cex;
         }
         let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
@@ -259,10 +283,20 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
         p.nvars(),
         "domain dimension must match the polynomial"
     );
+    // Compile once; every bound refinement below runs on the flat kernels.
+    let compiled = p.compile();
+    let mut scratch = PolyScratch::new();
+    // One reusable midpoint buffer instead of a fresh `collect()` per child.
+    let mut midpoint = vec![0.0; domain.len()];
+    for (m, iv) in midpoint.iter_mut().zip(domain.iter()) {
+        *m = iv.midpoint();
+    }
     // Best-first search on the interval lower bound.
-    let mut queue: Vec<(f64, Vec<Interval>)> =
-        vec![(p.eval_interval(domain).lo(), domain.to_vec())];
-    let mut upper = p.eval(&domain.iter().map(Interval::midpoint).collect::<Vec<f64>>());
+    let mut queue: Vec<(f64, Vec<Interval>)> = vec![(
+        compiled.eval_interval_with(domain, &mut scratch).lo(),
+        domain.to_vec(),
+    )];
+    let mut upper = compiled.eval_with(&midpoint, &mut scratch);
     let mut examined = 0usize;
     while examined < max_boxes {
         // Pop the box with the smallest lower bound.
@@ -299,9 +333,11 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
         for half in [left, right] {
             let mut child = current.clone();
             child[split_dim] = half;
-            let child_lower = p.eval_interval(&child).lo();
-            let midpoint: Vec<f64> = child.iter().map(Interval::midpoint).collect();
-            upper = upper.min(p.eval(&midpoint));
+            let child_lower = compiled.eval_interval_with(&child, &mut scratch).lo();
+            for (m, iv) in midpoint.iter_mut().zip(child.iter()) {
+                *m = iv.midpoint();
+            }
+            upper = upper.min(compiled.eval_with(&midpoint, &mut scratch));
             queue.push((child_lower, child));
         }
     }
@@ -312,21 +348,31 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
         .min(upper)
 }
 
-fn find_counterexample(query: &BoundQuery<'_>, domain: &[Interval]) -> Option<ProofOutcome> {
-    let midpoint: Vec<f64> = domain.iter().map(Interval::midpoint).collect();
-    let candidates = [
-        midpoint.clone(),
-        domain.iter().map(Interval::lo).collect::<Vec<f64>>(),
-        domain.iter().map(Interval::hi).collect::<Vec<f64>>(),
-    ];
-    for point in candidates {
-        let satisfies_guards = query.guards.iter().all(|g| g.eval(&point) <= 0.0);
+/// Probes the box midpoint and both extreme corners for a genuine
+/// counterexample, reusing `point` as the candidate buffer so subdivision
+/// allocates nothing until a witness is actually found.
+fn find_counterexample(
+    objective: &CompiledPolynomial,
+    guards: &[CompiledPolynomial],
+    bound: f64,
+    domain: &[Interval],
+    point: &mut [f64],
+    scratch: &mut PolyScratch,
+) -> Option<ProofOutcome> {
+    for pick in [Interval::midpoint, Interval::lo, Interval::hi] {
+        for (slot, iv) in point.iter_mut().zip(domain.iter()) {
+            *slot = pick(iv);
+        }
+        let satisfies_guards = guards.iter().all(|g| g.eval_with(point, scratch) <= 0.0);
         if !satisfies_guards {
             continue;
         }
-        let value = query.objective.eval(&point);
-        if value > query.bound {
-            return Some(ProofOutcome::Counterexample { point, value });
+        let value = objective.eval_with(point, scratch);
+        if value > bound {
+            return Some(ProofOutcome::Counterexample {
+                point: point.to_vec(),
+                value,
+            });
         }
     }
     None

@@ -8,15 +8,24 @@
 //! as the branch guard (Theorem 4.2).
 
 use vrl_dynamics::Policy;
-use vrl_poly::{Polynomial, PortablePolynomial};
+use vrl_poly::{CompiledPolySet, CompiledPolynomial, Polynomial, PortablePolynomial};
 
 /// One guarded branch of a policy program.
+///
+/// Branches cache compiled forms of their guard and action polynomials at
+/// construction: the shield's override path (guard test + action
+/// evaluation on every intervention) runs entirely on the flat kernels,
+/// never touching the sparse `BTreeMap` representation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GuardedPolicy {
     /// Branch guard `φ(X) ≤ 0`; `None` means the branch is unconditional.
     guard: Option<Polynomial>,
     /// One action expression per action dimension.
     actions: Vec<Polynomial>,
+    /// Compiled snapshot of `guard` (rebuilt by every constructor).
+    compiled_guard: Option<CompiledPolynomial>,
+    /// Compiled snapshot of `actions` (rebuilt by every constructor).
+    compiled_actions: CompiledPolySet,
 }
 
 impl GuardedPolicy {
@@ -56,7 +65,14 @@ impl GuardedPolicy {
                 "guard must range over the state variables"
             );
         }
-        GuardedPolicy { guard, actions }
+        let compiled_guard = guard.as_ref().map(Polynomial::compile);
+        let compiled_actions = CompiledPolySet::compile(&actions);
+        GuardedPolicy {
+            guard,
+            actions,
+            compiled_guard,
+            compiled_actions,
+        }
     }
 
     /// The branch guard, if any.
@@ -71,7 +87,7 @@ impl GuardedPolicy {
 
     /// Returns true when this branch applies to `state`.
     pub fn applies(&self, state: &[f64]) -> bool {
-        match &self.guard {
+        match &self.compiled_guard {
             None => true,
             Some(g) => g.eval(state) <= 0.0,
         }
@@ -79,7 +95,16 @@ impl GuardedPolicy {
 
     /// Evaluates the branch actions at `state`.
     pub fn evaluate(&self, state: &[f64]) -> Vec<f64> {
-        self.actions.iter().map(|a| a.eval(state)).collect()
+        let mut out = Vec::with_capacity(self.actions.len());
+        self.evaluate_into(state, &mut out);
+        out
+    }
+
+    /// Evaluates the branch actions into a caller-provided buffer,
+    /// allocation-free in steady state.
+    pub fn evaluate_into(&self, state: &[f64], out: &mut Vec<f64>) {
+        out.resize(self.actions.len(), 0.0);
+        self.compiled_actions.eval_into(state, out);
     }
 }
 

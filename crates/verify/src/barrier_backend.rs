@@ -21,7 +21,7 @@ use crate::{BarrierCertificate, InvariantSketch, VerificationConfig, Verificatio
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vrl_dynamics::{BoxRegion, EnvironmentContext};
-use vrl_poly::{Interval, Polynomial};
+use vrl_poly::{CompiledPolySet, Interval, Polynomial};
 use vrl_solver::{
     prove_bound, solve_feasibility, BoundQuery, FeasibilityConfig, LinearConstraint, ProofOutcome,
 };
@@ -75,6 +75,12 @@ pub fn verify_nonlinear(
         })
         .collect();
 
+    // The successor family is evaluated once per sampled transition
+    // constraint and once per induction counterexample: compile it once per
+    // verification run and share the per-point power tables across all `n`
+    // components.
+    let successor_set = CompiledPolySet::compile(&successor);
+
     // Working domain W: the safe box enlarged to provably contain the image
     // of one Euler step from anywhere in the safe box (under any admissible
     // disturbance), so "E > 0 outside the safe box but inside W" suffices.
@@ -85,10 +91,11 @@ pub fn verify_nonlinear(
             .map(|&i| Interval::new(disturbance.lower()[i], disturbance.upper()[i])),
     );
     let working_box = {
+        let mut images = vec![Interval::zero(); n];
+        successor_set.eval_interval_into(&extended_domain, &mut images);
         let mut lows = Vec::with_capacity(n);
         let mut highs = Vec::with_capacity(n);
-        for (i, succ) in successor.iter().enumerate() {
-            let image = succ.eval_interval(&extended_domain);
+        for (i, image) in images.iter().enumerate() {
             lows.push(image.lo().min(safe_box.low(i)));
             highs.push(image.hi().max(safe_box.high(i)));
         }
@@ -157,7 +164,8 @@ pub fn verify_nonlinear(
     let add_transition_constraint = |constraints: &mut Vec<LinearConstraint>,
                                      extended_state: &[f64]| {
         let state = &extended_state[..n];
-        let next: Vec<f64> = successor.iter().map(|p| p.eval(extended_state)).collect();
+        let mut next = vec![0.0; n];
+        successor_set.eval_into(extended_state, &mut next);
         if next.iter().any(|x| !x.is_finite()) || !safe_box.contains(&next) {
             return;
         }

@@ -1,6 +1,6 @@
 //! Inductive invariants: sketches (Eq. 7) and verified barrier certificates.
 
-use vrl_poly::{monomial_basis, Polynomial, PortablePolynomial};
+use vrl_poly::{monomial_basis, CompiledPolynomial, Polynomial, PortablePolynomial};
 
 /// An invariant sketch `φ[c](X) ::= E[c](X) ≤ 0` (Eq. 7): an affine
 /// combination of every monomial up to a degree bound, with unknown
@@ -92,15 +92,27 @@ impl InvariantSketch {
 /// A verified inductive invariant `φ ::= E(X) ≤ 0`: a barrier certificate
 /// separating the reachable states (where `E ≤ 0`) from the unsafe ones
 /// (where `E > 0`).
+///
+/// Certificates cache a compiled form of `E` at construction, so membership
+/// tests on the shield's serving path ([`BarrierCertificate::value`] /
+/// [`BarrierCertificate::contains`]) run on the flat evaluation kernels
+/// (bit-for-bit identical to the sparse reference evaluator).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BarrierCertificate {
     polynomial: Polynomial,
+    /// Compiled snapshot of `polynomial` (rebuilt by the constructor; the
+    /// source polynomial is immutable after construction).
+    compiled: CompiledPolynomial,
 }
 
 impl BarrierCertificate {
     /// Wraps a polynomial as a barrier certificate.
     pub fn new(polynomial: Polynomial) -> Self {
-        BarrierCertificate { polynomial }
+        let compiled = polynomial.compile();
+        BarrierCertificate {
+            polynomial,
+            compiled,
+        }
     }
 
     /// The barrier polynomial `E`.
@@ -119,7 +131,7 @@ impl BarrierCertificate {
     ///
     /// Panics if the state has the wrong dimension.
     pub fn value(&self, state: &[f64]) -> f64 {
-        self.polynomial.eval(state)
+        self.compiled.eval(state)
     }
 
     /// Returns true when `state` lies inside the invariant region `E ≤ 0`.

@@ -18,7 +18,7 @@
 use crate::{BarrierCertificate, VerificationConfig, VerificationFailure};
 use vrl_dynamics::{BoxRegion, EnvironmentContext};
 use vrl_linalg::{spectral_radius, Matrix, SymmetricEigen, Vector};
-use vrl_poly::Polynomial;
+use vrl_poly::{PolyScratch, Polynomial};
 use vrl_solver::{solve_discrete_lyapunov, sound_minimum};
 
 /// Maximum dimension for exact vertex enumeration of the initial box; above
@@ -177,12 +177,17 @@ fn centered_quadratic(p: &Matrix, center: &[f64]) -> Polynomial {
 }
 
 /// Smallest level containing the initial box, plus the witness corner.
+///
+/// The quadratic is compiled once: the exact branch walks all `2ⁿ` corners
+/// of the initial box, which is the evaluation-heavy part of this back-end.
 fn initial_level(quadratic: &Polynomial, init_region: &BoxRegion, n: usize) -> (f64, Vec<f64>) {
+    let compiled = quadratic.compile();
+    let mut scratch = PolyScratch::new();
     if n <= MAX_EXACT_CORNER_DIM {
         let mut worst = init_region.center();
-        let mut level = quadratic.eval(&worst);
+        let mut level = compiled.eval_with(&worst, &mut scratch);
         for corner in init_region.corners() {
-            let value = quadratic.eval(&corner);
+            let value = compiled.eval_with(&corner, &mut scratch);
             if value > level {
                 level = value;
                 worst = corner;
@@ -193,7 +198,9 @@ fn initial_level(quadratic: &Polynomial, init_region: &BoxRegion, n: usize) -> (
         // Conservative interval bound for high-dimensional boxes; the witness
         // is the corner farthest from the centre, which is where the convex
         // quadratic attains its maximum most often.
-        let level = quadratic.eval_interval(&init_region.to_intervals()).hi();
+        let level = compiled
+            .eval_interval_with(&init_region.to_intervals(), &mut scratch)
+            .hi();
         (level, init_region.highs().to_vec())
     }
 }
