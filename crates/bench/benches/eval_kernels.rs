@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
-use vrl::poly::{basis_size, monomial_basis, Interval, PolyScratch, Polynomial};
+use vrl::poly::{basis_size, monomial_basis, BatchPoints, Interval, PolyScratch, Polynomial};
 use vrl::solver::{prove_bound, BoundQuery, BranchBoundConfig, ProofOutcome};
 use vrl_benchmarks::benchmark_by_name;
 use vrl_runtime::{fixtures, ShieldServer};
@@ -64,6 +64,7 @@ fn time_per_pass(rounds: usize, mut f: impl FnMut()) -> f64 {
 struct KernelNumbers {
     point_reference: f64,
     point_compiled: f64,
+    point_batch: f64,
     interval_reference: f64,
     interval_compiled: f64,
 }
@@ -72,8 +73,10 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
     let p = dense_poly();
     let compiled = p.compile();
     let points = sample_points(4096, p.nvars(), 7);
+    let batch = BatchPoints::from_states(p.nvars(), &points);
     let boxes = sample_boxes(4096, p.nvars(), 8);
     let mut scratch = PolyScratch::new();
+    let mut batch_out = Vec::new();
 
     let mut group = c.benchmark_group("eval_kernels/dense_deg4_4var");
     group.sample_size(20);
@@ -93,6 +96,12 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
                 acc += compiled.eval_with(black_box(point), &mut scratch);
             }
             acc
+        })
+    });
+    group.bench_function("point/batch", |b| {
+        b.iter(|| {
+            compiled.evaluate_batch_with(black_box(&batch), &mut batch_out, &mut scratch);
+            batch_out.iter().sum::<f64>()
         })
     });
     group.bench_function("interval/reference", |b| {
@@ -132,6 +141,10 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
         }
         black_box(acc);
     });
+    let point_batch = time_per_pass(20, || {
+        compiled.evaluate_batch_with(black_box(&batch), &mut batch_out, &mut scratch);
+        black_box(batch_out.iter().sum::<f64>());
+    });
     let interval_reference = time_per_pass(20, || {
         let mut acc = 0.0;
         for domain in &boxes {
@@ -149,13 +162,15 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
         black_box(acc);
     });
     println!(
-        "  -> point eval speedup: {:.2}x, interval eval speedup: {:.2}x",
+        "  -> point eval speedup: {:.2}x scalar-compiled, {:.2}x batch-compiled, interval eval speedup: {:.2}x",
         point_reference / point_compiled,
+        point_reference / point_batch,
         interval_reference / interval_compiled
     );
     KernelNumbers {
         point_reference,
         point_compiled,
+        point_batch,
         interval_reference,
         interval_compiled,
     }
@@ -307,8 +322,11 @@ fn bench_branch_bound(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64
 }
 
 /// Serving throughput with the compiled shield (decisions/sec), pendulum
-/// deployment, single-threaded `decide_batch`.
-fn measure_serving_throughput() -> f64 {
+/// deployment, single worker: the scalar path loops per-state `decide`,
+/// the batched path hands the same states to `decide_batch` (lane-batched
+/// oracle forward + certificate kernels).  Both paths produce identical
+/// decisions; the returned pair is `(scalar, batched)` decisions/sec.
+fn measure_serving_throughput() -> (f64, f64) {
     let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
     let artifact = fixtures::demo_artifact(
         &env,
@@ -323,29 +341,44 @@ fn measure_serving_throughput() -> f64 {
     let mut rng = SmallRng::seed_from_u64(23);
     let safe = env.safety().safe_box().clone();
     let states: Vec<Vec<f64>> = (0..8192).map(|_| safe.sample(&mut rng)).collect();
-    let _ = server.decide_batch("pendulum", &states).unwrap(); // warm-up
+    // Warm up both paths (scratch growth) and pin batch/scalar agreement.
+    let batch_decisions = server.decide_batch("pendulum", &states[..256]).unwrap();
+    for (state, batched) in states[..256].iter().zip(batch_decisions.iter()) {
+        assert_eq!(&server.decide("pendulum", state).unwrap(), batched);
+    }
     let rounds = 5;
     let start = Instant::now();
     for _ in 0..rounds {
-        let _ = server.decide_batch("pendulum", &states).unwrap();
+        for state in &states {
+            black_box(server.decide("pendulum", state).unwrap());
+        }
     }
-    (states.len() * rounds) as f64 / start.elapsed().as_secs_f64()
+    let scalar = (states.len() * rounds) as f64 / start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let _ = black_box(server.decide_batch("pendulum", &states).unwrap());
+    }
+    let batched = (states.len() * rounds) as f64 / start.elapsed().as_secs_f64();
+    (scalar, batched)
 }
 
 fn write_results(
     kernels: &KernelNumbers,
     pendulum: (f64, f64),
     cartpole: (f64, f64),
-    decisions_per_sec: f64,
+    serving: (f64, f64),
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     let json = format!(
         r#"{{
-  "description": "Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound rows are seconds per induction-query proof; serving is single-worker decide_batch on the pendulum deployment with a [240, 200] oracle.",
+  "description": "Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) vs lane-batched (8-wide SoA sweeps) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound rows are seconds per induction-query proof; serving rows are single-worker decisions/sec on the pendulum deployment with a [240, 200] oracle — scalar loops per-state decide, batch is decide_batch through the lane-batched oracle + certificate kernels (bit-identical decisions).",
   "point_eval": {{
     "reference_sec": {:.6e},
     "compiled_sec": {:.6e},
-    "speedup": {:.2}
+    "batch_sec": {:.6e},
+    "speedup_compiled": {:.2},
+    "speedup_batch": {:.2},
+    "batch_vs_scalar_compiled": {:.2}
   }},
   "interval_eval": {{
     "reference_sec": {:.6e},
@@ -363,13 +396,18 @@ fn write_results(
     "speedup": {:.2}
   }},
   "serving_compiled_shield": {{
-    "decisions_per_sec": {:.0}
+    "scalar_decide_per_sec": {:.0},
+    "batch_decide_per_sec": {:.0},
+    "batch_speedup": {:.2}
   }}
 }}
 "#,
         kernels.point_reference,
         kernels.point_compiled,
+        kernels.point_batch,
         kernels.point_reference / kernels.point_compiled,
+        kernels.point_reference / kernels.point_batch,
+        kernels.point_compiled / kernels.point_batch,
         kernels.interval_reference,
         kernels.interval_compiled,
         kernels.interval_reference / kernels.interval_compiled,
@@ -379,7 +417,9 @@ fn write_results(
         cartpole.0,
         cartpole.1,
         cartpole.0 / cartpole.1,
-        decisions_per_sec,
+        serving.0,
+        serving.1,
+        serving.1 / serving.0,
     );
     std::fs::write(path, json).expect("BENCH_eval.json must be writable");
     println!("  -> wrote {path}");
@@ -399,9 +439,14 @@ fn bench_all(c: &mut Criterion) {
         &fixtures::CARTPOLE_GAINS,
         &fixtures::CARTPOLE_RADII,
     );
-    let decisions_per_sec = measure_serving_throughput();
-    println!("  -> compiled-shield serving: {decisions_per_sec:.0} decisions/sec (1 worker)");
-    write_results(&kernels, pendulum, cartpole, decisions_per_sec);
+    let serving = measure_serving_throughput();
+    println!(
+        "  -> compiled-shield serving (1 worker): {:.0} decisions/sec scalar decide, {:.0} decisions/sec decide_batch ({:.2}x)",
+        serving.0,
+        serving.1,
+        serving.1 / serving.0
+    );
+    write_results(&kernels, pendulum, cartpole, serving);
 }
 
 criterion_group!(benches, bench_all);

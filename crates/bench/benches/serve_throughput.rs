@@ -40,6 +40,43 @@ fn bench_deployment(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64])
     let states = sample_batch(artifact.shield().env(), BATCH, 23);
     let mut group = c.benchmark_group(format!("serve_throughput/{name}"));
     group.sample_size(10);
+    // Scalar baseline: the same workload served one `decide` at a time
+    // (what `decide_batch` used to lower to before the lane-batched
+    // kernels), so the batch rows below read as a direct speedup.
+    {
+        let server = ShieldServer::with_workers(1);
+        server
+            .deploy(
+                name,
+                ShieldArtifact::from_bytes(&artifact.to_bytes()).unwrap(),
+            )
+            .unwrap();
+        let scalar_states = &states[..BATCH / 8];
+        group.bench_with_input(
+            BenchmarkId::from_parameter("scalar_loop"),
+            &server,
+            |b, server| {
+                b.iter(|| {
+                    for state in scalar_states {
+                        let d = server.decide(name, state).unwrap();
+                        assert!(!d.action.is_empty());
+                    }
+                })
+            },
+        );
+        let start = Instant::now();
+        let rounds = 3;
+        for _ in 0..rounds {
+            for state in scalar_states {
+                let _ = server.decide(name, state).unwrap();
+            }
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "  -> {name} scalar decide loop: {:.0} decisions/sec",
+            (scalar_states.len() * rounds) as f64 / elapsed.as_secs_f64()
+        );
+    }
     for workers in [1usize, 4, 8] {
         let server = ShieldServer::with_workers(workers);
         server

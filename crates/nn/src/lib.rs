@@ -33,5 +33,5 @@ mod mlp;
 mod optimizer;
 
 pub use activation::Activation;
-pub use mlp::{DenseLayer, ForwardCache, LayerGradient, Mlp, MlpScratch, PortableMlp};
+pub use mlp::{DenseLayer, ForwardCache, LayerGradient, Mlp, MlpScratch, PortableMlp, BATCH_LANES};
 pub use optimizer::{Adam, Sgd};

@@ -90,17 +90,65 @@ impl DenseLayer {
             *o = self.activation.apply(*o + *b);
         }
     }
+
+    /// Runs the layer on a sweep of [`BATCH_LANES`] inputs packed
+    /// **feature-major** in `inputs` (`inputs[k * BATCH_LANES + lane]` is
+    /// feature `k` of lane `lane`; pad lanes hold `0.0`), writing
+    /// feature-major outputs into `out` (length
+    /// `output_dim * BATCH_LANES`).
+    ///
+    /// The lane dimension is the innermost, contiguous axis, so the inner
+    /// loop is a fixed-width 8-lane multiply-accumulate the compiler
+    /// lowers to SIMD: each weight `w[i][k]` is loaded once and broadcast
+    /// across all lanes, and each lane's accumulator advances through `k`
+    /// in exactly the order of [`DenseLayer::forward_into`]'s dot product
+    /// (`((0 + p₀) + p₁) + …`), then adds the bias and applies the
+    /// activation — every live lane's output is therefore bit-identical
+    /// to the scalar path.  Pad lanes accumulate zeros and are never read.
+    fn forward_batch(&self, inputs: &[f64], out: &mut [f64]) {
+        let in_dim = self.input_dim();
+        let out_dim = self.output_dim();
+        debug_assert_eq!(inputs.len(), in_dim * BATCH_LANES);
+        debug_assert_eq!(out.len(), out_dim * BATCH_LANES);
+        for i in 0..out_dim {
+            let row = self.weights.row(i);
+            let mut acc = [0.0f64; BATCH_LANES];
+            // `chunks_exact` + the array conversion give the optimizer a
+            // constant 8-lane trip count with no bounds checks in the
+            // multiply-accumulate loop.
+            for (xs, &w) in inputs.chunks_exact(BATCH_LANES).zip(row.iter()) {
+                let xs: &[f64; BATCH_LANES] = xs.try_into().expect("exact chunk");
+                for l in 0..BATCH_LANES {
+                    acc[l] += w * xs[l];
+                }
+            }
+            let b = self.bias[i];
+            let outs = &mut out[i * BATCH_LANES..(i + 1) * BATCH_LANES];
+            for (o, &a) in outs.iter_mut().zip(acc.iter()) {
+                *o = self.activation.apply(a + b);
+            }
+        }
+    }
 }
 
-/// Reusable forward-pass buffers for [`Mlp::forward_into`].
+/// Number of states a batched forward pass processes per sweep: enough to
+/// amortize each weight row's memory traffic, small enough that a sweep's
+/// lane-major activations stay cache-resident next to the row.
+pub const BATCH_LANES: usize = 8;
+
+/// Reusable forward-pass buffers for [`Mlp::forward_into`] and
+/// [`Mlp::forward_batch_into`].
 ///
-/// The two ping-pong buffers grow to the widest layer they have served and
-/// are then allocation-free.  Keep one scratch per worker thread; the
-/// serving path in `vrl-runtime` does exactly that.
+/// The ping-pong buffers grow to the widest layer (times [`BATCH_LANES`]
+/// for the batched pair) they have served and are then allocation-free.
+/// Keep one scratch per worker thread; the serving path in `vrl-runtime`
+/// does exactly that.
 #[derive(Debug, Clone, Default)]
 pub struct MlpScratch {
     current: Vec<f64>,
     next: Vec<f64>,
+    batch_current: Vec<f64>,
+    batch_next: Vec<f64>,
 }
 
 impl MlpScratch {
@@ -244,6 +292,69 @@ impl Mlp {
             std::mem::swap(&mut scratch.current, &mut scratch.next);
         }
         &scratch.current
+    }
+
+    /// Runs the network on a whole batch of inputs through one shared
+    /// scratch, writing one output vector per input into `out` (whose spine
+    /// and element buffers are recycled across calls).
+    ///
+    /// Inputs are processed [`BATCH_LANES`] at a time with each layer's
+    /// weight rows blocked across the lane (see
+    /// `DenseLayer::forward_batch`), which amortizes the weight-matrix
+    /// memory traffic that dominates large-layer scalar forwards.  Output
+    /// `i` is **bit-identical** to `forward_into(&inputs[i])` — batching
+    /// reorders only independent work (debug builds assert this per lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from `self.input_dim()`.
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[Vec<f64>],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        let in_dim = self.input_dim();
+        let out_dim = self.output_dim();
+        out.resize(inputs.len(), Vec::new());
+        let mut base = 0;
+        while base < inputs.len() {
+            let lanes = (inputs.len() - base).min(BATCH_LANES);
+            let chunk = &inputs[base..base + lanes];
+            // Transpose the chunk feature-major into the current buffer,
+            // zero-padding the dead lanes of a ragged tail.
+            scratch.batch_current.clear();
+            scratch.batch_current.resize(in_dim * BATCH_LANES, 0.0);
+            for (l, input) in chunk.iter().enumerate() {
+                assert_eq!(input.len(), in_dim, "input dimension mismatch");
+                for (k, &x) in input.iter().enumerate() {
+                    scratch.batch_current[k * BATCH_LANES + l] = x;
+                }
+            }
+            for layer in &self.layers {
+                scratch
+                    .batch_next
+                    .resize(layer.output_dim() * BATCH_LANES, 0.0);
+                layer.forward_batch(&scratch.batch_current, &mut scratch.batch_next);
+                std::mem::swap(&mut scratch.batch_current, &mut scratch.batch_next);
+            }
+            for (l, slot) in out[base..base + lanes].iter_mut().enumerate() {
+                slot.clear();
+                slot.extend((0..out_dim).map(|j| scratch.batch_current[j * BATCH_LANES + l]));
+            }
+            base += lanes;
+        }
+        #[cfg(debug_assertions)]
+        for (input, output) in inputs.iter().zip(out.iter()) {
+            let reference = self.forward_into(input, scratch);
+            debug_assert!(
+                reference
+                    .iter()
+                    .zip(output.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "batched forward diverged from the scalar pass"
+            );
+        }
     }
 
     /// Runs the network and keeps the intermediate values needed for
@@ -490,6 +601,55 @@ mod tests {
             Activation::Identity,
             &mut rng,
         )
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_scalar() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        // A network wide enough that every layer mixes lanes and rows.
+        let net = Mlp::new(
+            &[3, 24, 16, 2],
+            Activation::Tanh,
+            Activation::Tanh,
+            &mut rng,
+        );
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        // Lane counts spanning sub-lane batches, exactly one sweep, and
+        // ragged multi-sweep tails.
+        for n in [1usize, 3, 8, 9, 17] {
+            let inputs: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    vec![
+                        i as f64 * 0.31 - 1.7,
+                        (i as f64 * 0.17).sin(),
+                        1.0 - i as f64 * 0.09,
+                    ]
+                })
+                .collect();
+            net.forward_batch_into(&inputs, &mut scratch, &mut out);
+            assert_eq!(out.len(), n);
+            for (input, output) in inputs.iter().zip(out.iter()) {
+                let mut reference_scratch = MlpScratch::new();
+                let reference = net.forward_into(input, &mut reference_scratch);
+                assert_eq!(output.len(), reference.len());
+                for (a, b) in output.iter().zip(reference.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "lane diverged at n={n}");
+                }
+            }
+        }
+        // Empty batches are fine and clear the output spine.
+        net.forward_batch_into(&[], &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn batched_forward_rejects_wrong_dimension() {
+        let net = small_net(1);
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        net.forward_batch_into(&[vec![1.0]], &mut scratch, &mut out);
     }
 
     #[test]

@@ -48,11 +48,20 @@
 //! convenience methods — what the serving path does, one scratch per worker
 //! thread).
 
-use crate::{Interval, Polynomial};
+use crate::{BatchPoints, Interval, Polynomial};
 use std::cell::RefCell;
 
-/// Reusable evaluation scratch: per-variable power tables for point and
-/// interval evaluation.
+/// Number of lanes a batched evaluation sweep processes at once.
+///
+/// Eight `f64` lanes fill two AVX2 registers (or four SSE2 / NEON ones);
+/// the batch kernels' inner loops run over fixed `[f64; LANE_WIDTH]`
+/// blocks so the autovectorizer sees constant trip counts.  Batches larger
+/// than the lane width are processed in chunks; ragged tails pad the power
+/// table with `1.0` and only the live lanes are written back.
+pub const LANE_WIDTH: usize = 8;
+
+/// Reusable evaluation scratch: per-variable power tables for point,
+/// interval, and lane-batched evaluation.
 ///
 /// A scratch grows to the largest polynomial it has served and is then
 /// allocation-free.  One scratch may be shared across any number of
@@ -64,6 +73,10 @@ pub struct PolyScratch {
     /// `ipowers[offset(j) + k] = domain[j].pow(k)` as raw `(lo, hi)` pairs,
     /// so the interval kernel runs on plain endpoint arithmetic.
     ipowers: Vec<(f64, f64)>,
+    /// Batched power tables:
+    /// `bpowers[(offset(j) + k) * LANE_WIDTH + lane] = point_lane[j].powi(k)`;
+    /// pad lanes past the live count hold `1.0`.
+    bpowers: Vec<f64>,
 }
 
 impl PolyScratch {
@@ -197,6 +210,102 @@ impl Kernel {
                 *slot = powi_exact(x, k as u32);
             }
         }
+    }
+
+    /// Fills the batched power table for lanes `base..base + lanes` of
+    /// `points`:
+    /// `bpowers[(off(j) + k) * LANE_WIDTH + lane] = points[base + lane][j].powi(k)`.
+    ///
+    /// Each entry is computed by the same `powi_exact` the scalar fill
+    /// uses, so every live lane's table is bit-identical to what
+    /// [`Kernel::fill_powers`] would produce for that point.  Pad lanes
+    /// (`lanes..LANE_WIDTH`) are set to `1.0` so the fixed-width term loops
+    /// stay in normal-number arithmetic; their results are never read.
+    fn fill_powers_batch(
+        &self,
+        points: &BatchPoints,
+        base: usize,
+        lanes: usize,
+        scratch: &mut PolyScratch,
+    ) {
+        debug_assert!(0 < lanes && lanes <= LANE_WIDTH);
+        assert_eq!(
+            points.nvars(),
+            self.nvars,
+            "evaluation batch has wrong dimension"
+        );
+        scratch
+            .bpowers
+            .resize(self.table_len.max(1) * LANE_WIDTH, 0.0);
+        for j in 0..self.nvars {
+            let col = &points.column(j)[base..base + lanes];
+            let off = self.pow_offsets[j] as usize;
+            let end = self
+                .pow_offsets
+                .get(j + 1)
+                .map_or(self.table_len, |&o| o as usize);
+            for k in 0..(end - off) {
+                let row = &mut scratch.bpowers[(off + k) * LANE_WIDTH..(off + k + 1) * LANE_WIDTH];
+                let (live, pad) = row.split_at_mut(lanes);
+                for (slot, &x) in live.iter_mut().zip(col.iter()) {
+                    *slot = powi_exact(x, k as u32);
+                }
+                pad.fill(1.0);
+            }
+        }
+    }
+
+    /// Sums terms `range` against a filled batched power table, writing one
+    /// value per live lane into `out` (`out.len() == lanes`).
+    ///
+    /// Per lane this performs exactly the operations of
+    /// [`Kernel::sum_terms`] in exactly the same order — the lane dimension
+    /// only interleaves independent evaluations — so each lane's result is
+    /// bit-identical to the scalar kernel's.  The inner loops run over
+    /// fixed-width `[f64; LANE_WIDTH]` blocks with constant trip counts,
+    /// which is what lets the compiler lower them to SIMD.
+    ///
+    /// # Table-access safety
+    ///
+    /// Same structural invariant as [`Kernel::sum_terms`]: every factor
+    /// slot is `< table_len`, and [`Kernel::fill_powers_batch`] (the only
+    /// caller's preceding step) resizes the batch table to
+    /// `table_len * LANE_WIDTH`.
+    fn sum_terms_batch(
+        &self,
+        range: std::ops::Range<usize>,
+        lanes: usize,
+        scratch: &PolyScratch,
+        out: &mut [f64],
+    ) {
+        let bpowers = scratch.bpowers.as_slice();
+        debug_assert!(bpowers.len() >= self.table_len * LANE_WIDTH);
+        debug_assert!(self
+            .factors
+            .iter()
+            .all(|&s| (s as usize) < self.table_len.max(1)));
+        debug_assert_eq!(out.len(), lanes);
+        let coeffs = &self.coeffs[range.clone()];
+        let starts = &self.term_starts[range.start..range.end + 1];
+        let mut totals = [0.0f64; LANE_WIDTH];
+        for (window, &coeff) in starts.windows(2).zip(coeffs.iter()) {
+            let mut term = [coeff; LANE_WIDTH];
+            for &slot in &self.factors[window[0] as usize..window[1] as usize] {
+                // SAFETY: slot < table_len and the caller just resized
+                // `bpowers` to at least `table_len * LANE_WIDTH` (see above).
+                let row = unsafe {
+                    bpowers
+                        .get_unchecked(slot as usize * LANE_WIDTH..(slot as usize + 1) * LANE_WIDTH)
+                };
+                for (t, &p) in term.iter_mut().zip(row.iter()) {
+                    *t *= p;
+                }
+            }
+            for (total, &t) in totals.iter_mut().zip(term.iter()) {
+                *total += t;
+            }
+        }
+        out.copy_from_slice(&totals[..lanes]);
     }
 
     /// Fills the interval power table, entry-for-entry bit-identical to
@@ -406,6 +515,77 @@ impl CompiledPolynomial {
         self.kernel.sum_terms(0..self.kernel.coeffs.len(), scratch)
     }
 
+    /// Evaluates every lane of a [`BatchPoints`] batch, writing one value
+    /// per state into `out` (resized to `points.len()`), using the
+    /// thread-local scratch.
+    ///
+    /// Lanes are swept [`LANE_WIDTH`] states at a time with one shared
+    /// power-table fill per variable per sweep; each lane's result is
+    /// **bit-for-bit** the value [`CompiledPolynomial::eval`] returns for
+    /// that state (debug builds assert this per lane).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrl_poly::{BatchPoints, Polynomial};
+    ///
+    /// let p = Polynomial::from_terms(2, vec![(vec![2, 1], 3.0), (vec![0, 0], -1.0)]);
+    /// let compiled = p.compile();
+    /// let batch = BatchPoints::from_states(2, &[vec![2.0, 1.0], vec![-0.5, 3.0]]);
+    /// let mut out = Vec::new();
+    /// compiled.evaluate_batch(&batch, &mut out);
+    /// assert_eq!(out, vec![p.eval(&[2.0, 1.0]), p.eval(&[-0.5, 3.0])]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.nvars()`.
+    pub fn evaluate_batch(&self, points: &BatchPoints, out: &mut Vec<f64>) {
+        TLS_SCRATCH.with(|s| self.evaluate_batch_with(points, out, &mut s.borrow_mut()))
+    }
+
+    /// Batched evaluation with a caller-managed scratch (allocation-free
+    /// once the scratch and `out` have grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.nvars()`.
+    pub fn evaluate_batch_with(
+        &self,
+        points: &BatchPoints,
+        out: &mut Vec<f64>,
+        scratch: &mut PolyScratch,
+    ) {
+        assert_eq!(
+            points.nvars(),
+            self.nvars(),
+            "evaluation batch has wrong dimension"
+        );
+        let n = points.len();
+        out.clear();
+        out.resize(n, 0.0);
+        let mut base = 0;
+        while base < n {
+            let lanes = (n - base).min(LANE_WIDTH);
+            self.kernel.fill_powers_batch(points, base, lanes, scratch);
+            self.kernel.sum_terms_batch(
+                0..self.kernel.coeffs.len(),
+                lanes,
+                scratch,
+                &mut out[base..base + lanes],
+            );
+            base += lanes;
+        }
+        #[cfg(debug_assertions)]
+        for (i, value) in out.iter().enumerate() {
+            debug_assert_eq!(
+                value.to_bits(),
+                self.eval_with(&points.state(i), scratch).to_bits(),
+                "batch lane {i} diverged from the scalar kernel"
+            );
+        }
+    }
+
     /// Conservative interval enclosure over a box, using the thread-local
     /// scratch.
     ///
@@ -530,6 +710,88 @@ impl CompiledPolySet {
         self.kernel.fill_powers(point, scratch);
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.kernel.sum_terms(self.range(i), scratch);
+        }
+    }
+
+    /// Evaluates every polynomial of the set at every lane of a
+    /// [`BatchPoints`] batch, using the thread-local scratch.
+    ///
+    /// `out` is resized to `self.len() * points.len()` and laid out
+    /// polynomial-major: `out[i * points.len() + lane]` is polynomial `i`
+    /// at state `lane`, so each polynomial's lane values are contiguous
+    /// (what a guard cascade consumes).  Each sweep fills the per-variable
+    /// power tables **once** for the whole family across [`LANE_WIDTH`]
+    /// lanes, and every entry is bit-for-bit the scalar
+    /// [`CompiledPolySet::eval_into`] value (debug builds assert this).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrl_poly::{BatchPoints, CompiledPolySet, Polynomial};
+    ///
+    /// let x = Polynomial::variable(0, 2);
+    /// let y = Polynomial::variable(1, 2);
+    /// let set = CompiledPolySet::compile(&[&x * &x, &x + &y]);
+    /// let batch = BatchPoints::from_states(2, &[vec![2.0, 3.0], vec![-1.0, 0.5]]);
+    /// let mut out = Vec::new();
+    /// set.evaluate_batch(&batch, &mut out);
+    /// assert_eq!(out, vec![4.0, 1.0, 5.0, -0.5]); // [x² lanes..., x+y lanes...]
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.nvars()`.
+    pub fn evaluate_batch(&self, points: &BatchPoints, out: &mut Vec<f64>) {
+        TLS_SCRATCH.with(|s| self.evaluate_batch_with(points, out, &mut s.borrow_mut()))
+    }
+
+    /// Batched family evaluation with a caller-managed scratch (see
+    /// [`CompiledPolySet::evaluate_batch`] for the output layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.nvars()`.
+    pub fn evaluate_batch_with(
+        &self,
+        points: &BatchPoints,
+        out: &mut Vec<f64>,
+        scratch: &mut PolyScratch,
+    ) {
+        assert_eq!(
+            points.nvars(),
+            self.nvars(),
+            "evaluation batch has wrong dimension"
+        );
+        let n = points.len();
+        out.clear();
+        out.resize(self.len() * n, 0.0);
+        let mut base = 0;
+        while base < n {
+            let lanes = (n - base).min(LANE_WIDTH);
+            self.kernel.fill_powers_batch(points, base, lanes, scratch);
+            for i in 0..self.len() {
+                self.kernel.sum_terms_batch(
+                    self.range(i),
+                    lanes,
+                    scratch,
+                    &mut out[i * n + base..i * n + base + lanes],
+                );
+            }
+            base += lanes;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = vec![0.0; self.len()];
+            for lane in 0..n {
+                self.eval_into_with(&points.state(lane), &mut reference, scratch);
+                for (i, r) in reference.iter().enumerate() {
+                    debug_assert_eq!(
+                        out[i * n + lane].to_bits(),
+                        r.to_bits(),
+                        "batch lane {lane} of polynomial {i} diverged from the scalar kernel"
+                    );
+                }
+            }
         }
     }
 
@@ -728,9 +990,99 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_scalar_on_fixed_cases() {
+        let p = Polynomial::from_terms(
+            2,
+            vec![
+                (vec![2, 1], 3.0),
+                (vec![0, 3], -1.0),
+                (vec![1, 0], 0.5),
+                (vec![0, 0], -2.0),
+            ],
+        );
+        let c = p.compile();
+        // 19 states: two full 8-lane sweeps plus a ragged 3-lane tail.
+        let states: Vec<Vec<f64>> = (0..19)
+            .map(|i| vec![(i as f64) * 0.37 - 3.0, 2.5 - (i as f64) * 0.21])
+            .collect();
+        let batch = BatchPoints::from_states(2, &states);
+        let mut out = Vec::new();
+        c.evaluate_batch(&batch, &mut out);
+        assert_eq!(out.len(), states.len());
+        for (state, &value) in states.iter().zip(out.iter()) {
+            assert_eq!(value.to_bits(), p.eval(state).to_bits());
+        }
+        // An empty batch produces an empty output.
+        c.evaluate_batch(&BatchPoints::new(2), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batch_set_layout_is_polynomial_major() {
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let polys = vec![&x * &x, &x + &y, Polynomial::constant(7.0, 2)];
+        let set = CompiledPolySet::compile(&polys);
+        let states: Vec<Vec<f64>> = (0..11)
+            .map(|i| vec![(i as f64) * 0.5 - 2.0, 1.0 - (i as f64) * 0.3])
+            .collect();
+        let batch = BatchPoints::from_states(2, &states);
+        let mut out = Vec::new();
+        set.evaluate_batch(&batch, &mut out);
+        assert_eq!(out.len(), polys.len() * states.len());
+        for (i, poly) in polys.iter().enumerate() {
+            for (lane, state) in states.iter().enumerate() {
+                assert_eq!(
+                    out[i * states.len() + lane].to_bits(),
+                    poly.eval(state).to_bits(),
+                    "polynomial {i}, lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_across_shapes() {
+        let mut scratch = PolyScratch::new();
+        let small = Polynomial::variable(0, 1).compile();
+        let big = Polynomial::from_basis(
+            3,
+            &monomial_basis(3, 4),
+            &(0..crate::basis_size(3, 4))
+                .map(|i| i as f64 * 0.1 - 1.0)
+                .collect::<Vec<_>>(),
+        );
+        let big_c = big.compile();
+        let mut out = Vec::new();
+        let small_batch = BatchPoints::from_states(1, &[vec![2.0], vec![-1.0]]);
+        small.evaluate_batch_with(&small_batch, &mut out, &mut scratch);
+        assert_eq!(out, vec![2.0, -1.0]);
+        let big_states: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![0.3 - 0.05 * i as f64, -0.4, 1.1])
+            .collect();
+        let big_batch = BatchPoints::from_states(3, &big_states);
+        big_c.evaluate_batch_with(&big_batch, &mut out, &mut scratch);
+        for (state, &value) in big_states.iter().zip(out.iter()) {
+            assert_eq!(value.to_bits(), big.eval(state).to_bits());
+        }
+        // Shrinking back to the small polynomial still works.
+        small.evaluate_batch_with(&small_batch, &mut out, &mut scratch);
+        assert_eq!(out, vec![2.0, -1.0]);
+    }
+
+    #[test]
     #[should_panic(expected = "wrong dimension")]
     fn compiled_eval_rejects_wrong_dimension() {
         let _ = Polynomial::variable(0, 2).compile().eval(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn batch_eval_rejects_wrong_dimension() {
+        let batch = BatchPoints::from_states(1, &[vec![1.0]]);
+        Polynomial::variable(0, 2)
+            .compile()
+            .evaluate_batch(&batch, &mut Vec::new());
     }
 
     #[test]
@@ -774,6 +1126,58 @@ mod tests {
             let compiled = c.eval_interval(&domain);
             prop_assert_eq!(reference.lo().to_bits(), compiled.lo().to_bits());
             prop_assert_eq!(reference.hi().to_bits(), compiled.hi().to_bits());
+        }
+
+        /// Batched point evaluation is bit-for-bit the scalar compiled (and
+        /// therefore reference) result for every lane count 1–9 — covering
+        /// sub-lane batches, one exactly full sweep, and a ragged tail —
+        /// on random polynomials up to degree 6 in up to 6 variables.
+        #[test]
+        fn prop_batch_bit_for_bit(
+            nvars in 1usize..7,
+            lanes in 1usize..10,
+            raw_exps in proptest::collection::vec(0u32..7, 72),
+            coeffs in proptest::collection::vec(-5.0..5.0f64, 12),
+            raw_points in proptest::collection::vec(-2.5..2.5f64, 54),
+        ) {
+            let p = poly_from_raw(nvars, &raw_exps, &coeffs);
+            let c = p.compile();
+            let states: Vec<Vec<f64>> = (0..lanes)
+                .map(|i| raw_points[i * nvars..(i + 1) * nvars].to_vec())
+                .collect();
+            let batch = BatchPoints::from_states(nvars, &states);
+            let mut out = Vec::new();
+            c.evaluate_batch(&batch, &mut out);
+            prop_assert_eq!(out.len(), lanes);
+            for (state, &value) in states.iter().zip(out.iter()) {
+                prop_assert_eq!(value.to_bits(), p.eval(state).to_bits());
+                prop_assert_eq!(value.to_bits(), c.eval(state).to_bits());
+            }
+        }
+
+        /// Batched set evaluation is bit-for-bit the scalar result for every
+        /// member and lane, across ragged lane counts.
+        #[test]
+        fn prop_batch_set_bit_for_bit(
+            lanes in 1usize..10,
+            raw_exps in proptest::collection::vec(0u32..5, 24),
+            c1 in proptest::collection::vec(-3.0..3.0f64, 4),
+            c2 in proptest::collection::vec(-3.0..3.0f64, 4),
+            raw_points in proptest::collection::vec(-2.0..2.0f64, 27),
+        ) {
+            let p1 = poly_from_raw(3, &raw_exps[..12], &c1);
+            let p2 = poly_from_raw(3, &raw_exps[12..], &c2);
+            let set = CompiledPolySet::compile(&[p1.clone(), p2.clone()]);
+            let states: Vec<Vec<f64>> = (0..lanes)
+                .map(|i| raw_points[i * 3..(i + 1) * 3].to_vec())
+                .collect();
+            let batch = BatchPoints::from_states(3, &states);
+            let mut out = Vec::new();
+            set.evaluate_batch(&batch, &mut out);
+            for (lane, state) in states.iter().enumerate() {
+                prop_assert_eq!(out[lane].to_bits(), p1.eval(state).to_bits());
+                prop_assert_eq!(out[lanes + lane].to_bits(), p2.eval(state).to_bits());
+            }
         }
 
         /// A compiled set agrees with compiling each member separately.

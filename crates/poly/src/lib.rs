@@ -24,6 +24,36 @@
 //! operation that produces a new [`Polynomial`] requires recompiling before
 //! the result can be evaluated through the fast path.
 //!
+//! # Batched evaluation
+//!
+//! When many independent states must be evaluated against the *same*
+//! compiled polynomial — the deployed shield's `decide_batch`, barrier
+//! membership sweeps, guard cascades — the lane-batched kernels amortize
+//! the per-variable power-table fill across a [`BatchPoints`]
+//! structure-of-arrays batch, sweeping [`LANE_WIDTH`] states at a time
+//! through fixed-width inner loops the compiler can vectorize.  Every lane
+//! is **bit-for-bit** the scalar result (debug builds assert this per
+//! lane), so batching never changes a decision:
+//!
+//! ```
+//! use vrl_poly::{BatchPoints, Polynomial};
+//!
+//! // E(x, y) = x² + y² − 1, evaluated at three states in one sweep.
+//! let x = Polynomial::variable(0, 2);
+//! let y = Polynomial::variable(1, 2);
+//! let e = &(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(1.0, 2);
+//! let compiled = e.compile();
+//!
+//! let states = [vec![0.0, 0.0], vec![0.5, 0.5], vec![2.0, 0.0]];
+//! let batch = BatchPoints::from_states(2, &states);
+//! let mut values = Vec::new();
+//! compiled.evaluate_batch(&batch, &mut values);
+//! for (state, &value) in states.iter().zip(values.iter()) {
+//!     assert_eq!(value.to_bits(), e.eval(state).to_bits()); // bit-exact
+//! }
+//! assert_eq!(values.iter().filter(|&&v| v <= 0.0).count(), 2);
+//! ```
+//!
 //! # Examples
 //!
 //! ```
@@ -41,13 +71,15 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod basis;
+mod batch;
 mod compiled;
 mod interval;
 mod polynomial;
 mod portable;
 
 pub use basis::{basis_size, monomial_basis};
-pub use compiled::{CompiledPolySet, CompiledPolynomial, PolyScratch};
+pub use batch::BatchPoints;
+pub use compiled::{CompiledPolySet, CompiledPolynomial, PolyScratch, LANE_WIDTH};
 pub use interval::Interval;
 pub use polynomial::Polynomial;
 pub use portable::PortablePolynomial;

@@ -129,6 +129,34 @@ impl NeuralPolicy {
         out.extend(output.iter().map(|x| x * self.action_scale));
     }
 
+    /// Computes the proposed actions for a whole batch of states through
+    /// one shared scratch, writing one action vector per state into `out`
+    /// (whose buffers are recycled across calls).
+    ///
+    /// Proposal `i` is **bit-identical** to [`Policy::action`]`(states[i])`:
+    /// the batch runs [`Mlp::forward_batch_into`], whose row-blocked lane
+    /// sweeps amortize the weight-matrix memory traffic of the oracle's
+    /// forward pass — the dominant cost of a serving decision — without
+    /// reordering any lane's arithmetic.  This is what the serving layer's
+    /// `decide_batch` feeds into the shield's batched certificate sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state has the wrong dimension.
+    pub fn actions_batch_into(
+        &self,
+        states: &[Vec<f64>],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        self.network.forward_batch_into(states, scratch, out);
+        for action in out.iter_mut() {
+            for x in action.iter_mut() {
+                *x *= self.action_scale;
+            }
+        }
+    }
+
     /// Extracts the plain-data form of this policy (network weights plus the
     /// action scale) for artifact persistence.
     pub fn to_portable(&self) -> PortableNeuralPolicy {
@@ -297,6 +325,26 @@ mod tests {
             assert!(a.iter().all(|x| x.abs() <= 5.0));
         }
         assert_eq!(policy.network().input_dim(), 3);
+    }
+
+    #[test]
+    fn batched_proposals_match_scalar_actions() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let policy = NeuralPolicy::new(2, 2, &[16], 3.0, &mut rng);
+        let states: Vec<Vec<f64>> = (0..11)
+            .map(|i| vec![i as f64 * 0.2 - 1.0, 0.5 - i as f64 * 0.1])
+            .collect();
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        policy.actions_batch_into(&states, &mut scratch, &mut out);
+        assert_eq!(out.len(), states.len());
+        for (state, action) in states.iter().zip(out.iter()) {
+            assert_eq!(action, &policy.action(state));
+        }
+        // A second (smaller) batch reuses and truncates the buffers.
+        policy.actions_batch_into(&states[..3], &mut scratch, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], policy.action(&states[2]));
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   on the generation they started with.
 //! * [`ShieldServer::decide_batch`] fans large batches out over a shared
 //!   [`WorkerPool`], one contiguous chunk per worker, and reassembles the
-//!   results in order.
+//!   results in order.  Within each chunk (and on the small-batch path)
+//!   decisions run through the shield's lane-batched certificate kernels
+//!   (`Shield::decide_batch`), which classify 8 states per power-table
+//!   fill instead of looping the scalar `decide` — decision-for-decision
+//!   identical, just faster.
 //!
 //! # Hot redeploy
 //!
@@ -138,6 +142,10 @@ thread_local! {
     /// their own).
     static ORACLE_SCRATCH: RefCell<(MlpScratch, Vec<f64>)> =
         RefCell::new((MlpScratch::new(), Vec::new()));
+
+    /// Per-thread proposal buffers for the batched serving path (one action
+    /// vector per lane, recycled across batches).
+    static BATCH_PROPOSALS: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
 }
 
 impl ActiveArtifact {
@@ -147,6 +155,24 @@ impl ActiveArtifact {
             let (scratch, proposed) = &mut *cell.borrow_mut();
             self.artifact.oracle().action_into(state, scratch, proposed);
             self.artifact.shield().decide(state, proposed)
+        })
+    }
+
+    /// Algorithm 3 for a lane of states: the oracle proposes for every
+    /// state through one shared scratch, then the shield classifies the
+    /// whole lane against its certificates via the batched compiled
+    /// kernels ([`vrl::shield::Shield::decide_batch`]).  Decision-for-
+    /// decision identical to mapping [`ActiveArtifact::decide`].
+    fn decide_batch(&self, states: &[Vec<f64>]) -> Vec<ShieldDecision> {
+        ORACLE_SCRATCH.with(|oracle_cell| {
+            BATCH_PROPOSALS.with(|proposal_cell| {
+                let (scratch, _) = &mut *oracle_cell.borrow_mut();
+                let proposals = &mut *proposal_cell.borrow_mut();
+                self.artifact
+                    .oracle()
+                    .actions_batch_into(states, scratch, proposals);
+                self.artifact.shield().decide_batch(states, proposals)
+            })
         })
     }
 }
@@ -343,7 +369,7 @@ impl ShieldServer {
         }
         let start = Instant::now();
         let decisions = if states.len() < 2 * MIN_CHUNK || self.pool.threads() == 1 {
-            states.iter().map(|s| active.decide(s)).collect::<Vec<_>>()
+            active.decide_batch(states)
         } else {
             self.fan_out(&active, states)
         };
@@ -363,8 +389,7 @@ impl ShieldServer {
             let active = Arc::clone(active);
             let tx = tx.clone();
             self.pool.execute(move || {
-                let decisions: Vec<ShieldDecision> =
-                    chunk.iter().map(|s| active.decide(s)).collect();
+                let decisions = active.decide_batch(&chunk);
                 // The receiver only disappears if the caller panicked.
                 let _ = tx.send((index, decisions));
             });
@@ -561,6 +586,35 @@ mod tests {
     fn empty_batch_is_fine() {
         let server = server_with_toy("toy");
         assert_eq!(server.decide_batch("toy", &[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn intervention_telemetry_is_identical_across_decide_paths() {
+        // The scalar and batched paths share intervention counting: the
+        // same traffic must yield byte-identical decisions and identical
+        // intervention-rate telemetry whichever entry point served it.
+        // (Latency percentiles are wall-clock and cannot be compared across
+        // real runs; their batch-vs-sequential equivalence is pinned by the
+        // deterministic StatsRecorder test in `telemetry`.)
+        let via_decide = server_with_toy("toy");
+        let via_batch = server_with_toy("toy");
+        // Span covered and uncovered states so both outcomes occur.
+        let states: Vec<Vec<f64>> = (0..300).map(|i| vec![(i as f64 / 150.0) - 1.0]).collect();
+        let mut sequential = Vec::with_capacity(states.len());
+        for state in &states {
+            sequential.push(via_decide.decide("toy", state).unwrap());
+        }
+        let batched = via_batch.decide_batch("toy", &states).unwrap();
+        assert_eq!(sequential, batched);
+        assert!(batched.iter().any(|d| d.intervened));
+        assert!(batched.iter().any(|d| !d.intervened));
+        let t_seq = via_decide.telemetry("toy").unwrap();
+        let t_bat = via_batch.telemetry("toy").unwrap();
+        assert_eq!(t_seq.decisions, t_bat.decisions);
+        assert_eq!(t_seq.interventions, t_bat.interventions);
+        assert_eq!(t_seq.intervention_rate, t_bat.intervention_rate);
+        assert_eq!(t_seq.requests, 300);
+        assert_eq!(t_bat.requests, 1);
     }
 
     #[test]

@@ -186,6 +186,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_and_sequential_traffic_meter_identically() {
+        // Regression guard for the shared counting contract between
+        // `decide` and `decide_batch`: the same decisions must produce the
+        // same intervention rate and decision totals whether they arrive as
+        // one batched request or as per-decision requests.
+        let latencies_us = [40u64, 40, 80, 80, 80, 120, 120, 200, 200, 1000];
+        let intervened = [
+            false, true, false, false, true, true, false, false, true, true,
+        ];
+        let sequential = StatsRecorder::new();
+        for (&us, &hit) in latencies_us.iter().zip(intervened.iter()) {
+            sequential.record_request(1, u64::from(hit), Duration::from_micros(us));
+        }
+        let batched = StatsRecorder::new();
+        batched.record_request(
+            latencies_us.len() as u64,
+            intervened.iter().filter(|&&h| h).count() as u64,
+            Duration::from_micros(latencies_us.iter().sum()),
+        );
+        let seq = sequential.snapshot("d", 1);
+        let bat = batched.snapshot("d", 1);
+        assert_eq!(seq.decisions, bat.decisions);
+        assert_eq!(seq.interventions, bat.interventions);
+        assert_eq!(seq.intervention_rate, bat.intervention_rate);
+        assert_eq!(seq.requests, 10);
+        assert_eq!(bat.requests, 1);
+        // The recorder stores *per-decision* latency, so when every decision
+        // costs the same, the percentile estimates are identical too: ten
+        // 100µs decides vs one 1000µs batch of ten.
+        let per_decision = StatsRecorder::new();
+        let one_batch = StatsRecorder::new();
+        for _ in 0..10 {
+            per_decision.record_request(1, 1, Duration::from_micros(100));
+        }
+        one_batch.record_request(10, 10, Duration::from_micros(1000));
+        let a = per_decision.snapshot("d", 1);
+        let b = one_batch.snapshot("d", 1);
+        assert_eq!(a.p50_latency, b.p50_latency);
+        assert_eq!(a.p99_latency, b.p99_latency);
+        assert_eq!(a.intervention_rate, b.intervention_rate);
+    }
+
+    #[test]
     fn latency_window_wraps_without_growing() {
         let stats = StatsRecorder::new();
         for i in 0..(LATENCY_WINDOW + 100) {

@@ -1,9 +1,26 @@
 //! Algorithm 3: the runtime safety shield.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use vrl_dynamics::{EnvironmentContext, Policy, PortableEnvironment};
+use vrl_poly::BatchPoints;
 use vrl_synth::{GuardedPolicy, PolicyProgram, PortableProgram};
 use vrl_verify::{BarrierCertificate, PortableCertificate};
+
+/// Reusable per-thread buffers for [`Shield::decide_batch`]: the predicted
+/// successor lanes plus the coverage flags, so batched serving performs no
+/// per-request allocation beyond the returned decisions.
+#[derive(Default)]
+struct BatchScratch {
+    predicted: BatchPoints,
+    safe: Vec<bool>,
+    covered: Vec<bool>,
+    contained: Vec<bool>,
+}
+
+thread_local! {
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
+}
 
 /// One verified piece of a shield: a deterministic program together with the
 /// inductive invariant proving it safe on the region the invariant covers.
@@ -143,9 +160,20 @@ impl Shield {
                 intervened: false,
             };
         }
-        // Override with the program of the piece responsible for the current
-        // state: by construction its action keeps the system inside that
-        // piece's invariant.
+        ShieldDecision {
+            action: self.intervention_action(state),
+            intervened: true,
+        }
+    }
+
+    /// The override action for `state`: the verified program of the piece
+    /// responsible for the current state (by construction its action keeps
+    /// the system inside that piece's invariant), falling back to the piece
+    /// whose invariant value is smallest when none formally covers it.
+    ///
+    /// Shared by [`Shield::decide`] and [`Shield::decide_batch`] so both
+    /// paths intervene with byte-identical actions.
+    fn intervention_action(&self, state: &[f64]) -> Vec<f64> {
         let piece = self
             .pieces
             .iter()
@@ -161,10 +189,98 @@ impl Shield {
                     })
                     .expect("a shield always has at least one piece")
             });
-        ShieldDecision {
-            action: self.env.clamp_action(&piece.program().action(state)),
-            intervened: true,
+        self.env.clamp_action(&piece.program().action(state))
+    }
+
+    /// Algorithm 3 for a whole batch of independent `(state, proposal)`
+    /// pairs: predicts every successor, classifies the entire lane against
+    /// the certificates through the lane-batched compiled kernels (one
+    /// power-table fill per variable per [`vrl_poly::LANE_WIDTH`]-lane
+    /// sweep), and only falls back to the per-state intervention path for
+    /// the lanes whose predicted successor is uncovered.
+    ///
+    /// Decision-for-decision identical to calling [`Shield::decide`] per
+    /// pair (debug builds assert this): batched membership values are
+    /// bit-exact, and interventions run the same
+    /// (piece-selection, program, clamp) code as the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` and `proposed` have different lengths or any
+    /// state/action has the wrong dimension.
+    pub fn decide_batch(&self, states: &[Vec<f64>], proposed: &[Vec<f64>]) -> Vec<ShieldDecision> {
+        assert_eq!(
+            states.len(),
+            proposed.len(),
+            "one proposed action per state is required"
+        );
+        if states.is_empty() {
+            return Vec::new();
         }
+        let dim = self.env.state_dim();
+        BATCH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let BatchScratch {
+                predicted,
+                safe,
+                covered,
+                contained,
+            } = &mut *scratch;
+            if predicted.nvars() != dim {
+                *predicted = BatchPoints::with_capacity(dim, states.len());
+            } else {
+                predicted.clear();
+            }
+            safe.clear();
+            for (state, action) in states.iter().zip(proposed.iter()) {
+                let next = self.env.step_deterministic(state, action);
+                safe.push(self.env.safety().is_safe(&next));
+                predicted.push(&next);
+            }
+            // Lane-parallel certificate classification: a lane is covered
+            // when its predicted successor is safe and inside some piece's
+            // invariant.
+            covered.clear();
+            covered.resize(states.len(), false);
+            for piece in &self.pieces {
+                piece.invariant().contains_batch(predicted, contained);
+                for (c, &inside) in covered.iter_mut().zip(contained.iter()) {
+                    *c = *c || inside;
+                }
+            }
+            let decisions: Vec<ShieldDecision> = states
+                .iter()
+                .zip(proposed.iter())
+                .zip(covered.iter().zip(safe.iter()))
+                .map(|((state, action), (&contained, &safe))| {
+                    if contained && safe {
+                        ShieldDecision {
+                            action: self.env.clamp_action(action),
+                            intervened: false,
+                        }
+                    } else {
+                        ShieldDecision {
+                            action: self.intervention_action(state),
+                            intervened: true,
+                        }
+                    }
+                })
+                .collect();
+            #[cfg(debug_assertions)]
+            for (i, ((state, action), decision)) in states
+                .iter()
+                .zip(proposed.iter())
+                .zip(decisions.iter())
+                .enumerate()
+            {
+                debug_assert_eq!(
+                    decision,
+                    &self.decide(state, action),
+                    "batch lane {i} diverged from the scalar decide path"
+                );
+            }
+            decisions
+        })
     }
 
     /// Extracts the plain-data form of this shield (environment model plus
@@ -403,6 +519,73 @@ mod tests {
         let fallback = shield.decide(&[0.95], &[50.0]);
         assert!(fallback.intervened);
         assert!((fallback.action[0] - (-2.0 * 0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_decides() {
+        let shield = toy_shield();
+        // A grid of states spanning covered, boundary, and uncovered
+        // regions, with proposals spanning benign and adversarial actions:
+        // 30 pairs, so the certificate sweep sees full lanes and a tail.
+        let mut states = Vec::new();
+        let mut proposed = Vec::new();
+        for (i, &x) in [-0.95, -0.5, 0.0, 0.5, 0.89, 0.95].iter().enumerate() {
+            for &a in &[-50.0, -1.0, 0.0, 1.0, 50.0] {
+                states.push(vec![x + 0.001 * i as f64]);
+                proposed.push(vec![a]);
+            }
+        }
+        let batch = shield.decide_batch(&states, &proposed);
+        assert_eq!(batch.len(), states.len());
+        for ((state, action), decision) in states.iter().zip(proposed.iter()).zip(batch.iter()) {
+            assert_eq!(decision, &shield.decide(state, action));
+        }
+        assert!(batch.iter().any(|d| d.intervened));
+        assert!(batch.iter().any(|d| !d.intervened));
+        // An empty batch is fine.
+        assert_eq!(shield.decide_batch(&[], &[]), Vec::new());
+    }
+
+    #[test]
+    fn decide_batch_handles_dimension_changes_across_calls() {
+        // The per-thread batch scratch must rebuild when a differently
+        // shaped shield uses it on the same thread.
+        let shield_1d = toy_shield();
+        let dynamics = PolyDynamics::new(
+            2,
+            1,
+            vec![
+                vrl_poly::Polynomial::variable(1, 3),
+                vrl_poly::Polynomial::variable(2, 3),
+            ],
+        )
+        .unwrap();
+        let env = EnvironmentContext::new(
+            "toy-2d",
+            dynamics,
+            0.01,
+            BoxRegion::symmetric(&[0.3, 0.3]),
+            SafetySpec::inside(BoxRegion::symmetric(&[1.0, 1.0])),
+        );
+        let program = PolicyProgram::linear(&[vec![-2.0, -2.0]], &[0.0]);
+        let x = Polynomial::variable(0, 2);
+        let v = Polynomial::variable(1, 2);
+        let invariant =
+            BarrierCertificate::new(&(&(&x * &x) + &(&v * &v)) - &Polynomial::constant(0.81, 2));
+        let shield_2d = Shield::new(env, vec![ShieldPiece::new(program, invariant)]);
+        for _ in 0..2 {
+            let d1 = shield_1d.decide_batch(&[vec![0.1]], &[vec![0.5]]);
+            assert_eq!(d1[0], shield_1d.decide(&[0.1], &[0.5]));
+            let d2 = shield_2d.decide_batch(&[vec![0.1, -0.2]], &[vec![0.5]]);
+            assert_eq!(d2[0], shield_2d.decide(&[0.1, -0.2], &[0.5]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one proposed action per state")]
+    fn decide_batch_rejects_mismatched_lengths() {
+        let shield = toy_shield();
+        let _ = shield.decide_batch(&[vec![0.0]], &[]);
     }
 
     #[test]

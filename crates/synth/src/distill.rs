@@ -14,7 +14,7 @@
 use crate::{GuardedPolicy, PolicyProgram, ProgramSketch};
 use rand::Rng;
 use vrl_dynamics::{BoxRegion, EnvironmentContext, Policy};
-use vrl_poly::Polynomial;
+use vrl_poly::{BatchPoints, Polynomial};
 
 /// Configuration of the Algorithm 1 random search.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,15 +120,38 @@ where
     R: Rng + ?Sized,
 {
     let mut total = 0.0;
+    let mut batch = BatchPoints::new(env.state_dim());
     for _ in 0..trajectories {
         let start = init_region.sample(rng);
         let trajectory = env.rollout(program, &start, horizon, rng);
-        for state in trajectory.states() {
-            if env.is_unsafe(state) || state.iter().any(|x| !x.is_finite()) {
+        let states = trajectory.states();
+        // Evaluate the candidate program on every scorable state in one
+        // lane-batched cascade sweep (bit-identical to per-state
+        // `program.action`), then walk the trajectory in order so the
+        // penalty/gap accumulation — and therefore the synthesized programs
+        // — are unchanged.
+        batch.clear();
+        let scorable: Vec<bool> = states
+            .iter()
+            .map(|state| {
+                let ok = !env.is_unsafe(state) && state.iter().all(|x| x.is_finite());
+                if ok {
+                    batch.push(state);
+                }
+                ok
+            })
+            .collect();
+        let mut program_actions = program.evaluate_batch(&batch).into_iter();
+        for (state, ok) in states.iter().zip(scorable) {
+            if !ok {
                 total -= unsafe_penalty;
                 continue;
             }
-            let program_action = env.clamp_action(&program.action(state));
+            let action = program_actions
+                .next()
+                .expect("one batched action per scorable state")
+                .unwrap_or_else(|| vec![0.0; program.action_dim()]);
+            let program_action = env.clamp_action(&action);
             let oracle_action = env.clamp_action(&oracle.action(state));
             let gap: f64 = program_action
                 .iter()

@@ -7,8 +7,15 @@
 //! `(program, invariant)` pair, with the learned inductive invariant serving
 //! as the branch guard (Theorem 4.2).
 
+use std::cell::RefCell;
 use vrl_dynamics::Policy;
-use vrl_poly::{CompiledPolySet, CompiledPolynomial, Polynomial, PortablePolynomial};
+use vrl_poly::{BatchPoints, CompiledPolySet, CompiledPolynomial, Polynomial, PortablePolynomial};
+
+thread_local! {
+    /// Reusable guard-value buffer for the batched guard checks, so a
+    /// serving-path cascade sweep allocates nothing in steady state.
+    static GUARD_VALUES: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One guarded branch of a policy program.
 ///
@@ -105,6 +112,31 @@ impl GuardedPolicy {
     pub fn evaluate_into(&self, state: &[f64], out: &mut Vec<f64>) {
         out.resize(self.actions.len(), 0.0);
         self.compiled_actions.eval_into(state, out);
+    }
+
+    /// Batched guard check: `out[i] = self.applies(points[i])`, evaluated
+    /// through the lane-parallel compiled kernels (one power-table fill per
+    /// variable per lane sweep), lane-for-lane identical to the scalar
+    /// [`GuardedPolicy::applies`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars()` differs from the branch's state dimension.
+    pub fn applies_batch(&self, points: &BatchPoints, out: &mut Vec<bool>) {
+        assert_eq!(
+            points.nvars(),
+            self.actions[0].nvars(),
+            "evaluation batch has wrong dimension"
+        );
+        out.clear();
+        match &self.compiled_guard {
+            None => out.resize(points.len(), true),
+            Some(g) => GUARD_VALUES.with(|cell| {
+                let values = &mut *cell.borrow_mut();
+                g.evaluate_batch(points, values);
+                out.extend(values.iter().map(|&v| v <= 0.0));
+            }),
+        }
     }
 }
 
@@ -229,6 +261,48 @@ impl PolicyProgram {
     /// The action polynomials of the branch that applies at `state`, if any.
     pub fn branch_for(&self, state: &[f64]) -> Option<&GuardedPolicy> {
         self.branches.iter().find(|b| b.applies(state))
+    }
+
+    /// Batched cascade evaluation: for every lane, the action of the first
+    /// branch whose guard holds (`None` is the `abort` case), with all
+    /// guard checks running through the lane-parallel compiled kernels.
+    ///
+    /// Lane-for-lane identical to calling [`PolicyProgram::evaluate`] per
+    /// state: guard values are bit-exact, so branch selection — and
+    /// therefore every returned action — matches the scalar cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.state_dim()`.
+    pub fn evaluate_batch(&self, points: &BatchPoints) -> Vec<Option<Vec<f64>>> {
+        assert_eq!(points.nvars(), self.state_dim, "state dimension mismatch");
+        let n = points.len();
+        let mut chosen: Vec<Option<usize>> = vec![None; n];
+        let mut undecided = n;
+        let mut applies = Vec::new();
+        for (b, branch) in self.branches.iter().enumerate() {
+            branch.applies_batch(points, &mut applies);
+            for (lane, slot) in chosen.iter_mut().enumerate() {
+                if slot.is_none() && applies[lane] {
+                    *slot = Some(b);
+                    undecided -= 1;
+                }
+            }
+            if undecided == 0 {
+                break;
+            }
+        }
+        let mut state = Vec::with_capacity(self.state_dim);
+        chosen
+            .into_iter()
+            .enumerate()
+            .map(|(lane, slot)| {
+                slot.map(|b| {
+                    points.state_into(lane, &mut state);
+                    self.branches[b].evaluate(&state)
+                })
+            })
+            .collect()
     }
 
     /// Pretty-prints the program in the paper's `def P(...)` style using the
@@ -415,6 +489,43 @@ mod tests {
         assert_eq!(program.action(&[5.0, 0.0]), vec![0.0]);
         assert!(program.branch_for(&[0.5, 0.0]).unwrap().guard().is_some());
         assert!(program.branch_for(&[5.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn batched_cascade_matches_scalar_evaluation() {
+        let weak = GuardedPolicy::guarded(
+            circle_guard(1.0),
+            vec![Polynomial::linear(&[-1.0, 0.0], 0.0)],
+        );
+        let strong = GuardedPolicy::guarded(
+            circle_guard(4.0),
+            vec![Polynomial::linear(&[-5.0, 0.0], 0.0)],
+        );
+        let program = PolicyProgram::from_branches(vec![weak, strong]);
+        // 13 states spanning both branches and the abort region: one full
+        // 8-lane sweep plus a ragged tail.
+        let states: Vec<Vec<f64>> = (0..13)
+            .map(|i| vec![i as f64 * 0.4, (i as f64 * 0.3) - 1.5])
+            .collect();
+        let batch = BatchPoints::from_states(2, &states);
+        let batched = program.evaluate_batch(&batch);
+        assert_eq!(batched.len(), states.len());
+        for (state, result) in states.iter().zip(batched.iter()) {
+            assert_eq!(result, &program.evaluate(state));
+        }
+        // Per-branch batched guard checks agree with the scalar predicate.
+        let mut applies = Vec::new();
+        for branch in program.branches() {
+            branch.applies_batch(&batch, &mut applies);
+            for (state, &a) in states.iter().zip(applies.iter()) {
+                assert_eq!(a, branch.applies(state));
+            }
+        }
+        // Unconditional branches apply everywhere.
+        let unconditional = GuardedPolicy::unconditional(vec![Polynomial::zero(2)]);
+        unconditional.applies_batch(&batch, &mut applies);
+        assert!(applies.iter().all(|&a| a));
+        assert_eq!(applies.len(), states.len());
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Inductive invariants: sketches (Eq. 7) and verified barrier certificates.
 
-use vrl_poly::{monomial_basis, CompiledPolynomial, Polynomial, PortablePolynomial};
+use std::cell::RefCell;
+use vrl_poly::{monomial_basis, BatchPoints, CompiledPolynomial, Polynomial, PortablePolynomial};
+
+thread_local! {
+    /// Reusable value buffer for [`BarrierCertificate::contains_batch`], so
+    /// batched membership sweeps on the serving path allocate nothing in
+    /// steady state.
+    static BATCH_VALUES: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// An invariant sketch `φ[c](X) ::= E[c](X) ≤ 0` (Eq. 7): an affine
 /// combination of every monomial up to a degree bound, with unknown
@@ -139,6 +147,35 @@ impl BarrierCertificate {
         self.value(state) <= 0.0
     }
 
+    /// Values `E(state)` for a whole batch of states in one lane-parallel
+    /// sweep, written into `out` (resized to `points.len()`).
+    ///
+    /// Every lane is bit-for-bit the scalar [`BarrierCertificate::value`]
+    /// result, so batched membership tests decide exactly as the scalar
+    /// path does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.state_dim()`.
+    pub fn values_batch(&self, points: &BatchPoints, out: &mut Vec<f64>) {
+        self.compiled.evaluate_batch(points, out);
+    }
+
+    /// Batched membership: `out[i] = (E(points[i]) ≤ 0)`, lane-for-lane
+    /// identical to calling [`BarrierCertificate::contains`] per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != self.state_dim()`.
+    pub fn contains_batch(&self, points: &BatchPoints, out: &mut Vec<bool>) {
+        BATCH_VALUES.with(|cell| {
+            let values = &mut *cell.borrow_mut();
+            self.values_batch(points, values);
+            out.clear();
+            out.extend(values.iter().map(|&v| v <= 0.0));
+        });
+    }
+
     /// Pretty-prints the invariant as `E(X) ≤ 0` with the given names.
     ///
     /// # Panics
@@ -217,6 +254,31 @@ mod tests {
         let text = cert.pretty(&["eta", "omega"]);
         assert!(text.ends_with("<= 0"));
         assert!(text.contains("eta^2"));
+    }
+
+    #[test]
+    fn batched_membership_matches_scalar() {
+        // E = x² + y² − 1 over a grid straddling the boundary, sized to
+        // exercise full lanes plus a ragged tail.
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let e = &(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(1.0, 2);
+        let cert = BarrierCertificate::new(e);
+        let states: Vec<Vec<f64>> = (0..21)
+            .map(|i| {
+                let t = i as f64 * 0.1 - 1.0;
+                vec![t, 0.7 - t]
+            })
+            .collect();
+        let batch = vrl_poly::BatchPoints::from_states(2, &states);
+        let mut values = Vec::new();
+        cert.values_batch(&batch, &mut values);
+        let mut inside = Vec::new();
+        cert.contains_batch(&batch, &mut inside);
+        for (i, state) in states.iter().enumerate() {
+            assert_eq!(values[i].to_bits(), cert.value(state).to_bits());
+            assert_eq!(inside[i], cert.contains(state));
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Fuzz-style robustness corpus for the artifact wire format: every
+//! truncation length and a dense sweep of single-bit flips must produce a
+//! clean [`ArtifactError`] — never a panic, never a silently-accepted
+//! corrupt artifact — and an intact round trip must serve `decide_batch`
+//! bit-identically to the original.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::{fixtures, ArtifactError, ShieldArtifact};
+
+fn pendulum_artifact() -> ShieldArtifact {
+    let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
+    fixtures::demo_artifact(
+        &env,
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+        &[16, 16],
+        29,
+    )
+    .expect("dimensions agree")
+}
+
+#[test]
+fn every_truncation_length_is_rejected_cleanly() {
+    let bytes = pendulum_artifact().to_bytes();
+    for len in 0..bytes.len() {
+        let result = ShieldArtifact::from_bytes(&bytes[..len]);
+        assert!(
+            result.is_err(),
+            "truncation to {len}/{} bytes must be rejected",
+            bytes.len()
+        );
+    }
+    // The untruncated input still parses.
+    assert!(ShieldArtifact::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn single_bit_flips_are_rejected_cleanly_everywhere() {
+    let bytes = pendulum_artifact().to_bytes();
+    // Every byte offset, one (rotating) bit per offset: covers magic,
+    // version, length, payload, and checksum regions without an 8× blowup.
+    for offset in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[offset] ^= 1 << (offset % 8);
+        let result = ShieldArtifact::from_bytes(&corrupted);
+        assert!(
+            result.is_err(),
+            "flipping bit {} of byte {offset} must be rejected",
+            offset % 8
+        );
+    }
+}
+
+#[test]
+fn random_mutation_corpus_never_panics() {
+    let bytes = pendulum_artifact().to_bytes();
+    let mut rng = SmallRng::seed_from_u64(97);
+    for _ in 0..500 {
+        let mut corrupted = bytes.clone();
+        // 1–8 random byte mutations, occasionally also a random truncation
+        // or garbage extension.
+        for _ in 0..rng.gen_range(1..=8usize) {
+            let offset = rng.gen_range(0..corrupted.len());
+            corrupted[offset] = rng.gen_range(0..=255u32) as u8;
+        }
+        match rng.gen_range(0..4u32) {
+            0 => {
+                let keep = rng.gen_range(0..=corrupted.len());
+                corrupted.truncate(keep);
+            }
+            1 => {
+                let extra = rng.gen_range(1..64usize);
+                corrupted.extend((0..extra).map(|_| rng.gen_range(0..=255u32) as u8));
+            }
+            _ => {}
+        }
+        // Decoding must return (any) error or a fully valid artifact —
+        // reaching this point without a panic is the property under test;
+        // exercising a decision on the rare survivor proves it is usable.
+        if let Ok(artifact) = ShieldArtifact::from_bytes(&corrupted) {
+            let dim = artifact.shield().env().state_dim();
+            let _ = artifact.shield().decide(&vec![0.0; dim], &vec![0.0; dim]);
+        }
+    }
+}
+
+#[test]
+fn error_variants_cover_the_corruption_classes() {
+    let bytes = pendulum_artifact().to_bytes();
+    // Magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        ShieldArtifact::from_bytes(&bad_magic),
+        Err(ArtifactError::BadMagic)
+    ));
+    // Version.
+    let mut bad_version = bytes.clone();
+    bad_version[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        ShieldArtifact::from_bytes(&bad_version),
+        Err(ArtifactError::UnsupportedVersion { .. })
+    ));
+    // Length field.
+    let mut bad_length = bytes.clone();
+    bad_length[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        ShieldArtifact::from_bytes(&bad_length),
+        Err(ArtifactError::Truncated { .. })
+    ));
+    // Payload.
+    let mut bad_payload = bytes.clone();
+    let mid = bytes.len() / 2;
+    bad_payload[mid] ^= 0x10;
+    assert!(matches!(
+        ShieldArtifact::from_bytes(&bad_payload),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn round_trip_preserves_batched_decisions_bit_exactly() {
+    let artifact = pendulum_artifact();
+    let restored = ShieldArtifact::from_bytes(&artifact.to_bytes()).expect("round trip");
+    let env = artifact.shield().env().clone();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let safe = env.safety().safe_box().clone();
+    let states: Vec<Vec<f64>> = (0..100).map(|_| safe.sample(&mut rng)).collect();
+    // Serve both artifacts and compare the batched decisions end to end.
+    let server = vrl_runtime::ShieldServer::with_workers(1);
+    server.deploy("original", artifact).unwrap();
+    server.deploy("restored", restored).unwrap();
+    let original = server.decide_batch("original", &states).unwrap();
+    let restored = server.decide_batch("restored", &states).unwrap();
+    assert_eq!(original, restored);
+    for decision in &original {
+        assert!(decision.action.iter().all(|a| a.is_finite()));
+    }
+}

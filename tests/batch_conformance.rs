@@ -1,0 +1,90 @@
+//! End-to-end batch-serving conformance sweep over every Table 1 benchmark:
+//! for each of the 15 environments, build a deployable shield, check its
+//! certificate's batched membership against the scalar path, and assert
+//! that `decide_batch` agrees state-by-state with sequential `decide` on
+//! 100 states sampled from the safe region.
+//!
+//! The shields here are the fixtures' ellipsoidal demo shields (sized from
+//! each benchmark's safe box), not CEGIS-verified certificates: this sweep
+//! proves the *batched serving plumbing* is decision-for-decision identical
+//! to the scalar path on every benchmark geometry (state dimensions 2–8,
+//! mixed action dimensions, obstacles), not that the invariants are
+//! inductive.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vrl::poly::BatchPoints;
+use vrl_benchmarks::all_benchmarks;
+use vrl_runtime::{fixtures, ShieldServer};
+
+/// Per-benchmark shield geometry: an ellipsoid at half the safe-box
+/// half-widths, and mildly stabilizing linear gains (every action pulls
+/// against every state coordinate).  Parity does not depend on the gains
+/// being good — only on both paths seeing the same shield.
+fn shield_parameters(env: &vrl::dynamics::EnvironmentContext) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let safe = env.safety().safe_box();
+    let radii: Vec<f64> = safe
+        .lows()
+        .iter()
+        .zip(safe.highs().iter())
+        .map(|(lo, hi)| 0.25 * (hi - lo))
+        .collect();
+    let gains = vec![vec![-0.5; env.state_dim()]; env.action_dim()];
+    (gains, radii)
+}
+
+#[test]
+fn decide_batch_agrees_with_decide_on_all_table1_benchmarks() {
+    let benchmarks = all_benchmarks();
+    assert_eq!(benchmarks.len(), 15, "Table 1 lists 15 benchmarks");
+    for (index, spec) in benchmarks.into_iter().enumerate() {
+        let name = spec.name();
+        let env = spec.into_env();
+        let (gains, radii) = shield_parameters(&env);
+        assert!(
+            radii.iter().all(|r| r.is_finite() && *r > 0.0),
+            "{name}: safe box must yield positive finite radii"
+        );
+        // Built by hand rather than through `fixtures::demo_artifact` so
+        // multi-action benchmarks get one program row per action dimension.
+        let program = vrl::synth::PolicyProgram::linear(&gains, &vec![0.0; env.action_dim()]);
+        let shield = vrl::shield::Shield::new(
+            env.clone(),
+            vec![vrl::shield::ShieldPiece::new(
+                program,
+                fixtures::ellipsoid_certificate(&env, &radii),
+            )],
+        );
+        let oracle = fixtures::demo_oracle(&env, &[32, 32], 41 + index as u64);
+        let artifact = vrl_runtime::ShieldArtifact::new(shield, oracle).expect("dimensions agree");
+
+        // Certificate check: batched membership is lane-for-lane the scalar
+        // membership over a spread of sampled states, and the ellipsoid
+        // center is inside.
+        let mut rng = SmallRng::seed_from_u64(1000 + index as u64);
+        let safe = env.safety().safe_box().clone();
+        let states: Vec<Vec<f64>> = (0..100).map(|_| safe.sample(&mut rng)).collect();
+        let cert = artifact.shield().pieces()[0].invariant();
+        assert!(cert.contains(&vec![0.0; env.state_dim()]), "{name}: center");
+        let batch = BatchPoints::from_states(env.state_dim(), &states);
+        let mut inside = Vec::new();
+        cert.contains_batch(&batch, &mut inside);
+        for (state, &flag) in states.iter().zip(inside.iter()) {
+            assert_eq!(flag, cert.contains(state), "{name}: membership parity");
+        }
+
+        // Serving conformance: the batched path must agree state-by-state
+        // with sequential scalar decides on the same deployment.
+        let server = ShieldServer::with_workers(1);
+        server.deploy(name, artifact).unwrap();
+        let batched = server.decide_batch(name, &states).unwrap();
+        assert_eq!(batched.len(), states.len());
+        for (i, state) in states.iter().enumerate() {
+            let scalar = server.decide(name, state).unwrap();
+            assert_eq!(
+                scalar, batched[i],
+                "{name}: decide/decide_batch diverged at state {i} ({state:?})"
+            );
+        }
+    }
+}
