@@ -1,8 +1,10 @@
 //! Compiled-kernel evaluation benchmarks: reference (sparse `BTreeMap`)
 //! polynomial evaluation vs the flat [`CompiledPolynomial`] /
-//! [`CompiledPolySet`] kernels, plus branch-and-bound end-to-end on the
-//! pendulum and cartpole induction queries and a compiled-shield serving
-//! throughput probe.
+//! [`CompiledPolySet`] kernels (point and interval, scalar and
+//! lane-batched), plus branch-and-bound end-to-end — the pendulum and
+//! cartpole induction queries, a traversal-invariant dense deep proof, and
+//! a query-cache re-proof loop — and a compiled-shield serving throughput
+//! probe.
 //!
 //! Besides the usual per-benchmark timing output, this bench records its
 //! headline numbers (reference vs compiled, speedups, decisions/sec) in
@@ -12,8 +14,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
-use vrl::poly::{basis_size, monomial_basis, BatchPoints, Interval, PolyScratch, Polynomial};
-use vrl::solver::{prove_bound, BoundQuery, BranchBoundConfig, ProofOutcome};
+use vrl::poly::{
+    basis_size, monomial_basis, BatchBoxes, BatchPoints, Interval, PolyScratch, Polynomial,
+};
+use vrl::solver::{
+    prove_bound, query_cache_stats, reset_query_cache, BoundQuery, BranchBoundConfig, ProofOutcome,
+};
 use vrl_benchmarks::benchmark_by_name;
 use vrl_runtime::{fixtures, ShieldServer};
 
@@ -67,6 +73,7 @@ struct KernelNumbers {
     point_batch: f64,
     interval_reference: f64,
     interval_compiled: f64,
+    interval_batch: f64,
 }
 
 fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
@@ -75,8 +82,10 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
     let points = sample_points(4096, p.nvars(), 7);
     let batch = BatchPoints::from_states(p.nvars(), &points);
     let boxes = sample_boxes(4096, p.nvars(), 8);
+    let box_batch = BatchBoxes::from_boxes(p.nvars(), &boxes);
     let mut scratch = PolyScratch::new();
     let mut batch_out = Vec::new();
+    let mut interval_out: Vec<Interval> = Vec::new();
 
     let mut group = c.benchmark_group("eval_kernels/dense_deg4_4var");
     group.sample_size(20);
@@ -124,6 +133,16 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
             acc
         })
     });
+    group.bench_function("interval/batch", |b| {
+        b.iter(|| {
+            compiled.evaluate_interval_batch_with(
+                black_box(&box_batch),
+                &mut interval_out,
+                &mut scratch,
+            );
+            interval_out.iter().map(Interval::hi).sum::<f64>()
+        })
+    });
     group.finish();
 
     // Headline numbers for BENCH_eval.json (seconds per 4096 evaluations).
@@ -161,11 +180,20 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
         }
         black_box(acc);
     });
+    let interval_batch = time_per_pass(20, || {
+        compiled.evaluate_interval_batch_with(
+            black_box(&box_batch),
+            &mut interval_out,
+            &mut scratch,
+        );
+        black_box(interval_out.iter().map(Interval::hi).sum::<f64>());
+    });
     println!(
-        "  -> point eval speedup: {:.2}x scalar-compiled, {:.2}x batch-compiled, interval eval speedup: {:.2}x",
+        "  -> point eval speedup: {:.2}x scalar-compiled, {:.2}x batch-compiled; interval eval speedup: {:.2}x scalar-compiled, {:.2}x batch-compiled",
         point_reference / point_compiled,
         point_reference / point_batch,
-        interval_reference / interval_compiled
+        interval_reference / interval_compiled,
+        interval_reference / interval_batch
     );
     KernelNumbers {
         point_reference,
@@ -173,6 +201,7 @@ fn bench_eval_kernels(c: &mut Criterion) -> KernelNumbers {
         point_batch,
         interval_reference,
         interval_compiled,
+        interval_batch,
     }
 }
 
@@ -276,18 +305,35 @@ fn induction_query(
     (next_value, barrier, domain)
 }
 
-fn bench_branch_bound(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64]) -> (f64, f64) {
+fn bench_branch_bound(
+    c: &mut Criterion,
+    name: &str,
+    gains: &[f64],
+    radii: &[f64],
+) -> (f64, f64, f64) {
     let (next_value, barrier, domain) = induction_query(name, gains, radii);
-    let config = BranchBoundConfig {
+    let scalar_config = BranchBoundConfig {
+        max_boxes: 50_000,
+        lane_batched: false,
+        ..BranchBoundConfig::default()
+    };
+    let batched_config = BranchBoundConfig {
         max_boxes: 50_000,
         ..BranchBoundConfig::default()
     };
-    // Both paths must agree on the outcome before we time them.
+    // All paths must agree on the outcome before we time them; the scalar
+    // and batched modes must agree exactly.
     let query = BoundQuery::new(&next_value, 0.0).with_guard(&barrier);
-    let compiled_outcome = prove_bound(&query, &domain, &config);
-    let reference_outcome = reference_prove_bound(&next_value, 0.0, &[&barrier], &domain, &config);
+    let scalar_outcome = prove_bound(&query, &domain, &scalar_config);
+    let batched_outcome = prove_bound(&query, &domain, &batched_config);
     assert_eq!(
-        compiled_outcome.is_proved(),
+        scalar_outcome, batched_outcome,
+        "scalar and lane-batched branch-and-bound disagree on {name}"
+    );
+    let reference_outcome =
+        reference_prove_bound(&next_value, 0.0, &[&barrier], &domain, &batched_config);
+    assert_eq!(
+        batched_outcome.is_proved(),
         reference_outcome.is_proved(),
         "compiled and reference branch-and-bound disagree on {name}"
     );
@@ -295,10 +341,13 @@ fn bench_branch_bound(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64
     let mut group = c.benchmark_group(format!("eval_kernels/branch_bound/{name}"));
     group.sample_size(10);
     group.bench_function("reference", |b| {
-        b.iter(|| reference_prove_bound(&next_value, 0.0, &[&barrier], &domain, &config))
+        b.iter(|| reference_prove_bound(&next_value, 0.0, &[&barrier], &domain, &batched_config))
     });
-    group.bench_function("compiled", |b| {
-        b.iter(|| prove_bound(&query, &domain, &config))
+    group.bench_function("compiled_scalar", |b| {
+        b.iter(|| prove_bound(&query, &domain, &scalar_config))
+    });
+    group.bench_function("compiled_batched", |b| {
+        b.iter(|| prove_bound(&query, &domain, &batched_config))
     });
     group.finish();
 
@@ -308,17 +357,108 @@ fn bench_branch_bound(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64
             0.0,
             &[&barrier],
             &domain,
-            &config,
+            &batched_config,
         ));
     });
-    let compiled = time_per_pass(3, || {
-        black_box(prove_bound(&query, &domain, &config));
+    let scalar = time_per_pass(3, || {
+        black_box(prove_bound(&query, &domain, &scalar_config));
+    });
+    let batched = time_per_pass(3, || {
+        black_box(prove_bound(&query, &domain, &batched_config));
     });
     println!(
-        "  -> {name} branch-and-bound speedup: {:.2}x",
-        reference / compiled
+        "  -> {name} branch-and-bound speedup: {:.2}x scalar-compiled, {:.2}x lane-batched",
+        reference / scalar,
+        reference / batched
     );
-    (reference, compiled)
+    (reference, scalar, batched)
+}
+
+/// A traversal-invariant deep *proof*: `p ≤ max + margin` for the dense
+/// degree-4 polynomial over `[-1, 1]⁴`, with the sound maximum computed
+/// first.  A proved query examines exactly the recursion tree regardless of
+/// frontier order (every box's fate depends only on the box), so — unlike
+/// the refutation-style induction rows above, where the wave order changes
+/// which counterexample surfaces first — this row isolates the evaluation
+/// kernels: reference vs scalar-compiled vs lane-batched over the *same*
+/// boxes.
+fn bench_dense_proof(c: &mut Criterion) -> (f64, f64, f64) {
+    let p = dense_poly();
+    let domain = vec![Interval::new(-1.0, 1.0); p.nvars()];
+    let negated = -&p;
+    let true_max = -vrl::solver::sound_minimum(&negated, &domain, 200_000);
+    let bound = true_max + 1e-3 * (1.0 + true_max.abs());
+    let query = BoundQuery::new(&p, bound);
+    let scalar_config = BranchBoundConfig {
+        lane_batched: false,
+        ..BranchBoundConfig::default()
+    };
+    let batched_config = BranchBoundConfig::default();
+    let scalar_outcome = prove_bound(&query, &domain, &scalar_config);
+    let batched_outcome = prove_bound(&query, &domain, &batched_config);
+    assert_eq!(scalar_outcome, batched_outcome);
+    assert!(scalar_outcome.is_proved(), "the bound must be provable");
+    let reference_outcome = reference_prove_bound(&p, bound, &[], &domain, &batched_config);
+    assert!(reference_outcome.is_proved());
+
+    let mut group = c.benchmark_group("eval_kernels/branch_bound/dense_proof");
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        b.iter(|| reference_prove_bound(&p, bound, &[], &domain, &batched_config))
+    });
+    group.bench_function("compiled_scalar", |b| {
+        b.iter(|| prove_bound(&query, &domain, &scalar_config))
+    });
+    group.bench_function("compiled_batched", |b| {
+        b.iter(|| prove_bound(&query, &domain, &batched_config))
+    });
+    group.finish();
+
+    let reference = time_per_pass(5, || {
+        black_box(reference_prove_bound(
+            &p,
+            bound,
+            &[],
+            &domain,
+            &batched_config,
+        ));
+    });
+    let scalar = time_per_pass(5, || {
+        black_box(prove_bound(&query, &domain, &scalar_config));
+    });
+    let batched = time_per_pass(5, || {
+        black_box(prove_bound(&query, &domain, &batched_config));
+    });
+    println!(
+        "  -> dense-proof branch-and-bound speedup: {:.2}x scalar-compiled, {:.2}x lane-batched",
+        reference / scalar,
+        reference / batched
+    );
+    (reference, scalar, batched)
+}
+
+/// Cache behavior of a CEGIS-style re-proof loop: the same induction query
+/// re-proved `repeats` times.  Every proof after the first pulls its
+/// compiled `objective + guards` family from the per-thread query cache;
+/// the returned triple is `(hits, misses, hit_rate)` over the loop.
+fn measure_query_cache(repeats: u64) -> (u64, u64, f64) {
+    let (next_value, barrier, domain) = induction_query(
+        "pendulum",
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+    );
+    let query = BoundQuery::new(&next_value, 0.0).with_guard(&barrier);
+    let config = BranchBoundConfig {
+        max_boxes: 50_000,
+        ..BranchBoundConfig::default()
+    };
+    reset_query_cache();
+    for _ in 0..repeats {
+        black_box(prove_bound(&query, &domain, &config));
+    }
+    let stats = query_cache_stats();
+    reset_query_cache();
+    (stats.hits, stats.misses, stats.hit_rate())
 }
 
 /// Serving throughput with the compiled shield (decisions/sec), pendulum
@@ -364,14 +504,16 @@ fn measure_serving_throughput() -> (f64, f64) {
 
 fn write_results(
     kernels: &KernelNumbers,
-    pendulum: (f64, f64),
-    cartpole: (f64, f64),
+    pendulum: (f64, f64, f64),
+    cartpole: (f64, f64, f64),
+    dense: (f64, f64, f64),
+    cache: (u64, u64, f64),
     serving: (f64, f64),
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     let json = format!(
         r#"{{
-  "description": "Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) vs lane-batched (8-wide SoA sweeps) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound rows are seconds per induction-query proof; serving rows are single-worker decisions/sec on the pendulum deployment with a [240, 200] oracle — scalar loops per-state decide, batch is decide_batch through the lane-batched oracle + certificate kernels (bit-identical decisions).",
+  "description": "Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) vs lane-batched (8-wide SoA sweeps) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound pendulum/cartpole rows are seconds per CEGIS-style induction query (these refute, so reference-vs-wave deltas mix kernel speed with which counterexample the traversal surfaces first; scalar_sec pops the same 8-box waves through the scalar interval kernel, batched_sec through the lane-batched kernel — identical outcomes); branch_bound_dense_proof is a traversal-invariant deep proof (identical box tree in every arm), isolating the kernels; query_cache is a 50x re-proof loop of the pendulum induction query through the per-thread CompiledQueryCache; serving rows are single-worker decisions/sec on the pendulum deployment with a [240, 200] oracle — scalar loops per-state decide, batch is decide_batch through the lane-batched dynamics-step + oracle + certificate kernels (bit-identical decisions).",
   "point_eval": {{
     "reference_sec": {:.6e},
     "compiled_sec": {:.6e},
@@ -383,17 +525,40 @@ fn write_results(
   "interval_eval": {{
     "reference_sec": {:.6e},
     "compiled_sec": {:.6e},
-    "speedup": {:.2}
+    "batch_sec": {:.6e},
+    "speedup_compiled": {:.2},
+    "speedup_batch": {:.2},
+    "batch_vs_scalar_compiled": {:.2}
   }},
   "branch_bound_pendulum": {{
     "reference_sec": {:.6e},
-    "compiled_sec": {:.6e},
-    "speedup": {:.2}
+    "scalar_sec": {:.6e},
+    "batched_sec": {:.6e},
+    "speedup_scalar": {:.2},
+    "speedup_batched": {:.2},
+    "batched_vs_scalar": {:.2}
   }},
   "branch_bound_cartpole": {{
     "reference_sec": {:.6e},
-    "compiled_sec": {:.6e},
-    "speedup": {:.2}
+    "scalar_sec": {:.6e},
+    "batched_sec": {:.6e},
+    "speedup_scalar": {:.2},
+    "speedup_batched": {:.2},
+    "batched_vs_scalar": {:.2}
+  }},
+  "branch_bound_dense_proof": {{
+    "reference_sec": {:.6e},
+    "scalar_sec": {:.6e},
+    "batched_sec": {:.6e},
+    "speedup_scalar": {:.2},
+    "speedup_batched": {:.2},
+    "batched_vs_scalar": {:.2}
+  }},
+  "query_cache_reproof_loop": {{
+    "repeats": 50,
+    "hits": {},
+    "misses": {},
+    "hit_rate": {:.3}
   }},
   "serving_compiled_shield": {{
     "scalar_decide_per_sec": {:.0},
@@ -410,13 +575,31 @@ fn write_results(
         kernels.point_compiled / kernels.point_batch,
         kernels.interval_reference,
         kernels.interval_compiled,
+        kernels.interval_batch,
         kernels.interval_reference / kernels.interval_compiled,
+        kernels.interval_reference / kernels.interval_batch,
+        kernels.interval_compiled / kernels.interval_batch,
         pendulum.0,
         pendulum.1,
+        pendulum.2,
         pendulum.0 / pendulum.1,
+        pendulum.0 / pendulum.2,
+        pendulum.1 / pendulum.2,
         cartpole.0,
         cartpole.1,
+        cartpole.2,
         cartpole.0 / cartpole.1,
+        cartpole.0 / cartpole.2,
+        cartpole.1 / cartpole.2,
+        dense.0,
+        dense.1,
+        dense.2,
+        dense.0 / dense.1,
+        dense.0 / dense.2,
+        dense.1 / dense.2,
+        cache.0,
+        cache.1,
+        cache.2,
         serving.0,
         serving.1,
         serving.1 / serving.0,
@@ -439,6 +622,14 @@ fn bench_all(c: &mut Criterion) {
         &fixtures::CARTPOLE_GAINS,
         &fixtures::CARTPOLE_RADII,
     );
+    let dense = bench_dense_proof(c);
+    let cache = measure_query_cache(50);
+    println!(
+        "  -> query cache over a 50x re-proof loop: {} hits / {} misses ({:.1}% hit rate)",
+        cache.0,
+        cache.1,
+        cache.2 * 100.0
+    );
     let serving = measure_serving_throughput();
     println!(
         "  -> compiled-shield serving (1 worker): {:.0} decisions/sec scalar decide, {:.0} decisions/sec decide_batch ({:.2}x)",
@@ -446,7 +637,7 @@ fn bench_all(c: &mut Criterion) {
         serving.1,
         serving.1 / serving.0
     );
-    write_results(&kernels, pendulum, cartpole, serving);
+    write_results(&kernels, pendulum, cartpole, dense, cache, serving);
 }
 
 criterion_group!(benches, bench_all);

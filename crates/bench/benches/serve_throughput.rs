@@ -6,9 +6,13 @@
 //! *serving* hot path (oracle forward pass + shield prediction), not
 //! synthesis.  Every deployed shield serves through the compiled polynomial
 //! kernels (flat `CompiledPolynomial`/`CompiledPolySet` forms cached at
-//! construction) and per-thread oracle scratch buffers, so the numbers here
-//! are the compiled-path numbers; `BENCH_eval.json` records them alongside
-//! the kernel microbenchmarks from `eval_kernels`.
+//! construction) and per-thread oracle scratch buffers, and the batch rows
+//! run the fully lane-batched decide path — successor prediction steps each
+//! chunk through one sweep of the compiled dynamics family
+//! (`step_deterministic_batch`) before the lane-batched certificate
+//! classification — so the numbers here are the compiled-path numbers;
+//! `BENCH_eval.json` records them alongside the kernel microbenchmarks from
+//! `eval_kernels`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;

@@ -1,7 +1,7 @@
 //! Continuous-time system dynamics `ṡ = f(s, a)`.
 
 use std::cell::RefCell;
-use vrl_poly::{CompiledPolySet, Polynomial};
+use vrl_poly::{BatchPoints, CompiledPolySet, Polynomial};
 
 thread_local! {
     /// Reusable `(state, action)` concatenation buffer for
@@ -241,6 +241,33 @@ impl PolyDynamics {
             }
         }
         Some((a, b, c))
+    }
+
+    /// Evaluates the vector field at every lane of a [`BatchPoints`] batch
+    /// of concatenated `(state, action)` points in one lane-parallel sweep
+    /// of the compiled derivative family.
+    ///
+    /// `out` is resized to `state_dim * points.len()` and laid out
+    /// component-major: `out[i * points.len() + lane]` is `f_i` at lane
+    /// `lane`.  Every entry is bit-for-bit the scalar
+    /// [`Dynamics::derivative_into`] value for that lane (the batch kernel
+    /// asserts per-lane parity in debug builds), which is what lets the
+    /// batched integrator step — and therefore `Shield::decide_batch`'s
+    /// successor prediction — stay decision-identical to scalar stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.nvars() != state_dim + action_dim`.
+    pub fn derivative_batch_into(&self, points: &BatchPoints, out: &mut Vec<f64>) {
+        assert_eq!(
+            points.nvars(),
+            self.state_dim + self.action_dim,
+            "batch dimension mismatch"
+        );
+        match &self.compiled {
+            Some(compiled) => compiled.evaluate_batch(points, out),
+            None => out.clear(), // zero state dimensions: nothing to evaluate
+        }
     }
 
     /// Substitutes action polynomials (over state variables only) into the

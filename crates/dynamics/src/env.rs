@@ -5,9 +5,24 @@ use crate::{
     BoxRegion, Disturbance, Dynamics, Integrator, Policy, PolyDynamics, SafetySpec, Trajectory,
 };
 use rand::Rng;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
-use vrl_poly::Polynomial;
+use vrl_poly::{BatchPoints, Polynomial};
+
+/// Reusable per-thread buffers for [`EnvironmentContext::step_deterministic_batch`]:
+/// the concatenated `(state, clamped action)` lanes, the component-major
+/// derivative values, and one row-assembly buffer.
+#[derive(Default)]
+struct StepBatchScratch {
+    joint: BatchPoints,
+    derivative: Vec<f64>,
+    row: Vec<f64>,
+}
+
+thread_local! {
+    static STEP_BATCH_SCRATCH: RefCell<StepBatchScratch> = RefCell::new(StepBatchScratch::default());
+}
 
 /// Reward function type: `r(s, a)`.
 pub type RewardFn = Arc<dyn Fn(&[f64], &[f64]) -> f64 + Send + Sync>;
@@ -368,6 +383,101 @@ impl EnvironmentContext {
             .step(&self.dynamics, state, &clamped, self.dt)
     }
 
+    /// Deterministic one-step successors for a whole batch of independent
+    /// `(state, action)` pairs, written lane-for-lane into `next` (a
+    /// [`BatchPoints`] over the state variables, reinitialized by this
+    /// call).
+    ///
+    /// With the Euler integrator (the scheme shields predict with) the
+    /// whole batch steps through **one** lane-parallel sweep of the
+    /// compiled dynamics family — actions are clamped per lane, the
+    /// concatenated `(state, action)` lanes evaluate through
+    /// [`PolyDynamics::derivative_batch_into`], and the Euler update
+    /// `s + Δt·f` is applied column-wise — instead of one integrator call
+    /// per state.  Every lane is bit-for-bit the scalar
+    /// [`EnvironmentContext::step_deterministic`] successor (debug builds
+    /// assert this per lane); other integrators fall back to per-lane
+    /// scalar stepping, which is trivially identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` and `actions` have different lengths or any
+    /// state/action has the wrong dimension.
+    pub fn step_deterministic_batch(
+        &self,
+        states: &[Vec<f64>],
+        actions: &[Vec<f64>],
+        next: &mut BatchPoints,
+    ) {
+        assert_eq!(
+            states.len(),
+            actions.len(),
+            "one action per state is required"
+        );
+        let n = self.state_dim();
+        let m = self.action_dim();
+        if next.nvars() != n {
+            *next = BatchPoints::with_capacity(n, states.len());
+        } else {
+            next.clear();
+        }
+        if self.integrator != Integrator::Euler {
+            for (state, action) in states.iter().zip(actions.iter()) {
+                next.push(&self.step_deterministic(state, action));
+            }
+            return;
+        }
+        STEP_BATCH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let StepBatchScratch {
+                joint,
+                derivative,
+                row,
+            } = scratch;
+            if joint.nvars() != n + m {
+                *joint = BatchPoints::with_capacity(n + m, states.len());
+            } else {
+                joint.clear();
+            }
+            for (state, action) in states.iter().zip(actions.iter()) {
+                assert_eq!(state.len(), n, "state dimension mismatch");
+                assert_eq!(action.len(), m, "action dimension mismatch");
+                row.clear();
+                row.extend_from_slice(state);
+                row.extend(
+                    action
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| a.clamp(self.action_low[i], self.action_high[i])),
+                );
+                joint.push(row);
+            }
+            self.dynamics.derivative_batch_into(joint, derivative);
+            let len = states.len();
+            let dt = self.dt;
+            next.resize_lanes(len, 0.0);
+            for i in 0..n {
+                let column = &joint.column(i)[..len];
+                let k = &derivative[i * len..(i + 1) * len];
+                for ((slot, &s), &d) in next.column_mut(i).iter_mut().zip(column).zip(k) {
+                    *slot = s + dt * d;
+                }
+            }
+        });
+        #[cfg(debug_assertions)]
+        for (lane, (state, action)) in states.iter().zip(actions.iter()).enumerate() {
+            let reference = self.step_deterministic(state, action);
+            let batched = next.state(lane);
+            debug_assert!(
+                reference
+                    .iter()
+                    .zip(batched.iter())
+                    .all(|(r, b)| r.to_bits() == b.to_bits()),
+                "batched step lane {lane} diverged from the scalar integrator"
+            );
+        }
+    }
+
     /// One-step successor with a disturbance sampled from its bounds.
     pub fn step<R: Rng + ?Sized>(&self, state: &[f64], action: &[f64], rng: &mut R) -> Vec<f64> {
         let mut next = self.step_deterministic(state, action);
@@ -558,6 +668,45 @@ mod tests {
         let short = env.clone().with_horizon(10);
         let episode = short.rollout_episode(&pd, &mut rng);
         assert!(env.init().contains(episode.initial_state().unwrap()));
+    }
+
+    #[test]
+    fn batched_step_matches_scalar_step_bit_for_bit() {
+        // Action bounds so the per-lane clamp path is exercised; 19 lanes
+        // cover two full sweeps plus a ragged tail.
+        let env = double_integrator_env().with_action_bounds(vec![-1.0], vec![1.0]);
+        let states: Vec<Vec<f64>> = (0..19)
+            .map(|i| vec![(i as f64) * 0.1 - 0.9, 0.5 - (i as f64) * 0.07])
+            .collect();
+        let actions: Vec<Vec<f64>> = (0..19).map(|i| vec![(i as f64) * 0.3 - 2.5]).collect();
+        let mut next = vrl_poly::BatchPoints::new(0);
+        env.step_deterministic_batch(&states, &actions, &mut next);
+        assert_eq!(next.len(), states.len());
+        assert_eq!(next.nvars(), 2);
+        for (lane, (state, action)) in states.iter().zip(actions.iter()).enumerate() {
+            let reference = env.step_deterministic(state, action);
+            let batched = next.state(lane);
+            for (r, b) in reference.iter().zip(batched.iter()) {
+                assert_eq!(r.to_bits(), b.to_bits(), "lane {lane}");
+            }
+        }
+        // Non-Euler integrators fall back to per-lane scalar stepping.
+        let rk4 = env.clone().with_integrator(Integrator::RungeKutta4);
+        rk4.step_deterministic_batch(&states, &actions, &mut next);
+        for (lane, (state, action)) in states.iter().zip(actions.iter()).enumerate() {
+            assert_eq!(next.state(lane), rk4.step_deterministic(state, action));
+        }
+        // Empty batches are fine and the output batch is reusable.
+        env.step_deterministic_batch(&[], &[], &mut next);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per state")]
+    fn batched_step_rejects_mismatched_lengths() {
+        let env = double_integrator_env();
+        let mut next = vrl_poly::BatchPoints::new(2);
+        env.step_deterministic_batch(&[vec![0.0, 0.0]], &[], &mut next);
     }
 
     #[test]

@@ -141,6 +141,14 @@ impl Interval {
     /// `[-1, 2]·[-1, 2] = [-2, 4]` while `[-1, 2].powi(2) = [0, 4]`.  The
     /// `prop_powi_tighter_than_repeated_mul` test pins this tightness
     /// relation against the naive baseline.
+    ///
+    /// The compiled evaluation kernels reproduce this rule bit-for-bit in
+    /// their interval power tables — including the sign-split case where
+    /// even powers of a zero-straddling interval bottom out at exactly
+    /// zero — for both the scalar and the lane-batched fills; the
+    /// `prop_interval_batch_even_power_containment` proptest in the
+    /// `compiled` module extends the containment guarantees here to every
+    /// lane of a batched sweep.
     pub fn powi(&self, n: u32) -> Interval {
         match n {
             0 => Interval::point(1.0),

@@ -18,9 +18,12 @@
 //! * [`ShieldServer::decide_batch`] fans large batches out over a shared
 //!   [`WorkerPool`], one contiguous chunk per worker, and reassembles the
 //!   results in order.  Within each chunk (and on the small-batch path)
-//!   decisions run through the shield's lane-batched certificate kernels
-//!   (`Shield::decide_batch`), which classify 8 states per power-table
-//!   fill instead of looping the scalar `decide` — decision-for-decision
+//!   decisions run through the shield's lane-batched kernels
+//!   (`Shield::decide_batch`): successor prediction steps the whole chunk
+//!   through one sweep of the compiled dynamics family
+//!   (`EnvironmentContext::step_deterministic_batch`) and certificate
+//!   classification checks 8 predicted states per power-table fill,
+//!   instead of looping the scalar `decide` — decision-for-decision
 //!   identical, just faster.
 //!
 //! # Hot redeploy

@@ -8,11 +8,13 @@ use vrl_synth::{GuardedPolicy, PolicyProgram, PortableProgram};
 use vrl_verify::{BarrierCertificate, PortableCertificate};
 
 /// Reusable per-thread buffers for [`Shield::decide_batch`]: the predicted
-/// successor lanes plus the coverage flags, so batched serving performs no
-/// per-request allocation beyond the returned decisions.
+/// successor lanes, one row-assembly buffer for the per-lane safety check,
+/// plus the coverage flags, so batched serving performs no per-request
+/// allocation beyond the returned decisions.
 #[derive(Default)]
 struct BatchScratch {
     predicted: BatchPoints,
+    row: Vec<f64>,
     safe: Vec<bool>,
     covered: Vec<bool>,
     contained: Vec<bool>,
@@ -193,8 +195,11 @@ impl Shield {
     }
 
     /// Algorithm 3 for a whole batch of independent `(state, proposal)`
-    /// pairs: predicts every successor, classifies the entire lane against
-    /// the certificates through the lane-batched compiled kernels (one
+    /// pairs: predicts every successor through the lane-batched integrator
+    /// step ([`EnvironmentContext::step_deterministic_batch`] — one sweep of
+    /// the compiled dynamics family for the whole batch instead of one
+    /// integrator call per state), classifies the entire lane against the
+    /// certificates through the lane-batched compiled kernels (one
     /// power-table fill per variable per [`vrl_poly::LANE_WIDTH`]-lane
     /// sweep), and only falls back to the per-state intervention path for
     /// the lanes whose predicted successor is uncovered.
@@ -217,25 +222,24 @@ impl Shield {
         if states.is_empty() {
             return Vec::new();
         }
-        let dim = self.env.state_dim();
         BATCH_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             let BatchScratch {
                 predicted,
+                row,
                 safe,
                 covered,
                 contained,
             } = &mut *scratch;
-            if predicted.nvars() != dim {
-                *predicted = BatchPoints::with_capacity(dim, states.len());
-            } else {
-                predicted.clear();
-            }
+            // One lane-batched sweep of the compiled dynamics predicts the
+            // whole batch's successors (bit-identical to per-state
+            // `step_deterministic`, asserted in debug builds).
+            self.env
+                .step_deterministic_batch(states, proposed, predicted);
             safe.clear();
-            for (state, action) in states.iter().zip(proposed.iter()) {
-                let next = self.env.step_deterministic(state, action);
-                safe.push(self.env.safety().is_safe(&next));
-                predicted.push(&next);
+            for lane in 0..states.len() {
+                predicted.state_into(lane, row);
+                safe.push(self.env.safety().is_safe(row));
             }
             // Lane-parallel certificate classification: a lane is covered
             // when its predicted successor is safe and inside some piece's

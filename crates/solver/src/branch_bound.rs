@@ -11,8 +11,25 @@
 //! [`ProofOutcome::Counterexample`] carries a concrete point at which the
 //! inequality genuinely fails (verified by exact evaluation), which is what
 //! the CEGIS loops feed back into synthesis.
+//!
+//! # Evaluation strategy
+//!
+//! The objective and guards of a query are compiled together into one
+//! [`CompiledPolySet`] — pulled from the per-thread
+//! [`crate::CompiledQueryCache`], so CEGIS loops that re-prove the same
+//! certificate family never recompile — and the search expands its frontier
+//! [`vrl_poly::LANE_WIDTH`] boxes per sweep through the lane-batched
+//! interval kernels.  Both choices are outcome-neutral: the cached compiled
+//! family is exactly what a fresh compilation would produce, and each lane
+//! of a batched sweep is bit-identical to the scalar interval kernel, so
+//! the search examines the same boxes in the same order and returns the
+//! same verdicts and witnesses as the scalar path
+//! (`BranchBoundConfig::lane_batched = false`, which remains available as
+//! the differential-testing reference).
 
-use vrl_poly::{CompiledPolynomial, Interval, PolyScratch, Polynomial};
+use vrl_poly::{BatchBoxes, CompiledPolySet, Interval, PolyScratch, Polynomial, LANE_WIDTH};
+
+use crate::cache::with_query_cache;
 
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +44,13 @@ pub struct BranchBoundConfig {
     /// Numerical slack: the inequality `p ≤ bound` is certified when the
     /// interval upper bound is `≤ bound + tolerance`.
     pub tolerance: f64,
+    /// Expand the frontier [`vrl_poly::LANE_WIDTH`] boxes per sweep through
+    /// the lane-batched interval kernels (the default).  `false` evaluates
+    /// one box at a time through the scalar kernels; both modes examine the
+    /// same boxes in the same order and return bit-identical outcomes — the
+    /// scalar mode exists as the reference arm of the differential
+    /// conformance tests.
+    pub lane_batched: bool,
 }
 
 impl Default for BranchBoundConfig {
@@ -35,6 +59,7 @@ impl Default for BranchBoundConfig {
             max_boxes: 200_000,
             min_width: 1e-4,
             tolerance: 1e-9,
+            lane_batched: true,
         }
     }
 }
@@ -128,6 +153,19 @@ impl<'a> BoundQuery<'a> {
 /// Attempts to prove a [`BoundQuery`] over an axis-aligned box given as
 /// per-dimension intervals.
 ///
+/// The compiled `objective + guards` family is pulled from the per-thread
+/// [`crate::CompiledQueryCache`], and the frontier is expanded in waves of
+/// up to [`LANE_WIDTH`] boxes: each wave pops the top of the work stack,
+/// evaluates the whole family over every popped box in one lane-batched
+/// sweep (one interval power-table fill per variable for the wave), and
+/// then processes the boxes in pop order — prune, certify, probe for a
+/// counterexample, or split, with children pushed for a later wave.  The
+/// scalar mode ([`BranchBoundConfig::lane_batched`]` = false`) pops the
+/// **same** waves in the same order and evaluates each box through the
+/// scalar kernels, whose values the lane kernels reproduce bit-for-bit —
+/// so the two modes examine the same boxes in the same order and return
+/// identical outcomes, witnesses included.
+///
 /// # Panics
 ///
 /// Panics if `domain.len()` differs from the objective's variable count.
@@ -141,96 +179,186 @@ pub fn prove_bound(
         query.objective.nvars(),
         "domain dimension must match the polynomial"
     );
-    // Compile the objective and guards once per query: every box the search
-    // examines evaluates through the flat kernels (bit-for-bit identical to
-    // the sparse reference evaluators, so outcomes are unchanged).
-    let objective = query.objective.compile();
+    // Compiled forms come from the per-thread query cache: the objective as
+    // a single-member family, and — after the root-domain hoisting below —
+    // the *active* guards as one family, so every guard check fills its
+    // power tables once for all guards and CEGIS re-proofs of the same
+    // certificate family skip compilation entirely.  Guards and objective
+    // stay separate on purpose: guard pruning excludes a box *before* the
+    // (typically much denser) objective is evaluated on it, which measures
+    // faster than sharing one table fill across objective and guards.
+    let objective_set = with_query_cache(|cache| cache.get_or_compile(&[query.objective]));
+    let objective = SingleMember(&objective_set);
     let mut scratch = PolyScratch::new();
     // Guard pre-check hoisting: a guard whose enclosure over the *root*
     // domain is already non-positive holds at every point of every sub-box —
     // it can never prune a box and always passes the counterexample check,
-    // so it is dropped from the per-box work entirely.
-    let guards: Vec<CompiledPolynomial> = query
-        .guards
-        .iter()
-        .map(|g| g.compile())
-        .filter(|g| g.eval_interval_with(domain, &mut scratch).hi() > 0.0)
-        .collect();
-    // Reusable candidate-point buffer for the counterexample probes.
+    // so it is dropped from the per-box checks entirely.
+    let active_guard_polys: Vec<&Polynomial> = if query.guards.is_empty() {
+        Vec::new()
+    } else {
+        let all_guards = with_query_cache(|cache| cache.get_or_compile(&query.guards));
+        let mut guard_values = vec![Interval::zero(); all_guards.len()];
+        all_guards.eval_interval_into_with(domain, &mut guard_values, &mut scratch);
+        query
+            .guards
+            .iter()
+            .zip(guard_values.iter())
+            .filter(|(_, enclosure)| enclosure.hi() > 0.0)
+            .map(|(&g, _)| g)
+            .collect()
+    };
+    let guards = (!active_guard_polys.is_empty())
+        .then(|| with_query_cache(|cache| cache.get_or_compile(&active_guard_polys)));
+    let num_guards = active_guard_polys.len();
+    // Reusable buffers: the candidate point and guard values of the
+    // counterexample probes, the wave of popped boxes with their
+    // evaluations, and the box batches of the lane sweeps.
     let mut point = vec![0.0; domain.len()];
+    let mut guard_point_values = vec![0.0; num_guards];
+    let mut guard_values = vec![Interval::zero(); num_guards];
+    let mut batch = BatchBoxes::with_capacity(domain.len(), LANE_WIDTH);
+    let mut live_batch = BatchBoxes::with_capacity(domain.len(), LANE_WIDTH);
+    let mut batch_out: Vec<Interval> = Vec::new();
+    let mut wave: Vec<Vec<Interval>> = Vec::with_capacity(LANE_WIDTH);
+    let mut wave_evals: Vec<(Interval, bool)> = Vec::with_capacity(LANE_WIDTH);
+    let mut live_lanes: Vec<usize> = Vec::with_capacity(LANE_WIDTH);
     let mut stack: Vec<Vec<Interval>> = vec![domain.to_vec()];
     let mut boxes_examined = 0usize;
     let mut worst_box: Option<(Vec<f64>, Vec<f64>, f64)> = None;
     let mut undecided_smallest = false;
+    // Wave ramp-up: evaluating a wave is speculative — a counterexample in
+    // its first box makes the rest wasted work — so the wave width starts
+    // at one box (exactly the classic depth-first probe order, where
+    // refutations usually surface immediately) and doubles per sweep up to
+    // [`LANE_WIDTH`].  Deep proofs reach full lanes after three sweeps;
+    // quick refutations never pay for boxes they would not have visited.
+    // The schedule depends only on the sweep count, so the scalar and
+    // batched modes pop identical waves.
+    let mut wave_width = 1usize;
 
-    while let Some(current) = stack.pop() {
-        boxes_examined += 1;
-        if boxes_examined > config.max_boxes {
-            return ProofOutcome::Unknown {
-                boxes_examined,
-                worst_box: worst_box.map(|(l, h, _)| (l, h)),
-            };
+    while !stack.is_empty() {
+        // Pop the next wave off the frontier and evaluate it: guards over
+        // the whole wave first, then the objective over the lanes no guard
+        // pruned — lane-batched in family sweeps, or box-by-box through the
+        // scalar kernels; the values (and hence everything below) are
+        // bit-identical either way.
+        wave.clear();
+        for _ in 0..wave_width.min(stack.len()) {
+            wave.push(stack.pop().expect("bounded by stack length"));
         }
-        // Guard pruning: if any guard is certainly positive on this box, no
-        // point of the box is relevant to the query.
-        let mut guard_prunes = false;
-        for guard in &guards {
-            if guard.eval_interval_with(&current, &mut scratch).lo() > 0.0 {
-                guard_prunes = true;
-                break;
+        wave_width = (wave_width * 2).min(LANE_WIDTH);
+        wave_evals.clear();
+        if config.lane_batched {
+            let lanes = wave.len();
+            // Pruned lanes keep a placeholder enclosure that is never read.
+            wave_evals.resize(lanes, (Interval::zero(), true));
+            live_lanes.clear();
+            if let Some(guards) = &guards {
+                batch.clear();
+                for current in &wave {
+                    batch.push(current);
+                }
+                guards.evaluate_interval_batch_with(&batch, &mut batch_out, &mut scratch);
+                for lane in 0..lanes {
+                    let prunes = (0..num_guards).any(|gi| batch_out[gi * lanes + lane].lo() > 0.0);
+                    if !prunes {
+                        live_lanes.push(lane);
+                    }
+                }
+            } else {
+                live_lanes.extend(0..lanes);
+            }
+            live_batch.clear();
+            for &lane in &live_lanes {
+                live_batch.push(&wave[lane]);
+            }
+            objective
+                .0
+                .evaluate_interval_batch_with(&live_batch, &mut batch_out, &mut scratch);
+            for (slot, &lane) in batch_out.iter().zip(live_lanes.iter()) {
+                wave_evals[lane] = (*slot, false);
+            }
+        } else {
+            for current in &wave {
+                let prunes = match &guards {
+                    Some(guards) => {
+                        guards.eval_interval_into_with(current, &mut guard_values, &mut scratch);
+                        guard_values.iter().any(|enclosure| enclosure.lo() > 0.0)
+                    }
+                    None => false,
+                };
+                if prunes {
+                    wave_evals.push((Interval::zero(), true));
+                } else {
+                    wave_evals.push((objective.eval_interval_with(current, &mut scratch), false));
+                }
             }
         }
-        if guard_prunes {
-            continue;
-        }
-        let enclosure = objective.eval_interval_with(&current, &mut scratch);
-        if enclosure.hi() <= query.bound + config.tolerance {
-            continue; // certified on this box
-        }
-        // Try to produce a genuine counterexample at the box midpoint (and
-        // at the corners bounding the enclosure) before splitting.
-        if let Some(cex) = find_counterexample(
-            &objective,
-            &guards,
-            query.bound,
-            &current,
-            &mut point,
-            &mut scratch,
-        ) {
-            return cex;
-        }
-        let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
-        if widest <= config.min_width {
-            // Cannot split further and cannot decide: record and continue;
-            // the overall result will be Unknown (sound: we never claim a proof).
-            let margin = enclosure.hi() - query.bound;
-            let lows: Vec<f64> = current.iter().map(Interval::lo).collect();
-            let highs: Vec<f64> = current.iter().map(Interval::hi).collect();
-            match &worst_box {
-                Some((_, _, m)) if *m >= margin => {}
-                _ => worst_box = Some((lows, highs, margin)),
+        // Process the wave in pop order.
+        for (current, &(enclosure, guard_prunes)) in wave.drain(..).zip(wave_evals.iter()) {
+            boxes_examined += 1;
+            if boxes_examined > config.max_boxes {
+                return ProofOutcome::Unknown {
+                    boxes_examined,
+                    worst_box: worst_box.map(|(l, h, _)| (l, h)),
+                };
             }
-            undecided_smallest = true;
-            continue;
+            // Guard pruning: if any active guard is certainly positive on
+            // this box, no point of the box is relevant to the query.
+            if guard_prunes {
+                continue;
+            }
+            if enclosure.hi() <= query.bound + config.tolerance {
+                continue; // certified on this box
+            }
+            // Try to produce a genuine counterexample at the box midpoint
+            // (and at the corners bounding the enclosure) before splitting.
+            if let Some(cex) = find_counterexample(
+                &objective,
+                guards.as_deref(),
+                &mut guard_point_values,
+                query.bound,
+                &current,
+                &mut point,
+                &mut scratch,
+            ) {
+                return cex;
+            }
+            let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
+            if widest <= config.min_width {
+                // Cannot split further and cannot decide: record and
+                // continue; the overall result will be Unknown (sound: we
+                // never claim a proof).
+                let margin = enclosure.hi() - query.bound;
+                let lows: Vec<f64> = current.iter().map(Interval::lo).collect();
+                let highs: Vec<f64> = current.iter().map(Interval::hi).collect();
+                match &worst_box {
+                    Some((_, _, m)) if *m >= margin => {}
+                    _ => worst_box = Some((lows, highs, margin)),
+                }
+                undecided_smallest = true;
+                continue;
+            }
+            // Split along the widest dimension.
+            let split_dim = current
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.width()
+                        .partial_cmp(&b.1.width())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let (left, right) = current[split_dim].bisect();
+            let mut left_box = current.clone();
+            left_box[split_dim] = left;
+            let mut right_box = current;
+            right_box[split_dim] = right;
+            stack.push(left_box);
+            stack.push(right_box);
         }
-        // Split along the widest dimension.
-        let split_dim = current
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.width()
-                    .partial_cmp(&b.1.width())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let (left, right) = current[split_dim].bisect();
-        let mut left_box = current.clone();
-        left_box[split_dim] = left;
-        let mut right_box = current;
-        right_box[split_dim] = right;
-        stack.push(left_box);
-        stack.push(right_box);
     }
 
     if undecided_smallest {
@@ -270,6 +398,26 @@ pub fn prove_positive(
     }
 }
 
+/// Adapter giving a single-member compiled family the two evaluation calls
+/// [`sound_minimum`] needs.  A one-polynomial [`CompiledPolySet`] lowers to
+/// exactly the kernel of a standalone [`vrl_poly::CompiledPolynomial`], so
+/// the values are bit-identical to compiling the polynomial alone.
+struct SingleMember<'a>(&'a CompiledPolySet);
+
+impl SingleMember<'_> {
+    fn eval_interval_with(&self, domain: &[Interval], scratch: &mut PolyScratch) -> Interval {
+        let mut out = [Interval::zero()];
+        self.0.eval_interval_into_with(domain, &mut out, scratch);
+        out[0]
+    }
+
+    fn eval_with(&self, point: &[f64], scratch: &mut PolyScratch) -> f64 {
+        let mut out = [0.0];
+        self.0.eval_into_with(point, &mut out, scratch);
+        out[0]
+    }
+}
+
 /// Computes a sound lower bound of `p` over the box by branch-and-bound
 /// refinement: the returned value is `≤ min_{x ∈ domain} p(x)`, and
 /// converges towards it as `max_boxes` grows.
@@ -283,8 +431,13 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
         p.nvars(),
         "domain dimension must match the polynomial"
     );
-    // Compile once; every bound refinement below runs on the flat kernels.
-    let compiled = p.compile();
+    // The compiled form comes from the per-thread query cache (a
+    // single-member family), so repeated refinements of the same polynomial
+    // — e.g. the per-obstacle level checks of the linear back-end across
+    // CEGIS rounds — skip compilation; the cached kernel is exactly what a
+    // fresh compilation would produce, so the bound is unchanged.
+    let family = with_query_cache(|cache| cache.get_or_compile(&[p]));
+    let compiled = SingleMember(&family);
     let mut scratch = PolyScratch::new();
     // One reusable midpoint buffer instead of a fresh `collect()` per child.
     let mut midpoint = vec![0.0; domain.len()];
@@ -349,11 +502,15 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
 }
 
 /// Probes the box midpoint and both extreme corners for a genuine
-/// counterexample, reusing `point` as the candidate buffer so subdivision
-/// allocates nothing until a witness is actually found.
+/// counterexample, reusing `point` and `guard_values` as candidate buffers
+/// so subdivision allocates nothing until a witness is actually found.  The
+/// active-guard family is evaluated per probe (one power-table fill for all
+/// guards); the objective is evaluated only when every guard admits the
+/// point, exactly as the per-box pruning order does.
 fn find_counterexample(
-    objective: &CompiledPolynomial,
-    guards: &[CompiledPolynomial],
+    objective: &SingleMember<'_>,
+    guards: Option<&CompiledPolySet>,
+    guard_values: &mut [f64],
     bound: f64,
     domain: &[Interval],
     point: &mut [f64],
@@ -363,9 +520,14 @@ fn find_counterexample(
         for (slot, iv) in point.iter_mut().zip(domain.iter()) {
             *slot = pick(iv);
         }
-        let satisfies_guards = guards.iter().all(|g| g.eval_with(point, scratch) <= 0.0);
-        if !satisfies_guards {
-            continue;
+        if let Some(guards) = guards {
+            guards.eval_into_with(point, guard_values, scratch);
+            // `all(v <= 0.0)` (not `!any(v > 0.0)`): a guard evaluating to
+            // NaN at the probe must reject the candidate — the point does
+            // not verifiably satisfy the guards.
+            if !guard_values.iter().all(|&v| v <= 0.0) {
+                continue;
+            }
         }
         let value = objective.eval_with(point, scratch);
         if value > bound {
@@ -494,6 +656,7 @@ mod tests {
             max_boxes: 3,
             min_width: 1e-9,
             tolerance: 0.0,
+            ..BranchBoundConfig::default()
         };
         let outcome = prove_bound(
             &BoundQuery::new(&p, -1e-30),
@@ -522,8 +685,103 @@ mod tests {
         assert!(outcome.counterexample().is_some());
     }
 
+    #[test]
+    fn scalar_and_batched_modes_agree_exactly_on_fixed_queries() {
+        // Guarded and unguarded, provable and refutable queries: the
+        // lane-batched frontier must reproduce the scalar outcome exactly,
+        // including witness points and box counts.
+        let x = Polynomial::variable(0, 2);
+        let y = Polynomial::variable(1, 2);
+        let e = &(&(&x * &x) + &(&y * &y)) - &Polynomial::constant(1.0, 2);
+        let contracted =
+            &(&(&x * &x).scaled(0.81) + &(&y * &y).scaled(0.81)) - &Polynomial::constant(1.0, 2);
+        let expanded =
+            &(&(&x * &x).scaled(1.2) + &(&y * &y).scaled(1.2)) - &Polynomial::constant(1.0, 2);
+        let domain = interval_box(&[(-2.0, 2.0), (-2.0, 2.0)]);
+        for (objective, guards) in [
+            (&contracted, vec![&e]),
+            (&expanded, vec![&e]),
+            (&contracted, vec![]),
+            (&expanded, vec![]),
+        ] {
+            let mut query = BoundQuery::new(objective, 0.0);
+            for guard in guards {
+                query = query.with_guard(guard);
+            }
+            let scalar = prove_bound(
+                &query,
+                &domain,
+                &BranchBoundConfig {
+                    lane_batched: false,
+                    ..BranchBoundConfig::default()
+                },
+            );
+            let batched = prove_bound(&query, &domain, &BranchBoundConfig::default());
+            assert_eq!(scalar, batched);
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_compiled_query_cache() {
+        crate::reset_query_cache();
+        let x = Polynomial::variable(0, 1);
+        let p = &(&x * &x) - &Polynomial::constant(1.0, 1);
+        let domain = interval_box(&[(-1.0, 1.0)]);
+        let first = prove_nonpositive(&p, &domain, &BranchBoundConfig::default());
+        let after_first = crate::query_cache_stats();
+        assert_eq!(after_first.misses, 1);
+        assert_eq!(after_first.hits, 0);
+        // The identical query re-proves without recompiling and with the
+        // identical outcome.
+        let second = prove_nonpositive(&p, &domain, &BranchBoundConfig::default());
+        let after_second = crate::query_cache_stats();
+        assert_eq!(after_second.misses, 1);
+        assert_eq!(after_second.hits, 1);
+        assert_eq!(first, second);
+        // `sound_minimum` shares the same cache — and because an unguarded
+        // query's family is just `[p]`, it reuses the very entry the proofs
+        // above compiled.
+        let min1 = sound_minimum(&p, &domain, 1000);
+        let min2 = sound_minimum(&p, &domain, 1000);
+        assert_eq!(min1.to_bits(), min2.to_bits());
+        let final_stats = crate::query_cache_stats();
+        assert_eq!(final_stats.misses, 1);
+        assert_eq!(final_stats.hits, 3);
+        crate::reset_query_cache();
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The lane-batched frontier returns exactly the scalar outcome on
+        /// random quadratic queries: same verdict, same witness, same box
+        /// count — speculation over the stack never changes the search.
+        #[test]
+        fn prop_batched_equals_scalar(
+            coeffs in proptest::collection::vec(-2.0..2.0f64, 6),
+            gcoeffs in proptest::collection::vec(-2.0..2.0f64, 6),
+            bound in -1.0..1.0f64,
+        ) {
+            let basis = monomial_basis(2, 2);
+            let p = Polynomial::from_basis(2, &basis, &coeffs);
+            let g = Polynomial::from_basis(2, &basis, &gcoeffs);
+            let domain = interval_box(&[(-1.0, 1.0), (-1.0, 1.0)]);
+            let query = BoundQuery::new(&p, bound).with_guard(&g);
+            // Keep the budget modest so refuted/unknown cases stay cheap.
+            let scalar_config = BranchBoundConfig {
+                max_boxes: 20_000,
+                lane_batched: false,
+                ..BranchBoundConfig::default()
+            };
+            let batched_config = BranchBoundConfig {
+                max_boxes: 20_000,
+                ..BranchBoundConfig::default()
+            };
+            let scalar = prove_bound(&query, &domain, &scalar_config);
+            let batched = prove_bound(&query, &domain, &batched_config);
+            prop_assert_eq!(scalar, batched);
+        }
+
         #[test]
         fn prop_proved_queries_hold_on_samples(
             coeffs in proptest::collection::vec(-2.0..2.0f64, 6),

@@ -15,6 +15,24 @@
 //! * [`solve_discrete_lyapunov`] — exact quadratic certificates for linear
 //!   closed loops, the scalable back-end for high-dimensional LTI benchmarks.
 //!
+//! # Branch-and-bound evaluation and the query cache
+//!
+//! Every `prove_*` query compiles its objective and guards into one flat
+//! `objective + guards` family and expands its frontier
+//! [`vrl_poly::LANE_WIDTH`] boxes per sweep through the lane-batched
+//! interval kernels; both are bit-for-bit outcome-neutral versus the scalar
+//! path (kept behind [`BranchBoundConfig::lane_batched`]` = false` as the
+//! differential-testing reference).  Compiled families are memoized in a
+//! per-thread [`CompiledQueryCache`] keyed by the exact term content of the
+//! query polynomials — CEGIS loops that re-prove the same certificate
+//! family (every verification back-end and [`sound_minimum`] route through
+//! the cache) skip recompilation entirely, and a hit can never change an
+//! outcome because the cached kernel is exactly what a fresh compilation
+//! would produce.  The cache is bounded (LRU eviction; see
+//! [`DEFAULT_QUERY_CACHE_CAPACITY`]); [`query_cache_stats`] /
+//! [`reset_query_cache`] expose the per-thread counters for tests and
+//! benches.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,12 +50,17 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod branch_bound;
+mod cache;
 mod feasibility;
 mod lyapunov;
 
 pub use branch_bound::{
     prove_bound, prove_nonpositive, prove_positive, sound_minimum, BoundQuery, BranchBoundConfig,
     ProofOutcome,
+};
+pub use cache::{
+    query_cache_stats, reset_query_cache, with_query_cache, CompiledQueryCache, QueryCacheStats,
+    DEFAULT_QUERY_CACHE_CAPACITY,
 };
 pub use feasibility::{
     solve_feasibility, FeasibilityConfig, FeasibilitySolution, LinearConstraint,

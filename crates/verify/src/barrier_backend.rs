@@ -7,6 +7,13 @@
 //! counterexample produced by the checker is turned into a new sampled
 //! constraint, closing the inner counterexample-guided loop.
 //!
+//! All branch-and-bound checks route through `vrl_solver`'s per-thread
+//! compiled-query cache: the separation condition re-proves the same
+//! negated barrier over every band/obstacle region, and re-proof rounds
+//! replay whole query families, so most checks after the first candidate
+//! skip compilation entirely (outcome-unchanged; see the `vrl-solver`
+//! crate docs).
+//!
 //! The three checked conditions mirror (8)–(10) of the paper, phrased over a
 //! working domain `W` that provably contains the one-step image of the safe
 //! rectangle:

@@ -14,6 +14,11 @@
 //!
 //! This plays the role of a degree-2 SOS certificate in the paper's pipeline
 //! and scales to the 16- and 18-dimensional benchmarks.
+//!
+//! The per-obstacle level checks run through [`sound_minimum`], whose
+//! compiled form comes from `vrl_solver`'s per-thread query cache — Table 3
+//! style redeploys that re-verify the same quadratic against the same
+//! obstacles skip recompilation (outcome-unchanged).
 
 use crate::{BarrierCertificate, VerificationConfig, VerificationFailure};
 use vrl_dynamics::{BoxRegion, EnvironmentContext};

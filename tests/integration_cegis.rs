@@ -4,8 +4,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vrl::dynamics::ClosurePolicy;
 use vrl::shield::{synthesize_shield, CegisConfig};
+use vrl::solver::{query_cache_stats, reset_query_cache};
 use vrl::synth::DistillConfig;
-use vrl::verify::VerificationConfig;
+use vrl::verify::{verify_program, VerificationConfig};
 use vrl_benchmarks::duffing::duffing_env;
 
 #[test]
@@ -49,6 +50,45 @@ fn cegis_covers_the_duffing_initial_region() {
     assert!(
         program.evaluate(&[6.0, 0.0]).is_none(),
         "states outside the safe box must hit the abort branch"
+    );
+}
+
+#[test]
+fn cegis_reproof_queries_hit_the_compiled_query_cache() {
+    // Verification is seeded, so re-proving the same program in the same
+    // environment replays the exact same branch-and-bound query families:
+    // the second run must answer every compilation from the per-thread
+    // query cache (zero new misses) and produce the identical certificate.
+    // Example 4.3's P1 on a restricted initial region (one CEGIS piece).
+    let env = duffing_env().with_init(vrl::dynamics::BoxRegion::symmetric(&[1.0, 1.0]));
+    let program = vec![vrl::poly::Polynomial::linear(&[0.39, -1.41], 0.0)];
+    let config = VerificationConfig::with_degree(4);
+    reset_query_cache();
+    let first = verify_program(&env, &program, env.init(), &config)
+        .expect("the Example 4.3 policy is certifiable");
+    let after_first = query_cache_stats();
+    assert!(after_first.misses > 0, "the first run must compile queries");
+    // Even a single run hits: the separation condition re-proves the same
+    // negated barrier over every band region of the working domain.
+    assert!(
+        after_first.hits > 0,
+        "separation re-checks must share one compiled family"
+    );
+    let second = verify_program(&env, &program, env.init(), &config)
+        .expect("re-proof of the same program succeeds");
+    let after_second = query_cache_stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "a re-proof of the same certificate family must not recompile"
+    );
+    assert!(
+        after_second.hits > after_first.hits,
+        "re-proof queries must be answered from the cache"
+    );
+    assert_eq!(
+        first.polynomial(),
+        second.polynomial(),
+        "cache hits must leave the synthesized certificate unchanged"
     );
 }
 
