@@ -511,100 +511,71 @@ fn write_results(
     serving: (f64, f64),
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
-    let json = format!(
-        r#"{{
-  "description": "Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) vs lane-batched (8-wide SoA sweeps) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound pendulum/cartpole rows are seconds per CEGIS-style induction query (these refute, so reference-vs-wave deltas mix kernel speed with which counterexample the traversal surfaces first; scalar_sec pops the same 8-box waves through the scalar interval kernel, batched_sec through the lane-batched kernel — identical outcomes); branch_bound_dense_proof is a traversal-invariant deep proof (identical box tree in every arm), isolating the kernels; query_cache is a 50x re-proof loop of the pendulum induction query through the per-thread CompiledQueryCache; serving rows are single-worker decisions/sec on the pendulum deployment with a [240, 200] oracle — scalar loops per-state decide, batch is decide_batch through the lane-batched dynamics-step + oracle + certificate kernels (bit-identical decisions).",
-  "point_eval": {{
-    "reference_sec": {:.6e},
-    "compiled_sec": {:.6e},
-    "batch_sec": {:.6e},
-    "speedup_compiled": {:.2},
-    "speedup_batch": {:.2},
-    "batch_vs_scalar_compiled": {:.2}
-  }},
-  "interval_eval": {{
-    "reference_sec": {:.6e},
-    "compiled_sec": {:.6e},
-    "batch_sec": {:.6e},
-    "speedup_compiled": {:.2},
-    "speedup_batch": {:.2},
-    "batch_vs_scalar_compiled": {:.2}
-  }},
-  "branch_bound_pendulum": {{
-    "reference_sec": {:.6e},
-    "scalar_sec": {:.6e},
-    "batched_sec": {:.6e},
-    "speedup_scalar": {:.2},
-    "speedup_batched": {:.2},
-    "batched_vs_scalar": {:.2}
-  }},
-  "branch_bound_cartpole": {{
-    "reference_sec": {:.6e},
-    "scalar_sec": {:.6e},
-    "batched_sec": {:.6e},
-    "speedup_scalar": {:.2},
-    "speedup_batched": {:.2},
-    "batched_vs_scalar": {:.2}
-  }},
-  "branch_bound_dense_proof": {{
-    "reference_sec": {:.6e},
-    "scalar_sec": {:.6e},
-    "batched_sec": {:.6e},
-    "speedup_scalar": {:.2},
-    "speedup_batched": {:.2},
-    "batched_vs_scalar": {:.2}
-  }},
-  "query_cache_reproof_loop": {{
-    "repeats": 50,
-    "hits": {},
-    "misses": {},
-    "hit_rate": {:.3}
-  }},
-  "serving_compiled_shield": {{
-    "scalar_decide_per_sec": {:.0},
-    "batch_decide_per_sec": {:.0},
-    "batch_speedup": {:.2}
-  }}
-}}
-"#,
-        kernels.point_reference,
-        kernels.point_compiled,
-        kernels.point_batch,
-        kernels.point_reference / kernels.point_compiled,
-        kernels.point_reference / kernels.point_batch,
-        kernels.point_compiled / kernels.point_batch,
-        kernels.interval_reference,
-        kernels.interval_compiled,
-        kernels.interval_batch,
-        kernels.interval_reference / kernels.interval_compiled,
-        kernels.interval_reference / kernels.interval_batch,
-        kernels.interval_compiled / kernels.interval_batch,
-        pendulum.0,
-        pendulum.1,
-        pendulum.2,
-        pendulum.0 / pendulum.1,
-        pendulum.0 / pendulum.2,
-        pendulum.1 / pendulum.2,
-        cartpole.0,
-        cartpole.1,
-        cartpole.2,
-        cartpole.0 / cartpole.1,
-        cartpole.0 / cartpole.2,
-        cartpole.1 / cartpole.2,
-        dense.0,
-        dense.1,
-        dense.2,
-        dense.0 / dense.1,
-        dense.0 / dense.2,
-        dense.1 / dense.2,
-        cache.0,
-        cache.1,
-        cache.2,
-        serving.0,
-        serving.1,
-        serving.1 / serving.0,
-    );
-    std::fs::write(path, json).expect("BENCH_eval.json must be writable");
+    let eval_section = |reference: f64, compiled: f64, batch: f64| {
+        format!(
+            "{{\n    \"reference_sec\": {:.6e},\n    \"compiled_sec\": {:.6e},\n    \"batch_sec\": {:.6e},\n    \"speedup_compiled\": {:.2},\n    \"speedup_batch\": {:.2},\n    \"batch_vs_scalar_compiled\": {:.2}\n  }}",
+            reference,
+            compiled,
+            batch,
+            reference / compiled,
+            reference / batch,
+            compiled / batch,
+        )
+    };
+    let bb_section = |(reference, scalar, batched): (f64, f64, f64)| {
+        format!(
+            "{{\n    \"reference_sec\": {:.6e},\n    \"scalar_sec\": {:.6e},\n    \"batched_sec\": {:.6e},\n    \"speedup_scalar\": {:.2},\n    \"speedup_batched\": {:.2},\n    \"batched_vs_scalar\": {:.2}\n  }}",
+            reference,
+            scalar,
+            batched,
+            reference / scalar,
+            reference / batched,
+            scalar / batched,
+        )
+    };
+    let description = "\"Compiled evaluation kernels: reference (sparse BTreeMap) vs compiled (flat SoA) vs lane-batched (8-wide SoA sweeps) paths. Point/interval rows are seconds per 4096 evaluations of a dense degree-4, 4-variable polynomial (70 terms); branch_bound pendulum/cartpole rows are seconds per CEGIS-style induction query (these refute, so reference-vs-wave deltas mix kernel speed with which counterexample the traversal surfaces first; scalar_sec pops the same 8-box waves through the scalar interval kernel, batched_sec through the lane-batched kernel — identical outcomes); branch_bound_dense_proof is a traversal-invariant deep proof (identical box tree in every arm), isolating the kernels; query_cache is a 50x re-proof loop of the pendulum induction query through the per-thread CompiledQueryCache; serving rows are single-worker decisions/sec on the pendulum deployment with a [240, 200] oracle — scalar loops per-state decide, batch is decide_batch through the lane-batched dynamics-step + oracle + certificate kernels (bit-identical decisions); serve_http rows come from the serve_http bench (loopback HTTP front-end, keep-alive, batched JSON decide bodies).\"".to_string();
+    vrl_bench::upsert_bench_sections(
+        path,
+        &[
+            ("description", description),
+            (
+                "point_eval",
+                eval_section(
+                    kernels.point_reference,
+                    kernels.point_compiled,
+                    kernels.point_batch,
+                ),
+            ),
+            (
+                "interval_eval",
+                eval_section(
+                    kernels.interval_reference,
+                    kernels.interval_compiled,
+                    kernels.interval_batch,
+                ),
+            ),
+            ("branch_bound_pendulum", bb_section(pendulum)),
+            ("branch_bound_cartpole", bb_section(cartpole)),
+            ("branch_bound_dense_proof", bb_section(dense)),
+            (
+                "query_cache_reproof_loop",
+                format!(
+                    "{{\n    \"repeats\": 50,\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3}\n  }}",
+                    cache.0, cache.1, cache.2,
+                ),
+            ),
+            (
+                "serving_compiled_shield",
+                format!(
+                    "{{\n    \"scalar_decide_per_sec\": {:.0},\n    \"batch_decide_per_sec\": {:.0},\n    \"batch_speedup\": {:.2}\n  }}",
+                    serving.0,
+                    serving.1,
+                    serving.1 / serving.0,
+                ),
+            ),
+        ],
+    )
+    .expect("BENCH_eval.json must be writable");
     println!("  -> wrote {path}");
 }
 

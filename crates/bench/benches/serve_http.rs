@@ -1,0 +1,158 @@
+//! Networked serving throughput: decisions/sec through the std-only HTTP
+//! front-end over a loopback socket.
+//!
+//! The workload mirrors `serve_throughput` (pendulum deployment, `[240,
+//! 200]` oracle, states sampled from the safe region) but pays the full
+//! wire cost per request: JSON encode on the client, HTTP framing both
+//! ways, JSON parse + decide + JSON encode on the server.  Requests ride a
+//! keep-alive connection, one batch of states per `POST`, so the
+//! lane-batched `decide_batch` kernels amortize the HTTP overhead exactly
+//! as a production client would.  The headline numbers (single-state
+//! requests/sec and batched decisions/sec, plus the in-process baseline
+//! measured on the same machine in the same run) merge into
+//! `BENCH_eval.json` under `serve_http` without disturbing the sections the
+//! other benches own.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::http::{HttpConfig, HttpFrontend, MiniClient, ShieldBackend};
+use vrl_runtime::{fixtures, ShieldServer};
+
+const BATCH: usize = 512;
+
+fn bench_serve_http(c: &mut Criterion) {
+    let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
+    let artifact = fixtures::demo_artifact(
+        &env,
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+        &[240, 200],
+        17,
+    )
+    .expect("dimensions agree");
+    let server = Arc::new(ShieldServer::with_workers(1));
+    let frontend = HttpFrontend::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server) as Arc<dyn ShieldBackend>,
+        HttpConfig::default(),
+    )
+    .expect("loopback bind succeeds");
+    let mut client = MiniClient::connect(frontend.local_addr()).expect("client connects");
+    let put = client
+        .request("PUT", "/v1/deployments/pendulum", &artifact.to_bytes())
+        .expect("PUT succeeds");
+    assert_eq!(put.status, 200, "{}", put.text());
+
+    let mut rng = SmallRng::seed_from_u64(23);
+    let safe = env.safety().safe_box().clone();
+    let states: Vec<Vec<f64>> = (0..BATCH).map(|_| safe.sample(&mut rng)).collect();
+    let batch_body = format!(
+        "{{\"states\": [{}]}}",
+        states
+            .iter()
+            .map(|s| format!("[{}, {}]", s[0], s[1]))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let single_body = format!("{{\"state\": [{}, {}]}}", states[0][0], states[0][1]);
+
+    // Criterion rows: per-request latency of both request shapes.
+    let mut group = c.benchmark_group("serve_http/pendulum");
+    group.sample_size(10);
+    group.bench_function("single_state_request", |b| {
+        b.iter(|| {
+            let response = client
+                .request(
+                    "POST",
+                    "/v1/deployments/pendulum/decide",
+                    single_body.as_bytes(),
+                )
+                .expect("request succeeds");
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+    group.bench_function(format!("batch_{BATCH}_request"), |b| {
+        b.iter(|| {
+            let response = client
+                .request(
+                    "POST",
+                    "/v1/deployments/pendulum/decide",
+                    batch_body.as_bytes(),
+                )
+                .expect("request succeeds");
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+    });
+    group.finish();
+
+    // Absolute throughput for BENCH_eval.json: sustained over ~2 seconds
+    // of wall clock each.
+    let timed = |f: &mut dyn FnMut() -> usize| -> (f64, u64) {
+        let start = Instant::now();
+        let mut decisions = 0u64;
+        let mut rounds = 0u64;
+        while start.elapsed().as_secs_f64() < 2.0 {
+            decisions += f() as u64;
+            rounds += 1;
+        }
+        (decisions as f64 / start.elapsed().as_secs_f64(), rounds)
+    };
+    let (single_per_sec, _) = timed(&mut || {
+        let response = client
+            .request(
+                "POST",
+                "/v1/deployments/pendulum/decide",
+                single_body.as_bytes(),
+            )
+            .expect("request succeeds");
+        assert_eq!(response.status, 200);
+        1
+    });
+    let (batch_per_sec, _) = timed(&mut || {
+        let response = client
+            .request(
+                "POST",
+                "/v1/deployments/pendulum/decide",
+                batch_body.as_bytes(),
+            )
+            .expect("request succeeds");
+        assert_eq!(response.status, 200);
+        BATCH
+    });
+    // In-process baseline on the same machine in the same run, so the wire
+    // overhead reads directly off the file.
+    let (inprocess_per_sec, _) = timed(&mut || {
+        let decisions = server.decide_batch("pendulum", &states).expect("serves");
+        decisions.len()
+    });
+    println!(
+        "  -> HTTP serving (pendulum, keep-alive loopback): {single_per_sec:.0} single-state requests/sec, \
+         {batch_per_sec:.0} decisions/sec batched x{BATCH} ({:.0}% of the in-process {inprocess_per_sec:.0}/sec)",
+        100.0 * batch_per_sec / inprocess_per_sec
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    vrl_bench::upsert_bench_sections(
+        path,
+        &[(
+            "serve_http",
+            format!(
+                "{{\n    \"batch_size\": {BATCH},\n    \"single_state_requests_per_sec\": {single_per_sec:.0},\n    \"batch_decisions_per_sec\": {batch_per_sec:.0},\n    \"inprocess_decisions_per_sec\": {inprocess_per_sec:.0},\n    \"wire_efficiency\": {:.2}\n  }}",
+                batch_per_sec / inprocess_per_sec,
+            ),
+        )],
+    )
+    .expect("BENCH_eval.json must be writable");
+    println!("  -> wrote {path}");
+
+    frontend.shutdown();
+}
+
+criterion_group!(benches, bench_serve_http);
+criterion_main!(benches);

@@ -6,7 +6,28 @@
 //! evaluation runs 1000 episodes of 5000 steps per benchmark on a desktop
 //! machine, the harness defaults to a scaled-down budget and accepts
 //! `--full` to reproduce the paper-scale workload.
+//!
+//! Beyond the paper tables, the serving-side benches (`eval_kernels`,
+//! `serve_throughput`, `serve_http`) record their headline numbers into
+//! `BENCH_eval.json` at the workspace root through
+//! [`upsert_bench_sections`], which merges each bench's sections into the
+//! file without clobbering the sections other benches own.
+//!
+//! # Example
+//!
+//! ```
+//! use vrl_bench::{pipeline_config_for, Effort};
+//! use vrl_benchmarks::benchmark_by_name;
+//!
+//! let spec = benchmark_by_name("pendulum").expect("Table 1 benchmark");
+//! let config = pipeline_config_for(&spec, Effort::Quick, 10, 500);
+//! assert_eq!(config.cegis.verification.invariant_degree, 4);
+//! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::path::Path;
 use vrl::pipeline::{OracleTrainer, PipelineConfig};
 use vrl::rl::ArsConfig;
 use vrl::shield::CegisConfig;
@@ -128,6 +149,114 @@ pub fn pipeline_config_for(
     }
 }
 
+/// Merges `sections` into the JSON object stored at `path`, preserving
+/// every top-level section the caller does not mention.
+///
+/// `BENCH_eval.json` is written by more than one bench (`eval_kernels`
+/// owns the kernel and branch-and-bound sections, `serve_http` the HTTP
+/// serving section), so no bench may simply overwrite the file.  This
+/// helper reads the existing object, replaces or appends the given
+/// `(key, value)` pairs — `value` is raw, pre-rendered JSON text — and
+/// rewrites the file with existing sections first (in file order) and new
+/// sections appended.  A missing or unparseable file starts fresh.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be written.
+pub fn upsert_bench_sections(
+    path: impl AsRef<Path>,
+    sections: &[(&str, String)],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut entries = parse_top_level_sections(&existing).unwrap_or_default();
+    for (key, value) in sections {
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value.clone(),
+            None => entries.push((key.to_string(), value.clone())),
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value}"));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Splits a JSON object's source text into `(key, raw value text)` pairs,
+/// without interpreting the values.  Handles nested objects/arrays and
+/// strings with escapes; returns `None` when the input is not a single
+/// well-formed-enough object (the caller then starts a fresh file).
+fn parse_top_level_sections(source: &str) -> Option<Vec<(String, String)>> {
+    let bytes = source.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return None;
+    }
+    pos += 1;
+    let mut entries = Vec::new();
+    loop {
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b'}') => return Some(entries),
+            Some(b'"') => {}
+            _ => return None,
+        }
+        // Key (no escapes in bench section names).
+        let key_start = pos + 1;
+        let key_len = bytes[key_start..].iter().position(|&b| b == b'"')?;
+        let key = source[key_start..key_start + key_len].to_string();
+        pos = key_start + key_len + 1;
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return None;
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        // Value: scan to the ',' or '}' at nesting depth zero.
+        let value_start = pos;
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        let value_end = loop {
+            let &b = bytes.get(pos)?;
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_string = false;
+                }
+            } else {
+                match b {
+                    b'"' => in_string = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' if depth > 0 => depth -= 1,
+                    b',' | b'}' if depth == 0 => break pos,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        };
+        entries.push((key, source[value_start..value_end].trim_end().to_string()));
+        if bytes[value_end] == b',' {
+            pos = value_end + 1;
+        } else {
+            // The closing '}' of the whole object.
+            return Some(entries);
+        }
+    }
+}
+
 /// Prints the Table 1 header row.
 pub fn print_table1_header() {
     println!(
@@ -166,6 +295,65 @@ mod tests {
         assert_eq!(full.effort, Effort::Full);
         assert_eq!(full.episodes, 1000);
         assert_eq!(full.steps, 5000);
+    }
+
+    #[test]
+    fn upsert_preserves_sections_other_benches_own() {
+        let dir = std::env::temp_dir().join("vrl-bench-upsert-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        // A fresh file gets created.
+        upsert_bench_sections(
+            &path,
+            &[
+                ("description", "\"kernel numbers\"".to_string()),
+                (
+                    "point_eval",
+                    "{\n    \"reference_sec\": 1.5e-3,\n    \"note\": \"a, b }] text\"\n  }"
+                        .to_string(),
+                ),
+            ],
+        )
+        .unwrap();
+        // A different bench merges its own section in.
+        upsert_bench_sections(
+            &path,
+            &[(
+                "serve_http",
+                "{\n    \"decisions_per_sec\": 50000\n  }".to_string(),
+            )],
+        )
+        .unwrap();
+        // The first bench regenerates: its sections update, serve_http
+        // survives.
+        upsert_bench_sections(&path, &[("description", "\"updated\"".to_string())]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"description\": \"updated\""), "{text}");
+        assert!(text.contains("\"serve_http\""), "{text}");
+        assert!(text.contains("\"a, b }] text\""), "{text}");
+        let sections = parse_top_level_sections(&text).unwrap();
+        assert_eq!(
+            sections.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["description", "point_eval", "serve_http"]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn upsert_round_trips_the_real_bench_file_shape() {
+        // The actual BENCH_eval.json shape (nested objects, scientific
+        // notation, a long description with escaped quotes) must survive a
+        // parse → rewrite cycle byte-for-byte per section.
+        let source = "{\n  \"description\": \"x \\\"quoted\\\" — dashes\",\n  \"a\": {\n    \"v\": 1.0e-3\n  },\n  \"b\": {\n    \"n\": 42\n  }\n}\n";
+        let sections = parse_top_level_sections(source).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].1, "\"x \\\"quoted\\\" — dashes\"");
+        assert_eq!(sections[2].1, "{\n    \"n\": 42\n  }");
+        // Garbage starts fresh instead of erroring.
+        assert!(parse_top_level_sections("not json").is_none());
+        assert!(parse_top_level_sections("").is_none());
+        assert!(parse_top_level_sections("{\"unterminated\": ").is_none());
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl DenseLayer {
     /// Runs the layer on a raw slice, writing the activated output into
     /// `out` (resized as needed) without any further allocation.
     ///
-    /// Bit-identical to the [`DenseLayer::pre_activation`] + activation path:
+    /// Bit-identical to the `DenseLayer::pre_activation` + activation path:
     /// same summation order, bias add, then activation.
     ///
     /// # Panics

@@ -30,7 +30,7 @@ pub enum DecodeError {
         /// Byte offset of the string.
         at: usize,
     },
-    /// A length prefix exceeded [`MAX_SEQUENCE_LEN`].
+    /// A length prefix exceeded the decoder's sequence-length limit.
     LengthTooLarge {
         /// Byte offset of the length prefix.
         at: usize,
@@ -246,7 +246,16 @@ impl<'a> Reader<'a> {
 /// accidental corruption, not against an adversary, which is the right
 /// threat model for artifacts an operator stores on their own disk.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a fold from a previous [`fnv1a64`] /
+/// [`fnv1a64_continue`] result, so a hash over a logical concatenation
+/// (`fnv1a64_continue(fnv1a64(a), b)` ≡ `fnv1a64(a ‖ b)`) never needs the
+/// concatenated buffer — the shard router's per-request placement scoring
+/// relies on this to stay allocation-free.
+pub fn fnv1a64_continue(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);

@@ -1,0 +1,850 @@
+//! A dependency-free HTTP/1.1 front-end over the shield serving core.
+//!
+//! The workspace's hermetic policy (see `crates/compat`) rules out hyper,
+//! tokio, and friends, and the serving core is deliberately synchronous
+//! (`ShieldServer` is `Send + Sync` with a lock-free snapshot hot path), so
+//! this front-end is a plain blocking `TcpListener`: one acceptor thread
+//! spawns a serving thread per connection (bounded by
+//! [`HttpConfig::max_connections`]; connections beyond the bound get an
+//! explicit `503` instead of queueing unserved), and each serving thread
+//! runs a keep-alive request loop.  No epoll, no futures — for a CPU-bound
+//! decide workload a thread per live connection is the right shape, and
+//! the batched request body keeps the per-request HTTP overhead amortized
+//! across whole lanes of decisions.
+//!
+//! # Endpoints
+//!
+//! | Method & path | Meaning |
+//! |---|---|
+//! | `POST /v1/deployments/{name}/decide` | Decide one state or a batch (JSON body, see [`crate::wire`]) |
+//! | `PUT /v1/deployments/{name}` | Upload a checksummed [`ShieldArtifact`] (raw binary body) for deploy / hot redeploy |
+//! | `GET /v1/deployments/{name}/telemetry` | Per-deployment serving telemetry |
+//! | `GET /healthz` | Liveness plus the deployment list |
+//!
+//! Both single-state and batched decide bodies are routed through the
+//! backend's `decide_batch`, so the lane-batched evaluation kernels carry
+//! all HTTP traffic.  Error responses always carry the structured JSON body
+//! of [`wire::error_body`]; the status mapping is documented on
+//! [`error_status`] and in the README's wire-protocol reference.
+//!
+//! # Backends
+//!
+//! The front-end serves anything implementing [`ShieldBackend`]: a plain
+//! [`ShieldServer`] (single process) or a
+//! [`ShardRouter`] (deployments consistent-hashed
+//! across shards).  See the crate-level example and
+//! `examples/http_server.rs` for the end-to-end story.
+
+use crate::artifact::{ArtifactError, ShieldArtifact};
+use crate::router::ShardRouter;
+use crate::server::{ServeError, ShieldServer};
+use crate::telemetry::DeploymentTelemetry;
+use crate::wire::{self, WireError};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vrl::shield::ShieldDecision;
+
+/// The serving operations the HTTP front-end needs from its backend.
+///
+/// Implemented by [`ShieldServer`] (all deployments in-process) and
+/// [`ShardRouter`] (deployments consistent-hashed across shards); the
+/// front-end is written against this trait so moving from one process to a
+/// sharded fleet is a constructor change, not a protocol change.
+pub trait ShieldBackend: Send + Sync + 'static {
+    /// Deploys `artifact` under `name`, hot-replacing any existing
+    /// deployment (HTTP `PUT` semantics).  Returns the generation now
+    /// serving.
+    fn put_artifact(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError>;
+
+    /// Decides a batch of states against a deployment.
+    fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError>;
+
+    /// A point-in-time copy of a deployment's telemetry.
+    fn backend_telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError>;
+
+    /// Names of all current deployments, sorted.
+    fn deployment_names(&self) -> Vec<String>;
+}
+
+impl ShieldBackend for ShieldServer {
+    fn put_artifact(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        self.deploy_or_redeploy(name, artifact)
+    }
+
+    fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError> {
+        ShieldServer::decide_batch(self, name, states)
+    }
+
+    fn backend_telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
+        self.telemetry(name)
+    }
+
+    fn deployment_names(&self) -> Vec<String> {
+        self.deployments()
+    }
+}
+
+impl ShieldBackend for ShardRouter {
+    fn put_artifact(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        ShardRouter::deploy(self, name, artifact)
+    }
+
+    fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError> {
+        ShardRouter::decide_batch(self, name, states)
+    }
+
+    fn backend_telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
+        self.telemetry(name)
+    }
+
+    fn deployment_names(&self) -> Vec<String> {
+        self.deployments()
+    }
+}
+
+/// Tunables of the HTTP front-end.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Maximum concurrent connections (one serving thread each); further
+    /// connections are answered with `503` until a slot frees up.
+    pub max_connections: usize,
+    /// Largest request body accepted, in bytes (decide JSON or artifact
+    /// upload); larger requests get `413`.
+    pub max_body_bytes: usize,
+    /// Largest number of states accepted per decide request; larger batches
+    /// get `413` with a structured body.
+    pub max_batch: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the worker closes it.  Also bounds how long shutdown waits on
+    /// idle connections.
+    pub idle_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            max_connections: 256,
+            max_body_bytes: 64 << 20,
+            max_batch: 8192,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Maximum bytes of request line + headers before the request is rejected.
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// A running HTTP front-end.
+///
+/// Binds on construction ([`HttpFrontend::bind`]), serves until
+/// [`shutdown`](HttpFrontend::shutdown) or drop, and exposes the bound
+/// address ([`local_addr`](HttpFrontend::local_addr)) so callers can bind
+/// port 0 in tests and benches.
+#[derive(Debug)]
+pub struct HttpFrontend {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl HttpFrontend {
+    /// Binds `addr` and starts serving `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn ShieldBackend>,
+        config: HttpConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("vrl-http-accept".to_string())
+                .spawn(move || accept_loop(&listener, &backend, &config, &stop))?
+        };
+        Ok(HttpFrontend {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the serving threads.  Requests
+    /// already in flight complete; idle keep-alive connections are closed
+    /// within the configured idle timeout.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with one throwaway connection to itself.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpFrontend {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    backend: &Arc<dyn ShieldBackend>,
+    config: &HttpConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    // One thread per live connection (keep-alive loops block on their
+    // socket between requests, so a fixed pool would let `workers` idle
+    // clients starve every later connection); `max_connections` bounds the
+    // thread count, and connections beyond it get an explicit 503 instead
+    // of queueing unserved.
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        handles.retain(|handle| !handle.is_finished());
+        if active.load(Ordering::SeqCst) >= config.max_connections {
+            let response = Response::error(
+                503,
+                "overloaded",
+                &format!(
+                    "all {} connection slots are busy; retry shortly",
+                    config.max_connections
+                ),
+            );
+            let _ = write_response(&mut stream, &response, true);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let thread_active = Arc::clone(&active);
+        let backend = Arc::clone(backend);
+        let config = config.clone();
+        let stop = Arc::clone(stop);
+        let handle = std::thread::Builder::new()
+            .name("vrl-http-conn".to_string())
+            .spawn(move || {
+                serve_connection(stream, &*backend, &config, &stop);
+                thread_active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match handle {
+            Ok(handle) => handles.push(handle),
+            Err(_) => {
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    // In-flight connections notice the stop flag within one idle timeout.
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// One connection's keep-alive loop: read a request, dispatch, respond,
+/// repeat until the client closes, asks for `Connection: close`, errors, or
+/// the frontend shuts down.
+fn serve_connection(
+    mut stream: TcpStream,
+    backend: &dyn ShieldBackend,
+    config: &HttpConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.idle_timeout));
+    let mut buffer: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_request(&mut stream, &mut buffer, config) {
+            Ok(Some(request)) => {
+                let close = request.close;
+                let response = dispatch(&request, backend, config);
+                if write_response(&mut stream, &response, close).is_err() || close {
+                    break;
+                }
+            }
+            // Clean end of the connection (EOF or idle timeout between
+            // requests).
+            Ok(None) => break,
+            Err(reject) => {
+                let body = wire::error_body(reject.status, reject.code, &reject.message);
+                let response = Response {
+                    status: reject.status,
+                    body,
+                };
+                let _ = write_response(&mut stream, &response, true);
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+struct Request {
+    method: Method,
+    /// Path split on '/', ignoring any query string.
+    segments: Vec<String>,
+    body: Vec<u8>,
+    close: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    Get,
+    Post,
+    Put,
+    Other,
+}
+
+/// An HTTP-level rejection produced while the request was still being
+/// framed; the connection closes after it is reported.
+struct Reject {
+    status: u16,
+    code: &'static str,
+    message: String,
+}
+
+impl Reject {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        Reject {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request (head + body).  `Ok(None)` is a clean connection end:
+/// EOF or an idle timeout with no bytes of a new request read yet.
+fn read_request(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+    config: &HttpConfig,
+) -> Result<Option<Request>, Reject> {
+    // Accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(Reject::new(
+                431,
+                "headers_too_large",
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buffer.is_empty() {
+                    return Ok(None);
+                }
+                return Err(Reject::new(
+                    400,
+                    "truncated_request",
+                    "connection closed mid-request head",
+                ));
+            }
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if buffer.is_empty() {
+                    return Ok(None);
+                }
+                return Err(Reject::new(
+                    408,
+                    "request_timeout",
+                    "timed out reading the request head",
+                ));
+            }
+            Err(_) => return Ok(None),
+        }
+    };
+
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| Reject::new(400, "bad_request", "request head is not valid UTF-8"))?
+        .to_string();
+    let head = head.as_str();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method_str, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => {
+            return Err(Reject::new(
+                400,
+                "bad_request",
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(Reject::new(
+            505,
+            "http_version_not_supported",
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+    let method = match method_str {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "PUT" => Method::Put,
+        _ => Method::Other,
+    };
+
+    let mut content_length: usize = 0;
+    let mut has_length = false;
+    let mut close = version == "HTTP/1.0";
+    let mut expects_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| Reject::new(400, "bad_request", "unparseable Content-Length"))?;
+            // RFC 9112 §6.3: conflicting Content-Length values must be
+            // rejected — with keep-alive pipelining, parsing a different
+            // body boundary than an upstream proxy is a smuggling vector.
+            if has_length && parsed != content_length {
+                return Err(Reject::new(
+                    400,
+                    "bad_request",
+                    "conflicting Content-Length headers",
+                ));
+            }
+            content_length = parsed;
+            has_length = true;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(Reject::new(
+                501,
+                "not_implemented",
+                "chunked transfer encoding is not supported; send Content-Length",
+            ));
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        }
+    }
+
+    if matches!(method, Method::Post | Method::Put) && !has_length {
+        return Err(Reject::new(
+            411,
+            "length_required",
+            "POST and PUT require a Content-Length header",
+        ));
+    }
+    if content_length > config.max_body_bytes {
+        return Err(Reject::new(
+            413,
+            "body_too_large",
+            format!(
+                "declared body of {content_length} bytes exceeds the {} byte limit",
+                config.max_body_bytes
+            ),
+        ));
+    }
+    if expects_continue {
+        // curl sends Expect: 100-continue for large artifact uploads.
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    // The body: whatever is already buffered past the head, then the rest
+    // from the socket.
+    let mut body = buffer[head_end..].to_vec();
+    buffer.clear();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(Reject::new(
+                    400,
+                    "truncated_body",
+                    format!(
+                        "connection closed after {} of {content_length} body bytes",
+                        body.len()
+                    ),
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(Reject::new(
+                    408,
+                    "request_timeout",
+                    format!(
+                        "timed out after {} of {content_length} body bytes",
+                        body.len()
+                    ),
+                ))
+            }
+            Err(_) => {
+                return Err(Reject::new(
+                    400,
+                    "truncated_body",
+                    "connection error while reading the body",
+                ))
+            }
+        }
+    }
+    // Bytes past the declared body start the next pipelined request.
+    *buffer = body.split_off(content_length);
+
+    let path = target.split('?').next().unwrap_or_default();
+    let segments: Vec<String> = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    Ok(Some(Request {
+        method,
+        segments,
+        body,
+        close,
+    }))
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|pos| pos + 4)
+}
+
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Response { status: 200, body }
+    }
+
+    fn error(status: u16, code: &str, message: &str) -> Self {
+        Response {
+            status,
+            body: wire::error_body(status, code, message),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Maps a serving-layer failure to its HTTP status.
+///
+/// * `404` — unknown deployment;
+/// * `409` — artifact dimensions incompatible with the running deployment;
+/// * `422` — semantically invalid input the server understood but cannot
+///   serve: wrong-dimension or non-finite states, and artifact uploads that
+///   fail validation (bad magic, unsupported version, truncation,
+///   **checksum mismatch**, malformed payload, invariant violations);
+/// * `400` — everything else at the protocol level (handled before this
+///   map is reached).
+pub fn error_status(error: &ServeError) -> u16 {
+    match error {
+        ServeError::UnknownDeployment(_) => 404,
+        ServeError::DimensionMismatch { .. } | ServeError::NonFiniteState => 422,
+        ServeError::IncompatibleArtifact { .. } => 409,
+        ServeError::Artifact(_) => 422,
+        // `deploy_or_redeploy` never reports AlreadyDeployed, and the HTTP
+        // surface never resynthesizes; both are internal misuse if reached.
+        ServeError::AlreadyDeployed(_) | ServeError::Resynthesis(_) => 500,
+    }
+}
+
+fn serve_error_code(error: &ServeError) -> &'static str {
+    match error {
+        ServeError::UnknownDeployment(_) => "unknown_deployment",
+        ServeError::DimensionMismatch { .. } => "dimension_mismatch",
+        ServeError::NonFiniteState => "non_finite_state",
+        ServeError::IncompatibleArtifact { .. } => "incompatible_artifact",
+        ServeError::Artifact(ArtifactError::ChecksumMismatch { .. }) => "checksum_mismatch",
+        ServeError::Artifact(ArtifactError::BadMagic) => "bad_magic",
+        ServeError::Artifact(ArtifactError::UnsupportedVersion { .. }) => "unsupported_version",
+        ServeError::Artifact(ArtifactError::Truncated { .. }) => "artifact_truncated",
+        ServeError::Artifact(_) => "invalid_artifact",
+        ServeError::AlreadyDeployed(_) | ServeError::Resynthesis(_) => "internal",
+    }
+}
+
+fn wire_error_response(error: &WireError) -> Response {
+    match error {
+        WireError::Syntax { .. } | WireError::TooDeep { .. } => {
+            Response::error(400, "malformed_json", &error.to_string())
+        }
+        WireError::Schema(_) => Response::error(400, "invalid_request", &error.to_string()),
+        WireError::BatchTooLarge { .. } => {
+            Response::error(413, "batch_too_large", &error.to_string())
+        }
+    }
+}
+
+fn serve_error_response(error: &ServeError) -> Response {
+    Response::error(
+        error_status(error),
+        serve_error_code(error),
+        &error.to_string(),
+    )
+}
+
+fn dispatch(request: &Request, backend: &dyn ShieldBackend, config: &HttpConfig) -> Response {
+    let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
+    match (request.method, segments.as_slice()) {
+        (Method::Get, ["healthz"]) => {
+            Response::ok(wire::health_response(&backend.deployment_names()))
+        }
+        (Method::Post, ["v1", "deployments", name, "decide"]) => {
+            let decide = match wire::decode_decide_request(&request.body, config.max_batch) {
+                Ok(decide) => decide,
+                Err(e) => return wire_error_response(&e),
+            };
+            match backend.decide_batch(name, &decide.states) {
+                Ok(decisions) if !decide.batched && decisions.is_empty() => {
+                    // Unreachable ("state" always carries one state), but
+                    // never index into an empty decision list.
+                    Response::error(500, "internal", "empty decision list")
+                }
+                Ok(decisions) => {
+                    Response::ok(wire::decide_response(name, &decisions, decide.batched))
+                }
+                Err(e) => serve_error_response(&e),
+            }
+        }
+        (Method::Put, ["v1", "deployments", name]) => {
+            let artifact = match ShieldArtifact::from_bytes(&request.body) {
+                Ok(artifact) => artifact,
+                Err(e) => {
+                    let e = ServeError::Artifact(e);
+                    return serve_error_response(&e);
+                }
+            };
+            let meta = artifact.metadata();
+            match backend.put_artifact(name, artifact) {
+                Ok(generation) => Response::ok(wire::deployed_response(name, generation, &meta)),
+                Err(e) => serve_error_response(&e),
+            }
+        }
+        (Method::Get, ["v1", "deployments", name, "telemetry"]) => {
+            match backend.backend_telemetry(name) {
+                Ok(telemetry) => Response::ok(wire::telemetry_response(&telemetry)),
+                Err(e) => serve_error_response(&e),
+            }
+        }
+        _ if known_path_wrong_method(request.method, &segments) => Response::error(
+            405,
+            "method_not_allowed",
+            "this path exists but not for this method",
+        ),
+        _ => Response::error(
+            404,
+            "not_found",
+            "unknown path; see the wire-protocol reference",
+        ),
+    }
+}
+
+/// True when the path matches a served route shape but with the wrong
+/// method, so the front-end can answer `405` instead of `404`.
+fn known_path_wrong_method(method: Method, segments: &[&str]) -> bool {
+    match segments {
+        ["healthz"] => method != Method::Get,
+        ["v1", "deployments", _] => method != Method::Put,
+        ["v1", "deployments", _, "decide"] => method != Method::Post,
+        ["v1", "deployments", _, "telemetry"] => method != Method::Get,
+        _ => false,
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client for tests, benches, and examples.
+///
+/// Speaks just enough of the protocol to drive [`HttpFrontend`] over a
+/// keep-alive connection: `Content-Length` framing, no chunked encoding,
+/// no redirects.  It is **not** a general-purpose client — production
+/// traffic should use any real HTTP client (the transcript in the README
+/// uses `curl`).
+#[derive(Debug)]
+pub struct MiniClient {
+    stream: TcpStream,
+}
+
+/// A response read by [`MiniClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiniResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl MiniResponse {
+    /// The body as UTF-8 (all front-end responses are JSON).
+    pub fn text(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+impl MiniClient {
+    /// Opens a keep-alive connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(MiniClient { stream })
+    }
+
+    /// Sends one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the connection drops or the response is
+    /// unparseable.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<MiniResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: vrl\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<MiniResponse> {
+        let mut buffer = Vec::new();
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buffer) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            buffer.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+            })?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
+            })?;
+        let mut body = buffer.split_off(head_end);
+        while body.len() < content_length {
+            let mut chunk = [0u8; 8192];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(content_length);
+        Ok(MiniResponse { status, body })
+    }
+}

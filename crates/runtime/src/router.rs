@@ -1,0 +1,593 @@
+//! Consistent-hash routing of deployments across shield-server shards.
+//!
+//! A [`ShardRouter`] spreads named deployments over N backend
+//! [`ShieldServer`] instances ("shards") by hashing the *deployment name* —
+//! every request for a deployment lands on the one shard that owns it, so
+//! shards never coordinate and per-deployment telemetry stays coherent.
+//! Shards are in-process servers today; because placement is by name and
+//! artifacts rehydrate from bytes alone, swapping a shard's `ShieldServer`
+//! for a remote socket later changes the transport, not the routing.
+//!
+//! # Placement
+//!
+//! Two classic placement functions are provided ([`Placement`]):
+//!
+//! * **Rendezvous** (highest-random-weight, the default): each deployment
+//!   scores every shard with `fnv1a64(name ‖ 0xFF ‖ shard_index)` and lands
+//!   on the arg-max.  Adding shard `N` only reassigns the deployments whose
+//!   new top score is shard `N` — in expectation `1/(N+1)` of them — and
+//!   *every* unmoved deployment keeps its exact shard.
+//! * **Jump** (Lamping & Veach's jump consistent hash): `O(ln n)` time, no
+//!   per-shard scoring; the same only-`1/(N+1)`-keys-move guarantee when
+//!   shards are added at the end.
+//!
+//! # Rehydration
+//!
+//! The router keeps each deployment's canonical artifact *bytes* (the
+//! checksummed wire format of [`ShieldArtifact`]).  When
+//! [`add_shard`](ShardRouter::add_shard) grows the fleet, the deployments
+//! whose placement moved are rehydrated on their new shard from those bytes
+//! — exactly the ROADMAP's "a shard can rehydrate from bytes alone" — and
+//! undeployed from the old one.  A moved deployment's artifact generation
+//! restarts at 1 on the new shard (its counters start fresh too; the
+//! pre-move history stays in the totals reported until the move, not
+//! after).
+
+use crate::artifact::ShieldArtifact;
+use crate::codec::{fnv1a64, fnv1a64_continue};
+use crate::server::{ServeError, ShieldServer};
+use crate::telemetry::DeploymentTelemetry;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use vrl::shield::ShieldDecision;
+
+/// The consistent-hash placement function a [`ShardRouter`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Rendezvous (highest-random-weight) hashing: deterministic arg-max
+    /// over per-shard scores.  Scores are keyed by shard *index*, so the
+    /// minimal-movement guarantee holds for appending shards (the only
+    /// fleet change [`ShardRouter`] performs today); removing a non-last
+    /// shard would renumber the shards after it and rescore them — a
+    /// future `remove_shard` needs stable shard identifiers first.
+    #[default]
+    Rendezvous,
+    /// Jump consistent hash (Lamping & Veach 2014): `O(ln n)`, minimal
+    /// movement when shards are appended.
+    Jump,
+}
+
+impl Placement {
+    /// The shard (0-based) that owns `name` in a fleet of `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn shard_for(&self, name: &str, shards: usize) -> usize {
+        assert!(shards > 0, "placement needs at least one shard");
+        match self {
+            Placement::Rendezvous => {
+                // Hash the name prefix once, then fold each shard's suffix
+                // onto it — equivalent to hashing `name ‖ 0xFF ‖ shard`
+                // per shard, without building any key buffer.
+                let prefix = fnv1a64_continue(fnv1a64(name.as_bytes()), &[0xFF]);
+                let mut best = (0usize, 0u64);
+                for shard in 0..shards {
+                    let score = fnv1a64_continue(prefix, &(shard as u64).to_le_bytes());
+                    if shard == 0 || score > best.1 {
+                        best = (shard, score);
+                    }
+                }
+                best.0
+            }
+            Placement::Jump => jump_consistent_hash(fnv1a64(name.as_bytes()), shards),
+        }
+    }
+}
+
+/// Jump consistent hash: maps `key` to a bucket in `0..buckets` such that
+/// growing `buckets` by one moves only `1/(buckets+1)` of the keys (and
+/// every moved key moves *to* the new bucket).
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`.
+pub fn jump_consistent_hash(key: u64, buckets: usize) -> usize {
+    assert!(buckets > 0, "jump hash needs at least one bucket");
+    // The reference LCG walk from Lamping & Veach, "A Fast, Minimal Memory,
+    // Consistent Hash Algorithm".
+    let mut key = key;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2862933555777941757).wrapping_add(1);
+        let r = ((key >> 33) + 1) as f64;
+        j = (((b + 1) as f64) * ((1u64 << 31) as f64 / r)) as i64;
+    }
+    b as usize
+}
+
+/// Aggregated serving totals for one shard (the sums over its deployments'
+/// [`DeploymentTelemetry`] counters).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardTelemetry {
+    /// Shard index.
+    pub shard: usize,
+    /// Deployments currently owned by the shard.
+    pub deployments: u64,
+    /// Requests served across those deployments.
+    pub requests: u64,
+    /// Shield decisions taken.
+    pub decisions: u64,
+    /// Decisions where the shield overrode the oracle.
+    pub interventions: u64,
+    /// Hot redeploys.
+    pub redeploys: u64,
+}
+
+/// Fleet-wide telemetry: per-shard totals plus their sum.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouterTelemetry {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardTelemetry>,
+    /// Deployments across the fleet.
+    pub deployments: u64,
+    /// Requests across the fleet.
+    pub requests: u64,
+    /// Decisions across the fleet.
+    pub decisions: u64,
+    /// Interventions across the fleet.
+    pub interventions: u64,
+    /// Redeploys across the fleet.
+    pub redeploys: u64,
+}
+
+struct RouterState {
+    shards: Vec<Arc<ShieldServer>>,
+    /// Canonical artifact bytes per deployment — the rehydration source
+    /// when placement moves a deployment to a new shard.
+    registry: HashMap<String, Vec<u8>>,
+}
+
+/// Routes deployments across backend [`ShieldServer`] shards by consistent
+/// hashing on the deployment name.
+///
+/// The router is `Send + Sync`; share it behind an `Arc` (the HTTP
+/// front-end does exactly that via
+/// [`ShieldBackend`](crate::http::ShieldBackend)).
+pub struct ShardRouter {
+    state: RwLock<RouterState>,
+    placement: Placement,
+    workers_per_shard: usize,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.read().expect("router lock never poisoned");
+        f.debug_struct("ShardRouter")
+            .field("shards", &state.shards.len())
+            .field("deployments", &state.registry.len())
+            .field("placement", &self.placement)
+            .finish()
+    }
+}
+
+impl ShardRouter {
+    /// A router over `shards` fresh in-process shards, each a
+    /// [`ShieldServer`] with `workers_per_shard` batch workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `workers_per_shard == 0`.
+    pub fn new(shards: usize, workers_per_shard: usize, placement: Placement) -> Self {
+        assert!(shards > 0, "a router needs at least one shard");
+        ShardRouter {
+            state: RwLock::new(RouterState {
+                shards: (0..shards)
+                    .map(|_| Arc::new(ShieldServer::with_workers(workers_per_shard)))
+                    .collect(),
+                registry: HashMap::new(),
+            }),
+            placement,
+            workers_per_shard,
+        }
+    }
+
+    /// Number of shards currently in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.state
+            .read()
+            .expect("router lock never poisoned")
+            .shards
+            .len()
+    }
+
+    /// The shard that owns `name` under the current fleet size.
+    pub fn shard_for(&self, name: &str) -> usize {
+        self.placement.shard_for(name, self.shard_count())
+    }
+
+    /// Deploys (or hot-redeploys) `artifact` under `name` on its placed
+    /// shard, recording the canonical bytes for future rehydration.
+    /// Returns the generation now serving on the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the owning shard's validation
+    /// ([`ServeError::IncompatibleArtifact`] when a redeploy changes
+    /// dimensions).
+    pub fn deploy(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        let bytes = artifact.to_bytes();
+        let mut state = self.state.write().expect("router lock never poisoned");
+        let shard = self.placement.shard_for(name, state.shards.len());
+        let generation = state.shards[shard].deploy_or_redeploy(name, artifact)?;
+        state.registry.insert(name.to_string(), bytes);
+        Ok(generation)
+    }
+
+    /// Deploys from the checksummed wire bytes directly (what the HTTP
+    /// `PUT` endpoint carries).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] when the bytes fail validation (checksum,
+    /// version, structure); otherwise as [`ShardRouter::deploy`].
+    pub fn deploy_bytes(&self, name: &str, bytes: &[u8]) -> Result<u64, ServeError> {
+        let artifact = ShieldArtifact::from_bytes(bytes)?;
+        self.deploy(name, artifact)
+    }
+
+    /// Removes a deployment from its shard and the registry; returns
+    /// whether it existed.
+    pub fn undeploy(&self, name: &str) -> bool {
+        let mut state = self.state.write().expect("router lock never poisoned");
+        let shard = self.placement.shard_for(name, state.shards.len());
+        let existed = state.registry.remove(name).is_some();
+        let dropped = state.shards[shard].undeploy(name);
+        debug_assert_eq!(existed, dropped, "registry and shard agree on {name:?}");
+        existed
+    }
+
+    /// Names of all deployments across the fleet, sorted.
+    pub fn deployments(&self) -> Vec<String> {
+        let state = self.state.read().expect("router lock never poisoned");
+        let mut names: Vec<String> = state.registry.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn owning_shard(&self, name: &str) -> (usize, Arc<ShieldServer>) {
+        let state = self.state.read().expect("router lock never poisoned");
+        let shard = self.placement.shard_for(name, state.shards.len());
+        (shard, Arc::clone(&state.shards[shard]))
+    }
+
+    /// Runs `op` against the owning shard, re-resolving placement and
+    /// retrying once if the shard reports an unknown deployment: an
+    /// [`add_shard`](ShardRouter::add_shard) landing between the caller's
+    /// placement resolution and execution moves the deployment to the new
+    /// shard, and without the retry that in-flight request would observe a
+    /// transient miss for a name that was continuously deployed.
+    fn with_owner<T>(
+        &self,
+        name: &str,
+        op: impl Fn(&ShieldServer) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let (shard, server) = self.owning_shard(name);
+        match op(&server) {
+            Err(miss @ ServeError::UnknownDeployment(_)) => {
+                let (new_shard, new_server) = self.owning_shard(name);
+                if new_shard == shard {
+                    Err(miss)
+                } else {
+                    op(&new_server)
+                }
+            }
+            result => result,
+        }
+    }
+
+    /// Algorithm 3 for one state, routed to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShieldServer::decide`].
+    pub fn decide(&self, name: &str, state: &[f64]) -> Result<ShieldDecision, ServeError> {
+        self.with_owner(name, |shard| shard.decide(name, state))
+    }
+
+    /// Batched decide, routed to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShieldServer::decide_batch`].
+    pub fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError> {
+        self.with_owner(name, |shard| shard.decide_batch(name, states))
+    }
+
+    /// A deployment's telemetry, from its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDeployment`] when no shard serves `name`.
+    pub fn telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
+        self.with_owner(name, |shard| shard.telemetry(name))
+    }
+
+    /// Fleet-wide telemetry: each shard's per-deployment counters summed,
+    /// plus the cross-shard totals (which equal the per-shard sums by
+    /// construction — pinned by the router tests).
+    pub fn aggregate_telemetry(&self) -> RouterTelemetry {
+        let state = self.state.read().expect("router lock never poisoned");
+        let mut fleet = RouterTelemetry::default();
+        for (index, shard) in state.shards.iter().enumerate() {
+            let mut totals = ShardTelemetry {
+                shard: index,
+                ..ShardTelemetry::default()
+            };
+            for name in shard.deployments() {
+                let Ok(telemetry) = shard.telemetry(&name) else {
+                    continue;
+                };
+                totals.deployments += 1;
+                totals.requests += telemetry.requests;
+                totals.decisions += telemetry.decisions;
+                totals.interventions += telemetry.interventions;
+                totals.redeploys += telemetry.redeploys;
+            }
+            fleet.deployments += totals.deployments;
+            fleet.requests += totals.requests;
+            fleet.decisions += totals.decisions;
+            fleet.interventions += totals.interventions;
+            fleet.redeploys += totals.redeploys;
+            fleet.per_shard.push(totals);
+        }
+        fleet
+    }
+
+    /// Grows the fleet by one shard, rehydrating every deployment whose
+    /// placement moved onto the new shard from its canonical bytes (and
+    /// undeploying it from its old shard).  Returns the moved deployment
+    /// names, sorted — under both placement functions that is in
+    /// expectation `1/(N+1)` of the fleet, and every move targets the new
+    /// shard.
+    ///
+    /// Traffic continues throughout: requests for unmoved deployments are
+    /// untouched, and a moved deployment is deployed on its new shard
+    /// *before* the old copy is removed.  A request that resolved its
+    /// placement before this call and executes after it re-resolves and
+    /// retries once on a shard-level miss (see `with_owner`), so in-flight
+    /// traffic never observes a gap for a continuously-deployed name.
+    pub fn add_shard(&self) -> Vec<String> {
+        let mut state = self.state.write().expect("router lock never poisoned");
+        let old_count = state.shards.len();
+        let new_count = old_count + 1;
+        state
+            .shards
+            .push(Arc::new(ShieldServer::with_workers(self.workers_per_shard)));
+        let mut moved = Vec::new();
+        let names: Vec<String> = state.registry.keys().cloned().collect();
+        for name in names {
+            let old_shard = self.placement.shard_for(&name, old_count);
+            let new_shard = self.placement.shard_for(&name, new_count);
+            if old_shard == new_shard {
+                continue;
+            }
+            debug_assert_eq!(
+                new_shard, old_count,
+                "consistent placement only ever moves keys to the new shard"
+            );
+            let bytes = state.registry[&name].clone();
+            let artifact = ShieldArtifact::from_bytes(&bytes)
+                .expect("registry bytes were produced by to_bytes and re-validated on deploy");
+            state.shards[new_shard]
+                .deploy_or_redeploy(&name, artifact)
+                .expect("a fresh shard accepts any valid artifact");
+            state.shards[old_shard].undeploy(&name);
+            moved.push(name);
+        }
+        moved.sort();
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy_artifact;
+    use std::collections::HashMap;
+
+    #[test]
+    fn jump_hash_matches_reference_properties() {
+        // Bucket 0 is the only bucket for n = 1.
+        for key in 0..64u64 {
+            assert_eq!(jump_consistent_hash(key, 1), 0);
+        }
+        // Growing the bucket count never moves a key to an *old* bucket.
+        for key in 0..512u64 {
+            let mut previous = jump_consistent_hash(key, 1);
+            for buckets in 2..12 {
+                let next = jump_consistent_hash(key, buckets);
+                if next != previous {
+                    assert_eq!(next, buckets - 1, "key {key} moved to a non-new bucket");
+                }
+                previous = next;
+            }
+        }
+    }
+
+    #[test]
+    fn placements_are_stable_and_spread() {
+        for placement in [Placement::Rendezvous, Placement::Jump] {
+            let mut counts = vec![0usize; 8];
+            for i in 0..400 {
+                let name = format!("deployment-{i}");
+                let a = placement.shard_for(&name, 8);
+                let b = placement.shard_for(&name, 8);
+                assert_eq!(a, b, "placement is deterministic");
+                counts[a] += 1;
+            }
+            // A crude spread check: no shard is empty, none hoards more
+            // than half the keys.
+            assert!(counts.iter().all(|&c| c > 0), "{placement:?}: {counts:?}");
+            assert!(counts.iter().all(|&c| c < 200), "{placement:?}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_keys_bound_for_it() {
+        for placement in [Placement::Rendezvous, Placement::Jump] {
+            let names: Vec<String> = (0..300).map(|i| format!("d{i}")).collect();
+            for n in 1..8usize {
+                let mut moved = 0;
+                for name in &names {
+                    let before = placement.shard_for(name, n);
+                    let after = placement.shard_for(name, n + 1);
+                    if before != after {
+                        assert_eq!(after, n, "{placement:?}: moves only target the new shard");
+                        moved += 1;
+                    }
+                }
+                // Expectation is names/(n+1); accept a generous band.
+                let expected = names.len() / (n + 1);
+                assert!(
+                    moved >= expected / 3 && moved <= expected * 3,
+                    "{placement:?} n={n}: moved {moved}, expected ≈{expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn router_routes_and_rehydrates_on_shard_addition() {
+        let router = ShardRouter::new(3, 1, Placement::Rendezvous);
+        let names: Vec<String> = (0..12).map(|i| format!("toy-{i}")).collect();
+        for (i, name) in names.iter().enumerate() {
+            router.deploy(name, toy_artifact(i as u64)).unwrap();
+        }
+        assert_eq!(router.deployments(), {
+            let mut sorted = names.clone();
+            sorted.sort();
+            sorted
+        });
+        // Decisions are identical to a direct server over the same bytes.
+        let mut shard_of: HashMap<String, usize> = HashMap::new();
+        for (i, name) in names.iter().enumerate() {
+            shard_of.insert(name.clone(), router.shard_for(name));
+            let direct = ShieldServer::with_workers(1);
+            direct.deploy(name, toy_artifact(i as u64)).unwrap();
+            for x in [-0.6, 0.0, 0.45] {
+                assert_eq!(
+                    router.decide(name, &[x]).unwrap(),
+                    direct.decide(name, &[x]).unwrap()
+                );
+            }
+        }
+        // Expected movers: exactly the names whose 4-shard placement is
+        // the new shard 3.
+        let expected_moved: Vec<String> = {
+            let mut moved: Vec<String> = names
+                .iter()
+                .filter(|name| Placement::Rendezvous.shard_for(name, 4) == 3)
+                .cloned()
+                .collect();
+            moved.sort();
+            moved
+        };
+        let moved = router.add_shard();
+        assert_eq!(moved, expected_moved);
+        assert_eq!(router.shard_count(), 4);
+        // Unmoved deployments kept their shard; moved ones rehydrated and
+        // still answer identically.
+        for (i, name) in names.iter().enumerate() {
+            if moved.contains(name) {
+                assert_eq!(router.shard_for(name), 3);
+            } else {
+                assert_eq!(router.shard_for(name), shard_of[name]);
+            }
+            let direct = ShieldServer::with_workers(1);
+            direct.deploy(name, toy_artifact(i as u64)).unwrap();
+            assert_eq!(
+                router.decide(name, &[0.2]).unwrap(),
+                direct.decide(name, &[0.2]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_telemetry_equals_per_shard_sums() {
+        let router = ShardRouter::new(3, 1, Placement::Rendezvous);
+        let names: Vec<String> = (0..6).map(|i| format!("toy-{i}")).collect();
+        for (i, name) in names.iter().enumerate() {
+            router.deploy(name, toy_artifact(i as u64)).unwrap();
+        }
+        let states: Vec<Vec<f64>> = (0..50).map(|i| vec![(i as f64 / 25.0) - 1.0]).collect();
+        for (i, name) in names.iter().enumerate() {
+            // Different traffic per deployment so sums are distinguishable.
+            router.decide_batch(name, &states[..10 + 5 * i]).unwrap();
+            router.decide(name, &[0.1]).unwrap();
+        }
+        let fleet = router.aggregate_telemetry();
+        assert_eq!(fleet.per_shard.len(), 3);
+        // The fleet totals equal both the per-shard sums and the
+        // per-deployment sums.
+        let mut requests = 0;
+        let mut decisions = 0;
+        let mut interventions = 0;
+        for name in &names {
+            let t = router.telemetry(name).unwrap();
+            requests += t.requests;
+            decisions += t.decisions;
+            interventions += t.interventions;
+        }
+        assert_eq!(
+            fleet.requests,
+            fleet.per_shard.iter().map(|s| s.requests).sum::<u64>()
+        );
+        assert_eq!(fleet.requests, requests);
+        assert_eq!(fleet.decisions, decisions);
+        assert_eq!(fleet.interventions, interventions);
+        assert_eq!(fleet.deployments, names.len() as u64);
+        assert_eq!(fleet.requests, 2 * names.len() as u64);
+        assert_eq!(
+            fleet.decisions,
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, _)| 10 + 5 * i as u64 + 1)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn undeploy_and_redeploy_through_the_router() {
+        let router = ShardRouter::new(2, 1, Placement::Jump);
+        assert_eq!(router.deploy("toy", toy_artifact(1)).unwrap(), 1);
+        // PUT semantics: a second deploy of the same name is a hot redeploy.
+        assert_eq!(router.deploy("toy", toy_artifact(2)).unwrap(), 2);
+        assert!(router.undeploy("toy"));
+        assert!(!router.undeploy("toy"));
+        assert!(matches!(
+            router.decide("toy", &[0.0]),
+            Err(ServeError::UnknownDeployment(_))
+        ));
+    }
+
+    #[test]
+    fn deploy_bytes_validates_the_checksum() {
+        let router = ShardRouter::new(2, 1, Placement::Rendezvous);
+        let mut bytes = toy_artifact(3).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            router.deploy_bytes("toy", &bytes),
+            Err(ServeError::Artifact(_))
+        ));
+        assert!(router.deployments().is_empty());
+    }
+}

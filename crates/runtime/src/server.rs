@@ -191,6 +191,20 @@ struct Deployment {
 }
 
 impl Deployment {
+    /// The single construction site for a fresh deployment (generation 1,
+    /// zeroed telemetry) — both deploy entry points go through it.
+    fn fresh(name: String, artifact: ShieldArtifact) -> Arc<Deployment> {
+        Arc::new(Deployment {
+            name,
+            active: RwLock::new(Arc::new(ActiveArtifact {
+                artifact,
+                generation: 1,
+            })),
+            stats: StatsRecorder::new(),
+            redeploy_guard: Mutex::new(()),
+        })
+    }
+
     fn snapshot(&self) -> Arc<ActiveArtifact> {
         Arc::clone(&self.active.read().expect("active lock never poisoned"))
     }
@@ -261,19 +275,52 @@ impl ShieldServer {
         if deployments.contains_key(&name) {
             return Err(ServeError::AlreadyDeployed(name));
         }
-        deployments.insert(
-            name.clone(),
-            Arc::new(Deployment {
-                name,
-                active: RwLock::new(Arc::new(ActiveArtifact {
-                    artifact,
-                    generation: 1,
-                })),
-                stats: StatsRecorder::new(),
-                redeploy_guard: Mutex::new(()),
-            }),
-        );
+        deployments.insert(name.clone(), Deployment::fresh(name, artifact));
         Ok(())
+    }
+
+    /// Deploys `artifact` under `name`, hot-replacing an existing deployment
+    /// if there is one — HTTP `PUT` semantics, used by the network front-end
+    /// ([`crate::http`]) and the shard router ([`crate::ShardRouter`]).
+    /// Returns the generation now serving (1 for a fresh deployment).
+    ///
+    /// # Errors
+    ///
+    /// Replacing an existing deployment enforces the same
+    /// [`ServeError::IncompatibleArtifact`] dimension check as
+    /// [`ShieldServer::redeploy`]; a fresh deployment cannot fail.
+    pub fn deploy_or_redeploy(
+        &self,
+        name: &str,
+        artifact: ShieldArtifact,
+    ) -> Result<u64, ServeError> {
+        // The whole upsert happens under the registry write lock so a
+        // concurrent `undeploy` cannot interleave between the existence
+        // check and the swap (which would let a PUT report success on a
+        // deployment that no longer exists).  The registry -> redeploy_guard
+        // lock order is safe: no other path acquires the registry lock
+        // while holding a redeploy guard.
+        let mut deployments = self
+            .deployments
+            .write()
+            .expect("registry lock never poisoned");
+        match deployments.get(name) {
+            Some(existing) => {
+                let deployment = Arc::clone(existing);
+                let _guard = deployment
+                    .redeploy_guard
+                    .lock()
+                    .expect("redeploy lock never poisoned");
+                Self::swap_locked(&deployment, artifact)
+            }
+            None => {
+                deployments.insert(
+                    name.to_string(),
+                    Deployment::fresh(name.to_string(), artifact),
+                );
+                Ok(1)
+            }
+        }
     }
 
     /// Removes a deployment; returns whether it existed.  In-flight requests

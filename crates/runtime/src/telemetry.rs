@@ -1,5 +1,34 @@
 //! Per-deployment serving telemetry: request counters, intervention rates,
 //! and latency percentiles over a recent window.
+//!
+//! # Percentile estimator semantics
+//!
+//! The p50/p99 numbers reported in [`DeploymentTelemetry`] (and over the
+//! HTTP telemetry endpoint) are **windowed, per-decision, nearest-rank**
+//! percentiles.  Precisely:
+//!
+//! 1. **Per-decision normalization.**  Every served request records one
+//!    sample: its wall-clock duration divided by the number of decisions it
+//!    carried (so a 1000 µs batch of 10 decisions records 100 µs, directly
+//!    comparable to ten 100 µs single decides).  Integer division truncates
+//!    to whole nanoseconds.
+//! 2. **Recent window.**  Samples land in a fixed 4096-entry ring buffer
+//!    (`LATENCY_WINDOW`); once full, each new sample overwrites the oldest.
+//!    Percentiles therefore describe the *most recent* ≤ 4096 requests, not
+//!    deployment lifetime — a latency regression shows up within one window
+//!    even on a long-lived deployment.
+//! 3. **Nearest-rank selection.**  A percentile `p` over a window of `n`
+//!    samples is the sorted window's element at index
+//!    `round((n − 1) · p)` (banker's-free `f64::round`, ties away from
+//!    zero).  There is **no interpolation**: the estimate is always a
+//!    latency that actually occurred.  With `n = 100`, p50 is the 51st
+//!    smallest sample (index 50) and p99 the 99th (index 98).
+//! 4. **Empty window.**  Zero recorded requests report
+//!    [`Duration::ZERO`] for every percentile.
+//!
+//! The unit tests pin this contract on known latency sequences; the batch
+//! vs. sequential metering test proves both decide paths feed the same
+//! distribution.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -79,7 +108,8 @@ impl StatsRecorder {
     }
 
     /// Takes a consistent-enough copy of the counters and computes latency
-    /// percentiles over the recent window.
+    /// percentiles over the recent window (nearest-rank over the ring of
+    /// per-decision samples — see the module docs for the exact contract).
     pub(crate) fn snapshot(&self, deployment: &str, generation: u64) -> DeploymentTelemetry {
         let mut sorted = {
             let ring = self.latencies.lock().expect("latency lock never poisoned");
@@ -130,9 +160,11 @@ pub struct DeploymentTelemetry {
     pub redeploys: u64,
     /// Fraction of decisions that were interventions.
     pub intervention_rate: f64,
-    /// Median per-decision latency over the recent window.
+    /// Median per-decision latency over the recent window (nearest-rank
+    /// estimator; see the module docs for its exact semantics).
     pub p50_latency: Duration,
-    /// 99th-percentile per-decision latency over the recent window.
+    /// 99th-percentile per-decision latency over the recent window
+    /// (nearest-rank estimator; see the module docs).
     pub p99_latency: Duration,
 }
 
@@ -226,6 +258,64 @@ mod tests {
         assert_eq!(a.p50_latency, b.p50_latency);
         assert_eq!(a.p99_latency, b.p99_latency);
         assert_eq!(a.intervention_rate, b.intervention_rate);
+    }
+
+    #[test]
+    fn percentiles_follow_the_documented_nearest_rank_contract() {
+        // Pin the estimator on a known sequence: per-decision latencies
+        // 1µs..=100µs arriving in shuffled order (order must not matter).
+        let stats = StatsRecorder::new();
+        let mut order: Vec<u64> = (1..=100).collect();
+        // Deterministic shuffle: stride through the range coprime to 100.
+        order.sort_by_key(|v| (v * 37) % 101);
+        for us in order {
+            stats.record_request(1, 0, Duration::from_micros(us));
+        }
+        let snap = stats.snapshot("pinned", 1);
+        // n = 100: p50 is index round(99 * 0.50) = 50 of the sorted window
+        // (the 51st smallest sample), p99 is index round(99 * 0.99) = 98.
+        assert_eq!(snap.p50_latency, Duration::from_micros(51));
+        assert_eq!(snap.p99_latency, Duration::from_micros(99));
+
+        // A batch records its *per-decision* latency: one request of 10
+        // decisions over 1 ms contributes a single 100 µs sample, and with
+        // n = 1 both percentiles are that sample.
+        let batch = StatsRecorder::new();
+        batch.record_request(10, 0, Duration::from_micros(1000));
+        let snap = batch.snapshot("pinned", 1);
+        assert_eq!(snap.p50_latency, Duration::from_micros(100));
+        assert_eq!(snap.p99_latency, Duration::from_micros(100));
+
+        // n = 2: p50 = index round(1 * 0.5) = 1, the *larger* sample
+        // (round half away from zero), p99 = index 1 as well.
+        let two = StatsRecorder::new();
+        two.record_request(1, 0, Duration::from_micros(10));
+        two.record_request(1, 0, Duration::from_micros(20));
+        let snap = two.snapshot("pinned", 1);
+        assert_eq!(snap.p50_latency, Duration::from_micros(20));
+        assert_eq!(snap.p99_latency, Duration::from_micros(20));
+    }
+
+    #[test]
+    fn percentiles_describe_only_the_recent_window() {
+        // Fill the ring with slow samples, then overwrite it completely
+        // with fast ones: the slow history must vanish from the estimate.
+        let stats = StatsRecorder::new();
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_request(1, 0, Duration::from_micros(900));
+        }
+        assert_eq!(
+            stats.snapshot("w", 1).p99_latency,
+            Duration::from_micros(900)
+        );
+        for _ in 0..LATENCY_WINDOW {
+            stats.record_request(1, 0, Duration::from_micros(10));
+        }
+        let snap = stats.snapshot("w", 1);
+        assert_eq!(snap.p50_latency, Duration::from_micros(10));
+        assert_eq!(snap.p99_latency, Duration::from_micros(10));
+        // Counters, unlike percentiles, are lifetime totals.
+        assert_eq!(snap.requests, 2 * LATENCY_WINDOW as u64);
     }
 
     #[test]

@@ -1,0 +1,862 @@
+//! The JSON wire codec of the HTTP serving protocol.
+//!
+//! Like the binary artifact codec (`crate::codec`), this module is
+//! deliberately boring and dependency-free: a recursive-descent JSON parser
+//! over raw bytes ([`Json::parse`]), a writer that renders numbers with
+//! Rust's shortest-round-trip formatting, and explicit encode/decode
+//! functions for every message the HTTP front-end ([`crate::http`])
+//! exchanges.  There is no reflection and no external serialization crate —
+//! the workspace builds hermetically.
+//!
+//! # Exactness
+//!
+//! `f64` values are rendered with Rust's `Display` formatting, which emits
+//! the shortest decimal string that parses back to the identical bit
+//! pattern.  A state or action that travels through this codec therefore
+//! round-trips *bit-exactly* (the end-to-end HTTP test pins
+//! `decide_batch`-over-the-wire against the in-process call).  Non-finite
+//! numbers are not representable in JSON; the server rejects non-finite
+//! states before they reach the codec, and verified shields never produce
+//! non-finite actions.
+//!
+//! # Request / response shapes
+//!
+//! Decide requests accept a single state or a batch (both are routed
+//! through the lane-batched `decide_batch` kernels server-side):
+//!
+//! ```json
+//! {"state": [0.1, -0.2]}
+//! {"states": [[0.1, -0.2], [0.0, 0.3]]}
+//! ```
+//!
+//! Responses, telemetry, and errors are documented per-endpoint in the
+//! README's wire-protocol reference; [`decide_response`],
+//! [`telemetry_response`], [`deployed_response`], [`health_response`], and
+//! [`error_body`] are the single source of truth for their shapes.
+
+use crate::telemetry::DeploymentTelemetry;
+use crate::ArtifactMetadata;
+use std::fmt;
+use std::fmt::Write as _;
+use vrl::shield::ShieldDecision;
+
+/// Maximum nesting depth accepted by the JSON parser: a decide request is
+/// at most 3 levels deep (`{"states": [[...]]}`), so 16 is generous while
+/// still bounding recursion on adversarial input.
+pub const MAX_JSON_DEPTH: usize = 16;
+
+/// Why decoding a wire message failed.  Every variant maps to a structured
+/// 4xx response; malformed input can never panic the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The body is not syntactically valid JSON.
+    Syntax {
+        /// Byte offset of the offending input.
+        at: usize,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// JSON nesting exceeded [`MAX_JSON_DEPTH`].
+    TooDeep {
+        /// Byte offset where the depth limit was hit.
+        at: usize,
+    },
+    /// The JSON is well-formed but does not match the request schema.
+    Schema(String),
+    /// A batch request exceeded the server's configured state limit.
+    BatchTooLarge {
+        /// Number of states in the request.
+        len: usize,
+        /// Maximum the server accepts per request.
+        max: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Syntax { at, expected } => {
+                write!(f, "malformed JSON at byte {at}: expected {expected}")
+            }
+            WireError::TooDeep { at } => {
+                write!(
+                    f,
+                    "JSON nesting at byte {at} exceeds depth {MAX_JSON_DEPTH}"
+                )
+            }
+            WireError::Schema(msg) => write!(f, "request shape invalid: {msg}"),
+            WireError::BatchTooLarge { len, max } => {
+                write!(
+                    f,
+                    "batch of {len} states exceeds the per-request limit of {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed JSON value.
+///
+/// Numbers are stored as `f64` (the only numeric type the protocol uses);
+/// objects preserve key order as a `Vec` of pairs, which keeps the parser
+/// allocation-light and renders deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document; trailing non-whitespace is a
+    /// syntax error.
+    pub fn parse(bytes: &[u8]) -> Result<Json, WireError> {
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(WireError::Syntax {
+                at: p.pos,
+                expected: "end of input",
+            });
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `v` in the shortest form that round-trips bit-exactly through
+/// `str::parse::<f64>()`.  Non-finite values (unreachable on validated
+/// traffic) degrade to `null` rather than emitting invalid JSON.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, expected: &'static str) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(WireError::Syntax {
+                at: self.pos,
+                expected,
+            })
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, WireError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(WireError::TooDeep { at: self.pos });
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(WireError::Syntax {
+                at: self.pos,
+                expected: "a JSON value",
+            }),
+        }
+    }
+
+    fn literal(&mut self, word: &'static [u8], value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(WireError::Syntax {
+                at: self.pos,
+                expected: "true, false, or null",
+            })
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.eat(b'{', "'{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        expected: "',' or '}' in object",
+                    })
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        expected: "',' or ']' in array",
+                    })
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.eat(b'"', "'\"' to open a string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        expected: "closing '\"'",
+                    })
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or(WireError::Syntax {
+                        at: self.pos,
+                        expected: "escape character",
+                    })?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(WireError::Syntax {
+                                            at: self.pos,
+                                            expected: "a low surrogate",
+                                        });
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or(WireError::Syntax {
+                                at: self.pos,
+                                expected: "a valid unicode escape",
+                            })?);
+                        }
+                        _ => {
+                            return Err(WireError::Syntax {
+                                at: self.pos - 1,
+                                expected: "a valid escape character",
+                            })
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        expected: "no raw control characters in strings",
+                    })
+                }
+                Some(_) => {
+                    // Consume the whole unescaped span in one UTF-8
+                    // validation pass; invalid UTF-8 is a syntax error, not
+                    // a panic.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let span = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                        WireError::Syntax {
+                            at: start,
+                            expected: "valid UTF-8 string content",
+                        }
+                    })?;
+                    out.push_str(span);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or(WireError::Syntax {
+                at: self.pos,
+                expected: "4 hex digits",
+            })?;
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        expected: "a hex digit",
+                    })
+                }
+            };
+            code = (code << 4) | digit as u32;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => Err(WireError::Syntax {
+                at: start,
+                expected: "a finite JSON number",
+            }),
+        }
+    }
+}
+
+/// A decoded `POST …/decide` body: the states to evaluate plus whether the
+/// client used the batched shape (`"states"`) or the single shape
+/// (`"state"`), which controls the response framing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideRequest {
+    /// States to decide, in request order.
+    pub states: Vec<Vec<f64>>,
+    /// True when the request used `"states"` (a batch), false for
+    /// `"state"`.
+    pub batched: bool,
+}
+
+/// Decodes a decide request body, accepting exactly one of `"state"` (a
+/// single state vector) or `"states"` (a batch of state vectors).
+///
+/// # Errors
+///
+/// [`WireError::Syntax`] on malformed JSON, [`WireError::Schema`] on a
+/// well-formed body of the wrong shape, and [`WireError::BatchTooLarge`]
+/// when the batch exceeds `max_batch`.
+pub fn decode_decide_request(body: &[u8], max_batch: usize) -> Result<DecideRequest, WireError> {
+    let json = Json::parse(body)?;
+    let state = json.get("state");
+    let states = json.get("states");
+    match (state, states) {
+        (Some(_), Some(_)) => Err(WireError::Schema(
+            "provide either \"state\" or \"states\", not both".to_string(),
+        )),
+        (Some(value), None) => Ok(DecideRequest {
+            states: vec![number_vec(value, "state")?],
+            batched: false,
+        }),
+        (None, Some(value)) => {
+            let rows = match value {
+                Json::Arr(rows) => rows,
+                _ => {
+                    return Err(WireError::Schema(
+                        "\"states\" must be an array of state vectors".to_string(),
+                    ))
+                }
+            };
+            if rows.len() > max_batch {
+                return Err(WireError::BatchTooLarge {
+                    len: rows.len(),
+                    max: max_batch,
+                });
+            }
+            let states = rows
+                .iter()
+                .map(|row| number_vec(row, "states[i]"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(DecideRequest {
+                states,
+                batched: true,
+            })
+        }
+        (None, None) => Err(WireError::Schema(
+            "body must contain \"state\" or \"states\"".to_string(),
+        )),
+    }
+}
+
+fn number_vec(value: &Json, field: &str) -> Result<Vec<f64>, WireError> {
+    let items = match value {
+        Json::Arr(items) => items,
+        _ => {
+            return Err(WireError::Schema(format!(
+                "\"{field}\" must be an array of numbers"
+            )))
+        }
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Json::Num(v) => Ok(*v),
+            _ => Err(WireError::Schema(format!(
+                "\"{field}\" must contain only numbers"
+            ))),
+        })
+        .collect()
+}
+
+fn decision_json(decision: &ShieldDecision) -> Json {
+    Json::Obj(vec![
+        (
+            "action".to_string(),
+            Json::Arr(decision.action.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        ("intervened".to_string(), Json::Bool(decision.intervened)),
+    ])
+}
+
+/// Encodes a decide response.  Batched requests get
+/// `{"deployment", "count", "decisions": [...]}`; single-state requests get
+/// `{"deployment", "decision": {...}}`.
+pub fn decide_response(deployment: &str, decisions: &[ShieldDecision], batched: bool) -> String {
+    let json = if batched {
+        Json::Obj(vec![
+            ("deployment".to_string(), Json::Str(deployment.to_string())),
+            ("count".to_string(), Json::Num(decisions.len() as f64)),
+            (
+                "decisions".to_string(),
+                Json::Arr(decisions.iter().map(decision_json).collect()),
+            ),
+        ])
+    } else {
+        Json::Obj(vec![
+            ("deployment".to_string(), Json::Str(deployment.to_string())),
+            ("decision".to_string(), decision_json(&decisions[0])),
+        ])
+    };
+    json.render()
+}
+
+/// Encodes a telemetry response; latency percentiles travel as integer
+/// nanoseconds (see the estimator contract documented on
+/// [`DeploymentTelemetry`]).
+pub fn telemetry_response(telemetry: &DeploymentTelemetry) -> String {
+    Json::Obj(vec![
+        (
+            "deployment".to_string(),
+            Json::Str(telemetry.deployment.clone()),
+        ),
+        (
+            "generation".to_string(),
+            Json::Num(telemetry.generation as f64),
+        ),
+        ("requests".to_string(), Json::Num(telemetry.requests as f64)),
+        (
+            "decisions".to_string(),
+            Json::Num(telemetry.decisions as f64),
+        ),
+        (
+            "interventions".to_string(),
+            Json::Num(telemetry.interventions as f64),
+        ),
+        (
+            "redeploys".to_string(),
+            Json::Num(telemetry.redeploys as f64),
+        ),
+        (
+            "intervention_rate".to_string(),
+            Json::Num(telemetry.intervention_rate),
+        ),
+        (
+            "p50_latency_ns".to_string(),
+            Json::Num(telemetry.p50_latency.as_nanos() as f64),
+        ),
+        (
+            "p99_latency_ns".to_string(),
+            Json::Num(telemetry.p99_latency.as_nanos() as f64),
+        ),
+    ])
+    .render()
+}
+
+/// Encodes the success response of an artifact `PUT`: the generation now
+/// serving plus the artifact's display metadata.
+pub fn deployed_response(deployment: &str, generation: u64, meta: &ArtifactMetadata) -> String {
+    Json::Obj(vec![
+        ("deployment".to_string(), Json::Str(deployment.to_string())),
+        ("generation".to_string(), Json::Num(generation as f64)),
+        (
+            "environment".to_string(),
+            Json::Str(meta.environment.clone()),
+        ),
+        ("state_dim".to_string(), Json::Num(meta.state_dim as f64)),
+        ("action_dim".to_string(), Json::Num(meta.action_dim as f64)),
+        ("pieces".to_string(), Json::Num(meta.pieces as f64)),
+        (
+            "oracle_parameters".to_string(),
+            Json::Num(meta.oracle_parameters as f64),
+        ),
+        ("label".to_string(), Json::Str(meta.label.clone())),
+    ])
+    .render()
+}
+
+/// Encodes the `GET /healthz` response.
+pub fn health_response(deployments: &[String]) -> String {
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str("ok".to_string())),
+        (
+            "deployments".to_string(),
+            Json::Arr(deployments.iter().cloned().map(Json::Str).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Encodes the structured error body every non-2xx response carries:
+/// `{"error": {"status", "code", "message"}}`.
+pub fn error_body(status: u16, code: &str, message: &str) -> String {
+    Json::Obj(vec![(
+        "error".to_string(),
+        Json::Obj(vec![
+            ("status".to_string(), Json::Num(status as f64)),
+            ("code".to_string(), Json::Str(code.to_string())),
+            ("message".to_string(), Json::Str(message.to_string())),
+        ]),
+    )])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let source = br#"{"a": [1, -2.5, 1e-3], "b": "x\n\"y\"", "c": true, "d": null, "e": {}}"#;
+        let parsed = Json::parse(source).unwrap();
+        assert_eq!(
+            parsed.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Num(1e-3)
+            ]))
+        );
+        assert_eq!(parsed.get("b"), Some(&Json::Str("x\n\"y\"".to_string())));
+        let rendered = parsed.render();
+        assert_eq!(Json::parse(rendered.as_bytes()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for v in [
+            0.1,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -0.0,
+            2.2250738585072014e-308,
+            123456.78901234567,
+        ] {
+            let rendered = Json::Num(v).render();
+            match Json::parse(rendered.as_bytes()).unwrap() {
+                Json::Num(back) => assert_eq!(back.to_bits(), v.to_bits(), "{v} via {rendered}"),
+                other => panic!("expected a number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let parsed = Json::parse(br#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(parsed, Json::Str("é😀".to_string()));
+        assert!(Json::parse(br#""\ud83d""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"{",
+            b"}",
+            b"[1,]",
+            b"{\"a\":}",
+            b"{\"a\" 1}",
+            b"nul",
+            b"\"unterminated",
+            b"1e999",
+            b"NaN",
+            b"Infinity",
+            b"{\"a\":1}garbage",
+            b"\x00",
+            b"\"\xff\xfe\"",
+            b"[\"\\q\"]",
+        ];
+        for case in cases {
+            assert!(Json::parse(case).is_err(), "{case:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let mut deep = Vec::new();
+        deep.extend(std::iter::repeat_n(b'[', MAX_JSON_DEPTH + 2));
+        deep.extend(std::iter::repeat_n(b']', MAX_JSON_DEPTH + 2));
+        assert_eq!(
+            Json::parse(&deep),
+            Err(WireError::TooDeep {
+                at: MAX_JSON_DEPTH + 1
+            })
+        );
+        let mut ok = Vec::new();
+        ok.extend(std::iter::repeat_n(b'[', MAX_JSON_DEPTH));
+        ok.extend(std::iter::repeat_n(b']', MAX_JSON_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn decide_requests_decode_both_shapes() {
+        let single = decode_decide_request(br#"{"state": [0.25, -0.5]}"#, 16).unwrap();
+        assert_eq!(single.states, vec![vec![0.25, -0.5]]);
+        assert!(!single.batched);
+        let batch = decode_decide_request(br#"{"states": [[1], [2], [3]]}"#, 16).unwrap();
+        assert_eq!(batch.states, vec![vec![1.0], vec![2.0], vec![3.0]]);
+        assert!(batch.batched);
+        let empty = decode_decide_request(br#"{"states": []}"#, 16).unwrap();
+        assert!(empty.states.is_empty());
+    }
+
+    #[test]
+    fn decide_request_schema_violations_are_schema_errors() {
+        let cases: &[&[u8]] = &[
+            b"{}",
+            b"[1,2]",
+            b"{\"state\": 1}",
+            b"{\"state\": [\"x\"]}",
+            b"{\"states\": [[1], 2]}",
+            b"{\"states\": {\"a\": 1}}",
+            b"{\"state\": [1], \"states\": [[1]]}",
+        ];
+        for case in cases {
+            assert!(
+                matches!(decode_decide_request(case, 16), Err(WireError::Schema(_))),
+                "{} must be a schema error",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected() {
+        let body = format!(
+            "{{\"states\": [{}]}}",
+            std::iter::repeat_n("[0]", 9).collect::<Vec<_>>().join(",")
+        );
+        assert_eq!(
+            decode_decide_request(body.as_bytes(), 8),
+            Err(WireError::BatchTooLarge { len: 9, max: 8 })
+        );
+        assert!(decode_decide_request(body.as_bytes(), 9).is_ok());
+    }
+
+    #[test]
+    fn truncations_and_mutations_never_panic() {
+        // Mirrors the artifact-codec fuzz corpus style: every truncation
+        // length and a byte-flip sweep of a valid request must yield clean
+        // errors or clean parses, never a panic.
+        let valid = br#"{"states": [[0.1, -2.5e-3], [1, 2]], "tag": "x\u00e9"}"#;
+        for len in 0..valid.len() {
+            let _ = decode_decide_request(&valid[..len], 64);
+        }
+        for i in 0..valid.len() {
+            let mut mutated = valid.to_vec();
+            mutated[i] ^= 0x15;
+            let _ = decode_decide_request(&mutated, 64);
+            mutated[i] = 0xFF;
+            let _ = decode_decide_request(&mutated, 64);
+        }
+    }
+
+    #[test]
+    fn error_body_is_well_formed() {
+        let body = error_body(
+            422,
+            "checksum_mismatch",
+            "artifact payload corrupted: \"x\"",
+        );
+        let parsed = Json::parse(body.as_bytes()).unwrap();
+        let error = parsed.get("error").unwrap();
+        assert_eq!(error.get("status"), Some(&Json::Num(422.0)));
+        assert_eq!(
+            error.get("code"),
+            Some(&Json::Str("checksum_mismatch".to_string()))
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Networked shield serving, end to end: an HTTP front-end over a sharded
+//! fleet, driven by an in-process client.
+//!
+//! 1. Start a `ShardRouter` (3 shield-server shards, rendezvous placement)
+//!    behind the std-only HTTP/1.1 front-end on a loopback port.
+//! 2. `PUT` checksummed shield artifacts for two deployments over the wire.
+//! 3. `POST` single and batched decide requests (all traffic rides the
+//!    lane-batched `decide_batch` kernels server-side).
+//! 4. `GET` per-deployment telemetry and `/healthz`.
+//! 5. Grow the fleet by one shard and watch the consistent hash rehydrate
+//!    only the deployments whose placement moved.
+//!
+//! Run with: `cargo run -p vrl-runtime --example http_server`
+//!
+//! While it runs you can also poke the same server with curl, e.g.
+//! `curl -s http://127.0.0.1:<port>/healthz` — the README's "Serving over
+//! HTTP" section shows a full transcript.
+
+use std::sync::Arc;
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::http::{HttpConfig, HttpFrontend, MiniClient, ShieldBackend};
+use vrl_runtime::{fixtures, Placement, ShardRouter};
+
+fn main() {
+    // A sharded backend: three in-process shield servers, deployments
+    // consistent-hashed across them by name.
+    let router = Arc::new(ShardRouter::new(3, 1, Placement::Rendezvous));
+    let frontend = HttpFrontend::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router) as Arc<dyn ShieldBackend>,
+        HttpConfig::default(),
+    )
+    .expect("loopback bind succeeds");
+    let addr = frontend.local_addr();
+    println!("serving on http://{addr}");
+
+    let mut client = MiniClient::connect(addr).expect("client connects");
+
+    // Upload two deployments over the wire (checksummed artifact bytes).
+    for (name, benchmark, gains, radii) in [
+        (
+            "pendulum",
+            "pendulum",
+            &fixtures::PENDULUM_GAINS[..],
+            &fixtures::PENDULUM_RADII[..],
+        ),
+        (
+            "cartpole",
+            "cartpole",
+            &fixtures::CARTPOLE_GAINS[..],
+            &fixtures::CARTPOLE_RADII[..],
+        ),
+    ] {
+        let env = benchmark_by_name(benchmark)
+            .expect("Table 1 benchmark")
+            .into_env();
+        let artifact =
+            fixtures::demo_artifact(&env, gains, radii, &[64, 64], 7).expect("dimensions agree");
+        let response = client
+            .request(
+                "PUT",
+                &format!("/v1/deployments/{name}"),
+                &artifact.to_bytes(),
+            )
+            .expect("PUT succeeds");
+        println!(
+            "PUT /v1/deployments/{name} -> {} {} (shard {})",
+            response.status,
+            response.text(),
+            router.shard_for(name)
+        );
+    }
+
+    // One state, then a batch — identical decisions to the in-process API.
+    let single = client
+        .request(
+            "POST",
+            "/v1/deployments/pendulum/decide",
+            br#"{"state": [0.05, -0.1]}"#,
+        )
+        .expect("decide succeeds");
+    println!(
+        "POST decide (single) -> {} {}",
+        single.status,
+        single.text()
+    );
+
+    let batch_body = format!(
+        "{{\"states\": [{}]}}",
+        (0..100)
+            .map(|i| format!(
+                "[{:.3}, {:.3}]",
+                0.3 * ((i % 7) as f64 / 7.0 - 0.5),
+                0.2 * ((i % 5) as f64 / 5.0 - 0.5)
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let batch = client
+        .request(
+            "POST",
+            "/v1/deployments/pendulum/decide",
+            batch_body.as_bytes(),
+        )
+        .expect("batched decide succeeds");
+    println!(
+        "POST decide (100-state batch) -> {} ({} bytes of decisions)",
+        batch.status,
+        batch.body.len()
+    );
+
+    // A malformed request gets a structured 4xx, not a dropped connection.
+    let bad = client
+        .request("POST", "/v1/deployments/pendulum/decide", b"{oops")
+        .expect("error responses still arrive");
+    println!("POST decide (malformed) -> {} {}", bad.status, bad.text());
+
+    // Telemetry and health over the wire.
+    let telemetry = client
+        .request("GET", "/v1/deployments/pendulum/telemetry", b"")
+        .expect("telemetry succeeds");
+    println!("GET telemetry -> {} {}", telemetry.status, telemetry.text());
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    println!("GET /healthz -> {} {}", health.status, health.text());
+
+    // Grow the fleet: the consistent hash moves (in expectation) 1/4 of the
+    // deployments — each rehydrated on the new shard from artifact bytes.
+    let moved = router.add_shard();
+    println!(
+        "added shard 3; rehydrated {:?} on it (everything else stayed put)",
+        moved
+    );
+    let after = client
+        .request(
+            "POST",
+            "/v1/deployments/cartpole/decide",
+            br#"{"state": [0.0, 0.1, 0.0, -0.1]}"#,
+        )
+        .expect("decide still succeeds after resharding");
+    println!("POST decide after resharding -> {}", after.status);
+
+    let fleet = router.aggregate_telemetry();
+    println!(
+        "fleet telemetry: {} deployments, {} requests, {} decisions across {} shards \
+         (a moved deployment restarts its counters on its new shard)",
+        fleet.deployments,
+        fleet.requests,
+        fleet.decisions,
+        fleet.per_shard.len()
+    );
+
+    frontend.shutdown();
+    println!("front-end shut down cleanly");
+}

@@ -1,0 +1,487 @@
+//! End-to-end tests of the HTTP serving front-end: the full
+//! PUT-artifact → decide-batch → telemetry story over a real loopback
+//! socket, the wire-level error contract (structured 4xx for malformed,
+//! truncated, oversized, and wrong-dimension requests — never a panic or a
+//! dropped connection without a status), and HTTP-over-a-`ShardRouter`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use vrl_benchmarks::benchmark_by_name;
+use vrl_runtime::http::{HttpConfig, HttpFrontend, MiniClient, ShieldBackend};
+use vrl_runtime::wire::Json;
+use vrl_runtime::{fixtures, Placement, ShardRouter, ShieldArtifact, ShieldServer};
+
+/// The pendulum demo deployment used throughout (the bench deployment, with
+/// a smaller oracle so debug-mode tests stay fast).
+fn pendulum_artifact(seed: u64) -> ShieldArtifact {
+    let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
+    fixtures::demo_artifact(
+        &env,
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+        &[32, 32],
+        seed,
+    )
+    .expect("dimensions agree")
+}
+
+fn sample_states(count: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
+    let safe = env.safety().safe_box().clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| safe.sample(&mut rng)).collect()
+}
+
+fn start_frontend(backend: Arc<dyn ShieldBackend>) -> HttpFrontend {
+    let config = HttpConfig {
+        max_connections: 32,
+        idle_timeout: Duration::from_millis(500),
+        ..HttpConfig::default()
+    };
+    HttpFrontend::bind("127.0.0.1:0", backend, config).expect("loopback bind succeeds")
+}
+
+fn json_f64(value: &Json) -> f64 {
+    match value {
+        Json::Num(v) => *v,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+/// Extracts `[(action, intervened)]` from a batched decide response.
+fn parse_decisions(body: &[u8]) -> Vec<(Vec<f64>, bool)> {
+    let json = Json::parse(body).expect("response is valid JSON");
+    let Some(Json::Arr(decisions)) = json.get("decisions") else {
+        panic!("missing decisions in {}", String::from_utf8_lossy(body));
+    };
+    decisions
+        .iter()
+        .map(|d| {
+            let Some(Json::Arr(action)) = d.get("action") else {
+                panic!("decision without action");
+            };
+            let Some(Json::Bool(intervened)) = d.get("intervened") else {
+                panic!("decision without intervened");
+            };
+            (action.iter().map(json_f64).collect(), *intervened)
+        })
+        .collect()
+}
+
+#[test]
+fn deploy_decide_telemetry_end_to_end() {
+    // Acceptance scenario: PUT an artifact over the wire, serve a 100-state
+    // batched decide, and pin the decisions bit-identical to calling
+    // ShieldServer::decide_batch directly on the same bytes.
+    let frontend = start_frontend(Arc::new(ShieldServer::with_workers(2)));
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    let artifact = pendulum_artifact(17);
+    let bytes = artifact.to_bytes();
+    let put = client
+        .request("PUT", "/v1/deployments/pendulum", &bytes)
+        .unwrap();
+    assert_eq!(put.status, 200, "{}", put.text());
+    let put_json = Json::parse(&put.body).unwrap();
+    assert_eq!(put_json.get("generation"), Some(&Json::Num(1.0)));
+    assert_eq!(
+        put_json.get("environment"),
+        Some(&Json::Str("pendulum".to_string()))
+    );
+
+    // 100-state batch over the wire.
+    let states = sample_states(100, 23);
+    let body = Json::Obj(vec![(
+        "states".to_string(),
+        Json::Arr(
+            states
+                .iter()
+                .map(|s| Json::Arr(s.iter().map(|&v| Json::Num(v)).collect()))
+                .collect(),
+        ),
+    )])
+    .render();
+    let response = client
+        .request("POST", "/v1/deployments/pendulum/decide", body.as_bytes())
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.text());
+    let wire_decisions = parse_decisions(&response.body);
+    assert_eq!(wire_decisions.len(), 100);
+
+    // The reference: a direct in-process server over the same bytes.
+    let direct = ShieldServer::with_workers(1);
+    direct
+        .deploy("pendulum", ShieldArtifact::from_bytes(&bytes).unwrap())
+        .unwrap();
+    let direct_decisions = direct.decide_batch("pendulum", &states).unwrap();
+    for (wire, direct) in wire_decisions.iter().zip(direct_decisions.iter()) {
+        assert_eq!(wire.1, direct.intervened);
+        assert_eq!(wire.0.len(), direct.action.len());
+        for (w, d) in wire.0.iter().zip(direct.action.iter()) {
+            assert_eq!(w.to_bits(), d.to_bits(), "actions must be bit-identical");
+        }
+    }
+
+    // Single-state shape serves the same decision as the direct scalar call.
+    let single = client
+        .request(
+            "POST",
+            "/v1/deployments/pendulum/decide",
+            format!("{{\"state\": [{}, {}]}}", states[0][0], states[0][1]).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(single.status, 200);
+    let single_json = Json::parse(&single.body).unwrap();
+    let decision = single_json.get("decision").expect("single-state framing");
+    let Some(Json::Arr(action)) = decision.get("action") else {
+        panic!("missing action");
+    };
+    for (w, d) in action.iter().zip(direct_decisions[0].action.iter()) {
+        assert_eq!(json_f64(w).to_bits(), d.to_bits());
+    }
+
+    // Telemetry: one PUT, two decide requests, 101 decisions.
+    let telemetry = client
+        .request("GET", "/v1/deployments/pendulum/telemetry", b"")
+        .unwrap();
+    assert_eq!(telemetry.status, 200);
+    let t = Json::parse(&telemetry.body).unwrap();
+    assert_eq!(t.get("requests"), Some(&Json::Num(2.0)));
+    assert_eq!(t.get("decisions"), Some(&Json::Num(101.0)));
+    assert_eq!(t.get("generation"), Some(&Json::Num(1.0)));
+
+    // healthz lists the deployment.
+    let health = client.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    let h = Json::parse(&health.body).unwrap();
+    assert_eq!(h.get("status"), Some(&Json::Str("ok".to_string())));
+    assert_eq!(
+        h.get("deployments"),
+        Some(&Json::Arr(vec![Json::Str("pendulum".to_string())]))
+    );
+
+    // A second PUT is a hot redeploy: generation 2.
+    let redeploy = client
+        .request(
+            "PUT",
+            "/v1/deployments/pendulum",
+            &pendulum_artifact(18).to_bytes(),
+        )
+        .unwrap();
+    assert_eq!(redeploy.status, 200);
+    let r = Json::parse(&redeploy.body).unwrap();
+    assert_eq!(r.get("generation"), Some(&Json::Num(2.0)));
+
+    frontend.shutdown();
+}
+
+/// Asserts one request's status and `error.code`, on a fresh connection.
+fn assert_error(
+    frontend: &HttpFrontend,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    status: u16,
+    code: &str,
+) {
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    let response = client.request(method, path, body).unwrap();
+    assert_eq!(response.status, status, "{}", response.text());
+    let json = Json::parse(&response.body).expect("error bodies are JSON");
+    let error = json.get("error").expect("structured error envelope");
+    assert_eq!(error.get("status"), Some(&Json::Num(status as f64)));
+    assert_eq!(error.get("code"), Some(&Json::Str(code.to_string())));
+    assert!(matches!(error.get("message"), Some(Json::Str(_))));
+}
+
+#[test]
+fn wire_errors_are_structured_4xx() {
+    let server = Arc::new(ShieldServer::with_workers(1));
+    server.deploy("toy", pendulum_artifact(3)).unwrap();
+    let frontend = start_frontend(server);
+    let decide = "/v1/deployments/toy/decide";
+
+    // Malformed JSON bodies.
+    assert_error(
+        &frontend,
+        "POST",
+        decide,
+        b"{not json",
+        400,
+        "malformed_json",
+    );
+    assert_error(&frontend, "POST", decide, b"", 400, "malformed_json");
+    assert_error(
+        &frontend,
+        "POST",
+        decide,
+        br#"{"states": [[0.1, 0.2"#,
+        400,
+        "malformed_json",
+    );
+    // Well-formed, wrong shape.
+    assert_error(&frontend, "POST", decide, b"{}", 400, "invalid_request");
+    assert_error(
+        &frontend,
+        "POST",
+        decide,
+        br#"{"state": "zero"}"#,
+        400,
+        "invalid_request",
+    );
+    // Oversized batch: limit is HttpConfig::default().max_batch = 8192.
+    let oversized = format!("{{\"states\": [{}]}}", vec!["[0,0]"; 8193].join(","));
+    assert_error(
+        &frontend,
+        "POST",
+        decide,
+        oversized.as_bytes(),
+        413,
+        "batch_too_large",
+    );
+    // Wrong-dimension states: understood but unservable.  (Non-finite
+    // states cannot arrive via JSON — the parser already rejects numbers
+    // that overflow f64 — so `non_finite_state` is pinned by the server's
+    // unit tests instead.)
+    assert_error(
+        &frontend,
+        "POST",
+        decide,
+        br#"{"state": [0.1, 0.2, 0.3]}"#,
+        422,
+        "dimension_mismatch",
+    );
+    assert_error(
+        &frontend,
+        "POST",
+        decide,
+        br#"{"states": [[0.1, 0.2], [0.3]]}"#,
+        422,
+        "dimension_mismatch",
+    );
+    // Unknown deployment and unknown path.
+    assert_error(
+        &frontend,
+        "POST",
+        "/v1/deployments/ghost/decide",
+        br#"{"state": [0, 0]}"#,
+        404,
+        "unknown_deployment",
+    );
+    assert_error(&frontend, "GET", "/v1/nope", b"", 404, "not_found");
+    // Wrong method on a real path.
+    assert_error(&frontend, "GET", decide, b"", 405, "method_not_allowed");
+    assert_error(
+        &frontend,
+        "POST",
+        "/v1/deployments/toy",
+        b"x",
+        405,
+        "method_not_allowed",
+    );
+    // Corrupt artifact uploads: checksum flip vs. garbage vs. truncation.
+    let mut corrupt = pendulum_artifact(4).to_bytes();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x20;
+    assert_error(
+        &frontend,
+        "PUT",
+        "/v1/deployments/toy2",
+        &corrupt,
+        422,
+        "checksum_mismatch",
+    );
+    assert_error(
+        &frontend,
+        "PUT",
+        "/v1/deployments/toy2",
+        b"not an artifact",
+        422,
+        "bad_magic",
+    );
+    let whole = pendulum_artifact(4).to_bytes();
+    assert_error(
+        &frontend,
+        "PUT",
+        "/v1/deployments/toy2",
+        &whole[..whole.len() - 10],
+        422,
+        "artifact_truncated",
+    );
+    // Dimension-incompatible hot redeploy.
+    let env = benchmark_by_name("cartpole").expect("cartpole").into_env();
+    let cartpole = fixtures::demo_artifact(
+        &env,
+        &fixtures::CARTPOLE_GAINS,
+        &fixtures::CARTPOLE_RADII,
+        &[8],
+        1,
+    )
+    .unwrap();
+    assert_error(
+        &frontend,
+        "PUT",
+        "/v1/deployments/toy",
+        &cartpole.to_bytes(),
+        409,
+        "incompatible_artifact",
+    );
+
+    frontend.shutdown();
+}
+
+#[test]
+fn http_level_framing_errors_are_clean() {
+    let frontend = start_frontend(Arc::new(ShieldServer::with_workers(1)));
+    let addr = frontend.local_addr();
+
+    let raw = |request: &[u8]| -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(request).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+        String::from_utf8_lossy(&out).into_owned()
+    };
+
+    // Truncated body: Content-Length promises more than arrives.
+    let truncated = raw(
+        b"POST /v1/deployments/toy/decide HTTP/1.1\r\ncontent-length: 400\r\n\r\n{\"state\": [",
+    );
+    assert!(truncated.starts_with("HTTP/1.1 400"), "{truncated}");
+    assert!(truncated.contains("truncated_body"), "{truncated}");
+
+    // Missing Content-Length on POST.
+    let lengthless = raw(b"POST /v1/deployments/toy/decide HTTP/1.1\r\n\r\n");
+    assert!(lengthless.starts_with("HTTP/1.1 411"), "{lengthless}");
+
+    // Chunked encoding is politely refused.
+    let chunked =
+        raw(b"POST /v1/deployments/toy/decide HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
+    assert!(chunked.starts_with("HTTP/1.1 501"), "{chunked}");
+
+    // Garbage request line.
+    let garbage = raw(b"\x01\x02\x03\r\n\r\n");
+    assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+
+    // Declared body over the configured limit.
+    let huge = raw(b"PUT /v1/deployments/toy HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n");
+    assert!(huge.starts_with("HTTP/1.1 413"), "{huge}");
+
+    frontend.shutdown();
+}
+
+#[test]
+fn frontend_serves_a_shard_router() {
+    // The same wire protocol over a sharded fleet: deployments land on
+    // their placed shards and answer identically to a direct server.
+    let router = Arc::new(ShardRouter::new(3, 1, Placement::Rendezvous));
+    let frontend = start_frontend(Arc::clone(&router) as Arc<dyn ShieldBackend>);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    let names = ["alpha", "beta", "gamma", "delta"];
+    for (i, name) in names.iter().enumerate() {
+        let response = client
+            .request(
+                "PUT",
+                &format!("/v1/deployments/{name}"),
+                &pendulum_artifact(i as u64).to_bytes(),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+    let health = client.request("GET", "/healthz", b"").unwrap();
+    let h = Json::parse(&health.body).unwrap();
+    assert_eq!(
+        h.get("deployments"),
+        Some(&Json::Arr(
+            ["alpha", "beta", "delta", "gamma"]
+                .iter()
+                .map(|n| Json::Str(n.to_string()))
+                .collect()
+        ))
+    );
+
+    let states = sample_states(40, 7);
+    let body = Json::Obj(vec![(
+        "states".to_string(),
+        Json::Arr(
+            states
+                .iter()
+                .map(|s| Json::Arr(s.iter().map(|&v| Json::Num(v)).collect()))
+                .collect(),
+        ),
+    )])
+    .render();
+    for (i, name) in names.iter().enumerate() {
+        let response = client
+            .request(
+                "POST",
+                &format!("/v1/deployments/{name}/decide"),
+                body.as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+        let wire_decisions = parse_decisions(&response.body);
+        let direct = ShieldServer::with_workers(1);
+        direct.deploy(*name, pendulum_artifact(i as u64)).unwrap();
+        let direct_decisions = direct.decide_batch(name, &states).unwrap();
+        for (wire, direct) in wire_decisions.iter().zip(direct_decisions.iter()) {
+            for (w, d) in wire.0.iter().zip(direct.action.iter()) {
+                assert_eq!(w.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    // Fleet telemetry adds up across shards even when served over HTTP.
+    let fleet = router.aggregate_telemetry();
+    assert_eq!(fleet.deployments, names.len() as u64);
+    assert_eq!(fleet.requests, names.len() as u64);
+    assert_eq!(fleet.decisions, (names.len() * states.len()) as u64);
+
+    frontend.shutdown();
+}
+
+#[test]
+fn keep_alive_and_pipelined_requests_share_a_connection() {
+    let server = Arc::new(ShieldServer::with_workers(1));
+    server.deploy("toy", pendulum_artifact(9)).unwrap();
+    let frontend = start_frontend(server);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    // Many requests over one connection.
+    for i in 0..20 {
+        let x = (i as f64) / 100.0;
+        let response = client
+            .request(
+                "POST",
+                "/v1/deployments/toy/decide",
+                format!("{{\"state\": [{x}, 0.0]}}").as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+    }
+    // Two requests written back-to-back before reading either response.
+    let mut stream = TcpStream::connect(frontend.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let one = b"GET /healthz HTTP/1.1\r\ncontent-length: 0\r\n\r\n";
+    let mut two = Vec::new();
+    two.extend_from_slice(one);
+    two.extend_from_slice(
+        b"GET /v1/deployments/toy/telemetry HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+    );
+    stream.write_all(&two).unwrap();
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).unwrap();
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+    frontend.shutdown();
+}
