@@ -116,6 +116,74 @@ fn bench_deployment(c: &mut Criterion, name: &str, gains: &[f64], radii: &[f64])
     group.finish();
 }
 
+/// Measures what the observability instrumentation costs on the serving
+/// hot path: the same pendulum `decide_batch` workload with the
+/// [`vrl_obs::enabled`] gate on (the default) vs. off.  The per-request
+/// recording is one histogram observation plus three relaxed counter adds
+/// (see `vrl-runtime`'s `telemetry` module), and the acceptance bar is
+/// < 2 % overhead with the gate on; the measured pair merges into
+/// `BENCH_eval.json` under `observability_overhead`.
+fn bench_observability_overhead(c: &mut Criterion) {
+    let artifact = deployment_artifact(
+        "pendulum",
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+        17,
+    );
+    let states = sample_batch(artifact.shield().env(), BATCH, 23);
+    let server = ShieldServer::with_workers(4);
+    server.deploy("pendulum", artifact).unwrap();
+
+    let mut group = c.benchmark_group("serve_throughput/observability");
+    group.sample_size(10);
+    for (label, enabled) in [("obs_on", true), ("obs_off", false)] {
+        vrl_obs::set_enabled(enabled);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let decisions = server.decide_batch("pendulum", &states).unwrap();
+                assert_eq!(decisions.len(), BATCH);
+                decisions
+            })
+        });
+    }
+    group.finish();
+
+    // Sustained decisions/sec for BENCH_eval.json, ~2 s of wall clock per
+    // side with a warm-up round each.
+    let timed = |enabled: bool| -> f64 {
+        vrl_obs::set_enabled(enabled);
+        let _ = server.decide_batch("pendulum", &states).unwrap();
+        let start = Instant::now();
+        let mut decisions = 0u64;
+        while start.elapsed().as_secs_f64() < 2.0 {
+            decisions += server.decide_batch("pendulum", &states).unwrap().len() as u64;
+        }
+        decisions as f64 / start.elapsed().as_secs_f64()
+    };
+    let off_per_sec = timed(false);
+    let on_per_sec = timed(true);
+    vrl_obs::set_enabled(true);
+    let overhead_pct = 100.0 * (1.0 - on_per_sec / off_per_sec);
+    println!(
+        "  -> observability overhead (pendulum x4 workers, batch {BATCH}): \
+         {on_per_sec:.0} decisions/sec instrumented vs {off_per_sec:.0} gated off \
+         ({overhead_pct:+.2}% overhead)"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    vrl_bench::upsert_bench_sections(
+        path,
+        &[(
+            "observability_overhead",
+            format!(
+                "{{\n    \"batch_size\": {BATCH},\n    \"decisions_per_sec_obs_on\": {on_per_sec:.0},\n    \"decisions_per_sec_obs_off\": {off_per_sec:.0},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}"
+            ),
+        )],
+    )
+    .expect("BENCH_eval.json must be writable");
+    println!("  -> wrote {path}");
+}
+
 fn bench_serve_throughput(c: &mut Criterion) {
     bench_deployment(
         c,
@@ -129,6 +197,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
         &fixtures::CARTPOLE_GAINS,
         &fixtures::CARTPOLE_RADII,
     );
+    bench_observability_overhead(c);
 }
 
 criterion_group!(benches, bench_serve_throughput);

@@ -1,0 +1,396 @@
+//! Metric instruments: counters, gauges, and log-bucket histograms.
+//!
+//! Every instrument is a plain struct of [`AtomicU64`] words updated with
+//! `Relaxed` ordering — no locks, no allocation, no fences on the hot
+//! path.  `Relaxed` is sufficient because metrics are *statistical*
+//! reads: a scrape observes each word atomically but makes no cross-word
+//! consistency claim (a histogram's `sum` may momentarily run ahead of
+//! its `count` by one in-flight observation), which is exactly the
+//! contract of every production metrics pipeline.
+//!
+//! Instruments are handed out as `&'static` references by the
+//! [`Registry`](crate::Registry) so call sites can cache them in a
+//! `LazyLock` and pay one relaxed RMW per event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Duration;
+
+/// Number of finite latency buckets in a [`Histogram`]: powers of two
+/// from 2 ns (`le = 2^1` ns) up to 2^40 ns ≈ 18 minutes.  Anything
+/// slower lands in the implicit `+Inf` bucket.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+///
+/// # Examples
+///
+/// ```
+/// let c = vrl_obs::Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an `f64` that can move in both directions.
+///
+/// Stored as the bit pattern of the float in an [`AtomicU64`]; [`add`]
+/// uses a compare-exchange loop (gauges are not hot-path instruments).
+///
+/// [`add`]: Gauge::add
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (which may be negative) to the gauge.
+    pub fn add(&self, v: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Subtracts `v` from the gauge.
+    #[inline]
+    pub fn sub(&self, v: f64) {
+        self.add(-v);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-log-bucket latency histogram over nanosecond observations.
+///
+/// Bucket `k` (0-based) counts observations with
+/// `2^k < ns ≤ 2^(k+1)` (bucket 0 also absorbs `ns ≤ 1`), so the
+/// Prometheus `le` upper bound of bucket `k` is exactly `2^(k+1)` ns and
+/// the cumulative-bucket invariant holds without boundary slop.  The
+/// bucket index is one `leading_zeros` instruction — cheap enough for
+/// the decide hot path.
+///
+/// # Examples
+///
+/// ```
+/// let h = vrl_obs::Histogram::new();
+/// h.observe_ns(800);        // ~0.8 µs
+/// h.observe_ns(1_500_000);  // 1.5 ms
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.sum_ns(), 1_500_800);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    /// `HISTOGRAM_BUCKETS` finite buckets plus one overflow (`+Inf`).
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket counting `ns`: the smallest `k` with
+    /// `ns ≤ 2^(k+1)`, saturating into the overflow bucket.
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        if ns <= 2 {
+            0
+        } else {
+            ((63 - (ns - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS)
+        }
+    }
+
+    /// Upper bound (inclusive, in nanoseconds) of finite bucket `k`.
+    #[inline]
+    pub fn bucket_upper_ns(k: usize) -> u64 {
+        1u64 << (k + 1)
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed nanoseconds.
+    #[inline]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (finite buckets then the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper-bound estimate (in nanoseconds) of quantile `q ∈ [0, 1]`:
+    /// the upper edge of the first bucket whose cumulative count reaches
+    /// `ceil(q · count)`.  Returns `None` when empty.  Log buckets make
+    /// this exact to within a factor of two — a scrape-side sanity check
+    /// for the windowed nearest-rank estimator in `vrl-runtime`, not a
+    /// replacement for it.
+    pub fn approx_quantile_ns(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (k, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(if k < HISTOGRAM_BUCKETS {
+                    Self::bucket_upper_ns(k)
+                } else {
+                    u64::MAX
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// A family of [`Counter`]s keyed by one label value (e.g. HTTP status
+/// code, shard name).
+///
+/// Label values are interned on first sight behind an [`RwLock`]; the
+/// returned handle is `&'static`, so steady-state call sites take one
+/// read lock (or none, if they cache the handle).
+///
+/// # Examples
+///
+/// ```
+/// let family = vrl_obs::CounterVec::new("status");
+/// family.with("200").inc();
+/// family.with("200").inc();
+/// family.with("503").inc();
+/// assert_eq!(family.get("200"), 2);
+/// assert_eq!(family.get("404"), 0);
+/// ```
+#[derive(Debug)]
+pub struct CounterVec {
+    label: &'static str,
+    children: RwLock<Vec<(String, &'static Counter)>>,
+}
+
+impl CounterVec {
+    /// Creates an empty family whose children carry the label `label`.
+    pub fn new(label: &'static str) -> Self {
+        CounterVec {
+            label,
+            children: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The label name shared by every child.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Returns the child counter for `value`, creating it on first use.
+    pub fn with(&self, value: &str) -> &'static Counter {
+        {
+            let children = self.children.read().expect("counter family poisoned");
+            if let Some((_, counter)) = children.iter().find(|(v, _)| v == value) {
+                return counter;
+            }
+        }
+        let mut children = self.children.write().expect("counter family poisoned");
+        if let Some((_, counter)) = children.iter().find(|(v, _)| v == value) {
+            return counter;
+        }
+        let counter: &'static Counter = Box::leak(Box::new(Counter::new()));
+        children.push((value.to_owned(), counter));
+        counter
+    }
+
+    /// Current value of the child for `value` (zero if never touched).
+    pub fn get(&self, value: &str) -> u64 {
+        let children = self.children.read().expect("counter family poisoned");
+        children
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, c)| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of `(label value, count)` pairs sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let children = self.children.read().expect("counter family poisoned");
+        let mut out: Vec<(String, u64)> =
+            children.iter().map(|(v, c)| (v.clone(), c.get())).collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(1.0);
+        g.sub(0.5);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Bucket k covers (2^k, 2^(k+1)]; the upper edge is inclusive.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 0);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 1);
+        assert_eq!(Histogram::bucket_index(5), 2);
+        for k in 0..HISTOGRAM_BUCKETS {
+            let upper = Histogram::bucket_upper_ns(k);
+            assert_eq!(Histogram::bucket_index(upper), k, "le bound is inclusive");
+            assert_eq!(Histogram::bucket_index(upper + 1), k + 1);
+        }
+        // Beyond the last finite bucket: overflow.
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_cumulative_invariant() {
+        let h = Histogram::new();
+        for ns in [1u64, 2, 3, 1000, 1 << 20, u64::MAX] {
+            h.observe_ns(ns);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(h.count(), 6);
+        // Cumulative counts are monotone by construction.
+        let mut cumulative = 0;
+        for c in counts {
+            cumulative += c;
+        }
+        assert_eq!(cumulative, 6);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let h = Histogram::new();
+        assert_eq!(h.approx_quantile_ns(0.5), None);
+        for _ in 0..99 {
+            h.observe_ns(100);
+        }
+        h.observe_ns(1_000_000);
+        let p50 = h.approx_quantile_ns(0.5).unwrap();
+        assert!(
+            (100..=200).contains(&p50),
+            "p50 within a factor of 2: {p50}"
+        );
+        let p995 = h.approx_quantile_ns(0.995).unwrap();
+        assert!(p995 >= 1_000_000, "tail quantile sees the slow sample");
+    }
+
+    #[test]
+    fn counter_vec_interns_children() {
+        let family = CounterVec::new("status");
+        let a = family.with("200");
+        let b = family.with("200");
+        assert!(std::ptr::eq(a, b));
+        family.with("503").add(3);
+        assert_eq!(
+            family.snapshot(),
+            vec![("200".to_owned(), 0), ("503".to_owned(), 3)]
+        );
+    }
+}

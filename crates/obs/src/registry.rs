@@ -1,0 +1,347 @@
+//! The process-wide metric registry and its Prometheus text renderer.
+//!
+//! Instruments are registered once by name and handed out as `&'static`
+//! references (backed by `Box::leak`), so a call site can hold the
+//! handle in a `LazyLock` and pay a single relaxed atomic RMW per event
+//! with no registry involvement.  Registration takes a mutex; it happens
+//! a handful of times per process, never on a hot path.
+//!
+//! [`Registry::render_prometheus`] produces the Prometheus text
+//! exposition format (version 0.0.4): `# HELP` / `# TYPE` headers
+//! followed by one sample line per series, with histogram buckets as
+//! cumulative `_bucket{le="…"}` series plus `_sum` / `_count`.
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, CounterVec, Gauge, Histogram, HISTOGRAM_BUCKETS};
+
+/// One registered instrument (see [`Registry`]).
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+    CounterVec(&'static CounterVec),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) | Instrument::CounterVec(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A named collection of metric instruments.
+///
+/// Normally used through the process-wide instance returned by
+/// [`registry`]; independent instances exist only for tests.
+/// Registration is idempotent: asking for an existing name of the same
+/// kind returns the original handle, and asking for an existing name of
+/// a *different* kind panics (a programming error, not a runtime
+/// condition).
+///
+/// # Examples
+///
+/// ```
+/// let reg = vrl_obs::Registry::new();
+/// let hits = reg.counter("demo_hits_total", "Demo counter.");
+/// hits.add(3);
+/// assert!(reg.render_prometheus().contains("demo_hits_total 3"));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// Asserts `name` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).  All names are compiled into this
+/// workspace, so a violation is a bug worth failing loudly on.
+fn assert_valid_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        .unwrap_or(false);
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        reuse: impl Fn(&Instrument) -> Option<&'static T>,
+        fresh: impl FnOnce() -> (&'static T, Instrument),
+    ) -> &'static T {
+        assert_valid_name(name);
+        let mut entries = self.entries.lock().expect("metric registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            return reuse(&entry.instrument).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    entry.instrument.kind()
+                )
+            });
+        }
+        let (handle, instrument) = fresh();
+        entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            instrument,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> &'static Counter {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Counter(c) => Some(*c),
+                _ => None,
+            },
+            || {
+                let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+                (c, Instrument::Counter(c))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> &'static Gauge {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Gauge(g) => Some(*g),
+                _ => None,
+            },
+            || {
+                let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+                (g, Instrument::Gauge(g))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the nanosecond latency histogram `name`
+    /// (rendered in seconds, per Prometheus base-unit convention).
+    pub fn histogram(&self, name: &str, help: &str) -> &'static Histogram {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::Histogram(h) => Some(*h),
+                _ => None,
+            },
+            || {
+                let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+                (h, Instrument::Histogram(h))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) the labeled counter family `name` whose
+    /// children carry the label `label`.
+    pub fn counter_vec(&self, name: &str, label: &'static str, help: &str) -> &'static CounterVec {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::CounterVec(v) => Some(*v),
+                _ => None,
+            },
+            || {
+                let v: &'static CounterVec = Box::leak(Box::new(CounterVec::new(label)));
+                (v, Instrument::CounterVec(v))
+            },
+        )
+    }
+
+    /// Number of registered metric families.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("metric registry poisoned").len()
+    }
+
+    /// Returns true when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every registered family in the Prometheus text exposition
+    /// format, families sorted by name for a stable scrape.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| entries[a].name.cmp(&entries[b].name));
+        let mut out = String::new();
+        for idx in order {
+            let entry = &entries[idx];
+            let name = &entry.name;
+            let _ = writeln!(out, "# HELP {} {}", name, escape_help(&entry.help));
+            let _ = writeln!(out, "# TYPE {} {}", name, entry.instrument.kind());
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", name, c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", name, fmt_f64(g.get()));
+                }
+                Instrument::CounterVec(v) => {
+                    for (value, count) in v.snapshot() {
+                        let _ = writeln!(
+                            out,
+                            "{}{{{}=\"{}\"}} {}",
+                            name,
+                            v.label(),
+                            escape_label_value(&value),
+                            count
+                        );
+                    }
+                }
+                Instrument::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (k, count) in counts.iter().take(HISTOGRAM_BUCKETS).enumerate() {
+                        cumulative += count;
+                        let le = Histogram::bucket_upper_ns(k) as f64 / 1e9;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            name,
+                            fmt_f64(le),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", name, h.count());
+                    let _ = writeln!(out, "{}_sum {}", name, fmt_f64(h.sum_ns() as f64 / 1e9));
+                    let _ = writeln!(out, "{}_count {}", name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders an `f64` sample value: Rust's shortest round-trip `Display`
+/// form, with the Prometheus spellings for non-finite values.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a `# HELP` line body (`\` and newline, per the format spec).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (`\`, `"`, and newline, per the format spec).
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// The process-wide registry every subsystem registers into and
+/// `GET /metrics` scrapes from.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("test_total", "A test counter.");
+        let b = reg.counter("test_total", "different help is ignored");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("test_total", "counter");
+        let _ = reg.gauge("test_total", "now a gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_rejected() {
+        let _ = Registry::new().counter("bad-name", "dashes are not allowed");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = Registry::new();
+        reg.counter("zz_total", "Last alphabetically.").add(7);
+        reg.gauge("aa_level", "First alphabetically.").set(1.5);
+        let family = reg.counter_vec("mid_total", "status", "Labeled.");
+        family.with("200").add(2);
+        family.with("he\"llo\\x").inc();
+        let text = reg.render_prometheus();
+        // Families sorted by name; HELP/TYPE precede samples.
+        let aa = text.find("# HELP aa_level").unwrap();
+        let mid = text.find("# HELP mid_total").unwrap();
+        let zz = text.find("# HELP zz_total").unwrap();
+        assert!(aa < mid && mid < zz);
+        assert!(text.contains("# TYPE aa_level gauge\naa_level 1.5\n"));
+        assert!(text.contains("# TYPE zz_total counter\nzz_total 7\n"));
+        assert!(text.contains("mid_total{status=\"200\"} 2\n"));
+        assert!(text.contains("mid_total{status=\"he\\\"llo\\\\x\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_rendering_is_cumulative_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", "Latency.");
+        h.observe_ns(3); // bucket 1 (le 4 ns)
+        h.observe_ns(3);
+        h.observe_ns(1_000); // bucket 9 (le 1024 ns)
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        // le values are in seconds; cumulative counts are monotone.
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000000004\"} 2\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000001024\"} 3\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_count 3\n"));
+        assert!(text.contains("lat_seconds_sum 0.000001006\n"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = registry() as *const Registry;
+        let b = registry() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

@@ -19,13 +19,23 @@
 //! | `POST /v1/deployments/{name}/decide` | Decide one state or a batch (JSON body, see [`crate::wire`]) |
 //! | `PUT /v1/deployments/{name}` | Upload a checksummed [`ShieldArtifact`] (raw binary body) for deploy / hot redeploy |
 //! | `GET /v1/deployments/{name}/telemetry` | Per-deployment serving telemetry |
-//! | `GET /healthz` | Liveness plus the deployment list |
+//! | `GET /healthz` | Liveness: uptime plus per-deployment generations |
+//! | `GET /metrics` | Prometheus text exposition of the process-wide [`vrl_obs`] registry |
 //!
 //! Both single-state and batched decide bodies are routed through the
 //! backend's `decide_batch`, so the lane-batched evaluation kernels carry
 //! all HTTP traffic.  Error responses always carry the structured JSON body
 //! of [`wire::error_body`]; the status mapping is documented on
 //! [`error_status`] and in the README's wire-protocol reference.
+//!
+//! # Request ids
+//!
+//! Every response carries an `x-request-id` header: the client's value when
+//! the request supplied one (up to 128 printable-ASCII bytes; anything else
+//! is treated as absent), a generated `req-<16 hex>` otherwise.  The same id
+//! tags the request's trace span ([`vrl_obs::request_span`]) and the
+//! `request_id` field of every JSON error envelope, so a failing response
+//! can be joined to its span record without any shared clock.
 //!
 //! # Backends
 //!
@@ -42,7 +52,7 @@ use crate::telemetry::DeploymentTelemetry;
 use crate::wire::{self, WireError};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -72,6 +82,12 @@ pub trait ShieldBackend: Send + Sync + 'static {
 
     /// Names of all current deployments, sorted.
     fn deployment_names(&self) -> Vec<String>;
+
+    /// `(name, generation)` for every current deployment, sorted by name —
+    /// what `GET /healthz` reports.  A deployment undeployed between the
+    /// name listing and the generation lookup is skipped rather than
+    /// erroring the whole health probe.
+    fn deployment_generations(&self) -> Vec<(String, u64)>;
 }
 
 impl ShieldBackend for ShieldServer {
@@ -94,6 +110,16 @@ impl ShieldBackend for ShieldServer {
     fn deployment_names(&self) -> Vec<String> {
         self.deployments()
     }
+
+    fn deployment_generations(&self) -> Vec<(String, u64)> {
+        self.deployments()
+            .into_iter()
+            .filter_map(|name| {
+                let generation = self.generation(&name).ok()?;
+                Some((name, generation))
+            })
+            .collect()
+    }
 }
 
 impl ShieldBackend for ShardRouter {
@@ -115,6 +141,16 @@ impl ShieldBackend for ShardRouter {
 
     fn deployment_names(&self) -> Vec<String> {
         self.deployments()
+    }
+
+    fn deployment_generations(&self) -> Vec<(String, u64)> {
+        self.deployments()
+            .into_iter()
+            .filter_map(|name| {
+                let generation = self.generation(&name).ok()?;
+                Some((name, generation))
+            })
+            .collect()
     }
 }
 
@@ -176,6 +212,9 @@ impl HttpFrontend {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Register the full cross-layer metric catalog up front so the
+        // first `GET /metrics` scrape sees every series at zero.
+        crate::obs::install_metrics();
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
             let stop = Arc::clone(&stop);
@@ -240,6 +279,7 @@ fn accept_loop(
         let Ok(mut stream) = stream else { continue };
         handles.retain(|handle| !handle.is_finished());
         if active.load(Ordering::SeqCst) >= config.max_connections {
+            let request_id = generate_request_id();
             let response = Response::error(
                 503,
                 "overloaded",
@@ -247,8 +287,11 @@ fn accept_loop(
                     "all {} connection slots are busy; retry shortly",
                     config.max_connections
                 ),
+                &request_id,
             );
-            let _ = write_response(&mut stream, &response, true);
+            crate::obs::http_overload().inc();
+            crate::obs::http_requests().with("503").inc();
+            let _ = write_response(&mut stream, &response, true, &request_id);
             continue;
         }
         active.fetch_add(1, Ordering::SeqCst);
@@ -286,6 +329,7 @@ fn serve_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.idle_timeout));
+    crate::obs::http_active_connections().add(1.0);
     let mut buffer: Vec<u8> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -294,8 +338,18 @@ fn serve_connection(
         match read_request(&mut stream, &mut buffer, config) {
             Ok(Some(request)) => {
                 let close = request.close;
-                let response = dispatch(&request, backend, config);
-                if write_response(&mut stream, &response, close).is_err() || close {
+                let request_id = request
+                    .request_id
+                    .clone()
+                    .unwrap_or_else(generate_request_id);
+                let response = {
+                    let _span = vrl_obs::request_span("http.request", &request_id);
+                    dispatch(&request, backend, config, &request_id)
+                };
+                crate::obs::http_requests()
+                    .with(&response.status.to_string())
+                    .inc();
+                if write_response(&mut stream, &response, close, &request_id).is_err() || close {
                     break;
                 }
             }
@@ -303,17 +357,49 @@ fn serve_connection(
             // requests).
             Ok(None) => break,
             Err(reject) => {
-                let body = wire::error_body(reject.status, reject.code, &reject.message);
+                let request_id = generate_request_id();
+                let body =
+                    wire::error_body(reject.status, reject.code, &reject.message, &request_id);
                 let response = Response {
                     status: reject.status,
                     body,
+                    content_type: CONTENT_TYPE_JSON,
                 };
-                let _ = write_response(&mut stream, &response, true);
+                crate::obs::http_requests()
+                    .with(&reject.status.to_string())
+                    .inc();
+                let _ = write_response(&mut stream, &response, true, &request_id);
                 break;
             }
         }
     }
+    crate::obs::http_active_connections().sub(1.0);
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// A fresh `req-<16 hex>` id for a request that did not supply one (or a
+/// connection rejected before a request could be framed).  The id hashes a
+/// wall-clock timestamp with a process-wide sequence number, so ids are
+/// unique within a process and almost surely across a fleet.
+fn generate_request_id() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let sequence = NEXT.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&nanos.to_le_bytes());
+    key[8..].copy_from_slice(&sequence.to_le_bytes());
+    format!("req-{:016x}", crate::codec::fnv1a64(&key))
+}
+
+/// A client-supplied request id is honored only when it is non-empty,
+/// at most 128 bytes, and printable ASCII (no spaces or controls) — it is
+/// echoed into a response header and JSON error envelopes, so anything
+/// else is treated as absent rather than reflected.
+fn valid_request_id(value: &str) -> bool {
+    !value.is_empty() && value.len() <= 128 && value.bytes().all(|b| (0x21..=0x7e).contains(&b))
 }
 
 struct Request {
@@ -322,6 +408,8 @@ struct Request {
     segments: Vec<String>,
     body: Vec<u8>,
     close: bool,
+    /// The client's `x-request-id` header, when present and valid.
+    request_id: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -434,6 +522,7 @@ fn read_request(
     let mut has_length = false;
     let mut close = version == "HTTP/1.0";
     let mut expects_continue = false;
+    let mut request_id: Option<String> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -470,6 +559,8 @@ fn read_request(
         } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
         {
             expects_continue = true;
+        } else if name.eq_ignore_ascii_case("x-request-id") && valid_request_id(value) {
+            request_id = Some(value.to_string());
         }
     }
 
@@ -549,6 +640,7 @@ fn read_request(
         segments,
         body,
         close,
+        request_id,
     }))
 }
 
@@ -559,20 +651,39 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
         .map(|pos| pos + 4)
 }
 
+/// JSON content type of every endpoint except the Prometheus scrape.
+const CONTENT_TYPE_JSON: &str = "application/json";
+/// Prometheus text exposition format version served by `GET /metrics`.
+const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 struct Response {
     status: u16,
     body: String,
+    content_type: &'static str,
 }
 
 impl Response {
     fn ok(body: String) -> Self {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            content_type: CONTENT_TYPE_JSON,
+        }
     }
 
-    fn error(status: u16, code: &str, message: &str) -> Self {
+    fn ok_with_type(body: String, content_type: &'static str) -> Self {
+        Response {
+            status: 200,
+            body,
+            content_type,
+        }
+    }
+
+    fn error(status: u16, code: &str, message: &str, request_id: &str) -> Self {
         Response {
             status,
-            body: wire::error_body(status, code, message),
+            body: wire::error_body(status, code, message, request_id),
+            content_type: CONTENT_TYPE_JSON,
         }
     }
 }
@@ -597,11 +708,18 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    close: bool,
+    request_id: &str,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nx-request-id: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
+        request_id,
         response.body.len(),
         if close { "close" } else { "keep-alive" },
     );
@@ -647,47 +765,60 @@ fn serve_error_code(error: &ServeError) -> &'static str {
     }
 }
 
-fn wire_error_response(error: &WireError) -> Response {
+fn wire_error_response(error: &WireError, request_id: &str) -> Response {
     match error {
         WireError::Syntax { .. } | WireError::TooDeep { .. } => {
-            Response::error(400, "malformed_json", &error.to_string())
+            Response::error(400, "malformed_json", &error.to_string(), request_id)
         }
-        WireError::Schema(_) => Response::error(400, "invalid_request", &error.to_string()),
+        WireError::Schema(_) => {
+            Response::error(400, "invalid_request", &error.to_string(), request_id)
+        }
         WireError::BatchTooLarge { .. } => {
-            Response::error(413, "batch_too_large", &error.to_string())
+            Response::error(413, "batch_too_large", &error.to_string(), request_id)
         }
     }
 }
 
-fn serve_error_response(error: &ServeError) -> Response {
+fn serve_error_response(error: &ServeError, request_id: &str) -> Response {
     Response::error(
         error_status(error),
         serve_error_code(error),
         &error.to_string(),
+        request_id,
     )
 }
 
-fn dispatch(request: &Request, backend: &dyn ShieldBackend, config: &HttpConfig) -> Response {
+fn dispatch(
+    request: &Request,
+    backend: &dyn ShieldBackend,
+    config: &HttpConfig,
+    request_id: &str,
+) -> Response {
     let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
     match (request.method, segments.as_slice()) {
-        (Method::Get, ["healthz"]) => {
-            Response::ok(wire::health_response(&backend.deployment_names()))
-        }
+        (Method::Get, ["healthz"]) => Response::ok(wire::health_response(
+            &backend.deployment_generations(),
+            vrl_obs::uptime_seconds(),
+        )),
+        (Method::Get, ["metrics"]) => Response::ok_with_type(
+            vrl_obs::registry().render_prometheus(),
+            CONTENT_TYPE_PROMETHEUS,
+        ),
         (Method::Post, ["v1", "deployments", name, "decide"]) => {
             let decide = match wire::decode_decide_request(&request.body, config.max_batch) {
                 Ok(decide) => decide,
-                Err(e) => return wire_error_response(&e),
+                Err(e) => return wire_error_response(&e, request_id),
             };
             match backend.decide_batch(name, &decide.states) {
                 Ok(decisions) if !decide.batched && decisions.is_empty() => {
                     // Unreachable ("state" always carries one state), but
                     // never index into an empty decision list.
-                    Response::error(500, "internal", "empty decision list")
+                    Response::error(500, "internal", "empty decision list", request_id)
                 }
                 Ok(decisions) => {
                     Response::ok(wire::decide_response(name, &decisions, decide.batched))
                 }
-                Err(e) => serve_error_response(&e),
+                Err(e) => serve_error_response(&e, request_id),
             }
         }
         (Method::Put, ["v1", "deployments", name]) => {
@@ -695,30 +826,32 @@ fn dispatch(request: &Request, backend: &dyn ShieldBackend, config: &HttpConfig)
                 Ok(artifact) => artifact,
                 Err(e) => {
                     let e = ServeError::Artifact(e);
-                    return serve_error_response(&e);
+                    return serve_error_response(&e, request_id);
                 }
             };
             let meta = artifact.metadata();
             match backend.put_artifact(name, artifact) {
                 Ok(generation) => Response::ok(wire::deployed_response(name, generation, &meta)),
-                Err(e) => serve_error_response(&e),
+                Err(e) => serve_error_response(&e, request_id),
             }
         }
         (Method::Get, ["v1", "deployments", name, "telemetry"]) => {
             match backend.backend_telemetry(name) {
                 Ok(telemetry) => Response::ok(wire::telemetry_response(&telemetry)),
-                Err(e) => serve_error_response(&e),
+                Err(e) => serve_error_response(&e, request_id),
             }
         }
         _ if known_path_wrong_method(request.method, &segments) => Response::error(
             405,
             "method_not_allowed",
             "this path exists but not for this method",
+            request_id,
         ),
         _ => Response::error(
             404,
             "not_found",
             "unknown path; see the wire-protocol reference",
+            request_id,
         ),
     }
 }
@@ -728,6 +861,7 @@ fn dispatch(request: &Request, backend: &dyn ShieldBackend, config: &HttpConfig)
 fn known_path_wrong_method(method: Method, segments: &[&str]) -> bool {
     match segments {
         ["healthz"] => method != Method::Get,
+        ["metrics"] => method != Method::Get,
         ["v1", "deployments", _] => method != Method::Put,
         ["v1", "deployments", _, "decide"] => method != Method::Post,
         ["v1", "deployments", _, "telemetry"] => method != Method::Get,
@@ -752,6 +886,8 @@ pub struct MiniClient {
 pub struct MiniResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -760,6 +896,14 @@ impl MiniResponse {
     /// The body as UTF-8 (all front-end responses are JSON).
     pub fn text(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.body)
+    }
+
+    /// The first header named `name` (ASCII case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -788,10 +932,33 @@ impl MiniClient {
         path: &str,
         body: &[u8],
     ) -> std::io::Result<MiniResponse> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: vrl\r\ncontent-length: {}\r\n\r\n",
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// Sends one request with extra headers (e.g. `x-request-id`) and reads
+    /// the full response.
+    ///
+    /// # Errors
+    ///
+    /// As [`MiniClient::request`].
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<MiniResponse> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: vrl\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;
@@ -822,13 +989,17 @@ impl MiniClient {
             .ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
             })?;
-        let content_length: usize = head
+        let headers: Vec<(String, String)> = head
             .lines()
-            .find_map(|line| {
+            .skip(1)
+            .filter_map(|line| {
                 let (name, value) = line.split_once(':')?;
-                name.eq_ignore_ascii_case("content-length")
-                    .then(|| value.trim().parse().ok())?
+                Some((name.to_ascii_lowercase(), value.trim().to_string()))
             })
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find_map(|(name, value)| (name == "content-length").then(|| value.parse().ok())?)
             .ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
             })?;
@@ -845,6 +1016,10 @@ impl MiniClient {
             body.extend_from_slice(&chunk[..n]);
         }
         body.truncate(content_length);
-        Ok(MiniResponse { status, body })
+        Ok(MiniResponse {
+            status,
+            headers,
+            body,
+        })
     }
 }

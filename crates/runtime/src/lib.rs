@@ -18,10 +18,11 @@
 //!   [`ShieldServer::resynthesize_and_redeploy`] re-synthesizes a shield
 //!   for a *changed* environment against the deployment's existing oracle
 //!   and swaps it in atomically, with zero downtime and no retraining.
-//! * **Networked serving** — [`http::HttpFrontend`] puts the four-endpoint
+//! * **Networked serving** — [`http::HttpFrontend`] puts the five-endpoint
 //!   HTTP/1.1 wire protocol (decide / telemetry / artifact `PUT` /
-//!   `healthz`) in front of any [`http::ShieldBackend`], using only the
-//!   standard library (see the README's wire-protocol reference).
+//!   `healthz` / Prometheus `metrics`) in front of any
+//!   [`http::ShieldBackend`], using only the standard library (see the
+//!   README's wire-protocol reference).
 //! * **Sharding** — [`ShardRouter`] consistent-hashes deployments across
 //!   backend shield servers (rendezvous or jump placement), rehydrates
 //!   moved deployments from artifact bytes when the fleet grows, and
@@ -69,6 +70,7 @@ mod artifact;
 mod codec;
 pub mod fixtures;
 pub mod http;
+mod obs;
 mod pool;
 mod router;
 mod server;
@@ -78,6 +80,7 @@ pub mod wire;
 pub use artifact::{ArtifactError, ArtifactMetadata, ShieldArtifact, FORMAT_VERSION, MAGIC};
 pub use codec::DecodeError;
 pub use http::{HttpConfig, HttpFrontend, MiniClient, MiniResponse, ShieldBackend};
+pub use obs::install_metrics;
 pub use pool::WorkerPool;
 pub use router::{jump_consistent_hash, Placement, RouterTelemetry, ShardRouter, ShardTelemetry};
 pub use server::{ServeError, ShieldServer};

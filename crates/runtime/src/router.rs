@@ -275,12 +275,18 @@ impl ShardRouter {
         op: impl Fn(&ShieldServer) -> Result<T, ServeError>,
     ) -> Result<T, ServeError> {
         let (shard, server) = self.owning_shard(name);
+        crate::obs::router_shard_requests()
+            .with(&shard.to_string())
+            .inc();
         match op(&server) {
             Err(miss @ ServeError::UnknownDeployment(_)) => {
                 let (new_shard, new_server) = self.owning_shard(name);
                 if new_shard == shard {
                     Err(miss)
                 } else {
+                    crate::obs::router_shard_requests()
+                        .with(&new_shard.to_string())
+                        .inc();
                     op(&new_server)
                 }
             }
@@ -317,6 +323,16 @@ impl ShardRouter {
     /// [`ServeError::UnknownDeployment`] when no shard serves `name`.
     pub fn telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
         self.with_owner(name, |shard| shard.telemetry(name))
+    }
+
+    /// The artifact generation serving a deployment, from its owning shard
+    /// (what `GET /healthz` reports per deployment).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDeployment`] when no shard serves `name`.
+    pub fn generation(&self, name: &str) -> Result<u64, ServeError> {
+        self.with_owner(name, |shard| shard.generation(name))
     }
 
     /// Fleet-wide telemetry: each shard's per-deployment counters summed,
@@ -389,6 +405,7 @@ impl ShardRouter {
                 .deploy_or_redeploy(&name, artifact)
                 .expect("a fresh shard accepts any valid artifact");
             state.shards[old_shard].undeploy(&name);
+            crate::obs::router_rehydrations().inc();
             moved.push(name);
         }
         moved.sort();

@@ -29,6 +29,16 @@
 //! The unit tests pin this contract on known latency sequences; the batch
 //! vs. sequential metering test proves both decide paths feed the same
 //! distribution.
+//!
+//! # Backing histogram
+//!
+//! The identical per-decision samples are mirrored into the process-wide
+//! `vrl_runtime_decide_latency_seconds` log-bucket histogram
+//! (`vrl_obs`), exposed at `GET /metrics` — so an external scraper sees
+//! the *lifetime* latency distribution while the JSON telemetry endpoint
+//! reports the windowed nearest-rank view above.  The two estimators
+//! agree to within one power-of-two bucket by construction; mirroring is
+//! gated on [`vrl_obs::enabled`] and never alters the recorded sample.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -92,6 +102,15 @@ impl StatsRecorder {
         } else {
             (elapsed.as_nanos() / decisions as u128) as u64
         };
+        // Mirror the same sample into the process-wide registry (the
+        // histogram backing `vrl_runtime_decide_latency_seconds`); gated
+        // so the serve_throughput bench can measure the overhead.
+        if vrl_obs::enabled() {
+            crate::obs::requests().inc();
+            crate::obs::decisions().add(decisions);
+            crate::obs::interventions().add(interventions);
+            crate::obs::decide_latency().observe_ns(per_decision);
+        }
         let mut ring = self.latencies.lock().expect("latency lock never poisoned");
         if ring.nanos.len() < LATENCY_WINDOW {
             ring.nanos.push(per_decision);
@@ -105,6 +124,7 @@ impl StatsRecorder {
 
     pub(crate) fn record_redeploy(&self) {
         self.redeploys.fetch_add(1, Ordering::Relaxed);
+        crate::obs::redeploys().inc();
     }
 
     /// Takes a consistent-enough copy of the counters and computes latency

@@ -14,7 +14,10 @@
 //! the shortest decimal string that parses back to the identical bit
 //! pattern.  A state or action that travels through this codec therefore
 //! round-trips *bit-exactly* (the end-to-end HTTP test pins
-//! `decide_batch`-over-the-wire against the in-process call).  Non-finite
+//! `decide_batch`-over-the-wire against the in-process call).  `u64`
+//! counters (request totals, generations, latency nanoseconds) take the
+//! dedicated [`Json::U64`] path and render as exact decimal digits — an
+//! `f64` detour would silently round anything beyond 2^53.  Non-finite
 //! numbers are not representable in JSON; the server rejects non-finite
 //! states before they reach the codec, and verified shields never produce
 //! non-finite actions.
@@ -99,17 +102,23 @@ impl std::error::Error for WireError {}
 
 /// A parsed JSON value.
 ///
-/// Numbers are stored as `f64` (the only numeric type the protocol uses);
-/// objects preserve key order as a `Vec` of pairs, which keeps the parser
-/// allocation-light and renders deterministically.
+/// Numbers come in two flavours: nonnegative integer literals (no sign,
+/// no fraction, no exponent) that fit a `u64` parse to [`Json::U64`] and
+/// render as exact decimal digits — counters and generation numbers
+/// survive beyond 2^53, where `f64` would silently round — while every
+/// other number parses to [`Json::Num`] with shortest-round-trip `f64`
+/// rendering.  Objects preserve key order as a `Vec` of pairs, which
+/// keeps the parser allocation-light and renders deterministically.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number.
+    /// Any JSON number other than a `u64`-representable integer literal.
     Num(f64),
+    /// A nonnegative integer literal, kept exact (no `f64` round-trip).
+    U64(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -143,6 +152,30 @@ impl Json {
         }
     }
 
+    /// Numeric view of either number flavour; `None` for non-numbers.
+    /// Integers beyond 2^53 round exactly as an `f64` parse of their
+    /// digits would, so existing `f64` consumers see identical values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Exact integer view: the value of a [`Json::U64`], or a
+    /// [`Json::Num`] that is a nonnegative integer with no fractional
+    /// part; `None` otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// Renders the value as compact JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -155,6 +188,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(v) => write_f64(out, *v),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
             Json::Str(s) => write_json_string(out, s),
             Json::Arr(items) => {
                 out.push('[');
@@ -457,19 +493,23 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Json, WireError> {
         let start = self.pos;
+        let mut integer_literal = true;
         if self.peek() == Some(b'-') {
+            integer_literal = false;
             self.pos += 1;
         }
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
         if self.peek() == Some(b'.') {
+            integer_literal = false;
             self.pos += 1;
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integer_literal = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -479,6 +519,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        // Nonnegative integer literals that fit a u64 stay exact; wider
+        // integers (and everything signed / fractional / exponential)
+        // take the f64 path, exactly as before.
+        if integer_literal {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
         match text.parse::<f64>() {
             Ok(v) if v.is_finite() => Ok(Json::Num(v)),
             _ => Err(WireError::Syntax {
@@ -562,11 +610,9 @@ fn number_vec(value: &Json, field: &str) -> Result<Vec<f64>, WireError> {
     };
     items
         .iter()
-        .map(|item| match item {
-            Json::Num(v) => Ok(*v),
-            _ => Err(WireError::Schema(format!(
-                "\"{field}\" must contain only numbers"
-            ))),
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| WireError::Schema(format!("\"{field}\" must contain only numbers")))
         })
         .collect()
 }
@@ -588,7 +634,7 @@ pub fn decide_response(deployment: &str, decisions: &[ShieldDecision], batched: 
     let json = if batched {
         Json::Obj(vec![
             ("deployment".to_string(), Json::Str(deployment.to_string())),
-            ("count".to_string(), Json::Num(decisions.len() as f64)),
+            ("count".to_string(), Json::U64(decisions.len() as u64)),
             (
                 "decisions".to_string(),
                 Json::Arr(decisions.iter().map(decision_json).collect()),
@@ -605,41 +651,33 @@ pub fn decide_response(deployment: &str, decisions: &[ShieldDecision], batched: 
 
 /// Encodes a telemetry response; latency percentiles travel as integer
 /// nanoseconds (see the estimator contract documented on
-/// [`DeploymentTelemetry`]).
+/// [`DeploymentTelemetry`]).  Counters render through [`Json::U64`], so
+/// they stay exact beyond 2^53.
 pub fn telemetry_response(telemetry: &DeploymentTelemetry) -> String {
     Json::Obj(vec![
         (
             "deployment".to_string(),
             Json::Str(telemetry.deployment.clone()),
         ),
-        (
-            "generation".to_string(),
-            Json::Num(telemetry.generation as f64),
-        ),
-        ("requests".to_string(), Json::Num(telemetry.requests as f64)),
-        (
-            "decisions".to_string(),
-            Json::Num(telemetry.decisions as f64),
-        ),
+        ("generation".to_string(), Json::U64(telemetry.generation)),
+        ("requests".to_string(), Json::U64(telemetry.requests)),
+        ("decisions".to_string(), Json::U64(telemetry.decisions)),
         (
             "interventions".to_string(),
-            Json::Num(telemetry.interventions as f64),
+            Json::U64(telemetry.interventions),
         ),
-        (
-            "redeploys".to_string(),
-            Json::Num(telemetry.redeploys as f64),
-        ),
+        ("redeploys".to_string(), Json::U64(telemetry.redeploys)),
         (
             "intervention_rate".to_string(),
             Json::Num(telemetry.intervention_rate),
         ),
         (
             "p50_latency_ns".to_string(),
-            Json::Num(telemetry.p50_latency.as_nanos() as f64),
+            Json::U64(telemetry.p50_latency.as_nanos().min(u64::MAX as u128) as u64),
         ),
         (
             "p99_latency_ns".to_string(),
-            Json::Num(telemetry.p99_latency.as_nanos() as f64),
+            Json::U64(telemetry.p99_latency.as_nanos().min(u64::MAX as u128) as u64),
         ),
     ])
     .render()
@@ -650,44 +688,60 @@ pub fn telemetry_response(telemetry: &DeploymentTelemetry) -> String {
 pub fn deployed_response(deployment: &str, generation: u64, meta: &ArtifactMetadata) -> String {
     Json::Obj(vec![
         ("deployment".to_string(), Json::Str(deployment.to_string())),
-        ("generation".to_string(), Json::Num(generation as f64)),
+        ("generation".to_string(), Json::U64(generation)),
         (
             "environment".to_string(),
             Json::Str(meta.environment.clone()),
         ),
-        ("state_dim".to_string(), Json::Num(meta.state_dim as f64)),
-        ("action_dim".to_string(), Json::Num(meta.action_dim as f64)),
-        ("pieces".to_string(), Json::Num(meta.pieces as f64)),
+        ("state_dim".to_string(), Json::U64(meta.state_dim as u64)),
+        ("action_dim".to_string(), Json::U64(meta.action_dim as u64)),
+        ("pieces".to_string(), Json::U64(meta.pieces as u64)),
         (
             "oracle_parameters".to_string(),
-            Json::Num(meta.oracle_parameters as f64),
+            Json::U64(meta.oracle_parameters as u64),
         ),
         ("label".to_string(), Json::Str(meta.label.clone())),
     ])
     .render()
 }
 
-/// Encodes the `GET /healthz` response.
-pub fn health_response(deployments: &[String]) -> String {
+/// Encodes the `GET /healthz` response: overall status, whole seconds
+/// since the process trace epoch, and one `{"name", "generation"}`
+/// object per deployment (sorted by name server-side).
+pub fn health_response(deployments: &[(String, u64)], uptime_seconds: u64) -> String {
     Json::Obj(vec![
         ("status".to_string(), Json::Str("ok".to_string())),
+        ("uptime_seconds".to_string(), Json::U64(uptime_seconds)),
         (
             "deployments".to_string(),
-            Json::Arr(deployments.iter().cloned().map(Json::Str).collect()),
+            Json::Arr(
+                deployments
+                    .iter()
+                    .map(|(name, generation)| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(name.clone())),
+                            ("generation".to_string(), Json::U64(*generation)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
     .render()
 }
 
 /// Encodes the structured error body every non-2xx response carries:
-/// `{"error": {"status", "code", "message"}}`.
-pub fn error_body(status: u16, code: &str, message: &str) -> String {
+/// `{"error": {"status", "code", "message", "request_id"}}`.  The
+/// request id is the one echoed in the `X-Request-Id` response header,
+/// so a failing call can be correlated with its trace spans.
+pub fn error_body(status: u16, code: &str, message: &str, request_id: &str) -> String {
     Json::Obj(vec![(
         "error".to_string(),
         Json::Obj(vec![
-            ("status".to_string(), Json::Num(status as f64)),
+            ("status".to_string(), Json::U64(status as u64)),
             ("code".to_string(), Json::Str(code.to_string())),
             ("message".to_string(), Json::Str(message.to_string())),
+            ("request_id".to_string(), Json::Str(request_id.to_string())),
         ]),
     )])
     .render()
@@ -704,7 +758,7 @@ mod tests {
         assert_eq!(
             parsed.get("a"),
             Some(&Json::Arr(vec![
-                Json::Num(1.0),
+                Json::U64(1),
                 Json::Num(-2.5),
                 Json::Num(1e-3)
             ]))
@@ -731,6 +785,35 @@ mod tests {
                 other => panic!("expected a number, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn u64_counters_round_trip_beyond_2_53() {
+        // 2^53 + 1 is the first integer an f64 cannot represent: the old
+        // f64-only path rendered it as 9007199254740992.  The U64 path
+        // must keep every digit, all the way to u64::MAX.
+        for v in [9_007_199_254_740_993u64, u64::MAX - 1, u64::MAX] {
+            let rendered = Json::U64(v).render();
+            assert_eq!(rendered, v.to_string(), "exact digits");
+            match Json::parse(rendered.as_bytes()).unwrap() {
+                Json::U64(back) => assert_eq!(back, v),
+                other => panic!("expected U64, got {other:?}"),
+            }
+        }
+        // Integer literals wider than u64 still parse (as f64), and the
+        // numeric accessors agree across both flavours.
+        let wide = Json::parse(b"18446744073709551616").unwrap(); // 2^64
+        assert!(matches!(wide, Json::Num(_)));
+        assert_eq!(Json::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Json::U64(3).as_u64(), Some(3));
+        assert_eq!(Json::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Str("3".into()).as_f64(), None);
+        // "-0" keeps its sign bit through the f64 path.
+        assert!(
+            matches!(Json::parse(b"-0").unwrap(), Json::Num(v) if v.to_bits() == (-0.0f64).to_bits())
+        );
     }
 
     #[test]
@@ -850,13 +933,34 @@ mod tests {
             422,
             "checksum_mismatch",
             "artifact payload corrupted: \"x\"",
+            "req-0000000000000001-abcd",
         );
         let parsed = Json::parse(body.as_bytes()).unwrap();
         let error = parsed.get("error").unwrap();
-        assert_eq!(error.get("status"), Some(&Json::Num(422.0)));
+        assert_eq!(error.get("status"), Some(&Json::U64(422)));
         assert_eq!(
             error.get("code"),
             Some(&Json::Str("checksum_mismatch".to_string()))
         );
+        assert_eq!(
+            error.get("request_id"),
+            Some(&Json::Str("req-0000000000000001-abcd".to_string()))
+        );
+    }
+
+    #[test]
+    fn health_response_carries_generations_and_uptime() {
+        let body = health_response(&[("pendulum".to_string(), 3)], 42);
+        let parsed = Json::parse(body.as_bytes()).unwrap();
+        assert_eq!(parsed.get("status"), Some(&Json::Str("ok".to_string())));
+        assert_eq!(parsed.get("uptime_seconds"), Some(&Json::U64(42)));
+        let Some(Json::Arr(deployments)) = parsed.get("deployments") else {
+            panic!("deployments must be an array");
+        };
+        assert_eq!(
+            deployments[0].get("name"),
+            Some(&Json::Str("pendulum".to_string()))
+        );
+        assert_eq!(deployments[0].get("generation"), Some(&Json::U64(3)));
     }
 }

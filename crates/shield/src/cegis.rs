@@ -122,6 +122,8 @@ where
     R: Rng + ?Sized,
 {
     let start = Instant::now();
+    crate::obs::cegis_runs().inc();
+    let _run_span = vrl_obs::span("cegis.run");
     let sketch =
         ProgramSketch::polynomial(env.state_dim(), env.action_dim(), config.program_degree);
     let mut pieces: Vec<ShieldPiece> = Vec::new();
@@ -130,9 +132,11 @@ where
     let mut warm_theta: Option<Vec<f64>> = None;
 
     for _outer in 0..config.max_pieces {
-        let Some(counterexample) =
+        let coverage_probe = {
+            let _span = vrl_obs::span("cegis.coverage");
             find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng)
-        else {
+        };
+        let Some(counterexample) = coverage_probe else {
             break; // S0 ⊆ covers: done.
         };
         let mut radius = env.init().diameter().max(1e-6);
@@ -144,22 +148,31 @@ where
                 .intersection(env.init())
                 .unwrap_or_else(|| BoxRegion::ball(&counterexample, 1e-9));
             attempts += 1;
-            let synthesized = synthesize_program(
-                env,
-                oracle,
-                &sketch,
-                &region,
-                warm_theta.as_deref(),
-                &config.distill,
-                rng,
-            );
-            match verify_program(
-                env,
-                &synthesized.action_polynomials,
-                &region,
-                &config.verification,
-            ) {
+            crate::obs::cegis_attempts().inc();
+            let synthesized = {
+                let _span = vrl_obs::span("cegis.synthesize");
+                synthesize_program(
+                    env,
+                    oracle,
+                    &sketch,
+                    &region,
+                    warm_theta.as_deref(),
+                    &config.distill,
+                    rng,
+                )
+            };
+            let verdict = {
+                let _span = vrl_obs::span("cegis.verify");
+                verify_program(
+                    env,
+                    &synthesized.action_polynomials,
+                    &region,
+                    &config.verification,
+                )
+            };
+            match verdict {
                 Ok(invariant) => {
+                    crate::obs::cegis_pieces().inc();
                     // Later pieces continue the random search from the last
                     // *verified* parameters rather than restarting from zero.
                     warm_theta = Some(synthesized.theta.clone());
@@ -169,11 +182,14 @@ where
                     break;
                 }
                 Err(_failure) => {
+                    crate::obs::cegis_counterexamples().inc();
                     radius /= 2.0;
                 }
             }
         }
         if !covered_this_counterexample {
+            crate::obs::cegis_failures().inc();
+            crate::obs::cegis_seconds().observe(start.elapsed());
             return Err(CegisError::CouldNotCoverInitialStates {
                 uncovered: counterexample,
                 pieces_synthesized: pieces.len(),
@@ -184,6 +200,8 @@ where
     if let Some(uncovered) =
         find_uncovered_initial_state(env.init(), &covers, config.coverage_samples, rng)
     {
+        crate::obs::cegis_failures().inc();
+        crate::obs::cegis_seconds().observe(start.elapsed());
         return Err(CegisError::CouldNotCoverInitialStates {
             uncovered,
             pieces_synthesized: pieces.len(),
@@ -194,6 +212,7 @@ where
         synthesis_time: start.elapsed(),
         attempts,
     };
+    crate::obs::cegis_seconds().observe(report.synthesis_time);
     Ok((Shield::new(env.clone(), pieces), report))
 }
 

@@ -42,12 +42,14 @@
 
 mod cegis;
 mod metrics;
+mod obs;
 mod shield;
 
 pub use cegis::{
     find_uncovered_initial_state, synthesize_shield, CegisConfig, CegisError, CegisReport,
 };
 pub use metrics::{evaluate_shielded_system, ShieldEvaluation};
+pub use obs::install_metrics;
 pub use shield::{
     PortableShield, PortableShieldPiece, Shield, ShieldDecision, ShieldPiece, ShieldedPolicy,
 };

@@ -1,0 +1,90 @@
+//! CEGIS metrics: per-run counters and the synthesis-latency histogram,
+//! registered in the process-wide [`vrl_obs`] registry.
+//!
+//! Algorithm 2 already tracks its own attempts for [`crate::CegisReport`];
+//! these counters mirror that bookkeeping (plus verify rejections and
+//! terminal failures) into the registry so a serving process that
+//! resynthesizes shields exposes its synthesis cost at `GET /metrics`.
+//! The loop's control flow and the synthesized shields are untouched —
+//! instrumentation observes, never decides.
+
+use std::sync::LazyLock;
+use vrl_obs::{registry, Counter, Histogram};
+
+macro_rules! cegis_counter {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Lazily registered handle for the metric named in the body.
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static HANDLE: LazyLock<&'static Counter> =
+                LazyLock::new(|| registry().counter($metric, $help));
+            *HANDLE
+        }
+    };
+}
+
+cegis_counter!(
+    cegis_runs,
+    "vrl_synth_cegis_runs_total",
+    "Algorithm 2 shield-synthesis runs started."
+);
+cegis_counter!(
+    cegis_attempts,
+    "vrl_synth_cegis_attempts_total",
+    "Synthesize/verify attempts across all CEGIS runs."
+);
+cegis_counter!(
+    cegis_pieces,
+    "vrl_synth_cegis_pieces_total",
+    "Verified (program, invariant) pieces admitted into shields."
+);
+cegis_counter!(
+    cegis_counterexamples,
+    "vrl_synth_cegis_counterexamples_total",
+    "Verification rejections that shrank the region around a counterexample."
+);
+cegis_counter!(
+    cegis_failures,
+    "vrl_synth_cegis_failures_total",
+    "CEGIS runs that gave up with an uncovered initial state."
+);
+
+/// Wall-clock duration of completed CEGIS runs (success or failure).
+pub(crate) fn cegis_seconds() -> &'static Histogram {
+    static HANDLE: LazyLock<&'static Histogram> = LazyLock::new(|| {
+        registry().histogram(
+            "vrl_synth_cegis_seconds",
+            "Wall-clock duration of CEGIS shield-synthesis runs.",
+        )
+    });
+    *HANDLE
+}
+
+/// Forces registration of every CEGIS metric so a scrape shows the full
+/// series set (at zero) before any synthesis has run.
+pub fn install_metrics() {
+    let _ = cegis_runs();
+    let _ = cegis_attempts();
+    let _ = cegis_pieces();
+    let _ = cegis_counterexamples();
+    let _ = cegis_failures();
+    let _ = cegis_seconds();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn install_registers_all_series() {
+        super::install_metrics();
+        let text = vrl_obs::registry().render_prometheus();
+        for series in [
+            "vrl_synth_cegis_runs_total",
+            "vrl_synth_cegis_attempts_total",
+            "vrl_synth_cegis_pieces_total",
+            "vrl_synth_cegis_counterexamples_total",
+            "vrl_synth_cegis_failures_total",
+            "vrl_synth_cegis_seconds",
+        ] {
+            assert!(text.contains(series), "missing series {series}");
+        }
+    }
+}

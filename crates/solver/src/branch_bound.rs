@@ -187,6 +187,10 @@ pub fn prove_bound(
     // stay separate on purpose: guard pruning excludes a box *before* the
     // (typically much denser) objective is evaluated on it, which measures
     // faster than sharing one table fill across objective and guards.
+    // Work tally for the process-wide registry; flushed on drop, which
+    // covers every return path below.  Cell bumps only — never on the
+    // numeric path, so outcomes are bit-identical with the registry on.
+    let tally = crate::obs::BbTally::start();
     let objective_set = with_query_cache(|cache| cache.get_or_compile(&[query.objective]));
     let objective = SingleMember(&objective_set);
     let mut scratch = PolyScratch::new();
@@ -244,6 +248,7 @@ pub fn prove_bound(
         // scalar kernels; the values (and hence everything below) are
         // bit-identical either way.
         wave.clear();
+        tally.wave();
         for _ in 0..wave_width.min(stack.len()) {
             wave.push(stack.pop().expect("bounded by stack length"));
         }
@@ -298,6 +303,7 @@ pub fn prove_bound(
         // Process the wave in pop order.
         for (current, &(enclosure, guard_prunes)) in wave.drain(..).zip(wave_evals.iter()) {
             boxes_examined += 1;
+            tally.box_examined();
             if boxes_examined > config.max_boxes {
                 return ProofOutcome::Unknown {
                     boxes_examined,
@@ -307,6 +313,7 @@ pub fn prove_bound(
             // Guard pruning: if any active guard is certainly positive on
             // this box, no point of the box is relevant to the query.
             if guard_prunes {
+                tally.guard_prune();
                 continue;
             }
             if enclosure.hi() <= query.bound + config.tolerance {
@@ -323,6 +330,7 @@ pub fn prove_bound(
                 &mut point,
                 &mut scratch,
             ) {
+                tally.found_counterexample();
                 return cex;
             }
             let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
@@ -494,6 +502,7 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
             queue.push((child_lower, child));
         }
     }
+    crate::obs::min_boxes().add(examined as u64);
     queue
         .iter()
         .map(|(lo, _)| *lo)

@@ -158,9 +158,11 @@ impl CompiledQueryCache {
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.tick;
             self.hits += 1;
+            crate::obs::cache_hits().inc();
             return Arc::clone(&entry.set);
         }
         self.misses += 1;
+        crate::obs::cache_misses().inc();
         if self.entries.len() >= self.capacity {
             if let Some(oldest) = self
                 .entries
@@ -170,6 +172,7 @@ impl CompiledQueryCache {
             {
                 self.entries.remove(&oldest);
                 self.evictions += 1;
+                crate::obs::cache_evictions().inc();
             }
         }
         let set = Arc::new(CompiledPolySet::compile_refs(polys));

@@ -31,7 +31,10 @@
 //! would produce.  The cache is bounded (LRU eviction; see
 //! [`DEFAULT_QUERY_CACHE_CAPACITY`]); [`query_cache_stats`] /
 //! [`reset_query_cache`] expose the per-thread counters for tests and
-//! benches.
+//! benches.  Cache traffic and branch-and-bound work tallies (queries,
+//! boxes, waves, prunes, counterexamples) are additionally mirrored into
+//! the process-wide [`vrl_obs`] registry for `GET /metrics` scrapes;
+//! [`install_metrics`] forces registration of the full series set.
 //!
 //! # Examples
 //!
@@ -53,6 +56,7 @@ mod branch_bound;
 mod cache;
 mod feasibility;
 mod lyapunov;
+mod obs;
 
 pub use branch_bound::{
     prove_bound, prove_nonpositive, prove_positive, sound_minimum, BoundQuery, BranchBoundConfig,
@@ -66,3 +70,4 @@ pub use feasibility::{
     solve_feasibility, FeasibilityConfig, FeasibilitySolution, LinearConstraint,
 };
 pub use lyapunov::{decrease_certificate, solve_discrete_lyapunov, LyapunovError};
+pub use obs::install_metrics;

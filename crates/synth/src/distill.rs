@@ -120,6 +120,7 @@ where
     R: Rng + ?Sized,
 {
     let mut total = 0.0;
+    let mut queries = 0u64;
     let mut batch = BatchPoints::new(env.state_dim());
     for _ in 0..trajectories {
         let start = init_region.sample(rng);
@@ -152,6 +153,7 @@ where
                 .expect("one batched action per scorable state")
                 .unwrap_or_else(|| vec![0.0; program.action_dim()]);
             let program_action = env.clamp_action(&action);
+            queries += 1;
             let oracle_action = env.clamp_action(&oracle.action(state));
             let gap: f64 = program_action
                 .iter()
@@ -162,6 +164,8 @@ where
             total -= gap;
         }
     }
+    // One flush for the whole objective evaluation, not one per state.
+    crate::obs::oracle_queries().add(queries);
     total
 }
 
@@ -201,6 +205,8 @@ where
         config.iterations > 0 && config.directions > 0 && config.trajectories > 0,
         "the distillation budget must be positive"
     );
+    crate::obs::distill_runs().inc();
+    let _span = vrl_obs::span("synth.distill");
     let dim = sketch.num_parameters();
     let mut theta = match warm_start {
         Some(t) => {

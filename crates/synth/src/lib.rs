@@ -26,11 +26,13 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod distill;
+mod obs;
 mod program;
 mod sketch;
 
 pub use distill::{
     oracle_distance, synthesize_program, DistillConfig, DistillReport, SynthesizedProgram,
 };
+pub use obs::install_metrics;
 pub use program::{GuardedPolicy, PolicyProgram, PortableGuardedPolicy, PortableProgram};
 pub use sketch::ProgramSketch;

@@ -1,0 +1,53 @@
+//! Synthesis metrics: oracle traffic and distillation runs, registered
+//! in the process-wide [`vrl_obs`] registry.
+//!
+//! [`crate::oracle_distance`] queries the black-box oracle once per
+//! scorable trajectory state — the dominant cost of Algorithm 1 — so
+//! the query counter is accumulated in a local and flushed with one
+//! relaxed atomic `add` per objective evaluation, never per state.
+//! Instrumentation only observes values the synthesizer already
+//! computed; the synthesized programs are bit-identical with the
+//! registry enabled.
+
+use std::sync::LazyLock;
+use vrl_obs::{registry, Counter};
+
+macro_rules! synth_counter {
+    ($fn_name:ident, $metric:literal, $help:literal) => {
+        /// Lazily registered handle for the metric named in the body.
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static HANDLE: LazyLock<&'static Counter> =
+                LazyLock::new(|| registry().counter($metric, $help));
+            *HANDLE
+        }
+    };
+}
+
+synth_counter!(
+    oracle_queries,
+    "vrl_synth_oracle_queries_total",
+    "Black-box oracle actions requested by the distillation objective."
+);
+synth_counter!(
+    distill_runs,
+    "vrl_synth_distill_runs_total",
+    "Algorithm 1 distillation searches started."
+);
+
+/// Forces registration of every synthesis metric so a scrape shows the
+/// full series set (at zero) before any distillation has run.
+pub fn install_metrics() {
+    let _ = oracle_queries();
+    let _ = distill_runs();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn install_registers_all_series() {
+        super::install_metrics();
+        let text = vrl_obs::registry().render_prometheus();
+        assert!(text.contains("vrl_synth_oracle_queries_total"));
+        assert!(text.contains("vrl_synth_distill_runs_total"));
+    }
+}

@@ -9,6 +9,9 @@
 //! 4. `GET` per-deployment telemetry and `/healthz`.
 //! 5. Grow the fleet by one shard and watch the consistent hash rehydrate
 //!    only the deployments whose placement moved.
+//! 6. Scrape `GET /metrics` (the process-wide Prometheus catalog spanning
+//!    synthesis, verification, and serving) and export the request's trace
+//!    spans as a Chrome trace.
 //!
 //! Run with: `cargo run -p vrl-runtime --example http_server`
 //!
@@ -123,6 +126,22 @@ fn main() {
     let health = client.request("GET", "/healthz", b"").expect("healthz");
     println!("GET /healthz -> {} {}", health.status, health.text());
 
+    // Every response carries an x-request-id — the client's own id when it
+    // sends one, a generated id otherwise — and the same id tags the
+    // request's trace span and any error envelope.
+    let tagged = client
+        .request_with_headers(
+            "GET",
+            "/healthz",
+            b"",
+            &[("x-request-id", "example-trace-1")],
+        )
+        .expect("healthz");
+    println!(
+        "GET /healthz with x-request-id -> echoed {:?}",
+        tagged.header("x-request-id").unwrap_or("<missing>")
+    );
+
     // Grow the fleet: the consistent hash moves (in expectation) 1/4 of the
     // deployments — each rehydrated on the new shard from artifact bytes.
     let moved = router.add_shard();
@@ -147,6 +166,46 @@ fn main() {
         fleet.requests,
         fleet.decisions,
         fleet.per_shard.len()
+    );
+
+    // Scrape the process-wide metrics registry: every instrumented layer
+    // (synthesis, B&B verification, serving, HTTP) publishes here, and the
+    // front-end registered the full catalog at bind time, so series exist
+    // (at zero) even before their subsystem runs.
+    let scrape = client.request("GET", "/metrics", b"").expect("metrics");
+    let exposition = scrape.text().into_owned();
+    let families = exposition
+        .lines()
+        .filter(|line| line.starts_with("# TYPE "))
+        .count();
+    println!(
+        "GET /metrics -> {} ({families} series families, {} bytes of text exposition)",
+        scrape.status,
+        exposition.len()
+    );
+    for series in [
+        "vrl_http_requests_total",
+        "vrl_runtime_decisions_total",
+        "vrl_router_rehydrations_total",
+    ] {
+        let line = exposition
+            .lines()
+            .find(|line| line.starts_with(series))
+            .expect("series is registered");
+        println!("  {line}");
+    }
+
+    // The spans recorded while serving (each tagged with its request id)
+    // export as a Chrome trace — paste into Perfetto / chrome://tracing.
+    let spans = vrl_obs::drain_spans();
+    let tagged_spans = spans
+        .iter()
+        .filter(|s| s.request_id.as_deref() == Some("example-trace-1"))
+        .count();
+    println!(
+        "drained {} trace spans ({tagged_spans} tagged example-trace-1); chrome trace is {} bytes",
+        spans.len(),
+        vrl_obs::spans_to_chrome_trace(&spans).len()
     );
 
     frontend.shutdown();

@@ -87,7 +87,7 @@ fn deploy_decide_telemetry_end_to_end() {
         .unwrap();
     assert_eq!(put.status, 200, "{}", put.text());
     let put_json = Json::parse(&put.body).unwrap();
-    assert_eq!(put_json.get("generation"), Some(&Json::Num(1.0)));
+    assert_eq!(put_json.get("generation"), Some(&Json::U64(1)));
     assert_eq!(
         put_json.get("environment"),
         Some(&Json::Str("pendulum".to_string()))
@@ -150,19 +150,25 @@ fn deploy_decide_telemetry_end_to_end() {
         .unwrap();
     assert_eq!(telemetry.status, 200);
     let t = Json::parse(&telemetry.body).unwrap();
-    assert_eq!(t.get("requests"), Some(&Json::Num(2.0)));
-    assert_eq!(t.get("decisions"), Some(&Json::Num(101.0)));
-    assert_eq!(t.get("generation"), Some(&Json::Num(1.0)));
+    assert_eq!(t.get("requests"), Some(&Json::U64(2)));
+    assert_eq!(t.get("decisions"), Some(&Json::U64(101)));
+    assert_eq!(t.get("generation"), Some(&Json::U64(1)));
 
-    // healthz lists the deployment.
+    // healthz lists the deployment with its generation, plus uptime.
     let health = client.request("GET", "/healthz", b"").unwrap();
     assert_eq!(health.status, 200);
     let h = Json::parse(&health.body).unwrap();
     assert_eq!(h.get("status"), Some(&Json::Str("ok".to_string())));
+    assert!(matches!(h.get("uptime_seconds"), Some(Json::U64(_))));
+    let Some(Json::Arr(deployments)) = h.get("deployments") else {
+        panic!("healthz without deployments: {}", health.text());
+    };
+    assert_eq!(deployments.len(), 1);
     assert_eq!(
-        h.get("deployments"),
-        Some(&Json::Arr(vec![Json::Str("pendulum".to_string())]))
+        deployments[0].get("name"),
+        Some(&Json::Str("pendulum".to_string()))
     );
+    assert_eq!(deployments[0].get("generation"), Some(&Json::U64(1)));
 
     // A second PUT is a hot redeploy: generation 2.
     let redeploy = client
@@ -174,7 +180,7 @@ fn deploy_decide_telemetry_end_to_end() {
         .unwrap();
     assert_eq!(redeploy.status, 200);
     let r = Json::parse(&redeploy.body).unwrap();
-    assert_eq!(r.get("generation"), Some(&Json::Num(2.0)));
+    assert_eq!(r.get("generation"), Some(&Json::U64(2)));
 
     frontend.shutdown();
 }
@@ -193,9 +199,15 @@ fn assert_error(
     assert_eq!(response.status, status, "{}", response.text());
     let json = Json::parse(&response.body).expect("error bodies are JSON");
     let error = json.get("error").expect("structured error envelope");
-    assert_eq!(error.get("status"), Some(&Json::Num(status as f64)));
+    assert_eq!(error.get("status"), Some(&Json::U64(status as u64)));
     assert_eq!(error.get("code"), Some(&Json::Str(code.to_string())));
     assert!(matches!(error.get("message"), Some(Json::Str(_))));
+    // Every error envelope names the request it failed, and the same id is
+    // echoed as a header.
+    let Some(Json::Str(request_id)) = error.get("request_id") else {
+        panic!("error envelope without request_id: {}", response.text());
+    };
+    assert_eq!(response.header("x-request-id"), Some(request_id.as_str()));
 }
 
 #[test]
@@ -399,15 +411,20 @@ fn frontend_serves_a_shard_router() {
     }
     let health = client.request("GET", "/healthz", b"").unwrap();
     let h = Json::parse(&health.body).unwrap();
-    assert_eq!(
-        h.get("deployments"),
-        Some(&Json::Arr(
-            ["alpha", "beta", "delta", "gamma"]
-                .iter()
-                .map(|n| Json::Str(n.to_string()))
-                .collect()
-        ))
-    );
+    let Some(Json::Arr(deployments)) = h.get("deployments") else {
+        panic!("healthz without deployments: {}", health.text());
+    };
+    let listed: Vec<&str> = deployments
+        .iter()
+        .map(|d| match d.get("name") {
+            Some(Json::Str(name)) => name.as_str(),
+            other => panic!("deployment without name: {other:?}"),
+        })
+        .collect();
+    assert_eq!(listed, ["alpha", "beta", "delta", "gamma"]);
+    for d in deployments {
+        assert_eq!(d.get("generation"), Some(&Json::U64(1)));
+    }
 
     let states = sample_states(40, 7);
     let body = Json::Obj(vec![(
@@ -445,6 +462,239 @@ fn frontend_serves_a_shard_router() {
     assert_eq!(fleet.deployments, names.len() as u64);
     assert_eq!(fleet.requests, names.len() as u64);
     assert_eq!(fleet.decisions, (names.len() * states.len()) as u64);
+
+    frontend.shutdown();
+}
+
+/// The distinct series names (metric name + labels stripped) in a
+/// Prometheus text exposition.
+fn series_names(text: &str) -> Vec<String> {
+    let mut names: Vec<String> = text
+        .lines()
+        .filter(|line| !line.starts_with('#') && !line.is_empty())
+        .map(|line| {
+            line.split(['{', ' '])
+                .next()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[test]
+fn metrics_scrape_serves_the_cross_layer_catalog() {
+    // The golden scrape: a fresh front-end serves the complete registry —
+    // synthesis, solver, and serving series — over loopback, in valid
+    // Prometheus text exposition format.  The registry is process-global
+    // and other tests run concurrently, so values are asserted as floors.
+    let server = Arc::new(ShieldServer::with_workers(1));
+    server.deploy("toy", pendulum_artifact(5)).unwrap();
+    let frontend = start_frontend(server);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    // Drive some traffic so the serving counters are visibly nonzero.
+    for _ in 0..3 {
+        let response = client
+            .request(
+                "POST",
+                "/v1/deployments/toy/decide",
+                br#"{"state": [0.05, 0.0]}"#,
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+    }
+
+    let scrape = client.request("GET", "/metrics", b"").unwrap();
+    assert_eq!(scrape.status, 200);
+    assert_eq!(
+        scrape.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = scrape.text().into_owned();
+
+    // Well-formed exposition: every series has a HELP and TYPE comment.
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines in the exposition");
+    }
+    let names = series_names(&text);
+    // Histograms explode into _bucket/_sum/_count; count base families.
+    let families: Vec<&String> = names
+        .iter()
+        .filter(|n| !n.ends_with("_bucket") && !n.ends_with("_sum") && !n.ends_with("_count"))
+        .collect();
+    assert!(
+        families.len() >= 15,
+        "expected >= 15 series families, got {}: {families:?}",
+        families.len()
+    );
+    // The catalog spans all instrumented layers.
+    for prefix in ["vrl_synth_", "vrl_solver_", "vrl_runtime_", "vrl_http_"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix} series in {names:?}"
+        );
+    }
+    // Specific series with guaranteed-nonzero values after the traffic
+    // above (floors: other tests share the process-global registry).
+    let value_of = |series: &str| -> f64 {
+        text.lines()
+            .find(|line| line.starts_with(series) && line.as_bytes()[series.len()] == b' ')
+            .and_then(|line| line.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("series {series} not found"))
+    };
+    assert!(value_of("vrl_runtime_requests_total") >= 3.0);
+    assert!(value_of("vrl_runtime_decisions_total") >= 3.0);
+    assert!(value_of("vrl_runtime_decide_latency_seconds_count") >= 3.0);
+    assert!(value_of("vrl_http_requests_total{status=\"200\"}") >= 3.0);
+    // The pendulum fixture synthesizes nothing at serve time, so CEGIS and
+    // solver series exist but may legitimately be zero here.
+    assert!(text.contains("vrl_solver_bb_queries_total"));
+    assert!(text.contains("vrl_synth_cegis_runs_total"));
+
+    // The 405 guard covers the metrics path too.
+    assert_error(
+        &frontend,
+        "POST",
+        "/metrics",
+        b"",
+        405,
+        "method_not_allowed",
+    );
+
+    frontend.shutdown();
+}
+
+#[test]
+fn request_ids_echo_and_generate() {
+    let frontend = start_frontend(Arc::new(ShieldServer::with_workers(1)));
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    // A client-supplied id is echoed verbatim, on successes and errors.
+    let ok = client
+        .request_with_headers("GET", "/healthz", b"", &[("x-request-id", "trace-me-42")])
+        .unwrap();
+    assert_eq!(ok.status, 200);
+    assert_eq!(ok.header("x-request-id"), Some("trace-me-42"));
+    let err = client
+        .request_with_headers("GET", "/v1/nope", b"", &[("x-request-id", "trace-me-43")])
+        .unwrap();
+    assert_eq!(err.status, 404);
+    assert_eq!(err.header("x-request-id"), Some("trace-me-43"));
+    let json = Json::parse(&err.body).unwrap();
+    assert_eq!(
+        json.get("error").and_then(|e| e.get("request_id")),
+        Some(&Json::Str("trace-me-43".to_string()))
+    );
+
+    // No id supplied: the server generates a req-<16 hex> one.
+    let generated = client.request("GET", "/healthz", b"").unwrap();
+    let id = generated.header("x-request-id").expect("generated id");
+    assert!(id.starts_with("req-"), "{id}");
+    assert_eq!(id.len(), 4 + 16, "{id}");
+    // Distinct per request.
+    let second = client.request("GET", "/healthz", b"").unwrap();
+    assert_ne!(second.header("x-request-id"), Some(id));
+
+    // Invalid ids (controls/spaces, overlong) are replaced, not reflected.
+    let invalid = client
+        .request_with_headers("GET", "/healthz", b"", &[("x-request-id", "has space")])
+        .unwrap();
+    assert!(invalid
+        .header("x-request-id")
+        .is_some_and(|v| v.starts_with("req-")));
+    let overlong = "x".repeat(129);
+    let invalid = client
+        .request_with_headers("GET", "/healthz", b"", &[("x-request-id", &overlong)])
+        .unwrap();
+    assert!(invalid
+        .header("x-request-id")
+        .is_some_and(|v| v.starts_with("req-")));
+
+    frontend.shutdown();
+}
+
+#[test]
+fn span_exports_round_trip_as_json() {
+    // Spans recorded during request handling drain from the global ring and
+    // export as parseable JSON lines and a parseable Chrome trace.  Other
+    // tests in this binary record spans concurrently, so filter to the
+    // uniquely named spans created here.
+    let frontend = start_frontend(Arc::new(ShieldServer::with_workers(1)));
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    let ok = client
+        .request_with_headers(
+            "GET",
+            "/healthz",
+            b"",
+            &[("x-request-id", "span-roundtrip-req")],
+        )
+        .unwrap();
+    assert_eq!(ok.status, 200);
+    {
+        let _outer = vrl_obs::span("roundtrip.outer");
+        let _inner = vrl_obs::request_span("roundtrip.inner", "span-roundtrip-req");
+    }
+    // The HTTP span closes on the serving thread before the response is
+    // written, but give its flush a moment under load.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut records = Vec::new();
+    loop {
+        records.extend(vrl_obs::drain_spans());
+        let have_http = records.iter().any(|r| {
+            r.request_id.as_deref() == Some("span-roundtrip-req") && r.name == "http.request"
+        });
+        if have_http || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let ours: Vec<vrl_obs::SpanRecord> = records
+        .into_iter()
+        .filter(|r| {
+            r.name.starts_with("roundtrip.")
+                || r.request_id.as_deref() == Some("span-roundtrip-req")
+        })
+        .collect();
+    let outer = ours.iter().find(|r| r.name == "roundtrip.outer").unwrap();
+    let inner = ours.iter().find(|r| r.name == "roundtrip.inner").unwrap();
+    let http = ours.iter().find(|r| r.name == "http.request").unwrap();
+    assert_eq!(inner.parent, outer.id);
+    assert_eq!(http.request_id.as_deref(), Some("span-roundtrip-req"));
+
+    // JSON-lines export: every line parses and carries the span fields.
+    let lines = vrl_obs::spans_to_json_lines(&ours);
+    for (line, record) in lines.lines().zip(ours.iter()) {
+        let json = Json::parse(line.as_bytes()).expect("span line parses");
+        assert_eq!(json.get("name"), Some(&Json::Str(record.name.to_string())));
+        assert_eq!(json.get("id"), Some(&Json::U64(record.id)));
+        assert_eq!(json.get("dur_ns"), Some(&Json::U64(record.dur_ns)));
+    }
+
+    // Chrome trace export: a single JSON array of complete ("X") events
+    // with microsecond timestamps — what Perfetto/chrome://tracing opens.
+    let trace = vrl_obs::spans_to_chrome_trace(&ours);
+    let Json::Arr(events) = Json::parse(trace.as_bytes()).expect("trace parses") else {
+        panic!("chrome trace is not an array: {trace}");
+    };
+    assert_eq!(events.len(), ours.len());
+    for (event, record) in events.iter().zip(ours.iter()) {
+        assert_eq!(event.get("name"), Some(&Json::Str(record.name.to_string())));
+        assert_eq!(event.get("ph"), Some(&Json::Str("X".to_string())));
+        assert_eq!(event.get("pid"), Some(&Json::U64(1)));
+        assert_eq!(event.get("tid"), Some(&Json::U64(record.thread)));
+        let dur_us = event.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!((dur_us - record.dur_ns as f64 / 1000.0).abs() < 0.001);
+        if let Some(request_id) = &record.request_id {
+            assert_eq!(
+                event.get("args").and_then(|a| a.get("request_id")),
+                Some(&Json::Str(request_id.to_string()))
+            );
+        }
+    }
 
     frontend.shutdown();
 }
