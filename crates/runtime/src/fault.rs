@@ -1,0 +1,351 @@
+//! Deterministic fault injection for the remote-shard transport.
+//!
+//! Distributed failure handling that is only exercised by real outages is
+//! untested code.  This module provides a **chaos proxy** that sits between
+//! a [`RemoteShard`](crate::remote::RemoteShard) client and a real
+//! [`HttpFrontend`](crate::http::HttpFrontend) shard and misbehaves *on
+//! script*: a [`FaultPlan`] assigns one [`Fault`] to each accepted
+//! connection, in order.  Because the remote client opens exactly one TCP
+//! connection per request attempt, "the 3rd connection" is "the 3rd
+//! attempt" — every retry, breaker transition, and failover path can be
+//! driven deterministically by a hermetic test, no sleeps-and-hope.
+//!
+//! The scripted faults cover the transport failure taxonomy:
+//!
+//! * [`Fault::Pass`] — proxy the request faithfully (the control case);
+//! * [`Fault::Disconnect`] — accept, then close without a byte (connection
+//!   reset mid-request);
+//! * [`Fault::DisconnectMidBody`] — proxy the request, then truncate the
+//!   response halfway through its body (the classic partial write);
+//! * [`Fault::Delay`] — sit on the request past the client's read deadline
+//!   before proxying (a hung or GC-pausing shard);
+//! * [`Fault::Status500`] — answer a well-formed `500` envelope without
+//!   consulting the upstream (an erroring shard);
+//! * [`Fault::Garbage`] — answer bytes that are not HTTP (a corrupted
+//!   frame or a non-HTTP process squatting on the port);
+//! * [`Fault::Kill`] — close the connection, stop accepting, and release
+//!   the port: every later connect is refused, exactly like a crashed
+//!   shard process.
+//!
+//! The proxy handles each connection on its own thread (a delayed
+//! connection must not serialize the ones behind it), parses requests and
+//! responses by their `Content-Length` framing, and opens a fresh upstream
+//! connection per proxied request — mirroring the client's
+//! one-connection-per-request discipline.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One scripted misbehaviour, applied to one accepted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Proxy the request and response faithfully.
+    Pass,
+    /// Accept the connection, then close it without writing a byte.
+    Disconnect,
+    /// Proxy the request, then send only the head and the first half of
+    /// the response body before closing.
+    DisconnectMidBody,
+    /// Sleep this long before proxying — scripted past the client's read
+    /// deadline, this manifests as a read timeout on the client.
+    Delay(Duration),
+    /// Answer a well-formed HTTP `500` with a structured JSON envelope,
+    /// without contacting the upstream.
+    Status500,
+    /// Answer bytes that do not parse as HTTP, then close.
+    Garbage,
+    /// Close the connection, stop accepting, and release the listening
+    /// port — every subsequent connect is refused, like a crashed process.
+    Kill,
+}
+
+/// The per-connection fault script of a [`ChaosProxy`].
+///
+/// Connection `i` (0-based, in accept order) gets `script[i]`; connections
+/// past the end of the script get the plan’s default fault.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    script: Vec<Fault>,
+    default_fault: Fault,
+}
+
+impl FaultPlan {
+    /// A plan that applies `script` in accept order, then
+    /// [`Fault::Pass`] forever.
+    #[must_use]
+    pub fn new(script: Vec<Fault>) -> Self {
+        FaultPlan {
+            script,
+            default_fault: Fault::Pass,
+        }
+    }
+
+    /// Overrides the fault applied past the end of the script.
+    #[must_use]
+    pub fn with_default(mut self, fault: Fault) -> Self {
+        self.default_fault = fault;
+        self
+    }
+
+    /// The fault scripted for connection `index`.
+    #[must_use]
+    pub fn fault_for(&self, index: usize) -> Fault {
+        self.script
+            .get(index)
+            .copied()
+            .unwrap_or(self.default_fault)
+    }
+}
+
+/// A scripted man-in-the-middle between a shard client and a real shard —
+/// see the module docs.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a loopback port and starts proxying to `upstream` under
+    /// `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when no port can be bound.
+    pub fn launch(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let accepted = Arc::clone(&accepted);
+            std::thread::Builder::new()
+                .name("vrl-chaos-proxy".to_string())
+                .spawn(move || proxy_loop(&listener, upstream, &plan, &stop, &accepted))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accepted,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The proxy's listening address — hand this to the shard client as
+    /// the "shard" address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (= client attempts observed).
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stops the proxy and releases its port (idempotent with
+    /// [`Fault::Kill`], which already did both).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a still-listening acceptor with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn proxy_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: &FaultPlan,
+    stop: &Arc<AtomicBool>,
+    accepted: &Arc<AtomicUsize>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let index = accepted.fetch_add(1, Ordering::SeqCst);
+        let fault = plan.fault_for(index);
+        if fault == Fault::Kill {
+            // Close the drawn connection and stop accepting; dropping the
+            // listener on exit releases the port, so later connects are
+            // refused like against a crashed process.
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        // Each connection on its own thread: a Delay must not serialize
+        // the connections scripted after it.
+        let handle = std::thread::Builder::new()
+            .name("vrl-chaos-conn".to_string())
+            .spawn(move || handle_connection(stream, upstream, fault));
+        if let Ok(handle) = handle {
+            workers.push(handle);
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn handle_connection(mut client: TcpStream, upstream: SocketAddr, fault: Fault) {
+    let _ = client.set_nodelay(true);
+    // A generous frame deadline so a half-written request cannot wedge a
+    // proxy thread forever.
+    let _ = client.set_read_timeout(Some(Duration::from_secs(10)));
+    match fault {
+        Fault::Kill => unreachable!("Kill is handled in the accept loop"),
+        Fault::Disconnect => {
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        Fault::Status500 => {
+            if read_framed(&mut client).is_some() {
+                let body =
+                    r#"{"error":{"status":500,"code":"chaos_injected","message":"scripted 500"}}"#;
+                let response = format!(
+                    "HTTP/1.1 500 Internal Server Error\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = client.write_all(response.as_bytes());
+            }
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        Fault::Garbage => {
+            if read_framed(&mut client).is_some() {
+                let _ = client.write_all(b"\x7fGARBAGE\x00\x01\x02 this is not HTTP\r\n\r\n");
+            }
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        Fault::Pass | Fault::Delay(_) | Fault::DisconnectMidBody => {
+            let Some(request) = read_framed(&mut client) else {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            };
+            if let Fault::Delay(pause) = fault {
+                std::thread::sleep(pause);
+            }
+            let Some(response) = forward_upstream(upstream, &request) else {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            };
+            match fault {
+                Fault::DisconnectMidBody => {
+                    let cut = truncation_point(&response);
+                    let _ = client.write_all(&response[..cut]);
+                }
+                _ => {
+                    let _ = client.write_all(&response);
+                }
+            }
+            let _ = client.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Opens a fresh upstream connection, relays `request`, and reads the full
+/// framed response.
+fn forward_upstream(upstream: SocketAddr, request: &[u8]) -> Option<Vec<u8>> {
+    let mut stream = TcpStream::connect_timeout(&upstream, Duration::from_secs(5)).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    stream.write_all(request).ok()?;
+    read_framed(&mut stream)
+}
+
+/// Reads one `Content-Length`-framed HTTP message (request or response)
+/// and returns its raw bytes, head and body.  Returns `None` on EOF,
+/// timeout, or an unframeable message.
+fn read_framed(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut buffer = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buffer.len() > 1 << 20 {
+            return None;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .next()
+        .unwrap_or(0);
+    let total = head_end + content_length;
+    while buffer.len() < total {
+        let mut chunk = [0u8; 8192];
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+        }
+    }
+    buffer.truncate(total);
+    Some(buffer)
+}
+
+/// Where [`Fault::DisconnectMidBody`] cuts the response: past the head and
+/// half of the body, so the client has parsed a healthy-looking head and
+/// is mid-body when the connection dies.
+fn truncation_point(response: &[u8]) -> usize {
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map_or(response.len(), |pos| pos + 4);
+    head_end + (response.len() - head_end) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_scripts_then_defaults() {
+        let plan = FaultPlan::new(vec![Fault::Pass, Fault::Status500]);
+        assert_eq!(plan.fault_for(0), Fault::Pass);
+        assert_eq!(plan.fault_for(1), Fault::Status500);
+        assert_eq!(plan.fault_for(2), Fault::Pass);
+        let refusing = FaultPlan::new(vec![]).with_default(Fault::Disconnect);
+        assert_eq!(refusing.fault_for(7), Fault::Disconnect);
+    }
+
+    #[test]
+    fn truncation_cuts_mid_body() {
+        let response = b"HTTP/1.1 200 OK\r\ncontent-length: 8\r\n\r\nabcdefgh";
+        let cut = truncation_point(response);
+        let head_end = response.len() - 8;
+        assert_eq!(cut, head_end + 4);
+    }
+}

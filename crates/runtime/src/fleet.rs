@@ -1,0 +1,607 @@
+//! Replicated, self-healing routing across remote shield shards.
+//!
+//! [`FleetRouter`] is the distributed counterpart of
+//! [`ShardRouter`](crate::router::ShardRouter): where the latter spreads
+//! deployments over in-process [`ShieldServer`](crate::server::ShieldServer)
+//! shards, the fleet spreads them over [`RemoteShard`]s — processes reached
+//! over the HTTP wire — and replicates each deployment on
+//! [`FleetConfig::replicas`] shards (default 2) so losing a shard loses no
+//! deployment.
+//!
+//! # Placement and failover
+//!
+//! Replica sets come from [`Placement::ranked_shards`]: with rendezvous
+//! hashing the primary is the rank-1 shard and the failover replica the
+//! rank-2 shard, so both are stable under fleet growth.  `decide` tries the
+//! replicas in rank order and **fails over** when a replica is marked down,
+//! its circuit breaker is open, or the request fails at the transport level
+//! after retries; a success on a non-primary replica bumps
+//! `vrl_fleet_failovers_total`.  When every replica fails the caller gets
+//! [`ServeError::Unavailable`] — over HTTP, a structured `503` with a
+//! `Retry-After` header — and `vrl_fleet_unavailable_total` bumps.
+//!
+//! # Health probing and rehydration
+//!
+//! A background prober (enabled by [`FleetConfig::probe_interval`], or
+//! driven manually with [`FleetRouter::probe_now`] in tests) hits each
+//! shard's `/healthz` on a cadence:
+//!
+//! * a failing probe marks the shard **down**, so live traffic skips it
+//!   without burning its deadline budget (transport failures on the request
+//!   path mark it down too);
+//! * a succeeding probe marks the shard **up** and — because probes feed
+//!   the shard's circuit breaker — heals an open breaker without gambling
+//!   a live request on it;
+//! * the probe's deployment report is compared against what the registry
+//!   says the shard should hold; anything missing (the shard restarted
+//!   empty) is **rehydrated** from the canonical artifact bytes, bumping
+//!   `vrl_fleet_rehydrations_total`.  Only missing deployments are pushed,
+//!   so a healthy shard sees no generation churn.
+//!
+//! # Telemetry handoff
+//!
+//! Each replica meters its own traffic, so after a failover the fleet-wide
+//! truth is spread across shards — and a dead shard cannot be asked for its
+//! share.  The router therefore keeps a **ledger**: the last telemetry
+//! snapshot successfully fetched from each `(deployment, shard)` pair.
+//! [`FleetRouter`]'s telemetry sums counters across replicas, using the
+//! live value when a replica answers and the ledger entry when it does not
+//! — so counters survive a shard death instead of dropping to zero
+//! (closing the gap noted when the telemetry estimator contract was
+//! documented).  Latency percentiles are not summable; the fleet reports
+//! the first reachable replica's (they meter the same decide path).
+
+use crate::artifact::ShieldArtifact;
+use crate::http::ShieldBackend;
+use crate::remote::{RemoteShard, RemoteShardConfig};
+use crate::router::Placement;
+use crate::server::ServeError;
+use crate::telemetry::DeploymentTelemetry;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vrl::shield::ShieldDecision;
+
+/// Tunables of a [`FleetRouter`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Replicas per deployment (clamped to the fleet size).  2 means
+    /// primary + one failover.
+    pub replicas: usize,
+    /// Placement function for replica sets (see
+    /// [`Placement::ranked_shards`]).
+    pub placement: Placement,
+    /// Cadence of the background health prober; `None` disables the
+    /// thread (tests drive [`FleetRouter::probe_now`] directly).
+    pub probe_interval: Option<Duration>,
+    /// `Retry-After` advertised when every replica of a deployment is
+    /// down.
+    pub retry_after: Duration,
+    /// Deadline/retry/breaker tuning applied to every shard client
+    /// constructed by [`FleetRouter::new`].
+    pub shard_config: RemoteShardConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas: 2,
+            placement: Placement::default(),
+            probe_interval: Some(Duration::from_millis(500)),
+            retry_after: Duration::from_secs(1),
+            shard_config: RemoteShardConfig::default(),
+        }
+    }
+}
+
+/// One shard plus its prober-maintained liveness flag.
+#[derive(Debug)]
+struct ShardState {
+    shard: RemoteShard,
+    /// Flipped by the prober (and pessimistically by transport failures on
+    /// the request path); down shards are skipped by live traffic.
+    up: AtomicBool,
+}
+
+/// What the registry knows about one deployment.
+#[derive(Debug, Clone)]
+struct RegistryEntry {
+    /// Canonical checksummed artifact bytes — the rehydration source.
+    bytes: Vec<u8>,
+    /// Highest generation any replica reported for this deployment.
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct FleetInner {
+    registry: HashMap<String, RegistryEntry>,
+    /// Telemetry ledger: last snapshot successfully fetched per
+    /// `(deployment, shard index)`.
+    ledger: HashMap<(String, usize), DeploymentTelemetry>,
+}
+
+/// The shared core: everything both callers and the prober thread touch.
+#[derive(Debug)]
+struct FleetCore {
+    shards: Vec<ShardState>,
+    config: FleetConfig,
+    inner: RwLock<FleetInner>,
+}
+
+/// Replicated router over remote shards — see the module docs.
+///
+/// Implements [`ShieldBackend`], so an
+/// [`HttpFrontend`](crate::http::HttpFrontend) can serve a whole fleet
+/// behind one address.
+#[derive(Debug)]
+pub struct FleetRouter {
+    core: Arc<FleetCore>,
+    stop: Arc<AtomicBool>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl FleetCore {
+    fn replicas_for(&self, name: &str) -> Vec<usize> {
+        self.config
+            .placement
+            .ranked_shards(name, self.shards.len(), self.config.replicas.max(1))
+    }
+
+    fn unavailable(&self, deployment: &str, detail: String) -> ServeError {
+        crate::obs::fleet_unavailable().inc();
+        ServeError::Unavailable {
+            deployment: deployment.to_string(),
+            detail,
+            retry_after: self.config.retry_after,
+        }
+    }
+
+    /// Marks a shard down after a transport-level failure so later requests
+    /// skip it until a probe brings it back.
+    fn mark_down(&self, index: usize) {
+        self.shards[index].up.store(false, Ordering::SeqCst);
+    }
+
+    fn deploy(&self, name: &str, bytes: &[u8]) -> Result<u64, ServeError> {
+        let replicas = self.replicas_for(name);
+        let mut best_generation: Option<u64> = None;
+        let mut last_error: Option<ServeError> = None;
+        for &index in &replicas {
+            match self.shards[index].shard.put_artifact_bytes(name, bytes) {
+                Ok(generation) => {
+                    best_generation =
+                        Some(best_generation.map_or(generation, |g| g.max(generation)));
+                }
+                Err(error) => {
+                    if matches!(error, ServeError::Remote(_)) {
+                        self.mark_down(index);
+                    } else {
+                        // The shard is alive and rejected the artifact —
+                        // every replica would reject it the same way.
+                        return Err(error);
+                    }
+                    last_error = Some(error);
+                }
+            }
+        }
+        match best_generation {
+            Some(generation) => {
+                let mut inner = self.inner.write().expect("fleet lock poisoned");
+                inner.registry.insert(
+                    name.to_string(),
+                    RegistryEntry {
+                        bytes: bytes.to_vec(),
+                        generation,
+                    },
+                );
+                Ok(generation)
+            }
+            None => {
+                let detail = last_error
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "no replicas".to_string());
+                Err(self.unavailable(name, detail))
+            }
+        }
+    }
+
+    fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError> {
+        if !self
+            .inner
+            .read()
+            .expect("fleet lock poisoned")
+            .registry
+            .contains_key(name)
+        {
+            return Err(ServeError::UnknownDeployment(name.to_string()));
+        }
+        let replicas = self.replicas_for(name);
+        let mut last_detail = String::from("all replicas marked down");
+        for (rank, &index) in replicas.iter().enumerate() {
+            if !self.shards[index].up.load(Ordering::SeqCst) {
+                continue;
+            }
+            match self.shards[index].shard.decide_batch_remote(name, states) {
+                Ok(decisions) => {
+                    if rank > 0 {
+                        crate::obs::fleet_failovers().inc();
+                    }
+                    return Ok(decisions);
+                }
+                Err(ServeError::Remote(remote)) => {
+                    self.mark_down(index);
+                    last_detail = remote.to_string();
+                }
+                // A 404 from a shard for a registered deployment means the
+                // shard lost it (restarted empty); fail over and let the
+                // prober rehydrate it.
+                Err(ServeError::UnknownDeployment(_)) => {
+                    last_detail = format!("shard {index} lost the deployment");
+                }
+                // Any other structured answer is definitive: the shard is
+                // healthy and the request itself is at fault.
+                Err(error) => return Err(error),
+            }
+        }
+        Err(self.unavailable(name, last_detail))
+    }
+
+    fn telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
+        if !self
+            .inner
+            .read()
+            .expect("fleet lock poisoned")
+            .registry
+            .contains_key(name)
+        {
+            return Err(ServeError::UnknownDeployment(name.to_string()));
+        }
+        let replicas = self.replicas_for(name);
+        let mut parts: Vec<DeploymentTelemetry> = Vec::new();
+        for &index in &replicas {
+            let live = if self.shards[index].up.load(Ordering::SeqCst) {
+                self.shards[index].shard.fetch_telemetry(name).ok()
+            } else {
+                None
+            };
+            match live {
+                Some(snapshot) => {
+                    self.inner
+                        .write()
+                        .expect("fleet lock poisoned")
+                        .ledger
+                        .insert((name.to_string(), index), snapshot.clone());
+                    parts.push(snapshot);
+                }
+                None => {
+                    // The replica is unreachable: its traffic still counts,
+                    // from the last snapshot we managed to fetch.
+                    let inner = self.inner.read().expect("fleet lock poisoned");
+                    if let Some(cached) = inner.ledger.get(&(name.to_string(), index)) {
+                        parts.push(cached.clone());
+                    }
+                }
+            }
+        }
+        if parts.is_empty() {
+            return Err(self.unavailable(name, "no replica reachable or cached".to_string()));
+        }
+        Ok(sum_telemetry(name, &parts))
+    }
+
+    fn undeploy(&self, name: &str) -> Result<bool, ServeError> {
+        let existed = {
+            let mut inner = self.inner.write().expect("fleet lock poisoned");
+            let existed = inner.registry.remove(name).is_some();
+            inner.ledger.retain(|(n, _), _| n != name);
+            existed
+        };
+        for &index in &self.replicas_for(name) {
+            // Best-effort on each replica: a down shard loses the
+            // deployment anyway when the registry entry is gone (it will
+            // simply not be rehydrated).
+            let _ = self.shards[index].shard.undeploy_remote(name);
+        }
+        Ok(existed)
+    }
+
+    /// One synchronous probe cycle over every shard: flip up/down flags,
+    /// heal breakers, rehydrate missing deployments.  Returns the shards'
+    /// liveness after the cycle.
+    fn probe_cycle(&self) -> Vec<bool> {
+        let mut liveness = Vec::with_capacity(self.shards.len());
+        for (index, state) in self.shards.iter().enumerate() {
+            match state.shard.probe() {
+                Ok((_uptime, reported)) => {
+                    crate::obs::fleet_probes("up").inc();
+                    state.up.store(true, Ordering::SeqCst);
+                    self.rehydrate_missing(index, &reported);
+                    liveness.push(true);
+                }
+                Err(_) => {
+                    crate::obs::fleet_probes("down").inc();
+                    state.up.store(false, Ordering::SeqCst);
+                    liveness.push(false);
+                }
+            }
+        }
+        liveness
+    }
+
+    /// Pushes to shard `index` every deployment the registry places there
+    /// that the shard's health report does not list.  Pushing only the
+    /// missing ones keeps healthy shards free of generation churn.
+    fn rehydrate_missing(&self, index: usize, reported: &[(String, u64)]) {
+        let expected: Vec<(String, Vec<u8>)> = {
+            let inner = self.inner.read().expect("fleet lock poisoned");
+            inner
+                .registry
+                .iter()
+                .filter(|(name, _)| self.replicas_for(name).contains(&index))
+                .filter(|(name, _)| !reported.iter().any(|(r, _)| r == *name))
+                .map(|(name, entry)| (name.clone(), entry.bytes.clone()))
+                .collect()
+        };
+        for (name, bytes) in expected {
+            if self.shards[index]
+                .shard
+                .put_artifact_bytes(&name, &bytes)
+                .is_ok()
+            {
+                crate::obs::fleet_rehydrations().inc();
+            }
+        }
+    }
+}
+
+impl FleetRouter {
+    /// Builds a fleet over `addrs`, one [`RemoteShard`] per address, all
+    /// tuned by [`FleetConfig::shard_config`].  Shards start marked **up**
+    /// (the first failed request or probe marks them down); when
+    /// [`FleetConfig::probe_interval`] is set, the background prober starts
+    /// immediately.
+    #[must_use]
+    pub fn new(addrs: &[SocketAddr], config: FleetConfig) -> Self {
+        let shards = addrs
+            .iter()
+            .map(|&addr| RemoteShard::with_config(addr, config.shard_config.clone()))
+            .collect();
+        FleetRouter::from_shards(shards, config)
+    }
+
+    /// Builds a fleet from pre-constructed shard clients (lets tests tune
+    /// each shard separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty.
+    #[must_use]
+    pub fn from_shards(shards: Vec<RemoteShard>, config: FleetConfig) -> Self {
+        assert!(!shards.is_empty(), "a fleet needs at least one shard");
+        let core = Arc::new(FleetCore {
+            shards: shards
+                .into_iter()
+                .map(|shard| ShardState {
+                    shard,
+                    up: AtomicBool::new(true),
+                })
+                .collect(),
+            config,
+            inner: RwLock::new(FleetInner::default()),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let prober = core.config.probe_interval.map(|interval| {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("vrl-fleet-probe".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        core.probe_cycle();
+                        // Sleep in small slices so shutdown is prompt even
+                        // with a long probe interval.
+                        let mut remaining = interval;
+                        while !remaining.is_zero() && !stop.load(Ordering::SeqCst) {
+                            let slice = remaining.min(Duration::from_millis(20));
+                            std::thread::sleep(slice);
+                            remaining = remaining.saturating_sub(slice);
+                        }
+                    }
+                })
+                .expect("spawn fleet prober")
+        });
+        FleetRouter { core, stop, prober }
+    }
+
+    /// Number of shards in the fleet.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// The replica set (shard indices, best first) serving `name`.
+    #[must_use]
+    pub fn replicas_for(&self, name: &str) -> Vec<usize> {
+        self.core.replicas_for(name)
+    }
+
+    /// Per-shard liveness flags, in shard order.
+    #[must_use]
+    pub fn shard_liveness(&self) -> Vec<bool> {
+        self.core
+            .shards
+            .iter()
+            .map(|s| s.up.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Runs one synchronous probe cycle (what the background prober does
+    /// each tick): flips up/down flags, heals breakers, rehydrates missing
+    /// deployments.  Returns per-shard liveness after the cycle.
+    pub fn probe_now(&self) -> Vec<bool> {
+        self.core.probe_cycle()
+    }
+
+    /// Deploys `artifact` to every replica of `name` and records its
+    /// canonical bytes for rehydration.  Succeeds when **at least one**
+    /// replica accepted (the prober brings lagging replicas up to date);
+    /// returns the highest generation any replica reported.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unavailable`] when no replica accepted;
+    /// artifact-validation errors from live shards are relayed as-is.
+    pub fn deploy(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        self.core.deploy(name, &artifact.to_bytes())
+    }
+
+    /// Names of all fleet deployments, sorted.
+    #[must_use]
+    pub fn deployments(&self) -> Vec<String> {
+        let inner = self.core.inner.read().expect("fleet lock poisoned");
+        let mut names: Vec<String> = inner.registry.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Stops the background prober (if any).  Called automatically on
+    /// drop; explicit shutdown makes teardown deterministic in tests.
+    pub fn shutdown(mut self) {
+        self.stop_prober();
+    }
+
+    fn stop_prober(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.prober.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FleetRouter {
+    fn drop(&mut self) {
+        self.stop_prober();
+    }
+}
+
+impl ShieldBackend for FleetRouter {
+    fn put_artifact(&self, name: &str, artifact: ShieldArtifact) -> Result<u64, ServeError> {
+        self.deploy(name, artifact)
+    }
+
+    fn decide_batch(
+        &self,
+        name: &str,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<ShieldDecision>, ServeError> {
+        self.core.decide_batch(name, states)
+    }
+
+    fn backend_telemetry(&self, name: &str) -> Result<DeploymentTelemetry, ServeError> {
+        self.core.telemetry(name)
+    }
+
+    fn deployment_names(&self) -> Vec<String> {
+        self.deployments()
+    }
+
+    fn deployment_generations(&self) -> Vec<(String, u64)> {
+        let inner = self.core.inner.read().expect("fleet lock poisoned");
+        let mut pairs: Vec<(String, u64)> = inner
+            .registry
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.generation))
+            .collect();
+        pairs.sort();
+        pairs
+    }
+
+    fn remove_deployment(&self, name: &str) -> Result<bool, ServeError> {
+        self.core.undeploy(name)
+    }
+}
+
+/// Sums replica telemetry into one fleet-wide snapshot: counters add,
+/// generation is the max, the intervention rate is recomputed from the
+/// summed counters, and latency percentiles come from the first
+/// contributor (they are not summable; every replica meters the same
+/// decide path).
+fn sum_telemetry(name: &str, parts: &[DeploymentTelemetry]) -> DeploymentTelemetry {
+    let mut total = DeploymentTelemetry {
+        deployment: name.to_string(),
+        generation: 0,
+        requests: 0,
+        decisions: 0,
+        interventions: 0,
+        redeploys: 0,
+        intervention_rate: 0.0,
+        p50_latency: parts[0].p50_latency,
+        p99_latency: parts[0].p99_latency,
+    };
+    for part in parts {
+        total.generation = total.generation.max(part.generation);
+        total.requests += part.requests;
+        total.decisions += part.decisions;
+        total.interventions += part.interventions;
+        total.redeploys += part.redeploys;
+    }
+    if total.decisions > 0 {
+        total.intervention_rate = total.interventions as f64 / total.decisions as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry(requests: u64, decisions: u64, interventions: u64) -> DeploymentTelemetry {
+        DeploymentTelemetry {
+            deployment: "pend".to_string(),
+            generation: 1,
+            requests,
+            decisions,
+            interventions,
+            redeploys: 0,
+            intervention_rate: if decisions > 0 {
+                interventions as f64 / decisions as f64
+            } else {
+                0.0
+            },
+            p50_latency: Duration::from_micros(10),
+            p99_latency: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn telemetry_sums_counters_and_recomputes_rate() {
+        let a = telemetry(10, 100, 5);
+        let mut b = telemetry(4, 60, 11);
+        b.generation = 3;
+        let total = sum_telemetry("pend", &[a, b]);
+        assert_eq!(total.requests, 14);
+        assert_eq!(total.decisions, 160);
+        assert_eq!(total.interventions, 16);
+        assert_eq!(total.generation, 3);
+        assert!((total.intervention_rate - 0.1).abs() < 1e-12);
+        assert_eq!(total.p50_latency, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn replica_sets_are_rank_stable_and_distinct() {
+        let placement = Placement::Rendezvous;
+        for name in ["pendulum", "cartpole", "satellite", "duffing"] {
+            let ranked = placement.ranked_shards(name, 4, 2);
+            assert_eq!(ranked.len(), 2);
+            assert_ne!(ranked[0], ranked[1]);
+            assert_eq!(ranked[0], placement.shard_for(name, 4));
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! |---|---|
 //! | `POST /v1/deployments/{name}/decide` | Decide one state or a batch (JSON body, see [`crate::wire`]) |
 //! | `PUT /v1/deployments/{name}` | Upload a checksummed [`ShieldArtifact`] (raw binary body) for deploy / hot redeploy |
+//! | `DELETE /v1/deployments/{name}` | Remove a deployment |
 //! | `GET /v1/deployments/{name}/telemetry` | Per-deployment serving telemetry |
 //! | `GET /healthz` | Liveness: uptime plus per-deployment generations |
 //! | `GET /metrics` | Prometheus text exposition of the process-wide [`vrl_obs`] registry |
@@ -88,6 +89,10 @@ pub trait ShieldBackend: Send + Sync + 'static {
     /// name listing and the generation lookup is skipped rather than
     /// erroring the whole health probe.
     fn deployment_generations(&self) -> Vec<(String, u64)>;
+
+    /// Removes a deployment (HTTP `DELETE` semantics).  `Ok(true)` when it
+    /// existed, `Ok(false)` when there was nothing to remove.
+    fn remove_deployment(&self, name: &str) -> Result<bool, ServeError>;
 }
 
 impl ShieldBackend for ShieldServer {
@@ -119,6 +124,10 @@ impl ShieldBackend for ShieldServer {
                 Some((name, generation))
             })
             .collect()
+    }
+
+    fn remove_deployment(&self, name: &str) -> Result<bool, ServeError> {
+        Ok(ShieldServer::undeploy(self, name))
     }
 }
 
@@ -152,6 +161,10 @@ impl ShieldBackend for ShardRouter {
             })
             .collect()
     }
+
+    fn remove_deployment(&self, name: &str) -> Result<bool, ServeError> {
+        Ok(ShardRouter::undeploy(self, name))
+    }
 }
 
 /// Tunables of the HTTP front-end.
@@ -170,6 +183,12 @@ pub struct HttpConfig {
     /// before the worker closes it.  Also bounds how long shutdown waits on
     /// idle connections.
     pub idle_timeout: Duration,
+    /// How long shutdown waits for in-flight connections to drain before
+    /// detaching them.  Requests already dispatched complete within this
+    /// deadline (idle keep-alive connections notice the stop flag within
+    /// one `idle_timeout`); a wedged connection cannot block a restart
+    /// beyond it.
+    pub shutdown_deadline: Duration,
 }
 
 impl Default for HttpConfig {
@@ -179,6 +198,7 @@ impl Default for HttpConfig {
             max_body_bytes: 64 << 20,
             max_batch: 8192,
             idle_timeout: Duration::from_secs(5),
+            shutdown_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -280,7 +300,7 @@ fn accept_loop(
         handles.retain(|handle| !handle.is_finished());
         if active.load(Ordering::SeqCst) >= config.max_connections {
             let request_id = generate_request_id();
-            let response = Response::error(
+            let mut response = Response::error(
                 503,
                 "overloaded",
                 &format!(
@@ -289,6 +309,7 @@ fn accept_loop(
                 ),
                 &request_id,
             );
+            response.retry_after = Some(1);
             crate::obs::http_overload().inc();
             crate::obs::http_requests().with("503").inc();
             let _ = write_response(&mut stream, &response, true, &request_id);
@@ -312,9 +333,20 @@ fn accept_loop(
             }
         }
     }
-    // In-flight connections notice the stop flag within one idle timeout.
+    // Drain in-flight connections, but never past the shutdown deadline:
+    // requests already dispatched get `shutdown_deadline` to complete
+    // (idle keep-alive connections notice the stop flag within one idle
+    // timeout), and anything still wedged after that is detached so a
+    // restart cannot hang on one stuck socket.
+    let deadline = std::time::Instant::now() + config.shutdown_deadline;
+    while handles.iter().any(|handle| !handle.is_finished()) && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     for handle in handles {
-        let _ = handle.join();
+        if handle.is_finished() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -364,6 +396,7 @@ fn serve_connection(
                     status: reject.status,
                     body,
                     content_type: CONTENT_TYPE_JSON,
+                    retry_after: None,
                 };
                 crate::obs::http_requests()
                     .with(&reject.status.to_string())
@@ -417,6 +450,7 @@ enum Method {
     Get,
     Post,
     Put,
+    Delete,
     Other,
 }
 
@@ -515,6 +549,7 @@ fn read_request(
         "GET" => Method::Get,
         "POST" => Method::Post,
         "PUT" => Method::Put,
+        "DELETE" => Method::Delete,
         _ => Method::Other,
     };
 
@@ -660,6 +695,9 @@ struct Response {
     status: u16,
     body: String,
     content_type: &'static str,
+    /// Seconds for a `Retry-After` header, on 503s where the client should
+    /// back off and try again (overload shedding, all replicas down).
+    retry_after: Option<u64>,
 }
 
 impl Response {
@@ -668,6 +706,7 @@ impl Response {
             status: 200,
             body,
             content_type: CONTENT_TYPE_JSON,
+            retry_after: None,
         }
     }
 
@@ -676,6 +715,7 @@ impl Response {
             status: 200,
             body,
             content_type,
+            retry_after: None,
         }
     }
 
@@ -684,6 +724,7 @@ impl Response {
             status,
             body: wire::error_body(status, code, message, request_id),
             content_type: CONTENT_TYPE_JSON,
+            retry_after: None,
         }
     }
 }
@@ -702,6 +743,7 @@ fn status_text(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Error",
@@ -714,13 +756,18 @@ fn write_response(
     close: bool,
     request_id: &str,
 ) -> std::io::Result<()> {
+    let retry_after = response
+        .retry_after
+        .map(|seconds| format!("retry-after: {seconds}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nx-request-id: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\nx-request-id: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         request_id,
         response.body.len(),
+        retry_after,
         if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
@@ -736,6 +783,11 @@ fn write_response(
 ///   serve: wrong-dimension or non-finite states, and artifact uploads that
 ///   fail validation (bad magic, unsupported version, truncation,
 ///   **checksum mismatch**, malformed payload, invariant violations);
+/// * `502` — a remote shard was unreachable after retries (or its breaker
+///   was open) and no replica could take over;
+/// * `503` — every replica of the deployment is down ([`ServeError::Unavailable`],
+///   carrying a `Retry-After` header);
+/// * shard-relayed errors ([`ServeError::Shard`]) pass their status through;
 /// * `400` — everything else at the protocol level (handled before this
 ///   map is reached).
 pub fn error_status(error: &ServeError) -> u16 {
@@ -744,6 +796,9 @@ pub fn error_status(error: &ServeError) -> u16 {
         ServeError::DimensionMismatch { .. } | ServeError::NonFiniteState => 422,
         ServeError::IncompatibleArtifact { .. } => 409,
         ServeError::Artifact(_) => 422,
+        ServeError::Remote(_) => 502,
+        ServeError::Shard { status, .. } => *status,
+        ServeError::Unavailable { .. } => 503,
         // `deploy_or_redeploy` never reports AlreadyDeployed, and the HTTP
         // surface never resynthesizes; both are internal misuse if reached.
         ServeError::AlreadyDeployed(_) | ServeError::Resynthesis(_) => 500,
@@ -761,6 +816,11 @@ fn serve_error_code(error: &ServeError) -> &'static str {
         ServeError::Artifact(ArtifactError::UnsupportedVersion { .. }) => "unsupported_version",
         ServeError::Artifact(ArtifactError::Truncated { .. }) => "artifact_truncated",
         ServeError::Artifact(_) => "invalid_artifact",
+        ServeError::Remote(_) => "upstream_unreachable",
+        // `Shard` relays the shard's own code in `serve_error_response`;
+        // this spelling is only a fallback.
+        ServeError::Shard { .. } => "shard_error",
+        ServeError::Unavailable { .. } => "unavailable",
         ServeError::AlreadyDeployed(_) | ServeError::Resynthesis(_) => "internal",
     }
 }
@@ -780,12 +840,26 @@ fn wire_error_response(error: &WireError, request_id: &str) -> Response {
 }
 
 fn serve_error_response(error: &ServeError, request_id: &str) -> Response {
-    Response::error(
+    // A shard-relayed error keeps the shard's own status and code, so a
+    // fleet front-end is transparent for application-level failures.
+    if let ServeError::Shard {
+        status,
+        code,
+        message,
+    } = error
+    {
+        return Response::error(*status, code, message, request_id);
+    }
+    let mut response = Response::error(
         error_status(error),
         serve_error_code(error),
         &error.to_string(),
         request_id,
-    )
+    );
+    if let ServeError::Unavailable { retry_after, .. } = error {
+        response.retry_after = Some(retry_after.as_secs().max(1));
+    }
+    response
 }
 
 fn dispatch(
@@ -835,6 +909,16 @@ fn dispatch(
                 Err(e) => serve_error_response(&e, request_id),
             }
         }
+        (Method::Delete, ["v1", "deployments", name]) => match backend.remove_deployment(name) {
+            Ok(true) => Response::ok(wire::undeployed_response(name)),
+            Ok(false) => Response::error(
+                404,
+                "unknown_deployment",
+                &format!("no deployment named {name:?}"),
+                request_id,
+            ),
+            Err(e) => serve_error_response(&e, request_id),
+        },
         (Method::Get, ["v1", "deployments", name, "telemetry"]) => {
             match backend.backend_telemetry(name) {
                 Ok(telemetry) => Response::ok(wire::telemetry_response(&telemetry)),
@@ -862,7 +946,7 @@ fn known_path_wrong_method(method: Method, segments: &[&str]) -> bool {
     match segments {
         ["healthz"] => method != Method::Get,
         ["metrics"] => method != Method::Get,
-        ["v1", "deployments", _] => method != Method::Put,
+        ["v1", "deployments", _] => !matches!(method, Method::Put | Method::Delete),
         ["v1", "deployments", _, "decide"] => method != Method::Post,
         ["v1", "deployments", _, "telemetry"] => method != Method::Get,
         _ => false,
@@ -908,15 +992,41 @@ impl MiniResponse {
 }
 
 impl MiniClient {
-    /// Opens a keep-alive connection to `addr`.
+    /// Opens a keep-alive connection to `addr` with default deadlines
+    /// (5 s connect, 30 s read, 30 s write).
+    ///
+    /// A dead or black-holed peer therefore surfaces as a clean
+    /// [`std::io::ErrorKind::TimedOut`] error instead of an eternal hang.
     ///
     /// # Errors
     ///
-    /// Returns the connect error.
+    /// Returns the connect error ([`std::io::ErrorKind::TimedOut`] when the
+    /// peer does not accept within the deadline).
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        MiniClient::connect_with_timeouts(
+            addr,
+            Duration::from_secs(5),
+            Duration::from_secs(30),
+            Duration::from_secs(30),
+        )
+    }
+
+    /// Opens a connection with explicit connect/read/write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error; a connect that exceeds `connect_timeout`
+    /// is reported as [`std::io::ErrorKind::TimedOut`].
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
         Ok(MiniClient { stream })
     }
 
@@ -966,60 +1076,84 @@ impl MiniClient {
     }
 
     fn read_response(&mut self) -> std::io::Result<MiniResponse> {
-        let mut buffer = Vec::new();
-        let head_end = loop {
-            if let Some(pos) = find_head_end(&buffer) {
-                break pos;
-            }
-            let mut chunk = [0u8; 4096];
-            let n = self.stream.read(&mut chunk)?;
-            if n == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-response",
-                ));
-            }
-            buffer.extend_from_slice(&chunk[..n]);
-        };
-        let head = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
-        let status: u16 = head
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
-            })?;
-        let headers: Vec<(String, String)> = head
-            .lines()
-            .skip(1)
-            .filter_map(|line| {
-                let (name, value) = line.split_once(':')?;
-                Some((name.to_ascii_lowercase(), value.trim().to_string()))
-            })
-            .collect();
-        let content_length: usize = headers
-            .iter()
-            .find_map(|(name, value)| (name == "content-length").then(|| value.parse().ok())?)
-            .ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
-            })?;
-        let mut body = buffer.split_off(head_end);
-        while body.len() < content_length {
-            let mut chunk = [0u8; 8192];
-            let n = self.stream.read(&mut chunk)?;
-            if n == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                ));
-            }
-            body.extend_from_slice(&chunk[..n]);
-        }
-        body.truncate(content_length);
-        Ok(MiniResponse {
-            status,
-            headers,
-            body,
-        })
+        read_response_from(&mut self.stream)
     }
+}
+
+/// Reads one `Content-Length`-framed HTTP/1.1 response from `stream`.
+///
+/// Shared by [`MiniClient`] and [`crate::remote::RemoteShard`].  A read that
+/// trips the socket's read deadline surfaces as a clean
+/// [`std::io::ErrorKind::TimedOut`] error (some platforms report socket
+/// timeouts as `WouldBlock`; both are normalised here).
+pub(crate) fn read_response_from(stream: &mut TcpStream) -> std::io::Result<MiniResponse> {
+    let read_chunk = |stream: &mut TcpStream, chunk: &mut [u8]| match stream.read(chunk) {
+        Err(error)
+            if matches!(
+                error.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "read timed out waiting for response",
+            ))
+        }
+        other => other,
+    };
+    let mut buffer = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buffer) {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = read_chunk(stream, &mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find_map(|(name, value)| (name == "content-length").then(|| value.parse().ok())?)
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
+        })?;
+    let mut body = buffer.split_off(head_end);
+    while body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        let n = read_chunk(stream, &mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(MiniResponse {
+        status,
+        headers,
+        body,
+    })
 }

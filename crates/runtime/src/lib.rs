@@ -27,6 +27,14 @@
 //!   backend shield servers (rendezvous or jump placement), rehydrates
 //!   moved deployments from artifact bytes when the fleet grows, and
 //!   aggregates per-shard telemetry.
+//! * **Fault-tolerant fleets** — [`RemoteShard`] speaks the wire protocol
+//!   to a shard in another process with deadlines, bounded jittered
+//!   retries, and a per-shard circuit breaker; [`FleetRouter`] replicates
+//!   every deployment on two shards, health-probes them, fails `decide`
+//!   over when the primary dies, rehydrates recovered shards, and hands
+//!   telemetry off across replicas.  [`fault::ChaosProxy`] scripts
+//!   connection-level faults so every failover path is hermetically
+//!   testable.
 //!
 //! # Example
 //!
@@ -68,10 +76,13 @@
 
 mod artifact;
 mod codec;
+pub mod fault;
 pub mod fixtures;
+mod fleet;
 pub mod http;
 mod obs;
 mod pool;
+mod remote;
 mod router;
 mod server;
 mod telemetry;
@@ -79,9 +90,11 @@ pub mod wire;
 
 pub use artifact::{ArtifactError, ArtifactMetadata, ShieldArtifact, FORMAT_VERSION, MAGIC};
 pub use codec::DecodeError;
+pub use fleet::{FleetConfig, FleetRouter};
 pub use http::{HttpConfig, HttpFrontend, MiniClient, MiniResponse, ShieldBackend};
 pub use obs::install_metrics;
 pub use pool::WorkerPool;
+pub use remote::{BreakerState, RemoteError, RemoteShard, RemoteShardConfig};
 pub use router::{jump_consistent_hash, Placement, RouterTelemetry, ShardRouter, ShardTelemetry};
 pub use server::{ServeError, ShieldServer};
 pub use telemetry::DeploymentTelemetry;

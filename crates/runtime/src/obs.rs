@@ -59,6 +59,36 @@ runtime_counter!(
     "vrl_router_rehydrations_total",
     "Deployments rehydrated from canonical bytes onto a new shard."
 );
+runtime_counter!(
+    remote_retries,
+    "vrl_remote_retries_total",
+    "Remote-shard request attempts retried after a transport error or 5xx."
+);
+runtime_counter!(
+    remote_timeouts,
+    "vrl_remote_timeouts_total",
+    "Remote-shard attempts that tripped a connect/read/write deadline."
+);
+runtime_counter!(
+    breaker_rejections,
+    "vrl_remote_breaker_rejections_total",
+    "Requests rejected without touching the network because a shard's circuit breaker was open."
+);
+runtime_counter!(
+    fleet_failovers,
+    "vrl_fleet_failovers_total",
+    "Requests that failed over from the primary replica to a backup."
+);
+runtime_counter!(
+    fleet_rehydrations,
+    "vrl_fleet_rehydrations_total",
+    "Deployments re-pushed to a recovered shard by the health prober."
+);
+runtime_counter!(
+    fleet_unavailable,
+    "vrl_fleet_unavailable_total",
+    "Requests refused with 503 because every replica of the deployment was down."
+);
 
 /// Per-decision serving latency; the same samples feed the windowed
 /// p50/p99 estimator in `telemetry.rs`.
@@ -95,6 +125,31 @@ pub(crate) fn http_active_connections() -> &'static Gauge {
     *HANDLE
 }
 
+/// Circuit-breaker state transitions, labeled by the state entered
+/// (`open`, `half_open`, `closed`).
+pub(crate) fn breaker_transitions(to: &str) -> &'static Counter {
+    static HANDLE: LazyLock<&'static CounterVec> = LazyLock::new(|| {
+        registry().counter_vec(
+            "vrl_remote_breaker_transitions_total",
+            "to",
+            "Circuit-breaker state transitions, labeled by the state entered.",
+        )
+    });
+    HANDLE.with(to)
+}
+
+/// Health-probe outcomes, labeled `up` / `down`.
+pub(crate) fn fleet_probes(result: &str) -> &'static Counter {
+    static HANDLE: LazyLock<&'static CounterVec> = LazyLock::new(|| {
+        registry().counter_vec(
+            "vrl_fleet_probes_total",
+            "result",
+            "Health-probe outcomes per shard probe, labeled up/down.",
+        )
+    });
+    HANDLE.with(result)
+}
+
 /// Requests routed per shard by the consistent-hash router.
 pub(crate) fn router_shard_requests() -> &'static CounterVec {
     static HANDLE: LazyLock<&'static CounterVec> = LazyLock::new(|| {
@@ -117,6 +172,18 @@ pub fn install_metrics() {
     let _ = redeploys();
     let _ = http_overload();
     let _ = router_rehydrations();
+    let _ = remote_retries();
+    let _ = remote_timeouts();
+    let _ = breaker_rejections();
+    let _ = fleet_failovers();
+    let _ = fleet_rehydrations();
+    let _ = fleet_unavailable();
+    for state in ["open", "half_open", "closed"] {
+        let _ = breaker_transitions(state);
+    }
+    for result in ["up", "down"] {
+        let _ = fleet_probes(result);
+    }
     let _ = decide_latency();
     let _ = http_requests();
     let _ = http_active_connections();

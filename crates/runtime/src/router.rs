@@ -83,6 +83,50 @@ impl Placement {
             Placement::Jump => jump_consistent_hash(fnv1a64(name.as_bytes()), shards),
         }
     }
+
+    /// The first `count` shards that own `name`, best first — the replica
+    /// set for N-way replicated deployments ([`crate::fleet::FleetRouter`]
+    /// uses `count = 2`: primary plus failover).
+    ///
+    /// * **Rendezvous** has a natural notion of rank: shards sorted by
+    ///   score descending.  Removing the rank-1 shard promotes exactly the
+    ///   rank-2 shard, so the failover replica is stable under fleet
+    ///   growth the same way the primary is.
+    /// * **Jump** has no per-shard score, so replicas are the primary's
+    ///   successors `(primary + i) % shards` — simple and uniform, though
+    ///   without rendezvous's minimal-movement guarantee for the backups.
+    ///
+    /// Returns `min(count, shards)` distinct indices; element 0 always
+    /// equals [`Placement::shard_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn ranked_shards(&self, name: &str, shards: usize, count: usize) -> Vec<usize> {
+        assert!(shards > 0, "placement needs at least one shard");
+        let count = count.min(shards);
+        match self {
+            Placement::Rendezvous => {
+                let prefix = fnv1a64_continue(fnv1a64(name.as_bytes()), &[0xFF]);
+                let mut scored: Vec<(u64, usize)> = (0..shards)
+                    .map(|shard| {
+                        (
+                            fnv1a64_continue(prefix, &(shard as u64).to_le_bytes()),
+                            shard,
+                        )
+                    })
+                    .collect();
+                // Descending by score; ties (never observed with distinct
+                // indices) prefer the lower shard, matching `shard_for`.
+                scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.into_iter().take(count).map(|(_, s)| s).collect()
+            }
+            Placement::Jump => {
+                let primary = jump_consistent_hash(fnv1a64(name.as_bytes()), shards);
+                (0..count).map(|i| (primary + i) % shards).collect()
+            }
+        }
+    }
 }
 
 /// Jump consistent hash: maps `key` to a bucket in `0..buckets` such that

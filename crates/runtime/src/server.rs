@@ -78,6 +78,33 @@ pub enum ServeError {
     /// Re-synthesizing a shield for a changed environment failed; the
     /// previous artifact keeps serving.
     Resynthesis(PipelineError),
+    /// Talking to a remote shard failed at the transport level (connect,
+    /// timeout, protocol) after the configured retries — or fast, because
+    /// the shard's circuit breaker is open.
+    Remote(crate::remote::RemoteError),
+    /// A remote shard answered with a structured error envelope; the status
+    /// and code are relayed verbatim (an unknown-deployment miss is mapped
+    /// to [`ServeError::UnknownDeployment`] instead, so shard-level misses
+    /// keep their retry/failover semantics).
+    Shard {
+        /// HTTP status the shard returned.
+        status: u16,
+        /// Machine-readable error code from the shard's envelope.
+        code: String,
+        /// Human-readable message from the shard's envelope.
+        message: String,
+    },
+    /// Every replica that could serve the deployment is down (unreachable,
+    /// breaker-open, or probe-failed).  Maps to a structured `503` with a
+    /// `Retry-After` header over HTTP.
+    Unavailable {
+        /// The deployment that could not be served.
+        deployment: String,
+        /// What happened on the last replica attempted.
+        detail: String,
+        /// How long the caller should wait before retrying.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -109,6 +136,25 @@ impl fmt::Display for ServeError {
                     "shield re-synthesis failed (previous shield keeps serving): {e}"
                 )
             }
+            ServeError::Remote(e) => write!(f, "remote shard failed: {e}"),
+            ServeError::Shard {
+                status,
+                code,
+                message,
+            } => {
+                write!(f, "shard answered HTTP {status} ({code}): {message}")
+            }
+            ServeError::Unavailable {
+                deployment,
+                detail,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "every replica of {deployment:?} is down (last: {detail}); retry in {}s",
+                    retry_after.as_secs().max(1)
+                )
+            }
         }
     }
 }
@@ -118,6 +164,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Artifact(e) => Some(e),
             ServeError::Resynthesis(e) => Some(e),
+            ServeError::Remote(e) => Some(e),
             _ => None,
         }
     }

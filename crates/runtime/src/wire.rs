@@ -730,6 +730,188 @@ pub fn health_response(deployments: &[(String, u64)], uptime_seconds: u64) -> St
     .render()
 }
 
+/// Encodes the success response of a deployment `DELETE`:
+/// `{"deployment", "undeployed": true}`.
+pub fn undeployed_response(deployment: &str) -> String {
+    Json::Obj(vec![
+        ("deployment".to_string(), Json::Str(deployment.to_string())),
+        ("undeployed".to_string(), Json::Bool(true)),
+    ])
+    .render()
+}
+
+/// Encodes a batched decide request (`{"states": [[...], ...]}`) — the
+/// client half of [`decode_decide_request`].  Each coordinate renders with
+/// shortest-round-trip precision, so the shard evaluates exactly the bits
+/// the client held.
+#[must_use]
+pub fn decide_batch_request(states: &[Vec<f64>]) -> String {
+    let mut out = String::from("{\"states\":[");
+    for (i, state) in states.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, value) in state.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_f64(&mut out, *value);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Decodes a **batched** decide response (`{"decisions": [...]}`) back into
+/// shield decisions.  This is the client half of [`decide_response`]: the
+/// shortest-round-trip `f64` rendering guarantees every action coordinate
+/// parses back to the identical bit pattern, so a decision that crosses the
+/// wire twice (shard → router → client) is still bit-exact.
+///
+/// # Errors
+///
+/// [`WireError::Syntax`] on malformed JSON, [`WireError::Schema`] when the
+/// body is not a batched decide response.
+pub fn decode_decide_response(body: &[u8]) -> Result<Vec<ShieldDecision>, WireError> {
+    let json = Json::parse(body)?;
+    let Some(Json::Arr(rows)) = json.get("decisions") else {
+        return Err(WireError::Schema(
+            "response has no \"decisions\" array".to_string(),
+        ));
+    };
+    rows.iter()
+        .map(|row| {
+            let action = number_vec(
+                row.get("action")
+                    .ok_or_else(|| WireError::Schema("decision without \"action\"".to_string()))?,
+                "action",
+            )?;
+            let intervened = match row.get("intervened") {
+                Some(Json::Bool(b)) => *b,
+                _ => {
+                    return Err(WireError::Schema(
+                        "decision without boolean \"intervened\"".to_string(),
+                    ))
+                }
+            };
+            Ok(ShieldDecision { action, intervened })
+        })
+        .collect()
+}
+
+/// Decodes the generation from an artifact-`PUT` success response.
+///
+/// # Errors
+///
+/// [`WireError::Syntax`] / [`WireError::Schema`] as [`decode_decide_response`].
+pub fn decode_deployed_response(body: &[u8]) -> Result<u64, WireError> {
+    Json::parse(body)?
+        .get("generation")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError::Schema("response has no \"generation\"".to_string()))
+}
+
+/// Decodes a telemetry response back into a [`DeploymentTelemetry`] — the
+/// client half of [`telemetry_response`].  Counters travel as exact `u64`
+/// digits and percentiles as integer nanoseconds, so the decoded snapshot
+/// equals the shard's own.
+///
+/// # Errors
+///
+/// [`WireError::Syntax`] / [`WireError::Schema`] as [`decode_decide_response`].
+pub fn decode_telemetry_response(body: &[u8]) -> Result<DeploymentTelemetry, WireError> {
+    let json = Json::parse(body)?;
+    let field_u64 = |key: &str| -> Result<u64, WireError> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WireError::Schema(format!("telemetry has no integer \"{key}\"")))
+    };
+    let deployment = match json.get("deployment") {
+        Some(Json::Str(name)) => name.clone(),
+        _ => {
+            return Err(WireError::Schema(
+                "telemetry has no \"deployment\"".to_string(),
+            ))
+        }
+    };
+    let intervention_rate = json
+        .get("intervention_rate")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| WireError::Schema("telemetry has no \"intervention_rate\"".to_string()))?;
+    Ok(DeploymentTelemetry {
+        deployment,
+        generation: field_u64("generation")?,
+        requests: field_u64("requests")?,
+        decisions: field_u64("decisions")?,
+        interventions: field_u64("interventions")?,
+        redeploys: field_u64("redeploys")?,
+        intervention_rate,
+        p50_latency: std::time::Duration::from_nanos(field_u64("p50_latency_ns")?),
+        p99_latency: std::time::Duration::from_nanos(field_u64("p99_latency_ns")?),
+    })
+}
+
+/// Decodes a `GET /healthz` response into
+/// `(uptime_seconds, [(deployment, generation)])` — the client half of
+/// [`health_response`], used by the fleet health prober.
+///
+/// # Errors
+///
+/// [`WireError::Syntax`] / [`WireError::Schema`] as [`decode_decide_response`].
+pub fn decode_health_response(body: &[u8]) -> Result<(u64, Vec<(String, u64)>), WireError> {
+    let json = Json::parse(body)?;
+    let uptime = json
+        .get("uptime_seconds")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError::Schema("healthz has no \"uptime_seconds\"".to_string()))?;
+    let Some(Json::Arr(rows)) = json.get("deployments") else {
+        return Err(WireError::Schema(
+            "healthz has no \"deployments\" array".to_string(),
+        ));
+    };
+    let deployments = rows
+        .iter()
+        .map(|row| {
+            let name = match row.get("name") {
+                Some(Json::Str(name)) => name.clone(),
+                _ => {
+                    return Err(WireError::Schema(
+                        "healthz deployment without \"name\"".to_string(),
+                    ))
+                }
+            };
+            let generation = row
+                .get("generation")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| {
+                    WireError::Schema("healthz deployment without \"generation\"".to_string())
+                })?;
+            Ok((name, generation))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((uptime, deployments))
+}
+
+/// Decodes a structured error envelope into `(status, code, message)`;
+/// `None` when the body is not an [`error_body`]-shaped envelope (e.g. a
+/// shard returning garbage).
+pub fn decode_error_body(body: &[u8]) -> Option<(u16, String, String)> {
+    let json = Json::parse(body).ok()?;
+    let error = json.get("error")?;
+    let status = error.get("status").and_then(Json::as_u64)?;
+    let code = match error.get("code") {
+        Some(Json::Str(code)) => code.clone(),
+        _ => return None,
+    };
+    let message = match error.get("message") {
+        Some(Json::Str(message)) => message.clone(),
+        _ => return None,
+    };
+    Some((u16::try_from(status).ok()?, code, message))
+}
+
 /// Encodes the structured error body every non-2xx response carries:
 /// `{"error": {"status", "code", "message", "request_id"}}`.  The
 /// request id is the one echoed in the `X-Request-Id` response header,
@@ -946,6 +1128,92 @@ mod tests {
             error.get("request_id"),
             Some(&Json::Str("req-0000000000000001-abcd".to_string()))
         );
+    }
+
+    #[test]
+    fn responses_decode_back_to_their_sources() {
+        // decide: encode → decode is bit-exact on awkward f64s.
+        let decisions = vec![
+            ShieldDecision {
+                action: vec![0.1, -1.0 / 3.0, -0.0, 2.0],
+                intervened: true,
+            },
+            ShieldDecision {
+                action: vec![f64::MIN_POSITIVE, 1.7976931348623157e308],
+                intervened: false,
+            },
+        ];
+        let body = decide_response("d", &decisions, true);
+        let back = decode_decide_response(body.as_bytes()).unwrap();
+        assert_eq!(back.len(), decisions.len());
+        for (a, b) in back.iter().zip(decisions.iter()) {
+            assert_eq!(a.intervened, b.intervened);
+            for (x, y) in a.action.iter().zip(b.action.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Single-shape and malformed bodies are schema errors, not panics.
+        assert!(
+            decode_decide_response(decide_response("d", &decisions, false).as_bytes()).is_err()
+        );
+        assert!(decode_decide_response(b"{}").is_err());
+        assert!(decode_decide_response(b"garbage").is_err());
+
+        // telemetry round-trips exactly (u64 counters, ns percentiles).
+        let telemetry = DeploymentTelemetry {
+            deployment: "pendulum".to_string(),
+            generation: 3,
+            requests: 9_007_199_254_740_993, // > 2^53: must stay exact
+            decisions: 42,
+            interventions: 7,
+            redeploys: 2,
+            intervention_rate: 7.0 / 42.0,
+            p50_latency: std::time::Duration::from_nanos(12_345),
+            p99_latency: std::time::Duration::from_nanos(98_765),
+        };
+        let body = telemetry_response(&telemetry);
+        assert_eq!(
+            decode_telemetry_response(body.as_bytes()).unwrap(),
+            telemetry
+        );
+        assert!(decode_telemetry_response(b"{}").is_err());
+
+        // healthz round-trips.
+        let body = health_response(&[("a".to_string(), 1), ("b".to_string(), 5)], 99);
+        let (uptime, deployments) = decode_health_response(body.as_bytes()).unwrap();
+        assert_eq!(uptime, 99);
+        assert_eq!(
+            deployments,
+            vec![("a".to_string(), 1), ("b".to_string(), 5)]
+        );
+
+        // PUT success and DELETE success decode.
+        let meta = ArtifactMetadata {
+            environment: "toy".to_string(),
+            state_dim: 1,
+            action_dim: 1,
+            pieces: 1,
+            oracle_parameters: 10,
+            label: String::new(),
+        };
+        let body = deployed_response("toy", 4, &meta);
+        assert_eq!(decode_deployed_response(body.as_bytes()).unwrap(), 4);
+        let body = undeployed_response("toy");
+        let json = Json::parse(body.as_bytes()).unwrap();
+        assert_eq!(json.get("undeployed"), Some(&Json::Bool(true)));
+
+        // Error envelopes decode to (status, code, message).
+        let body = error_body(503, "unavailable", "both replicas down", "req-1");
+        assert_eq!(
+            decode_error_body(body.as_bytes()),
+            Some((
+                503,
+                "unavailable".to_string(),
+                "both replicas down".to_string()
+            ))
+        );
+        assert_eq!(decode_error_body(b"not json"), None);
+        assert_eq!(decode_error_body(b"{\"error\": 1}"), None);
     }
 
     #[test]

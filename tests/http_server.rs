@@ -472,12 +472,7 @@ fn series_names(text: &str) -> Vec<String> {
     let mut names: Vec<String> = text
         .lines()
         .filter(|line| !line.starts_with('#') && !line.is_empty())
-        .map(|line| {
-            line.split(['{', ' '])
-                .next()
-                .unwrap()
-                .to_string()
-        })
+        .map(|line| line.split(['{', ' ']).next().unwrap().to_string())
         .collect();
     names.sort();
     names.dedup();
@@ -734,4 +729,107 @@ fn keep_alive_and_pipelined_requests_share_a_connection() {
     let text = String::from_utf8_lossy(&out);
     assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
     frontend.shutdown();
+}
+
+#[test]
+fn delete_undeploys_over_the_wire() {
+    let server = Arc::new(ShieldServer::with_workers(1));
+    let frontend = start_frontend(server);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    let put = client
+        .request(
+            "PUT",
+            "/v1/deployments/toy",
+            &pendulum_artifact(11).to_bytes(),
+        )
+        .unwrap();
+    assert_eq!(put.status, 200);
+
+    let deleted = client
+        .request("DELETE", "/v1/deployments/toy", b"")
+        .unwrap();
+    assert_eq!(deleted.status, 200);
+    let json = Json::parse(&deleted.body).unwrap();
+    assert_eq!(json.get("undeployed"), Some(&Json::Bool(true)));
+
+    // A second DELETE and a decide against the gone deployment are both
+    // structured 404s, not dropped connections.
+    let again = client
+        .request("DELETE", "/v1/deployments/toy", b"")
+        .unwrap();
+    assert_eq!(again.status, 404);
+    assert!(
+        again.text().contains("unknown_deployment"),
+        "{}",
+        again.text()
+    );
+    let decide = client
+        .request(
+            "POST",
+            "/v1/deployments/toy/decide",
+            br#"{"state": [0.0, 0.0]}"#,
+        )
+        .unwrap();
+    assert_eq!(decide.status, 404);
+    frontend.shutdown();
+}
+
+#[test]
+fn overload_503_carries_retry_after() {
+    let server = Arc::new(ShieldServer::with_workers(1));
+    let config = HttpConfig {
+        max_connections: 1,
+        idle_timeout: Duration::from_secs(5),
+        ..HttpConfig::default()
+    };
+    let frontend =
+        HttpFrontend::bind("127.0.0.1:0", server, config).expect("loopback bind succeeds");
+
+    // The first client occupies the only connection slot (its keep-alive
+    // serving thread stays live between requests).
+    let mut first = MiniClient::connect(frontend.local_addr()).unwrap();
+    assert_eq!(first.request("GET", "/healthz", b"").unwrap().status, 200);
+
+    // The second connection is shed with a structured 503 that tells the
+    // client when to come back.
+    let mut second = MiniClient::connect(frontend.local_addr()).unwrap();
+    let shed = second.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(shed.status, 503);
+    assert!(shed.text().contains("overloaded"), "{}", shed.text());
+    let retry_after = shed
+        .header("retry-after")
+        .expect("overload 503 advertises retry-after");
+    assert!(
+        retry_after.parse::<u64>().unwrap() >= 1,
+        "retry-after must be at least a second: {retry_after}"
+    );
+    frontend.shutdown();
+}
+
+#[test]
+fn mini_client_read_timeout_is_a_clean_error() {
+    // A listener that accepts at the OS level (connects land in the
+    // backlog) but never answers: the request must fail with a clean
+    // `TimedOut` within the configured deadline, not hang.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = MiniClient::connect_with_timeouts(
+        addr,
+        Duration::from_secs(1),
+        Duration::from_millis(200),
+        Duration::from_millis(200),
+    )
+    .expect("connect lands in the accept backlog");
+    let started = std::time::Instant::now();
+    let error = client
+        .request("GET", "/healthz", b"")
+        .expect_err("silent peer must time out");
+    assert_eq!(error.kind(), std::io::ErrorKind::TimedOut, "{error}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout must honor the configured deadline, took {:?}",
+        started.elapsed()
+    );
+    drop(listener);
 }
