@@ -1,0 +1,338 @@
+//! Precomputed decision-table benchmarks: `Shield::decide` with an
+//! interval-certified table vs the exact compiled path.
+//!
+//! The headline shield is deliberately certificate-heavy — sixteen pieces
+//! with degree-6 certificates on the pendulum, so the exact path's
+//! first-containing-piece scan dominates each decision — and throughput is
+//! measured on *table-covered* states (the predicted successor lands in a
+//! certified-covered cell), where the table answers in O(1).  Both paths
+//! still pay the dynamics step; the table cannot skip physics.
+//!
+//! Honest counterpoints recorded alongside: the single-piece pendulum demo
+//! shield (much less certificate work to skip, much smaller win), and a
+//! per-benchmark sweep over all 15 Table 1 environments recording build
+//! time, memory, and the boundary-cell fraction at a dimension-bounded
+//! resolution.
+//!
+//! Results land in the `decide_table` section of `BENCH_eval.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use vrl::dynamics::EnvironmentContext;
+use vrl::shield::{Shield, ShieldPiece, TableConfig};
+use vrl::synth::PolicyProgram;
+use vrl::verify::BarrierCertificate;
+use vrl_benchmarks::{all_benchmarks, benchmark_by_name};
+use vrl_runtime::fixtures;
+
+/// Number of pieces in the headline shield.
+const HEADLINE_PIECES: usize = 16;
+
+/// The ellipsoid `Σ (x_i / r_i)² − 1` cubed: a degree-6 certificate with
+/// the same sublevel region as the ellipsoid (`q³ ≤ 0 ⇔ q ≤ 0`) but three
+/// times the evaluation work per membership test.
+fn cubed_ellipsoid(env: &EnvironmentContext, radii: &[f64]) -> BarrierCertificate {
+    let q = fixtures::ellipsoid_certificate(env, radii)
+        .polynomial()
+        .clone();
+    BarrierCertificate::new(&(&q * &q) * &q)
+}
+
+/// The certificate-heavy headline shield: fifteen concentric decoy pieces
+/// whose tiny invariants contain almost nothing, then the real piece sized
+/// at a quarter of the safe box.  The exact path's coverage scan evaluates
+/// all sixteen degree-6 certificates for a typical state; the table answers
+/// from one certified cell.
+fn headline_shield(env: &EnvironmentContext) -> Shield {
+    let safe = env.safety().safe_box();
+    let widths: Vec<f64> = safe
+        .lows()
+        .iter()
+        .zip(safe.highs().iter())
+        .map(|(lo, hi)| hi - lo)
+        .collect();
+    let gains = vec![vec![-0.5; env.state_dim()]; env.action_dim()];
+    let program = || PolicyProgram::linear(&gains, &vec![0.0; env.action_dim()]);
+    let mut pieces = Vec::with_capacity(HEADLINE_PIECES);
+    for decoy in 0..HEADLINE_PIECES - 1 {
+        let scale = 0.01 + 0.005 * decoy as f64;
+        let radii: Vec<f64> = widths.iter().map(|w| scale * w).collect();
+        pieces.push(ShieldPiece::new(program(), cubed_ellipsoid(env, &radii)));
+    }
+    let radii: Vec<f64> = widths.iter().map(|w| 0.25 * w).collect();
+    pieces.push(ShieldPiece::new(program(), cubed_ellipsoid(env, &radii)));
+    Shield::new(env.clone(), pieces)
+}
+
+/// Samples `count` (state, proposal) pairs whose predicted successor lands
+/// in a *certified-covered* table cell — the states the tentpole's O(1)
+/// claim is about.
+fn covered_states(
+    env: &EnvironmentContext,
+    tabled: &Shield,
+    count: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let table = tabled.table().expect("headline shield has a table");
+    let safe = env.safety().safe_box().clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut states = Vec::with_capacity(count);
+    let mut proposals = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while states.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count * 1000,
+            "covered cells must be reachable by sampling"
+        );
+        let state = safe.sample(&mut rng);
+        let proposed: Vec<f64> = (0..env.action_dim())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let predicted = env.step_deterministic(&state, &proposed);
+        if table.coverage(&predicted) == Some(true) {
+            states.push(state);
+            proposals.push(proposed);
+        }
+    }
+    (states, proposals)
+}
+
+/// Times `f` over `rounds` passes, returning seconds per pass.
+fn time_per_pass(rounds: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        f();
+    }
+    start.elapsed().as_secs_f64() / rounds as f64
+}
+
+struct Throughput {
+    table_per_sec: f64,
+    exact_per_sec: f64,
+    batch_table_per_sec: f64,
+    batch_exact_per_sec: f64,
+    build_sec: f64,
+    memory_bytes: usize,
+    boundary_fraction: f64,
+}
+
+/// Measures scalar and batched decide throughput on table-covered states
+/// for `shield` (which must carry a table) against its exact path.
+fn measure_throughput(
+    c: &mut Criterion,
+    label: &str,
+    env: &EnvironmentContext,
+    build: impl Fn() -> Shield,
+    config: &TableConfig,
+) -> Throughput {
+    let start = Instant::now();
+    let tabled = build()
+        .with_table(config)
+        .expect("the safe box grids cleanly");
+    let build_sec = start.elapsed().as_secs_f64();
+    let exact = build();
+    let stats = *tabled.table().unwrap().stats();
+    let (states, proposals) = covered_states(env, &tabled, 4096, 5);
+
+    // Conformance before timing: identical decisions on every pair.
+    for (state, proposed) in states.iter().zip(proposals.iter()).take(512) {
+        assert_eq!(
+            tabled.decide(state, proposed),
+            exact.decide(state, proposed),
+            "table and exact paths must agree before we time them"
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("decide_table/{label}"));
+    group.sample_size(10);
+    group.bench_function("table", |b| {
+        b.iter(|| {
+            for (state, proposed) in states.iter().zip(proposals.iter()) {
+                black_box(tabled.decide(black_box(state), black_box(proposed)));
+            }
+        })
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            for (state, proposed) in states.iter().zip(proposals.iter()) {
+                black_box(exact.decide(black_box(state), black_box(proposed)));
+            }
+        })
+    });
+    group.finish();
+
+    let per_pass = states.len() as f64;
+    let table_scalar = time_per_pass(10, || {
+        for (state, proposed) in states.iter().zip(proposals.iter()) {
+            black_box(tabled.decide(state, proposed));
+        }
+    });
+    let exact_scalar = time_per_pass(10, || {
+        for (state, proposed) in states.iter().zip(proposals.iter()) {
+            black_box(exact.decide(state, proposed));
+        }
+    });
+    let table_batch = time_per_pass(10, || {
+        black_box(tabled.decide_batch(&states, &proposals));
+    });
+    let exact_batch = time_per_pass(10, || {
+        black_box(exact.decide_batch(&states, &proposals));
+    });
+    let numbers = Throughput {
+        table_per_sec: per_pass / table_scalar,
+        exact_per_sec: per_pass / exact_scalar,
+        batch_table_per_sec: per_pass / table_batch,
+        batch_exact_per_sec: per_pass / exact_batch,
+        build_sec,
+        memory_bytes: stats.memory_bytes,
+        boundary_fraction: stats.boundary_fraction(),
+    };
+    println!(
+        "  -> {label}: table {:.0}/s vs exact {:.0}/s ({:.2}x scalar, {:.2}x batched); \
+         build {:.1} ms, {} cells ({:.1} KiB), {:.2}% boundary",
+        numbers.table_per_sec,
+        numbers.exact_per_sec,
+        numbers.table_per_sec / numbers.exact_per_sec,
+        numbers.batch_table_per_sec / numbers.batch_exact_per_sec,
+        build_sec * 1e3,
+        stats.cells,
+        stats.memory_bytes as f64 / 1024.0,
+        numbers.boundary_fraction * 100.0
+    );
+    numbers
+}
+
+/// Per-benchmark build cost at a dimension-bounded resolution (the largest
+/// near-uniform grid under 4096 cells): build time, memory, and how much of
+/// the grid the interval certification left to the exact path.
+fn benchmark_sweep() -> Vec<(String, f64, usize, f64, f64)> {
+    let mut rows = Vec::new();
+    for spec in all_benchmarks() {
+        let name = spec.name().to_string();
+        let env = spec.into_env();
+        let dim = env.state_dim();
+        let mut base = 1usize;
+        while (base + 1)
+            .checked_pow(dim as u32)
+            .is_some_and(|c| c <= 4096)
+        {
+            base += 1;
+        }
+        let safe = env.safety().safe_box();
+        let radii: Vec<f64> = safe
+            .lows()
+            .iter()
+            .zip(safe.highs().iter())
+            .map(|(lo, hi)| 0.25 * (hi - lo))
+            .collect();
+        let gains = vec![vec![-0.5; env.state_dim()]; env.action_dim()];
+        let program = PolicyProgram::linear(&gains, &vec![0.0; env.action_dim()]);
+        let shield = Shield::new(
+            env.clone(),
+            vec![ShieldPiece::new(
+                program,
+                fixtures::ellipsoid_certificate(&env, &radii),
+            )],
+        );
+        let start = Instant::now();
+        let tabled = shield
+            .with_table(&TableConfig::uniform(base))
+            .expect("benchmark safe boxes grid cleanly");
+        let build_sec = start.elapsed().as_secs_f64();
+        let stats = tabled.table().unwrap().stats();
+        let certified = (stats.covered + stats.uncovered) as f64 / stats.cells as f64;
+        println!(
+            "  -> {name:<20} {dim}-D res {base:>3}: build {:>7.2} ms, {:>7} cells, \
+             {:>6.1} KiB, {:.1}% certified",
+            build_sec * 1e3,
+            stats.cells,
+            stats.memory_bytes as f64 / 1024.0,
+            certified * 100.0
+        );
+        rows.push((
+            name,
+            build_sec,
+            stats.memory_bytes,
+            stats.boundary_fraction(),
+            certified,
+        ));
+    }
+    rows
+}
+
+fn write_results(
+    headline: &Throughput,
+    single: &Throughput,
+    sweep: &[(String, f64, usize, f64, f64)],
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    let throughput_json = |t: &Throughput| {
+        format!(
+            "{{\n      \"table_decide_per_sec\": {:.0},\n      \"exact_decide_per_sec\": {:.0},\n      \"speedup\": {:.2},\n      \"batch_table_per_sec\": {:.0},\n      \"batch_exact_per_sec\": {:.0},\n      \"batch_speedup\": {:.2},\n      \"build_sec\": {:.6e},\n      \"memory_bytes\": {},\n      \"boundary_fraction\": {:.4}\n    }}",
+            t.table_per_sec,
+            t.exact_per_sec,
+            t.table_per_sec / t.exact_per_sec,
+            t.batch_table_per_sec,
+            t.batch_exact_per_sec,
+            t.batch_table_per_sec / t.batch_exact_per_sec,
+            t.build_sec,
+            t.memory_bytes,
+            t.boundary_fraction,
+        )
+    };
+    let sweep_rows: Vec<String> = sweep
+        .iter()
+        .map(|(name, build_sec, memory, boundary, certified)| {
+            format!(
+                "      \"{name}\": {{\"build_ms\": {:.3}, \"memory_kib\": {:.1}, \"boundary_fraction\": {:.4}, \"certified_fraction\": {:.4}}}",
+                build_sec * 1e3,
+                *memory as f64 / 1024.0,
+                boundary,
+                certified,
+            )
+        })
+        .collect();
+    let section = format!
+    (
+        "{{\n    \"note\": \"Throughput on table-covered states (predicted successor in a certified-covered cell), 4096 states; both paths pay the dynamics step. The headline shield is certificate-heavy (16 pieces, degree-6 certificates, 128x128 grid) — the geometry the table exists for; single_piece_pendulum is the honest small case (one degree-2 certificate, little work to skip). The sweep records deploy-time build cost per Table 1 benchmark at the largest near-uniform grid under 4096 cells.\",\n    \"headline_16piece_deg6\": {},\n    \"single_piece_pendulum\": {},\n    \"benchmark_builds\": {{\n{}\n    }}\n  }}",
+        throughput_json(headline),
+        throughput_json(single),
+        sweep_rows.join(",\n"),
+    );
+    vrl_bench::upsert_bench_sections(path, &[("decide_table", section)])
+        .expect("BENCH_eval.json must be writable");
+    println!("  -> wrote {path}");
+}
+
+fn bench_all(c: &mut Criterion) {
+    let env = benchmark_by_name("pendulum").expect("pendulum").into_env();
+    let headline = measure_throughput(
+        c,
+        "headline_16piece_deg6",
+        &env,
+        || headline_shield(&env),
+        &TableConfig::uniform(128),
+    );
+    assert!(
+        headline.table_per_sec / headline.exact_per_sec >= 5.0,
+        "acceptance: table-covered decides must be at least 5x the exact path \
+         (got {:.2}x)",
+        headline.table_per_sec / headline.exact_per_sec
+    );
+    let single = measure_throughput(
+        c,
+        "single_piece_pendulum",
+        &env,
+        || fixtures::ellipsoid_shield(&env, &fixtures::PENDULUM_GAINS, &fixtures::PENDULUM_RADII),
+        &TableConfig::uniform(128),
+    );
+    let sweep = benchmark_sweep();
+    write_results(&headline, &single, &sweep);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -2,19 +2,26 @@
 //! round-trips a verified [`Shield`] together with its [`NeuralPolicy`]
 //! oracle.
 //!
-//! # Wire format (version 1)
+//! # Wire format (version 2)
 //!
 //! ```text
 //! magic   4 bytes   b"VRLA"
 //! version u32       FORMAT_VERSION
 //! length  u64       payload length in bytes
-//! payload length    encoded portable shield + oracle + label
+//! payload length    encoded portable shield + oracle + label [+ table config]
 //! check   u64       FNV-1a of the payload
 //! ```
 //!
-//! The version gate is strict: an artifact written by a newer format is
-//! rejected with [`ArtifactError::UnsupportedVersion`] instead of being
-//! misparsed, and any payload corruption fails the checksum before the
+//! Version 2 appends an optional decision-table configuration
+//! ([`TableConfig`]) after the label; version-1 artifacts (no trailing
+//! config) are still accepted and deploy without a table.  The table itself
+//! is **never serialized** — it is derived data, rebuilt from the config by
+//! [`ShieldArtifact::from_bytes`] — so a loaded table can never disagree
+//! with the shield it serves.
+//!
+//! The version gate is otherwise strict: an artifact written by a newer
+//! format is rejected with [`ArtifactError::UnsupportedVersion`] instead of
+//! being misparsed, and any payload corruption fails the checksum before the
 //! decoder runs.  Decoding then re-validates every structural invariant via
 //! the `from_portable` constructors, so a loaded artifact is exactly as
 //! trustworthy as one just produced by the synthesis pipeline.
@@ -25,12 +32,15 @@ use std::path::Path;
 use vrl::dynamics::PortableEnvironment;
 use vrl::poly::PortablePolynomial;
 use vrl::rl::{NeuralPolicy, PortableNeuralPolicy};
-use vrl::shield::{PortableShield, PortableShieldPiece, Shield};
+use vrl::shield::{PortableShield, PortableShieldPiece, Shield, TableConfig};
 use vrl::synth::{PortableGuardedPolicy, PortableProgram};
 use vrl::verify::PortableCertificate;
 
 /// Current artifact format version.  Bump on any wire-format change.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest artifact format version this build still reads.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Leading magic bytes of every artifact.
 pub const MAGIC: [u8; 4] = *b"VRLA";
@@ -153,6 +163,7 @@ pub struct ShieldArtifact {
     shield: Shield,
     oracle: NeuralPolicy,
     label: String,
+    table_config: Option<TableConfig>,
 }
 
 impl ShieldArtifact {
@@ -178,10 +189,14 @@ impl ShieldArtifact {
                 shield.env().action_dim()
             )));
         }
+        // A shield that already carries a table keeps it: capture its config
+        // so serialization round-trips the deployment intent.
+        let table_config = shield.table().map(|t| t.config().clone());
         Ok(ShieldArtifact {
             shield,
             oracle,
             label: String::new(),
+            table_config,
         })
     }
 
@@ -189,6 +204,37 @@ impl ShieldArtifact {
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
         self
+    }
+
+    /// Attaches a decision-table configuration and rebuilds the shield's
+    /// table from it immediately, so [`ShieldArtifact::shield`] serves
+    /// table-dispatched decisions.  The config is persisted with the
+    /// artifact (the table itself never is — loaders rebuild it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Invalid`] when the table cannot be built
+    /// for this shield and config.
+    pub fn with_table_config(mut self, config: TableConfig) -> Result<Self, ArtifactError> {
+        self.shield = self
+            .shield
+            .with_table(&config)
+            .map_err(|e| ArtifactError::Invalid(e.to_string()))?;
+        self.table_config = Some(config);
+        Ok(self)
+    }
+
+    /// Drops the decision-table configuration (and the shield's table):
+    /// the artifact deploys on the exact compiled path only.
+    pub fn without_table_config(mut self) -> Self {
+        self.shield = self.shield.without_table();
+        self.table_config = None;
+        self
+    }
+
+    /// The persisted decision-table configuration, when one is attached.
+    pub fn table_config(&self) -> Option<&TableConfig> {
+        self.table_config.as_ref()
     }
 
     /// The verified shield.
@@ -225,6 +271,7 @@ impl ShieldArtifact {
         encode_shield(&mut payload, &self.shield.to_portable());
         encode_neural_policy(&mut payload, &self.oracle.to_portable());
         payload.put_str(&self.label);
+        encode_table_config(&mut payload, self.table_config.as_ref());
         let payload = payload.into_bytes();
         let mut out = Writer::new();
         out.put_u8(MAGIC[0]);
@@ -259,7 +306,7 @@ impl ShieldArtifact {
             return Err(ArtifactError::BadMagic);
         }
         let version = header.get_u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(ArtifactError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -298,11 +345,25 @@ impl ShieldArtifact {
         let portable_shield = decode_shield(&mut reader)?;
         let portable_oracle = decode_neural_policy(&mut reader)?;
         let label = reader.get_str()?;
+        // Version 1 payloads end at the label; version 2 appends the
+        // optional table config.
+        let table_config = if version >= 2 {
+            decode_table_config(&mut reader)?
+        } else {
+            None
+        };
         reader.finish()?;
         let shield = Shield::from_portable(&portable_shield).map_err(ArtifactError::Invalid)?;
         let oracle =
             NeuralPolicy::from_portable(&portable_oracle).map_err(ArtifactError::Invalid)?;
-        Ok(ShieldArtifact::new(shield, oracle)?.with_label(label))
+        let artifact = ShieldArtifact::new(shield, oracle)?.with_label(label);
+        // The table is derived data: rebuild it from the config here (under
+        // the `shield.table_build` span) rather than trusting serialized
+        // cells that could go stale against the shield.
+        match table_config {
+            Some(config) => artifact.with_table_config(config),
+            None => Ok(artifact),
+        }
     }
 
     /// Writes the artifact to a file.
@@ -490,6 +551,41 @@ fn decode_shield(r: &mut Reader<'_>) -> Result<PortableShield, DecodeError> {
     Ok(PortableShield { env, pieces })
 }
 
+fn encode_table_config(w: &mut Writer, config: Option<&TableConfig>) {
+    match config {
+        None => w.put_u8(0),
+        Some(config) => {
+            w.put_u8(1);
+            w.put_len(config.resolution.len());
+            for &r in &config.resolution {
+                w.put_u64(r as u64);
+            }
+            w.put_u64(config.max_cells as u64);
+            w.put_u64(config.build_budget as u64);
+        }
+    }
+}
+
+fn decode_table_config(r: &mut Reader<'_>) -> Result<Option<TableConfig>, DecodeError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        _ => {
+            let n = r.get_len()?;
+            let mut resolution = Vec::with_capacity(n);
+            for _ in 0..n {
+                resolution.push(r.get_u64()? as usize);
+            }
+            let max_cells = r.get_u64()? as usize;
+            let build_budget = r.get_u64()? as usize;
+            Ok(Some(TableConfig {
+                resolution,
+                max_cells,
+                build_budget,
+            }))
+        }
+    }
+}
+
 fn encode_neural_policy(w: &mut Writer, policy: &PortableNeuralPolicy) {
     w.put_u32_slice(&policy.network.layer_sizes);
     w.put_len(policy.network.activations.len());
@@ -643,6 +739,69 @@ mod tests {
             ShieldArtifact::from_bytes(&bytes),
             Err(ArtifactError::Decode(DecodeError::TrailingBytes { .. }))
         ));
+    }
+
+    #[test]
+    fn table_config_round_trips_and_rebuilds_the_table() {
+        let artifact = toy_artifact(2)
+            .with_table_config(TableConfig::uniform(32))
+            .expect("the toy safe box grids cleanly");
+        assert!(artifact.shield().table().is_some());
+        let restored = ShieldArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        assert_eq!(restored.table_config(), artifact.table_config());
+        // The table is rebuilt, not deserialized — and the rebuild is
+        // deterministic, so the tables are identical cell for cell.
+        assert_eq!(
+            restored.shield().table().unwrap(),
+            artifact.shield().table().unwrap()
+        );
+        for x in [-0.9, -0.3, 0.0, 0.4, 0.88, 1.2] {
+            assert_eq!(
+                restored.shield().decide(&[x], &[0.5]),
+                artifact.shield().decide(&[x], &[0.5])
+            );
+        }
+        // Dropping the config drops the table.
+        let stripped = restored.without_table_config();
+        assert!(stripped.table_config().is_none());
+        assert!(stripped.shield().table().is_none());
+        assert!(ShieldArtifact::from_bytes(&stripped.to_bytes())
+            .unwrap()
+            .table_config()
+            .is_none());
+    }
+
+    #[test]
+    fn rejected_table_configs_do_not_build_artifacts() {
+        let bad = TableConfig {
+            resolution: vec![1000],
+            max_cells: 10,
+            ..TableConfig::default()
+        };
+        assert!(matches!(
+            toy_artifact(2).with_table_config(bad),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load() {
+        // A true version-1 stream is the version-2 stream minus the
+        // trailing no-table-config flag byte: reconstruct one and check it
+        // still loads (without a table).
+        let artifact = toy_artifact(2);
+        let bytes = artifact.to_bytes();
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let payload = &bytes[16..16 + payload_len - 1];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(payload);
+        v1.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        let restored = ShieldArtifact::from_bytes(&v1).expect("version 1 still loads");
+        assert!(restored.table_config().is_none());
+        assert_eq!(restored.metadata(), artifact.metadata());
     }
 
     #[test]

@@ -88,7 +88,9 @@ mod server;
 mod telemetry;
 pub mod wire;
 
-pub use artifact::{ArtifactError, ArtifactMetadata, ShieldArtifact, FORMAT_VERSION, MAGIC};
+pub use artifact::{
+    ArtifactError, ArtifactMetadata, ShieldArtifact, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION,
+};
 pub use codec::DecodeError;
 pub use fleet::{FleetConfig, FleetRouter};
 pub use http::{HttpConfig, HttpFrontend, MiniClient, MiniResponse, ShieldBackend};

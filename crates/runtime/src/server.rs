@@ -574,11 +574,19 @@ impl ShieldServer {
             .redeploy_guard
             .lock()
             .expect("redeploy lock never poisoned");
-        let oracle = deployment.snapshot().artifact.oracle().clone();
+        let snapshot = deployment.snapshot();
+        let oracle = snapshot.artifact.oracle().clone();
+        let table_config = snapshot.artifact.table_config().cloned();
         let (shield, report) =
             resynthesize_shield_for(new_env, &oracle, config).map_err(ServeError::Resynthesis)?;
         let label = format!("resynthesized for {}", new_env.name());
-        let artifact = ShieldArtifact::new(shield, oracle)?.with_label(label);
+        let mut artifact = ShieldArtifact::new(shield, oracle)?.with_label(label);
+        // Carry the deployment's decision-table intent across the
+        // resynthesis: the new shield gets a fresh table built for *its*
+        // certificates under the same config.
+        if let Some(table_config) = table_config {
+            artifact = artifact.with_table_config(table_config)?;
+        }
         let generation = Self::swap_locked(&deployment, artifact)?;
         Ok((generation, report))
     }

@@ -9,6 +9,10 @@
 //! * [`Shield`] / [`ShieldedPolicy`] — Algorithm 3, the runtime monitor that
 //!   lets the neural policy act freely while its proposed actions keep the
 //!   system inside a proven invariant, and overrides them otherwise;
+//! * [`DecisionTable`] — a deploy-time precomputed grid over the safe box
+//!   whose interval-certified cells answer most decisions in O(1)
+//!   ([`Shield::with_table`]), falling back to the exact compiled path on
+//!   boundary cells so table decisions stay bit-identical;
 //! * [`evaluate_shielded_system`] — the measurement harness behind the
 //!   failures / interventions / overhead / performance columns of Tables 1–3.
 //!
@@ -44,12 +48,14 @@ mod cegis;
 mod metrics;
 mod obs;
 mod shield;
+mod table;
 
 pub use cegis::{
     find_uncovered_initial_state, synthesize_shield, CegisConfig, CegisError, CegisReport,
 };
 pub use metrics::{evaluate_shielded_system, ShieldEvaluation};
-pub use obs::install_metrics;
+pub use obs::{decide_table_traffic, install_metrics};
 pub use shield::{
     PortableShield, PortableShieldPiece, Shield, ShieldDecision, ShieldPiece, ShieldedPolicy,
 };
+pub use table::{CellClass, DecisionTable, TableConfig, TableError, TableStats};

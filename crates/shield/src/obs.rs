@@ -1,15 +1,19 @@
-//! CEGIS metrics: per-run counters and the synthesis-latency histogram,
+//! CEGIS and decision-table metrics: per-run counters, the
+//! synthesis-latency histogram, and the decide-table traffic counters,
 //! registered in the process-wide [`vrl_obs`] registry.
 //!
 //! Algorithm 2 already tracks its own attempts for [`crate::CegisReport`];
 //! these counters mirror that bookkeeping (plus verify rejections and
 //! terminal failures) into the registry so a serving process that
 //! resynthesizes shields exposes its synthesis cost at `GET /metrics`.
+//! The precomputed [`crate::DecisionTable`] adds three series: decide
+//! lanes resolved by a certified cell, lanes routed through the exact
+//! fallback, and the build-time cell-class census (labeled by class).
 //! The loop's control flow and the synthesized shields are untouched —
 //! instrumentation observes, never decides.
 
 use std::sync::LazyLock;
-use vrl_obs::{registry, Counter, Histogram};
+use vrl_obs::{registry, Counter, CounterVec, Histogram};
 
 macro_rules! cegis_counter {
     ($fn_name:ident, $metric:literal, $help:literal) => {
@@ -48,6 +52,37 @@ cegis_counter!(
     "CEGIS runs that gave up with an uncovered initial state."
 );
 
+cegis_counter!(
+    decide_table_hits,
+    "vrl_shield_decide_table_hits_total",
+    "Shield decisions resolved by a precomputed decision-table cell."
+);
+cegis_counter!(
+    decide_table_fallbacks,
+    "vrl_shield_decide_table_fallbacks_total",
+    "Shield decisions routed through the exact path from a boundary cell."
+);
+
+/// Per-class census of decision-table cells classified at build time
+/// (`class` is `covered`, `uncovered`, or `boundary`).
+pub(crate) fn decide_table_cells(class: &str) -> &'static Counter {
+    static HANDLE: LazyLock<&'static CounterVec> = LazyLock::new(|| {
+        registry().counter_vec(
+            "vrl_shield_decide_table_cells",
+            "class",
+            "Decision-table cells classified at build time, by certification class.",
+        )
+    });
+    HANDLE.with(class)
+}
+
+/// Total decisions routed through a decision table so far (certified-cell
+/// hits plus boundary-cell fallbacks) — a convenience for tests and serving
+/// health checks that only need "is the table in the path at all?".
+pub fn decide_table_traffic() -> u64 {
+    decide_table_hits().get() + decide_table_fallbacks().get()
+}
+
 /// Wall-clock duration of completed CEGIS runs (success or failure).
 pub(crate) fn cegis_seconds() -> &'static Histogram {
     static HANDLE: LazyLock<&'static Histogram> = LazyLock::new(|| {
@@ -68,6 +103,11 @@ pub fn install_metrics() {
     let _ = cegis_counterexamples();
     let _ = cegis_failures();
     let _ = cegis_seconds();
+    let _ = decide_table_hits();
+    let _ = decide_table_fallbacks();
+    for class in ["covered", "uncovered", "boundary"] {
+        let _ = decide_table_cells(class);
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +123,11 @@ mod tests {
             "vrl_synth_cegis_counterexamples_total",
             "vrl_synth_cegis_failures_total",
             "vrl_synth_cegis_seconds",
+            "vrl_shield_decide_table_hits_total",
+            "vrl_shield_decide_table_fallbacks_total",
+            "vrl_shield_decide_table_cells{class=\"covered\"}",
+            "vrl_shield_decide_table_cells{class=\"uncovered\"}",
+            "vrl_shield_decide_table_cells{class=\"boundary\"}",
         ] {
             assert!(text.contains(series), "missing series {series}");
         }

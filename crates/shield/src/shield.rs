@@ -2,15 +2,18 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use vrl_dynamics::{EnvironmentContext, Policy, PortableEnvironment};
 use vrl_poly::BatchPoints;
 use vrl_synth::{GuardedPolicy, PolicyProgram, PortableProgram};
 use vrl_verify::{BarrierCertificate, PortableCertificate};
 
+use crate::table::{DecisionTable, TableConfig, TableError};
+
 /// Reusable per-thread buffers for [`Shield::decide_batch`]: the predicted
 /// successor lanes, one row-assembly buffer for the per-lane safety check,
-/// plus the coverage flags, so batched serving performs no per-request
-/// allocation beyond the returned decisions.
+/// the coverage flags, plus the decision-table lane partition, so batched
+/// serving performs no per-request allocation beyond the returned decisions.
 #[derive(Default)]
 struct BatchScratch {
     predicted: BatchPoints,
@@ -18,6 +21,8 @@ struct BatchScratch {
     safe: Vec<bool>,
     covered: Vec<bool>,
     contained: Vec<bool>,
+    table_cover: Vec<Option<bool>>,
+    fallback: BatchPoints,
 }
 
 thread_local! {
@@ -86,10 +91,18 @@ impl ShieldPiece {
 /// are snapshots: they are rebuilt automatically whenever a new shield
 /// (or piece, certificate, or program) is constructed, e.g. on hot
 /// redeploys.
+///
+/// Optionally ([`Shield::with_table`]) a shield carries a precomputed
+/// [`DecisionTable`]: decisions whose predicted successor lands in an
+/// interval-certified cell are answered in O(1) with no certificate
+/// evaluation at all, and only boundary cells route through the exact
+/// compiled path above.  Table dispatch is bit-identical to the exact path
+/// (debug builds assert every table-resolved decision against it).
 #[derive(Debug, Clone)]
 pub struct Shield {
     env: EnvironmentContext,
     pieces: Vec<ShieldPiece>,
+    table: Option<Arc<DecisionTable>>,
 }
 
 /// The decision taken by the shield for one step.
@@ -120,7 +133,37 @@ impl Shield {
                 "piece dimension must match the environment"
             );
         }
-        Shield { env, pieces }
+        Shield {
+            env,
+            pieces,
+            table: None,
+        }
+    }
+
+    /// Returns this shield with a freshly built precomputed decision table
+    /// (replacing any previous one; the pieces and environment are
+    /// unchanged, so decisions are unchanged — only their cost is).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] when the table cannot be built for this
+    /// shield and config (see [`DecisionTable::build`]).
+    pub fn with_table(mut self, config: &TableConfig) -> Result<Shield, TableError> {
+        let table = DecisionTable::build(&self.env, &self.pieces, config)?;
+        self.table = Some(Arc::new(table));
+        Ok(self)
+    }
+
+    /// Returns this shield with any precomputed decision table removed
+    /// (every decision runs the exact compiled path again).
+    pub fn without_table(mut self) -> Shield {
+        self.table = None;
+        self
+    }
+
+    /// The precomputed decision table, when one was built.
+    pub fn table(&self) -> Option<&DecisionTable> {
+        self.table.as_deref()
     }
 
     /// The verified pieces.
@@ -154,9 +197,55 @@ impl Shield {
     /// substitutes the action of the verified program covering the current
     /// state (falling back to the piece whose invariant value is smallest if
     /// none formally covers it).
+    ///
+    /// With a precomputed table ([`Shield::with_table`]) the coverage
+    /// question is answered by the predicted successor's certified cell when
+    /// possible — O(1), no certificate evaluation — and by the exact
+    /// compiled path on boundary cells.  Both routes produce bit-identical
+    /// decisions (asserted in debug builds).
     pub fn decide(&self, state: &[f64], proposed: &[f64]) -> ShieldDecision {
         let predicted = self.env.step_deterministic(state, proposed);
-        if self.covers(&predicted) {
+        if let Some(table) = &self.table {
+            if let Some(covered) = table.coverage(&predicted) {
+                crate::obs::decide_table_hits().inc();
+                let decision = if covered {
+                    ShieldDecision {
+                        action: self.env.clamp_action(proposed),
+                        intervened: false,
+                    }
+                } else {
+                    ShieldDecision {
+                        action: self.table_intervention_action(state),
+                        intervened: true,
+                    }
+                };
+                debug_assert_eq!(
+                    decision,
+                    self.decide_exact(state, proposed),
+                    "table-resolved decision diverged from the exact path"
+                );
+                return decision;
+            }
+            crate::obs::decide_table_fallbacks().inc();
+        }
+        self.decide_from_predicted(state, proposed, &predicted)
+    }
+
+    /// The exact decision procedure, bypassing any precomputed table (the
+    /// conformance reference for table dispatch).
+    pub fn decide_exact(&self, state: &[f64], proposed: &[f64]) -> ShieldDecision {
+        let predicted = self.env.step_deterministic(state, proposed);
+        self.decide_from_predicted(state, proposed, &predicted)
+    }
+
+    /// The exact keep/override choice given an already-predicted successor.
+    fn decide_from_predicted(
+        &self,
+        state: &[f64],
+        proposed: &[f64],
+        predicted: &[f64],
+    ) -> ShieldDecision {
+        if self.covers(predicted) {
             return ShieldDecision {
                 action: self.env.clamp_action(proposed),
                 intervened: false,
@@ -166,6 +255,23 @@ impl Shield {
             action: self.intervention_action(state),
             intervened: true,
         }
+    }
+
+    /// The override action for `state` when the decision was resolved by
+    /// the table: uses the current state's certified constant piece when the
+    /// table pinned one (skipping the piece-selection scan), and the exact
+    /// [`Shield::intervention_action`] otherwise.  By the table's
+    /// construction the pinned piece is exactly the piece the scan would
+    /// select, so both routes clamp the same program's action.
+    fn table_intervention_action(&self, state: &[f64]) -> Vec<f64> {
+        if let Some(table) = &self.table {
+            if let Some(j) = table.intervention_piece(state) {
+                return self
+                    .env
+                    .clamp_action(&self.pieces[j].program().action(state));
+            }
+        }
+        self.intervention_action(state)
     }
 
     /// The override action for `state`: the verified program of the piece
@@ -204,6 +310,11 @@ impl Shield {
     /// sweep), and only falls back to the per-state intervention path for
     /// the lanes whose predicted successor is uncovered.
     ///
+    /// With a precomputed table ([`Shield::with_table`]) the batch is first
+    /// partitioned by the table: lanes whose predicted successor lands in a
+    /// certified cell are decided in O(1), and only boundary-cell lanes run
+    /// the certificate sweep.
+    ///
     /// Decision-for-decision identical to calling [`Shield::decide`] per
     /// pair (debug builds assert this): batched membership values are
     /// bit-exact, and interventions run the same
@@ -230,37 +341,83 @@ impl Shield {
                 safe,
                 covered,
                 contained,
+                table_cover,
+                fallback,
             } = &mut *scratch;
             // One lane-batched sweep of the compiled dynamics predicts the
             // whole batch's successors (bit-identical to per-state
             // `step_deterministic`, asserted in debug builds).
             self.env
                 .step_deterministic_batch(states, proposed, predicted);
-            safe.clear();
-            for lane in 0..states.len() {
-                predicted.state_into(lane, row);
-                safe.push(self.env.safety().is_safe(row));
+            // With a precomputed table, partition the lanes: certified
+            // cells are decided in O(1); only the boundary-cell lanes run
+            // the certificate machinery below.  Without a table every lane
+            // is a "fallback" lane.
+            table_cover.clear();
+            if fallback.nvars() != predicted.nvars() {
+                *fallback = BatchPoints::new(predicted.nvars());
+            } else {
+                fallback.clear();
             }
-            // Lane-parallel certificate classification: a lane is covered
-            // when its predicted successor is safe and inside some piece's
-            // invariant.
-            covered.clear();
-            covered.resize(states.len(), false);
-            for piece in &self.pieces {
-                piece.invariant().contains_batch(predicted, contained);
-                for (c, &inside) in covered.iter_mut().zip(contained.iter()) {
-                    *c = *c || inside;
+            if let Some(table) = &self.table {
+                for lane in 0..states.len() {
+                    predicted.state_into(lane, row);
+                    let cover = table.coverage(row);
+                    if cover.is_none() {
+                        fallback.push(row);
+                    }
+                    table_cover.push(cover);
+                }
+                crate::obs::decide_table_hits().add((states.len() - fallback.len()) as u64);
+                crate::obs::decide_table_fallbacks().add(fallback.len() as u64);
+            } else {
+                table_cover.resize(states.len(), None);
+                for lane in 0..states.len() {
+                    predicted.state_into(lane, row);
+                    fallback.push(row);
                 }
             }
+            safe.clear();
+            for lane in 0..fallback.len() {
+                fallback.state_into(lane, row);
+                safe.push(self.env.safety().is_safe(row));
+            }
+            // Lane-parallel certificate classification: a fallback lane is
+            // covered when its predicted successor is safe and inside some
+            // piece's invariant.
+            covered.clear();
+            covered.resize(fallback.len(), false);
+            if !fallback.is_empty() {
+                for piece in &self.pieces {
+                    piece.invariant().contains_batch(fallback, contained);
+                    for (c, &inside) in covered.iter_mut().zip(contained.iter()) {
+                        *c = *c || inside;
+                    }
+                }
+            }
+            let mut next_fallback = 0usize;
             let decisions: Vec<ShieldDecision> = states
                 .iter()
                 .zip(proposed.iter())
-                .zip(covered.iter().zip(safe.iter()))
-                .map(|((state, action), (&contained, &safe))| {
-                    if contained && safe {
+                .zip(table_cover.iter())
+                .map(|((state, action), cover)| {
+                    let (keep, table_resolved) = match cover {
+                        Some(keep) => (*keep, true),
+                        None => {
+                            let i = next_fallback;
+                            next_fallback += 1;
+                            (covered[i] && safe[i], false)
+                        }
+                    };
+                    if keep {
                         ShieldDecision {
                             action: self.env.clamp_action(action),
                             intervened: false,
+                        }
+                    } else if table_resolved {
+                        ShieldDecision {
+                            action: self.table_intervention_action(state),
+                            intervened: true,
                         }
                     } else {
                         ShieldDecision {
@@ -583,6 +740,55 @@ mod tests {
             let d2 = shield_2d.decide_batch(&[vec![0.1, -0.2]], &[vec![0.5]]);
             assert_eq!(d2[0], shield_2d.decide(&[0.1, -0.2], &[0.5]));
         }
+    }
+
+    #[test]
+    fn table_dispatch_is_bit_identical_to_the_exact_path() {
+        let exact = toy_shield();
+        let tabled = toy_shield()
+            .with_table(&crate::TableConfig::uniform(64))
+            .expect("the toy safe box grids cleanly");
+        assert!(tabled.table().is_some());
+        let mut states = Vec::new();
+        let mut proposed = Vec::new();
+        let mut x = -1.2;
+        while x <= 1.2 {
+            for &a in &[-50.0, -1.0, 0.0, 1.0, 50.0] {
+                states.push(vec![x]);
+                proposed.push(vec![a]);
+            }
+            x += 0.0173;
+        }
+        for (state, action) in states.iter().zip(proposed.iter()) {
+            let fast = tabled.decide(state, action);
+            assert_eq!(fast, exact.decide(state, action), "state {state:?}");
+            assert_eq!(fast, tabled.decide_exact(state, action), "state {state:?}");
+        }
+        // The batched path partitions lanes through the same table.
+        let batch = tabled.decide_batch(&states, &proposed);
+        for ((state, action), decision) in states.iter().zip(proposed.iter()).zip(batch.iter()) {
+            assert_eq!(decision, &exact.decide(state, action), "state {state:?}");
+        }
+        // Removing the table restores the plain shield.
+        let stripped = tabled.without_table();
+        assert!(stripped.table().is_none());
+        assert_eq!(
+            stripped.decide(&[0.1], &[1.0]),
+            exact.decide(&[0.1], &[1.0])
+        );
+    }
+
+    #[test]
+    fn table_dispatch_counts_hits_and_fallbacks() {
+        let tabled = toy_shield()
+            .with_table(&crate::TableConfig::uniform(64))
+            .unwrap();
+        let hits_before = crate::obs::decide_table_hits().get();
+        // Deep inside the invariant with a tiny action: the predicted
+        // successor lands well away from the ±0.9 decision surface, in a
+        // certified cell.
+        let _ = tabled.decide(&[0.0], &[0.0]);
+        assert!(crate::obs::decide_table_hits().get() > hits_before);
     }
 
     #[test]

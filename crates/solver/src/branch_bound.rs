@@ -15,7 +15,7 @@
 //! # Evaluation strategy
 //!
 //! The objective and guards of a query are compiled together into one
-//! [`CompiledPolySet`] — pulled from the per-thread
+//! [`CompiledPolySet`] — pulled from the two-level
 //! [`crate::CompiledQueryCache`], so CEGIS loops that re-prove the same
 //! certificate family never recompile — and the search expands its frontier
 //! [`vrl_poly::LANE_WIDTH`] boxes per sweep through the lane-batched
@@ -27,7 +27,9 @@
 //! (`BranchBoundConfig::lane_batched = false`, which remains available as
 //! the differential-testing reference).
 
-use vrl_poly::{BatchBoxes, CompiledPolySet, Interval, PolyScratch, Polynomial, LANE_WIDTH};
+use vrl_poly::{
+    BatchBoxes, BatchPoints, CompiledPolySet, Interval, PolyScratch, Polynomial, LANE_WIDTH,
+};
 
 use crate::cache::with_query_cache;
 
@@ -51,6 +53,19 @@ pub struct BranchBoundConfig {
     /// scalar mode exists as the reference arm of the differential
     /// conformance tests.
     pub lane_batched: bool,
+    /// Counterexample-first probing window: while fewer than this many
+    /// boxes have been examined, the frontier advances **one box at a
+    /// time** — exactly the classic depth-first probe order, in which each
+    /// undecided box's midpoint and corners are point-evaluated through the
+    /// compiled kernels before it is split, so refuting queries surface
+    /// their witness as fast as the seed DFS with no speculative wave work
+    /// wasted past it.  Past the threshold the search is almost certainly
+    /// proving, not refuting, and the frontier widens to full
+    /// [`LANE_WIDTH`] waves for lane-batched throughput.  The threshold is
+    /// compared against the deterministic box counter, so the scalar and
+    /// batched modes pop identical boxes in identical order.  `0` skips the
+    /// window and opens at full wave width immediately.
+    pub probe_boxes: usize,
 }
 
 impl Default for BranchBoundConfig {
@@ -60,6 +75,7 @@ impl Default for BranchBoundConfig {
             min_width: 1e-4,
             tolerance: 1e-9,
             lane_batched: true,
+            probe_boxes: 1024,
         }
     }
 }
@@ -153,13 +169,16 @@ impl<'a> BoundQuery<'a> {
 /// Attempts to prove a [`BoundQuery`] over an axis-aligned box given as
 /// per-dimension intervals.
 ///
-/// The compiled `objective + guards` family is pulled from the per-thread
+/// The compiled `objective + guards` family is pulled from the two-level
 /// [`crate::CompiledQueryCache`], and the frontier is expanded in waves of
 /// up to [`LANE_WIDTH`] boxes: each wave pops the top of the work stack,
 /// evaluates the whole family over every popped box in one lane-batched
 /// sweep (one interval power-table fill per variable for the wave), and
 /// then processes the boxes in pop order — prune, certify, probe for a
 /// counterexample, or split, with children pushed for a later wave.  The
+/// opening [`BranchBoundConfig::probe_boxes`] boxes run one per wave — the
+/// classic counterexample-first DFS order, so refutations pay for no
+/// speculative siblings — before the frontier widens to full lanes.  The
 /// scalar mode ([`BranchBoundConfig::lane_batched`]` = false`) pops the
 /// **same** waves in the same order and evaluates each box through the
 /// scalar kernels, whose values the lane kernels reproduce bit-for-bit —
@@ -231,30 +250,42 @@ pub fn prove_bound(
     let mut boxes_examined = 0usize;
     let mut worst_box: Option<(Vec<f64>, Vec<f64>, f64)> = None;
     let mut undecided_smallest = false;
-    // Wave ramp-up: evaluating a wave is speculative — a counterexample in
-    // its first box makes the rest wasted work — so the wave width starts
-    // at one box (exactly the classic depth-first probe order, where
-    // refutations usually surface immediately) and doubles per sweep up to
-    // [`LANE_WIDTH`].  Deep proofs reach full lanes after three sweeps;
-    // quick refutations never pay for boxes they would not have visited.
-    // The schedule depends only on the sweep count, so the scalar and
-    // batched modes pop identical waves.
-    let mut wave_width = 1usize;
-
     while !stack.is_empty() {
         // Pop the next wave off the frontier and evaluate it: guards over
         // the whole wave first, then the objective over the lanes no guard
         // pruned — lane-batched in family sweeps, or box-by-box through the
         // scalar kernels; the values (and hence everything below) are
         // bit-identical either way.
+        //
+        // Counterexample-first window: evaluating a wave is speculative — a
+        // counterexample in its first box makes the rest wasted work, and
+        // sibling sub-trees that a depth-first probe would never reach get
+        // expanded.  So while the deterministic box counter is below
+        // [`BranchBoundConfig::probe_boxes`] the wave is a single box,
+        // which makes the traversal exactly the classic DFS probe order:
+        // refuting queries surface their witness (midpoint/corner probes in
+        // `find_counterexample`) having examined precisely the boxes the
+        // seed DFS would have.  Past the window the search is almost
+        // certainly proving — proofs must examine every box regardless of
+        // order — and the frontier widens to full lanes.  The width is a
+        // function of the box counter alone, so the scalar and batched
+        // modes pop identical waves.
         wave.clear();
         tally.wave();
+        let wave_width = if boxes_examined < config.probe_boxes {
+            1
+        } else {
+            LANE_WIDTH
+        };
         for _ in 0..wave_width.min(stack.len()) {
             wave.push(stack.pop().expect("bounded by stack length"));
         }
-        wave_width = (wave_width * 2).min(LANE_WIDTH);
         wave_evals.clear();
-        if config.lane_batched {
+        // Width-1 waves take the scalar kernels even in batched mode: the
+        // lane kernels reproduce them bit-for-bit, and a one-lane batch
+        // sweep costs more than a scalar evaluation, so inside the DFS
+        // window both modes run the identical (cheapest) code path.
+        if config.lane_batched && wave.len() > 1 {
             let lanes = wave.len();
             // Pruned lanes keep a placeholder enclosure that is never read.
             wave_evals.resize(lanes, (Interval::zero(), true));
@@ -430,20 +461,49 @@ impl SingleMember<'_> {
 /// refinement: the returned value is `≤ min_{x ∈ domain} p(x)`, and
 /// converges towards it as `max_boxes` grows.
 ///
+/// Runs the lane-batched refinement of [`sound_minimum_with`].
+///
 /// # Panics
 ///
 /// Panics if `domain.len()` differs from the polynomial's variable count.
 pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f64 {
+    sound_minimum_with(p, domain, max_boxes, true)
+}
+
+/// [`sound_minimum`] with an explicit kernel mode.
+///
+/// The best-first queue is refined in *waves*, mirroring [`prove_bound`]'s
+/// frontier: each sweep pops up to [`LANE_WIDTH`] boxes in best-first order
+/// (ramping up from one box so short refinements keep the classic pop
+/// order), splits every popped box along its widest dimension, and
+/// evaluates all children — interval lower bounds and midpoint upper
+/// bounds — in two family sweeps instead of one kernel call per child.
+/// The same order-stability argument as `prove_bound` applies: the wave
+/// schedule depends only on the sweep count and the deterministic
+/// best-first pop order, and each lane of a batched sweep is bit-identical
+/// to the scalar kernel, so `lane_batched = false` (the differential
+/// reference arm, one scalar kernel call per child in the identical order)
+/// returns a bit-identical bound.
+///
+/// # Panics
+///
+/// Panics if `domain.len()` differs from the polynomial's variable count.
+pub fn sound_minimum_with(
+    p: &Polynomial,
+    domain: &[Interval],
+    max_boxes: usize,
+    lane_batched: bool,
+) -> f64 {
     assert_eq!(
         domain.len(),
         p.nvars(),
         "domain dimension must match the polynomial"
     );
-    // The compiled form comes from the per-thread query cache (a
-    // single-member family), so repeated refinements of the same polynomial
-    // — e.g. the per-obstacle level checks of the linear back-end across
-    // CEGIS rounds — skip compilation; the cached kernel is exactly what a
-    // fresh compilation would produce, so the bound is unchanged.
+    // The compiled form comes from the query cache (a single-member
+    // family), so repeated refinements of the same polynomial — e.g. the
+    // per-obstacle level checks of the linear back-end across CEGIS rounds —
+    // skip compilation; the cached kernel is exactly what a fresh
+    // compilation would produce, so the bound is unchanged.
     let family = with_query_cache(|cache| cache.get_or_compile(&[p]));
     let compiled = SingleMember(&family);
     let mut scratch = PolyScratch::new();
@@ -459,47 +519,110 @@ pub fn sound_minimum(p: &Polynomial, domain: &[Interval], max_boxes: usize) -> f
     )];
     let mut upper = compiled.eval_with(&midpoint, &mut scratch);
     let mut examined = 0usize;
-    while examined < max_boxes {
-        // Pop the box with the smallest lower bound.
-        let index = match queue.iter().enumerate().min_by(|a, b| {
-            a.1 .0
-                .partial_cmp(&b.1 .0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        }) {
-            Some((i, _)) => i,
-            None => break,
-        };
-        let (lower, current) = queue.swap_remove(index);
-        examined += 1;
-        if upper - lower < 1e-9 * (1.0 + upper.abs()) {
-            queue.push((lower, current));
-            break;
+    let mut wave: Vec<(f64, Vec<Interval>)> = Vec::with_capacity(LANE_WIDTH);
+    let mut children: Vec<Vec<Interval>> = Vec::with_capacity(2 * LANE_WIDTH);
+    let mut child_boxes = BatchBoxes::with_capacity(domain.len(), 2 * LANE_WIDTH);
+    let mut child_points = BatchPoints::with_capacity(domain.len(), 2 * LANE_WIDTH);
+    let mut lows_out: Vec<Interval> = Vec::new();
+    let mut mids_out: Vec<f64> = Vec::new();
+    // Wave ramp-up, exactly as in `prove_bound`: one box on the first
+    // sweep, doubling to LANE_WIDTH, so cheap refinements never speculate.
+    let mut wave_width = 1usize;
+    while examined < max_boxes && !queue.is_empty() {
+        // Pop this wave best-first — repeated min-scans with the same
+        // first-minimal tie-break the one-box loop used.
+        wave.clear();
+        let take = wave_width.min(queue.len()).min(max_boxes - examined);
+        wave_width = (wave_width * 2).min(LANE_WIDTH);
+        for _ in 0..take {
+            let index = queue
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .expect("bounded by queue length");
+            wave.push(queue.swap_remove(index));
         }
-        let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
-        if widest < 1e-6 {
-            queue.push((lower, current));
-            break;
-        }
-        let split_dim = current
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.width()
-                    .partial_cmp(&b.1.width())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let (left, right) = current[split_dim].bisect();
-        for half in [left, right] {
-            let mut child = current.clone();
-            child[split_dim] = half;
-            let child_lower = compiled.eval_interval_with(&child, &mut scratch).lo();
-            for (m, iv) in midpoint.iter_mut().zip(child.iter()) {
-                *m = iv.midpoint();
+        // Termination scan in pop order, against the `upper` every box in
+        // the wave was popped under.  Pops past the first terminating box
+        // go back to the queue untouched (and uncounted).
+        let mut split_count = wave.len();
+        let mut finished = false;
+        for (i, (lower, current)) in wave.iter().enumerate() {
+            examined += 1;
+            let converged = upper - lower < 1e-9 * (1.0 + upper.abs());
+            let widest = current.iter().map(Interval::width).fold(0.0f64, f64::max);
+            if converged || widest < 1e-6 {
+                split_count = i;
+                finished = true;
+                break;
             }
-            upper = upper.min(compiled.eval_with(&midpoint, &mut scratch));
-            queue.push((child_lower, child));
+        }
+        for (lower, unprocessed) in wave.drain(split_count..) {
+            queue.push((lower, unprocessed));
+        }
+        // Split every remaining pop along its widest dimension; the wave's
+        // children are then evaluated together — one interval sweep for the
+        // lower bounds, one point sweep for the midpoint upper bounds — and
+        // pushed in (pop, left, right) order, matching the reference arm.
+        children.clear();
+        for (_, current) in wave.drain(..) {
+            let split_dim = current
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.width()
+                        .partial_cmp(&b.1.width())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let (left, right) = current[split_dim].bisect();
+            let mut left_box = current.clone();
+            left_box[split_dim] = left;
+            let mut right_box = current;
+            right_box[split_dim] = right;
+            children.push(left_box);
+            children.push(right_box);
+        }
+        if lane_batched {
+            child_boxes.clear();
+            child_points.clear();
+            for child in &children {
+                child_boxes.push(child);
+                for (m, iv) in midpoint.iter_mut().zip(child.iter()) {
+                    *m = iv.midpoint();
+                }
+                child_points.push(&midpoint);
+            }
+            compiled
+                .0
+                .evaluate_interval_batch_with(&child_boxes, &mut lows_out, &mut scratch);
+            compiled
+                .0
+                .evaluate_batch_with(&child_points, &mut mids_out, &mut scratch);
+            for (child, (enclosure, mid_value)) in
+                children.drain(..).zip(lows_out.iter().zip(mids_out.iter()))
+            {
+                upper = upper.min(*mid_value);
+                queue.push((enclosure.lo(), child));
+            }
+        } else {
+            for child in children.drain(..) {
+                let child_lower = compiled.eval_interval_with(&child, &mut scratch).lo();
+                for (m, iv) in midpoint.iter_mut().zip(child.iter()) {
+                    *m = iv.midpoint();
+                }
+                upper = upper.min(compiled.eval_with(&midpoint, &mut scratch));
+                queue.push((child_lower, child));
+            }
+        }
+        if finished {
+            break;
         }
     }
     crate::obs::min_boxes().add(examined as u64);
@@ -808,6 +931,24 @@ mod tests {
             prop_assert!(outcome.is_proved());
             let sample = [-1.0 + 2.0 * tx, -1.0 + 2.0 * ty];
             prop_assert!(p.eval(&sample) <= bound + 1e-9);
+        }
+
+        /// The wave-batched `sound_minimum` returns a bit-identical bound
+        /// to the scalar reference arm, and the bound is genuinely sound
+        /// against point samples.
+        #[test]
+        fn prop_sound_minimum_batched_equals_scalar(
+            coeffs in proptest::collection::vec(-2.0..2.0f64, 6),
+            tx in 0.0..1.0f64, ty in 0.0..1.0f64,
+        ) {
+            let basis = monomial_basis(2, 2);
+            let p = Polynomial::from_basis(2, &basis, &coeffs);
+            let domain = interval_box(&[(-1.0, 1.0), (-1.0, 1.0)]);
+            let batched = sound_minimum_with(&p, &domain, 5_000, true);
+            let scalar = sound_minimum_with(&p, &domain, 5_000, false);
+            prop_assert_eq!(batched.to_bits(), scalar.to_bits());
+            let sample = [-1.0 + 2.0 * tx, -1.0 + 2.0 * ty];
+            prop_assert!(batched <= p.eval(&sample) + 1e-9);
         }
 
         #[test]

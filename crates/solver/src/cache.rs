@@ -27,24 +27,43 @@
 //! evicted.  Entries hand out [`Arc`] clones, so an in-flight proof keeps
 //! its compiled family alive even if the entry is evicted mid-query.
 //!
-//! # Scope
+//! # Scope: two levels
 //!
-//! One cache per thread (see [`with_query_cache`]): the solver entry points
-//! ([`crate::prove_bound`], [`crate::sound_minimum`], and everything above
-//! them — the barrier, linear, and engine verification layers) all route
-//! through the thread-local instance, so a CEGIS loop running on one
-//! thread automatically reuses its own compilations without any locking on
-//! the proof hot path.
+//! The cache is two-level.  **L1** is one instance per thread (see
+//! [`with_query_cache`]): the solver entry points ([`crate::prove_bound`],
+//! [`crate::sound_minimum`], and everything above them — the barrier,
+//! linear, and engine verification layers) all route through the
+//! thread-local instance, so the proof hot path takes no lock and a CEGIS
+//! loop running on one thread reuses its own compilations for free.  **L2**
+//! is a process-wide sharded store consulted only on an L1 miss: workloads
+//! that fan the *same* families across worker threads — the decision-table
+//! build and the serving fleet's per-shard redeploys — compile each family
+//! once per process instead of once per thread.  The family key is purely
+//! structural, so an L2 hit hands back exactly the compiled form a fresh
+//! compilation would produce; sharing across threads can never change an
+//! outcome.  L1 hit/miss/eviction counters keep their per-thread semantics
+//! (an L2 hit still counts as an L1 miss); [`shared_query_cache_stats`]
+//! exposes the process-wide counters separately.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock, Mutex};
 use vrl_poly::{CompiledPolySet, Polynomial};
 
 /// Default capacity (in compiled families) of the per-thread query cache:
 /// generously above the distinct queries of a verification run (a few per
 /// candidate round) while keeping worst-case memory bounded.
 pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 128;
+
+/// Number of independently locked shards of the process-wide (L2) store:
+/// enough that a worker pool's table-build fan-out rarely contends on one
+/// mutex, small enough that the shard array costs nothing.
+const SHARED_CACHE_SHARDS: usize = 8;
+
+/// Capacity (in compiled families) of each L2 shard, so the process-wide
+/// store holds at most `SHARED_CACHE_SHARDS * SHARED_SHARD_CAPACITY`
+/// families before evicting least-recently-used entries.
+const SHARED_SHARD_CAPACITY: usize = 64;
 
 /// Aggregate counters of a [`CompiledQueryCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +95,114 @@ impl QueryCacheStats {
 struct Entry {
     set: Arc<CompiledPolySet>,
     last_used: u64,
+}
+
+/// Aggregate counters of the process-wide (L2) store, summed over shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedQueryCacheStats {
+    /// L1 misses answered by the shared store without recompiling.
+    pub hits: u64,
+    /// L1 misses that compiled a family new to the whole process.
+    pub misses: u64,
+    /// Families evicted to respect the per-shard capacity bound.
+    pub evictions: u64,
+    /// Families currently resident across all shards.
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct SharedShard {
+    entries: HashMap<Vec<u64>, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The process-wide store: families a thread compiles become visible to
+/// every other thread's L1 misses.  Compilation happens inside the shard
+/// lock, so two threads racing on the same new family serialize and the
+/// loser gets a hit instead of a duplicate compile; distinct shards never
+/// contend.
+static SHARED_CACHE: LazyLock<Vec<Mutex<SharedShard>>> = LazyLock::new(|| {
+    (0..SHARED_CACHE_SHARDS)
+        .map(|_| Mutex::new(SharedShard::default()))
+        .collect()
+});
+
+/// FNV-1a over the key words picks the shard; the key is already a
+/// canonical structural encoding, so identical families always land on the
+/// same shard.
+fn shard_for(key: &[u64]) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in key {
+        hash ^= *word;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % SHARED_CACHE_SHARDS as u64) as usize
+}
+
+/// L2 lookup-or-compile for `key`/`polys` (the key must be
+/// `family_key(polys)`).
+fn shared_get_or_compile(key: &[u64], polys: &[&Polynomial]) -> Arc<CompiledPolySet> {
+    let mut guard = SHARED_CACHE[shard_for(key)]
+        .lock()
+        .expect("shared query cache shard poisoned");
+    // Reborrow through the guard once so the borrow checker sees disjoint
+    // field borrows below.
+    let shard = &mut *guard;
+    shard.tick += 1;
+    let tick = shard.tick;
+    if let Some(entry) = shard.entries.get_mut(key) {
+        entry.last_used = tick;
+        shard.hits += 1;
+        crate::obs::shared_cache_hits().inc();
+        return Arc::clone(&entry.set);
+    }
+    shard.misses += 1;
+    crate::obs::shared_cache_misses().inc();
+    if shard.entries.len() >= SHARED_SHARD_CAPACITY {
+        if let Some(oldest) = shard
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            shard.entries.remove(&oldest);
+            shard.evictions += 1;
+        }
+    }
+    let set = Arc::new(CompiledPolySet::compile_refs(polys));
+    shard.entries.insert(
+        key.to_vec(),
+        Entry {
+            set: Arc::clone(&set),
+            last_used: tick,
+        },
+    );
+    set
+}
+
+/// Process-wide counters of the shared (L2) store, summed over its shards.
+pub fn shared_query_cache_stats() -> SharedQueryCacheStats {
+    let mut stats = SharedQueryCacheStats::default();
+    for shard in SHARED_CACHE.iter() {
+        let shard = shard.lock().expect("shared query cache shard poisoned");
+        stats.hits += shard.hits;
+        stats.misses += shard.misses;
+        stats.evictions += shard.evictions;
+        stats.entries += shard.entries.len();
+    }
+    stats
+}
+
+/// Drops every family resident in the shared (L2) store and resets its
+/// counters.  Affects the whole process; see [`reset_query_cache`].
+pub fn reset_shared_query_cache() {
+    for shard in SHARED_CACHE.iter() {
+        let mut shard = shard.lock().expect("shared query cache shard poisoned");
+        *shard = SharedShard::default();
+    }
 }
 
 /// A bounded, LRU-evicting cache of compiled query families.
@@ -144,9 +271,11 @@ impl CompiledQueryCache {
         }
     }
 
-    /// Returns the compiled form of the family `polys`, compiling (and
-    /// caching) it on first sight.  Evicts the least-recently-used entry
-    /// when the capacity bound would be exceeded.
+    /// Returns the compiled form of the family `polys`, consulting the
+    /// process-wide (L2) store — and compiling, visibly to every thread —
+    /// on first sight.  Evicts the least-recently-used entry when the
+    /// capacity bound would be exceeded.  The hit/miss counters keep their
+    /// per-instance semantics: an L2 hit still counts as a miss here.
     ///
     /// # Panics
     ///
@@ -175,7 +304,7 @@ impl CompiledQueryCache {
                 crate::obs::cache_evictions().inc();
             }
         }
-        let set = Arc::new(CompiledPolySet::compile_refs(polys));
+        let set = shared_get_or_compile(&key, polys);
         self.entries.insert(
             key,
             Entry {
@@ -237,9 +366,13 @@ pub fn query_cache_stats() -> QueryCacheStats {
     with_query_cache(|cache| cache.stats())
 }
 
-/// Clears this thread's query cache and resets its counters.
+/// Clears this thread's (L1) query cache and resets its counters, then
+/// clears the process-wide (L2) store too, so a workload measured after a
+/// reset starts from a genuinely cold cache.  Other threads' L1 instances
+/// are untouched (their resident `Arc`s stay valid regardless).
 pub fn reset_query_cache() {
-    with_query_cache(CompiledQueryCache::clear)
+    with_query_cache(CompiledQueryCache::clear);
+    reset_shared_query_cache();
 }
 
 #[cfg(test)]
@@ -342,5 +475,39 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         let _ = CompiledQueryCache::new(0);
+    }
+
+    #[test]
+    fn l1_misses_are_answered_by_the_process_wide_store() {
+        // A family compiled through one cache instance must reach a second
+        // instance — on another thread — through the shared L2 store, as
+        // the identical `Arc`.  Tests elsewhere in the binary may reset the
+        // shared store concurrently, so try a few unique families; sharing
+        // must be observed on at least one attempt.
+        let shared = (0..3).any(|attempt| {
+            let p = poly(123.456 + attempt as f64);
+            let here = CompiledQueryCache::new(4).get_or_compile(&[&p]);
+            let there = std::thread::spawn({
+                let p = p.clone();
+                move || CompiledQueryCache::new(4).get_or_compile(&[&p])
+            })
+            .join()
+            .expect("worker thread panicked");
+            Arc::ptr_eq(&here, &there)
+        });
+        assert!(
+            shared,
+            "compiled families must be shared across threads through L2"
+        );
+        let stats = shared_query_cache_stats();
+        assert!(stats.hits + stats.misses > 0);
+    }
+
+    #[test]
+    fn shard_selection_is_stable_and_in_range() {
+        let a = poly(1.0);
+        let key = family_key(&[&a]);
+        assert_eq!(shard_for(&key), shard_for(&key));
+        assert!(shard_for(&key) < SHARED_CACHE_SHARDS);
     }
 }

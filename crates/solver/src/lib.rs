@@ -22,18 +22,25 @@
 //! [`vrl_poly::LANE_WIDTH`] boxes per sweep through the lane-batched
 //! interval kernels; both are bit-for-bit outcome-neutral versus the scalar
 //! path (kept behind [`BranchBoundConfig::lane_batched`]` = false` as the
-//! differential-testing reference).  Compiled families are memoized in a
-//! per-thread [`CompiledQueryCache`] keyed by the exact term content of the
-//! query polynomials — CEGIS loops that re-prove the same certificate
-//! family (every verification back-end and [`sound_minimum`] route through
-//! the cache) skip recompilation entirely, and a hit can never change an
-//! outcome because the cached kernel is exactly what a fresh compilation
-//! would produce.  The cache is bounded (LRU eviction; see
+//! differential-testing reference).  Refuting queries additionally get a
+//! counterexample-first window: the opening boxes are traversed one per
+//! wave in classic depth-first order (see
+//! [`BranchBoundConfig::probe_boxes`]), so refutations surface as fast as a
+//! plain depth-first probe.  Compiled families are memoized in a two-level
+//! [`CompiledQueryCache`] keyed by the exact term content of the query
+//! polynomials — a lock-free per-thread L1 backed by a process-wide
+//! sharded L2, so CEGIS loops that re-prove the same certificate family
+//! (every verification back-end and [`sound_minimum`] route through the
+//! cache) skip recompilation entirely, workloads fanning one family across
+//! worker threads compile it once per process, and a hit can never change
+//! an outcome because the cached kernel is exactly what a fresh
+//! compilation would produce.  Both levels are bounded (LRU eviction; see
 //! [`DEFAULT_QUERY_CACHE_CAPACITY`]); [`query_cache_stats`] /
 //! [`reset_query_cache`] expose the per-thread counters for tests and
-//! benches.  Cache traffic and branch-and-bound work tallies (queries,
-//! boxes, waves, prunes, counterexamples) are additionally mirrored into
-//! the process-wide [`vrl_obs`] registry for `GET /metrics` scrapes;
+//! benches, and [`shared_query_cache_stats`] the process-wide ones.  Cache
+//! traffic and branch-and-bound work tallies (queries, boxes, waves,
+//! prunes, counterexamples) are additionally mirrored into the
+//! process-wide [`vrl_obs`] registry for `GET /metrics` scrapes;
 //! [`install_metrics`] forces registration of the full series set.
 //!
 //! # Examples
@@ -59,11 +66,12 @@ mod lyapunov;
 mod obs;
 
 pub use branch_bound::{
-    prove_bound, prove_nonpositive, prove_positive, sound_minimum, BoundQuery, BranchBoundConfig,
-    ProofOutcome,
+    prove_bound, prove_nonpositive, prove_positive, sound_minimum, sound_minimum_with, BoundQuery,
+    BranchBoundConfig, ProofOutcome,
 };
 pub use cache::{
-    query_cache_stats, reset_query_cache, with_query_cache, CompiledQueryCache, QueryCacheStats,
+    query_cache_stats, reset_query_cache, reset_shared_query_cache, shared_query_cache_stats,
+    with_query_cache, CompiledQueryCache, QueryCacheStats, SharedQueryCacheStats,
     DEFAULT_QUERY_CACHE_CAPACITY,
 };
 pub use feasibility::{

@@ -74,6 +74,16 @@ solver_counter!(
     "vrl_solver_query_cache_evictions_total",
     "Compiled-query-cache entries evicted by the capacity bound."
 );
+solver_counter!(
+    shared_cache_hits,
+    "vrl_solver_shared_query_cache_hits_total",
+    "Thread-cache misses answered by the process-wide compiled-family store."
+);
+solver_counter!(
+    shared_cache_misses,
+    "vrl_solver_shared_query_cache_misses_total",
+    "Compiled-family compilations new to the whole process."
+);
 
 /// Forces registration of every solver metric so a scrape shows the
 /// full solver series set (at zero) before any proof has run.
@@ -87,6 +97,8 @@ pub fn install_metrics() {
     let _ = cache_hits();
     let _ = cache_misses();
     let _ = cache_evictions();
+    let _ = shared_cache_hits();
+    let _ = shared_cache_misses();
 }
 
 /// Per-query work tally for one [`crate::prove_bound`] call.
@@ -185,6 +197,8 @@ mod tests {
             "vrl_solver_query_cache_hits_total",
             "vrl_solver_query_cache_misses_total",
             "vrl_solver_query_cache_evictions_total",
+            "vrl_solver_shared_query_cache_hits_total",
+            "vrl_solver_shared_query_cache_misses_total",
         ] {
             assert!(text.contains(series), "missing series {series}");
         }

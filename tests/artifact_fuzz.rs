@@ -80,8 +80,11 @@ fn random_mutation_corpus_never_panics() {
         // reaching this point without a panic is the property under test;
         // exercising a decision on the rare survivor proves it is usable.
         if let Ok(artifact) = ShieldArtifact::from_bytes(&corrupted) {
-            let dim = artifact.shield().env().state_dim();
-            let _ = artifact.shield().decide(&vec![0.0; dim], &vec![0.0; dim]);
+            let state_dim = artifact.shield().env().state_dim();
+            let action_dim = artifact.shield().env().action_dim();
+            let _ = artifact
+                .shield()
+                .decide(&vec![0.0; state_dim], &vec![0.0; action_dim]);
         }
     }
 }

@@ -91,6 +91,33 @@ fn batched_branch_and_bound_matches_scalar_on_all_table1_benchmarks() {
 }
 
 #[test]
+fn sound_minimum_is_bit_identical_across_modes_on_all_table1_benchmarks() {
+    // `sound_minimum`'s wave-batched refinement must return the *bit-exact*
+    // bound of the scalar one-box-at-a-time arm — same pops, same splits,
+    // same float — on every benchmark's certificate and successor
+    // polynomials, across budgets that stop mid-wave, exactly at a wave
+    // boundary, and deep into refinement.
+    use vrl::solver::sound_minimum_with;
+    for spec in all_benchmarks() {
+        let name = spec.name();
+        let env = spec.into_env();
+        let (next_value, barrier, domain) = induction_query(&env);
+        for polynomial in [&barrier, &next_value] {
+            for max_boxes in [1usize, 7, 16, 300] {
+                let scalar = sound_minimum_with(polynomial, &domain, max_boxes, false);
+                let batched = sound_minimum_with(polynomial, &domain, max_boxes, true);
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched.to_bits(),
+                    "{name}: sound_minimum diverged at max_boxes={max_boxes} \
+                     (scalar {scalar}, batched {batched})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn verification_certificates_are_identical_across_modes() {
     // Full-pipeline certificate identity: the linear (Lyapunov) back-end on
     // a Table 1 LTI benchmark, and the nonlinear (sampled-constraint +

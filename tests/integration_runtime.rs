@@ -9,6 +9,7 @@ use std::sync::Arc;
 use vrl::dynamics::{BoxRegion, EnvironmentContext, PolyDynamics, SafetySpec};
 use vrl::pipeline::{run_pipeline, PipelineConfig};
 use vrl::poly::Polynomial;
+use vrl::shield::TableConfig;
 use vrl::verify::VerificationConfig;
 use vrl_runtime::{ShieldArtifact, ShieldServer};
 
@@ -60,11 +61,20 @@ fn deploy_serve_resynthesize_hot_swap() {
     let outcome = run_pipeline(&env, &config).expect("the scalar system is shieldable");
     assert_eq!(outcome.evaluation.shielded_failures, 0);
 
-    // 2. Persist and reload the deployment bundle (bytes round trip).
+    // 2. Persist and reload the deployment bundle (bytes round trip),
+    //    with a precomputed decision table attached: the config persists,
+    //    the table itself is rebuilt on load.
     let artifact = ShieldArtifact::new(outcome.shield, outcome.oracle)
         .unwrap()
-        .with_label("pipeline-v1");
+        .with_label("pipeline-v1")
+        .with_table_config(TableConfig::uniform(32))
+        .expect("the scalar safe box grids cleanly");
     let artifact = ShieldArtifact::from_bytes(&artifact.to_bytes()).expect("round trip");
+    assert!(artifact.table_config().is_some());
+    assert!(
+        artifact.shield().table().is_some(),
+        "loading must rebuild the decision table from the persisted config"
+    );
 
     // 3. Deploy and serve.
     let server = Arc::new(ShieldServer::with_workers(4));
@@ -141,6 +151,16 @@ fn deploy_serve_resynthesize_hot_swap() {
     assert_eq!(generation, 2);
     assert!(report.pieces >= 1);
     assert_eq!(server.environment("scalar").unwrap(), "scalar-restricted");
+
+    // The resynthesized deployment carried the decision-table config: the
+    // next decision goes through table dispatch (a hit or a boundary-cell
+    // fallback — either way the table-path counters move).
+    let table_traffic_before = vrl::shield::decide_table_traffic();
+    let _ = server.decide("scalar", &[0.0]).unwrap();
+    assert!(
+        vrl::shield::decide_table_traffic() > table_traffic_before,
+        "the resynthesized shield must keep serving through its table"
+    );
 
     // Let traffic run against the new generation, then stop.
     let marks: Vec<u64> = served.iter().map(|c| c.load(Ordering::Relaxed)).collect();
