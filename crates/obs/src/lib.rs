@@ -46,7 +46,7 @@ mod metrics;
 mod registry;
 mod trace;
 
-pub use metrics::{Counter, CounterVec, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use metrics::{Counter, CounterVec, Gauge, Histogram, HistogramVec, HISTOGRAM_BUCKETS};
 pub use registry::{registry, Registry};
 pub use trace::{
     drain_spans, request_span, span, spans_to_chrome_trace, spans_to_json_lines, uptime_seconds,

@@ -312,6 +312,68 @@ impl CounterVec {
     }
 }
 
+/// A family of [`Histogram`]s keyed by one label value (e.g. codec
+/// phase, endpoint).
+///
+/// Interning works exactly as in [`CounterVec`]: label values are
+/// discovered on first sight behind an [`RwLock`] and the returned
+/// handle is `&'static`, so hot call sites cache the child and pay one
+/// relaxed observation per event.
+///
+/// # Examples
+///
+/// ```
+/// let family = vrl_obs::HistogramVec::new("phase");
+/// family.with("decode").observe_ns(800);
+/// family.with("encode").observe_ns(1_500);
+/// assert_eq!(family.with("decode").count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct HistogramVec {
+    label: &'static str,
+    children: RwLock<Vec<(String, &'static Histogram)>>,
+}
+
+impl HistogramVec {
+    /// Creates an empty family whose children carry the label `label`.
+    pub fn new(label: &'static str) -> Self {
+        HistogramVec {
+            label,
+            children: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The label name shared by every child.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Returns the child histogram for `value`, creating it on first use.
+    pub fn with(&self, value: &str) -> &'static Histogram {
+        {
+            let children = self.children.read().expect("histogram family poisoned");
+            if let Some((_, histogram)) = children.iter().find(|(v, _)| v == value) {
+                return histogram;
+            }
+        }
+        let mut children = self.children.write().expect("histogram family poisoned");
+        if let Some((_, histogram)) = children.iter().find(|(v, _)| v == value) {
+            return histogram;
+        }
+        let histogram: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        children.push((value.to_owned(), histogram));
+        histogram
+    }
+
+    /// Snapshot of `(label value, child)` pairs sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, &'static Histogram)> {
+        let children = self.children.read().expect("histogram family poisoned");
+        let mut out: Vec<(String, &'static Histogram)> = children.clone();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +454,20 @@ mod tests {
             family.snapshot(),
             vec![("200".to_owned(), 0), ("503".to_owned(), 3)]
         );
+    }
+
+    #[test]
+    fn histogram_vec_interns_children() {
+        let family = HistogramVec::new("phase");
+        let a = family.with("decode");
+        let b = family.with("decode");
+        assert!(std::ptr::eq(a, b));
+        family.with("encode").observe_ns(1_000);
+        family.with("decode").observe_ns(10);
+        let snapshot = family.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot[0].0, "decode");
+        assert_eq!(snapshot[0].1.count(), 1);
+        assert_eq!(snapshot[1].1.sum_ns(), 1_000);
     }
 }

@@ -14,7 +14,7 @@
 use std::fmt::Write as _;
 use std::sync::{Mutex, OnceLock};
 
-use crate::metrics::{Counter, CounterVec, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use crate::metrics::{Counter, CounterVec, Gauge, Histogram, HistogramVec, HISTOGRAM_BUCKETS};
 
 /// One registered instrument (see [`Registry`]).
 enum Instrument {
@@ -22,6 +22,7 @@ enum Instrument {
     Gauge(&'static Gauge),
     Histogram(&'static Histogram),
     CounterVec(&'static CounterVec),
+    HistogramVec(&'static HistogramVec),
 }
 
 impl Instrument {
@@ -29,7 +30,7 @@ impl Instrument {
         match self {
             Instrument::Counter(_) | Instrument::CounterVec(_) => "counter",
             Instrument::Gauge(_) => "gauge",
-            Instrument::Histogram(_) => "histogram",
+            Instrument::Histogram(_) | Instrument::HistogramVec(_) => "histogram",
         }
     }
 }
@@ -175,6 +176,28 @@ impl Registry {
         )
     }
 
+    /// Registers (or retrieves) the labeled histogram family `name` whose
+    /// children carry the label `label`.
+    pub fn histogram_vec(
+        &self,
+        name: &str,
+        label: &'static str,
+        help: &str,
+    ) -> &'static HistogramVec {
+        self.register(
+            name,
+            help,
+            |i| match i {
+                Instrument::HistogramVec(v) => Some(*v),
+                _ => None,
+            },
+            || {
+                let v: &'static HistogramVec = Box::leak(Box::new(HistogramVec::new(label)));
+                (v, Instrument::HistogramVec(v))
+            },
+        )
+    }
+
     /// Number of registered metric families.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("metric registry poisoned").len()
@@ -216,27 +239,58 @@ impl Registry {
                         );
                     }
                 }
-                Instrument::Histogram(h) => {
-                    let counts = h.bucket_counts();
-                    let mut cumulative = 0u64;
-                    for (k, count) in counts.iter().take(HISTOGRAM_BUCKETS).enumerate() {
-                        cumulative += count;
-                        let le = Histogram::bucket_upper_ns(k) as f64 / 1e9;
-                        let _ = writeln!(
-                            out,
-                            "{}_bucket{{le=\"{}\"}} {}",
-                            name,
-                            fmt_f64(le),
-                            cumulative
-                        );
+                Instrument::Histogram(h) => render_histogram(&mut out, name, "", h),
+                Instrument::HistogramVec(v) => {
+                    for (value, h) in v.snapshot() {
+                        let prefix = format!("{}=\"{}\",", v.label(), escape_label_value(&value));
+                        render_histogram(&mut out, name, &prefix, h);
                     }
-                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", name, h.count());
-                    let _ = writeln!(out, "{}_sum {}", name, fmt_f64(h.sum_ns() as f64 / 1e9));
-                    let _ = writeln!(out, "{}_count {}", name, h.count());
                 }
             }
         }
         out
+    }
+}
+
+/// Renders one histogram as cumulative `_bucket{…le="…"}` series plus
+/// `_sum` / `_count`, with `label_prefix` (either empty or a
+/// `name="value",` fragment) spliced ahead of the `le` label so plain
+/// histograms and labeled-family children share one code path.
+fn render_histogram(out: &mut String, name: &str, label_prefix: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (k, count) in counts.iter().take(HISTOGRAM_BUCKETS).enumerate() {
+        cumulative += count;
+        let le = Histogram::bucket_upper_ns(k) as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "{}_bucket{{{}le=\"{}\"}} {}",
+            name,
+            label_prefix,
+            fmt_f64(le),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{{{}le=\"+Inf\"}} {}",
+        name,
+        label_prefix,
+        h.count()
+    );
+    if label_prefix.is_empty() {
+        let _ = writeln!(out, "{}_sum {}", name, fmt_f64(h.sum_ns() as f64 / 1e9));
+        let _ = writeln!(out, "{}_count {}", name, h.count());
+    } else {
+        let labels = label_prefix.trim_end_matches(',');
+        let _ = writeln!(
+            out,
+            "{}_sum{{{}}} {}",
+            name,
+            labels,
+            fmt_f64(h.sum_ns() as f64 / 1e9)
+        );
+        let _ = writeln!(out, "{}_count{{{}}} {}", name, labels, h.count());
     }
 }
 
@@ -336,6 +390,21 @@ mod tests {
         assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("lat_seconds_count 3\n"));
         assert!(text.contains("lat_seconds_sum 0.000001006\n"));
+    }
+
+    #[test]
+    fn histogram_vec_rendering_labels_every_series() {
+        let reg = Registry::new();
+        let family = reg.histogram_vec("codec_seconds", "phase", "Codec phase latency.");
+        family.with("decode").observe_ns(3);
+        family.with("encode").observe_ns(1_000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE codec_seconds histogram"));
+        assert!(text.contains("codec_seconds_bucket{phase=\"decode\",le=\"0.000000004\"} 1\n"));
+        assert!(text.contains("codec_seconds_bucket{phase=\"decode\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("codec_seconds_count{phase=\"decode\"} 1\n"));
+        assert!(text.contains("codec_seconds_sum{phase=\"encode\"} 0.000001\n"));
+        assert!(text.contains("codec_seconds_bucket{phase=\"encode\",le=\"+Inf\"} 1\n"));
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! The binary wire codec of the decide hot path.
+//!
+//! JSON is kept for debuggability (`curl` a shield and read the answer),
+//! but parsing and rendering decimal floats dominates the cost of a wire
+//! decide — ROADMAP item 4 measured ~90 µs per single-state HTTP request
+//! against ~12 µs in-process.  This module is the negotiated fast path: a
+//! length-prefixed binary frame that reuses the `crate::codec`
+//! conventions of the artifact format (little-endian fixed-width integers,
+//! `f64`s as raw IEEE-754 bit patterns), so states and actions cross the
+//! wire bit-exactly with zero number formatting.
+//!
+//! # Negotiation
+//!
+//! A client opts in per request by sending
+//! `Content-Type: application/x-vrl-frame` ([`CONTENT_TYPE_FRAME`]) on
+//! `POST …/decide`; the response body mirrors the request codec.  Every
+//! other request content type (including none) gets the JSON codec, and
+//! **error responses are always the structured JSON envelope** regardless
+//! of the request codec — status and `code` semantics are identical on
+//! both paths, and a client debugging a failure wants text.
+//! [`RemoteShard`](crate::remote::RemoteShard) negotiates the binary codec
+//! automatically for shard-to-shard traffic and falls back to decoding a
+//! JSON response if a peer answers with one.
+//!
+//! # Frame layout
+//!
+//! All integers little-endian; `f64`s travel as raw bit patterns.
+//!
+//! ```text
+//! magic      4 bytes   b"VRLW"
+//! version    u32       1
+//! kind       u8        1 = decide request, 2 = decide response
+//! len        u32       payload byte length (exactly the bytes that follow)
+//! payload    len bytes
+//! ```
+//!
+//! Request payload (`kind = 1`):
+//!
+//! ```text
+//! flags      u8        bit 0: batched (response framing mirrors this)
+//! dim        u32       state dimension
+//! count      u32       number of states (must be 1 when not batched)
+//! states     count * dim * 8 bytes of f64 bits, row-major
+//! ```
+//!
+//! Response payload (`kind = 2`):
+//!
+//! ```text
+//! flags      u8        bit 0: batched (mirrors the request)
+//! dim        u32       action dimension
+//! count      u32       number of decisions
+//! decisions  count * (dim * 8 bytes of f64 bits + 1 intervened byte)
+//! ```
+//!
+//! # Validation
+//!
+//! Decoding is total: truncations, bit flips, oversize length prefixes,
+//! and trailing garbage all produce a clean [`WireError`], never a panic
+//! and never an oversized allocation (counts are validated against the
+//! body length *before* any reservation).  Non-finite state bits — which
+//! the JSON parser can never produce because `NaN`/`Infinity` are not
+//! JSON — are rejected at decode time with
+//! [`WireError::NonFiniteState`], keeping the binary path on the identical
+//! 422 policy the server applies to states
+//! ([`ServeError::NonFiniteState`](crate::server::ServeError)).
+
+use crate::arena::StateArena;
+use crate::wire::{DecideRequest, WireError};
+use vrl::shield::ShieldDecision;
+
+/// Content type that selects this codec on `POST …/decide`.
+pub const CONTENT_TYPE_FRAME: &str = "application/x-vrl-frame";
+
+/// Frame magic: `VRLW` ("VRL wire"), distinct from the artifact codec's
+/// `VRLA` so the two binary formats can never be confused.
+pub const FRAME_MAGIC: [u8; 4] = *b"VRLW";
+
+/// Version of the frame layout documented in the module docs.
+pub const FRAME_VERSION: u32 = 1;
+
+/// `kind` byte of a decide request frame.
+pub const KIND_DECIDE_REQUEST: u8 = 1;
+
+/// `kind` byte of a decide response frame.
+pub const KIND_DECIDE_RESPONSE: u8 = 2;
+
+/// Bytes before the payload: magic + version + kind + payload length.
+const HEADER_BYTES: usize = 4 + 4 + 1 + 4;
+
+/// Bytes of the fixed payload prelude: flags + dim + count.
+const PRELUDE_BYTES: usize = 1 + 4 + 4;
+
+fn frame_error(at: usize, detail: &'static str) -> WireError {
+    WireError::Frame { at, detail }
+}
+
+/// Writes the frame header for `kind` with `payload_len` payload bytes.
+fn put_header(out: &mut Vec<u8>, kind: u8, payload_len: usize) {
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(
+        &u32::try_from(payload_len)
+            .expect("payload fits u32")
+            .to_le_bytes(),
+    );
+}
+
+/// Checks magic, version, kind, and the payload length prefix, returning
+/// the payload slice.
+fn payload(body: &[u8], kind: u8) -> Result<&[u8], WireError> {
+    if body.len() < HEADER_BYTES {
+        return Err(frame_error(body.len(), "truncated frame header"));
+    }
+    if body[..4] != FRAME_MAGIC {
+        return Err(frame_error(0, "bad frame magic (expected \"VRLW\")"));
+    }
+    let version = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+    if version != FRAME_VERSION {
+        return Err(frame_error(4, "unsupported frame version"));
+    }
+    if body[8] != kind {
+        return Err(frame_error(8, "unexpected frame kind"));
+    }
+    let declared = u32::from_le_bytes(body[9..13].try_into().expect("4 bytes")) as usize;
+    let actual = body.len() - HEADER_BYTES;
+    if declared > actual {
+        return Err(frame_error(9, "payload length prefix exceeds the body"));
+    }
+    if declared < actual {
+        return Err(frame_error(9, "trailing bytes after the declared payload"));
+    }
+    Ok(&body[HEADER_BYTES..])
+}
+
+/// Reads the `flags`/`dim`/`count` prelude and validates that the payload
+/// holds exactly `count` records of `record_bytes(dim)` bytes.
+fn prelude(payload: &[u8], record_extra: usize) -> Result<(bool, usize, usize), WireError> {
+    if payload.len() < PRELUDE_BYTES {
+        return Err(frame_error(HEADER_BYTES, "truncated frame payload"));
+    }
+    let flags = payload[0];
+    if flags & !1 != 0 {
+        return Err(frame_error(HEADER_BYTES, "unknown flag bits set"));
+    }
+    let batched = flags & 1 != 0;
+    let dim = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
+    let count = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as usize;
+    // Validate the geometry against the actual byte count before touching
+    // any element, so a crafted count can neither over-read nor trigger a
+    // large allocation (u128 arithmetic rules out overflow games).
+    let expected = (count as u128) * (dim as u128 * 8 + record_extra as u128);
+    if expected != (payload.len() - PRELUDE_BYTES) as u128 {
+        return Err(frame_error(
+            HEADER_BYTES + 1,
+            "dim/count disagree with the payload size",
+        ));
+    }
+    Ok((batched, dim, count))
+}
+
+/// Encodes a decide request frame into `out` (cleared first).
+///
+/// `batched` controls the response framing exactly as the JSON shapes
+/// `"states"` vs `"state"` do; a non-batched frame must carry exactly one
+/// state.
+pub fn encode_decide_request_into(states: &[Vec<f64>], batched: bool, out: &mut Vec<u8>) {
+    debug_assert!(
+        batched || states.len() == 1,
+        "single-state frames carry one state"
+    );
+    let dim = states.first().map_or(0, Vec::len);
+    out.clear();
+    put_header(
+        out,
+        KIND_DECIDE_REQUEST,
+        PRELUDE_BYTES + states.len() * dim * 8,
+    );
+    out.push(u8::from(batched));
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    out.extend_from_slice(&(states.len() as u32).to_le_bytes());
+    for state in states {
+        debug_assert_eq!(state.len(), dim, "ragged state matrix");
+        for &v in state {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Encodes a decide request frame (allocating convenience wrapper around
+/// [`encode_decide_request_into`]).
+#[must_use]
+pub fn encode_decide_request(states: &[Vec<f64>], batched: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_decide_request_into(states, batched, &mut out);
+    out
+}
+
+/// Decodes a decide request frame into `arena` (reset first), returning
+/// whether the request was batched.
+///
+/// # Errors
+///
+/// [`WireError::Frame`] on any structural defect (HTTP 400),
+/// [`WireError::BatchTooLarge`] when `count` exceeds `max_batch` (413),
+/// and [`WireError::NonFiniteState`] when any state coordinate carries
+/// non-finite bits (422 — the identical policy the server applies, which
+/// a binary frame could otherwise smuggle past).
+pub fn decode_decide_request_into(
+    body: &[u8],
+    max_batch: usize,
+    arena: &mut StateArena,
+) -> Result<bool, WireError> {
+    arena.reset();
+    let payload = payload(body, KIND_DECIDE_REQUEST)?;
+    let (batched, dim, count) = prelude(payload, 0)?;
+    if !batched && count != 1 {
+        return Err(frame_error(
+            HEADER_BYTES + 5,
+            "a single-state frame must carry exactly one state",
+        ));
+    }
+    if count > max_batch {
+        return Err(WireError::BatchTooLarge {
+            len: count,
+            max: max_batch,
+        });
+    }
+    let mut bytes = payload[PRELUDE_BYTES..].chunks_exact(8);
+    for state in 0..count {
+        let row = arena.push_row();
+        row.reserve(dim);
+        for coordinate in 0..dim {
+            let bits = bytes.next().expect("geometry validated");
+            let v = f64::from_bits(u64::from_le_bytes(bits.try_into().expect("8 bytes")));
+            if !v.is_finite() {
+                return Err(WireError::NonFiniteState { state, coordinate });
+            }
+            row.push(v);
+        }
+    }
+    Ok(batched)
+}
+
+/// Decodes a decide request frame into an owned [`DecideRequest`]
+/// (allocating convenience wrapper around [`decode_decide_request_into`]
+/// for tests and clients).
+///
+/// # Errors
+///
+/// As [`decode_decide_request_into`].
+pub fn decode_decide_request(body: &[u8], max_batch: usize) -> Result<DecideRequest, WireError> {
+    let mut arena = StateArena::new();
+    let batched = decode_decide_request_into(body, max_batch, &mut arena)?;
+    Ok(DecideRequest {
+        states: arena.rows().to_vec(),
+        batched,
+    })
+}
+
+/// Encodes a decide response frame into `out` (cleared first).  `batched`
+/// mirrors the request flag, so a client can assert the server honored its
+/// framing.
+pub fn encode_decide_response_into(decisions: &[ShieldDecision], batched: bool, out: &mut Vec<u8>) {
+    let dim = decisions.first().map_or(0, |d| d.action.len());
+    out.clear();
+    put_header(
+        out,
+        KIND_DECIDE_RESPONSE,
+        PRELUDE_BYTES + decisions.len() * (dim * 8 + 1),
+    );
+    out.push(u8::from(batched));
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    out.extend_from_slice(&(decisions.len() as u32).to_le_bytes());
+    for decision in decisions {
+        debug_assert_eq!(decision.action.len(), dim, "ragged action matrix");
+        for &v in &decision.action {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.push(u8::from(decision.intervened));
+    }
+}
+
+/// Encodes a decide response frame (allocating convenience wrapper around
+/// [`encode_decide_response_into`]).
+#[must_use]
+pub fn encode_decide_response(decisions: &[ShieldDecision], batched: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_decide_response_into(decisions, batched, &mut out);
+    out
+}
+
+/// Decodes a decide response frame back into shield decisions — the
+/// client half of [`encode_decide_response_into`].  Action bits pass
+/// through untouched, so a decision that crosses the wire (even twice,
+/// shard → router → client) is bit-identical to the in-process call.
+///
+/// # Errors
+///
+/// [`WireError::Frame`] on any structural defect.
+pub fn decode_decide_response(body: &[u8]) -> Result<Vec<ShieldDecision>, WireError> {
+    let payload = payload(body, KIND_DECIDE_RESPONSE)?;
+    let (_batched, dim, count) = prelude(payload, 1)?;
+    let record = dim * 8 + 1;
+    let mut decisions = Vec::with_capacity(count);
+    for chunk in payload[PRELUDE_BYTES..].chunks_exact(record.max(1)) {
+        if decisions.len() == count {
+            break;
+        }
+        let mut action = Vec::with_capacity(dim);
+        for bits in chunk[..dim * 8].chunks_exact(8) {
+            action.push(f64::from_bits(u64::from_le_bytes(
+                bits.try_into().expect("8 bytes"),
+            )));
+        }
+        let intervened = match chunk[dim * 8] {
+            0 => false,
+            1 => true,
+            _ => return Err(frame_error(HEADER_BYTES, "intervened byte is not 0 or 1")),
+        };
+        decisions.push(ShieldDecision { action, intervened });
+    }
+    if decisions.len() != count {
+        return Err(frame_error(HEADER_BYTES + 5, "record count mismatch"));
+    }
+    Ok(decisions)
+}
+
+/// Whether a response frame declared itself batched (bit 0 of the flags
+/// byte), for clients asserting the server mirrored their framing.
+///
+/// # Errors
+///
+/// [`WireError::Frame`] when `body` is not a well-formed response frame.
+pub fn response_is_batched(body: &[u8]) -> Result<bool, WireError> {
+    let payload = payload(body, KIND_DECIDE_RESPONSE)?;
+    let (batched, _, _) = prelude(payload, 1)?;
+    Ok(batched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn awkward_states() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.1, -1.0 / 3.0],
+            vec![-0.0, f64::MIN_POSITIVE],
+            vec![1.7976931348623157e308, 123456.78901234567],
+        ]
+    }
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        let states = awkward_states();
+        let frame = encode_decide_request(&states, true);
+        let decoded = decode_decide_request(&frame, 16).unwrap();
+        assert!(decoded.batched);
+        assert_eq!(decoded.states.len(), states.len());
+        for (a, b) in decoded.states.iter().zip(states.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Single-state framing round-trips the flag.
+        let single = encode_decide_request(&states[..1], false);
+        let decoded = decode_decide_request(&single, 16).unwrap();
+        assert!(!decoded.batched);
+        assert_eq!(decoded.states, states[..1]);
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let decisions = vec![
+            ShieldDecision {
+                action: vec![0.1, -0.0],
+                intervened: true,
+            },
+            ShieldDecision {
+                action: vec![f64::MIN_POSITIVE, -1.0 / 3.0],
+                intervened: false,
+            },
+        ];
+        let frame = encode_decide_response(&decisions, true);
+        assert!(response_is_batched(&frame).unwrap());
+        let decoded = decode_decide_response(&frame).unwrap();
+        assert_eq!(decoded.len(), decisions.len());
+        for (a, b) in decoded.iter().zip(decisions.iter()) {
+            assert_eq!(a.intervened, b.intervened);
+            for (x, y) in a.action.iter().zip(b.action.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Actions may legitimately carry any finite bits; empty batches
+        // and zero-dim actions are representable.
+        let empty = encode_decide_response(&[], true);
+        assert_eq!(decode_decide_response(&empty).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn non_finite_states_are_rejected_with_the_422_policy() {
+        for (bad, state, coordinate) in [
+            (f64::NAN, 0usize, 1usize),
+            (f64::INFINITY, 1, 0),
+            (f64::NEG_INFINITY, 1, 1),
+        ] {
+            let mut states = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+            states[state][coordinate] = bad;
+            let frame = encode_decide_request(&states, true);
+            assert_eq!(
+                decode_decide_request(&frame, 16),
+                Err(WireError::NonFiniteState { state, coordinate }),
+            );
+        }
+    }
+
+    #[test]
+    fn batch_limit_is_enforced() {
+        let states: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        let frame = encode_decide_request(&states, true);
+        assert_eq!(
+            decode_decide_request(&frame, 8),
+            Err(WireError::BatchTooLarge { len: 9, max: 8 })
+        );
+        assert!(decode_decide_request(&frame, 9).is_ok());
+    }
+
+    #[test]
+    fn structural_defects_are_clean_frame_errors() {
+        let frame = encode_decide_request(&awkward_states(), true);
+        // Magic, version, kind.
+        for (offset, patch) in [(0usize, 0xFFu8), (4, 0x77), (8, 9)] {
+            let mut bad = frame.clone();
+            bad[offset] ^= patch;
+            assert!(matches!(
+                decode_decide_request(&bad, 16),
+                Err(WireError::Frame { .. })
+            ));
+        }
+        // Oversize length prefix (declares more payload than the body has).
+        let mut oversize = frame.clone();
+        oversize[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_decide_request(&oversize, 16),
+            Err(WireError::Frame { .. })
+        ));
+        // Trailing garbage.
+        let mut trailing = frame.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_decide_request(&trailing, 16),
+            Err(WireError::Frame { .. })
+        ));
+        // A count that disagrees with the payload size cannot allocate.
+        let mut huge_count = frame.clone();
+        huge_count[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_decide_request(&huge_count, usize::MAX),
+            Err(WireError::Frame { .. })
+        ));
+        // Unknown flags and single-state frames with the wrong count.
+        let mut flags = frame.clone();
+        flags[13] = 0x80;
+        assert!(matches!(
+            decode_decide_request(&flags, 16),
+            Err(WireError::Frame { .. })
+        ));
+        let mut unbatched = frame;
+        unbatched[13] = 0;
+        assert!(matches!(
+            decode_decide_request(&unbatched, 16),
+            Err(WireError::Frame { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_cleanly() {
+        let frame = encode_decide_request(&awkward_states(), true);
+        for len in 0..frame.len() {
+            assert!(
+                decode_decide_request(&frame[..len], 16).is_err(),
+                "truncation to {len}/{} bytes must be rejected",
+                frame.len()
+            );
+        }
+        assert!(decode_decide_request(&frame, 16).is_ok());
+    }
+}

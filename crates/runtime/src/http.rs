@@ -16,7 +16,7 @@
 //!
 //! | Method & path | Meaning |
 //! |---|---|
-//! | `POST /v1/deployments/{name}/decide` | Decide one state or a batch (JSON body, see [`crate::wire`]) |
+//! | `POST /v1/deployments/{name}/decide` | Decide one state or a batch (JSON body, see [`crate::wire`], or a binary frame, see [`crate::frame`]) |
 //! | `PUT /v1/deployments/{name}` | Upload a checksummed [`ShieldArtifact`] (raw binary body) for deploy / hot redeploy |
 //! | `DELETE /v1/deployments/{name}` | Remove a deployment |
 //! | `GET /v1/deployments/{name}/telemetry` | Per-deployment serving telemetry |
@@ -28,6 +28,19 @@
 //! all HTTP traffic.  Error responses always carry the structured JSON body
 //! of [`wire::error_body`]; the status mapping is documented on
 //! [`error_status`] and in the README's wire-protocol reference.
+//!
+//! # Codec negotiation and the scratch pool
+//!
+//! The decide endpoint speaks two codecs, negotiated per request by
+//! `Content-Type`: `application/json` (default, kept for debuggability)
+//! and the binary frame codec `application/x-vrl-frame`
+//! ([`frame::CONTENT_TYPE_FRAME`]), whose raw `f64` bit patterns skip
+//! decimal float formatting entirely.  The response body mirrors the
+//! request codec; error envelopes stay JSON on both paths with identical
+//! status/`code` semantics.  Every connection owns a scratch pool
+//! (read buffer, body buffer, response buffer, decoded state matrix —
+//! see `crate::arena`) reused across keep-alive requests, so
+//! steady-state framing and codec work is allocation-free.
 //!
 //! # Request ids
 //!
@@ -46,7 +59,9 @@
 //! across shards).  See the crate-level example and
 //! `examples/http_server.rs` for the end-to-end story.
 
+use crate::arena::{ConnScratch, StateArena};
 use crate::artifact::{ArtifactError, ShieldArtifact};
+use crate::frame;
 use crate::router::ShardRouter;
 use crate::server::{ServeError, ShieldServer};
 use crate::telemetry::DeploymentTelemetry;
@@ -56,7 +71,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vrl::shield::ShieldDecision;
 
 /// The serving operations the HTTP front-end needs from its backend.
@@ -362,26 +377,38 @@ fn serve_connection(
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.idle_timeout));
     crate::obs::http_active_connections().add(1.0);
-    let mut buffer: Vec<u8> = Vec::new();
+    // One scratch pool for the whole keep-alive loop: the read buffer,
+    // body buffer, response buffer, and decoded state matrix are reused
+    // across requests, so steady-state serving allocates nothing in the
+    // framing and codec layers.
+    let mut scratch = ConnScratch::default();
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        match read_request(&mut stream, &mut buffer, config) {
+        match read_request(&mut stream, &mut scratch, config) {
             Ok(Some(request)) => {
                 let close = request.close;
                 let request_id = request
                     .request_id
                     .clone()
                     .unwrap_or_else(generate_request_id);
-                let response = {
+                let ConnScratch {
+                    body, out, states, ..
+                } = &mut scratch;
+                let mut response = {
                     let _span = vrl_obs::request_span("http.request", &request_id);
-                    dispatch(&request, backend, config, &request_id)
+                    dispatch(&request, body, states, out, backend, config, &request_id)
                 };
                 crate::obs::http_requests()
                     .with(&response.status.to_string())
                     .inc();
-                if write_response(&mut stream, &response, close, &request_id).is_err() || close {
+                let write_failed =
+                    write_response(&mut stream, &response, close, &request_id).is_err();
+                // Reclaim the response buffer (binary responses encode
+                // straight into it) for the next request.
+                scratch.out = std::mem::take(&mut response.body);
+                if write_failed || close {
                     break;
                 }
             }
@@ -390,14 +417,8 @@ fn serve_connection(
             Ok(None) => break,
             Err(reject) => {
                 let request_id = generate_request_id();
-                let body =
-                    wire::error_body(reject.status, reject.code, &reject.message, &request_id);
-                let response = Response {
-                    status: reject.status,
-                    body,
-                    content_type: CONTENT_TYPE_JSON,
-                    retry_after: None,
-                };
+                let response =
+                    Response::error(reject.status, reject.code, &reject.message, &request_id);
                 crate::obs::http_requests()
                     .with(&reject.status.to_string())
                     .inc();
@@ -435,14 +456,19 @@ fn valid_request_id(value: &str) -> bool {
     !value.is_empty() && value.len() <= 128 && value.bytes().all(|b| (0x21..=0x7e).contains(&b))
 }
 
+/// One framed request.  The body itself lives in the connection's
+/// [`ConnScratch::body`] buffer, not here — the head fields are all this
+/// struct carries.
 struct Request {
     method: Method,
     /// Path split on '/', ignoring any query string.
     segments: Vec<String>,
-    body: Vec<u8>,
     close: bool,
     /// The client's `x-request-id` header, when present and valid.
     request_id: Option<String>,
+    /// Whether `Content-Type` negotiated the binary frame codec
+    /// ([`frame::CONTENT_TYPE_FRAME`]) for the decide endpoint.
+    binary: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -472,13 +498,17 @@ impl Reject {
     }
 }
 
-/// Reads one request (head + body).  `Ok(None)` is a clean connection end:
-/// EOF or an idle timeout with no bytes of a new request read yet.
+/// Reads one request head + body into the connection scratch.  `Ok(None)`
+/// is a clean connection end: EOF or an idle timeout with no bytes of a new
+/// request read yet.  On success the body is in `scratch.body` and any
+/// pipelined bytes of the *next* request stay at the front of
+/// `scratch.read_buf`.
 fn read_request(
     stream: &mut TcpStream,
-    buffer: &mut Vec<u8>,
+    scratch: &mut ConnScratch,
     config: &HttpConfig,
 ) -> Result<Option<Request>, Reject> {
+    let buffer = &mut scratch.read_buf;
     // Accumulate until the blank line ending the head.
     let head_end = loop {
         if let Some(pos) = find_head_end(buffer) {
@@ -521,10 +551,11 @@ fn read_request(
         }
     };
 
+    // Parse the head in place — every owned value (segments, request id)
+    // is extracted before the buffers are touched, so no per-request copy
+    // of the head is made.
     let head = std::str::from_utf8(&buffer[..head_end])
-        .map_err(|_| Reject::new(400, "bad_request", "request head is not valid UTF-8"))?
-        .to_string();
-    let head = head.as_str();
+        .map_err(|_| Reject::new(400, "bad_request", "request head is not valid UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
@@ -558,6 +589,7 @@ fn read_request(
     let mut close = version == "HTTP/1.0";
     let mut expects_continue = false;
     let mut request_id: Option<String> = None;
+    let mut binary = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -596,8 +628,25 @@ fn read_request(
             expects_continue = true;
         } else if name.eq_ignore_ascii_case("x-request-id") && valid_request_id(value) {
             request_id = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("content-type") {
+            // Media-type parameters (`; charset=...`) are tolerated; any
+            // other content type falls back to the JSON codec.
+            binary = value
+                .get(..frame::CONTENT_TYPE_FRAME.len())
+                .is_some_and(|prefix| prefix.eq_ignore_ascii_case(frame::CONTENT_TYPE_FRAME))
+                && {
+                    let rest = value[frame::CONTENT_TYPE_FRAME.len()..].trim_start();
+                    rest.is_empty() || rest.starts_with(';')
+                };
         }
     }
+
+    let path = target.split('?').next().unwrap_or_default();
+    let segments: Vec<String> = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
 
     if matches!(method, Method::Post | Method::Put) && !has_length {
         return Err(Reject::new(
@@ -622,9 +671,16 @@ fn read_request(
     }
 
     // The body: whatever is already buffered past the head, then the rest
-    // from the socket.
-    let mut body = buffer[head_end..].to_vec();
-    buffer.clear();
+    // from the socket, copied into the connection's reusable body buffer.
+    let body = &mut scratch.body;
+    body.clear();
+    let buffered = buffer.len() - head_end;
+    let from_buffer = buffered.min(content_length);
+    body.extend_from_slice(&buffer[head_end..head_end + from_buffer]);
+    // Bytes past the declared body start the next pipelined request; slide
+    // them to the front of the read buffer.
+    buffer.copy_within(head_end + from_buffer.., 0);
+    buffer.truncate(buffered - from_buffer);
     while body.len() < content_length {
         let mut chunk = [0u8; 8192];
         match stream.read(&mut chunk) {
@@ -661,21 +717,20 @@ fn read_request(
             }
         }
     }
-    // Bytes past the declared body start the next pipelined request.
-    *buffer = body.split_off(content_length);
+    // A chunk read may overshoot into the next pipelined request; hand the
+    // excess back to the read buffer (it is empty in that case — the body
+    // loop only runs once the buffered bytes were fully consumed).
+    if body.len() > content_length {
+        scratch.read_buf.extend_from_slice(&body[content_length..]);
+        body.truncate(content_length);
+    }
 
-    let path = target.split('?').next().unwrap_or_default();
-    let segments: Vec<String> = path
-        .split('/')
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect();
     Ok(Some(Request {
         method,
         segments,
-        body,
         close,
         request_id,
+        binary,
     }))
 }
 
@@ -693,7 +748,7 @@ const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
 
 struct Response {
     status: u16,
-    body: String,
+    body: Vec<u8>,
     content_type: &'static str,
     /// Seconds for a `Retry-After` header, on 503s where the client should
     /// back off and try again (overload shedding, all replicas down).
@@ -704,13 +759,24 @@ impl Response {
     fn ok(body: String) -> Self {
         Response {
             status: 200,
-            body,
+            body: body.into_bytes(),
             content_type: CONTENT_TYPE_JSON,
             retry_after: None,
         }
     }
 
     fn ok_with_type(body: String, content_type: &'static str) -> Self {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+            content_type,
+            retry_after: None,
+        }
+    }
+
+    /// A `200` whose body is already-encoded bytes (binary decide
+    /// responses, taken from the connection's scratch buffer).
+    fn ok_bytes(body: Vec<u8>, content_type: &'static str) -> Self {
         Response {
             status: 200,
             body,
@@ -722,7 +788,7 @@ impl Response {
     fn error(status: u16, code: &str, message: &str, request_id: &str) -> Self {
         Response {
             status,
-            body: wire::error_body(status, code, message, request_id),
+            body: wire::error_body(status, code, message, request_id).into_bytes(),
             content_type: CONTENT_TYPE_JSON,
             retry_after: None,
         }
@@ -771,7 +837,7 @@ fn write_response(
         if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    stream.write_all(&response.body)?;
     stream.flush()
 }
 
@@ -836,6 +902,15 @@ fn wire_error_response(error: &WireError, request_id: &str) -> Response {
         WireError::BatchTooLarge { .. } => {
             Response::error(413, "batch_too_large", &error.to_string(), request_id)
         }
+        WireError::Frame { .. } => {
+            Response::error(400, "malformed_frame", &error.to_string(), request_id)
+        }
+        // Same status and code as `ServeError::NonFiniteState`: a binary
+        // frame can smuggle NaN/inf bit patterns JSON cannot even spell,
+        // and both codecs must reject them identically.
+        WireError::NonFiniteState { .. } => {
+            Response::error(422, "non_finite_state", &error.to_string(), request_id)
+        }
     }
 }
 
@@ -864,6 +939,9 @@ fn serve_error_response(error: &ServeError, request_id: &str) -> Response {
 
 fn dispatch(
     request: &Request,
+    body: &[u8],
+    states: &mut StateArena,
+    out: &mut Vec<u8>,
     backend: &dyn ShieldBackend,
     config: &HttpConfig,
     request_id: &str,
@@ -879,24 +957,54 @@ fn dispatch(
             CONTENT_TYPE_PROMETHEUS,
         ),
         (Method::Post, ["v1", "deployments", name, "decide"]) => {
-            let decide = match wire::decode_decide_request(&request.body, config.max_batch) {
-                Ok(decide) => decide,
+            crate::obs::http_decide_codec()
+                .with(if request.binary { "binary" } else { "json" })
+                .inc();
+            // The codec-phase clock reads sit behind the same kill switch
+            // as the decide-latency histogram.
+            let observing = vrl_obs::enabled();
+            let decode_start = observing.then(Instant::now);
+            let decoded = if request.binary {
+                frame::decode_decide_request_into(body, config.max_batch, states)
+            } else {
+                wire::decode_decide_request_into(body, config.max_batch, states)
+            };
+            let batched = match decoded {
+                Ok(batched) => batched,
                 Err(e) => return wire_error_response(&e, request_id),
             };
-            match backend.decide_batch(name, &decide.states) {
-                Ok(decisions) if !decide.batched && decisions.is_empty() => {
+            if let Some(start) = decode_start {
+                crate::obs::codec_phase_latency()
+                    .with("decode")
+                    .observe(start.elapsed());
+            }
+            match backend.decide_batch(name, states.rows()) {
+                Ok(decisions) if !batched && decisions.is_empty() => {
                     // Unreachable ("state" always carries one state), but
                     // never index into an empty decision list.
                     Response::error(500, "internal", "empty decision list", request_id)
                 }
                 Ok(decisions) => {
-                    Response::ok(wire::decide_response(name, &decisions, decide.batched))
+                    let encode_start = observing.then(Instant::now);
+                    // The response codec mirrors the request codec.
+                    let response = if request.binary {
+                        frame::encode_decide_response_into(&decisions, batched, out);
+                        Response::ok_bytes(std::mem::take(out), frame::CONTENT_TYPE_FRAME)
+                    } else {
+                        Response::ok(wire::decide_response(name, &decisions, batched))
+                    };
+                    if let Some(start) = encode_start {
+                        crate::obs::codec_phase_latency()
+                            .with("encode")
+                            .observe(start.elapsed());
+                    }
+                    response
                 }
                 Err(e) => serve_error_response(&e, request_id),
             }
         }
         (Method::Put, ["v1", "deployments", name]) => {
-            let artifact = match ShieldArtifact::from_bytes(&request.body) {
+            let artifact = match ShieldArtifact::from_bytes(body) {
                 Ok(artifact) => artifact,
                 Err(e) => {
                     let e = ServeError::Artifact(e);
@@ -960,9 +1068,19 @@ fn known_path_wrong_method(method: Method, segments: &[&str]) -> bool {
 /// no redirects.  It is **not** a general-purpose client — production
 /// traffic should use any real HTTP client (the transcript in the README
 /// uses `curl`).
+///
+/// The client owns a persistent read buffer and head-formatting buffer,
+/// reused across requests on the keep-alive connection;
+/// [`post_reusing`](MiniClient::post_reusing) additionally writes the
+/// response body into a caller-supplied buffer, so a steady-state decide
+/// loop allocates nothing on the client side either.
 #[derive(Debug)]
 pub struct MiniClient {
     stream: TcpStream,
+    /// Request-head formatting buffer, reused across requests.
+    head: String,
+    /// Response read buffer, reused across requests.
+    scratch: Vec<u8>,
 }
 
 /// A response read by [`MiniClient`].
@@ -1027,7 +1145,11 @@ impl MiniClient {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(read_timeout))?;
         stream.set_write_timeout(Some(write_timeout))?;
-        Ok(MiniClient { stream })
+        Ok(MiniClient {
+            stream,
+            head: String::new(),
+            scratch: Vec::new(),
+        })
     }
 
     /// Sends one request and reads the full response.
@@ -1058,36 +1180,85 @@ impl MiniClient {
         body: &[u8],
         extra_headers: &[(&str, &str)],
     ) -> std::io::Result<MiniResponse> {
-        let mut head = format!(
+        use std::fmt::Write as _;
+        self.head.clear();
+        let _ = write!(
+            self.head,
             "{method} {path} HTTP/1.1\r\nhost: vrl\r\ncontent-length: {}\r\n",
             body.len()
         );
         for (name, value) in extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            self.head.push_str(name);
+            self.head.push_str(": ");
+            self.head.push_str(value);
+            self.head.push_str("\r\n");
         }
-        head.push_str("\r\n");
-        self.stream.write_all(head.as_bytes())?;
+        self.head.push_str("\r\n");
+        self.stream.write_all(self.head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;
-        self.read_response()
+        read_response_from(&mut self.stream, &mut self.scratch)
     }
 
-    fn read_response(&mut self) -> std::io::Result<MiniResponse> {
-        read_response_from(&mut self.stream)
+    /// Sends one `POST` with the given `Content-Type` and reads the
+    /// response body into `out` (cleared first).  Returns the status code
+    /// and whether the response negotiated the binary frame codec.
+    ///
+    /// This is the allocation-free hot path: the request head, read
+    /// buffer, and response body all live in reused buffers, so a
+    /// steady-state decide loop makes no client-side allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`MiniClient::request`].
+    pub fn post_reusing(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+        out: &mut Vec<u8>,
+    ) -> std::io::Result<(u16, bool)> {
+        use std::fmt::Write as _;
+        self.head.clear();
+        let _ = write!(
+            self.head,
+            "POST {path} HTTP/1.1\r\nhost: vrl\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(self.head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+
+        let head_end = read_head_into(&mut self.stream, &mut self.scratch)?;
+        let head = &self.scratch[..head_end];
+        let status = scan_status(head)?;
+        let content_length = scan_content_length(head)?;
+        let binary = scan_header(head, "content-type")
+            .is_some_and(|value| value.eq_ignore_ascii_case(frame::CONTENT_TYPE_FRAME.as_bytes()));
+        out.clear();
+        out.extend_from_slice(&self.scratch[head_end..]);
+        while out.len() < content_length {
+            let mut chunk = [0u8; 8192];
+            let n = read_chunk(&mut self.stream, &mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        out.truncate(content_length);
+        Ok((status, binary))
     }
 }
 
-/// Reads one `Content-Length`-framed HTTP/1.1 response from `stream`.
-///
-/// Shared by [`MiniClient`] and [`crate::remote::RemoteShard`].  A read that
-/// trips the socket's read deadline surfaces as a clean
+/// `stream.read` with platform timeout kinds normalised: a read that trips
+/// the socket's deadline surfaces as a clean
 /// [`std::io::ErrorKind::TimedOut`] error (some platforms report socket
-/// timeouts as `WouldBlock`; both are normalised here).
-pub(crate) fn read_response_from(stream: &mut TcpStream) -> std::io::Result<MiniResponse> {
-    let read_chunk = |stream: &mut TcpStream, chunk: &mut [u8]| match stream.read(chunk) {
+/// timeouts as `WouldBlock`).
+fn read_chunk(stream: &mut TcpStream, chunk: &mut [u8]) -> std::io::Result<usize> {
+    match stream.read(chunk) {
         Err(error)
             if matches!(
                 error.kind(),
@@ -1100,11 +1271,16 @@ pub(crate) fn read_response_from(stream: &mut TcpStream) -> std::io::Result<Mini
             ))
         }
         other => other,
-    };
-    let mut buffer = Vec::new();
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buffer) {
-            break pos;
+    }
+}
+
+/// Reads from `stream` into `buffer` (cleared first) until the blank line
+/// ending a response head; returns the head length.
+fn read_head_into(stream: &mut TcpStream, buffer: &mut Vec<u8>) -> std::io::Result<usize> {
+    buffer.clear();
+    loop {
+        if let Some(pos) = find_head_end(buffer) {
+            return Ok(pos);
         }
         let mut chunk = [0u8; 4096];
         let n = read_chunk(stream, &mut chunk)?;
@@ -1115,15 +1291,61 @@ pub(crate) fn read_response_from(stream: &mut TcpStream) -> std::io::Result<Mini
             ));
         }
         buffer.extend_from_slice(&chunk[..n]);
-    };
-    let head = String::from_utf8_lossy(&buffer[..head_end]).into_owned();
-    let status: u16 = head
-        .split(' ')
+    }
+}
+
+/// Scans a raw response head for the first header named `name` (ASCII
+/// case-insensitive) without allocating.
+fn scan_header<'a>(head: &'a [u8], name: &str) -> Option<&'a [u8]> {
+    for line in head.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        if line[..colon].eq_ignore_ascii_case(name.as_bytes()) {
+            let mut value = &line[colon + 1..];
+            while let Some((b' ' | b'\t', rest)) = value.split_first() {
+                value = rest;
+            }
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Status code from the raw status line of a response head.
+fn scan_status(head: &[u8]) -> std::io::Result<u16> {
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(head);
+    line.split(|&b| b == b' ')
         .nth(1)
-        .and_then(|s| s.parse().ok())
+        .and_then(|code| std::str::from_utf8(code).ok())
+        .and_then(|code| code.parse().ok())
         .ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
-        })?;
+        })
+}
+
+/// `Content-Length` from a raw response head.
+fn scan_content_length(head: &[u8]) -> std::io::Result<usize> {
+    scan_header(head, "content-length")
+        .and_then(|value| std::str::from_utf8(value).ok())
+        .and_then(|value| value.trim().parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
+        })
+}
+
+/// Reads one `Content-Length`-framed HTTP/1.1 response from `stream`,
+/// staging raw bytes in `scratch` (a reusable buffer).
+///
+/// Shared by [`MiniClient`] and [`crate::remote::RemoteShard`].
+pub(crate) fn read_response_from(
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<MiniResponse> {
+    let head_end = read_head_into(stream, scratch)?;
+    let head = String::from_utf8_lossy(&scratch[..head_end]).into_owned();
+    let status = scan_status(head.as_bytes())?;
     let headers: Vec<(String, String)> = head
         .lines()
         .skip(1)
@@ -1132,13 +1354,8 @@ pub(crate) fn read_response_from(stream: &mut TcpStream) -> std::io::Result<Mini
             Some((name.to_ascii_lowercase(), value.trim().to_string()))
         })
         .collect();
-    let content_length: usize = headers
-        .iter()
-        .find_map(|(name, value)| (name == "content-length").then(|| value.parse().ok())?)
-        .ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
-        })?;
-    let mut body = buffer.split_off(head_end);
+    let content_length = scan_content_length(head.as_bytes())?;
+    let mut body = scratch[head_end..].to_vec();
     while body.len() < content_length {
         let mut chunk = [0u8; 8192];
         let n = read_chunk(stream, &mut chunk)?;

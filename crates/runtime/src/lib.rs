@@ -74,11 +74,13 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod arena;
 mod artifact;
 mod codec;
 pub mod fault;
 pub mod fixtures;
 mod fleet;
+pub mod frame;
 pub mod http;
 mod obs;
 mod pool;
@@ -87,6 +89,8 @@ mod router;
 mod server;
 mod telemetry;
 pub mod wire;
+
+pub use arena::StateArena;
 
 pub use artifact::{
     ArtifactError, ArtifactMetadata, ShieldArtifact, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION,

@@ -16,7 +16,7 @@
 //! series appearing as traffic trickles in.
 
 use std::sync::LazyLock;
-use vrl_obs::{registry, Counter, CounterVec, Gauge, Histogram};
+use vrl_obs::{registry, Counter, CounterVec, Gauge, Histogram, HistogramVec};
 
 macro_rules! runtime_counter {
     ($fn_name:ident, $metric:literal, $help:literal) => {
@@ -114,6 +114,34 @@ pub(crate) fn http_requests() -> &'static CounterVec {
     *HANDLE
 }
 
+/// Decide requests by negotiated wire codec (`json` / `binary`).
+pub(crate) fn http_decide_codec() -> &'static CounterVec {
+    static HANDLE: LazyLock<&'static CounterVec> = LazyLock::new(|| {
+        registry().counter_vec(
+            "vrl_http_decide_requests_total",
+            "codec",
+            "Decide requests served, labeled by the negotiated wire codec (json/binary).",
+        )
+    });
+    *HANDLE
+}
+
+/// Wire-codec latency on the decide path, labeled by phase
+/// (`decode` = request body to state matrix, `encode` = decisions to
+/// response body).  Observations are gated on [`vrl_obs::enabled`] at the
+/// call site like the decide-latency histogram, so the kill switch removes
+/// both clock reads from the hot path.
+pub(crate) fn codec_phase_latency() -> &'static HistogramVec {
+    static HANDLE: LazyLock<&'static HistogramVec> = LazyLock::new(|| {
+        registry().histogram_vec(
+            "vrl_http_codec_phase_seconds",
+            "phase",
+            "Decide wire-codec latency, labeled by phase (decode/encode).",
+        )
+    });
+    *HANDLE
+}
+
 /// Connections currently being served by the HTTP front-end.
 pub(crate) fn http_active_connections() -> &'static Gauge {
     static HANDLE: LazyLock<&'static Gauge> = LazyLock::new(|| {
@@ -186,6 +214,12 @@ pub fn install_metrics() {
     }
     let _ = decide_latency();
     let _ = http_requests();
+    for codec in ["json", "binary"] {
+        let _ = http_decide_codec().with(codec);
+    }
+    for phase in ["decode", "encode"] {
+        let _ = codec_phase_latency().with(phase);
+    }
     let _ = http_active_connections();
     let _ = router_shard_requests();
     vrl::solver::install_metrics();
@@ -205,6 +239,8 @@ mod tests {
             "vrl_runtime_requests_total",
             "vrl_runtime_decide_latency_seconds",
             "vrl_http_requests_total",
+            "vrl_http_decide_requests_total",
+            "vrl_http_codec_phase_seconds",
             "vrl_http_overload_total",
             "vrl_http_active_connections",
             "vrl_router_shard_requests_total",

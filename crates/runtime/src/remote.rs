@@ -45,6 +45,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::artifact::ShieldArtifact;
+use crate::frame;
 use crate::http::{read_response_from, MiniResponse, ShieldBackend};
 use crate::server::ServeError;
 use crate::telemetry::DeploymentTelemetry;
@@ -338,6 +339,10 @@ pub struct RemoteShard {
     config: RemoteShardConfig,
     breaker: Breaker,
     jitter: Mutex<SmallRng>,
+    /// Reusable response read buffer; connections are per-request but the
+    /// buffer's capacity survives them, so steady-state shard traffic does
+    /// not reallocate the read path.
+    scratch: Mutex<Vec<u8>>,
 }
 
 impl RemoteShard {
@@ -357,6 +362,7 @@ impl RemoteShard {
             config,
             breaker,
             jitter,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -379,7 +385,13 @@ impl RemoteShard {
     }
 
     /// One attempt: fresh connection, write request, read response.
-    fn attempt(&self, method: &str, path: &str, body: &[u8]) -> Result<MiniResponse, RemoteError> {
+    fn attempt(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        content_type: &str,
+    ) -> Result<MiniResponse, RemoteError> {
         let addr = self.addr;
         let timeout_err = |phase: &'static str| RemoteError::Timeout { addr, phase };
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout).map_err(
@@ -413,7 +425,7 @@ impl RemoteShard {
             .set_write_timeout(Some(self.config.write_timeout))
             .map_err(|e| io_err(e, "write"))?;
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: vrl\r\nconnection: close\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: vrl\r\nconnection: close\r\ncontent-length: {}\r\ncontent-type: {content_type}\r\n\r\n",
             body.len()
         );
         stream
@@ -421,13 +433,20 @@ impl RemoteShard {
             .and_then(|()| stream.write_all(body))
             .and_then(|()| stream.flush())
             .map_err(|e| io_err(e, "write"))?;
-        read_response_from(&mut stream).map_err(|e| io_err(e, "read"))
+        let mut scratch = self.scratch.lock().expect("scratch lock poisoned");
+        read_response_from(&mut stream, &mut scratch).map_err(|e| io_err(e, "read"))
     }
 
     /// Full request path: breaker admission, bounded retries with jittered
     /// backoff, breaker accounting.  Returns the response for any status
     /// below 500 (the caller decodes success and application errors).
-    fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<MiniResponse, RemoteError> {
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        content_type: &str,
+    ) -> Result<MiniResponse, RemoteError> {
         if self.breaker.admit().is_err() {
             crate::obs::breaker_rejections().inc();
             return Err(RemoteError::BreakerOpen { addr: self.addr });
@@ -435,7 +454,7 @@ impl RemoteShard {
         let mut last_error;
         let mut attempt_index = 0u32;
         loop {
-            match self.attempt(method, path, body) {
+            match self.attempt(method, path, body, content_type) {
                 Ok(response) if response.status < 500 => {
                     self.breaker.on_success();
                     return Ok(response);
@@ -492,9 +511,12 @@ impl RemoteShard {
 
     /// Decides a batch on the remote shard.
     ///
-    /// The wire codec renders every `f64` with shortest-round-trip
-    /// precision, so the decisions that come back are bit-identical to
-    /// calling `decide_batch` in the shard's process.
+    /// Shard-to-shard decide traffic negotiates the binary frame codec
+    /// ([`crate::frame`]) automatically: raw `f64` bit patterns cross the
+    /// wire, so the decisions that come back are trivially bit-identical
+    /// to calling `decide_batch` in the shard's process.  A front-end that
+    /// answers with JSON anyway (which also round-trips bit-exactly) is
+    /// decoded by its response `Content-Type`.
     ///
     /// # Errors
     ///
@@ -506,15 +528,24 @@ impl RemoteShard {
         deployment: &str,
         states: &[Vec<f64>],
     ) -> Result<Vec<ShieldDecision>, ServeError> {
-        let body = wire::decide_batch_request(states);
+        let body = frame::encode_decide_request(states, true);
         let path = format!("/v1/deployments/{deployment}/decide");
         let response = self
-            .request("POST", &path, body.as_bytes())
+            .request("POST", &path, &body, frame::CONTENT_TYPE_FRAME)
             .map_err(ServeError::Remote)?;
         if response.status != 200 {
+            // Error envelopes are JSON on both codec paths.
             return Err(self.shard_error(deployment, &response));
         }
-        wire::decode_decide_response(&response.body).map_err(|error| {
+        let binary = response
+            .header("content-type")
+            .is_some_and(|value| value.eq_ignore_ascii_case(frame::CONTENT_TYPE_FRAME));
+        let decoded = if binary {
+            frame::decode_decide_response(&response.body).map_err(|error| error.to_string())
+        } else {
+            wire::decode_decide_response(&response.body).map_err(|error| error.to_string())
+        };
+        decoded.map_err(|error| {
             ServeError::Remote(RemoteError::Protocol {
                 addr: self.addr,
                 detail: format!("bad decide response: {error}"),
@@ -531,7 +562,7 @@ impl RemoteShard {
     pub fn put_artifact_bytes(&self, deployment: &str, bytes: &[u8]) -> Result<u64, ServeError> {
         let path = format!("/v1/deployments/{deployment}");
         let response = self
-            .request("PUT", &path, bytes)
+            .request("PUT", &path, bytes, "application/octet-stream")
             .map_err(ServeError::Remote)?;
         if response.status != 200 {
             return Err(self.shard_error(deployment, &response));
@@ -552,7 +583,7 @@ impl RemoteShard {
     pub fn fetch_telemetry(&self, deployment: &str) -> Result<DeploymentTelemetry, ServeError> {
         let path = format!("/v1/deployments/{deployment}/telemetry");
         let response = self
-            .request("GET", &path, b"")
+            .request("GET", &path, b"", "application/json")
             .map_err(ServeError::Remote)?;
         if response.status != 200 {
             return Err(self.shard_error(deployment, &response));
@@ -574,7 +605,7 @@ impl RemoteShard {
     pub fn undeploy_remote(&self, deployment: &str) -> Result<bool, ServeError> {
         let path = format!("/v1/deployments/{deployment}");
         let response = self
-            .request("DELETE", &path, b"")
+            .request("DELETE", &path, b"", "application/json")
             .map_err(ServeError::Remote)?;
         if response.status == 200 {
             return Ok(true);
@@ -597,18 +628,22 @@ impl RemoteShard {
     ///
     /// The transport or protocol failure observed.
     pub fn probe(&self) -> Result<(u64, Vec<(String, u64)>), RemoteError> {
-        let outcome = self.attempt("GET", "/healthz", b"").and_then(|response| {
-            if response.status != 200 {
-                return Err(RemoteError::UpstreamStatus {
-                    addr: self.addr,
-                    status: response.status,
-                });
-            }
-            wire::decode_health_response(&response.body).map_err(|error| RemoteError::Protocol {
-                addr: self.addr,
-                detail: format!("bad healthz response: {error}"),
-            })
-        });
+        let outcome = self
+            .attempt("GET", "/healthz", b"", "application/json")
+            .and_then(|response| {
+                if response.status != 200 {
+                    return Err(RemoteError::UpstreamStatus {
+                        addr: self.addr,
+                        status: response.status,
+                    });
+                }
+                wire::decode_health_response(&response.body).map_err(|error| {
+                    RemoteError::Protocol {
+                        addr: self.addr,
+                        detail: format!("bad healthz response: {error}"),
+                    }
+                })
+            });
         match &outcome {
             Ok(_) => self.breaker.on_success(),
             Err(_) => self.breaker.on_failure(),

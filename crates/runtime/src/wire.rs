@@ -73,6 +73,24 @@ pub enum WireError {
         /// Maximum the server accepts per request.
         max: usize,
     },
+    /// The body is not a well-formed binary decide frame (see
+    /// [`crate::frame`]): bad magic, unsupported version, truncation, a
+    /// length prefix that disagrees with the body, or trailing bytes.
+    Frame {
+        /// Byte offset of the offending field.
+        at: usize,
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// A binary frame carried a non-finite state coordinate.  JSON can
+    /// never produce this (`NaN`/`Infinity` are not JSON), so the frame
+    /// decoder enforces the server's 422 non-finite-state policy itself.
+    NonFiniteState {
+        /// Index of the offending state in the request.
+        state: usize,
+        /// Index of the non-finite coordinate within that state.
+        coordinate: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -92,6 +110,15 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "batch of {len} states exceeds the per-request limit of {max}"
+                )
+            }
+            WireError::Frame { at, detail } => {
+                write!(f, "malformed binary frame at byte {at}: {detail}")
+            }
+            WireError::NonFiniteState { state, coordinate } => {
+                write!(
+                    f,
+                    "state {state} coordinate {coordinate} is not a finite number"
                 )
             }
         }
@@ -597,6 +624,79 @@ pub fn decode_decide_request(body: &[u8], max_batch: usize) -> Result<DecideRequ
             "body must contain \"state\" or \"states\"".to_string(),
         )),
     }
+}
+
+/// Decodes a decide request body into `arena` (reset first), returning
+/// whether the request was batched — the arena-backed twin of
+/// [`decode_decide_request`] the HTTP front-end serves from, so the
+/// decoded state matrix is reused across a connection's keep-alive
+/// requests instead of reallocated per request.
+///
+/// # Errors
+///
+/// As [`decode_decide_request`].
+pub fn decode_decide_request_into(
+    body: &[u8],
+    max_batch: usize,
+    arena: &mut crate::arena::StateArena,
+) -> Result<bool, WireError> {
+    arena.reset();
+    let json = Json::parse(body)?;
+    let state = json.get("state");
+    let states = json.get("states");
+    match (state, states) {
+        (Some(_), Some(_)) => Err(WireError::Schema(
+            "provide either \"state\" or \"states\", not both".to_string(),
+        )),
+        (Some(value), None) => {
+            number_vec_into(value, "state", arena.push_row())?;
+            Ok(false)
+        }
+        (None, Some(value)) => {
+            let rows = match value {
+                Json::Arr(rows) => rows,
+                _ => {
+                    return Err(WireError::Schema(
+                        "\"states\" must be an array of state vectors".to_string(),
+                    ))
+                }
+            };
+            if rows.len() > max_batch {
+                return Err(WireError::BatchTooLarge {
+                    len: rows.len(),
+                    max: max_batch,
+                });
+            }
+            for row in rows {
+                number_vec_into(row, "states[i]", arena.push_row())?;
+            }
+            Ok(true)
+        }
+        (None, None) => Err(WireError::Schema(
+            "body must contain \"state\" or \"states\"".to_string(),
+        )),
+    }
+}
+
+/// Decodes a JSON array of numbers into `out` (assumed cleared).
+fn number_vec_into(value: &Json, field: &str, out: &mut Vec<f64>) -> Result<(), WireError> {
+    let items = match value {
+        Json::Arr(items) => items,
+        _ => {
+            return Err(WireError::Schema(format!(
+                "\"{field}\" must be an array of numbers"
+            )))
+        }
+    };
+    out.reserve(items.len());
+    for item in items {
+        out.push(
+            item.as_f64().ok_or_else(|| {
+                WireError::Schema(format!("\"{field}\" must contain only numbers"))
+            })?,
+        );
+    }
+    Ok(())
 }
 
 fn number_vec(value: &Json, field: &str) -> Result<Vec<f64>, WireError> {

@@ -4,8 +4,11 @@
 //! 1. Start a `ShardRouter` (3 shield-server shards, rendezvous placement)
 //!    behind the std-only HTTP/1.1 front-end on a loopback port.
 //! 2. `PUT` checksummed shield artifacts for two deployments over the wire.
-//! 3. `POST` single and batched decide requests (all traffic rides the
-//!    lane-batched `decide_batch` kernels server-side).
+//! 3. `POST` single and batched decide requests — over the JSON codec and
+//!    again over the negotiated binary frame codec
+//!    (`Content-Type: application/x-vrl-frame`), asserting the decisions
+//!    bit-identical (all traffic rides the lane-batched `decide_batch`
+//!    kernels server-side).
 //! 4. `GET` per-deployment telemetry and `/healthz`.
 //! 5. Grow the fleet by one shard and watch the consistent hash rehydrate
 //!    only the deployments whose placement moved.
@@ -23,7 +26,7 @@ use std::sync::Arc;
 use vrl::shield::TableConfig;
 use vrl_benchmarks::benchmark_by_name;
 use vrl_runtime::http::{HttpConfig, HttpFrontend, MiniClient, ShieldBackend};
-use vrl_runtime::{fixtures, Placement, ShardRouter};
+use vrl_runtime::{fixtures, frame, wire, Placement, ShardRouter};
 
 fn main() {
     // A sharded backend: three in-process shield servers, deployments
@@ -98,17 +101,15 @@ fn main() {
         single.text()
     );
 
-    let batch_body = format!(
-        "{{\"states\": [{}]}}",
-        (0..100)
-            .map(|i| format!(
-                "[{:.3}, {:.3}]",
+    let states: Vec<Vec<f64>> = (0..100)
+        .map(|i| {
+            vec![
                 0.3 * ((i % 7) as f64 / 7.0 - 0.5),
-                0.2 * ((i % 5) as f64 / 5.0 - 0.5)
-            ))
-            .collect::<Vec<_>>()
-            .join(",")
-    );
+                0.2 * ((i % 5) as f64 / 5.0 - 0.5),
+            ]
+        })
+        .collect();
+    let batch_body = wire::decide_batch_request(&states);
     let batch = client
         .request(
             "POST",
@@ -121,6 +122,40 @@ fn main() {
         batch.status,
         batch.body.len()
     );
+
+    // The same batch over the binary frame codec: the request Content-Type
+    // negotiates the codec, the 200 response mirrors it (errors stay JSON
+    // on both paths), and the decisions must be bit-identical — the frame
+    // carries raw f64 bits, the JSON codec renders shortest-round-trip.
+    let frame_body = frame::encode_decide_request(&states, true);
+    let framed = client
+        .request_with_headers(
+            "POST",
+            "/v1/deployments/pendulum/decide",
+            &frame_body,
+            &[("content-type", frame::CONTENT_TYPE_FRAME)],
+        )
+        .expect("binary decide succeeds");
+    let json_decisions = wire::decode_decide_response(&batch.body).expect("JSON decodes");
+    let frame_decisions = frame::decode_decide_response(&framed.body).expect("frame decodes");
+    let identical = json_decisions.len() == frame_decisions.len()
+        && json_decisions.iter().zip(&frame_decisions).all(|(a, b)| {
+            a.intervened == b.intervened
+                && a.action.len() == b.action.len()
+                && a.action
+                    .iter()
+                    .zip(&b.action)
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+    println!(
+        "POST decide (binary frame: {} bytes in, {} bytes out, response content-type {:?}) \
+         -> {}; decisions bit-identical to JSON: {identical}",
+        frame_body.len(),
+        framed.body.len(),
+        framed.header("content-type").unwrap_or("<missing>"),
+        framed.status,
+    );
+    assert!(identical, "the two wire codecs must agree bit-for-bit");
 
     // A malformed request gets a structured 4xx, not a dropped connection.
     let bad = client
@@ -195,6 +230,8 @@ fn main() {
     );
     for series in [
         "vrl_http_requests_total",
+        "vrl_http_decide_requests_total{codec=\"json\"}",
+        "vrl_http_decide_requests_total{codec=\"binary\"}",
         "vrl_runtime_decisions_total",
         "vrl_router_rehydrations_total",
         "vrl_shield_decide_table_hits_total",

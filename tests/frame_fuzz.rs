@@ -1,0 +1,224 @@
+//! Corrupted-frame robustness at the HTTP boundary, mirroring
+//! `artifact_fuzz.rs` for the binary decide codec: every truncation of a
+//! valid frame, a bit flip at every byte offset, oversize length prefixes,
+//! and hundreds of random mutations must produce a clean structured error
+//! (or a valid decision for payload-only flips — raw `f64` bits are dense,
+//! so most payload corruptions are just *different* finite states), and the
+//! server must never panic or drop the connection without a status.
+//!
+//! Unlike the artifact codec, the frame codec carries no checksum — it
+//! frames hot-path request traffic where a per-request hash would cost more
+//! than it protects (TCP already checksums the transport).  The invariant
+//! fuzzed here is therefore *no panic, no hang, always a structured
+//! answer*, with hard rejection guaranteed for the header and prelude
+//! regions (magic, version, kind, length prefix, flags, geometry).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+use vrl_runtime::frame;
+use vrl_runtime::http::{HttpConfig, HttpFrontend, MiniClient, ShieldBackend};
+use vrl_runtime::wire::Json;
+use vrl_runtime::{fixtures, ShieldServer};
+
+/// Bytes of header (magic + version + kind + length) and request prelude
+/// (flags + dim + count) — the region where any bit flip must be rejected.
+const STRUCTURAL_BYTES: usize = 13 + 9;
+
+fn pendulum_frontend() -> (HttpFrontend, Arc<ShieldServer>) {
+    let env = vrl_benchmarks::benchmark_by_name("pendulum")
+        .expect("pendulum")
+        .into_env();
+    let artifact = fixtures::demo_artifact(
+        &env,
+        &fixtures::PENDULUM_GAINS,
+        &fixtures::PENDULUM_RADII,
+        &[16],
+        71,
+    )
+    .expect("dimensions agree");
+    let server = Arc::new(ShieldServer::with_workers(1));
+    server.deploy("pendulum", artifact).unwrap();
+    let config = HttpConfig {
+        max_connections: 32,
+        idle_timeout: Duration::from_millis(500),
+        ..HttpConfig::default()
+    };
+    let frontend = HttpFrontend::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server) as Arc<dyn ShieldBackend>,
+        config,
+    )
+    .expect("loopback bind succeeds");
+    (frontend, server)
+}
+
+fn valid_request_frame() -> Vec<u8> {
+    let states = vec![vec![0.11, -0.22], vec![0.05, 0.40], vec![-0.31, 0.07]];
+    frame::encode_decide_request(&states, true)
+}
+
+/// POSTs `body` as a binary frame and asserts a structured answer: a 200
+/// (decodable frame response) or a 4xx JSON error envelope with a code.
+/// Returns the status.
+fn post_frame(client: &mut MiniClient, body: &[u8]) -> u16 {
+    let response = client
+        .request_with_headers(
+            "POST",
+            "/v1/deployments/pendulum/decide",
+            body,
+            &[("content-type", frame::CONTENT_TYPE_FRAME)],
+        )
+        .expect("the connection must survive a corrupt frame");
+    if response.status == 200 {
+        assert_eq!(
+            response.header("content-type"),
+            Some(frame::CONTENT_TYPE_FRAME)
+        );
+        frame::decode_decide_response(&response.body).expect("200 bodies decode");
+    } else {
+        let json = Json::parse(&response.body).expect("error bodies are JSON");
+        let error = json.get("error").expect("structured error envelope");
+        assert!(
+            matches!(error.get("code"), Some(Json::Str(_))),
+            "{}",
+            response.text()
+        );
+    }
+    response.status
+}
+
+#[test]
+fn every_truncation_is_a_clean_400() {
+    let (frontend, _server) = pendulum_frontend();
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    let whole = valid_request_frame();
+    assert_eq!(
+        post_frame(&mut client, &whole),
+        200,
+        "the intact frame serves"
+    );
+    for len in 0..whole.len() {
+        // Unit level: a strict prefix can never decode (the length prefix
+        // always disagrees with the actual payload).
+        assert!(
+            frame::decode_decide_request(&whole[..len], 8192).is_err(),
+            "truncation to {len} bytes must not decode"
+        );
+        // Wire level: same truncation, structured 400, connection intact.
+        assert_eq!(
+            post_frame(&mut client, &whole[..len]),
+            400,
+            "truncation to {len} bytes over HTTP"
+        );
+    }
+    frontend.shutdown();
+}
+
+#[test]
+fn bit_flips_never_panic_and_structural_flips_always_reject() {
+    let (frontend, _server) = pendulum_frontend();
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    let whole = valid_request_frame();
+    for offset in 0..whole.len() {
+        let mut corrupted = whole.clone();
+        corrupted[offset] ^= 1 << (offset % 8);
+        // Unit level: decoding must return, never panic; header and
+        // prelude corruption must be rejected outright.
+        let decoded = frame::decode_decide_request(&corrupted, 8192);
+        if offset < STRUCTURAL_BYTES {
+            assert!(
+                decoded.is_err(),
+                "structural flip at byte {offset} must be rejected"
+            );
+        }
+        // Wire level: every flip gets a structured answer.  Payload flips
+        // may legitimately serve (a different finite state) or reject
+        // (422 for a smuggled non-finite bit pattern); structural flips
+        // must reject.
+        let status = post_frame(&mut client, &corrupted);
+        if offset < STRUCTURAL_BYTES {
+            assert!(
+                status >= 400,
+                "structural flip at byte {offset} answered {status}"
+            );
+        } else {
+            assert!(
+                status == 200 || status == 422,
+                "payload flip at byte {offset} answered {status}"
+            );
+        }
+    }
+    frontend.shutdown();
+}
+
+#[test]
+fn oversize_declarations_are_rejected_without_allocating() {
+    let (frontend, _server) = pendulum_frontend();
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    // Length prefix far beyond the actual body: must be a 400, not an
+    // attempted allocation or a read hang.
+    let mut oversize_len = valid_request_frame();
+    oversize_len[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(post_frame(&mut client, &oversize_len), 400);
+
+    // Geometry-consistent but absurd count: a frame *declaring* billions of
+    // states with no payload fails the geometry check (400) before any
+    // allocation happens.
+    let mut huge_count = valid_request_frame();
+    huge_count[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(post_frame(&mut client, &huge_count), 400);
+    assert!(frame::decode_decide_request(&huge_count, usize::MAX).is_err());
+
+    // A well-formed frame over the server's batch cap is the same 413 the
+    // JSON codec answers.
+    let too_many: Vec<Vec<f64>> = (0..8193).map(|i| vec![i as f64 * 1e-4, 0.0]).collect();
+    let body = frame::encode_decide_request(&too_many, true);
+    let response = client
+        .request_with_headers(
+            "POST",
+            "/v1/deployments/pendulum/decide",
+            &body,
+            &[("content-type", frame::CONTENT_TYPE_FRAME)],
+        )
+        .unwrap();
+    assert_eq!(response.status, 413, "{}", response.text());
+    assert!(
+        response.text().contains("batch_too_large"),
+        "{}",
+        response.text()
+    );
+    frontend.shutdown();
+}
+
+#[test]
+fn random_mutations_always_get_a_structured_answer() {
+    let (frontend, server) = pendulum_frontend();
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    let whole = valid_request_frame();
+    let mut rng = SmallRng::seed_from_u64(97);
+    for _ in 0..500 {
+        let mut corrupted = whole.clone();
+        let offset = rng.gen_range(0..corrupted.len());
+        corrupted[offset] = rng.gen::<u32>() as u8;
+        // Unit level for all 500: decode returns cleanly.
+        let _ = frame::decode_decide_request(&corrupted, 8192);
+    }
+    // Wire level for a subset (each request is a full HTTP round trip).
+    for _ in 0..64 {
+        let mut corrupted = whole.clone();
+        let offset = rng.gen_range(0..corrupted.len());
+        corrupted[offset] = rng.gen::<u32>() as u8;
+        let status = post_frame(&mut client, &corrupted);
+        assert!(
+            status == 200 || (400..500).contains(&status),
+            "mutation answered {status}"
+        );
+    }
+    // The deployment is still healthy after the barrage.
+    assert!(server.decide("pendulum", &[0.1, 0.0]).is_ok());
+    assert_eq!(post_frame(&mut client, &whole), 200);
+    frontend.shutdown();
+}

@@ -1,0 +1,279 @@
+//! Tri-codec decide conformance: JSON, binary frame, and in-process
+//! decisions must be bit-identical, and both wire codecs must enforce the
+//! identical non-finite-state policy.
+//!
+//! Three layers of evidence:
+//!
+//! 1. A sweep over every Table 1 benchmark (state dimensions 2–8, mixed
+//!    action dimensions, obstacles): the same deployment answers a batch of
+//!    sampled states over the JSON codec, over the binary frame codec, and
+//!    directly in-process, and all three decision lists are compared
+//!    bit-for-bit (`f64::to_bits` on every action coordinate).
+//! 2. The single-state (non-batched) frame shape round-trips through the
+//!    same deployment and matches the scalar in-process decision.
+//! 3. Non-finite parity: a binary frame can smuggle NaN/inf *bit patterns*
+//!    that JSON cannot even spell, so the frame decoder must reject them
+//!    with the exact status and code (`422 non_finite_state`) the serving
+//!    core uses, while the JSON path keeps rejecting non-finite spellings
+//!    at parse time (`400 malformed_json`).  No codec may reach the shield
+//!    with a non-finite state.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vrl::shield::ShieldDecision;
+use vrl_benchmarks::all_benchmarks;
+use vrl_runtime::frame;
+use vrl_runtime::http::{HttpConfig, HttpFrontend, MiniClient, ShieldBackend};
+use vrl_runtime::wire::{self, Json};
+use vrl_runtime::{fixtures, ShieldServer};
+
+/// Per-benchmark shield geometry (the batch-conformance idiom): an
+/// ellipsoid at half the safe-box half-widths and mildly stabilizing
+/// linear gains, one program row per action dimension.
+fn demo_artifact(
+    env: &vrl::dynamics::EnvironmentContext,
+    seed: u64,
+) -> vrl_runtime::ShieldArtifact {
+    let safe = env.safety().safe_box();
+    let radii: Vec<f64> = safe
+        .lows()
+        .iter()
+        .zip(safe.highs().iter())
+        .map(|(lo, hi)| 0.25 * (hi - lo))
+        .collect();
+    let gains = vec![vec![-0.5; env.state_dim()]; env.action_dim()];
+    let program = vrl::synth::PolicyProgram::linear(&gains, &vec![0.0; env.action_dim()]);
+    let shield = vrl::shield::Shield::new(
+        env.clone(),
+        vec![vrl::shield::ShieldPiece::new(
+            program,
+            fixtures::ellipsoid_certificate(env, &radii),
+        )],
+    );
+    let oracle = fixtures::demo_oracle(env, &[16, 16], seed);
+    vrl_runtime::ShieldArtifact::new(shield, oracle).expect("dimensions agree")
+}
+
+fn start_frontend(backend: Arc<dyn ShieldBackend>) -> HttpFrontend {
+    let config = HttpConfig {
+        max_connections: 32,
+        idle_timeout: Duration::from_millis(500),
+        ..HttpConfig::default()
+    };
+    HttpFrontend::bind("127.0.0.1:0", backend, config).expect("loopback bind succeeds")
+}
+
+fn assert_decisions_bit_identical(
+    name: &str,
+    codec: &str,
+    wire: &[ShieldDecision],
+    reference: &[ShieldDecision],
+) {
+    assert_eq!(
+        wire.len(),
+        reference.len(),
+        "{name}/{codec}: decision count"
+    );
+    for (i, (w, r)) in wire.iter().zip(reference.iter()).enumerate() {
+        assert_eq!(w.intervened, r.intervened, "{name}/{codec}: lane {i}");
+        assert_eq!(w.action.len(), r.action.len(), "{name}/{codec}: lane {i}");
+        for (a, b) in w.action.iter().zip(r.action.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}/{codec}: lane {i} action bits diverged ({a} vs {b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn decisions_bit_identical_across_json_binary_and_in_process_on_all_benchmarks() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let benchmarks = all_benchmarks();
+    assert_eq!(benchmarks.len(), 15, "Table 1 lists 15 benchmarks");
+    let server = Arc::new(ShieldServer::with_workers(2));
+    let frontend = start_frontend(Arc::clone(&server) as Arc<dyn ShieldBackend>);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    for (index, spec) in benchmarks.into_iter().enumerate() {
+        let name = spec.name();
+        let env = spec.into_env();
+        server
+            .deploy(name, demo_artifact(&env, 300 + index as u64))
+            .unwrap();
+
+        let mut rng = SmallRng::seed_from_u64(9000 + index as u64);
+        let safe = env.safety().safe_box().clone();
+        // Straddle the certificate boundary too, not just the interior.
+        let expanded = safe.scaled_about_center(1.3);
+        let states: Vec<Vec<f64>> = (0..32).map(|_| expanded.sample(&mut rng)).collect();
+        let reference = server.decide_batch(name, &states).unwrap();
+        let path = format!("/v1/deployments/{name}/decide");
+
+        // JSON codec.
+        let json_body = wire::decide_batch_request(&states);
+        let json_response = client.request("POST", &path, json_body.as_bytes()).unwrap();
+        assert_eq!(json_response.status, 200, "{}", json_response.text());
+        assert_eq!(
+            json_response.header("content-type"),
+            Some("application/json"),
+            "{name}: JSON requests get JSON responses"
+        );
+        let json_decisions = wire::decode_decide_response(&json_response.body).unwrap();
+        assert_decisions_bit_identical(name, "json", &json_decisions, &reference);
+
+        // Binary frame codec.
+        let frame_body = frame::encode_decide_request(&states, true);
+        let frame_response = client
+            .request_with_headers(
+                "POST",
+                &path,
+                &frame_body,
+                &[("content-type", frame::CONTENT_TYPE_FRAME)],
+            )
+            .unwrap();
+        assert_eq!(frame_response.status, 200, "{}", frame_response.text());
+        assert_eq!(
+            frame_response.header("content-type"),
+            Some(frame::CONTENT_TYPE_FRAME),
+            "{name}: binary requests get binary responses"
+        );
+        assert!(frame::response_is_batched(&frame_response.body).unwrap());
+        let frame_decisions = frame::decode_decide_response(&frame_response.body).unwrap();
+        assert_decisions_bit_identical(name, "binary", &frame_decisions, &reference);
+    }
+    frontend.shutdown();
+}
+
+#[test]
+fn single_state_binary_decide_matches_the_scalar_path() {
+    let env = vrl_benchmarks::benchmark_by_name("pendulum")
+        .expect("pendulum")
+        .into_env();
+    let server = Arc::new(ShieldServer::with_workers(1));
+    server.deploy("pendulum", demo_artifact(&env, 41)).unwrap();
+    let frontend = start_frontend(Arc::clone(&server) as Arc<dyn ShieldBackend>);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+
+    let state = vec![0.21, -0.38];
+    let reference = server.decide("pendulum", &state).unwrap();
+    let body = frame::encode_decide_request(std::slice::from_ref(&state), false);
+    let mut out = Vec::new();
+    let (status, binary) = client
+        .post_reusing(
+            "/v1/deployments/pendulum/decide",
+            frame::CONTENT_TYPE_FRAME,
+            &body,
+            &mut out,
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(binary, "the response must mirror the request codec");
+    assert!(
+        !frame::response_is_batched(&out).unwrap(),
+        "a non-batched request gets a non-batched response"
+    );
+    let decisions = frame::decode_decide_response(&out).unwrap();
+    assert_eq!(decisions.len(), 1);
+    assert_eq!(decisions[0].intervened, reference.intervened);
+    for (a, b) in decisions[0].action.iter().zip(reference.action.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    frontend.shutdown();
+}
+
+/// Asserts a structured error envelope with the given status and code.
+fn assert_error_envelope(response: &vrl_runtime::MiniResponse, status: u16, code: &str) {
+    assert_eq!(response.status, status, "{}", response.text());
+    assert_eq!(
+        response.header("content-type"),
+        Some("application/json"),
+        "error envelopes are JSON on both codec paths"
+    );
+    let json = Json::parse(&response.body).expect("error bodies are JSON");
+    let error = json.get("error").expect("structured error envelope");
+    assert_eq!(error.get("status"), Some(&Json::U64(status as u64)));
+    assert_eq!(error.get("code"), Some(&Json::Str(code.to_string())));
+}
+
+#[test]
+fn non_finite_states_are_rejected_identically_by_both_codecs() {
+    let env = vrl_benchmarks::benchmark_by_name("pendulum")
+        .expect("pendulum")
+        .into_env();
+    let server = Arc::new(ShieldServer::with_workers(1));
+    server.deploy("pendulum", demo_artifact(&env, 43)).unwrap();
+    let frontend = start_frontend(Arc::clone(&server) as Arc<dyn ShieldBackend>);
+    let mut client = MiniClient::connect(frontend.local_addr()).unwrap();
+    let path = "/v1/deployments/pendulum/decide";
+
+    // The serving core's policy: a non-finite state is 422
+    // `non_finite_state`.  The binary frame codec can carry the raw bit
+    // patterns, so the decoder must enforce the identical policy for every
+    // non-finite flavor, in any lane of a batch.
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -f64::NAN] {
+        let states = vec![vec![0.1, 0.2], vec![bad, 0.0], vec![0.3, 0.4]];
+        let body = frame::encode_decide_request(&states, true);
+        let response = client
+            .request_with_headers(
+                "POST",
+                path,
+                &body,
+                &[("content-type", frame::CONTENT_TYPE_FRAME)],
+            )
+            .unwrap();
+        assert_error_envelope(&response, 422, "non_finite_state");
+    }
+
+    // JSON literally cannot spell those states: the parser rejects the
+    // spellings (and numbers that overflow f64) before any state exists,
+    // so the JSON side of the differential is a parse-time 400 — and the
+    // shield is unreachable with a non-finite state through either codec.
+    for body in [
+        br#"{"state": [NaN, 0.0]}"#.as_slice(),
+        br#"{"state": [Infinity, 0.0]}"#.as_slice(),
+        br#"{"state": [-Infinity, 0.0]}"#.as_slice(),
+        br#"{"state": [1e999, 0.0]}"#.as_slice(),
+    ] {
+        let response = client.request("POST", path, body).unwrap();
+        assert_error_envelope(&response, 400, "malformed_json");
+    }
+
+    // A `null` hole in a state array is a schema error, not a state.
+    let response = client
+        .request("POST", path, br#"{"state": [null, 0.0]}"#)
+        .unwrap();
+    assert_error_envelope(&response, 400, "invalid_request");
+
+    // The finite control: the same batch with the bad lane repaired is
+    // served identically by both codecs.
+    let states = vec![vec![0.1, 0.2], vec![0.0, 0.0], vec![0.3, 0.4]];
+    let reference = server.decide_batch("pendulum", &states).unwrap();
+    let json = client
+        .request("POST", path, wire::decide_batch_request(&states).as_bytes())
+        .unwrap();
+    let binary = client
+        .request_with_headers(
+            "POST",
+            path,
+            &frame::encode_decide_request(&states, true),
+            &[("content-type", frame::CONTENT_TYPE_FRAME)],
+        )
+        .unwrap();
+    assert_decisions_bit_identical(
+        "pendulum",
+        "json",
+        &wire::decode_decide_response(&json.body).unwrap(),
+        &reference,
+    );
+    assert_decisions_bit_identical(
+        "pendulum",
+        "binary",
+        &frame::decode_decide_response(&binary.body).unwrap(),
+        &reference,
+    );
+    frontend.shutdown();
+}
