@@ -1,0 +1,126 @@
+//! Scenario-farm bench: ≥100 concurrent CEGIS jobs through the worker
+//! pool, reported as jobs/sec alongside the shared (L2) query-cache
+//! hit-rate and shard-lock contention the churn produces.
+//!
+//! The job set cycles the quadcopter drag grid so concurrent workers
+//! repeatedly query the same compiled certificate families: L1 caches
+//! are per-thread, so the repeats land on the process-wide L2 store and
+//! its sharded locks — exactly the contention a farm-scale run stresses.
+//! The single-thread run is the determinism baseline (the pooled run
+//! must reproduce its outcomes bit-for-bit); the pooled run is the
+//! headline number.  Both merge into `BENCH_eval.json` under `farm`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vrl::shield::{CegisConfig, TableConfig};
+use vrl::solver::{reset_shared_query_cache, shared_query_cache_stats};
+use vrl_farm::{generate, run_farm, FarmConfig, FarmReport, JobConfig, Scenario};
+
+/// Acceptance floor: the farm section must be measured under at least
+/// this many concurrent jobs.
+const JOBS: usize = 112;
+const THREADS: usize = 8;
+
+fn job_set() -> Vec<Scenario> {
+    let grid: Vec<Scenario> = generate(&FarmConfig::default())
+        .into_iter()
+        .filter(|s| s.family() == "quadcopter")
+        .collect();
+    assert!(!grid.is_empty());
+    (0..JOBS).map(|i| grid[i % grid.len()].clone()).collect()
+}
+
+fn job_config() -> JobConfig {
+    let mut cegis = CegisConfig::smoke_test();
+    cegis.distill.iterations = 30;
+    cegis.distill.trajectories = 2;
+    cegis.distill.horizon = 150;
+    JobConfig {
+        cegis,
+        oracle_hidden: vec![8],
+        table: Some(TableConfig::uniform(8)),
+        timeout: None,
+    }
+}
+
+fn outcome_labels(report: &FarmReport) -> Vec<&'static str> {
+    report.records.iter().map(|r| r.outcome.label()).collect()
+}
+
+fn bench_farm(c: &mut Criterion) {
+    let jobs = job_set();
+    let config = job_config();
+
+    // Criterion sample: a small farm slice through the pool, so regressions
+    // in scheduler overhead surface as a timing change.
+    let slice = &jobs[..16];
+    let mut group = c.benchmark_group("farm");
+    group.sample_size(10);
+    group.bench_function(format!("{}jobs_{THREADS}threads", slice.len()), |b| {
+        b.iter(|| {
+            let report = run_farm(slice, &config, THREADS);
+            assert_eq!(report.records.len(), slice.len());
+            report
+        })
+    });
+    group.finish();
+
+    // Timed full run: single-thread baseline first, then the pool, with
+    // the shared-cache counters reset before each so the recorded L2
+    // numbers belong to that run alone.
+    reset_shared_query_cache();
+    let single = run_farm(&jobs, &config, 1);
+    let single_stats = shared_query_cache_stats();
+
+    reset_shared_query_cache();
+    let pooled = run_farm(&jobs, &config, THREADS);
+    let pooled_stats = shared_query_cache_stats();
+
+    assert_eq!(
+        outcome_labels(&single),
+        outcome_labels(&pooled),
+        "the pooled farm must reproduce the single-thread outcomes"
+    );
+    let synthesized = pooled.synthesized();
+    assert!(synthesized >= 1);
+
+    println!(
+        "  -> farm: {JOBS} jobs, {synthesized} synthesized; \
+         x1 {:.1} jobs/sec, x{THREADS} {:.1} jobs/sec",
+        single.jobs_per_sec(),
+        pooled.jobs_per_sec()
+    );
+    println!(
+        "  -> L2 query cache (x{THREADS}): {:.1}% hit rate ({} hits / {} misses), \
+         {} contended acquires, {:.3} ms lock wait",
+        100.0 * pooled_stats.hit_rate(),
+        pooled_stats.hits,
+        pooled_stats.misses,
+        pooled_stats.contended_acquires,
+        pooled_stats.lock_wait_ns as f64 / 1e6
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    vrl_bench::upsert_bench_sections(
+        path,
+        &[(
+            "farm",
+            format!(
+                "{{\n    \"jobs\": {JOBS},\n    \"threads\": {THREADS},\n    \"synthesized\": {synthesized},\n    \"jobs_per_sec_1_thread\": {:.2},\n    \"jobs_per_sec_pooled\": {:.2},\n    \"l2_hit_rate_1_thread\": {:.4},\n    \"l2_hit_rate_pooled\": {:.4},\n    \"l2_hits_pooled\": {},\n    \"l2_misses_pooled\": {},\n    \"l2_contended_acquires_pooled\": {},\n    \"l2_lock_wait_ms_pooled\": {:.3},\n    \"l2_contention_rate_pooled\": {:.6}\n  }}",
+                single.jobs_per_sec(),
+                pooled.jobs_per_sec(),
+                single_stats.hit_rate(),
+                pooled_stats.hit_rate(),
+                pooled_stats.hits,
+                pooled_stats.misses,
+                pooled_stats.contended_acquires,
+                pooled_stats.lock_wait_ns as f64 / 1e6,
+                pooled_stats.contention_rate(),
+            ),
+        )],
+    )
+    .expect("BENCH_eval.json must be writable");
+    println!("  -> wrote {path}");
+}
+
+criterion_group!(benches, bench_farm);
+criterion_main!(benches);

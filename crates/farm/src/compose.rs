@@ -1,0 +1,250 @@
+//! Compositional product systems: combine two scenarios into one whose
+//! dynamics are the independent block product.
+//!
+//! For atoms `A` (states `nA`, actions `mA`) and `B` (`nB`, `mB`), the
+//! product has state space `[s_A, s_B]` and action space `[a_A, a_B]`:
+//! each block evolves under its own dynamics, initial regions and action
+//! bounds concatenate, and the safety sets conjoin — the product safe box
+//! is `safe_A × safe_B`, and every obstacle of `A` lifts to
+//! `obstacle_A × safe_B` (and symmetrically for `B`).  The lifted unsafe
+//! set is *exactly* the union of the atoms' unsafe sets: a state with
+//! `s_A` inside an obstacle but `s_B` outside its safe box is already
+//! unsafe via the product safe box, so restricting the lifted obstacle to
+//! `safe_B` loses nothing.
+
+use crate::scenario::Scenario;
+use vrl::dynamics::{BoxRegion, Disturbance, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl::poly::Polynomial;
+
+/// Rewrites `p` over a larger variable set: old variable `i` becomes
+/// `map[i]`.  Exact — exponent vectors are permuted, coefficients are
+/// untouched.
+fn remap_poly(p: &Polynomial, map: &[usize], new_nvars: usize) -> Polynomial {
+    Polynomial::from_terms(
+        new_nvars,
+        p.terms().map(|(exps, c)| {
+            let mut new_exps = vec![0u32; new_nvars];
+            for (i, &e) in exps.iter().enumerate() {
+                if e > 0 {
+                    new_exps[map[i]] = e;
+                }
+            }
+            (new_exps, c)
+        }),
+    )
+}
+
+fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().chain(b.iter()).copied().collect()
+}
+
+/// Lifts a box over one atom's state space into the product space by
+/// crossing it with the other atom's box on the remaining coordinates.
+fn lift_box(own: &BoxRegion, other: &BoxRegion, own_first: bool) -> BoxRegion {
+    let own_lows: Vec<f64> = (0..own.dim()).map(|d| own.low(d)).collect();
+    let own_highs: Vec<f64> = (0..own.dim()).map(|d| own.high(d)).collect();
+    let other_lows: Vec<f64> = (0..other.dim()).map(|d| other.low(d)).collect();
+    let other_highs: Vec<f64> = (0..other.dim()).map(|d| other.high(d)).collect();
+    if own_first {
+        BoxRegion::new(
+            concat(&own_lows, &other_lows),
+            concat(&own_highs, &other_highs),
+        )
+    } else {
+        BoxRegion::new(
+            concat(&other_lows, &own_lows),
+            concat(&other_highs, &own_highs),
+        )
+    }
+}
+
+/// Composes two scenarios into their product system.  The product's ID is
+/// `product/<id_A>+<id_B>` and its invariant degree is the larger of the
+/// two atoms'.
+///
+/// # Errors
+///
+/// Returns an error if the atoms disagree on time step or integrator, or
+/// if the product fails [`Scenario::new`] validation.
+pub fn compose(a: &Scenario, b: &Scenario) -> Result<Scenario, String> {
+    let (ea, eb) = (a.env(), b.env());
+    if ea.dt() != eb.dt() {
+        return Err(format!(
+            "compose({}, {}): time steps differ ({} vs {})",
+            a.id(),
+            b.id(),
+            ea.dt(),
+            eb.dt()
+        ));
+    }
+    if ea.integrator() != eb.integrator() {
+        return Err(format!(
+            "compose({}, {}): integrators differ",
+            a.id(),
+            b.id()
+        ));
+    }
+    let (na, ma) = (ea.state_dim(), ea.action_dim());
+    let (nb, mb) = (eb.state_dim(), eb.action_dim());
+    let (n, m) = (na + nb, ma + mb);
+
+    // Atom A: state i → i, action j → n + j.
+    let map_a: Vec<usize> = (0..na).chain(n..n + ma).collect();
+    // Atom B: state i → na + i, action j → n + ma + j.
+    let map_b: Vec<usize> = (na..n).chain(n + ma..n + m).collect();
+    let derivatives: Vec<Polynomial> = ea
+        .dynamics()
+        .derivatives()
+        .iter()
+        .map(|p| remap_poly(p, &map_a, n + m))
+        .chain(
+            eb.dynamics()
+                .derivatives()
+                .iter()
+                .map(|p| remap_poly(p, &map_b, n + m)),
+        )
+        .collect();
+    let dynamics = PolyDynamics::new(n, m, derivatives)
+        .map_err(|e| format!("compose({}, {}): {e}", a.id(), b.id()))?;
+
+    let init = lift_box(ea.init(), eb.init(), true);
+    let safe_a = ea.safety().safe_box();
+    let safe_b = eb.safety().safe_box();
+    let mut safety = SafetySpec::inside(lift_box(safe_a, safe_b, true));
+    for obstacle in ea.safety().obstacles() {
+        safety = safety.with_obstacle(lift_box(obstacle, safe_b, true));
+    }
+    for obstacle in eb.safety().obstacles() {
+        safety = safety.with_obstacle(lift_box(obstacle, safe_a, false));
+    }
+
+    let id = format!(
+        "product/{}+{}",
+        a.id().trim_start_matches("product/"),
+        b.id().trim_start_matches("product/")
+    );
+    let names_a = ea.variable_names();
+    let names_b = eb.variable_names();
+    let names: Vec<String> = names_a
+        .iter()
+        .map(|x| format!("l.{x}"))
+        .chain(names_b.iter().map(|x| format!("r.{x}")))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut env = EnvironmentContext::new(id.clone(), dynamics, ea.dt(), init, safety)
+        .with_integrator(ea.integrator())
+        .with_action_bounds(
+            concat(ea.action_low(), eb.action_low()),
+            concat(ea.action_high(), eb.action_high()),
+        )
+        .with_variable_names(&name_refs)
+        .with_horizon(ea.horizon().min(eb.horizon()));
+    if !ea.disturbance().is_zero() || !eb.disturbance().is_zero() {
+        env = env.with_disturbance(Disturbance::new(
+            concat(ea.disturbance().lower(), eb.disturbance().lower()),
+            concat(ea.disturbance().upper(), eb.disturbance().upper()),
+        ));
+    }
+
+    // Block-diagonal oracle: each atom's expert acts on its own block.
+    let mut gains = vec![vec![0.0; n]; m];
+    for (r, row) in a.oracle_gains().iter().enumerate() {
+        gains[r][..na].copy_from_slice(row);
+    }
+    for (r, row) in b.oracle_gains().iter().enumerate() {
+        gains[ma + r][na..].copy_from_slice(row);
+    }
+
+    Scenario::new(
+        id,
+        "product",
+        env,
+        gains,
+        a.invariant_degree().max(b.invariant_degree()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family;
+    use vrl::dynamics::{Dynamics, LinearPolicy, Policy};
+
+    #[test]
+    fn product_dynamics_are_blockwise_identical_to_the_atoms() {
+        let a = family::pendulum_scenario(1.0, 1.0).unwrap();
+        let b = family::duffing_scenario(0.6).unwrap();
+        let p = compose(&a, &b).unwrap();
+        assert_eq!(p.env().state_dim(), 4);
+        assert_eq!(p.env().action_dim(), 2);
+
+        let sa = [0.2, -0.1];
+        let sb = [1.5, -0.5];
+        let ua = [3.0];
+        let ub = [0.25];
+        let da = a.env().dynamics().derivative(&sa, &ua);
+        let db = b.env().dynamics().derivative(&sb, &ub);
+        let dp = p
+            .env()
+            .dynamics()
+            .derivative(&[0.2, -0.1, 1.5, -0.5], &[3.0, 0.25]);
+        // Bit-identical, not just close: remapping only permutes exponents.
+        assert_eq!(&dp[..2], &da[..]);
+        assert_eq!(&dp[2..], &db[..]);
+    }
+
+    #[test]
+    fn product_safety_is_the_conjunction() {
+        let a = family::pendulum_scenario(1.0, 1.0).unwrap();
+        let b = family::duffing_scenario(0.6).unwrap();
+        let p = compose(&a, &b).unwrap();
+        // Safe in both atoms → safe in the product.
+        assert!(p.env().safety().is_safe(&[0.1, 0.1, 1.0, 1.0]));
+        // Unsafe pendulum angle → unsafe product, regardless of the B block.
+        assert!(!p.env().safety().is_safe(&[0.5, 0.0, 0.0, 0.0]));
+        // Unsafe duffing block → unsafe product.
+        assert!(!p.env().safety().is_safe(&[0.0, 0.0, 5.5, 0.0]));
+    }
+
+    #[test]
+    fn block_oracle_matches_the_atom_oracles() {
+        let a = family::platoon_scenario(2).unwrap();
+        let b = family::quadcopter_scenario(0.3).unwrap();
+        let p = compose(&a, &b).unwrap();
+        let oracle = LinearPolicy::new(p.oracle_gains().to_vec());
+        let state = [0.1, -0.2, 0.3, -0.4, 0.25, -0.5];
+        let action = oracle.action(&state);
+        let oa = LinearPolicy::new(a.oracle_gains().to_vec()).action(&state[..4]);
+        let ob = LinearPolicy::new(b.oracle_gains().to_vec()).action(&state[4..]);
+        assert_eq!(&action[..2], &oa[..]);
+        assert_eq!(&action[2..], &ob[..]);
+    }
+
+    #[test]
+    fn nested_products_flatten_their_ids() {
+        let a = family::pendulum_scenario(1.0, 1.0).unwrap();
+        let b = family::quadcopter_scenario(0.3).unwrap();
+        let c = family::duffing_scenario(0.6).unwrap();
+        let p = compose(&compose(&a, &b).unwrap(), &c).unwrap();
+        assert_eq!(
+            p.id(),
+            "product/pendulum/m1.000-l1.000+quadcopter/d0.300+duffing/c0.600"
+        );
+        assert_eq!(p.env().state_dim(), 6);
+        // The flattened ID regenerates the same product.
+        let again = crate::scenario_by_id(p.id()).unwrap();
+        assert_eq!(
+            again.env().dynamics().derivatives(),
+            p.env().dynamics().derivatives()
+        );
+    }
+
+    #[test]
+    fn disturbance_lifts_into_the_product() {
+        let a = family::quadcopter_scenario(0.3).unwrap(); // has disturbance
+        let b = family::duffing_scenario(0.6).unwrap(); // none
+        let p = compose(&a, &b).unwrap();
+        assert!(!p.env().disturbance().is_zero());
+        assert_eq!(p.env().disturbance().upper(), &[0.0, 0.05, 0.0, 0.0]);
+    }
+}

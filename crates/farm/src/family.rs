@@ -1,0 +1,284 @@
+//! Parameterized environment families.
+//!
+//! Each family is a constructor from a small parameter vector to a
+//! [`Scenario`], plus a grid generator.  Every float parameter is rounded
+//! to three decimals *before* the environment is built, and the canonical
+//! ID prints exactly those three decimals — so parsing an ID back
+//! ([`crate::scenario_by_id`]) recovers the identical `f64` and therefore
+//! the bit-identical environment.
+
+use crate::scenario::Scenario;
+use vrl::dynamics::{BoxRegion, Disturbance, EnvironmentContext, PolyDynamics, SafetySpec};
+use vrl::poly::Polynomial;
+use vrl_benchmarks::pendulum::{degrees, pendulum_env};
+use vrl_benchmarks::platoon::platoon_env;
+
+/// `n` grid points from `lo` to `hi` inclusive, each rounded to three
+/// decimals (the rounding that the canonical scenario IDs print).
+pub fn linspace3(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let round3 = |v: f64| (v * 1000.0).round() / 1000.0;
+    match n {
+        0 => Vec::new(),
+        1 => vec![round3(lo)],
+        _ => (0..n)
+            .map(|i| round3(lo + (hi - lo) * i as f64 / (n - 1) as f64))
+            .collect(),
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Pendulum with the Sec. 5 safety bounds at an arbitrary mass/length grid
+/// point.  The oracle is an inertia-scaled PD law: `a = m·l²·(−(g/l + 2.5)·η
+/// − 3.5·ω)` cancels the gravity torque and leaves uniformly damped
+/// closed-loop dynamics across the whole grid.
+///
+/// # Errors
+///
+/// Returns the well-formedness violation if the parameters produce a
+/// degenerate scenario (e.g. non-positive mass or length after rounding).
+pub fn pendulum_scenario(mass: f64, length: f64) -> Result<Scenario, String> {
+    let (mass, length) = (round3(mass), round3(length));
+    if mass <= 0.0 || length <= 0.0 {
+        return Err(format!(
+            "pendulum: non-positive mass/length {mass}/{length}"
+        ));
+    }
+    let id = format!("pendulum/m{mass:.3}-l{length:.3}");
+    let env = pendulum_env(mass, length, degrees(23.0), degrees(90.0)).with_name(id.clone());
+    let inertia = mass * length * length;
+    let g_over_l = 9.8 / length;
+    let gains = vec![vec![-(g_over_l + 2.5) * inertia, -3.5 * inertia]];
+    Scenario::new(id, "pendulum", env, gains, 4)
+}
+
+/// Size-`n` vehicle platoon (2n states, n actions) with the per-car PD
+/// oracle `a_i = −2·e_i − 2.5·v_i`.
+///
+/// # Errors
+///
+/// Returns an error for `n == 0`.
+pub fn platoon_scenario(n: usize) -> Result<Scenario, String> {
+    if n == 0 {
+        return Err("platoon: need at least one car".to_string());
+    }
+    let id = format!("platoon/n{n}");
+    let env = platoon_env(n).with_name(id.clone());
+    let mut gains = vec![vec![0.0; 2 * n]; n];
+    for (i, row) in gains.iter_mut().enumerate() {
+        row[2 * i] = -2.0;
+        row[2 * i + 1] = -2.5;
+    }
+    Scenario::new(id, "platoon", env, gains, 2)
+}
+
+/// Quadcopter altitude hold with a variable drag coefficient:
+/// `ḣ = v`, `v̇ = −drag·v + a`, disturbance `[0, 0.05]` on the velocity,
+/// safe box `h ∈ ±1.0`, `v ∈ ±1.5`.  Oracle: PD gains `[−3.0, −2.5]`.
+///
+/// # Errors
+///
+/// Returns an error for a non-positive drag coefficient after rounding.
+pub fn quadcopter_scenario(drag: f64) -> Result<Scenario, String> {
+    let drag = round3(drag);
+    if drag <= 0.0 {
+        return Err(format!("quadcopter: non-positive drag {drag}"));
+    }
+    let id = format!("quadcopter/d{drag:.3}");
+    let h_dot = Polynomial::variable(1, 3);
+    let v_dot = &Polynomial::variable(1, 3).scaled(-drag) + &Polynomial::variable(2, 3);
+    let dynamics =
+        PolyDynamics::new(2, 1, vec![h_dot, v_dot]).map_err(|e| format!("quadcopter: {e}"))?;
+    let env = EnvironmentContext::new(
+        id.clone(),
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&[0.4, 0.4]),
+        SafetySpec::inside(BoxRegion::symmetric(&[1.0, 1.5])),
+    )
+    .with_action_bounds(vec![-8.0], vec![8.0])
+    .with_disturbance(Disturbance::new(vec![0.0, 0.0], vec![0.0, 0.05]))
+    .with_variable_names(&["h", "v"]);
+    Scenario::new(id, "quadcopter", env, vec![vec![-3.0, -2.5]], 2)
+}
+
+/// Oscillator driving a `k`-stage low-pass filter chain (`2 + k` states):
+/// the benchmark's 18-D system is the `k = 16` lattice point.  The filter
+/// output (last stage) is bounded by ±0.9, all other states by ±3.  Oracle:
+/// the damping gains `[−1.0, −1.5, 0, …]`.
+///
+/// # Errors
+///
+/// Returns an error for `order == 0`.
+pub fn oscillator_scenario(order: usize) -> Result<Scenario, String> {
+    if order == 0 {
+        return Err("oscillator: need at least one filter stage".to_string());
+    }
+    let id = format!("oscillator/k{order}");
+    let n = 2 + order;
+    let kappa = 5.0;
+    let mut a = vec![vec![0.0; n]; n];
+    a[0][1] = 1.0;
+    a[1][0] = -1.0;
+    a[1][1] = -0.1;
+    a[2][0] = kappa;
+    a[2][2] = -kappa;
+    for i in 3..n {
+        a[i][i - 1] = kappa;
+        a[i][i] = -kappa;
+    }
+    let mut b = vec![vec![0.0]; n];
+    b[1][0] = 1.0;
+    let dynamics = PolyDynamics::linear(&a, &b, None);
+    let mut init = vec![0.1; n];
+    init[0] = 1.0;
+    init[1] = 1.0;
+    let mut safe = vec![3.0; n];
+    safe[n - 1] = 0.9;
+    let names: Vec<String> = ["x1", "x2"]
+        .into_iter()
+        .map(str::to_string)
+        .chain((1..=order).map(|i| format!("f{i}")))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let env = EnvironmentContext::new(
+        id.clone(),
+        dynamics,
+        0.01,
+        BoxRegion::symmetric(&init),
+        SafetySpec::inside(BoxRegion::symmetric(&safe)),
+    )
+    .with_action_bounds(vec![-10.0], vec![10.0])
+    .with_variable_names(&name_refs)
+    .with_steady(|s: &[f64]| s.iter().all(|x| x.abs() <= 0.1));
+    let mut gains = vec![0.0; n];
+    gains[0] = -1.0;
+    gains[1] = -1.5;
+    Scenario::new(id, "oscillator", env, vec![gains], 2)
+}
+
+/// Duffing oscillator with a variable damping coefficient:
+/// `ẋ = y`, `ẏ = −c·y − x − x³ + a`; the Example 4.3 system is `c = 0.6`.
+/// Oracle: the Fig. 6 CEGIS expert `a = 0.6·x − 2.2·y`.
+///
+/// # Errors
+///
+/// Returns an error for a non-positive damping coefficient after rounding.
+pub fn duffing_scenario(damping: f64) -> Result<Scenario, String> {
+    let damping = round3(damping);
+    if damping <= 0.0 {
+        return Err(format!("duffing: non-positive damping {damping}"));
+    }
+    let id = format!("duffing/c{damping:.3}");
+    let x = Polynomial::variable(0, 3);
+    let y = Polynomial::variable(1, 3);
+    let a = Polynomial::variable(2, 3);
+    let y_dot = &(&(&y.scaled(-damping) - &x) - &x.pow(3)) + &a;
+    let dynamics =
+        PolyDynamics::new(2, 1, vec![y.clone(), y_dot]).map_err(|e| format!("duffing: {e}"))?;
+    let env = EnvironmentContext::new(
+        id.clone(),
+        dynamics,
+        0.01,
+        BoxRegion::new(vec![-2.5, -2.0], vec![2.5, 2.0]),
+        SafetySpec::inside(BoxRegion::symmetric(&[5.0, 5.0])),
+    )
+    .with_action_bounds(vec![-25.0], vec![25.0])
+    .with_variable_names(&["x", "y"]);
+    Scenario::new(id, "duffing", env, vec![vec![0.6, -2.2]], 4)
+}
+
+/// The full pendulum mass × length grid.
+pub fn pendulum_grid(masses: &[f64], lengths: &[f64]) -> Vec<Scenario> {
+    masses
+        .iter()
+        .flat_map(|&m| lengths.iter().map(move |&l| (m, l)))
+        .map(|(m, l)| pendulum_scenario(m, l).expect("pendulum grid point is well formed"))
+        .collect()
+}
+
+/// Platoons of every size `1..=max_n`.
+pub fn platoon_sizes(max_n: usize) -> Vec<Scenario> {
+    (1..=max_n)
+        .map(|n| platoon_scenario(n).expect("platoon size is well formed"))
+        .collect()
+}
+
+/// Quadcopters over a drag-coefficient grid.
+pub fn quadcopter_drags(drags: &[f64]) -> Vec<Scenario> {
+    drags
+        .iter()
+        .map(|&d| quadcopter_scenario(d).expect("quadcopter drag point is well formed"))
+        .collect()
+}
+
+/// Oscillator lattices of every filter order `1..=max_order`.
+pub fn oscillator_orders(max_order: usize) -> Vec<Scenario> {
+    (1..=max_order)
+        .map(|k| oscillator_scenario(k).expect("oscillator order is well formed"))
+        .collect()
+}
+
+/// Duffing oscillators over a damping grid.
+pub fn duffing_dampings(dampings: &[f64]) -> Vec<Scenario> {
+    dampings
+        .iter()
+        .map(|&c| duffing_scenario(c).expect("duffing damping point is well formed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_lattice_points_match_the_hand_written_envs() {
+        // pendulum/m1.000-l1.000 must be the Sec. 5 case-study pendulum.
+        let s = pendulum_scenario(1.0, 1.0).unwrap();
+        let reference = pendulum_env(1.0, 1.0, degrees(23.0), degrees(90.0));
+        assert_eq!(
+            s.env().dynamics().derivatives(),
+            reference.dynamics().derivatives()
+        );
+        // oscillator/k16 must be the 18-D Table 1 benchmark.
+        let s = oscillator_scenario(16).unwrap();
+        let reference = vrl_benchmarks::oscillator::oscillator_env();
+        assert_eq!(s.env().state_dim(), 18);
+        assert_eq!(
+            s.env().dynamics().derivatives(),
+            reference.dynamics().derivatives()
+        );
+        // duffing/c0.600 must be the Example 4.3 system.
+        let s = duffing_scenario(0.6).unwrap();
+        let reference = vrl_benchmarks::duffing::duffing_env();
+        assert_eq!(
+            s.env().dynamics().derivatives(),
+            reference.dynamics().derivatives()
+        );
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!(pendulum_scenario(0.0, 1.0).is_err());
+        assert!(pendulum_scenario(1.0, -0.5).is_err());
+        assert!(platoon_scenario(0).is_err());
+        assert!(quadcopter_scenario(0.0001).is_err()); // rounds to 0.000
+        assert!(oscillator_scenario(0).is_err());
+        assert!(duffing_scenario(-1.0).is_err());
+    }
+
+    #[test]
+    fn linspace3_is_inclusive_and_rounded() {
+        let g = linspace3(0.6, 1.6, 6);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], 0.6);
+        assert_eq!(g[5], 1.6);
+        for v in &g {
+            assert_eq!(*v, (*v * 1000.0).round() / 1000.0);
+        }
+        assert_eq!(linspace3(2.0, 9.0, 1), vec![2.0]);
+        assert!(linspace3(0.0, 1.0, 0).is_empty());
+    }
+}

@@ -62,6 +62,11 @@ cegis_counter!(
     "vrl_shield_decide_table_fallbacks_total",
     "Shield decisions routed through the exact path from a boundary cell."
 );
+cegis_counter!(
+    decide_table_build_fallbacks,
+    "vrl_shield_decide_table_build_fallbacks_total",
+    "Decision-table builds that failed and fell back to the exact path."
+);
 
 /// Per-class census of decision-table cells classified at build time
 /// (`class` is `covered`, `uncovered`, or `boundary`).
@@ -81,6 +86,13 @@ pub(crate) fn decide_table_cells(class: &str) -> &'static Counter {
 /// health checks that only need "is the table in the path at all?".
 pub fn decide_table_traffic() -> u64 {
     decide_table_hits().get() + decide_table_fallbacks().get()
+}
+
+/// Total decision-table builds that failed and fell back to the exact
+/// path ([`crate::Shield::with_table_or_fallback`]) — a convenience for
+/// tests asserting graceful degradation on high-dimensional instances.
+pub fn decide_table_build_fallback_count() -> u64 {
+    decide_table_build_fallbacks().get()
 }
 
 /// Wall-clock duration of completed CEGIS runs (success or failure).
@@ -105,6 +117,7 @@ pub fn install_metrics() {
     let _ = cegis_seconds();
     let _ = decide_table_hits();
     let _ = decide_table_fallbacks();
+    let _ = decide_table_build_fallbacks();
     for class in ["covered", "uncovered", "boundary"] {
         let _ = decide_table_cells(class);
     }
@@ -125,6 +138,7 @@ mod tests {
             "vrl_synth_cegis_seconds",
             "vrl_shield_decide_table_hits_total",
             "vrl_shield_decide_table_fallbacks_total",
+            "vrl_shield_decide_table_build_fallbacks_total",
             "vrl_shield_decide_table_cells{class=\"covered\"}",
             "vrl_shield_decide_table_cells{class=\"uncovered\"}",
             "vrl_shield_decide_table_cells{class=\"boundary\"}",

@@ -161,6 +161,27 @@ impl Shield {
         self
     }
 
+    /// Like [`Shield::with_table`], but degrades gracefully: when the table
+    /// cannot be built (degenerate domain, over-budget grid — typical for
+    /// high-dimensional state spaces where a dense grid cannot certify
+    /// anything), the shield is returned unchanged on the exact compiled
+    /// path, and the `vrl_shield_decide_table_build_fallbacks_total`
+    /// counter records the fallback.  Decisions are identical either way;
+    /// only their cost differs.
+    pub fn with_table_or_fallback(mut self, config: &TableConfig) -> Shield {
+        match DecisionTable::build(&self.env, &self.pieces, config) {
+            Ok(table) => {
+                self.table = Some(Arc::new(table));
+                self
+            }
+            Err(_) => {
+                crate::obs::decide_table_build_fallbacks().inc();
+                self.table = None;
+                self
+            }
+        }
+    }
+
     /// The precomputed decision table, when one was built.
     pub fn table(&self) -> Option<&DecisionTable> {
         self.table.as_deref()

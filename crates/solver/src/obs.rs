@@ -84,6 +84,11 @@ solver_counter!(
     "vrl_solver_shared_query_cache_misses_total",
     "Compiled-family compilations new to the whole process."
 );
+solver_counter!(
+    shared_cache_contended,
+    "vrl_solver_shared_query_cache_contended_total",
+    "Shared-store shard-lock acquisitions that found the lock held."
+);
 
 /// Forces registration of every solver metric so a scrape shows the
 /// full solver series set (at zero) before any proof has run.
@@ -99,6 +104,7 @@ pub fn install_metrics() {
     let _ = cache_evictions();
     let _ = shared_cache_hits();
     let _ = shared_cache_misses();
+    let _ = shared_cache_contended();
 }
 
 /// Per-query work tally for one [`crate::prove_bound`] call.
@@ -199,6 +205,7 @@ mod tests {
             "vrl_solver_query_cache_evictions_total",
             "vrl_solver_shared_query_cache_hits_total",
             "vrl_solver_shared_query_cache_misses_total",
+            "vrl_solver_shared_query_cache_contended_total",
         ] {
             assert!(text.contains(series), "missing series {series}");
         }
